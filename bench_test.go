@@ -1,0 +1,179 @@
+// Benchmarks regenerating the paper's evaluation, one per figure, plus
+// micro-benchmarks of the analysis pipeline and ablations of the design
+// choices called out in DESIGN.md. Absolute numbers depend on the machine;
+// the figures' qualitative shapes are asserted by the experiment tests.
+//
+// Run: go test -bench=. -benchmem
+package hetrta_test
+
+import (
+	"testing"
+
+	hetrta "repro"
+	"repro/internal/exact"
+	"repro/internal/experiments"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+// benchCfg is a reduced sweep so a full -bench=. pass stays in the minutes
+// range; scale via cmd/experiments -scale paper for the full reproduction.
+func benchCfg() experiments.Config {
+	cfg := experiments.Quick(2018)
+	cfg.TasksPerPoint = 6
+	cfg.Fractions = []float64{0.02, 0.14, 0.40}
+	return cfg
+}
+
+// BenchmarkFig6 regenerates Figure 6 (breadth-first simulation of τ vs τ').
+func BenchmarkFig6(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig6(cfg, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7 regenerates Figure 7 (bounds vs exact minimum makespan).
+func BenchmarkFig7(b *testing.B) {
+	cfg := benchCfg()
+	cfg.TasksPerPoint = 4
+	panels := []experiments.Fig7Panel{{M: 2, NMin: 3, NMax: 18}}
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig7(cfg, panels); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8 regenerates Figure 8 (scenario occurrence).
+func BenchmarkFig8(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9 regenerates Figure 9 (Rhom vs Rhet percentage change).
+func BenchmarkFig9(b *testing.B) {
+	cfg := benchCfg()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchTask builds one large task for micro-benchmarks.
+func benchTask(b *testing.B, n int, frac float64) *hetrta.Graph {
+	b.Helper()
+	gen := taskgen.MustNew(taskgen.Large(n, n+80), 7)
+	g, _, _, err := gen.HetTask(frac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g
+}
+
+// BenchmarkTransform measures Algorithm 1 on ~200-node tasks.
+func BenchmarkTransform(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := transform.Transform(g); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAnalyze measures the full pipeline (transform + Rhom + Rhet).
+func BenchmarkAnalyze(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := rta.Analyze(g, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulate measures the discrete-event scheduler on ~200 nodes.
+func BenchmarkSimulate(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sched.Simulate(g, sched.Hetero(8), sched.BreadthFirst()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExactSmall measures the exact oracle on a paper-Fig-7(a)-sized
+// task (n ≤ 16, m = 2) that requires real branch-and-bound search.
+func BenchmarkExactSmall(b *testing.B) {
+	gen := taskgen.MustNew(taskgen.Small(10, 16), 1)
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationRestrictedVsUnrestricted quantifies the
+// Giffler–Thompson branching restriction (DESIGN.md §4.3): the restricted
+// search visits far fewer nodes for the same proven optimum. The seed is
+// chosen so the instance genuinely branches (≈41k vs ≈98k expansions)
+// rather than closing at the root bound.
+func BenchmarkAblationRestrictedVsUnrestricted(b *testing.B) {
+	gen := taskgen.MustNew(taskgen.Small(10, 16), 6)
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("restricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("unrestricted", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{Unrestricted: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkAblationPolicies compares scheduling policies on the same task
+// set (the §5.2 discussion: breadth-first vs alternatives).
+func BenchmarkAblationPolicies(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	for _, pol := range []func() sched.Policy{
+		sched.BreadthFirst, sched.LIFO, sched.CriticalPathFirst,
+	} {
+		p := pol()
+		b.Run(p.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := sched.Simulate(g, sched.Hetero(8), pol()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

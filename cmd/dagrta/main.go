@@ -1,0 +1,162 @@
+// Command dagrta analyzes one heterogeneous DAG task (JSON produced by
+// cmd/daggen or by hand): it prints vol/len, the homogeneous bound Rhom
+// (Eq. 1), the transformed task's heterogeneous bound Rhet with its Theorem
+// 1 scenario, and optionally a simulated schedule and the exact minimum
+// makespan.
+//
+// Usage:
+//
+//	dagrta -in task.json -m 4 [-deadline 120] [-sim] [-gantt] [-exact] [-check]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "-", "input JSON file ('-' = stdin)")
+		m        = flag.Int("m", 4, "number of host cores")
+		deadline = flag.Int64("deadline", 0, "relative deadline D for a schedulability verdict (0 = skip)")
+		doSim    = flag.Bool("sim", false, "simulate τ and τ' under the breadth-first scheduler")
+		doGantt  = flag.Bool("gantt", false, "print ASCII Gantt charts of the simulations (implies -sim)")
+		doExact  = flag.Bool("exact", false, "compute the exact minimum makespan (n ≤ 64)")
+		doCheck  = flag.Bool("check", false, "verify the transformation invariants (Algorithm 1 post-conditions)")
+		budget   = flag.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
+		svgOut   = flag.String("svg", "", "write an SVG Gantt chart of the transformed task's schedule to this file")
+	)
+	flag.Parse()
+
+	g, err := readGraph(*in)
+	if err != nil {
+		fatal(err)
+	}
+	if removed, err := g.TransitiveReduction(); err != nil {
+		fatal(err)
+	} else if removed > 0 {
+		fmt.Printf("note: removed %d redundant edge(s) before analysis\n", removed)
+	}
+
+	fmt.Printf("task: n=%d edges=%d vol=%d len=%d\n", g.NumNodes(), g.NumEdges(), g.Volume(), g.CriticalPathLength())
+	vOff, hasOff := g.OffloadNode()
+	if hasOff {
+		fmt.Printf("offload: node %s with COff=%d (%.1f%% of volume)\n",
+			g.Name(vOff), g.WCET(vOff), 100*float64(g.WCET(vOff))/float64(g.Volume()))
+	} else {
+		fmt.Println("offload: none (homogeneous task)")
+	}
+
+	fmt.Printf("Rhom(τ)  on m=%d: %.2f\n", *m, rta.Rhom(g, *m))
+	if hasOff {
+		a, err := rta.Analyze(g, *m)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("naive    on m=%d: %.2f (UNSAFE, shown for comparison)\n", *m, a.Naive)
+		fmt.Printf("Rhet(τ') on m=%d: %.2f (%s; len'=%d lenPar=%d volPar=%d)\n",
+			*m, a.Het.R, a.Het.Scenario, a.Het.LenPrime, a.Het.LenPar, a.Het.VolPar)
+		if *doCheck {
+			if err := transform.Check(a.Transform); err != nil {
+				fatal(err)
+			}
+			fmt.Println("transform check: OK")
+		}
+		if *deadline > 0 {
+			verdict := "NOT schedulable"
+			if a.Het.R <= float64(*deadline) {
+				verdict = "schedulable"
+			}
+			fmt.Printf("deadline %d: %s under Rhet\n", *deadline, verdict)
+		}
+		if *doSim || *doGantt {
+			simulate(g, a, *m, *doGantt)
+		}
+		if *svgOut != "" {
+			r, err := sched.Simulate(a.Transform.Transformed, sched.Hetero(*m), sched.BreadthFirst())
+			if err != nil {
+				fatal(err)
+			}
+			f, err := os.Create(*svgOut)
+			if err != nil {
+				fatal(err)
+			}
+			if err := r.WriteSVG(f, a.Transform.Transformed); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+			fmt.Printf("wrote %s\n", *svgOut)
+		}
+	} else if *deadline > 0 {
+		verdict := "NOT schedulable"
+		if rta.Rhom(g, *m) <= float64(*deadline) {
+			verdict = "schedulable"
+		}
+		fmt.Printf("deadline %d: %s under Rhom\n", *deadline, verdict)
+	}
+
+	if *doExact {
+		p := sched.Hetero(*m)
+		if !hasOff {
+			p = sched.Homogeneous(*m)
+		}
+		r, err := exact.MinMakespan(g, p, exact.Options{MaxExpansions: *budget})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exact min makespan: %d (%s, %d expansions, lower bound %d)\n",
+			r.Makespan, r.Status, r.Expansions, r.LowerBound)
+	}
+}
+
+func simulate(g *dag.Graph, a *rta.Analysis, m int, gantt bool) {
+	orig, err := sched.Simulate(g, sched.Hetero(m), sched.BreadthFirst())
+	if err != nil {
+		fatal(err)
+	}
+	trans, err := sched.Simulate(a.Transform.Transformed, sched.Hetero(m), sched.BreadthFirst())
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("simulated makespan (breadth-first): τ=%d τ'=%d\n", orig.Makespan, trans.Makespan)
+	if gantt {
+		fmt.Println("τ schedule:")
+		fmt.Print(orig.Gantt(g, 72))
+		fmt.Println("τ' schedule:")
+		fmt.Print(trans.Gantt(a.Transform.Transformed, 72))
+	}
+}
+
+func readGraph(path string) (*dag.Graph, error) {
+	var data []byte
+	var err error
+	if path == "-" {
+		data, err = io.ReadAll(os.Stdin)
+	} else {
+		data, err = os.ReadFile(path)
+	}
+	if err != nil {
+		return nil, err
+	}
+	g := dag.New()
+	if err := json.Unmarshal(data, g); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagrta:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,81 @@
+// Command dagviz renders a heterogeneous DAG task (JSON) as Graphviz DOT,
+// optionally after the Algorithm 1 transformation, using the paper's
+// Figure 3 styling (double-bordered offload node, red square vsync).
+//
+// Usage:
+//
+//	dagviz -in task.json > tau.dot
+//	dagviz -in task.json -transformed > tau_prime.dot
+//	dagviz -in task.json -par > gpar.dot
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/dag"
+	"repro/internal/transform"
+)
+
+func main() {
+	var (
+		in          = flag.String("in", "-", "input JSON file ('-' = stdin)")
+		transformed = flag.Bool("transformed", false, "emit the transformed DAG G' instead of G")
+		par         = flag.Bool("par", false, "emit the parallel sub-DAG GPar instead of G")
+		title       = flag.String("title", "task", "graph title")
+	)
+	flag.Parse()
+
+	var data []byte
+	var err error
+	if *in == "-" {
+		data = readStdin()
+	} else {
+		data, err = os.ReadFile(*in)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	g := dag.New()
+	if err := json.Unmarshal(data, g); err != nil {
+		fatal(err)
+	}
+	if !*transformed && !*par {
+		if err := g.WriteDOT(os.Stdout, *title); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	if _, err := g.TransitiveReduction(); err != nil {
+		fatal(err)
+	}
+	tr, err := transform.Transform(g)
+	if err != nil {
+		fatal(err)
+	}
+	out := tr.Transformed
+	name := *title + "_transformed"
+	if *par {
+		out = tr.Par
+		name = *title + "_gpar"
+	}
+	if err := out.WriteDOT(os.Stdout, name); err != nil {
+		fatal(err)
+	}
+}
+
+func readStdin() []byte {
+	data, err := io.ReadAll(os.Stdin)
+	if err != nil {
+		fatal(err)
+	}
+	return data
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dagviz:", err)
+	os.Exit(1)
+}

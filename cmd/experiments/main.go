@@ -1,0 +1,144 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation (Section 5):
+//
+//	-fig 6       Figure 6: avg execution time of τ vs τ' (breadth-first sim)
+//	-fig 7       Figure 7: Rhom/Rhet pessimism vs exact minimum makespan
+//	-fig 8       Figure 8: Theorem 1 scenario occurrence
+//	-fig 9       Figure 9: % change of Rhom w.r.t. Rhet
+//	-fig tables  the §5 text-quoted summary numbers (crossovers, peaks)
+//	-fig naive   §3.2 violation study: sampled schedules vs the naive bound
+//	-fig all     everything
+//
+// -scale quick runs a reduced sweep (minutes); -scale paper reproduces the
+// paper's sample sizes (100 DAGs/point, n ∈ [100,250]; Figure 7 budgeted).
+// Tables print to stdout; -csv DIR additionally writes CSV files.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/sched"
+	"repro/internal/table"
+)
+
+func main() {
+	var (
+		fig    = flag.String("fig", "all", "which figure to regenerate: 6|7|8|9|tables|naive|all")
+		scale  = flag.String("scale", "quick", "experiment scale: quick, medium, or paper")
+		seed   = flag.Int64("seed", 2018, "random seed")
+		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
+		ablate = flag.Bool("policies", false, "with -fig 6: also run the LIFO policy ablation")
+	)
+	flag.Parse()
+
+	var cfg experiments.Config
+	switch *scale {
+	case "quick":
+		cfg = experiments.Quick(*seed)
+	case "medium":
+		cfg = experiments.Medium(*seed)
+	case "paper":
+		cfg = experiments.Default(*seed)
+		cfg.ExactBudget = 2_000_000
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
+		os.Exit(2)
+	}
+
+	runner := &runner{csvDir: *csvDir}
+	want := func(f string) bool { return *fig == "all" || *fig == f }
+
+	var fig9 *experiments.Fig9Result
+	if want("6") {
+		res, err := experiments.Fig6(cfg, nil)
+		check(err)
+		runner.emit("fig6", res.Table())
+		runner.emit("fig6_summary", res.SummaryTable())
+		if *ablate {
+			lifo, err := experiments.Fig6(cfg, sched.LIFO)
+			check(err)
+			runner.emit("fig6_lifo_ablation", lifo.Table())
+		}
+	}
+	if want("7") {
+		f7cfg := cfg
+		if *scale == "quick" {
+			res, err := experiments.Fig7(f7cfg, []experiments.Fig7Panel{
+				{M: 2, NMin: 3, NMax: 20},
+				{M: 8, NMin: 20, NMax: 40},
+			})
+			check(err)
+			for i, t := range res.Table() {
+				runner.emit(fmt.Sprintf("fig7_panel%c", 'a'+i), t)
+			}
+		} else {
+			res, err := experiments.Fig7(f7cfg, experiments.PaperFig7Panels())
+			check(err)
+			for i, t := range res.Table() {
+				runner.emit(fmt.Sprintf("fig7_panel%c", 'a'+i), t)
+			}
+		}
+	}
+	if want("8") {
+		res, err := experiments.Fig8(cfg)
+		check(err)
+		for i, t := range res.Table() {
+			runner.emit(fmt.Sprintf("fig8_m%d", res.Series[i].M), t)
+		}
+		runner.emit("fig8_summary", res.SummaryTable())
+	}
+	if want("9") || want("tables") {
+		var err error
+		fig9, err = experiments.Fig9(cfg)
+		check(err)
+		if want("9") {
+			runner.emit("fig9", fig9.Table())
+		}
+		runner.emit("fig9_summary", fig9.SummaryTable())
+	}
+	if want("naive") {
+		res, err := experiments.Naive(cfg, 32)
+		check(err)
+		for i, t := range res.Table() {
+			runner.emit(fmt.Sprintf("naive_m%d", res.Series[i].M), t)
+		}
+	}
+	if runner.count == 0 {
+		fmt.Fprintf(os.Stderr, "experiments: nothing matched -fig %q\n", *fig)
+		os.Exit(2)
+	}
+}
+
+type runner struct {
+	csvDir string
+	count  int
+}
+
+func (r *runner) emit(name string, t *table.Table) {
+	r.count++
+	if err := t.WriteText(os.Stdout); err != nil {
+		check(err)
+	}
+	fmt.Println()
+	if r.csvDir == "" {
+		return
+	}
+	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
+		check(err)
+	}
+	f, err := os.Create(filepath.Join(r.csvDir, name+".csv"))
+	check(err)
+	defer f.Close()
+	check(t.WriteCSV(f))
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "experiments:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,70 @@
+package hetrta_test
+
+import (
+	"fmt"
+	"log"
+
+	hetrta "repro"
+)
+
+// Example reproduces the paper's running example (Figure 1/2): the
+// homogeneous bound, the unsafe naive reduction, and the heterogeneous
+// bound on the transformed task.
+func Example() {
+	g := hetrta.NewGraph()
+	v1 := g.AddNode("v1", 2, hetrta.Host)
+	v2 := g.AddNode("v2", 4, hetrta.Host)
+	v3 := g.AddNode("v3", 5, hetrta.Host)
+	v4 := g.AddNode("v4", 2, hetrta.Host)
+	v5 := g.AddNode("v5", 1, hetrta.Host)
+	vOff := g.AddNode("vOff", 4, hetrta.Offload)
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v3)
+	g.MustAddEdge(v1, v4)
+	g.MustAddEdge(v2, v5)
+	g.MustAddEdge(v3, v5)
+	g.MustAddEdge(v4, vOff)
+	g.NormalizeSourceSink()
+
+	a, err := hetrta.Analyze(g, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("vol=%d len=%d\n", g.Volume(), g.CriticalPathLength())
+	fmt.Printf("Rhom=%.0f naive=%.0f Rhet=%.0f (%s)\n", a.Rhom, a.Naive, a.Het.R, a.Het.Scenario)
+
+	sim, err := hetrta.Simulate(g, hetrta.HeteroPlatform(2), hetrta.BreadthFirst())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("breadth-first response=%d (exceeds the naive bound)\n", sim.Makespan)
+	// Output:
+	// vol=18 len=8
+	// Rhom=13 naive=11 Rhet=12 (scenario 1)
+	// breadth-first response=12 (exceeds the naive bound)
+}
+
+// Example_schedulability shows the deadline verdicts of both analyses.
+func Example_schedulability() {
+	g := hetrta.NewGraph()
+	pre := g.AddNode("pre", 3, hetrta.Host)
+	gpu := g.AddNode("gpu", 9, hetrta.Offload)
+	cpu := g.AddNode("cpu", 8, hetrta.Host)
+	post := g.AddNode("post", 2, hetrta.Host)
+	g.MustAddEdge(pre, gpu)
+	g.MustAddEdge(pre, cpu)
+	g.MustAddEdge(gpu, post)
+	g.MustAddEdge(cpu, post)
+
+	task := hetrta.Task{G: g, Period: 20, Deadline: 16}
+	okHom, rhom := task.SchedulableHom(2)
+	okHet, a, err := task.SchedulableHet(2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("Rhom=%.1f schedulable=%v\n", rhom, okHom)
+	fmt.Printf("Rhet=%.1f schedulable=%v\n", a.Het.R, okHet)
+	// Output:
+	// Rhom=18.0 schedulable=false
+	// Rhet=14.0 schedulable=true
+}

@@ -1,0 +1,72 @@
+// schedulability_sweep measures acceptance ratios: the fraction of random
+// heterogeneous DAG tasks deemed schedulable by Rhom versus Rhet as the
+// offloaded share and the deadline tightness vary. This is the
+// system-designer's view of the paper's Figure 9: a tighter bound admits
+// more task sets at the same deadline.
+//
+// Run with: go run ./examples/schedulability_sweep
+package main
+
+import (
+	"fmt"
+	"log"
+
+	hetrta "repro"
+)
+
+func main() {
+	const (
+		m        = 4
+		perPoint = 60
+		seed     = 99
+	)
+	fracs := []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50}
+	// Deadline = tightness × vol/m: tightness 1.0 is the raw load bound
+	// (hard), larger is looser.
+	tightness := []float64{1.2, 1.5, 2.0}
+
+	fmt.Printf("acceptance ratio (%% of %d tasks schedulable), m=%d host cores + 1 accelerator\n\n", perPoint, m)
+	fmt.Printf("%-10s", "COff/vol")
+	for _, tg := range tightness {
+		fmt.Printf("  D=%.1f·vol/m: Rhom  Rhet", tg)
+	}
+	fmt.Println()
+
+	for fi, frac := range fracs {
+		gen, err := hetrta.NewGenerator(hetrta.LargeTasks(80, 160), seed+int64(fi))
+		if err != nil {
+			log.Fatal(err)
+		}
+		type counts struct{ hom, het int }
+		accept := make([]counts, len(tightness))
+		for k := 0; k < perPoint; k++ {
+			g, _, _, err := gen.HetTask(frac)
+			if err != nil {
+				log.Fatal(err)
+			}
+			a, err := hetrta.Analyze(g, m)
+			if err != nil {
+				log.Fatal(err)
+			}
+			for ti, tg := range tightness {
+				d := tg * float64(g.Volume()) / float64(m)
+				if a.Rhom <= d {
+					accept[ti].hom++
+				}
+				if a.Het.R <= d {
+					accept[ti].het++
+				}
+			}
+		}
+		fmt.Printf("%-10.0f", 100*frac)
+		for ti := range tightness {
+			fmt.Printf("  %17.0f%% %4.0f%%",
+				100*float64(accept[ti].hom)/perPoint,
+				100*float64(accept[ti].het)/perPoint)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nreading: as the offloaded share grows, Rhet admits tasks Rhom rejects —")
+	fmt.Println("the self-interference reduction of Theorem 1 pays off exactly where the")
+	fmt.Println("accelerator does real work.")
+}

@@ -1,0 +1,41 @@
+package hetrta
+
+import (
+	"repro/internal/multioff"
+	"repro/internal/taskset"
+)
+
+// This file exposes the extensions beyond the paper's core model:
+// system-level federated scheduling and the future-work generalizations
+// (multiple offloaded nodes, multiple devices) of Section 7.
+
+// TaskSystem is a set of sporadic DAG tasks sharing M host cores and
+// Devices accelerators, analyzed with federated scheduling.
+type TaskSystem = taskset.System
+
+// Allocation is a feasible federated core assignment for a TaskSystem.
+type Allocation = taskset.Allocation
+
+// Grant is the per-task outcome of an Allocation.
+type Grant = taskset.Grant
+
+// Allocate performs federated scheduling: heavy tasks get the minimal
+// dedicated cores proven sufficient by Rhet (or Rhom), light tasks share
+// the remainder. The test is sufficient, not necessary.
+func Allocate(sys TaskSystem) (*Allocation, error) { return taskset.Allocate(sys) }
+
+// TypedRhom generalizes Equation 1 to tasks with any number of offloaded
+// nodes on d identical devices (the paper's future work (i) and (ii)):
+//
+//	R ≤ volHost/m + volDev/d + max over paths λ of Σ_{v∈λ} C_v·(1 − 1/cap(v)).
+//
+// With no offloaded nodes it equals Rhom.
+func TypedRhom(g *Graph, m, d int) (float64, error) { return multioff.TypedRhom(g, m, d) }
+
+// MultiTransformation is the result of gating every offloaded node with a
+// synchronization point (iterated Algorithm 1).
+type MultiTransformation = multioff.MultiResult
+
+// TransformAll applies Algorithm 1 iteratively around every offloaded node
+// in descending-COff order.
+func TransformAll(g *Graph) (*MultiTransformation, error) { return multioff.TransformAll(g) }

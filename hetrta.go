@@ -1,0 +1,166 @@
+// Package hetrta is a response-time analysis toolkit for sporadic DAG tasks
+// on heterogeneous platforms (a multicore host plus an accelerator device),
+// reproducing Serrano & Quiñones, "Response-Time Analysis of DAG Tasks
+// Supporting Heterogeneous Computing", DAC 2018.
+//
+// The package is a facade over the implementation packages:
+//
+//   - building and validating task graphs (NewGraph, NodeKind, Validate);
+//   - the homogeneous bound Rhom (Eq. 1), the DAG transformation inserting
+//     the synchronization node vsync (Algorithm 1), and the heterogeneous
+//     bound Rhet with its three scenarios (Theorem 1, Eqs. 2–4);
+//   - a discrete-event work-conserving scheduler simulator (GOMP-like
+//     breadth-first and other policies) on m cores + devices;
+//   - an exact minimum-makespan oracle (branch and bound; the paper used
+//     CPLEX) plus a from-scratch LP/MILP time-indexed formulation;
+//   - the random task generator of the paper's evaluation and harnesses
+//     regenerating every figure (see cmd/experiments).
+//
+// # Quick start
+//
+//	g := hetrta.NewGraph()
+//	load := g.AddNode("load", 2, hetrta.Host)
+//	kern := g.AddNode("kernel", 8, hetrta.Offload) // runs on the GPU
+//	post := g.AddNode("post", 3, hetrta.Host)
+//	g.MustAddEdge(load, kern)
+//	g.MustAddEdge(kern, post)
+//
+//	a, err := hetrta.Analyze(g, 4) // 4 host cores + 1 accelerator
+//	if err != nil { ... }
+//	fmt.Println(a.Rhom, a.Het.R, a.Het.Scenario)
+//
+// See examples/ for runnable programs and DESIGN.md for the system map.
+package hetrta
+
+import (
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+// Graph is the DAG task model G = (V, E): nodes are sequential jobs with
+// WCETs, edges are precedence constraints, and at most one node is marked
+// Offload (the accelerator workload vOff).
+type Graph = dag.Graph
+
+// NodeKind says where a node executes.
+type NodeKind = dag.NodeKind
+
+// Node kinds.
+const (
+	// Host nodes execute on one of the m identical host cores.
+	Host = dag.Host
+	// Offload marks vOff, executed on the accelerator device.
+	Offload = dag.Offload
+	// Sync marks zero-WCET synchronization nodes inserted by Transform.
+	Sync = dag.Sync
+)
+
+// NewGraph returns an empty task graph.
+func NewGraph() *Graph { return dag.New() }
+
+// ValidateOptions tunes Graph validation; PaperModel returns the options
+// matching the paper's system model.
+type ValidateOptions = dag.ValidateOptions
+
+// PaperModel returns validation options for the paper's system model.
+func PaperModel() ValidateOptions { return dag.PaperModel() }
+
+// Task is the sporadic DAG task τ = <G, T, D>.
+type Task = rta.Task
+
+// Scenario identifies which case of Theorem 1 produced a bound.
+type Scenario = rta.Scenario
+
+// Theorem 1 scenarios.
+const (
+	// Scenario1: vOff off the critical path (Eq. 2).
+	Scenario1 = rta.Scenario1
+	// Scenario21: vOff on the critical path, COff ≥ Rhom(GPar) (Eq. 3).
+	Scenario21 = rta.Scenario21
+	// Scenario22: vOff on the critical path, COff ≤ Rhom(GPar) (Eq. 4).
+	Scenario22 = rta.Scenario22
+)
+
+// Analysis bundles Rhom, the naive (unsafe) bound, and Rhet for one task.
+type Analysis = rta.Analysis
+
+// Rhom computes the homogeneous response-time bound of Eq. 1:
+// len(G) + (vol(G) − len(G))/m.
+func Rhom(g *Graph, m int) float64 { return rta.Rhom(g, m) }
+
+// Analyze transforms the task (Algorithm 1) and computes every bound:
+// Rhom(τ), the unsafe naive reduction, and Rhet(τ') with its scenario.
+func Analyze(g *Graph, m int) (*Analysis, error) { return rta.Analyze(g, m) }
+
+// Transformation is the result of Algorithm 1 (τ ⇒ τ').
+type Transformation = transform.Result
+
+// Transform runs Algorithm 1: it inserts the synchronization node vsync
+// before vOff and the parallel sub-DAG GPar, guaranteeing they start
+// together. The input must be transitively reduced (see Reduce).
+func Transform(g *Graph) (*Transformation, error) { return transform.Transform(g) }
+
+// CheckTransform verifies the structural guarantees of a transformation
+// (precedence preservation, GPar gating, volume conservation).
+func CheckTransform(t *Transformation) error { return transform.Check(t) }
+
+// Platform describes the execution platform for simulation and the exact
+// oracle: Cores host cores plus Devices accelerators.
+type Platform = sched.Platform
+
+// HeteroPlatform returns the paper's platform: m host cores + 1 device.
+func HeteroPlatform(m int) Platform { return sched.Hetero(m) }
+
+// HomogeneousPlatform returns an m-core host-only platform.
+func HomogeneousPlatform(m int) Platform { return sched.Homogeneous(m) }
+
+// Policy selects among ready nodes during simulation.
+type Policy = sched.Policy
+
+// BreadthFirst returns the GOMP-like FIFO dispatch policy used by the
+// paper's Figure 6 simulations.
+func BreadthFirst() Policy { return sched.BreadthFirst() }
+
+// SimResult is a simulated schedule (makespan, spans, Gantt rendering).
+type SimResult = sched.Result
+
+// Simulate executes one task instance under a work-conserving policy.
+func Simulate(g *Graph, p Platform, pol Policy) (*SimResult, error) {
+	return sched.Simulate(g, p, pol)
+}
+
+// ExactResult is the outcome of the minimum-makespan oracle.
+type ExactResult = exact.Result
+
+// ExactOptions budget the exact search.
+type ExactOptions = exact.Options
+
+// MinMakespan computes the minimum makespan of g on p (the quantity the
+// paper obtains from CPLEX), proving optimality when the budget allows.
+func MinMakespan(g *Graph, p Platform, opts ExactOptions) (*ExactResult, error) {
+	return exact.MinMakespan(g, p, opts)
+}
+
+// GenParams are the random task generator parameters of Section 5.1.
+type GenParams = taskgen.Params
+
+// Generator produces random DAG tasks.
+type Generator = taskgen.Generator
+
+// SmallTasks returns the paper's small-task parameters (npar=6, maxdepth=3)
+// with the given node range.
+func SmallTasks(nMin, nMax int) GenParams { return taskgen.Small(nMin, nMax) }
+
+// LargeTasks returns the paper's large-task parameters (npar=8, maxdepth=5).
+func LargeTasks(nMin, nMax int) GenParams { return taskgen.Large(nMin, nMax) }
+
+// NewGenerator returns a seeded task generator.
+func NewGenerator(p GenParams, seed int64) (*Generator, error) { return taskgen.New(p, seed) }
+
+// SetOffload marks node id as vOff with a WCET equal to frac of the
+// resulting volume, returning the realized fraction.
+func SetOffload(g *Graph, id int, frac float64) float64 { return taskgen.SetOffload(g, id, frac) }

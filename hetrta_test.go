@@ -1,0 +1,108 @@
+package hetrta_test
+
+import (
+	"math"
+	"testing"
+
+	hetrta "repro"
+)
+
+// buildFig1 constructs the paper's running example through the public API.
+func buildFig1(t testing.TB) *hetrta.Graph {
+	t.Helper()
+	g := hetrta.NewGraph()
+	v1 := g.AddNode("v1", 2, hetrta.Host)
+	v2 := g.AddNode("v2", 4, hetrta.Host)
+	v3 := g.AddNode("v3", 5, hetrta.Host)
+	v4 := g.AddNode("v4", 2, hetrta.Host)
+	v5 := g.AddNode("v5", 1, hetrta.Host)
+	vOff := g.AddNode("vOff", 4, hetrta.Offload)
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v3)
+	g.MustAddEdge(v1, v4)
+	g.MustAddEdge(v2, v5)
+	g.MustAddEdge(v3, v5)
+	g.MustAddEdge(v4, vOff)
+	g.NormalizeSourceSink()
+	return g
+}
+
+func TestPublicAnalyzePipeline(t *testing.T) {
+	g := buildFig1(t)
+	if err := g.Validate(hetrta.PaperModel()); err != nil {
+		t.Fatal(err)
+	}
+	a, err := hetrta.Analyze(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.Rhom-13) > 1e-9 || math.Abs(a.Het.R-12) > 1e-9 {
+		t.Fatalf("Rhom=%v Rhet=%v, want 13/12", a.Rhom, a.Het.R)
+	}
+	if a.Het.Scenario != hetrta.Scenario1 {
+		t.Fatalf("scenario = %v, want Scenario1", a.Het.Scenario)
+	}
+	if err := hetrta.CheckTransform(a.Transform); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicSimulateAndExact(t *testing.T) {
+	g := buildFig1(t)
+	sim, err := hetrta.Simulate(g, hetrta.HeteroPlatform(2), hetrta.BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sim.Makespan != 12 {
+		t.Fatalf("sim makespan = %d, want 12", sim.Makespan)
+	}
+	opt, err := hetrta.MinMakespan(g, hetrta.HeteroPlatform(2), hetrta.ExactOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Makespan != 9 {
+		t.Fatalf("optimal makespan = %d, want 9", opt.Makespan)
+	}
+	if float64(sim.Makespan) > hetrta.Rhom(g, 2) {
+		t.Fatal("simulation exceeded Rhom")
+	}
+}
+
+func TestPublicGeneratorRoundTrip(t *testing.T) {
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(5, 30), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	frac := hetrta.SetOffload(g, g.NumNodes()/2, 0.25)
+	if frac <= 0 || frac >= 1 {
+		t.Fatalf("realized fraction %v", frac)
+	}
+	a, err := hetrta.Analyze(g, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Het.R <= 0 {
+		t.Fatal("degenerate Rhet")
+	}
+	if _, err := hetrta.NewGenerator(hetrta.LargeTasks(0, 0), 1); err == nil {
+		t.Fatal("accepted invalid params")
+	}
+}
+
+func TestPublicTaskSchedulability(t *testing.T) {
+	tk := hetrta.Task{G: buildFig1(t), Period: 20, Deadline: 12}
+	ok, a, err := tk.SchedulableHet(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Fatalf("deadline 12 should be schedulable under Rhet=%v", a.Het.R)
+	}
+	if okHom, _ := tk.SchedulableHom(2); okHom {
+		t.Fatal("deadline 12 must NOT be schedulable under Rhom=13")
+	}
+}

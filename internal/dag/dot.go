@@ -1,0 +1,45 @@
+package dag
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// WriteDOT emits the graph in Graphviz DOT format. Offload nodes are drawn
+// as ellipses with a double border, Sync nodes as red squares (matching the
+// paper's Figure 3(b) convention), and host nodes as plain circles. Each
+// label shows the node name and WCET in parentheses, as in Figure 1(a).
+func (g *Graph) WriteDOT(w io.Writer, title string) error {
+	var b strings.Builder
+	fmt.Fprintf(&b, "digraph %q {\n", title)
+	b.WriteString("  rankdir=TB;\n")
+	for id := range g.nodes {
+		n := &g.nodes[id]
+		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s (%d)", g.Name(id), n.WCET))
+		switch n.Kind {
+		case Offload:
+			attrs += ", shape=ellipse, peripheries=2, style=filled, fillcolor=lightblue"
+		case Sync:
+			attrs += ", shape=square, style=filled, fillcolor=red, fontcolor=white"
+		default:
+			attrs += ", shape=circle"
+		}
+		fmt.Fprintf(&b, "  n%d [%s];\n", id, attrs)
+	}
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			fmt.Fprintf(&b, "  n%d -> n%d;\n", u, v)
+		}
+	}
+	b.WriteString("}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// DOT returns the DOT encoding as a string.
+func (g *Graph) DOT(title string) string {
+	var sb strings.Builder
+	_ = g.WriteDOT(&sb, title) // strings.Builder cannot fail
+	return sb.String()
+}

@@ -1,0 +1,325 @@
+// Package dag implements the directed-acyclic-graph task model of
+// Serrano & Quiñones, "Response-Time Analysis of DAG Tasks Supporting
+// Heterogeneous Computing" (DAC 2018), Section 2.
+//
+// A parallel real-time task is τ = <G, T, D>, where G = (V, E) models the
+// parallel execution of the task. Nodes represent sequential jobs with a
+// worst-case execution time (WCET); edges represent precedence constraints.
+// Exactly one node may be marked as the offloaded node vOff, which executes
+// on the accelerator device instead of a host core. The transformation of
+// Algorithm 1 additionally introduces zero-WCET synchronization nodes.
+//
+// Graphs in this package use dense integer node IDs (0..NumNodes-1) and keep
+// successor/predecessor adjacency lists sorted, so all traversals are
+// deterministic.
+package dag
+
+import (
+	"fmt"
+	"sort"
+)
+
+// NodeKind distinguishes where a node executes and why it exists.
+type NodeKind uint8
+
+const (
+	// Host marks a sequential job executed on one of the m host cores.
+	Host NodeKind = iota
+	// Offload marks the node vOff executed on the accelerator device.
+	Offload
+	// Sync marks a zero-WCET synchronization node inserted by the DAG
+	// transformation (Algorithm 1). It consumes no resources.
+	Sync
+)
+
+// String returns the lower-case name of the kind.
+func (k NodeKind) String() string {
+	switch k {
+	case Host:
+		return "host"
+	case Offload:
+		return "offload"
+	case Sync:
+		return "sync"
+	default:
+		return fmt.Sprintf("NodeKind(%d)", uint8(k))
+	}
+}
+
+// Node is a vertex of the task graph: a sequential job characterized by its
+// worst-case execution time.
+type Node struct {
+	// ID is the dense index of the node within its Graph.
+	ID int
+	// Name is an optional human-readable label (e.g. "v3").
+	Name string
+	// WCET is the worst-case execution time C_i, a non-negative integer.
+	// Only Sync nodes may have WCET zero in paper-conformant graphs.
+	WCET int64
+	// Kind states on which resource class the node executes.
+	Kind NodeKind
+}
+
+// Graph is a directed graph intended to be acyclic. It is the G = (V, E) of
+// the paper's system model. The zero value is an empty graph ready for use.
+type Graph struct {
+	nodes []Node
+	succs [][]int
+	preds [][]int
+	// edgeCount caches the number of directed edges.
+	edgeCount int
+}
+
+// New returns an empty graph.
+func New() *Graph { return &Graph{} }
+
+// NumNodes returns |V|.
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// NumEdges returns |E|.
+func (g *Graph) NumEdges() int { return g.edgeCount }
+
+// Node returns a copy of the node with the given ID. It panics if id is out
+// of range, mirroring slice indexing semantics.
+func (g *Graph) Node(id int) Node { return g.nodes[id] }
+
+// Nodes returns a copy of the node slice in ID order.
+func (g *Graph) Nodes() []Node {
+	out := make([]Node, len(g.nodes))
+	copy(out, g.nodes)
+	return out
+}
+
+// WCET returns the worst-case execution time of node id.
+func (g *Graph) WCET(id int) int64 { return g.nodes[id].WCET }
+
+// Kind returns the kind of node id.
+func (g *Graph) Kind(id int) NodeKind { return g.nodes[id].Kind }
+
+// Name returns the name of node id, synthesizing "v<id+1>" when unnamed so
+// printed output matches the paper's v1..vn convention.
+func (g *Graph) Name(id int) string {
+	if n := g.nodes[id].Name; n != "" {
+		return n
+	}
+	return fmt.Sprintf("v%d", id+1)
+}
+
+// SetWCET updates the WCET of node id.
+func (g *Graph) SetWCET(id int, wcet int64) { g.nodes[id].WCET = wcet }
+
+// SetKind updates the kind of node id.
+func (g *Graph) SetKind(id int, kind NodeKind) { g.nodes[id].Kind = kind }
+
+// SetName updates the name of node id.
+func (g *Graph) SetName(id int, name string) { g.nodes[id].Name = name }
+
+// AddNode appends a node and returns its ID.
+func (g *Graph) AddNode(name string, wcet int64, kind NodeKind) int {
+	id := len(g.nodes)
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, WCET: wcet, Kind: kind})
+	g.succs = append(g.succs, nil)
+	g.preds = append(g.preds, nil)
+	return id
+}
+
+// AddEdge inserts the precedence constraint (u, v): u must complete before v
+// may start. Self-loops and out-of-range IDs are rejected; duplicate edges
+// are ignored. AddEdge does not check acyclicity — use Validate or
+// IsAcyclic after construction.
+func (g *Graph) AddEdge(u, v int) error {
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		return fmt.Errorf("dag: edge (%d,%d) out of range [0,%d)", u, v, len(g.nodes))
+	}
+	if u == v {
+		return fmt.Errorf("dag: self-loop on node %d", u)
+	}
+	if g.HasEdge(u, v) {
+		return nil
+	}
+	g.succs[u] = insertSorted(g.succs[u], v)
+	g.preds[v] = insertSorted(g.preds[v], u)
+	g.edgeCount++
+	return nil
+}
+
+// MustAddEdge is AddEdge that panics on error; intended for hand-built
+// graphs in tests and examples where the IDs are known constants.
+func (g *Graph) MustAddEdge(u, v int) {
+	if err := g.AddEdge(u, v); err != nil {
+		panic(err)
+	}
+}
+
+// RemoveEdge deletes the edge (u, v) if present and reports whether it was.
+func (g *Graph) RemoveEdge(u, v int) bool {
+	if u < 0 || u >= len(g.nodes) || v < 0 || v >= len(g.nodes) {
+		return false
+	}
+	s, ok := removeSorted(g.succs[u], v)
+	if !ok {
+		return false
+	}
+	g.succs[u] = s
+	g.preds[v], _ = removeSorted(g.preds[v], u)
+	g.edgeCount--
+	return true
+}
+
+// HasEdge reports whether the edge (u, v) exists.
+func (g *Graph) HasEdge(u, v int) bool {
+	if u < 0 || u >= len(g.nodes) {
+		return false
+	}
+	return containsSorted(g.succs[u], v)
+}
+
+// Succs returns the direct successors of node id in ascending ID order.
+// The returned slice must not be modified.
+func (g *Graph) Succs(id int) []int { return g.succs[id] }
+
+// Preds returns the direct predecessors of node id in ascending ID order.
+// The returned slice must not be modified.
+func (g *Graph) Preds(id int) []int { return g.preds[id] }
+
+// OutDegree returns the number of direct successors of id.
+func (g *Graph) OutDegree(id int) int { return len(g.succs[id]) }
+
+// InDegree returns the number of direct predecessors of id.
+func (g *Graph) InDegree(id int) int { return len(g.preds[id]) }
+
+// Edges returns every directed edge as a (u, v) pair, ordered by u then v.
+func (g *Graph) Edges() [][2]int {
+	out := make([][2]int, 0, g.edgeCount)
+	for u := range g.succs {
+		for _, v := range g.succs[u] {
+			out = append(out, [2]int{u, v})
+		}
+	}
+	return out
+}
+
+// Sources returns all nodes with no incoming edges, in ID order.
+func (g *Graph) Sources() []int {
+	var out []int
+	for id := range g.nodes {
+		if len(g.preds[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Sinks returns all nodes with no outgoing edges, in ID order.
+func (g *Graph) Sinks() []int {
+	var out []int
+	for id := range g.nodes {
+		if len(g.succs[id]) == 0 {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// OffloadNode returns the ID of the unique Offload node, or ok=false when
+// the graph is fully homogeneous. If several nodes are marked Offload (which
+// Validate rejects) the lowest ID is returned.
+func (g *Graph) OffloadNode() (id int, ok bool) {
+	for i := range g.nodes {
+		if g.nodes[i].Kind == Offload {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+// OffloadNodes returns the IDs of all Offload nodes in ID order. The paper's
+// model has exactly one; the multi-offload extension uses several.
+func (g *Graph) OffloadNodes() []int {
+	var out []int
+	for i := range g.nodes {
+		if g.nodes[i].Kind == Offload {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// Clone returns a deep copy of the graph.
+func (g *Graph) Clone() *Graph {
+	c := &Graph{
+		nodes:     make([]Node, len(g.nodes)),
+		succs:     make([][]int, len(g.succs)),
+		preds:     make([][]int, len(g.preds)),
+		edgeCount: g.edgeCount,
+	}
+	copy(c.nodes, g.nodes)
+	for i := range g.succs {
+		if len(g.succs[i]) > 0 {
+			c.succs[i] = append([]int(nil), g.succs[i]...)
+		}
+		if len(g.preds[i]) > 0 {
+			c.preds[i] = append([]int(nil), g.preds[i]...)
+		}
+	}
+	return c
+}
+
+// Equal reports whether g and h have identical node sequences and edge sets.
+func (g *Graph) Equal(h *Graph) bool {
+	if g.NumNodes() != h.NumNodes() || g.edgeCount != h.edgeCount {
+		return false
+	}
+	for i := range g.nodes {
+		if g.nodes[i] != h.nodes[i] {
+			return false
+		}
+		if !equalInts(g.succs[i], h.succs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// String returns a compact single-line description, e.g.
+// "dag{n=6 e=7 vol=18 len=8}". It never fails, even on cyclic graphs.
+func (g *Graph) String() string {
+	if !g.IsAcyclic() {
+		return fmt.Sprintf("dag{n=%d e=%d CYCLIC}", g.NumNodes(), g.NumEdges())
+	}
+	return fmt.Sprintf("dag{n=%d e=%d vol=%d len=%d}",
+		g.NumNodes(), g.NumEdges(), g.Volume(), g.CriticalPathLength())
+}
+
+func insertSorted(s []int, v int) []int {
+	i := sort.SearchInts(s, v)
+	s = append(s, 0)
+	copy(s[i+1:], s[i:])
+	s[i] = v
+	return s
+}
+
+func removeSorted(s []int, v int) ([]int, bool) {
+	i := sort.SearchInts(s, v)
+	if i >= len(s) || s[i] != v {
+		return s, false
+	}
+	return append(s[:i], s[i+1:]...), true
+}
+
+func containsSorted(s []int, v int) bool {
+	i := sort.SearchInts(s, v)
+	return i < len(s) && s[i] == v
+}
+
+func equalInts(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

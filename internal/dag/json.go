@@ -1,0 +1,72 @@
+package dag
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interchange format. The schema is deliberately simple so task graphs
+// can be produced by external tools (e.g. an OpenMP compiler pass as in
+// Vargas et al., ASP-DAC 2016) and fed to cmd/dagrta:
+//
+//	{
+//	  "nodes": [{"name": "v1", "wcet": 3, "kind": "host"}, ...],
+//	  "edges": [[0, 1], [0, 2], ...]
+//	}
+
+type jsonNode struct {
+	Name string `json:"name,omitempty"`
+	WCET int64  `json:"wcet"`
+	Kind string `json:"kind,omitempty"`
+}
+
+type jsonGraph struct {
+	Nodes []jsonNode `json:"nodes"`
+	Edges [][2]int   `json:"edges"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (g *Graph) MarshalJSON() ([]byte, error) {
+	jg := jsonGraph{
+		Nodes: make([]jsonNode, g.NumNodes()),
+		Edges: g.Edges(),
+	}
+	for i := range g.nodes {
+		jg.Nodes[i] = jsonNode{
+			Name: g.nodes[i].Name,
+			WCET: g.nodes[i].WCET,
+			Kind: g.nodes[i].Kind.String(),
+		}
+	}
+	return json.Marshal(jg)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (g *Graph) UnmarshalJSON(data []byte) error {
+	var jg jsonGraph
+	if err := json.Unmarshal(data, &jg); err != nil {
+		return fmt.Errorf("dag: decoding graph: %w", err)
+	}
+	tmp := New()
+	for i, n := range jg.Nodes {
+		var kind NodeKind
+		switch n.Kind {
+		case "", "host":
+			kind = Host
+		case "offload":
+			kind = Offload
+		case "sync":
+			kind = Sync
+		default:
+			return fmt.Errorf("dag: node %d: unknown kind %q", i, n.Kind)
+		}
+		tmp.AddNode(n.Name, n.WCET, kind)
+	}
+	for _, e := range jg.Edges {
+		if err := tmp.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	*g = *tmp
+	return nil
+}

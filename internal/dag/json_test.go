@@ -1,0 +1,87 @@
+package dag
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	g, _ := fig1Normalized(t)
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatalf("Marshal: %v", err)
+	}
+	var h Graph
+	if err := json.Unmarshal(data, &h); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !g.Equal(&h) {
+		t.Fatalf("round trip changed graph:\n%s\nvs\n%s", g, &h)
+	}
+}
+
+func TestJSONDecodeExternalFormat(t *testing.T) {
+	src := `{
+	  "nodes": [
+	    {"name": "start", "wcet": 1},
+	    {"name": "kernel", "wcet": 10, "kind": "offload"},
+	    {"name": "end", "wcet": 2, "kind": "host"}
+	  ],
+	  "edges": [[0,1],[1,2]]
+	}`
+	var g Graph
+	if err := json.Unmarshal([]byte(src), &g); err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if g.NumNodes() != 3 || g.NumEdges() != 2 {
+		t.Fatalf("decoded n=%d e=%d, want 3,2", g.NumNodes(), g.NumEdges())
+	}
+	if g.Kind(0) != Host {
+		t.Error("omitted kind must default to host")
+	}
+	if g.Kind(1) != Offload {
+		t.Error("kernel kind != offload")
+	}
+	if g.WCET(1) != 10 {
+		t.Errorf("kernel wcet = %d, want 10", g.WCET(1))
+	}
+}
+
+func TestJSONDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+	}{
+		{"bad kind", `{"nodes":[{"wcet":1,"kind":"gpu"}],"edges":[]}`},
+		{"edge out of range", `{"nodes":[{"wcet":1}],"edges":[[0,5]]}`},
+		{"self loop", `{"nodes":[{"wcet":1}],"edges":[[0,0]]}`},
+		{"not json", `{{{`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var g Graph
+			if err := json.Unmarshal([]byte(tc.src), &g); err == nil {
+				t.Fatalf("Unmarshal(%s) succeeded, want error", tc.src)
+			}
+		})
+	}
+}
+
+func TestDOTOutput(t *testing.T) {
+	g, _ := fig1(t)
+	g.AddNode("sync", 0, Sync)
+	dot := g.DOT("fig1")
+	for _, want := range []string{
+		"digraph \"fig1\"",
+		"n0 -> n1;",
+		"peripheries=2",      // offload style
+		"shape=square",       // sync style
+		"label=\"v1 (2)\"",   // name + WCET
+		"label=\"vOff (4)\"", // offload label
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, dot)
+		}
+	}
+}

@@ -1,0 +1,151 @@
+package dag
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// quickValue adapts randomDAG for testing/quick: values generate themselves
+// from the quick-supplied rand source.
+type quickValue struct{ g *Graph }
+
+// Generate implements quick.Generator.
+func (quickValue) Generate(r *rand.Rand, size int) reflect.Value {
+	n := 2 + r.Intn(maxInt(size, 2))
+	return reflect.ValueOf(quickValue{g: randomDAG(r, n, 0.2+0.4*r.Float64())})
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func TestQuickRandomDAGsAreAcyclic(t *testing.T) {
+	f := func(v quickValue) bool { return v.g.IsAcyclic() }
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickVolumeEqualsNodeSum(t *testing.T) {
+	f := func(v quickValue) bool {
+		var sum int64
+		for _, n := range v.g.Nodes() {
+			sum += n.WCET
+		}
+		return v.g.Volume() == sum
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCriticalPathLenMatchesPath(t *testing.T) {
+	f := func(v quickValue) bool {
+		path := v.g.CriticalPath()
+		var sum int64
+		for _, id := range path {
+			sum += v.g.WCET(id)
+		}
+		if sum != v.g.CriticalPathLength() {
+			return false
+		}
+		// Path must be connected source-to-sink.
+		for i := 0; i+1 < len(path); i++ {
+			if !v.g.HasEdge(path[i], path[i+1]) {
+				return false
+			}
+		}
+		return len(path) == 0 || (v.g.InDegree(path[0]) == 0 && v.g.OutDegree(path[len(path)-1]) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickLenAtMostVolume(t *testing.T) {
+	f := func(v quickValue) bool {
+		return v.g.CriticalPathLength() <= v.g.Volume()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickCloneEqual(t *testing.T) {
+	f := func(v quickValue) bool { return v.g.Equal(v.g.Clone()) }
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickAncestorDescendantDuality(t *testing.T) {
+	f := func(v quickValue) bool {
+		g := v.g
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, w := range g.Descendants(u).Sorted() {
+				if !g.Ancestors(w).Contains(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickParallelSymmetric(t *testing.T) {
+	f := func(v quickValue) bool {
+		g := v.g
+		for u := 0; u < g.NumNodes(); u++ {
+			for _, w := range g.ParallelNodes(u).Sorted() {
+				if !g.ParallelNodes(w).Contains(u) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickInducedSubgraphEdges(t *testing.T) {
+	f := func(v quickValue) bool {
+		g := v.g
+		// keep even IDs
+		keep := make(NodeSet)
+		for i := 0; i < g.NumNodes(); i += 2 {
+			keep.Add(i)
+		}
+		sub, newToOld := g.InducedSubgraph(keep)
+		if sub.NumNodes() != keep.Len() {
+			return false
+		}
+		// Every sub edge maps to an original edge, and vice versa.
+		count := 0
+		for _, e := range sub.Edges() {
+			if !g.HasEdge(newToOld[e[0]], newToOld[e[1]]) {
+				return false
+			}
+			count++
+		}
+		want := 0
+		for _, e := range g.Edges() {
+			if keep.Contains(e[0]) && keep.Contains(e[1]) {
+				want++
+			}
+		}
+		return count == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,174 @@
+package dag
+
+// This file computes the two DAG properties the analysis is built on
+// (Section 2 of the paper):
+//
+//	vol(G) = Σ_{v∈V} C_v   — the volume: WCET of the task executed entirely
+//	                         sequentially.
+//	len(G)                 — the length of the critical path: the minimum
+//	                         time needed on infinitely many cores.
+//
+// plus the longest-path machinery needed to decide whether a given node
+// (vOff) belongs to a critical path, which selects between the scenarios of
+// Theorem 1.
+
+// Volume returns vol(G): the sum of all node WCETs.
+func (g *Graph) Volume() int64 {
+	var v int64
+	for i := range g.nodes {
+		v += g.nodes[i].WCET
+	}
+	return v
+}
+
+// TopoOrder returns a topological order of the nodes (Kahn's algorithm,
+// smallest-ID-first for determinism) and ok=true, or nil and ok=false when
+// the graph contains a cycle.
+func (g *Graph) TopoOrder() (order []int, ok bool) {
+	n := g.NumNodes()
+	indeg := make([]int, n)
+	for id := range g.nodes {
+		indeg[id] = len(g.preds[id])
+	}
+	// Min-heap behaviour via a sorted frontier would be O(n log n); since
+	// successor lists are sorted and we scan IDs ascending, a simple queue
+	// seeded in ID order keeps output deterministic.
+	queue := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			queue = append(queue, id)
+		}
+	}
+	order = make([]int, 0, n)
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				queue = append(queue, v)
+			}
+		}
+	}
+	if len(order) != n {
+		return nil, false
+	}
+	return order, true
+}
+
+// IsAcyclic reports whether the graph has no directed cycles.
+func (g *Graph) IsAcyclic() bool {
+	_, ok := g.TopoOrder()
+	return ok
+}
+
+// LongestToEnd returns, for every node i, the length of the longest path
+// that starts at i (inclusive of C_i), i.e. the paper's notion of remaining
+// critical path. It panics on cyclic graphs.
+func (g *Graph) LongestToEnd() []int64 {
+	order, ok := g.TopoOrder()
+	if !ok {
+		panic("dag: LongestToEnd on cyclic graph")
+	}
+	out := make([]int64, g.NumNodes())
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		var best int64
+		for _, v := range g.succs[u] {
+			if out[v] > best {
+				best = out[v]
+			}
+		}
+		out[u] = best + g.nodes[u].WCET
+	}
+	return out
+}
+
+// LongestFromStart returns, for every node i, the length of the longest path
+// that ends at i (inclusive of C_i). It panics on cyclic graphs.
+func (g *Graph) LongestFromStart() []int64 {
+	order, ok := g.TopoOrder()
+	if !ok {
+		panic("dag: LongestFromStart on cyclic graph")
+	}
+	out := make([]int64, g.NumNodes())
+	for _, u := range order {
+		var best int64
+		for _, p := range g.preds[u] {
+			if out[p] > best {
+				best = out[p]
+			}
+		}
+		out[u] = best + g.nodes[u].WCET
+	}
+	return out
+}
+
+// CriticalPathLength returns len(G): the maximum, over all paths, of the sum
+// of node WCETs along the path. An empty graph has length 0.
+func (g *Graph) CriticalPathLength() int64 {
+	if g.NumNodes() == 0 {
+		return 0
+	}
+	toEnd := g.LongestToEnd()
+	var best int64
+	for _, l := range toEnd {
+		if l > best {
+			best = l
+		}
+	}
+	return best
+}
+
+// CriticalPath returns one longest path as a node-ID sequence from a source
+// to a sink. Ties are broken toward smaller IDs, so the result is
+// deterministic. Returns nil for an empty graph.
+func (g *Graph) CriticalPath() []int {
+	if g.NumNodes() == 0 {
+		return nil
+	}
+	toEnd := g.LongestToEnd()
+	cur, best := -1, int64(-1)
+	for id := 0; id < g.NumNodes(); id++ {
+		if len(g.preds[id]) == 0 && toEnd[id] > best {
+			cur, best = id, toEnd[id]
+		}
+	}
+	if cur < 0 {
+		// No source means the graph is cyclic; LongestToEnd would have
+		// panicked already, but guard anyway.
+		return nil
+	}
+	path := []int{cur}
+	for len(g.succs[cur]) > 0 {
+		next, nbest := -1, int64(-1)
+		for _, v := range g.succs[cur] {
+			if toEnd[v] > nbest {
+				next, nbest = v, toEnd[v]
+			}
+		}
+		cur = next
+		path = append(path, cur)
+	}
+	return path
+}
+
+// LongestPathThrough returns, for every node i, the length of the longest
+// source-to-sink path passing through i.
+func (g *Graph) LongestPathThrough() []int64 {
+	toEnd := g.LongestToEnd()
+	fromStart := g.LongestFromStart()
+	out := make([]int64, g.NumNodes())
+	for i := range out {
+		out[i] = fromStart[i] + toEnd[i] - g.nodes[i].WCET
+	}
+	return out
+}
+
+// OnCriticalPath reports whether node id lies on at least one critical path,
+// i.e. whether the longest source-to-sink path through id has length len(G).
+// This is the test selecting Scenario 1 versus Scenarios 2.x in Theorem 1.
+func (g *Graph) OnCriticalPath(id int) bool {
+	return g.LongestPathThrough()[id] == g.CriticalPathLength()
+}

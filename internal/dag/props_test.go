@@ -1,0 +1,169 @@
+package dag
+
+import "testing"
+
+func TestVolumeAndCriticalPathFig1(t *testing.T) {
+	g, _ := fig1(t)
+	// Section 3.2: vol(G) = 18, len(G) = 8 with critical path {v1,v3,v5}.
+	if got := g.Volume(); got != 18 {
+		t.Errorf("Volume = %d, want 18", got)
+	}
+	if got := g.CriticalPathLength(); got != 8 {
+		t.Errorf("CriticalPathLength = %d, want 8", got)
+	}
+	path := g.CriticalPath()
+	want := []int{0, 2, 4} // v1, v3, v5
+	if len(path) != len(want) {
+		t.Fatalf("CriticalPath = %v, want %v", path, want)
+	}
+	for i := range want {
+		if path[i] != want[i] {
+			t.Fatalf("CriticalPath = %v, want %v", path, want)
+		}
+	}
+}
+
+func TestNormalizationPreservesProps(t *testing.T) {
+	g, _ := fig1Normalized(t)
+	if got := g.Volume(); got != 18 {
+		t.Errorf("Volume after normalize = %d, want 18", got)
+	}
+	if got := g.CriticalPathLength(); got != 8 {
+		t.Errorf("CriticalPathLength after normalize = %d, want 8", got)
+	}
+	if err := g.Validate(PaperModel()); err != nil {
+		t.Errorf("Validate(PaperModel) after normalize: %v", err)
+	}
+}
+
+func TestTopoOrder(t *testing.T) {
+	g, _ := fig1(t)
+	order, ok := g.TopoOrder()
+	if !ok {
+		t.Fatal("TopoOrder reported cycle on acyclic graph")
+	}
+	pos := make(map[int]int)
+	for i, id := range order {
+		pos[id] = i
+	}
+	if len(order) != g.NumNodes() {
+		t.Fatalf("TopoOrder covers %d of %d nodes", len(order), g.NumNodes())
+	}
+	for _, e := range g.Edges() {
+		if pos[e[0]] >= pos[e[1]] {
+			t.Errorf("edge %v violates topological order %v", e, order)
+		}
+	}
+}
+
+func TestTopoOrderCycle(t *testing.T) {
+	g := New()
+	a := g.AddNode("", 1, Host)
+	b := g.AddNode("", 1, Host)
+	c := g.AddNode("", 1, Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(c, a)
+	if _, ok := g.TopoOrder(); ok {
+		t.Fatal("TopoOrder ok on cyclic graph")
+	}
+	if g.IsAcyclic() {
+		t.Fatal("IsAcyclic = true on cyclic graph")
+	}
+}
+
+func TestLongestToEndAndFromStart(t *testing.T) {
+	g, vOff := fig1(t)
+	toEnd := g.LongestToEnd()
+	// v5 (id 4) is a sink with C=1; v3 (id 2) has v5 after it: 5+1=6.
+	if toEnd[4] != 1 {
+		t.Errorf("LongestToEnd[v5] = %d, want 1", toEnd[4])
+	}
+	if toEnd[2] != 6 {
+		t.Errorf("LongestToEnd[v3] = %d, want 6", toEnd[2])
+	}
+	if toEnd[0] != 8 {
+		t.Errorf("LongestToEnd[v1] = %d, want 8", toEnd[0])
+	}
+	fromStart := g.LongestFromStart()
+	if fromStart[0] != 2 {
+		t.Errorf("LongestFromStart[v1] = %d, want 2", fromStart[0])
+	}
+	if fromStart[vOff] != 8 { // v1(2) + v4(2) + vOff(4)
+		t.Errorf("LongestFromStart[vOff] = %d, want 8", fromStart[vOff])
+	}
+	if fromStart[4] != 8 { // v1 + v3 + v5
+		t.Errorf("LongestFromStart[v5] = %d, want 8", fromStart[4])
+	}
+}
+
+func TestLongestPathThroughAndOnCriticalPath(t *testing.T) {
+	g, vOff := fig1(t)
+	through := g.LongestPathThrough()
+	// Longest path through v2 is v1,v2,v5 = 7.
+	if through[1] != 7 {
+		t.Errorf("LongestPathThrough[v2] = %d, want 7", through[1])
+	}
+	// Longest path through vOff is v1,v4,vOff = 8 (ties the critical path).
+	if through[vOff] != 8 {
+		t.Errorf("LongestPathThrough[vOff] = %d, want 8", through[vOff])
+	}
+	if !g.OnCriticalPath(0) || !g.OnCriticalPath(2) || !g.OnCriticalPath(4) {
+		t.Error("critical-path nodes v1,v3,v5 not flagged OnCriticalPath")
+	}
+	if g.OnCriticalPath(1) {
+		t.Error("v2 flagged OnCriticalPath; longest path through it is 7 < 8")
+	}
+	// vOff ties the critical path length in this encoding of Figure 1.
+	if !g.OnCriticalPath(vOff) {
+		t.Error("vOff path v1,v4,vOff has length 8 = len(G); want OnCriticalPath true")
+	}
+}
+
+func TestEmptyGraphProps(t *testing.T) {
+	g := New()
+	if g.Volume() != 0 {
+		t.Error("empty Volume != 0")
+	}
+	if g.CriticalPathLength() != 0 {
+		t.Error("empty CriticalPathLength != 0")
+	}
+	if g.CriticalPath() != nil {
+		t.Error("empty CriticalPath != nil")
+	}
+	if order, ok := g.TopoOrder(); !ok || len(order) != 0 {
+		t.Error("empty TopoOrder wrong")
+	}
+}
+
+func TestSingleNodeProps(t *testing.T) {
+	g := New()
+	g.AddNode("only", 7, Host)
+	if g.Volume() != 7 || g.CriticalPathLength() != 7 {
+		t.Errorf("single node: vol=%d len=%d, want 7,7", g.Volume(), g.CriticalPathLength())
+	}
+	p := g.CriticalPath()
+	if len(p) != 1 || p[0] != 0 {
+		t.Errorf("CriticalPath = %v, want [0]", p)
+	}
+}
+
+func TestCriticalPathDeterministicTieBreak(t *testing.T) {
+	// Diamond with two equal-length branches: path must pick smaller IDs.
+	g := New()
+	s := g.AddNode("s", 1, Host)
+	a := g.AddNode("a", 5, Host)
+	b := g.AddNode("b", 5, Host)
+	e := g.AddNode("e", 1, Host)
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(s, b)
+	g.MustAddEdge(a, e)
+	g.MustAddEdge(b, e)
+	p := g.CriticalPath()
+	want := []int{s, a, e}
+	for i := range want {
+		if p[i] != want[i] {
+			t.Fatalf("CriticalPath = %v, want %v (smallest-ID tie break)", p, want)
+		}
+	}
+}

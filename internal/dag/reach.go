@@ -1,0 +1,133 @@
+package dag
+
+// Reachability helpers. The paper's Algorithm 1 uses Pred(vOff) — the set of
+// nodes from which vOff can be reached — and Succ(vOff) — the set of nodes
+// reachable from vOff. We call these Ancestors and Descendants to avoid
+// confusion with the direct-neighbour accessors Preds/Succs.
+
+// Ancestors returns the set of nodes from which id can be reached via one or
+// more edges (the paper's Pred(v)). id itself is not included.
+func (g *Graph) Ancestors(id int) NodeSet {
+	set := make(NodeSet)
+	stack := append([]int(nil), g.preds[id]...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if set.Contains(u) {
+			continue
+		}
+		set.Add(u)
+		stack = append(stack, g.preds[u]...)
+	}
+	return set
+}
+
+// Descendants returns the set of nodes reachable from id via one or more
+// edges (the paper's Succ(v)). id itself is not included.
+func (g *Graph) Descendants(id int) NodeSet {
+	set := make(NodeSet)
+	stack := append([]int(nil), g.succs[id]...)
+	for len(stack) > 0 {
+		u := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if set.Contains(u) {
+			continue
+		}
+		set.Add(u)
+		stack = append(stack, g.succs[u]...)
+	}
+	return set
+}
+
+// Reaches reports whether v is reachable from u via one or more edges.
+func (g *Graph) Reaches(u, v int) bool {
+	if u == v {
+		return false
+	}
+	seen := make([]bool, g.NumNodes())
+	stack := append([]int(nil), g.succs[u]...)
+	for len(stack) > 0 {
+		w := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if w == v {
+			return true
+		}
+		if seen[w] {
+			continue
+		}
+		seen[w] = true
+		stack = append(stack, g.succs[w]...)
+	}
+	return false
+}
+
+// ParallelNodes returns the set of nodes neither reaching nor reachable from
+// id — the nodes that may execute in parallel with id. id is excluded. This
+// is the vertex set of the paper's GPar when id = vOff.
+func (g *Graph) ParallelNodes(id int) NodeSet {
+	anc := g.Ancestors(id)
+	desc := g.Descendants(id)
+	set := make(NodeSet)
+	for v := 0; v < g.NumNodes(); v++ {
+		if v == id || anc.Contains(v) || desc.Contains(v) {
+			continue
+		}
+		set.Add(v)
+	}
+	return set
+}
+
+// NodeSet is a set of node IDs.
+type NodeSet map[int]struct{}
+
+// NewNodeSet builds a set from the given IDs.
+func NewNodeSet(ids ...int) NodeSet {
+	s := make(NodeSet, len(ids))
+	for _, id := range ids {
+		s.Add(id)
+	}
+	return s
+}
+
+// Add inserts id into the set.
+func (s NodeSet) Add(id int) { s[id] = struct{}{} }
+
+// Remove deletes id from the set.
+func (s NodeSet) Remove(id int) { delete(s, id) }
+
+// Contains reports whether id is in the set.
+func (s NodeSet) Contains(id int) bool {
+	_, ok := s[id]
+	return ok
+}
+
+// Len returns the cardinality of the set.
+func (s NodeSet) Len() int { return len(s) }
+
+// Sorted returns the members in ascending order.
+func (s NodeSet) Sorted() []int {
+	out := make([]int, 0, len(s))
+	for id := range s {
+		out = append(out, id)
+	}
+	// insertion sort: sets are small and this avoids another import.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// Equal reports whether two sets have identical members.
+func (s NodeSet) Equal(t NodeSet) bool {
+	if len(s) != len(t) {
+		return false
+	}
+	for id := range s {
+		if !t.Contains(id) {
+			return false
+		}
+	}
+	return true
+}

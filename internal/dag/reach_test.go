@@ -1,0 +1,94 @@
+package dag
+
+import "testing"
+
+func TestAncestorsDescendants(t *testing.T) {
+	g, vOff := fig1Normalized(t)
+	// Pred(vOff) = {v1, v4} (IDs 0, 3).
+	anc := g.Ancestors(vOff)
+	if !anc.Equal(NewNodeSet(0, 3)) {
+		t.Errorf("Ancestors(vOff) = %v, want {0,3}", anc.Sorted())
+	}
+	// Succ(vOff) = {sink} (ID 6 after normalization).
+	desc := g.Descendants(vOff)
+	if !desc.Equal(NewNodeSet(6)) {
+		t.Errorf("Descendants(vOff) = %v, want {6}", desc.Sorted())
+	}
+	// Source's descendants are everything else.
+	if got := g.Descendants(0); got.Len() != g.NumNodes()-1 {
+		t.Errorf("Descendants(v1).Len = %d, want %d", got.Len(), g.NumNodes()-1)
+	}
+	if got := g.Ancestors(0); got.Len() != 0 {
+		t.Errorf("Ancestors(v1) = %v, want empty", got.Sorted())
+	}
+}
+
+func TestParallelNodes(t *testing.T) {
+	g, vOff := fig1Normalized(t)
+	// Nodes parallel to vOff: v2, v3, v5 (IDs 1, 2, 4). This is the vertex
+	// set of GPar in the paper's running example.
+	par := g.ParallelNodes(vOff)
+	if !par.Equal(NewNodeSet(1, 2, 4)) {
+		t.Errorf("ParallelNodes(vOff) = %v, want {1,2,4}", par.Sorted())
+	}
+}
+
+func TestReaches(t *testing.T) {
+	g, vOff := fig1Normalized(t)
+	if !g.Reaches(0, vOff) {
+		t.Error("Reaches(v1, vOff) = false, want true")
+	}
+	if g.Reaches(vOff, 0) {
+		t.Error("Reaches(vOff, v1) = true, want false")
+	}
+	if g.Reaches(1, 1) {
+		t.Error("Reaches(v, v) must be false (paths have ≥1 edge)")
+	}
+	if g.Reaches(1, 2) {
+		t.Error("Reaches(v2, v3) = true; they are parallel")
+	}
+}
+
+func TestNodeSetOps(t *testing.T) {
+	s := NewNodeSet(3, 1, 2)
+	if s.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", s.Len())
+	}
+	if got := s.Sorted(); got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("Sorted = %v, want [1 2 3]", got)
+	}
+	s.Remove(2)
+	if s.Contains(2) {
+		t.Fatal("Contains(2) after Remove")
+	}
+	if s.Equal(NewNodeSet(1, 3, 5)) {
+		t.Fatal("Equal true for different sets")
+	}
+	if !s.Equal(NewNodeSet(1, 3)) {
+		t.Fatal("Equal false for identical sets")
+	}
+	if s.Equal(NewNodeSet(1)) {
+		t.Fatal("Equal true for different cardinalities")
+	}
+}
+
+func TestAncestorsOnDeepChain(t *testing.T) {
+	g := New()
+	const n = 100
+	ids := make([]int, n)
+	for i := 0; i < n; i++ {
+		ids[i] = g.AddNode("", 1, Host)
+		if i > 0 {
+			g.MustAddEdge(ids[i-1], ids[i])
+		}
+	}
+	if got := g.Ancestors(ids[n-1]).Len(); got != n-1 {
+		t.Errorf("chain Ancestors(last).Len = %d, want %d", got, n-1)
+	}
+	if got := g.Descendants(ids[0]).Len(); got != n-1 {
+		t.Errorf("chain Descendants(first).Len = %d, want %d", got, n-1)
+	}
+	if got := g.ParallelNodes(ids[n/2]).Len(); got != 0 {
+		t.Errorf("chain ParallelNodes = %d, want 0", got)
+	}
+}

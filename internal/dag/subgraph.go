@@ -1,0 +1,39 @@
+package dag
+
+// InducedSubgraph returns the subgraph induced by keep: the kept nodes with
+// every edge of g whose two endpoints are kept. This constructs the paper's
+// GPar = (VPar, EPar) from VPar (Algorithm 1, lines 14–17).
+//
+// Node IDs are re-densified; the second return value maps new IDs back to
+// the originals (newToOld[newID] = oldID), preserving ascending old-ID
+// order so results remain deterministic.
+func (g *Graph) InducedSubgraph(keep NodeSet) (*Graph, []int) {
+	newToOld := keep.Sorted()
+	oldToNew := make(map[int]int, len(newToOld))
+	sub := New()
+	for newID, oldID := range newToOld {
+		n := g.nodes[oldID]
+		sub.AddNode(n.Name, n.WCET, n.Kind)
+		oldToNew[oldID] = newID
+	}
+	for _, oldU := range newToOld {
+		for _, oldV := range g.succs[oldU] {
+			if nv, ok := oldToNew[oldV]; ok {
+				sub.MustAddEdge(oldToNew[oldU], nv)
+			}
+		}
+	}
+	return sub, newToOld
+}
+
+// WithoutNode returns a copy of g with node id removed (and all its edges).
+// Remaining node IDs are re-densified; the returned map gives newID→oldID.
+func (g *Graph) WithoutNode(id int) (*Graph, []int) {
+	keep := make(NodeSet, g.NumNodes()-1)
+	for v := 0; v < g.NumNodes(); v++ {
+		if v != id {
+			keep.Add(v)
+		}
+	}
+	return g.InducedSubgraph(keep)
+}

@@ -1,0 +1,179 @@
+package dag
+
+// Width computes the width of the DAG: the maximum number of pairwise
+// parallel nodes (a maximum antichain of the reachability partial order).
+// The width is the peak parallelism the task can exhibit — on a host with
+// m ≥ Width() cores, no node ever waits for a core under any
+// work-conserving scheduler whose ready set is an antichain (it always is).
+//
+// By Dilworth's theorem the maximum antichain size equals the minimum
+// number of chains covering the order, which by Fulkerson's reduction is
+// n − |maximum matching| in the bipartite graph that connects u (left) to
+// v (right) whenever v is reachable from u. The matching is computed with
+// Hopcroft–Karp.
+func (g *Graph) Width() int {
+	n := g.NumNodes()
+	if n == 0 {
+		return 0
+	}
+	// Transitive closure as adjacency lists (left u → right v when u ≺ v).
+	order, ok := g.TopoOrder()
+	if !ok {
+		return 0
+	}
+	reach := make([]NodeSet, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		reach[u] = make(NodeSet)
+		for _, w := range g.succs[u] {
+			reach[u].Add(w)
+			for x := range reach[w] {
+				reach[u].Add(x)
+			}
+		}
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = reach[u].Sorted()
+	}
+	return n - hopcroftKarp(n, n, adj)
+}
+
+// MaxAntichain returns one maximum antichain (a set of pairwise parallel
+// nodes of maximum cardinality), via the König/Dilworth construction from
+// the minimum vertex cover of the reachability bipartite graph: nodes whose
+// left copy AND right copy are both outside the cover form an antichain of
+// size Width(). Deterministic for a fixed graph.
+func (g *Graph) MaxAntichain() []int {
+	n := g.NumNodes()
+	if n == 0 {
+		return nil
+	}
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil
+	}
+	reach := make([]NodeSet, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		reach[u] = make(NodeSet)
+		for _, w := range g.succs[u] {
+			reach[u].Add(w)
+			for x := range reach[w] {
+				reach[u].Add(x)
+			}
+		}
+	}
+	adj := make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = reach[u].Sorted()
+	}
+	matchL, matchR := hopcroftKarpMatch(n, n, adj)
+
+	// König: alternating BFS/DFS from unmatched left vertices.
+	visL := make([]bool, n)
+	visR := make([]bool, n)
+	var visit func(u int)
+	visit = func(u int) {
+		if visL[u] {
+			return
+		}
+		visL[u] = true
+		for _, v := range adj[u] {
+			if !visR[v] {
+				visR[v] = true
+				if matchR[v] >= 0 {
+					visit(matchR[v])
+				}
+			}
+		}
+	}
+	for u := 0; u < n; u++ {
+		if matchL[u] < 0 {
+			visit(u)
+		}
+	}
+	// Minimum vertex cover: left vertices NOT visited + right visited.
+	// Antichain: nodes outside the cover on both sides.
+	var anti []int
+	for v := 0; v < n; v++ {
+		if visL[v] && !visR[v] {
+			anti = append(anti, v)
+		}
+	}
+	return anti
+}
+
+// hopcroftKarp returns the size of a maximum matching in the bipartite
+// graph with nL left and nR right vertices and left adjacency adj.
+func hopcroftKarp(nL, nR int, adj [][]int) int {
+	m, _ := hopcroftKarpMatch(nL, nR, adj)
+	size := 0
+	for _, v := range m {
+		if v >= 0 {
+			size++
+		}
+	}
+	return size
+}
+
+func hopcroftKarpMatch(nL, nR int, adj [][]int) (matchL, matchR []int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nL)
+	matchR = make([]int, nR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nL)
+	queue := make([]int, 0, nL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for u := 0; u < nL; u++ {
+			if matchL[u] < 0 {
+				dist[u] = 0
+				queue = append(queue, u)
+			} else {
+				dist[u] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, v := range adj[u] {
+				w := matchR[v]
+				if w < 0 {
+					found = true
+				} else if dist[w] == inf {
+					dist[w] = dist[u] + 1
+					queue = append(queue, w)
+				}
+			}
+		}
+		return found
+	}
+	var dfs func(u int) bool
+	dfs = func(u int) bool {
+		for _, v := range adj[u] {
+			w := matchR[v]
+			if w < 0 || (dist[w] == dist[u]+1 && dfs(w)) {
+				matchL[u] = v
+				matchR[v] = u
+				return true
+			}
+		}
+		dist[u] = inf
+		return false
+	}
+	for bfs() {
+		for u := 0; u < nL; u++ {
+			if matchL[u] < 0 {
+				dfs(u)
+			}
+		}
+	}
+	return matchL, matchR
+}

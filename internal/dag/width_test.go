@@ -1,0 +1,147 @@
+package dag
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestWidthChain(t *testing.T) {
+	g := New()
+	prev := g.AddNode("", 1, Host)
+	for i := 0; i < 9; i++ {
+		next := g.AddNode("", 1, Host)
+		g.MustAddEdge(prev, next)
+		prev = next
+	}
+	if w := g.Width(); w != 1 {
+		t.Fatalf("chain width = %d, want 1", w)
+	}
+	if a := g.MaxAntichain(); len(a) != 1 {
+		t.Fatalf("chain antichain = %v, want single node", a)
+	}
+}
+
+func TestWidthIndependent(t *testing.T) {
+	g := New()
+	for i := 0; i < 7; i++ {
+		g.AddNode("", 1, Host)
+	}
+	if w := g.Width(); w != 7 {
+		t.Fatalf("independent width = %d, want 7", w)
+	}
+	if a := g.MaxAntichain(); len(a) != 7 {
+		t.Fatalf("antichain = %v, want all 7", a)
+	}
+}
+
+func TestWidthForkJoin(t *testing.T) {
+	g := New()
+	s := g.AddNode("", 1, Host)
+	e := g.AddNode("", 1, Host)
+	for i := 0; i < 5; i++ {
+		b := g.AddNode("", 1, Host)
+		g.MustAddEdge(s, b)
+		g.MustAddEdge(b, e)
+	}
+	if w := g.Width(); w != 5 {
+		t.Fatalf("fork-join width = %d, want 5", w)
+	}
+}
+
+func TestWidthFig1(t *testing.T) {
+	g, _ := fig1Normalized(t)
+	// Parallel sets: {v2,v3,v4} or {v2,v3,vOff} → width 3.
+	if w := g.Width(); w != 3 {
+		t.Fatalf("fig1 width = %d, want 3", w)
+	}
+}
+
+func TestWidthEmptyAndCyclic(t *testing.T) {
+	if w := New().Width(); w != 0 {
+		t.Fatalf("empty width = %d", w)
+	}
+	g := New()
+	a := g.AddNode("", 1, Host)
+	b := g.AddNode("", 1, Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if w := g.Width(); w != 0 {
+		t.Fatalf("cyclic width = %d, want 0 (undefined)", w)
+	}
+	if g.MaxAntichain() != nil {
+		t.Fatal("cyclic MaxAntichain should be nil")
+	}
+}
+
+// TestMaxAntichainIsAntichainAndMatchesWidth validates the König
+// construction on random DAGs: the returned set is pairwise parallel and
+// has exactly Width() elements; and every simulation-ready set is never
+// larger than the width.
+func TestMaxAntichainIsAntichainAndMatchesWidth(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		g := randomDAG(r, 3+r.Intn(20), 0.15+0.4*r.Float64())
+		w := g.Width()
+		anti := g.MaxAntichain()
+		if len(anti) != w {
+			t.Fatalf("trial %d: antichain size %d ≠ width %d", trial, len(anti), w)
+		}
+		for i := 0; i < len(anti); i++ {
+			for j := i + 1; j < len(anti); j++ {
+				if g.Reaches(anti[i], anti[j]) || g.Reaches(anti[j], anti[i]) {
+					t.Fatalf("trial %d: antichain nodes %d,%d are ordered", trial, anti[i], anti[j])
+				}
+			}
+		}
+		// Sanity: width between 1 and n; width 1 iff total order.
+		if w < 1 || w > g.NumNodes() {
+			t.Fatalf("trial %d: width %d out of range", trial, w)
+		}
+	}
+}
+
+// TestWidthAgainstBruteForce cross-checks the matching-based width with an
+// exponential max-antichain search on tiny graphs.
+func TestWidthAgainstBruteForce(t *testing.T) {
+	r := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 40; trial++ {
+		n := 2 + r.Intn(10)
+		g := randomDAG(r, n, 0.3)
+		want := 0
+		for mask := 1; mask < 1<<n; mask++ {
+			ok := true
+		outer:
+			for i := 0; i < n && ok; i++ {
+				if mask&(1<<i) == 0 {
+					continue
+				}
+				for j := i + 1; j < n; j++ {
+					if mask&(1<<j) == 0 {
+						continue
+					}
+					if g.Reaches(i, j) || g.Reaches(j, i) {
+						ok = false
+						break outer
+					}
+				}
+			}
+			if ok {
+				if c := popcount(mask); c > want {
+					want = c
+				}
+			}
+		}
+		if got := g.Width(); got != want {
+			t.Fatalf("trial %d: width %d, brute force %d", trial, got, want)
+		}
+	}
+}
+
+func popcount(x int) int {
+	c := 0
+	for x != 0 {
+		x &= x - 1
+		c++
+	}
+	return c
+}

@@ -1,0 +1,649 @@
+// Package exact computes the minimum makespan of a heterogeneous DAG task
+// on m host cores plus accelerator devices. It replaces the IBM CPLEX ILP
+// of the paper's Section 5 (which minimizes heterogeneous DAG makespan to
+// quantify the pessimism of Rhom/Rhet in Figure 7).
+//
+// # Why branch-and-bound over schedule-generation orders is exact
+//
+// For machines partitioned into classes (m identical host cores, d identical
+// devices) where every job needs exactly one machine of a fixed class, the
+// serial schedule-generation scheme (SGS) — schedule jobs one at a time in a
+// precedence-feasible order, each at max(ready time, earliest available
+// machine of its class) — reaches an optimal schedule for some order. Proof
+// sketch (DESIGN.md §4.3): take an optimal schedule S*, order jobs by
+// non-decreasing S* start time, and run the SGS in that order. By induction
+// every job starts no later than in S*: its predecessors finish no later
+// (induction), and if all class machines were unavailable at the job's S*
+// start time, the class-mates occupying them would also occupy them in S*,
+// leaving no machine for the job in S* — contradiction. Hence exhaustive
+// search over SGS orders, with admissible lower bounds for pruning, yields
+// the exact optimum.
+//
+// By default the branching additionally applies the Giffler–Thompson
+// active-schedule restriction adapted to identical machine classes: let
+// t* be the minimum earliest completion time (est + C) over all branchable
+// candidates and c* the class achieving it; only candidates of class c*
+// with est < t* are branched. Every active schedule — and for a regular
+// objective like makespan some active schedule is optimal — is still
+// reachable. The restriction is cross-validated against unrestricted
+// search and against the independent ILP oracle in the tests; set
+// Options.Unrestricted to disable it.
+//
+// The search further uses critical-path and per-class workload lower
+// bounds, incumbent seeding from the scheduling-policy portfolio of package
+// sched, interchangeable-job symmetry breaking, and memoized dominance on
+// the set of scheduled jobs. Search effort is budgeted by node expansions;
+// results report whether optimality was proven.
+package exact
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/sched"
+)
+
+// Status reports how trustworthy a Result is.
+type Status int
+
+const (
+	// Optimal means the makespan is proven minimal.
+	Optimal Status = iota
+	// Feasible means the search budget expired: Makespan is achievable,
+	// and LowerBound ≤ optimum ≤ Makespan.
+	Feasible
+)
+
+// String returns "optimal" or "feasible".
+func (s Status) String() string {
+	if s == Optimal {
+		return "optimal"
+	}
+	return "feasible"
+}
+
+// Options tune the search.
+type Options struct {
+	// MaxExpansions caps branch-and-bound node expansions; 0 means the
+	// DefaultMaxExpansions. The cap makes runtime deterministic (no
+	// wall-clock dependence).
+	MaxExpansions int64
+	// MemoLimit caps the number of dominance records kept; 0 means the
+	// default. Lookups continue after the cap, insertions stop.
+	MemoLimit int
+	// Unrestricted disables the Giffler–Thompson active-schedule branching
+	// restriction, enumerating all semi-active SGS orders. Exponentially
+	// slower; intended for cross-validating the restriction in tests.
+	Unrestricted bool
+}
+
+// DefaultMaxExpansions is the node-expansion budget used when
+// Options.MaxExpansions is zero.
+const DefaultMaxExpansions = 500_000
+
+const defaultMemoLimit = 1 << 20
+
+// Result is the outcome of MinMakespan.
+type Result struct {
+	// Makespan is the best (minimum found) completion time.
+	Makespan int64
+	// Status says whether Makespan is proven optimal.
+	Status Status
+	// LowerBound is a proven lower bound on the optimum (equals Makespan
+	// when Status == Optimal).
+	LowerBound int64
+	// Expansions is the number of branch-and-bound nodes expanded.
+	Expansions int64
+	// Spans is a feasible schedule achieving Makespan, indexed by node.
+	Spans []sched.Span
+}
+
+// MinMakespan computes the minimum makespan of g on platform p. Graphs with
+// more than 64 nodes are rejected (the search state uses a 64-bit mask);
+// the paper's ILP comparison is likewise restricted to small tasks.
+func MinMakespan(g *dag.Graph, p sched.Platform, opts Options) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Status: Optimal}, nil
+	}
+	if n > 64 {
+		return nil, fmt.Errorf("exact: %d nodes exceed the 64-node search limit", n)
+	}
+	topo, ok := g.TopoOrder()
+	if !ok {
+		return nil, fmt.Errorf("exact: %w", dag.ErrCyclic)
+	}
+
+	s := &solver{
+		g:            g,
+		p:            p,
+		n:            n,
+		topo:         topo,
+		tail:         g.LongestToEnd(),
+		maxExp:       opts.MaxExpansions,
+		memoLimit:    opts.MemoLimit,
+		unrestricted: opts.Unrestricted,
+	}
+	if s.maxExp == 0 {
+		s.maxExp = DefaultMaxExpansions
+	}
+	if s.memoLimit == 0 {
+		s.memoLimit = defaultMemoLimit
+	}
+	s.isDev = make([]bool, n)
+	for v := 0; v < n; v++ {
+		if p.Devices > 0 && g.Kind(v) == dag.Offload {
+			s.isDev[v] = true
+			s.devWork += g.WCET(v)
+		} else {
+			s.hostWork += g.WCET(v)
+		}
+	}
+	s.succMask = make([]uint64, n)
+	for v := 0; v < n; v++ {
+		for _, w := range g.Succs(v) {
+			s.succMask[v] |= 1 << uint(w)
+		}
+	}
+	// Influence flags for signature clamping: does v's finish time reach a
+	// host (resp. device) node's start through chains of zero-WCET nodes?
+	s.feedsHost = make([]bool, n)
+	s.feedsDev = make([]bool, n)
+	for i := n - 1; i >= 0; i-- {
+		v := topo[i]
+		for _, w := range g.Succs(v) {
+			if g.WCET(w) == 0 {
+				s.feedsHost[v] = s.feedsHost[v] || s.feedsHost[w]
+				s.feedsDev[v] = s.feedsDev[v] || s.feedsDev[w]
+			} else if s.isDev[w] {
+				s.feedsDev[v] = true
+			} else {
+				s.feedsHost[v] = true
+			}
+		}
+	}
+	s.memo = make(map[uint64][][]int64)
+
+	// Root lower bound: critical path and per-class load.
+	rootLB := g.CriticalPathLength()
+	if lb := divCeil(s.hostWork, int64(p.Cores)); lb > rootLB {
+		rootLB = lb
+	}
+	if p.Devices > 0 && s.devWork > 0 {
+		if lb := divCeil(s.devWork, int64(p.Devices)); lb > rootLB {
+			rootLB = lb
+		}
+	}
+
+	// Incumbent from the heuristic portfolio.
+	s.best = math.MaxInt64
+	pols := append(sched.Heuristics(), sched.Random(1), sched.Random(2))
+	for _, pol := range pols {
+		r, err := sched.Simulate(g, p, pol)
+		if err != nil {
+			return nil, err
+		}
+		if r.Makespan < s.best {
+			s.best = r.Makespan
+			s.bestSpans = append([]sched.Span(nil), r.Spans...)
+		}
+	}
+
+	res := &Result{LowerBound: rootLB}
+	if s.best == rootLB {
+		res.Makespan = s.best
+		res.Status = Optimal
+		res.Spans = s.bestSpans
+		return res, nil
+	}
+
+	// Branch and bound.
+	s.dfs(s.rootState())
+
+	res.Makespan = s.best
+	res.Expansions = s.expansions
+	res.Spans = s.bestSpans
+	if s.aborted {
+		res.Status = Feasible
+	} else {
+		res.Status = Optimal
+		res.LowerBound = s.best
+	}
+	return res, nil
+}
+
+func divCeil(a, b int64) int64 { return (a + b - 1) / b }
+
+type solver struct {
+	g        *dag.Graph
+	p        sched.Platform
+	n        int
+	topo     []int
+	tail     []int64
+	isDev    []bool
+	succMask []uint64
+	hostWork int64
+	devWork  int64
+
+	feedsHost []bool
+	feedsDev  []bool
+
+	best      int64
+	bestSpans []sched.Span
+
+	expansions   int64
+	maxExp       int64
+	aborted      bool
+	unrestricted bool
+
+	memo        map[uint64][][]int64
+	memoEntries int
+	memoLimit   int
+}
+
+type state struct {
+	mask      uint64 // scheduled nodes
+	finish    []int64
+	hostAvail []int64 // per host core, absolute availability time
+	devAvail  []int64
+	makespan  int64
+	order     []int        // branched (non-free) nodes in SGS order
+	spans     []sched.Span // only populated during replay
+}
+
+func (s *solver) rootState() *state {
+	st := &state{
+		finish:    make([]int64, s.n),
+		hostAvail: make([]int64, s.p.Cores),
+		devAvail:  make([]int64, s.p.Devices),
+	}
+	s.scheduleFreeNodes(st)
+	return st
+}
+
+func (st *state) clone() *state {
+	c := &state{
+		mask:      st.mask,
+		finish:    append([]int64(nil), st.finish...),
+		hostAvail: append([]int64(nil), st.hostAvail...),
+		devAvail:  append([]int64(nil), st.devAvail...),
+		makespan:  st.makespan,
+		order:     append([]int(nil), st.order...),
+	}
+	if st.spans != nil {
+		c.spans = append([]sched.Span(nil), st.spans...)
+	}
+	return c
+}
+
+func (s *solver) scheduled(st *state, v int) bool { return st.mask&(1<<uint(v)) != 0 }
+
+// ready reports whether all predecessors of v are scheduled.
+func (s *solver) ready(st *state, v int) bool {
+	for _, p := range s.g.Preds(v) {
+		if !s.scheduled(st, p) {
+			return false
+		}
+	}
+	return true
+}
+
+// scheduleFreeNodes places every ready zero-WCET node (sync nodes, dummy
+// sources/sinks) immediately at its predecessors' max finish. These are
+// forced moves: they consume no resource, so delaying them never helps.
+func (s *solver) scheduleFreeNodes(st *state) {
+	for changed := true; changed; {
+		changed = false
+		for v := 0; v < s.n; v++ {
+			if s.scheduled(st, v) || s.g.WCET(v) != 0 || !s.ready(st, v) {
+				continue
+			}
+			var t int64
+			for _, p := range s.g.Preds(v) {
+				if st.finish[p] > t {
+					t = st.finish[p]
+				}
+			}
+			st.mask |= 1 << uint(v)
+			st.finish[v] = t
+			if st.spans != nil {
+				st.spans[v] = sched.Span{Node: v, Start: t, Finish: t, Resource: -1}
+			}
+			if t > st.makespan {
+				st.makespan = t
+			}
+			changed = true
+		}
+	}
+}
+
+// apply schedules node v using the serial SGS rule and returns the
+// successor state (with forced zero-WCET moves applied).
+func (s *solver) apply(st *state, v int) *state {
+	c := st.clone()
+	var ready int64
+	for _, p := range s.g.Preds(v) {
+		if c.finish[p] > ready {
+			ready = c.finish[p]
+		}
+	}
+	avail := c.hostAvail
+	resBase := 0
+	if s.isDev[v] {
+		avail = c.devAvail
+		resBase = s.p.Cores
+	}
+	// Earliest-available machine, lowest index on ties, for determinism.
+	mi := 0
+	for i := 1; i < len(avail); i++ {
+		if avail[i] < avail[mi] {
+			mi = i
+		}
+	}
+	start := ready
+	if avail[mi] > start {
+		start = avail[mi]
+	}
+	fin := start + s.g.WCET(v)
+	avail[mi] = fin
+	c.mask |= 1 << uint(v)
+	c.finish[v] = fin
+	c.order = append(c.order, v)
+	if c.spans != nil {
+		c.spans[v] = sched.Span{Node: v, Start: start, Finish: fin, Resource: resBase + mi}
+	}
+	if fin > c.makespan {
+		c.makespan = fin
+	}
+	s.scheduleFreeNodes(c)
+	return c
+}
+
+// replay re-executes an SGS order with span recording enabled.
+func (s *solver) replay(order []int) []sched.Span {
+	st := &state{
+		finish:    make([]int64, s.n),
+		hostAvail: make([]int64, s.p.Cores),
+		devAvail:  make([]int64, s.p.Devices),
+		spans:     make([]sched.Span, s.n),
+	}
+	s.scheduleFreeNodes(st)
+	for _, v := range order {
+		st = s.apply(st, v)
+	}
+	return st.spans
+}
+
+// estimates computes, for each unscheduled node, a lower bound on its start
+// time given the partial schedule: predecessors' (estimated) finishes and
+// the earliest machine availability of its class.
+func (s *solver) estimates(st *state) []int64 {
+	est := make([]int64, s.n)
+	minHost, minDev := int64(math.MaxInt64), int64(math.MaxInt64)
+	for _, a := range st.hostAvail {
+		if a < minHost {
+			minHost = a
+		}
+	}
+	for _, a := range st.devAvail {
+		if a < minDev {
+			minDev = a
+		}
+	}
+	for _, v := range s.topo {
+		if s.scheduled(st, v) {
+			continue
+		}
+		var e int64
+		if s.g.WCET(v) > 0 {
+			if s.isDev[v] {
+				if s.p.Devices > 0 && minDev > e {
+					e = minDev
+				}
+			} else if minHost > e {
+				e = minHost
+			}
+		}
+		for _, p := range s.g.Preds(v) {
+			var f int64
+			if s.scheduled(st, p) {
+				f = st.finish[p]
+			} else {
+				f = est[p] + s.g.WCET(p)
+			}
+			if f > e {
+				e = f
+			}
+		}
+		est[v] = e
+	}
+	return est
+}
+
+// lower computes the admissible bound pruning the node.
+func (s *solver) lower(st *state, est []int64) int64 {
+	lb := st.makespan
+	var remHost, remDev int64
+	for v := 0; v < s.n; v++ {
+		if s.scheduled(st, v) {
+			continue
+		}
+		if b := est[v] + s.tail[v]; b > lb {
+			lb = b
+		}
+		if s.isDev[v] {
+			remDev += s.g.WCET(v)
+		} else {
+			remHost += s.g.WCET(v)
+		}
+	}
+	if remHost > 0 {
+		var sum int64
+		for _, a := range st.hostAvail {
+			sum += a
+		}
+		if b := divCeil(sum+remHost, int64(s.p.Cores)); b > lb {
+			lb = b
+		}
+	}
+	if remDev > 0 && s.p.Devices > 0 {
+		var sum int64
+		for _, a := range st.devAvail {
+			sum += a
+		}
+		if b := divCeil(sum+remDev, int64(s.p.Devices)); b > lb {
+			lb = b
+		}
+	}
+	return lb
+}
+
+// signature builds the dominance vector for memoization: sorted per-class
+// machine availability, the finish times of scheduled nodes that still have
+// unscheduled successors (in node-ID order), and the partial makespan. Two
+// states with equal masks compare componentwise; a state dominated by a
+// stored one cannot lead to a better completion.
+//
+// Finish times are clamped up to the earliest machine availability of the
+// classes the node's finish can actually influence (through zero-WCET
+// chains): a class-c successor starts no earlier than class c's minimum
+// availability, and the final makespan is at least every current
+// availability, so a finish below the relevant floor can never matter.
+// States differing only in such irrelevant finishes merge; this collapse is
+// what keeps small-m instances tractable.
+func (s *solver) signature(st *state) []int64 {
+	sig := make([]int64, 0, len(st.hostAvail)+len(st.devAvail)+8)
+	host := append([]int64(nil), st.hostAvail...)
+	sort.Slice(host, func(i, j int) bool { return host[i] < host[j] })
+	sig = append(sig, host...)
+	dev := append([]int64(nil), st.devAvail...)
+	sort.Slice(dev, func(i, j int) bool { return dev[i] < dev[j] })
+	sig = append(sig, dev...)
+	minHost := int64(math.MaxInt64)
+	if len(host) > 0 {
+		minHost = host[0]
+	}
+	minDev := int64(math.MaxInt64)
+	if len(dev) > 0 {
+		minDev = dev[0]
+	}
+	// Fallback floor when a finish only feeds the makespan (zero-WCET sink
+	// chains): any current availability lower-bounds the final makespan,
+	// so the largest of the class minima is a sound clamp.
+	sinkFloor := minHost
+	if minDev != math.MaxInt64 && (sinkFloor == math.MaxInt64 || minDev > sinkFloor) {
+		sinkFloor = minDev
+	}
+	unscheduled := ^st.mask
+	for v := 0; v < s.n; v++ {
+		if s.scheduled(st, v) && s.succMask[v]&unscheduled != 0 {
+			floor := int64(math.MaxInt64)
+			if s.feedsHost[v] && minHost < floor {
+				floor = minHost
+			}
+			if s.feedsDev[v] && minDev < floor {
+				floor = minDev
+			}
+			if floor == math.MaxInt64 {
+				floor = sinkFloor
+			}
+			f := st.finish[v]
+			if f < floor {
+				f = floor
+			}
+			sig = append(sig, f)
+		}
+	}
+	sig = append(sig, st.makespan)
+	return sig
+}
+
+// dominated checks and updates the memo; it reports whether st is dominated
+// by a previously seen state with the same mask.
+func (s *solver) dominated(st *state) bool {
+	sig := s.signature(st)
+	entries := s.memo[st.mask]
+	for _, old := range entries {
+		if len(old) != len(sig) {
+			continue
+		}
+		dom := true
+		for i := range old {
+			if old[i] > sig[i] {
+				dom = false
+				break
+			}
+		}
+		if dom {
+			return true
+		}
+	}
+	if s.memoEntries < s.memoLimit {
+		s.memo[st.mask] = append(entries, sig)
+		s.memoEntries++
+	}
+	return false
+}
+
+type cand struct {
+	v    int
+	est  int64
+	ect  int64 // est + WCET
+	tail int64
+}
+
+func (s *solver) dfs(st *state) {
+	if s.aborted {
+		return
+	}
+	full := uint64(1)<<uint(s.n) - 1
+	if st.mask == full {
+		if st.makespan < s.best {
+			s.best = st.makespan
+			s.bestSpans = s.replay(st.order)
+		}
+		return
+	}
+	s.expansions++
+	if s.expansions > s.maxExp {
+		s.aborted = true
+		return
+	}
+	est := s.estimates(st)
+	if s.lower(st, est) >= s.best {
+		return
+	}
+	if s.dominated(st) {
+		return
+	}
+
+	var cands []cand
+	for v := 0; v < s.n; v++ {
+		if s.scheduled(st, v) || s.g.WCET(v) == 0 || !s.ready(st, v) {
+			continue
+		}
+		cands = append(cands, cand{v: v, est: est[v], ect: est[v] + s.g.WCET(v), tail: s.tail[v]})
+	}
+
+	// Giffler–Thompson active-schedule restriction: branch only on the
+	// class achieving the minimum earliest completion time, and only on
+	// its candidates that could start strictly before that completion.
+	if !s.unrestricted && len(cands) > 1 {
+		minECT := cands[0].ect
+		cls := s.isDev[cands[0].v]
+		for _, c := range cands[1:] {
+			if c.ect < minECT || (c.ect == minECT && !s.isDev[c.v] && cls) {
+				minECT = c.ect
+				cls = s.isDev[c.v]
+			}
+		}
+		keep := make([]cand, 0, len(cands))
+		for _, c := range cands {
+			if s.isDev[c.v] == cls && c.est < minECT {
+				keep = append(keep, c)
+			}
+		}
+		cands = keep
+	}
+
+	// Interchangeable-job symmetry breaking: among candidates with
+	// identical class, WCET, successor set, and estimated start, only the
+	// lowest ID branches.
+	filtered := make([]cand, 0, len(cands))
+	for i, c := range cands {
+		dup := false
+		for j := 0; j < i; j++ {
+			d := cands[j]
+			if d.v < c.v && s.isDev[d.v] == s.isDev[c.v] &&
+				s.g.WCET(d.v) == s.g.WCET(c.v) &&
+				s.succMask[d.v] == s.succMask[c.v] && d.est == c.est {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			filtered = append(filtered, c)
+		}
+	}
+	sort.Slice(filtered, func(i, j int) bool {
+		a, b := filtered[i], filtered[j]
+		if a.est != b.est {
+			return a.est < b.est
+		}
+		if a.tail != b.tail {
+			return a.tail > b.tail
+		}
+		return a.v < b.v
+	})
+	for _, c := range filtered {
+		s.dfs(s.apply(st, c.v))
+		if s.aborted {
+			return
+		}
+	}
+}

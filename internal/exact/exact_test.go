@@ -1,0 +1,325 @@
+package exact
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+func fig1Normalized(t testing.TB) *dag.Graph {
+	t.Helper()
+	g := dag.New()
+	v1 := g.AddNode("v1", 2, dag.Host)
+	v2 := g.AddNode("v2", 4, dag.Host)
+	v3 := g.AddNode("v3", 5, dag.Host)
+	v4 := g.AddNode("v4", 2, dag.Host)
+	v5 := g.AddNode("v5", 1, dag.Host)
+	vOff := g.AddNode("vOff", 4, dag.Offload)
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v3)
+	g.MustAddEdge(v1, v4)
+	g.MustAddEdge(v2, v5)
+	g.MustAddEdge(v3, v5)
+	g.MustAddEdge(v4, vOff)
+	g.NormalizeSourceSink()
+	return g
+}
+
+func mustOptimal(t *testing.T, g *dag.Graph, p sched.Platform) *Result {
+	t.Helper()
+	r, err := MinMakespan(g, p, Options{})
+	if err != nil {
+		t.Fatalf("MinMakespan: %v", err)
+	}
+	if r.Status != Optimal {
+		t.Fatalf("status = %v, want optimal (expansions %d)", r.Status, r.Expansions)
+	}
+	// The returned schedule must be feasible and achieve the makespan.
+	sr := &sched.Result{Makespan: r.Makespan, Spans: r.Spans, Policy: "exact", Platform: p}
+	if err := sr.Validate(g); err != nil {
+		t.Fatalf("exact schedule invalid: %v", err)
+	}
+	return r
+}
+
+func TestFig1MinMakespanHetero(t *testing.T) {
+	g := fig1Normalized(t)
+	r := mustOptimal(t, g, sched.Hetero(2))
+	// Optimal: v1(0-2); v4(2-4),v3(2-7) on cores; vOff(4-8) device;
+	// v2(4-8) core; v5 at 8-9: makespan 9.
+	if r.Makespan != 9 {
+		t.Fatalf("min makespan = %d, want 9", r.Makespan)
+	}
+}
+
+func TestFig1MinMakespanHomogeneous(t *testing.T) {
+	g := fig1Normalized(t)
+	r := mustOptimal(t, g, sched.Homogeneous(2))
+	// All on 2 cores: vol 18 → ≥ 9; critical path 8. A 9-schedule exists:
+	// v1(0-2) | v3(2-7),v5(7-8) on c0; v4(2-4),vOff(4-8),... v2 must fit:
+	// c1: v2(2-6) then vOff? vOff needs v4 (done 4): c1 v2(2-6) vOff(6-10)
+	// → 10. Try c0 v2(2-6) v5(7?) ... exact search decides; assert bounds.
+	if r.Makespan < 9 || r.Makespan > 10 {
+		t.Fatalf("min makespan = %d, want in [9,10]", r.Makespan)
+	}
+	// Heterogeneous platform can only help.
+	het := mustOptimal(t, g, sched.Hetero(2))
+	if het.Makespan > r.Makespan {
+		t.Fatalf("hetero optimum %d worse than homogeneous %d", het.Makespan, r.Makespan)
+	}
+}
+
+func TestChainMakespan(t *testing.T) {
+	g := dag.New()
+	prev := g.AddNode("", 3, dag.Host)
+	total := int64(3)
+	for i := 0; i < 5; i++ {
+		next := g.AddNode("", int64(i+1), dag.Host)
+		g.MustAddEdge(prev, next)
+		prev = next
+		total += int64(i + 1)
+	}
+	r := mustOptimal(t, g, sched.Hetero(4))
+	if r.Makespan != total {
+		t.Fatalf("chain makespan = %d, want %d", r.Makespan, total)
+	}
+}
+
+func TestIndependentJobsP2(t *testing.T) {
+	// P2||Cmax with jobs 2,3,4,5,6 → optimum 10 (2+3+5 | 4+6).
+	g := dag.New()
+	for _, c := range []int64{2, 3, 4, 5, 6} {
+		g.AddNode("", c, dag.Host)
+	}
+	r := mustOptimal(t, g, sched.Homogeneous(2))
+	if r.Makespan != 10 {
+		t.Fatalf("P2||Cmax = %d, want 10", r.Makespan)
+	}
+}
+
+func TestLPTIsSuboptimalInstance(t *testing.T) {
+	// Classic instance where greedy heuristics are off: jobs 3,3,2,2,2 on
+	// m=2 → optimum 6. Ensures B&B improves on a wrong incumbent.
+	g := dag.New()
+	for _, c := range []int64{3, 3, 2, 2, 2} {
+		g.AddNode("", c, dag.Host)
+	}
+	r := mustOptimal(t, g, sched.Homogeneous(2))
+	if r.Makespan != 6 {
+		t.Fatalf("makespan = %d, want 6", r.Makespan)
+	}
+}
+
+func TestOffloadOverlapExploited(t *testing.T) {
+	// s(1) → {vOff(10), a(10)} → t(1): host and device overlap fully,
+	// optimum 12 on any m ≥ 1.
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	a := g.AddNode("a", 10, dag.Host)
+	v := g.AddNode("vOff", 10, dag.Offload)
+	e := g.AddNode("t", 1, dag.Host)
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(s, v)
+	g.MustAddEdge(a, e)
+	g.MustAddEdge(v, e)
+	r := mustOptimal(t, g, sched.Hetero(1))
+	if r.Makespan != 12 {
+		t.Fatalf("makespan = %d, want 12", r.Makespan)
+	}
+	// Homogeneous m=1 must serialize: 22.
+	rh := mustOptimal(t, g, sched.Homogeneous(1))
+	if rh.Makespan != 22 {
+		t.Fatalf("homogeneous m=1 = %d, want 22", rh.Makespan)
+	}
+}
+
+func TestZeroWCETNodesFree(t *testing.T) {
+	// A transformed graph: sync nodes must not consume resources or time.
+	g := fig1Normalized(t)
+	tr, err := transform.Transform(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := mustOptimal(t, tr.Transformed, sched.Hetero(2))
+	// The transformed DAG's optimum: forced v1,v4 first (4), then GPar
+	// {v2,v3} on two cores overlapping vOff(4), then v5: 2+2+5+1 = 10.
+	if r.Makespan != 10 {
+		t.Fatalf("transformed optimum = %d, want 10", r.Makespan)
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	r, err := MinMakespan(dag.New(), sched.Hetero(2), Options{})
+	if err != nil || r.Makespan != 0 || r.Status != Optimal {
+		t.Fatalf("empty: %v %+v", err, r)
+	}
+	g := dag.New()
+	g.AddNode("", 7, dag.Host)
+	r2, err := MinMakespan(g, sched.Homogeneous(3), Options{})
+	if err != nil || r2.Makespan != 7 {
+		t.Fatalf("single: %v %+v", err, r2)
+	}
+}
+
+func TestRejectsTooLarge(t *testing.T) {
+	g := dag.New()
+	for i := 0; i < 65; i++ {
+		g.AddNode("", 1, dag.Host)
+	}
+	if _, err := MinMakespan(g, sched.Homogeneous(2), Options{}); err == nil {
+		t.Fatal("accepted 65-node graph")
+	}
+}
+
+func TestRejectsCyclic(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 1, dag.Host)
+	b := g.AddNode("", 1, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := MinMakespan(g, sched.Homogeneous(2), Options{}); err == nil {
+		t.Fatal("accepted cyclic graph")
+	}
+}
+
+func TestBudgetExhaustionReportsFeasible(t *testing.T) {
+	// A hard-ish instance with a 1-expansion budget must fall back to the
+	// heuristic incumbent with Status Feasible and a valid lower bound.
+	gen := taskgen.MustNew(taskgen.Small(15, 40), 8)
+	g, _, _, err := gen.HetTask(0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := MinMakespan(g, sched.Hetero(2), Options{MaxExpansions: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.LowerBound > r.Makespan {
+		t.Fatalf("lower bound %d above makespan %d", r.LowerBound, r.Makespan)
+	}
+	sr := &sched.Result{Makespan: r.Makespan, Spans: r.Spans, Policy: "exact", Platform: sched.Hetero(2)}
+	if err := sr.Validate(g); err != nil {
+		t.Fatalf("feasible schedule invalid: %v", err)
+	}
+}
+
+// TestExactAtMostHeuristicsAndAtLeastBounds cross-validates the solver on
+// random small tasks (the paper's Figure 7(a) range, n ∈ [3,20]): the
+// result ≤ every policy's makespan, ≥ critical-path and load lower bounds,
+// and ≤ Rhom. A few P2|prec|Cmax instances are genuinely hard — the paper
+// hit the same wall with CPLEX at a 12-hour budget and excluded them — so
+// the test tolerates up to 10% budget-capped instances (their Feasible
+// results must still be valid schedules).
+func TestExactAtMostHeuristicsAndAtLeastBounds(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(3, 20), 77)
+	proven, total := 0, 0
+	for i := 0; i < 60; i++ {
+		frac := 0.02 + 0.55*float64(i)/60
+		g, vOff, _, err := gen.HetTask(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{2, 4} {
+			p := sched.Hetero(m)
+			r, err := MinMakespan(g, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			total++
+			if r.Status == Optimal {
+				proven++
+			} else if r.LowerBound > r.Makespan {
+				t.Fatalf("iter %d m=%d: lower bound %d above feasible makespan %d", i, m, r.LowerBound, r.Makespan)
+			}
+			for _, pol := range sched.Heuristics() {
+				sim, err := sched.Simulate(g, p, pol)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if r.Makespan > sim.Makespan {
+					t.Fatalf("iter %d m=%d: exact %d > %s %d", i, m, r.Makespan, pol.Name(), sim.Makespan)
+				}
+			}
+			hostWork := g.Volume() - g.WCET(vOff)
+			if lb := (hostWork + int64(m) - 1) / int64(m); r.Makespan < lb {
+				t.Fatalf("iter %d m=%d: exact %d below load bound %d", i, m, r.Makespan, lb)
+			}
+			if r.Makespan < g.CriticalPathLength() {
+				t.Fatalf("iter %d m=%d: exact %d below critical path %d", i, m, r.Makespan, g.CriticalPathLength())
+			}
+			// Rhom upper-bounds any work-conserving schedule, and some
+			// work-conserving schedule exists, so min ≤ Rhom.
+			if float64(r.Makespan) > rta.Rhom(g, m)+1e-9 {
+				t.Fatalf("iter %d m=%d: exact %d exceeds Rhom %v", i, m, r.Makespan, rta.Rhom(g, m))
+			}
+		}
+	}
+	if proven*10 < total*9 {
+		t.Fatalf("only %d/%d instances proven optimal; expected ≥ 90%%", proven, total)
+	}
+}
+
+// TestRestrictedBranchingMatchesUnrestricted validates the
+// Giffler–Thompson active-schedule restriction against exhaustive
+// semi-active enumeration on tiny instances (the restriction must never
+// change the optimum).
+func TestRestrictedBranchingMatchesUnrestricted(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Params{
+		PPar: 0.6, NPar: 4, MaxDepth: 2, NMin: 3, NMax: 10, CMin: 1, CMax: 9,
+	}, 999)
+	for i := 0; i < 40; i++ {
+		g, err := gen.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%3 != 0 {
+			taskgen.SetOffload(g, i%g.NumNodes(), 0.3)
+		}
+		for _, p := range []sched.Platform{sched.Homogeneous(1), sched.Homogeneous(2), sched.Hetero(1), sched.Hetero(2), sched.Hetero(3)} {
+			restricted, err := MinMakespan(g, p, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := MinMakespan(g, p, Options{Unrestricted: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if restricted.Status != Optimal || full.Status != Optimal {
+				t.Fatalf("iter %d %v: search not optimal on tiny instance", i, p)
+			}
+			if restricted.Makespan != full.Makespan {
+				t.Fatalf("iter %d %v: restricted %d ≠ unrestricted %d\n%s",
+					i, p, restricted.Makespan, full.Makespan, g.DOT("g"))
+			}
+		}
+	}
+}
+
+// TestExactMonotoneInCores: adding cores can only reduce the optimum.
+func TestExactMonotoneInCores(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(3, 18), 55)
+	for i := 0; i < 25; i++ {
+		g, _, _, err := gen.HetTask(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prev := int64(-1)
+		for _, m := range []int{1, 2, 4, 8} {
+			r, err := MinMakespan(g, sched.Hetero(m), Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Status != Optimal {
+				t.Fatalf("iter %d m=%d not optimal", i, m)
+			}
+			if prev >= 0 && r.Makespan > prev {
+				t.Fatalf("iter %d: makespan rose from %d to %d when adding cores", i, prev, r.Makespan)
+			}
+			prev = r.Makespan
+		}
+	}
+}

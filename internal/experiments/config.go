@@ -1,0 +1,145 @@
+// Package experiments reproduces the evaluation of the paper's Section 5:
+// Figure 6 (average-performance impact of the DAG transformation under the
+// breadth-first scheduler), Figure 7 (accuracy of Rhom/Rhet against the
+// minimum makespan), Figure 8 (scenario occurrence), Figure 9 (Rhom vs
+// Rhet), and the headline numbers quoted in the text (crossover points,
+// maximum benefit). Each harness returns raw series plus rendered tables;
+// cmd/experiments drives them and EXPERIMENTS.md records paper-vs-measured.
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/taskgen"
+)
+
+// Config scales the experiment harnesses. The zero value is invalid; use
+// Default or Quick.
+type Config struct {
+	// Seed drives all task generation; every run with the same Config is
+	// bit-identical.
+	Seed int64
+	// Cores lists the host sizes m to evaluate. The paper uses 2,4,8,16.
+	Cores []int
+	// TasksPerPoint is the number of random DAGs per (m, COff%) point; the
+	// paper uses 100.
+	TasksPerPoint int
+	// Fractions are the COff/vol(τ) targets (in (0,1)) swept on the x axis.
+	Fractions []float64
+	// NMin, NMax bound task sizes (large tasks: [100,250]).
+	NMin, NMax int
+	// Params are the structural generator parameters (ppar/npar/maxdepth).
+	Params taskgen.Params
+	// ExactBudget caps exact-solver expansions per instance (Figure 7).
+	ExactBudget int64
+}
+
+// Default returns the paper-faithful configuration for the large-task
+// experiments (Figures 6, 8, 9): n ∈ [100,250], 100 DAGs per point,
+// m ∈ {2,4,8,16}, COff/vol from 0.12% to 70%.
+func Default(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Cores:         []int{2, 4, 8, 16},
+		TasksPerPoint: 100,
+		Fractions: []float64{0.0012, 0.005, 0.01, 0.02, 0.034, 0.05, 0.08,
+			0.11, 0.14, 0.20, 0.26, 0.32, 0.40, 0.50, 0.60, 0.70},
+		NMin:   100,
+		NMax:   250,
+		Params: taskgen.Large(100, 250),
+	}
+}
+
+// Medium returns a configuration between Quick and Default: paper-sized
+// tasks (n ∈ [100,250]) and all four host sizes, but 25 DAGs per point and
+// a budgeted exact solver. Good fidelity in minutes; EXPERIMENTS.md uses it.
+func Medium(seed int64) Config {
+	c := Default(seed)
+	c.TasksPerPoint = 25
+	c.ExactBudget = 400_000
+	return c
+}
+
+// Quick returns a scaled-down configuration for tests and benchmarks:
+// same qualitative shape, a fraction of the runtime.
+func Quick(seed int64) Config {
+	return Config{
+		Seed:          seed,
+		Cores:         []int{2, 8},
+		TasksPerPoint: 12,
+		Fractions:     []float64{0.01, 0.05, 0.14, 0.32, 0.50},
+		NMin:          40,
+		NMax:          90,
+		Params:        taskgen.Large(40, 90),
+		ExactBudget:   50_000,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if len(c.Cores) == 0 {
+		return fmt.Errorf("experiments: no core counts")
+	}
+	for _, m := range c.Cores {
+		if m < 1 {
+			return fmt.Errorf("experiments: bad core count %d", m)
+		}
+	}
+	if c.TasksPerPoint < 1 {
+		return fmt.Errorf("experiments: TasksPerPoint %d < 1", c.TasksPerPoint)
+	}
+	if len(c.Fractions) == 0 {
+		return fmt.Errorf("experiments: no COff fractions")
+	}
+	for _, f := range c.Fractions {
+		if f <= 0 || f >= 1 {
+			return fmt.Errorf("experiments: fraction %v outside (0,1)", f)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// SeriesPoint is one x-axis sample of a per-m series.
+type SeriesPoint struct {
+	// TargetFrac is the requested COff/vol(τ) target.
+	TargetFrac float64
+	// MeanFrac is the mean realized fraction across the sample.
+	MeanFrac float64
+	// Value is the series' mean metric at this point.
+	Value float64
+	// MaxAbs is the maximum observed metric (used by Figure 9's
+	// "maximum observed difference" narrative).
+	MaxAbs float64
+	// N is the number of tasks aggregated.
+	N int
+}
+
+// Series is a metric as a function of COff% for one host size.
+type Series struct {
+	M      int
+	Points []SeriesPoint
+}
+
+// crossover returns the first target fraction at which the series value
+// becomes positive, interpolating linearly between the bracketing points;
+// ok=false when the series never crosses.
+func (s Series) crossover() (float64, bool) {
+	for i, p := range s.Points {
+		if p.Value > 0 {
+			if i == 0 {
+				return p.TargetFrac, true
+			}
+			prev := s.Points[i-1]
+			if prev.Value >= 0 {
+				return prev.TargetFrac, true
+			}
+			span := p.Value - prev.Value
+			if span <= 0 {
+				return p.TargetFrac, true
+			}
+			t := -prev.Value / span
+			return prev.TargetFrac + t*(p.TargetFrac-prev.TargetFrac), true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,224 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/sched"
+)
+
+func quickCfg() Config {
+	c := Quick(42)
+	c.TasksPerPoint = 8
+	return c
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := Default(1).Validate(); err != nil {
+		t.Fatalf("Default invalid: %v", err)
+	}
+	if err := Quick(1).Validate(); err != nil {
+		t.Fatalf("Quick invalid: %v", err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Cores = nil },
+		func(c *Config) { c.Cores = []int{0} },
+		func(c *Config) { c.TasksPerPoint = 0 },
+		func(c *Config) { c.Fractions = nil },
+		func(c *Config) { c.Fractions = []float64{1.5} },
+		func(c *Config) { c.Params.NPar = 0 },
+	}
+	for i, mutate := range bad {
+		c := Quick(1)
+		mutate(&c)
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+}
+
+func TestFig6QuickShape(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Fig6(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Series) != len(cfg.Cores) {
+		t.Fatalf("series = %d, want %d", len(res.Series), len(cfg.Cores))
+	}
+	for _, s := range res.Series {
+		if len(s.Points) != len(cfg.Fractions) {
+			t.Fatalf("m=%d: %d points, want %d", s.M, len(s.Points), len(cfg.Fractions))
+		}
+		// Qualitative claim of §5.2: for small COff the transformation
+		// hurts (negative change, τ faster), for large COff it helps.
+		first, last := s.Points[0], s.Points[len(s.Points)-1]
+		if first.Value > 5 {
+			t.Errorf("m=%d: at COff=%.1f%% change=%v; expected ≤ ~0 (transformation should hurt)",
+				s.M, 100*first.TargetFrac, first.Value)
+		}
+		if last.Value < 0 {
+			t.Errorf("m=%d: at COff=%.0f%% change=%v; expected positive (transformation should help)",
+				s.M, 100*last.TargetFrac, last.Value)
+		}
+	}
+	tb := res.Table()
+	if tb.NumRows() != len(cfg.Fractions) {
+		t.Errorf("table rows = %d", tb.NumRows())
+	}
+	if !strings.Contains(res.SummaryTable().Text(), "paper") {
+		t.Error("summary table missing paper column")
+	}
+}
+
+func TestFig6Deterministic(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Cores = []int{2}
+	cfg.Fractions = []float64{0.1}
+	a, err := Fig6(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6(cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Series[0].Points[0].Value != b.Series[0].Points[0].Value {
+		t.Fatal("same config produced different Fig6 values")
+	}
+}
+
+func TestFig6PolicyAblation(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Cores = []int{2}
+	cfg.Fractions = []float64{0.3}
+	if _, err := Fig6(cfg, sched.LIFO); err != nil {
+		t.Fatalf("LIFO ablation failed: %v", err)
+	}
+}
+
+func TestFig7QuickShape(t *testing.T) {
+	cfg := quickCfg()
+	cfg.TasksPerPoint = 5
+	cfg.Fractions = []float64{0.02, 0.2, 0.5}
+	panels := []Fig7Panel{{M: 2, NMin: 3, NMax: 14}}
+	res, err := Fig7(cfg, panels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Panels) != 1 {
+		t.Fatalf("panels = %d", len(res.Panels))
+	}
+	p := res.Panels[0]
+	for _, pt := range p.Points {
+		if pt.Proven == 0 {
+			t.Fatalf("no instance proven optimal at %.0f%%", 100*pt.TargetFrac)
+		}
+		// Both bounds upper-bound the optimum: increments are ≥ 0.
+		if pt.IncHom < -1e-9 || pt.IncHet < -1e-9 {
+			t.Errorf("negative increment at %.0f%%: hom=%v het=%v (bound below optimum!)",
+				100*pt.TargetFrac, pt.IncHom, pt.IncHet)
+		}
+	}
+	// §5.3: Rhet pessimism decreases as COff increases.
+	first, last := p.Points[0], p.Points[len(p.Points)-1]
+	if !(last.IncHet < first.IncHet) {
+		t.Errorf("Rhet pessimism did not decrease: %.1f%% → %.1f%%", first.IncHet, last.IncHet)
+	}
+	tables := res.Table()
+	if len(tables) != 1 || tables[0].NumRows() != len(cfg.Fractions) {
+		t.Error("fig7 table malformed")
+	}
+}
+
+func TestFig8QuickShape(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Fig8(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			sum := p.S1 + p.S21 + p.S22
+			if math.Abs(sum-100) > 1e-6 {
+				t.Errorf("m=%d COff=%.1f%%: scenario percentages sum to %v", s.M, 100*p.TargetFrac, sum)
+			}
+		}
+		// §5.4: scenario 1 dominates for small COff.
+		if s.Points[0].S1 < 50 {
+			t.Errorf("m=%d: scenario 1 only %v%% at smallest COff", s.M, s.Points[0].S1)
+		}
+		// Scenario 2.1 grows with COff.
+		if s.Points[len(s.Points)-1].S21 < s.Points[0].S21 {
+			t.Errorf("m=%d: scenario 2.1 did not grow with COff", s.M)
+		}
+	}
+	if len(res.Table()) != len(cfg.Cores) {
+		t.Error("fig8 table count")
+	}
+	_ = res.SummaryTable().Text()
+}
+
+func TestNaiveViolationStudy(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Cores = []int{2}
+	cfg.TasksPerPoint = 6
+	cfg.Fractions = []float64{0.1, 0.3}
+	res, err := Naive(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	anyViolation := false
+	for _, s := range res.Series {
+		for _, p := range s.Points {
+			// The proven-safe bound must never be violated.
+			if p.RhetViolationPct != 0 {
+				t.Fatalf("m=%d COff=%.0f%%: Rhet violated on %.0f%% of tasks",
+					s.M, 100*p.TargetFrac, p.RhetViolationPct)
+			}
+			if p.ViolationPct > 0 {
+				anyViolation = true
+				if p.WorstExcessPct <= 0 {
+					t.Errorf("violation recorded with non-positive excess")
+				}
+			}
+		}
+	}
+	// §3.2's point: the naive bound IS violated in practice.
+	if !anyViolation {
+		t.Error("no naive-bound violation found; §3.2 demonstration lost")
+	}
+	if len(res.Table()) != 1 {
+		t.Error("naive table count")
+	}
+}
+
+func TestFig9QuickShape(t *testing.T) {
+	cfg := quickCfg()
+	res, err := Fig9(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Series {
+		last := s.Points[len(s.Points)-1]
+		if last.Value <= 0 {
+			t.Errorf("m=%d: Rhet not better than Rhom at COff=%.0f%% (Δ=%v)", s.M, 100*last.TargetFrac, last.Value)
+		}
+		if res.PeakMax[s.M] < res.PeakMean[s.M] {
+			t.Errorf("m=%d: max observed %v below peak mean %v", s.M, res.PeakMax[s.M], res.PeakMean[s.M])
+		}
+	}
+	// §5.4: the benefit shrinks as m grows (self-interference ÷ m): peak
+	// mean for m=2 above peak mean for m=8.
+	if res.PeakMean[2] <= res.PeakMean[8] {
+		t.Errorf("peak mean benefit: m=2 %v ≤ m=8 %v; paper predicts the opposite order",
+			res.PeakMean[2], res.PeakMean[8])
+	}
+	if !strings.Contains(res.SummaryTable().Text(), "crossover") {
+		t.Error("fig9 summary table malformed")
+	}
+	if res.Table().NumRows() != len(cfg.Fractions) {
+		t.Error("fig9 table rows")
+	}
+}

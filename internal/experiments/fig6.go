@@ -1,0 +1,114 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+// Fig6Result reproduces Figure 6: "Percentage change of the average
+// execution time of τ w.r.t. τ' when n ∈ [100, 250]" under the
+// work-conserving breadth-first scheduler (GOMP), for m ∈ {2,4,8,16} and
+// COff from 1% to 70% of vol(τ). Positive values mean the original task τ
+// ran slower than the transformed τ', i.e. the transformation improved
+// average performance.
+type Fig6Result struct {
+	Series []Series
+	// Crossovers maps m to the COff fraction where the transformation
+	// starts helping (the paper reports 11%, 8%, 6%, 4.5% for m=2,4,8,16).
+	Crossovers map[int]float64
+}
+
+// Fig6 runs the experiment. Policy defaults to breadth-first; pass others
+// for the policy-sensitivity ablation.
+func Fig6(cfg Config, mkPolicy func() sched.Policy) (*Fig6Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if mkPolicy == nil {
+		mkPolicy = sched.BreadthFirst
+	}
+	res := &Fig6Result{Crossovers: map[int]float64{}}
+	for _, m := range cfg.Cores {
+		series := Series{M: m}
+		for pi, frac := range cfg.Fractions {
+			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*m+pi))
+			var orig, trans, fracs stats.Accumulator
+			for k := 0; k < cfg.TasksPerPoint; k++ {
+				g, _, realized, err := gen.HetTask(frac)
+				if err != nil {
+					return nil, err
+				}
+				tr, err := transform.Transform(g)
+				if err != nil {
+					return nil, fmt.Errorf("fig6: %w", err)
+				}
+				ro, err := sched.Simulate(g, sched.Hetero(m), mkPolicy())
+				if err != nil {
+					return nil, err
+				}
+				rt, err := sched.Simulate(tr.Transformed, sched.Hetero(m), mkPolicy())
+				if err != nil {
+					return nil, err
+				}
+				orig.Add(float64(ro.Makespan))
+				trans.Add(float64(rt.Makespan))
+				fracs.Add(realized)
+			}
+			series.Points = append(series.Points, SeriesPoint{
+				TargetFrac: frac,
+				MeanFrac:   fracs.Mean(),
+				Value:      stats.PercentChange(orig.Mean(), trans.Mean()),
+				N:          orig.N(),
+			})
+		}
+		if x, ok := series.crossover(); ok {
+			res.Crossovers[series.M] = x
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Table renders the figure as rows of (COff%, one column per m).
+func (r *Fig6Result) Table() *table.Table {
+	headers := []string{"COff/vol %"}
+	for _, s := range r.Series {
+		headers = append(headers, fmt.Sprintf("m=%d Δ%%", s.M))
+	}
+	t := table.New("Figure 6: % change of avg execution time of τ w.r.t. τ' (positive ⇒ transformation faster)", headers...)
+	if len(r.Series) == 0 {
+		return t
+	}
+	for i := range r.Series[0].Points {
+		row := []any{100 * r.Series[0].Points[i].TargetFrac}
+		for _, s := range r.Series {
+			row = append(row, s.Points[i].Value)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SummaryTable reports the crossover points against the paper's values.
+func (r *Fig6Result) SummaryTable() *table.Table {
+	t := table.New("Figure 6 summary: COff% where the transformation starts helping",
+		"m", "measured %", "paper %")
+	paper := map[int]float64{2: 11, 4: 8, 8: 6, 16: 4.5}
+	for _, s := range r.Series {
+		measured := "never"
+		if x, ok := r.Crossovers[s.M]; ok {
+			measured = fmt.Sprintf("%.1f", 100*x)
+		}
+		ref := "-"
+		if p, ok := paper[s.M]; ok {
+			ref = fmt.Sprintf("%.1f", p)
+		}
+		t.AddRow(s.M, measured, ref)
+	}
+	return t
+}

@@ -1,0 +1,124 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/exact"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+)
+
+// Fig7Point is one x-axis sample of the accuracy experiment.
+type Fig7Point struct {
+	TargetFrac float64
+	MeanFrac   float64
+	// IncHom and IncHet are the mean percentage increments of Rhom(τ) and
+	// Rhet(τ') over the minimum makespan of τ (paper Figure 7's two
+	// curves).
+	IncHom, IncHet float64
+	// Proven is the number of instances whose minimum makespan was proven
+	// optimal within budget (only those are aggregated); N is the sample.
+	Proven, N int
+}
+
+// Fig7Series is the accuracy sweep for one (m, size-range) panel.
+type Fig7Series struct {
+	M          int
+	NMin, NMax int
+	Points     []Fig7Point
+}
+
+// Fig7Result reproduces Figure 7: "Increment of Rhet(τ') and Rhom(τ)
+// w.r.t. the minimum makespan of τ". Panel (a): m=2, n ∈ [3,20];
+// panel (b): m=8, n ∈ [30,60]. The paper's CPLEX (12-hour budget) is
+// replaced by the branch-and-bound oracle of internal/exact; instances not
+// proven optimal within budget are excluded and reported.
+type Fig7Result struct {
+	Panels []Fig7Series
+}
+
+// Fig7Panel describes one panel of the figure.
+type Fig7Panel struct {
+	M          int
+	NMin, NMax int
+}
+
+// PaperFig7Panels returns the two published panels.
+func PaperFig7Panels() []Fig7Panel {
+	return []Fig7Panel{
+		{M: 2, NMin: 3, NMax: 20},
+		{M: 8, NMin: 30, NMax: 60},
+	}
+}
+
+// Fig7 runs the accuracy experiment over the given panels.
+func Fig7(cfg Config, panels []Fig7Panel) (*Fig7Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(panels) == 0 {
+		panels = PaperFig7Panels()
+	}
+	res := &Fig7Result{}
+	for _, panel := range panels {
+		params := taskgen.Small(panel.NMin, panel.NMax)
+		series := Fig7Series{M: panel.M, NMin: panel.NMin, NMax: panel.NMax}
+		for pi, frac := range cfg.Fractions {
+			gen := taskgen.MustNew(params, cfg.Seed+int64(7000*panel.M+pi))
+			var incHom, incHet, fracs stats.Accumulator
+			proven, total := 0, 0
+			for k := 0; k < cfg.TasksPerPoint; k++ {
+				g, _, realized, err := gen.HetTask(frac)
+				if err != nil {
+					return nil, err
+				}
+				total++
+				opt, err := exact.MinMakespan(g, sched.Hetero(panel.M), exact.Options{MaxExpansions: cfg.ExactBudget})
+				if err != nil {
+					return nil, fmt.Errorf("fig7: %w", err)
+				}
+				if opt.Status != exact.Optimal {
+					continue // unproven: excluded, reported via Proven/N
+				}
+				proven++
+				a, err := rta.Analyze(g, panel.M)
+				if err != nil {
+					return nil, err
+				}
+				incHom.Add(stats.Increment(a.Rhom, float64(opt.Makespan)))
+				incHet.Add(stats.Increment(a.Het.R, float64(opt.Makespan)))
+				fracs.Add(realized)
+			}
+			series.Points = append(series.Points, Fig7Point{
+				TargetFrac: frac,
+				MeanFrac:   fracs.Mean(),
+				IncHom:     incHom.Mean(),
+				IncHet:     incHet.Mean(),
+				Proven:     proven,
+				N:          total,
+			})
+		}
+		res.Panels = append(res.Panels, series)
+	}
+	return res, nil
+}
+
+// Table renders one panel per published layout: COff%, Rhom and Rhet
+// increments, and exact-solver coverage.
+func (r *Fig7Result) Table() []*table.Table {
+	var out []*table.Table
+	for _, p := range r.Panels {
+		t := table.New(
+			fmt.Sprintf("Figure 7 (m=%d, n∈[%d,%d]): %% increment over minimum makespan", p.M, p.NMin, p.NMax),
+			"COff/vol %", "Rhom inc%", "Rhet inc%", "proven/total")
+		for _, pt := range p.Points {
+			t.AddRow(100*pt.TargetFrac, pt.IncHom, pt.IncHet,
+				fmt.Sprintf("%d/%d", pt.Proven, pt.N))
+		}
+		out = append(out, t)
+	}
+	return out
+}

@@ -1,0 +1,138 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/rta"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+// Fig9Result reproduces Figure 9: "Percentage change of Rhom(τ) w.r.t.
+// Rhet(τ'), n ∈ [100,250]" — how much tighter the heterogeneous analysis is
+// than the homogeneous baseline as the offloaded share of the task grows.
+// Positive values mean Rhom is larger (Rhet wins).
+type Fig9Result struct {
+	Series []Series
+	// Crossovers: COff fraction where Rhet starts beating Rhom (paper:
+	// 1.6%, 3.4%, 4.6%, 5% for m = 2, 4, 8, 16).
+	Crossovers map[int]float64
+	// PeakMean: per m, the maximum of the mean percentage change (paper:
+	// 70%, 55%, 40%, 30%).
+	PeakMean map[int]float64
+	// PeakMax: per m, the maximum observed difference on any single task
+	// (paper: 95.0%, 82.5%, 65.3%, 47.7%).
+	PeakMax map[int]float64
+}
+
+// Fig9 runs the bound-comparison experiment.
+func Fig9(cfg Config) (*Fig9Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	res := &Fig9Result{
+		Crossovers: map[int]float64{},
+		PeakMean:   map[int]float64{},
+		PeakMax:    map[int]float64{},
+	}
+	for _, m := range cfg.Cores {
+		series := Series{M: m}
+		peakMean, peakMax := math.Inf(-1), math.Inf(-1)
+		for pi, frac := range cfg.Fractions {
+			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(9000*m+pi))
+			var change, fracs stats.Accumulator
+			maxAbs := math.Inf(-1)
+			for k := 0; k < cfg.TasksPerPoint; k++ {
+				g, _, realized, err := gen.HetTask(frac)
+				if err != nil {
+					return nil, err
+				}
+				tr, err := transform.Transform(g)
+				if err != nil {
+					return nil, fmt.Errorf("fig9: %w", err)
+				}
+				het, err := rta.Rhet(tr, m)
+				if err != nil {
+					return nil, err
+				}
+				c := stats.PercentChange(rta.Rhom(g, m), het.R)
+				change.Add(c)
+				if c > maxAbs {
+					maxAbs = c
+				}
+				fracs.Add(realized)
+			}
+			series.Points = append(series.Points, SeriesPoint{
+				TargetFrac: frac,
+				MeanFrac:   fracs.Mean(),
+				Value:      change.Mean(),
+				MaxAbs:     maxAbs,
+				N:          change.N(),
+			})
+			if change.Mean() > peakMean {
+				peakMean = change.Mean()
+			}
+			if maxAbs > peakMax {
+				peakMax = maxAbs
+			}
+		}
+		if x, ok := series.crossover(); ok {
+			res.Crossovers[m] = x
+		}
+		res.PeakMean[m] = peakMean
+		res.PeakMax[m] = peakMax
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Table renders the figure as rows of (COff%, one column per m).
+func (r *Fig9Result) Table() *table.Table {
+	headers := []string{"COff/vol %"}
+	for _, s := range r.Series {
+		headers = append(headers, fmt.Sprintf("m=%d Δ%%", s.M))
+	}
+	t := table.New("Figure 9: % change of Rhom(τ) w.r.t. Rhet(τ') (positive ⇒ Rhet tighter)", headers...)
+	if len(r.Series) == 0 {
+		return t
+	}
+	for i := range r.Series[0].Points {
+		row := []any{100 * r.Series[0].Points[i].TargetFrac}
+		for _, s := range r.Series {
+			row = append(row, s.Points[i].Value)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}
+
+// SummaryTable renders the text-quoted numbers: crossover, peak mean
+// benefit, and maximum observed difference per m, against the paper.
+func (r *Fig9Result) SummaryTable() *table.Table {
+	t := table.New("Figure 9 summary (paper §5.4 quoted numbers)",
+		"m", "crossover % (paper)", "peak mean Δ% (paper)", "max observed Δ% (paper)")
+	paperCross := map[int]float64{2: 1.6, 4: 3.4, 8: 4.6, 16: 5.0}
+	paperPeak := map[int]float64{2: 70, 4: 55, 8: 40, 16: 30}
+	paperMax := map[int]float64{2: 95.0, 4: 82.5, 8: 65.3, 16: 47.7}
+	for _, s := range r.Series {
+		m := s.M
+		cross := "never"
+		if x, ok := r.Crossovers[m]; ok {
+			cross = fmt.Sprintf("%.1f", 100*x)
+		}
+		fmtRef := func(measured string, ref map[int]float64) string {
+			if p, ok := ref[m]; ok {
+				return fmt.Sprintf("%s (%.1f)", measured, p)
+			}
+			return measured + " (-)"
+		}
+		t.AddRow(m,
+			fmtRef(cross, paperCross),
+			fmtRef(fmt.Sprintf("%.1f", r.PeakMean[m]), paperPeak),
+			fmtRef(fmt.Sprintf("%.1f", r.PeakMax[m]), paperMax))
+	}
+	return t
+}

@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+)
+
+// NaivePoint quantifies the §3.2 unsafety argument at one COff share.
+type NaivePoint struct {
+	TargetFrac float64
+	// ViolationPct is the percentage of tasks for which some sampled
+	// work-conserving schedule exceeded the naive bound (Rhom with COff
+	// subtracted from the interference term).
+	ViolationPct float64
+	// WorstExcessPct is the maximum observed excess over the naive bound,
+	// as a percentage of the bound.
+	WorstExcessPct float64
+	// RhetViolationPct is the same check against Rhet(τ') — it must be 0
+	// (Rhet is proven safe); the harness reports it as a live invariant.
+	RhetViolationPct float64
+	N                int
+}
+
+// NaiveSeries is the per-m sweep.
+type NaiveSeries struct {
+	M      int
+	Points []NaivePoint
+}
+
+// NaiveResult supports Section 3.2 empirically: the naive interference
+// reduction is not just theoretically unsound, random work-conserving
+// schedules actually violate it, while the transformed-task bound Rhet
+// never is. This table has no direct counterpart figure in the paper — it
+// backs the Figure 1(c) narrative at scale.
+type NaiveResult struct {
+	Series []NaiveSeries
+	// Samples is the number of random schedules drawn per task.
+	Samples int
+}
+
+// Naive runs the violation study. samples counts random schedules per task
+// (0 means 32).
+func Naive(cfg Config, samples int) (*NaiveResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if samples <= 0 {
+		samples = 32
+	}
+	res := &NaiveResult{Samples: samples}
+	for _, m := range cfg.Cores {
+		series := NaiveSeries{M: m}
+		for pi, frac := range cfg.Fractions {
+			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*m+pi))
+			violated, hetViolated := 0, 0
+			var worst stats.Accumulator
+			for k := 0; k < cfg.TasksPerPoint; k++ {
+				g, _, _, err := gen.HetTask(frac)
+				if err != nil {
+					return nil, err
+				}
+				a, err := rta.Analyze(g, m)
+				if err != nil {
+					return nil, err
+				}
+				_, worstSim, err := sched.Sample(g, sched.Hetero(m), samples, cfg.Seed+int64(k))
+				if err != nil {
+					return nil, err
+				}
+				// Include the deterministic breadth-first schedule too —
+				// it is the Figure 1(c) culprit.
+				bf, err := sched.Simulate(g, sched.Hetero(m), sched.BreadthFirst())
+				if err != nil {
+					return nil, err
+				}
+				worstMakespan := worstSim.Makespan
+				if bf.Makespan > worstMakespan {
+					worstMakespan = bf.Makespan
+				}
+				if float64(worstMakespan) > a.Naive+1e-9 {
+					violated++
+					worst.Add(100 * (float64(worstMakespan) - a.Naive) / a.Naive)
+				}
+				// Live safety check on Rhet: worst simulated τ' schedule.
+				_, worstT, err := sched.Sample(a.Transform.Transformed, sched.Hetero(m), samples, cfg.Seed+int64(k))
+				if err != nil {
+					return nil, err
+				}
+				if float64(worstT.Makespan) > a.Het.R+1e-9 {
+					hetViolated++
+				}
+			}
+			pt := NaivePoint{
+				TargetFrac:       frac,
+				ViolationPct:     100 * float64(violated) / float64(cfg.TasksPerPoint),
+				RhetViolationPct: 100 * float64(hetViolated) / float64(cfg.TasksPerPoint),
+				N:                cfg.TasksPerPoint,
+			}
+			if worst.N() > 0 {
+				pt.WorstExcessPct = worst.Max()
+			}
+			series.Points = append(series.Points, pt)
+		}
+		res.Series = append(res.Series, series)
+	}
+	return res, nil
+}
+
+// Table renders one table per m.
+func (r *NaiveResult) Table() []*table.Table {
+	var out []*table.Table
+	for _, s := range r.Series {
+		t := table.New(
+			fmt.Sprintf("Naive-bound violations (m=%d, %d sampled schedules/task): §3.2 at scale", s.M, r.Samples),
+			"COff/vol %", "naive violated %", "worst excess %", "Rhet violated %")
+		for _, p := range s.Points {
+			t.AddRow(100*p.TargetFrac, p.ViolationPct, p.WorstExcessPct, p.RhetViolationPct)
+		}
+		out = append(out, t)
+	}
+	return out
+}

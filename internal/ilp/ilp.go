@@ -1,0 +1,178 @@
+// Package ilp builds the time-indexed integer linear program for the
+// minimum makespan of a heterogeneous DAG task on m host cores plus
+// accelerator devices, in the spirit of the formulation of Melani et al.
+// (ASP-DAC 2017) that the paper's Section 5 cites ("we implemented an ILP
+// formulation (based on [13]) that computes the minimum time interval
+// needed to execute a given heterogeneous DAG task on m cores and one
+// accelerator device").
+//
+// Variables: binary x[v][t] = 1 iff node v starts at time t; an integer
+// makespan variable M. With start(v) = Σ_t t·x[v][t]:
+//
+//	Σ_t x[v][t] = 1                        (each node starts once)
+//	start(w) ≥ start(v) + C_v              for every edge (v,w)
+//	Σ_{v host} Σ_{s∈(t-C_v, t]} x[v][s] ≤ m    at every time t (host cap)
+//	Σ_{v dev}  Σ_{s∈(t-C_v, t]} x[v][s] ≤ d    at every time t (device cap)
+//	M ≥ start(v) + C_v                     for every sink v
+//
+// The model is solved with the from-scratch simplex + branch-and-bound of
+// package lp (the CPLEX substitute). Because time-indexed models grow as
+// |V|·H, this oracle is intended for very small instances; package exact is
+// the production oracle and the two are cross-validated in tests.
+package ilp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/lp"
+	"repro/internal/sched"
+)
+
+// Result of an ILP solve.
+type Result struct {
+	// Makespan is the proven-minimal makespan.
+	Makespan int64
+	// Starts holds each node's start time.
+	Starts []int64
+	// Nodes and Iterations report branch-and-bound effort.
+	Nodes, Iterations int
+}
+
+// MinMakespan computes the exact minimum makespan of g on p by building and
+// solving the time-indexed ILP. horizon is an inclusive upper bound on the
+// makespan (e.g. a heuristic schedule length); 0 derives one by simulating
+// the policy portfolio. Instances with |V|·horizon beyond ~4000 binaries
+// are rejected to keep the dense solver tractable.
+func MinMakespan(g *dag.Graph, p sched.Platform, horizon int64) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if _, ok := g.TopoOrder(); !ok {
+		return nil, fmt.Errorf("ilp: %w", dag.ErrCyclic)
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{}, nil
+	}
+	if horizon == 0 {
+		for _, pol := range sched.Heuristics() {
+			r, err := sched.Simulate(g, p, pol)
+			if err != nil {
+				return nil, err
+			}
+			if horizon == 0 || r.Makespan < horizon {
+				horizon = r.Makespan
+			}
+		}
+	}
+	if horizon <= 0 {
+		horizon = 1
+	}
+	if int64(n)*horizon > 4000 {
+		return nil, fmt.Errorf("ilp: %d nodes × horizon %d too large for the dense solver", n, horizon)
+	}
+
+	m := lp.NewModel()
+	isDev := func(v int) bool { return p.Devices > 0 && g.Kind(v) == dag.Offload }
+
+	// x[v][t]: start variables. A node can start no later than
+	// horizon - C_v.
+	x := make([][]int, n)
+	latest := make([]int64, n)
+	for v := 0; v < n; v++ {
+		latest[v] = horizon - g.WCET(v)
+		if latest[v] < 0 {
+			return nil, fmt.Errorf("ilp: node %d (C=%d) cannot fit in horizon %d", v, g.WCET(v), horizon)
+		}
+		x[v] = make([]int, latest[v]+1)
+		one := map[int]float64{}
+		for t := int64(0); t <= latest[v]; t++ {
+			id := m.AddIntVariable(fmt.Sprintf("x_%d_%d", v, t))
+			x[v][t] = id
+			m.AddConstraint(map[int]float64{id: 1}, lp.LE, 1) // binary
+			one[id] = 1
+		}
+		m.AddConstraint(one, lp.EQ, 1) // starts exactly once
+	}
+	mk := m.AddIntVariable("makespan")
+	m.SetObjective(lp.Minimize, map[int]float64{mk: 1})
+
+	start := func(v int) map[int]float64 {
+		terms := map[int]float64{}
+		for t := int64(1); t <= latest[v]; t++ {
+			terms[x[v][t]] = float64(t)
+		}
+		return terms
+	}
+
+	// Precedence: start(w) - start(v) ≥ C_v.
+	for _, e := range g.Edges() {
+		v, w := e[0], e[1]
+		terms := start(w)
+		for id, c := range start(v) {
+			terms[id] -= c
+		}
+		m.AddConstraint(terms, lp.GE, float64(g.WCET(v)))
+	}
+
+	// Resource capacity at each time step.
+	for t := int64(0); t < horizon; t++ {
+		host := map[int]float64{}
+		dev := map[int]float64{}
+		for v := 0; v < n; v++ {
+			c := g.WCET(v)
+			if c == 0 {
+				continue
+			}
+			lo := t - c + 1
+			if lo < 0 {
+				lo = 0
+			}
+			for s := lo; s <= t && s <= latest[v]; s++ {
+				if isDev(v) {
+					dev[x[v][s]] = 1
+				} else {
+					host[x[v][s]] = 1
+				}
+			}
+		}
+		if len(host) > 0 {
+			m.AddConstraint(host, lp.LE, float64(p.Cores))
+		}
+		if len(dev) > 0 {
+			m.AddConstraint(dev, lp.LE, float64(p.Devices))
+		}
+	}
+
+	// Makespan ≥ finish of every sink.
+	for _, v := range g.Sinks() {
+		terms := start(v)
+		neg := map[int]float64{mk: 1}
+		for id, c := range terms {
+			neg[id] = -c
+		}
+		m.AddConstraint(neg, lp.GE, float64(g.WCET(v)))
+	}
+
+	sol, err := m.SolveMILP(lp.MILPOptions{MaxNodes: 200_000})
+	if err != nil {
+		return nil, fmt.Errorf("ilp: %w", err)
+	}
+	res := &Result{
+		Makespan:   int64(math.Round(sol.Objective)),
+		Starts:     make([]int64, n),
+		Nodes:      sol.Nodes,
+		Iterations: sol.Iterations,
+	}
+	for v := 0; v < n; v++ {
+		for t := int64(0); t <= latest[v]; t++ {
+			if sol.X[x[v][t]] > 0.5 {
+				res.Starts[v] = t
+				break
+			}
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,139 @@
+package ilp
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+func TestChain(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 2, dag.Host)
+	b := g.AddNode("", 3, dag.Host)
+	g.MustAddEdge(a, b)
+	r, err := MinMakespan(g, sched.Homogeneous(2), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 5 {
+		t.Fatalf("makespan = %d, want 5", r.Makespan)
+	}
+	if r.Starts[a] != 0 || r.Starts[b] != 2 {
+		t.Fatalf("starts = %v, want [0 2]", r.Starts)
+	}
+}
+
+func TestParallelOnOneCore(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 2, dag.Host)
+	g.AddNode("", 3, dag.Host)
+	r, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 5 {
+		t.Fatalf("makespan = %d, want 5 (serialized)", r.Makespan)
+	}
+}
+
+func TestOffloadOverlap(t *testing.T) {
+	// s(1) → {vOff(4), a(4)} → t(1): hetero m=1 overlaps → 6.
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	v := g.AddNode("vOff", 4, dag.Offload)
+	a := g.AddNode("a", 4, dag.Host)
+	e := g.AddNode("t", 1, dag.Host)
+	g.MustAddEdge(s, v)
+	g.MustAddEdge(s, a)
+	g.MustAddEdge(v, e)
+	g.MustAddEdge(a, e)
+	r, err := MinMakespan(g, sched.Hetero(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 6 {
+		t.Fatalf("hetero makespan = %d, want 6", r.Makespan)
+	}
+	rh, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh.Makespan != 10 {
+		t.Fatalf("homogeneous makespan = %d, want 10", rh.Makespan)
+	}
+}
+
+func TestZeroWCETNodes(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 0, dag.Host)
+	b := g.AddNode("", 3, dag.Host)
+	c := g.AddNode("", 0, dag.Sync)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	r, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 3 {
+		t.Fatalf("makespan = %d, want 3", r.Makespan)
+	}
+}
+
+func TestRejectsTooLarge(t *testing.T) {
+	g := dag.New()
+	for i := 0; i < 50; i++ {
+		g.AddNode("", 100, dag.Host)
+	}
+	if _, err := MinMakespan(g, sched.Homogeneous(2), 0); err == nil {
+		t.Fatal("accepted model beyond size limit")
+	}
+}
+
+func TestRejectsCycle(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 1, dag.Host)
+	b := g.AddNode("", 1, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := MinMakespan(g, sched.Homogeneous(1), 0); err == nil {
+		t.Fatal("accepted cyclic graph")
+	}
+}
+
+// TestCrossValidateAgainstBranchAndBound is the oracle-vs-oracle test: the
+// generic MILP and the dedicated branch-and-bound must agree on the minimum
+// makespan of random tiny instances (both homogeneous and heterogeneous).
+func TestCrossValidateAgainstBranchAndBound(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Params{
+		PPar: 0.6, NPar: 3, MaxDepth: 2, NMin: 3, NMax: 8, CMin: 1, CMax: 5,
+	}, 31415)
+	for i := 0; i < 12; i++ {
+		g, err := gen.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i%2 == 0 {
+			taskgen.SetOffload(g, g.NumNodes()/2, 0.3)
+		}
+		for _, p := range []sched.Platform{sched.Homogeneous(2), sched.Hetero(2)} {
+			bb, err := exact.MinMakespan(g, p, exact.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if bb.Status != exact.Optimal {
+				t.Fatalf("iter %d: B&B not optimal on tiny instance", i)
+			}
+			il, err := MinMakespan(g, p, 0)
+			if err != nil {
+				t.Fatalf("iter %d %v: ILP: %v", i, p, err)
+			}
+			if il.Makespan != bb.Makespan {
+				t.Fatalf("iter %d %v: ILP %d ≠ B&B %d\n%s",
+					i, p, il.Makespan, bb.Makespan, g.DOT("g"))
+			}
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+func approx(a, b float64) bool { return math.Abs(a-b) < 1e-6 }
+
+func TestLPMaximizeBasic(t *testing.T) {
+	// max 3x + 5y s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, obj=36.
+	m := NewModel()
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(Maximize, map[int]float64{x: 3, y: 5})
+	m.AddConstraint(map[int]float64{x: 1}, LE, 4)
+	m.AddConstraint(map[int]float64{y: 2}, LE, 12)
+	m.AddConstraint(map[int]float64{x: 3, y: 2}, LE, 18)
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 36) || !approx(sol.X[x], 2) || !approx(sol.X[y], 6) {
+		t.Fatalf("sol = %+v, want obj 36 at (2,6)", sol)
+	}
+}
+
+func TestLPMinimizeWithGE(t *testing.T) {
+	// min 2x + 3y s.t. x + y ≥ 10, x ≥ 2 → (8,2)? obj: prefer x (cheaper):
+	// x=10,y=0 → 20; but x ≥ 2 already holds. Optimum 20.
+	m := NewModel()
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(Minimize, map[int]float64{x: 2, y: 3})
+	m.AddConstraint(map[int]float64{x: 1, y: 1}, GE, 10)
+	m.AddConstraint(map[int]float64{x: 1}, GE, 2)
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 20) {
+		t.Fatalf("obj = %v, want 20", sol.Objective)
+	}
+}
+
+func TestLPEquality(t *testing.T) {
+	// min x + y s.t. x + 2y = 4, x - y = 1 → x=2, y=1, obj=3.
+	m := NewModel()
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(Minimize, map[int]float64{x: 1, y: 1})
+	m.AddConstraint(map[int]float64{x: 1, y: 2}, EQ, 4)
+	m.AddConstraint(map[int]float64{x: 1, y: -1}, EQ, 1)
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x], 2) || !approx(sol.X[y], 1) {
+		t.Fatalf("X = %v, want (2,1)", sol.X)
+	}
+}
+
+func TestLPInfeasible(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x")
+	m.SetObjective(Minimize, map[int]float64{x: 1})
+	m.AddConstraint(map[int]float64{x: 1}, LE, 1)
+	m.AddConstraint(map[int]float64{x: 1}, GE, 2)
+	if _, err := m.SolveLP(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestLPUnbounded(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x")
+	m.SetObjective(Maximize, map[int]float64{x: 1})
+	m.AddConstraint(map[int]float64{x: -1}, LE, 0) // x ≥ 0 anyway
+	if _, err := m.SolveLP(); !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+}
+
+func TestLPNegativeRHSNormalization(t *testing.T) {
+	// x - y ≤ -2 with min x, x,y ≥ 0 → x=0 (y ≥ 2 free). Obj 0.
+	m := NewModel()
+	x := m.AddVariable("x")
+	y := m.AddVariable("y")
+	m.SetObjective(Minimize, map[int]float64{x: 1})
+	m.AddConstraint(map[int]float64{x: 1, y: -1}, LE, -2)
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.X[x], 0) {
+		t.Fatalf("x = %v, want 0", sol.X[x])
+	}
+	if sol.X[y] < 2-1e-6 {
+		t.Fatalf("y = %v, want ≥ 2", sol.X[y])
+	}
+}
+
+func TestLPDegenerateNoCycle(t *testing.T) {
+	// A classic degenerate LP; Bland's rule must terminate.
+	m := NewModel()
+	x1 := m.AddVariable("x1")
+	x2 := m.AddVariable("x2")
+	x3 := m.AddVariable("x3")
+	m.SetObjective(Maximize, map[int]float64{x1: 10, x2: -57, x3: -9})
+	m.AddConstraint(map[int]float64{x1: 0.5, x2: -5.5, x3: -2.5}, LE, 0)
+	m.AddConstraint(map[int]float64{x1: 0.5, x2: -1.5, x3: -0.5}, LE, 0)
+	m.AddConstraint(map[int]float64{x1: 1}, LE, 1)
+	sol, err := m.SolveLP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sol.Objective < -1e-6 {
+		t.Fatalf("objective %v < 0", sol.Objective)
+	}
+}
+
+func TestLPBadVariableIndex(t *testing.T) {
+	m := NewModel()
+	m.AddVariable("x")
+	m.AddConstraint(map[int]float64{5: 1}, LE, 1)
+	if _, err := m.SolveLP(); err == nil {
+		t.Fatal("accepted constraint on unknown variable")
+	}
+}
+
+func TestMILPKnapsack(t *testing.T) {
+	// max 8a + 11b + 6c + 4d s.t. 5a+7b+4c+3d ≤ 14, binary → 21 (b,c,d).
+	m := NewModel()
+	vars := make([]int, 4)
+	values := []float64{8, 11, 6, 4}
+	weights := []float64{5, 7, 4, 3}
+	obj := map[int]float64{}
+	cons := map[int]float64{}
+	for i := range vars {
+		vars[i] = m.AddIntVariable("v")
+		obj[vars[i]] = values[i]
+		cons[vars[i]] = weights[i]
+		m.AddConstraint(map[int]float64{vars[i]: 1}, LE, 1) // binary
+	}
+	m.SetObjective(Maximize, obj)
+	m.AddConstraint(cons, LE, 14)
+	sol, err := m.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 21) {
+		t.Fatalf("obj = %v, want 21", sol.Objective)
+	}
+	if !approx(sol.X[vars[0]], 0) || !approx(sol.X[vars[1]], 1) {
+		t.Fatalf("X = %v, want b,c,d packed", sol.X)
+	}
+}
+
+func TestMILPIntegerRounding(t *testing.T) {
+	// max x s.t. 2x ≤ 7, x integer → 3 (LP gives 3.5).
+	m := NewModel()
+	x := m.AddIntVariable("x")
+	m.SetObjective(Maximize, map[int]float64{x: 1})
+	m.AddConstraint(map[int]float64{x: 2}, LE, 7)
+	sol, err := m.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 3) || !approx(sol.X[x], 3) {
+		t.Fatalf("sol = %+v, want x=3", sol)
+	}
+}
+
+func TestMILPInfeasible(t *testing.T) {
+	// 2x = 1 with x integer is infeasible.
+	m := NewModel()
+	x := m.AddIntVariable("x")
+	m.SetObjective(Minimize, map[int]float64{x: 1})
+	m.AddConstraint(map[int]float64{x: 2}, EQ, 1)
+	if _, err := m.SolveMILP(MILPOptions{}); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestMILPPureLPPassThrough(t *testing.T) {
+	m := NewModel()
+	x := m.AddVariable("x")
+	m.SetObjective(Maximize, map[int]float64{x: 2})
+	m.AddConstraint(map[int]float64{x: 1}, LE, 5)
+	sol, err := m.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 10) {
+		t.Fatalf("obj = %v, want 10", sol.Objective)
+	}
+}
+
+func TestMILPNodeLimit(t *testing.T) {
+	// The knapsack of TestMILPKnapsack has a fractional root relaxation
+	// (x3 = 0.5), so a node budget of 1 cannot prove optimality.
+	m := NewModel()
+	values := []float64{8, 11, 6, 4}
+	weights := []float64{5, 7, 4, 3}
+	obj := map[int]float64{}
+	cons := map[int]float64{}
+	for i := range values {
+		v := m.AddIntVariable("v")
+		obj[v] = values[i]
+		cons[v] = weights[i]
+		m.AddConstraint(map[int]float64{v: 1}, LE, 1)
+	}
+	m.SetObjective(Maximize, obj)
+	m.AddConstraint(cons, LE, 14)
+	_, err := m.SolveMILP(MILPOptions{MaxNodes: 1})
+	if !errors.Is(err, ErrNodeLimit) {
+		t.Fatalf("err = %v, want ErrNodeLimit", err)
+	}
+}
+
+func TestMILPEqualityInteger(t *testing.T) {
+	// min 3x + 2y s.t. x + y = 5, x ≥ 0, y ≤ 3 integer → x=2,y=3 obj 12.
+	m := NewModel()
+	x := m.AddIntVariable("x")
+	y := m.AddIntVariable("y")
+	m.SetObjective(Minimize, map[int]float64{x: 3, y: 2})
+	m.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 5)
+	m.AddConstraint(map[int]float64{y: 1}, LE, 3)
+	sol, err := m.SolveMILP(MILPOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approx(sol.Objective, 12) || !approx(sol.X[x], 2) || !approx(sol.X[y], 3) {
+		t.Fatalf("sol = %+v, want (2,3) obj 12", sol)
+	}
+}

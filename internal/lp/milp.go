@@ -1,0 +1,152 @@
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// MILPOptions tune SolveMILP.
+type MILPOptions struct {
+	// MaxNodes caps branch-and-bound nodes (0 = default 100000).
+	MaxNodes int
+	// IntTol is the integrality tolerance (0 = default 1e-6).
+	IntTol float64
+}
+
+// ErrNodeLimit is returned when the branch-and-bound node budget is
+// exhausted before optimality is proven.
+var ErrNodeLimit = errors.New("lp: MILP node limit exceeded")
+
+// SolveMILP solves the model respecting integrality of variables added via
+// AddIntVariable, by LP-relaxation branch and bound (branching on the most
+// fractional integer variable, depth-first, bound-driven pruning).
+func (m *Model) SolveMILP(opts MILPOptions) (*Solution, error) {
+	maxNodes := opts.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 100_000
+	}
+	tol := opts.IntTol
+	if tol == 0 {
+		tol = 1e-6
+	}
+	hasInt := false
+	for _, b := range m.integer {
+		if b {
+			hasInt = true
+			break
+		}
+	}
+	if !hasInt {
+		return m.SolveLP()
+	}
+
+	type node struct {
+		bounds []bound
+	}
+
+	var (
+		best     *Solution
+		nodes    int
+		pivots   int
+		stack    = []node{{}}
+		better   func(obj float64) bool
+		objSense = m.direction
+	)
+	if objSense == Minimize {
+		better = func(obj float64) bool { return best == nil || obj < best.Objective-1e-9 }
+	} else {
+		better = func(obj float64) bool { return best == nil || obj > best.Objective+1e-9 }
+	}
+
+	for len(stack) > 0 {
+		nd := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		nodes++
+		if nodes > maxNodes {
+			if best != nil {
+				best.Nodes = nodes
+				best.Iterations = pivots
+				return best, ErrNodeLimit
+			}
+			return nil, ErrNodeLimit
+		}
+		sub := m.withBounds(nd.bounds)
+		sol, err := sub.SolveLP()
+		if errors.Is(err, ErrInfeasible) {
+			continue
+		}
+		if err != nil {
+			return nil, fmt.Errorf("lp: relaxation at node %d: %w", nodes, err)
+		}
+		pivots += sol.Iterations
+		if !better(sol.Objective) {
+			continue // bound-dominated
+		}
+		// Find most fractional integer variable.
+		branchVar, frac := -1, 0.0
+		for v, isInt := range m.integer {
+			if !isInt {
+				continue
+			}
+			f := sol.X[v] - math.Floor(sol.X[v])
+			d := math.Min(f, 1-f)
+			if d > tol && d > frac {
+				branchVar, frac = v, d
+			}
+		}
+		if branchVar < 0 {
+			// Integral: new incumbent.
+			s := *sol
+			s.X = append([]float64(nil), sol.X...)
+			best = &s
+			continue
+		}
+		fl := math.Floor(sol.X[branchVar])
+		// Depth-first: push the "floor" branch last so it is explored first
+		// (rounding down tends to be feasible for start-time models).
+		up := append(append([]bound(nil), nd.bounds...), bound{branchVar, GE, fl + 1})
+		down := append(append([]bound(nil), nd.bounds...), bound{branchVar, LE, fl})
+		stack = append(stack, node{bounds: up}, node{bounds: down})
+	}
+	if best == nil {
+		return nil, ErrInfeasible
+	}
+	best.Nodes = nodes
+	best.Iterations = pivots
+	// Snap near-integral values.
+	for v, isInt := range m.integer {
+		if isInt {
+			best.X[v] = math.Round(best.X[v])
+		}
+	}
+	return best, nil
+}
+
+// bound is a single-variable branching constraint used by SolveMILP.
+type bound struct {
+	v     int
+	sense Sense
+	rhs   float64
+}
+
+// withBounds returns a shallow model copy with extra single-variable bound
+// constraints appended.
+func (m *Model) withBounds(bounds []bound) *Model {
+	c := &Model{
+		names:     m.names,
+		integer:   m.integer,
+		objective: m.objective,
+		direction: m.direction,
+	}
+	c.constraints = make([]Constraint, len(m.constraints), len(m.constraints)+len(bounds))
+	copy(c.constraints, m.constraints)
+	for _, b := range bounds {
+		c.constraints = append(c.constraints, Constraint{
+			Terms: map[int]float64{b.v: 1},
+			Sense: b.sense,
+			RHS:   b.rhs,
+		})
+	}
+	return c
+}

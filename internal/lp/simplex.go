@@ -1,0 +1,424 @@
+// Package lp is a small, self-contained linear and mixed-integer linear
+// programming solver used as the stand-in for IBM ILOG CPLEX in the paper's
+// evaluation (Section 5: "the ILP formulation has been coded and solved with
+// the IBM ILOG CPLEX Optimization Studio"). It provides:
+//
+//   - a dense two-phase primal simplex (Bland's rule, so it cannot cycle)
+//     over models built with Model/AddVariable/AddConstraint, and
+//   - a depth-first branch-and-bound MILP solver on top of it.
+//
+// The implementation favours clarity and numeric robustness at small scale
+// over speed: the time-indexed makespan ILPs of package ilp have a few
+// hundred variables, well within dense-tableau territory. All variables are
+// non-negative; use an upper-bound constraint for bounded variables.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a constraint.
+type Sense int
+
+const (
+	// LE is ≤.
+	LE Sense = iota
+	// GE is ≥.
+	GE
+	// EQ is =.
+	EQ
+)
+
+// Objective direction.
+const (
+	Minimize = iota
+	Maximize
+)
+
+// Constraint is Σ coef·x {≤,≥,=} rhs. Terms maps variable index → coefficient.
+type Constraint struct {
+	Terms map[int]float64
+	Sense Sense
+	RHS   float64
+}
+
+// Model is an LP/MILP in natural form: variables x ≥ 0, optional
+// integrality, linear constraints, and a linear objective.
+type Model struct {
+	names       []string
+	integer     []bool
+	objective   map[int]float64
+	direction   int
+	constraints []Constraint
+}
+
+// NewModel returns an empty minimization model.
+func NewModel() *Model {
+	return &Model{objective: map[int]float64{}, direction: Minimize}
+}
+
+// AddVariable adds a continuous variable (x ≥ 0) and returns its index.
+func (m *Model) AddVariable(name string) int {
+	m.names = append(m.names, name)
+	m.integer = append(m.integer, false)
+	return len(m.names) - 1
+}
+
+// AddIntVariable adds an integer variable (x ≥ 0, x ∈ ℤ).
+func (m *Model) AddIntVariable(name string) int {
+	id := m.AddVariable(name)
+	m.integer[id] = true
+	return id
+}
+
+// NumVariables returns the number of variables.
+func (m *Model) NumVariables() int { return len(m.names) }
+
+// NumConstraints returns the number of constraints.
+func (m *Model) NumConstraints() int { return len(m.constraints) }
+
+// VarName returns the name of variable i.
+func (m *Model) VarName(i int) string { return m.names[i] }
+
+// SetObjective sets the optimization direction (Minimize or Maximize) and
+// the objective coefficients (variable index → coefficient).
+func (m *Model) SetObjective(direction int, coefs map[int]float64) {
+	m.direction = direction
+	m.objective = map[int]float64{}
+	for k, v := range coefs {
+		m.objective[k] = v
+	}
+}
+
+// SetObjectiveCoef sets a single objective coefficient.
+func (m *Model) SetObjectiveCoef(v int, c float64) { m.objective[v] = c }
+
+// AddConstraint appends Σ terms {sense} rhs and returns its index.
+func (m *Model) AddConstraint(terms map[int]float64, sense Sense, rhs float64) int {
+	t := make(map[int]float64, len(terms))
+	for k, v := range terms {
+		if v != 0 {
+			t[k] = v
+		}
+	}
+	m.constraints = append(m.constraints, Constraint{Terms: t, Sense: sense, RHS: rhs})
+	return len(m.constraints) - 1
+}
+
+// Solution of an LP or MILP.
+type Solution struct {
+	// Objective is the optimal objective value in the model's direction.
+	Objective float64
+	// X holds the variable values.
+	X []float64
+	// Iterations counts simplex pivots (LP) summed over B&B nodes (MILP).
+	Iterations int
+	// Nodes counts branch-and-bound nodes (1 for pure LPs).
+	Nodes int
+}
+
+// ErrInfeasible is returned when no feasible point exists.
+var ErrInfeasible = errors.New("lp: infeasible")
+
+// ErrUnbounded is returned when the objective is unbounded.
+var ErrUnbounded = errors.New("lp: unbounded")
+
+// ErrIterLimit is returned when the pivot budget is exhausted.
+var ErrIterLimit = errors.New("lp: iteration limit exceeded")
+
+const (
+	eps       = 1e-9
+	maxPivots = 200_000
+)
+
+// SolveLP solves the continuous relaxation (integrality ignored).
+func (m *Model) SolveLP() (*Solution, error) {
+	t, err := newTableau(m)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.solve(); err != nil {
+		return nil, err
+	}
+	x := t.extract(m.NumVariables())
+	obj := 0.0
+	for v, c := range m.objective {
+		obj += c * x[v]
+	}
+	return &Solution{Objective: obj, X: x, Iterations: t.pivots, Nodes: 1}, nil
+}
+
+// tableau is a standard-form dense simplex tableau:
+// minimize c·x s.t. Ax = b, x ≥ 0, with slack/surplus/artificial columns.
+type tableau struct {
+	rows, cols int // constraint rows, total columns (excl. RHS)
+	a          [][]float64
+	basis      []int
+	nArtif     int
+	artifStart int
+	obj        []float64 // phase-2 cost vector over all columns
+	pivots     int
+}
+
+func newTableau(m *Model) (*tableau, error) {
+	n := m.NumVariables()
+	rows := len(m.constraints)
+	// Count slack columns (one per LE/GE) and artificials.
+	slacks := 0
+	for _, c := range m.constraints {
+		if c.Sense != EQ {
+			slacks++
+		}
+	}
+	cols := n + slacks
+	t := &tableau{rows: rows, cols: cols}
+	t.a = make([][]float64, rows)
+	t.basis = make([]int, rows)
+
+	slackIdx := n
+	type rowInfo struct {
+		needArtif bool
+	}
+	infos := make([]rowInfo, rows)
+	for i, c := range m.constraints {
+		row := make([]float64, cols+1) // +1 for RHS
+		for v, coef := range c.Terms {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("lp: constraint %d references variable %d", i, v)
+			}
+			row[v] = coef
+		}
+		rhs := c.RHS
+		switch c.Sense {
+		case LE:
+			row[slackIdx] = 1
+			t.basis[i] = slackIdx
+			slackIdx++
+		case GE:
+			row[slackIdx] = -1
+			infos[i].needArtif = true
+			slackIdx++
+		case EQ:
+			infos[i].needArtif = true
+		}
+		row[cols] = rhs
+		t.a[i] = row
+	}
+	// Normalize negative RHS, then decide artificials.
+	for i := range t.a {
+		if t.a[i][t.cols] < 0 {
+			for j := range t.a[i] {
+				t.a[i][j] = -t.a[i][j]
+			}
+			// A flipped LE row's slack becomes -1: needs an artificial.
+			if m.constraints[i].Sense == LE {
+				infos[i].needArtif = true
+				t.basis[i] = -1
+			}
+			if m.constraints[i].Sense == GE {
+				// Flipped GE: surplus became +1 and can serve as basis.
+				infos[i].needArtif = false
+				// Find its surplus column (the -1 we added, now +1).
+				for j := n; j < t.cols; j++ {
+					if t.a[i][j] == 1 {
+						t.basis[i] = j
+						break
+					}
+				}
+			}
+		}
+	}
+	nArtif := 0
+	for i := range infos {
+		if infos[i].needArtif {
+			nArtif++
+		}
+	}
+	t.nArtif = nArtif
+	t.artifStart = t.cols
+	if nArtif > 0 {
+		// Extend every row with artificial columns.
+		newCols := t.cols + nArtif
+		ai := t.cols
+		for i := range t.a {
+			row := make([]float64, newCols+1)
+			copy(row, t.a[i][:t.cols])
+			row[newCols] = t.a[i][t.cols]
+			t.a[i] = row
+			if infos[i].needArtif {
+				row[ai] = 1
+				t.basis[i] = ai
+				ai++
+			}
+		}
+		t.cols = newCols
+	}
+	// Phase-2 objective: minimize (convert Maximize by negation).
+	t.obj = make([]float64, t.cols)
+	sign := 1.0
+	if m.direction == Maximize {
+		sign = -1.0
+	}
+	for v, c := range m.objective {
+		t.obj[v] = sign * c
+	}
+	return t, nil
+}
+
+// solve runs phase 1 (drive artificials out) then phase 2.
+func (t *tableau) solve() error {
+	if t.nArtif > 0 {
+		phase1 := make([]float64, t.cols)
+		for j := t.artifStart; j < t.cols; j++ {
+			phase1[j] = 1
+		}
+		val, err := t.optimize(phase1, false)
+		if err != nil {
+			return err
+		}
+		if val > 1e-6 {
+			return ErrInfeasible
+		}
+		// Pivot any artificial still in the basis to a real column.
+		for i, b := range t.basis {
+			if b < t.artifStart {
+				continue
+			}
+			pivoted := false
+			for j := 0; j < t.artifStart; j++ {
+				if math.Abs(t.a[i][j]) > eps {
+					t.pivot(i, j)
+					pivoted = true
+					break
+				}
+			}
+			if !pivoted {
+				// Redundant row: harmless; leave the artificial at zero.
+				_ = i
+			}
+		}
+	}
+	_, err := t.optimize(t.obj, t.nArtif > 0)
+	return err
+}
+
+// optimize minimizes cost·x over the current tableau using Bland's rule.
+// banArtificials excludes artificial columns from entering the basis
+// (phase 2): letting one re-enter would silently relax the constraint it
+// stood in for.
+func (t *tableau) optimize(cost []float64, banArtificials bool) (float64, error) {
+	// Reduced costs maintained via the classic full-tableau method: keep a
+	// working objective row z = cost with basis columns eliminated.
+	z := make([]float64, t.cols+1)
+	copy(z, cost)
+	for i, b := range t.basis {
+		if b >= 0 && math.Abs(z[b]) > 0 {
+			coef := z[b]
+			for j := 0; j <= t.cols; j++ {
+				z[j] -= coef * t.a[i][j]
+			}
+		}
+	}
+	limit := t.cols
+	if banArtificials {
+		limit = t.artifStart
+	}
+	// Pivot selection: Dantzig's rule (most negative reduced cost) for
+	// speed, falling back to Bland's rule (lowest index) after a streak of
+	// degenerate pivots so cycling is impossible. This hybrid is standard
+	// practice: Bland alone crawls on the highly degenerate time-indexed
+	// scheduling LPs of package ilp.
+	const degenerateSwitch = 40
+	degenerate := 0
+	for {
+		enter := -1
+		if degenerate < degenerateSwitch {
+			worst := -eps
+			for j := 0; j < limit; j++ {
+				if z[j] < worst {
+					worst = z[j]
+					enter = j
+				}
+			}
+		} else {
+			for j := 0; j < limit; j++ {
+				if z[j] < -eps {
+					enter = j
+					break
+				}
+			}
+		}
+		if enter < 0 {
+			return -z[t.cols], nil
+		}
+		// Ratio test, ties by lowest basis variable index (Bland-safe).
+		leave := -1
+		var best float64
+		for i := 0; i < t.rows; i++ {
+			if t.a[i][enter] > eps {
+				ratio := t.a[i][t.cols] / t.a[i][enter]
+				if leave < 0 || ratio < best-eps ||
+					(math.Abs(ratio-best) <= eps && t.basis[i] < t.basis[leave]) {
+					leave = i
+					best = ratio
+				}
+			}
+		}
+		if leave < 0 {
+			return 0, ErrUnbounded
+		}
+		if best <= eps {
+			degenerate++
+		} else {
+			degenerate = 0
+		}
+		t.pivot(leave, enter)
+		// Update objective row.
+		coef := z[enter]
+		if math.Abs(coef) > 0 {
+			for j := 0; j <= t.cols; j++ {
+				z[j] -= coef * t.a[leave][j]
+			}
+		}
+		t.pivots++
+		if t.pivots > maxPivots {
+			return 0, ErrIterLimit
+		}
+	}
+}
+
+func (t *tableau) pivot(r, c int) {
+	p := t.a[r][c]
+	for j := 0; j <= t.cols; j++ {
+		t.a[r][j] /= p
+	}
+	for i := 0; i < t.rows; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i][c]
+		if f == 0 {
+			continue
+		}
+		for j := 0; j <= t.cols; j++ {
+			t.a[i][j] -= f * t.a[r][j]
+		}
+	}
+	t.basis[r] = c
+}
+
+// extract reads the first n variable values from the tableau.
+func (t *tableau) extract(n int) []float64 {
+	x := make([]float64, n)
+	for i, b := range t.basis {
+		if b >= 0 && b < n {
+			x[b] = t.a[i][t.cols]
+			if math.Abs(x[b]) < eps {
+				x[b] = 0
+			}
+		}
+	}
+	return x
+}

@@ -1,0 +1,170 @@
+// Package multioff implements the paper's future-work extensions
+// (Section 7): "(i) more tasks assigned to the accelerator device, and
+// (ii) more devices in the heterogeneous architecture".
+//
+// It provides:
+//
+//   - TypedRhom: the typed generalization of Equation 1 to DAGs with any
+//     number of offloaded nodes executing on d identical devices (after the
+//     typed-DAG response-time bounds of Han et al.; it degenerates exactly
+//     to Eq. 1 on homogeneous DAGs). For any work-conserving schedule on
+//     m cores + d devices,
+//
+//     R ≤ volHost/m + volDev/d + max_λ Σ_{v∈λ} C_v·(1 − 1/cap(v))
+//
+//     where λ ranges over paths, cap(v) is m for host nodes and d for
+//     offloaded nodes. Proof sketch: build the interference chain backwards
+//     from the last finishing node as in Graham's argument; whenever the
+//     current chain node is not executing, every machine of its class is
+//     busy, so the total blocked time is at most Σ_t (vol_t − work_t(λ))/m_t;
+//     add the chain's own work and maximize over paths.
+//
+//   - TransformAll: Algorithm 1 applied iteratively around every offloaded
+//     node (in a deterministic order), producing a DAG in which each
+//     offloaded region is gated by its own synchronization node. The
+//     package test suite validates precedence preservation and simulator
+//     safety on random multi-offload tasks.
+package multioff
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+	"repro/internal/transform"
+)
+
+// TypedRhom computes the typed Graham bound for a DAG with host nodes on m
+// cores and Offload nodes on d identical devices. With no offload nodes it
+// equals rta.Rhom. d must be ≥ 1 when the graph has offload nodes.
+func TypedRhom(g *dag.Graph, m, d int) (float64, error) {
+	if m < 1 {
+		return 0, fmt.Errorf("multioff: m = %d", m)
+	}
+	offs := g.OffloadNodes()
+	if len(offs) > 0 && d < 1 {
+		return 0, fmt.Errorf("multioff: %d offload nodes but %d devices", len(offs), d)
+	}
+	order, ok := g.TopoOrder()
+	if !ok {
+		return 0, fmt.Errorf("multioff: %w", dag.ErrCyclic)
+	}
+	var volHost, volDev float64
+	for _, n := range g.Nodes() {
+		if n.Kind == dag.Offload {
+			volDev += float64(n.WCET)
+		} else {
+			volHost += float64(n.WCET)
+		}
+	}
+	// Longest path under modified weights C_v·(1 − 1/cap(v)).
+	weight := func(v int) float64 {
+		c := float64(g.WCET(v))
+		if g.Kind(v) == dag.Offload {
+			return c * (1 - 1/float64(d))
+		}
+		return c * (1 - 1/float64(m))
+	}
+	best := make([]float64, g.NumNodes())
+	var maxPath float64
+	for i := len(order) - 1; i >= 0; i-- {
+		v := order[i]
+		var tail float64
+		for _, w := range g.Succs(v) {
+			if best[w] > tail {
+				tail = best[w]
+			}
+		}
+		best[v] = weight(v) + tail
+		if best[v] > maxPath {
+			maxPath = best[v]
+		}
+	}
+	r := volHost/float64(m) + maxPath
+	if d > 0 {
+		r += volDev / float64(d)
+	}
+	return r, nil
+}
+
+// MultiResult is the outcome of TransformAll.
+type MultiResult struct {
+	// Transformed is the DAG after gating every offload node with a
+	// synchronization node. Later transformation steps may re-gate earlier
+	// offload nodes (an offload parallel to a later one joins that one's
+	// GPar), so several offloads can share a gate.
+	Transformed *dag.Graph
+	// Syncs maps each offload node (original ID) to its final gate: the
+	// Sync node that is its sole direct predecessor in Transformed.
+	Syncs map[int]int
+	// Steps records the per-offload transformation order.
+	Steps []int
+}
+
+// TransformAll applies Algorithm 1 iteratively around every offload node,
+// in descending-COff order (ties by ID) so the dominant region is gated
+// first. The input must be transitively reduced and acyclic; node IDs of
+// the original graph are preserved (each step appends one vsync).
+func TransformAll(g *dag.Graph) (*MultiResult, error) {
+	offs := g.OffloadNodes()
+	if len(offs) == 0 {
+		return nil, transform.ErrNoOffload
+	}
+	sort.Slice(offs, func(i, j int) bool {
+		ci, cj := g.WCET(offs[i]), g.WCET(offs[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return offs[i] < offs[j]
+	})
+	cur := g.Clone()
+	res := &MultiResult{Syncs: map[int]int{}}
+	for _, vOff := range offs {
+		// Re-reduce: earlier steps may have introduced redundant edges
+		// relative to the rerouted paths.
+		if _, err := cur.TransitiveReduction(); err != nil {
+			return nil, err
+		}
+		tr, err := transform.TransformAround(cur, vOff)
+		if err != nil {
+			return nil, fmt.Errorf("multioff: transforming around %d: %w", vOff, err)
+		}
+		cur = tr.Transformed
+		res.Steps = append(res.Steps, vOff)
+	}
+	res.Transformed = cur
+	// Record the final gates: later steps may have re-parented earlier
+	// offload nodes under their own vsync.
+	for _, vOff := range offs {
+		preds := cur.Preds(vOff)
+		if len(preds) != 1 || cur.Kind(preds[0]) != dag.Sync {
+			return nil, fmt.Errorf("multioff: offload %d not sync-gated after TransformAll (preds %v)", vOff, preds)
+		}
+		res.Syncs[vOff] = preds[0]
+	}
+	return res, nil
+}
+
+// CheckTransformAll verifies that every original precedence constraint of g
+// survives in the multi-transformed graph and that each offload node is
+// gated by its synchronization node.
+func CheckTransformAll(g *dag.Graph, r *MultiResult) error {
+	for _, e := range g.Edges() {
+		if !r.Transformed.Reaches(e[0], e[1]) {
+			return fmt.Errorf("multioff: precedence (%d,%d) lost", e[0], e[1])
+		}
+	}
+	for vOff, vsync := range r.Syncs {
+		preds := r.Transformed.Preds(vOff)
+		if len(preds) != 1 || preds[0] != vsync {
+			return fmt.Errorf("multioff: offload %d gated by %v, want [%d]", vOff, preds, vsync)
+		}
+		if r.Transformed.Kind(vsync) != dag.Sync {
+			return fmt.Errorf("multioff: gate %d of offload %d is not a sync node", vsync, vOff)
+		}
+	}
+	if !r.Transformed.IsAcyclic() {
+		return fmt.Errorf("multioff: transformed graph cyclic")
+	}
+	return nil
+}

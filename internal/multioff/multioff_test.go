@@ -1,0 +1,196 @@
+package multioff
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// multiOffTask builds a random task and marks k nodes as offloaded.
+func multiOffTask(t testing.TB, seed int64, k int) *dag.Graph {
+	t.Helper()
+	gen := taskgen.MustNew(taskgen.Small(8, 40), seed)
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := g.NumNodes() / (k + 1)
+	if step == 0 {
+		step = 1
+	}
+	for i := 1; i <= k; i++ {
+		id := (i * step) % g.NumNodes()
+		if g.Kind(id) == dag.Offload {
+			continue
+		}
+		taskgen.SetOffload(g, id, 0.1)
+	}
+	return g
+}
+
+func TestTypedRhomDegeneratesToRhom(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(5, 30), 3)
+	for i := 0; i < 20; i++ {
+		g, err := gen.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{1, 2, 4, 8} {
+			typed, err := TypedRhom(g, m, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := rta.Rhom(g, m); math.Abs(typed-want) > 1e-9 {
+				t.Fatalf("iter %d m=%d: typed %v ≠ Rhom %v on homogeneous DAG", i, m, typed, want)
+			}
+		}
+	}
+}
+
+func TestTypedRhomErrors(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Offload)
+	if _, err := TypedRhom(g, 0, 1); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := TypedRhom(g, 2, 0); err == nil {
+		t.Error("accepted offload nodes without devices")
+	}
+	cyc := dag.New()
+	a := cyc.AddNode("", 1, dag.Host)
+	b := cyc.AddNode("", 1, dag.Host)
+	cyc.MustAddEdge(a, b)
+	cyc.MustAddEdge(b, a)
+	if _, err := TypedRhom(cyc, 2, 1); err == nil {
+		t.Error("accepted cyclic graph")
+	}
+}
+
+func TestTypedRhomSingleChain(t *testing.T) {
+	// Chain h(3) → off(5) → h(2) on m=2, d=1: typed bound =
+	// volH/m + volD/1 + max_λ [3/2·? ...] — compute expected by hand:
+	// weights: host C(1-1/2)=C/2, dev C(1-1/1)=0; path weight = 3/2+0+1 = 2.5;
+	// volH/m = 5/2 = 2.5; volD/d = 5. Total 10.
+	g := dag.New()
+	a := g.AddNode("", 3, dag.Host)
+	b := g.AddNode("", 5, dag.Offload)
+	c := g.AddNode("", 2, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	typed, err := TypedRhom(g, 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(typed-10) > 1e-9 {
+		t.Fatalf("typed = %v, want 10", typed)
+	}
+}
+
+// TestTypedBoundSafeUnderSimulation is the safety property for the
+// extension: any work-conserving schedule on m cores + d devices finishes
+// within TypedRhom, for tasks with several offloaded nodes and several
+// devices.
+func TestTypedBoundSafeUnderSimulation(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, k := range []int{1, 2, 4} {
+			g := multiOffTask(t, 100+seed, k)
+			for _, m := range []int{2, 4} {
+				for _, d := range []int{1, 2} {
+					bound, err := TypedRhom(g, m, d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					p := sched.Platform{Cores: m, Devices: d}
+					for _, pol := range append(sched.Heuristics(), sched.Random(seed)) {
+						r, err := sched.Simulate(g, p, pol)
+						if err != nil {
+							t.Fatal(err)
+						}
+						if err := r.Validate(g); err != nil {
+							t.Fatal(err)
+						}
+						if float64(r.Makespan) > bound+1e-9 {
+							t.Fatalf("seed %d k=%d m=%d d=%d %s: makespan %d > typed bound %v",
+								seed, k, m, d, pol.Name(), r.Makespan, bound)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestTransformAllGatesEveryOffload(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := multiOffTask(t, 200+seed, 3)
+		r, err := TransformAll(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckTransformAll(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(r.Syncs) != len(g.OffloadNodes()) {
+			t.Fatalf("seed %d: %d syncs for %d offload nodes", seed, len(r.Syncs), len(g.OffloadNodes()))
+		}
+	}
+}
+
+func TestTransformAllNoOffload(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Host)
+	if _, err := TransformAll(g); err == nil {
+		t.Fatal("TransformAll succeeded without offload nodes")
+	}
+}
+
+func TestTransformAllDescendingCOffOrder(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	o1 := g.AddNode("o1", 3, dag.Offload)
+	o2 := g.AddNode("o2", 9, dag.Offload)
+	e := g.AddNode("e", 1, dag.Host)
+	g.MustAddEdge(s, o1)
+	g.MustAddEdge(s, o2)
+	g.MustAddEdge(o1, e)
+	g.MustAddEdge(o2, e)
+	r, err := TransformAll(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Steps) != 2 || r.Steps[0] != o2 || r.Steps[1] != o1 {
+		t.Fatalf("Steps = %v, want [o2 o1] (descending COff)", r.Steps)
+	}
+	if err := CheckTransformAll(g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMultiDeviceSimulationUsesAllDevices checks the d>1 plumbing: two
+// independent offload nodes on two devices overlap.
+func TestMultiDeviceSimulationUsesAllDevices(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	o1 := g.AddNode("o1", 10, dag.Offload)
+	o2 := g.AddNode("o2", 10, dag.Offload)
+	e := g.AddNode("e", 1, dag.Host)
+	g.MustAddEdge(s, o1)
+	g.MustAddEdge(s, o2)
+	g.MustAddEdge(o1, e)
+	g.MustAddEdge(o2, e)
+	one, err := sched.Simulate(g, sched.Platform{Cores: 1, Devices: 1}, sched.BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := sched.Simulate(g, sched.Platform{Cores: 1, Devices: 2}, sched.BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan != 22 || two.Makespan != 12 {
+		t.Fatalf("makespans = %d/%d, want 22/12", one.Makespan, two.Makespan)
+	}
+}

@@ -1,0 +1,59 @@
+package rta
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Task is the sporadic DAG task τ = <G, T, D> of Section 2: a DAG G, a
+// minimum inter-arrival time T, and a constrained relative deadline D ≤ T.
+type Task struct {
+	// G models the parallel execution of the task.
+	G *dag.Graph
+	// Period is the minimum inter-arrival time T.
+	Period int64
+	// Deadline is the constrained relative deadline D.
+	Deadline int64
+}
+
+// Validate checks the task's model constraints: a valid DAG under the paper
+// model and 0 < D ≤ T.
+func (t Task) Validate() error {
+	if t.G == nil {
+		return fmt.Errorf("rta: task has nil graph")
+	}
+	if err := t.G.Validate(dag.PaperModel()); err != nil {
+		return err
+	}
+	if t.Deadline <= 0 {
+		return fmt.Errorf("rta: deadline %d must be positive", t.Deadline)
+	}
+	if t.Deadline > t.Period {
+		return fmt.Errorf("rta: constrained deadline violated: D = %d > T = %d", t.Deadline, t.Period)
+	}
+	return nil
+}
+
+// Utilization returns vol(G)/T, the task's utilization.
+func (t Task) Utilization() float64 {
+	return float64(t.G.Volume()) / float64(t.Period)
+}
+
+// SchedulableHom reports whether Rhom(τ) ≤ D on m cores, the schedulability
+// test of Section 3.1, together with the bound itself.
+func (t Task) SchedulableHom(m int) (bool, float64) {
+	r := Rhom(t.G, m)
+	return r <= float64(t.Deadline), r
+}
+
+// SchedulableHet reports whether Rhet(τ') ≤ D on m host cores plus the
+// accelerator, transforming the task first. It returns the full analysis so
+// callers can inspect the scenario.
+func (t Task) SchedulableHet(m int) (bool, *Analysis, error) {
+	a, err := Analyze(t.G, m)
+	if err != nil {
+		return false, nil, err
+	}
+	return a.Het.R <= float64(t.Deadline), a, nil
+}

@@ -1,0 +1,56 @@
+// Package sched is a discrete-event simulator for work-conserving list
+// scheduling of DAG tasks on the paper's heterogeneous platform: a host
+// with m identical cores plus accelerator devices. It stands in for the
+// GOMP (GCC OpenMP runtime) executions of Section 5.2: the paper itself
+// evaluates by simulating the breadth-first work-conserving scheduler over
+// node WCETs, which is exactly what this package does.
+//
+// Scheduling rules:
+//
+//   - Host nodes run on host cores, Offload nodes on devices. With
+//     Devices == 0 the platform is homogeneous and Offload nodes run on
+//     host cores (the paper's Rhom baseline execution).
+//   - Zero-WCET nodes (Sync nodes, dummy sources/sinks) complete the
+//     instant they become ready and occupy no resource.
+//   - Scheduling is work conserving (non-delay): whenever a resource is
+//     free and a compatible node is ready, one is dispatched. The Policy
+//     only chooses which.
+package sched
+
+import "fmt"
+
+// Platform describes the execution platform.
+type Platform struct {
+	// Cores is m, the number of identical host cores.
+	Cores int
+	// Devices is the number of accelerator devices. 0 means a homogeneous
+	// platform where Offload nodes execute on host cores. The paper's
+	// model has exactly 1; the multi-device extension allows more.
+	Devices int
+}
+
+// Hetero returns the paper's platform: m host cores and one accelerator.
+func Hetero(m int) Platform { return Platform{Cores: m, Devices: 1} }
+
+// Homogeneous returns an m-core host-only platform; offload nodes are
+// executed by the host as if they were regular nodes.
+func Homogeneous(m int) Platform { return Platform{Cores: m} }
+
+// Validate checks the platform is usable.
+func (p Platform) Validate() error {
+	if p.Cores < 1 {
+		return fmt.Errorf("sched: platform needs at least 1 core, got %d", p.Cores)
+	}
+	if p.Devices < 0 {
+		return fmt.Errorf("sched: negative device count %d", p.Devices)
+	}
+	return nil
+}
+
+// String renders the platform compactly, e.g. "m=4+1dev".
+func (p Platform) String() string {
+	if p.Devices == 0 {
+		return fmt.Sprintf("m=%d", p.Cores)
+	}
+	return fmt.Sprintf("m=%d+%ddev", p.Cores, p.Devices)
+}

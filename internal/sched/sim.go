@@ -1,0 +1,215 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// Span records the execution of one node.
+type Span struct {
+	// Node is the node ID.
+	Node int
+	// Start and Finish delimit execution; Finish-Start equals the WCET.
+	Start, Finish int64
+	// Resource identifies where the node ran: 0..Cores-1 are host cores,
+	// Cores..Cores+Devices-1 are devices, and -1 marks a zero-WCET node
+	// that completed instantly without occupying a resource.
+	Resource int
+}
+
+// Result is a completed simulation.
+type Result struct {
+	// Makespan is the completion time of the last node (response time of
+	// the single task instance).
+	Makespan int64
+	// Spans holds one Span per node, indexed by node ID.
+	Spans []Span
+	// Policy is the name of the policy that produced the schedule.
+	Policy string
+	// Platform is the platform simulated.
+	Platform Platform
+}
+
+// Simulate executes one instance of task graph g on platform p under the
+// given work-conserving policy and returns the schedule. The graph must be
+// acyclic. Offload nodes require p.Devices ≥ 1 unless the platform is
+// homogeneous (Devices == 0), in which case they run on host cores.
+func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	n := g.NumNodes()
+	if n == 0 {
+		return &Result{Policy: pol.Name(), Platform: p}, nil
+	}
+	if _, ok := g.TopoOrder(); !ok {
+		return nil, fmt.Errorf("sched: %w", dag.ErrCyclic)
+	}
+	pol.Prepare(g)
+
+	// deviceNode reports whether a node needs a device on this platform.
+	deviceNode := func(v int) bool { return p.Devices > 0 && g.Kind(v) == dag.Offload }
+
+	indeg := make([]int, n)
+	for v := 0; v < n; v++ {
+		indeg[v] = g.InDegree(v)
+	}
+	spans := make([]Span, n)
+	done := make([]bool, n)
+	var hostReady, devReady []ReadyItem
+	seq := 0
+
+	// running nodes ordered by finish time (small n: linear scan heap-free).
+	type running struct {
+		node     int
+		finish   int64
+		resource int
+	}
+	var run []running
+
+	freeHost := make([]int, 0, p.Cores)
+	for c := p.Cores - 1; c >= 0; c-- {
+		freeHost = append(freeHost, c) // pop from the back → core 0 first
+	}
+	freeDev := make([]int, 0, p.Devices)
+	for d := p.Devices - 1; d >= 0; d-- {
+		freeDev = append(freeDev, p.Cores+d)
+	}
+
+	completed := 0
+	var now int64
+
+	// release marks v ready at time t, instantly completing zero-WCET
+	// nodes (and cascading through their successors). released guards
+	// against double release when a cascade reaches a node before the
+	// seeding loop does.
+	released := make([]bool, n)
+	var release func(v int, t int64)
+	release = func(v int, t int64) {
+		if released[v] {
+			return
+		}
+		released[v] = true
+		if g.WCET(v) == 0 {
+			spans[v] = Span{Node: v, Start: t, Finish: t, Resource: -1}
+			done[v] = true
+			completed++
+			for _, s := range g.Succs(v) {
+				indeg[s]--
+				if indeg[s] == 0 {
+					release(s, t)
+				}
+			}
+			return
+		}
+		item := ReadyItem{Node: v, Seq: seq, ReadyAt: t}
+		seq++
+		if deviceNode(v) {
+			devReady = append(devReady, item)
+		} else {
+			hostReady = append(hostReady, item)
+		}
+	}
+
+	// Seed sources in ID order so Seq is deterministic.
+	for v := 0; v < n; v++ {
+		if indeg[v] == 0 {
+			release(v, 0)
+		}
+	}
+
+	dispatch := func(ready *[]ReadyItem, free *[]int) {
+		for len(*free) > 0 && len(*ready) > 0 {
+			idx := pol.Pick(*ready)
+			item := (*ready)[idx]
+			*ready = append((*ready)[:idx], (*ready)[idx+1:]...)
+			res := (*free)[len(*free)-1]
+			*free = (*free)[:len(*free)-1]
+			fin := now + g.WCET(item.Node)
+			spans[item.Node] = Span{Node: item.Node, Start: now, Finish: fin, Resource: res}
+			run = append(run, running{node: item.Node, finish: fin, resource: res})
+		}
+	}
+
+	for completed < n {
+		dispatch(&hostReady, &freeHost)
+		dispatch(&devReady, &freeDev)
+		if len(run) == 0 {
+			if len(devReady) > 0 && p.Devices == 0 {
+				return nil, fmt.Errorf("sched: offload node ready but platform has no device")
+			}
+			return nil, fmt.Errorf("sched: deadlock with %d/%d nodes completed", completed, n)
+		}
+		// Advance to the earliest finish; complete everything at that time.
+		next := run[0].finish
+		for _, r := range run[1:] {
+			if r.finish < next {
+				next = r.finish
+			}
+		}
+		now = next
+		// Collect finishing nodes in node-ID order for determinism.
+		var finishing []running
+		keep := run[:0]
+		for _, r := range run {
+			if r.finish == now {
+				finishing = append(finishing, r)
+			} else {
+				keep = append(keep, r)
+			}
+		}
+		run = keep
+		sort.Slice(finishing, func(i, j int) bool { return finishing[i].node < finishing[j].node })
+		for _, r := range finishing {
+			done[r.node] = true
+			completed++
+			if r.resource >= p.Cores {
+				freeDev = append(freeDev, r.resource)
+			} else {
+				freeHost = append(freeHost, r.resource)
+			}
+		}
+		for _, r := range finishing {
+			for _, s := range g.Succs(r.node) {
+				indeg[s]--
+				if indeg[s] == 0 {
+					release(s, now)
+				}
+			}
+		}
+	}
+
+	var makespan int64
+	for v := 0; v < n; v++ {
+		if spans[v].Finish > makespan {
+			makespan = spans[v].Finish
+		}
+	}
+	return &Result{Makespan: makespan, Spans: spans, Policy: pol.Name(), Platform: p}, nil
+}
+
+// Sample runs count simulations under Random policies with distinct seeds
+// (derived from seed) and returns the best and worst observed results. It
+// is the tool for exhibiting schedules like the paper's Figure 1(c), where
+// an unlucky work-conserving order leaves the host idle while the
+// accelerator runs.
+func Sample(g *dag.Graph, p Platform, count int, seed int64) (best, worst *Result, err error) {
+	if count < 1 {
+		return nil, nil, fmt.Errorf("sched: Sample count %d < 1", count)
+	}
+	for i := 0; i < count; i++ {
+		r, err := Simulate(g, p, Random(seed+int64(i)))
+		if err != nil {
+			return nil, nil, err
+		}
+		if best == nil || r.Makespan < best.Makespan {
+			best = r
+		}
+		if worst == nil || r.Makespan > worst.Makespan {
+			worst = r
+		}
+	}
+	return best, worst, nil
+}

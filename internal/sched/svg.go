@@ -1,0 +1,82 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// WriteSVG renders the schedule as a standalone SVG Gantt chart: one lane
+// per resource, host nodes in blue, offload nodes in orange, labels when
+// they fit. Useful for papers and debugging; cmd/dagrta -svg writes it.
+func (r *Result) WriteSVG(w io.Writer, g *dag.Graph) error {
+	const (
+		laneH   = 28.0
+		gap     = 6.0
+		leftPad = 64.0
+		topPad  = 24.0
+		width   = 860.0
+	)
+	lanes := r.Platform.Cores + r.Platform.Devices
+	if lanes == 0 {
+		lanes = 1
+	}
+	height := topPad + float64(lanes)*(laneH+gap) + 28
+	scale := 1.0
+	if r.Makespan > 0 {
+		scale = (width - leftPad - 12) / float64(r.Makespan)
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" font-family="monospace" font-size="11">`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="4" y="14">%s on %s, makespan %d</text>`+"\n",
+		xmlEscape(r.Policy), r.Platform, r.Makespan)
+
+	laneY := func(res int) float64 { return topPad + float64(res)*(laneH+gap) }
+	for res := 0; res < lanes; res++ {
+		label := fmt.Sprintf("core %d", res)
+		if res >= r.Platform.Cores {
+			label = fmt.Sprintf("dev %d", res-r.Platform.Cores)
+		}
+		y := laneY(res)
+		fmt.Fprintf(&b, `<text x="4" y="%.0f">%s</text>`+"\n", y+laneH-9, label)
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#f4f4f4" stroke="#ccc"/>`+"\n",
+			leftPad, y, width-leftPad-12, laneH)
+	}
+	for _, s := range r.Spans {
+		if s.Resource < 0 || s.Finish == s.Start {
+			continue
+		}
+		y := laneY(s.Resource)
+		x := leftPad + float64(s.Start)*scale
+		wd := float64(s.Finish-s.Start) * scale
+		fill := "#6baed6"
+		if g.Kind(s.Node) == dag.Offload {
+			fill = "#fd8d3c"
+		}
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333"/>`+"\n",
+			x, y+2, wd, laneH-4, fill)
+		name := g.Name(s.Node)
+		if wd > float64(6*len(name)) {
+			fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" fill="#111">%s</text>`+"\n",
+				x+3, y+laneH-9, xmlEscape(name))
+		}
+	}
+	// Time axis ticks at 0, ¼, ½, ¾, end.
+	for i := 0; i <= 4; i++ {
+		t := r.Makespan * int64(i) / 4
+		x := leftPad + float64(t)*scale
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" fill="#555">%d</text>`+"\n",
+			x, height-8, t)
+	}
+	b.WriteString("</svg>\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func xmlEscape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;", `"`, "&quot;")
+	return r.Replace(s)
+}

@@ -1,0 +1,190 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/dag"
+)
+
+// Validate checks that the schedule in r is feasible for graph g:
+//
+//   - every node has a span with Finish − Start = WCET;
+//   - precedence: for every edge (u,v), Start(v) ≥ Finish(u);
+//   - resource exclusivity: spans sharing a resource never overlap;
+//   - placement: host nodes on cores, offload nodes on devices (unless the
+//     platform is homogeneous), zero-WCET nodes anywhere;
+//   - capacity: resource indices within the platform.
+//
+// It is used by the test suite to cross-check every simulation and by the
+// exact solver's self-checks.
+func (r *Result) Validate(g *dag.Graph) error {
+	if len(r.Spans) != g.NumNodes() {
+		return fmt.Errorf("sched: %d spans for %d nodes", len(r.Spans), g.NumNodes())
+	}
+	p := r.Platform
+	for v := 0; v < g.NumNodes(); v++ {
+		s := r.Spans[v]
+		if s.Node != v {
+			return fmt.Errorf("sched: span %d labeled %d", v, s.Node)
+		}
+		if s.Finish-s.Start != g.WCET(v) {
+			return fmt.Errorf("sched: node %d ran %d, WCET %d", v, s.Finish-s.Start, g.WCET(v))
+		}
+		if s.Start < 0 {
+			return fmt.Errorf("sched: node %d starts at %d", v, s.Start)
+		}
+		if s.Finish > r.Makespan {
+			return fmt.Errorf("sched: node %d finishes at %d beyond makespan %d", v, s.Finish, r.Makespan)
+		}
+		switch {
+		case g.WCET(v) == 0:
+			// Instant nodes carry Resource -1; nothing to check.
+		case s.Resource < 0 || s.Resource >= p.Cores+p.Devices:
+			return fmt.Errorf("sched: node %d on resource %d outside platform %v", v, s.Resource, p)
+		case p.Devices > 0 && g.Kind(v) == dag.Offload && s.Resource < p.Cores:
+			return fmt.Errorf("sched: offload node %d ran on host core %d", v, s.Resource)
+		case p.Devices > 0 && g.Kind(v) != dag.Offload && s.Resource >= p.Cores:
+			return fmt.Errorf("sched: host node %d ran on device %d", v, s.Resource)
+		}
+	}
+	for _, e := range g.Edges() {
+		if r.Spans[e[1]].Start < r.Spans[e[0]].Finish {
+			return fmt.Errorf("sched: precedence (%d,%d) violated: start %d < finish %d",
+				e[0], e[1], r.Spans[e[1]].Start, r.Spans[e[0]].Finish)
+		}
+	}
+	// Exclusivity per resource.
+	byRes := map[int][]Span{}
+	for _, s := range r.Spans {
+		if s.Resource >= 0 && s.Finish > s.Start {
+			byRes[s.Resource] = append(byRes[s.Resource], s)
+		}
+	}
+	for res, spans := range byRes {
+		sort.Slice(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+		for i := 1; i < len(spans); i++ {
+			if spans[i].Start < spans[i-1].Finish {
+				return fmt.Errorf("sched: resource %d runs nodes %d and %d concurrently",
+					res, spans[i-1].Node, spans[i].Node)
+			}
+		}
+	}
+	return nil
+}
+
+// CheckWorkConserving verifies the non-delay property the analysis assumes:
+// at no instant is a compatible resource idle while a ready node waits.
+// Event times are span starts/finishes.
+func (r *Result) CheckWorkConserving(g *dag.Graph) error {
+	p := r.Platform
+	events := map[int64]struct{}{}
+	for _, s := range r.Spans {
+		events[s.Start] = struct{}{}
+		events[s.Finish] = struct{}{}
+	}
+	times := make([]int64, 0, len(events))
+	for t := range events {
+		times = append(times, t)
+	}
+	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	for _, t := range times {
+		if t >= r.Makespan {
+			continue
+		}
+		busyHost, busyDev := 0, 0
+		for _, s := range r.Spans {
+			if s.Start <= t && t < s.Finish && s.Resource >= 0 {
+				if s.Resource >= p.Cores {
+					busyDev++
+				} else {
+					busyHost++
+				}
+			}
+		}
+		waitHost, waitDev := 0, 0
+		for v := 0; v < g.NumNodes(); v++ {
+			if g.WCET(v) == 0 || r.Spans[v].Start <= t {
+				continue // running, finished, or instant
+			}
+			ready := true
+			for _, u := range g.Preds(v) {
+				if r.Spans[u].Finish > t {
+					ready = false
+					break
+				}
+			}
+			if !ready {
+				continue
+			}
+			if p.Devices > 0 && g.Kind(v) == dag.Offload {
+				waitDev++
+			} else {
+				waitHost++
+			}
+		}
+		if waitHost > 0 && busyHost < p.Cores {
+			return fmt.Errorf("sched: at t=%d %d host nodes wait while %d/%d cores busy", t, waitHost, busyHost, p.Cores)
+		}
+		if waitDev > 0 && busyDev < p.Devices {
+			return fmt.Errorf("sched: at t=%d %d offload nodes wait while %d/%d devices busy", t, waitDev, busyDev, p.Devices)
+		}
+	}
+	return nil
+}
+
+// Gantt renders an ASCII Gantt chart of the schedule, one row per resource,
+// suitable for small graphs (examples, debugging). Each column is one time
+// unit when the makespan is at most width; otherwise time is scaled down.
+func (r *Result) Gantt(g *dag.Graph, width int) string {
+	if width <= 0 {
+		width = 72
+	}
+	if r.Makespan == 0 {
+		return "(empty schedule)\n"
+	}
+	scale := 1.0
+	if r.Makespan > int64(width) {
+		scale = float64(width) / float64(r.Makespan)
+	}
+	col := func(t int64) int { return int(float64(t) * scale) }
+
+	var b strings.Builder
+	p := r.Platform
+	total := p.Cores + p.Devices
+	for res := 0; res < total; res++ {
+		label := fmt.Sprintf("core%-2d", res)
+		if res >= p.Cores {
+			label = fmt.Sprintf("dev%-3d", res-p.Cores)
+		}
+		row := make([]byte, col(r.Makespan)+1)
+		for i := range row {
+			row[i] = '.'
+		}
+		for _, s := range r.Spans {
+			if s.Resource != res || s.Finish == s.Start {
+				continue
+			}
+			name := g.Name(s.Node)
+			from, to := col(s.Start), col(s.Finish)
+			if to <= from {
+				to = from + 1
+			}
+			if to > len(row) {
+				to = len(row)
+			}
+			for i := from; i < to; i++ {
+				row[i] = '#'
+			}
+			for i, c := range []byte(name) {
+				if from+i < to-0 && from+i < len(row) {
+					row[from+i] = c
+				}
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s|\n", label, row)
+	}
+	fmt.Fprintf(&b, "t = 0..%d  (policy %s, %v)\n", r.Makespan, r.Policy, p)
+	return b.String()
+}

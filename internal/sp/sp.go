@@ -1,0 +1,328 @@
+// Package sp models series-parallel task trees with conditional branches —
+// the conditional DAG task model of Melani et al. (ECRTS 2015), cited as
+// [12] by the paper and the framework its Equation 1 descends from. The
+// paper's random workloads (package taskgen) are series-parallel by
+// construction; this package adds the conditional composition the paper
+// lists among its related models and provides:
+//
+//   - worst-case volume and worst-case critical-path length across all
+//     conditional scenarios, computed compositionally in O(|tree|)
+//     (volume and length maximize over conditional alternatives
+//     independently — each is a safe bound per [12]);
+//   - RhomCond, Equation 1 evaluated on those worst-case quantities, a
+//     sound response-time bound for the conditional task;
+//   - scenario enumeration and expansion to plain dag.Graphs, used by the
+//     tests to cross-validate the compositional bounds against exhaustive
+//     per-scenario analysis and simulation.
+package sp
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+)
+
+// Kind discriminates tree nodes.
+type Kind int
+
+const (
+	// KindLeaf is a sequential job with a WCET.
+	KindLeaf Kind = iota
+	// KindSeq runs its children one after another.
+	KindSeq
+	// KindPar runs all children in parallel (fork–join).
+	KindPar
+	// KindCond runs exactly one child (if/else alternatives).
+	KindCond
+)
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindLeaf:
+		return "leaf"
+	case KindSeq:
+		return "seq"
+	case KindPar:
+		return "par"
+	case KindCond:
+		return "cond"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Node is a series-parallel task tree node.
+type Node struct {
+	Kind Kind
+	// Name labels leaves in expanded DAGs.
+	Name string
+	// WCET is meaningful for leaves only.
+	WCET int64
+	// Place says where a leaf executes (Host or Offload).
+	Place dag.NodeKind
+	// Children of Seq/Par/Cond nodes.
+	Children []*Node
+}
+
+// Leaf returns a host job leaf.
+func Leaf(name string, wcet int64) *Node {
+	return &Node{Kind: KindLeaf, Name: name, WCET: wcet, Place: dag.Host}
+}
+
+// OffloadLeaf returns an accelerator job leaf.
+func OffloadLeaf(name string, wcet int64) *Node {
+	return &Node{Kind: KindLeaf, Name: name, WCET: wcet, Place: dag.Offload}
+}
+
+// Seq composes children sequentially.
+func Seq(children ...*Node) *Node { return &Node{Kind: KindSeq, Children: children} }
+
+// Par composes children in parallel.
+func Par(children ...*Node) *Node { return &Node{Kind: KindPar, Children: children} }
+
+// Cond composes children as exclusive alternatives.
+func Cond(children ...*Node) *Node { return &Node{Kind: KindCond, Children: children} }
+
+// Validate checks structural sanity: leaves have non-negative WCET and no
+// children; inner nodes have ≥ 1 child (Cond ≥ 2 to be meaningful).
+func (n *Node) Validate() error {
+	if n == nil {
+		return fmt.Errorf("sp: nil node")
+	}
+	switch n.Kind {
+	case KindLeaf:
+		if len(n.Children) != 0 {
+			return fmt.Errorf("sp: leaf %q with children", n.Name)
+		}
+		if n.WCET < 0 {
+			return fmt.Errorf("sp: leaf %q with negative WCET", n.Name)
+		}
+		return nil
+	case KindSeq, KindPar:
+		if len(n.Children) == 0 {
+			return fmt.Errorf("sp: %s with no children", n.Kind)
+		}
+	case KindCond:
+		if len(n.Children) < 2 {
+			return fmt.Errorf("sp: cond with %d children, want ≥ 2", len(n.Children))
+		}
+	default:
+		return fmt.Errorf("sp: unknown kind %d", n.Kind)
+	}
+	for _, c := range n.Children {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WorstVolume returns the maximum total workload over all conditional
+// scenarios (Melani et al.'s worst-case workload).
+func (n *Node) WorstVolume() int64 {
+	switch n.Kind {
+	case KindLeaf:
+		return n.WCET
+	case KindSeq, KindPar:
+		var s int64
+		for _, c := range n.Children {
+			s += c.WorstVolume()
+		}
+		return s
+	case KindCond:
+		var best int64
+		for _, c := range n.Children {
+			if v := c.WorstVolume(); v > best {
+				best = v
+			}
+		}
+		return best
+	default:
+		return 0
+	}
+}
+
+// WorstLen returns the maximum critical-path length over all scenarios.
+func (n *Node) WorstLen() int64 {
+	switch n.Kind {
+	case KindLeaf:
+		return n.WCET
+	case KindSeq:
+		var s int64
+		for _, c := range n.Children {
+			s += c.WorstLen()
+		}
+		return s
+	case KindPar, KindCond:
+		var best int64
+		for _, c := range n.Children {
+			if v := c.WorstLen(); v > best {
+				best = v
+			}
+		}
+		return best
+	default:
+		return 0
+	}
+}
+
+// RhomCond evaluates Equation 1 with the worst-case volume and length:
+//
+//	R = lenW + (volW − lenW)/m
+//
+// a sound bound for the conditional task on m homogeneous cores ([12]):
+// every scenario s satisfies len(s) ≤ lenW and vol(s) ≤ volW, and Eq. 1 is
+// monotone in both.
+func (n *Node) RhomCond(m int) float64 {
+	if m <= 0 {
+		panic(fmt.Sprintf("sp: RhomCond with m = %d", m))
+	}
+	l := float64(n.WorstLen())
+	v := float64(n.WorstVolume())
+	return l + (v-l)/float64(m)
+}
+
+// NumScenarios returns the number of conditional scenarios (product of
+// alternatives), saturating at math.MaxInt to avoid overflow.
+func (n *Node) NumScenarios() int {
+	switch n.Kind {
+	case KindLeaf:
+		return 1
+	case KindSeq, KindPar:
+		total := 1
+		for _, c := range n.Children {
+			cc := c.NumScenarios()
+			if total > math.MaxInt/max(cc, 1) {
+				return math.MaxInt
+			}
+			total *= cc
+		}
+		return total
+	case KindCond:
+		total := 0
+		for _, c := range n.Children {
+			cc := c.NumScenarios()
+			if total > math.MaxInt-cc {
+				return math.MaxInt
+			}
+			total += cc
+		}
+		return total
+	default:
+		return 0
+	}
+}
+
+// Scenarios enumerates every conditional resolution as a condition-free
+// tree. limit caps the enumeration (0 means 4096); exceeding it is an
+// error — callers should fall back to the compositional bounds.
+func (n *Node) Scenarios(limit int) ([]*Node, error) {
+	if limit == 0 {
+		limit = 4096
+	}
+	if c := n.NumScenarios(); c > limit {
+		return nil, fmt.Errorf("sp: %d scenarios exceed limit %d", c, limit)
+	}
+	return n.scenarios(), nil
+}
+
+func (n *Node) scenarios() []*Node {
+	switch n.Kind {
+	case KindLeaf:
+		return []*Node{n}
+	case KindCond:
+		var out []*Node
+		for _, c := range n.Children {
+			out = append(out, c.scenarios()...)
+		}
+		return out
+	default: // Seq, Par: cartesian product of child scenarios
+		acc := []([]*Node){nil}
+		for _, c := range n.Children {
+			cs := c.scenarios()
+			var next [][]*Node
+			for _, prefix := range acc {
+				for _, choice := range cs {
+					row := make([]*Node, len(prefix), len(prefix)+1)
+					copy(row, prefix)
+					next = append(next, append(row, choice))
+				}
+			}
+			acc = next
+		}
+		out := make([]*Node, 0, len(acc))
+		for _, children := range acc {
+			out = append(out, &Node{Kind: n.Kind, Name: n.Name, Children: children})
+		}
+		return out
+	}
+}
+
+// ToDAG expands a condition-free tree into a dag.Graph with a single source
+// and sink (zero-WCET fork/join nodes are inserted for parallel blocks).
+// Cond nodes are rejected — resolve them with Scenarios first.
+func (n *Node) ToDAG() (*dag.Graph, error) {
+	if err := n.Validate(); err != nil {
+		return nil, err
+	}
+	if n.hasCond() {
+		return nil, fmt.Errorf("sp: ToDAG on tree with conditional nodes; enumerate Scenarios first")
+	}
+	g := dag.New()
+	entry, exit := n.emit(g)
+	_ = entry
+	_ = exit
+	g.NormalizeSourceSink()
+	return g, nil
+}
+
+func (n *Node) hasCond() bool {
+	if n.Kind == KindCond {
+		return true
+	}
+	for _, c := range n.Children {
+		if c.hasCond() {
+			return true
+		}
+	}
+	return false
+}
+
+// emit writes the sub-tree into g and returns its entry and exit node IDs.
+func (n *Node) emit(g *dag.Graph) (entry, exit int) {
+	switch n.Kind {
+	case KindLeaf:
+		id := g.AddNode(n.Name, n.WCET, n.Place)
+		return id, id
+	case KindSeq:
+		first, last := -1, -1
+		for _, c := range n.Children {
+			in, out := c.emit(g)
+			if first < 0 {
+				first = in
+			} else {
+				g.MustAddEdge(last, in)
+			}
+			last = out
+		}
+		return first, last
+	default: // KindPar
+		fork := g.AddNode("", 0, dag.Host)
+		join := g.AddNode("", 0, dag.Host)
+		for _, c := range n.Children {
+			in, out := c.emit(g)
+			g.MustAddEdge(fork, in)
+			g.MustAddEdge(out, join)
+		}
+		return fork, join
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,253 @@
+package sp
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rta"
+	"repro/internal/sched"
+)
+
+// sample builds the tree
+// Seq( a(3), Par( Seq(b(2), Cond(c(5) | d(1))), e(4) ), f(1) ).
+func sample() *Node {
+	return Seq(
+		Leaf("a", 3),
+		Par(
+			Seq(Leaf("b", 2), Cond(Leaf("c", 5), Leaf("d", 1))),
+			Leaf("e", 4),
+		),
+		Leaf("f", 1),
+	)
+}
+
+func TestValidate(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatalf("sample invalid: %v", err)
+	}
+	bad := []*Node{
+		{Kind: KindLeaf, WCET: -1},
+		{Kind: KindSeq},
+		{Kind: KindCond, Children: []*Node{Leaf("x", 1)}},
+		{Kind: KindLeaf, Children: []*Node{Leaf("x", 1)}},
+		{Kind: Kind(9)},
+	}
+	for i, n := range bad {
+		if err := n.Validate(); err == nil {
+			t.Errorf("bad tree %d accepted", i)
+		}
+	}
+	var nilNode *Node
+	if err := nilNode.Validate(); err == nil {
+		t.Error("nil node accepted")
+	}
+}
+
+func TestWorstVolumeAndLen(t *testing.T) {
+	n := sample()
+	// Worst volume: a+b+max(c,d)+e+f = 3+2+5+4+1 = 15.
+	if v := n.WorstVolume(); v != 15 {
+		t.Errorf("WorstVolume = %d, want 15", v)
+	}
+	// Worst len: a + max(b+max(c,d), e) + f = 3 + max(7,4) + 1 = 11.
+	if l := n.WorstLen(); l != 11 {
+		t.Errorf("WorstLen = %d, want 11", l)
+	}
+}
+
+func TestRhomCond(t *testing.T) {
+	n := sample()
+	// m=2: 11 + (15-11)/2 = 13.
+	if r := n.RhomCond(2); r != 13 {
+		t.Errorf("RhomCond(2) = %v, want 13", r)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("RhomCond(0) did not panic")
+		}
+	}()
+	n.RhomCond(0)
+}
+
+func TestScenarios(t *testing.T) {
+	n := sample()
+	if c := n.NumScenarios(); c != 2 {
+		t.Fatalf("NumScenarios = %d, want 2", c)
+	}
+	sc, err := n.Scenarios(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sc) != 2 {
+		t.Fatalf("Scenarios = %d, want 2", len(sc))
+	}
+	vols := map[int64]bool{}
+	for _, s := range sc {
+		if s.hasCond() {
+			t.Fatal("scenario still conditional")
+		}
+		vols[s.WorstVolume()] = true
+	}
+	if !vols[15] || !vols[11] {
+		t.Fatalf("scenario volumes = %v, want {15, 11}", vols)
+	}
+}
+
+func TestScenariosLimit(t *testing.T) {
+	// 2^5 scenarios with limit 4 must error.
+	var conds []*Node
+	for i := 0; i < 5; i++ {
+		conds = append(conds, Cond(Leaf("x", 1), Leaf("y", 2)))
+	}
+	n := Seq(conds...)
+	if c := n.NumScenarios(); c != 32 {
+		t.Fatalf("NumScenarios = %d, want 32", c)
+	}
+	if _, err := n.Scenarios(4); err == nil {
+		t.Fatal("Scenarios over limit succeeded")
+	}
+}
+
+func TestToDAGMatchesTreeMetrics(t *testing.T) {
+	sc, err := sample().Scenarios(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range sc {
+		g, err := s.ToDAG()
+		if err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if err := g.Validate(dag.ValidateOptions{RequireSingleSourceSink: true, AllowZeroWCET: true}); err != nil {
+			t.Fatalf("scenario %d: %v", i, err)
+		}
+		if g.Volume() != s.WorstVolume() {
+			t.Errorf("scenario %d: DAG vol %d ≠ tree vol %d", i, g.Volume(), s.WorstVolume())
+		}
+		if g.CriticalPathLength() != s.WorstLen() {
+			t.Errorf("scenario %d: DAG len %d ≠ tree len %d", i, g.CriticalPathLength(), s.WorstLen())
+		}
+	}
+}
+
+func TestToDAGRejectsCond(t *testing.T) {
+	if _, err := sample().ToDAG(); err == nil {
+		t.Fatal("ToDAG accepted conditional tree")
+	}
+}
+
+// randomTree generates a random conditional SP tree.
+func randomTree(r *rand.Rand, depth int) *Node {
+	if depth == 0 || r.Float64() < 0.35 {
+		return Leaf("", int64(1+r.Intn(9)))
+	}
+	k := 2 + r.Intn(2)
+	children := make([]*Node, k)
+	for i := range children {
+		children[i] = randomTree(r, depth-1)
+	}
+	switch r.Intn(3) {
+	case 0:
+		return Seq(children...)
+	case 1:
+		return Par(children...)
+	default:
+		return Cond(children...)
+	}
+}
+
+// TestCompositionalEqualsEnumerated cross-validates the O(|tree|) worst
+// cases against exhaustive scenario enumeration.
+func TestCompositionalEqualsEnumerated(t *testing.T) {
+	r := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 120; trial++ {
+		n := randomTree(r, 3)
+		sc, err := n.Scenarios(1 << 16)
+		if err != nil {
+			continue // astronomically branchy: compositional path only
+		}
+		var wantVol, wantLen int64
+		for _, s := range sc {
+			if v := s.WorstVolume(); v > wantVol {
+				wantVol = v
+			}
+			if l := s.WorstLen(); l > wantLen {
+				wantLen = l
+			}
+		}
+		if got := n.WorstVolume(); got != wantVol {
+			t.Fatalf("trial %d: WorstVolume %d ≠ enumerated %d", trial, got, wantVol)
+		}
+		if got := n.WorstLen(); got != wantLen {
+			t.Fatalf("trial %d: WorstLen %d ≠ enumerated %d", trial, got, wantLen)
+		}
+	}
+}
+
+// TestRhomCondSafeForEveryScenario: the conditional bound must upper-bound
+// Eq. 1 of every scenario and the simulated makespan of every scenario
+// under every policy — the [12] safety property this package exists for.
+func TestRhomCondSafeForEveryScenario(t *testing.T) {
+	r := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 40; trial++ {
+		n := randomTree(r, 3)
+		sc, err := n.Scenarios(1 << 12)
+		if err != nil {
+			continue
+		}
+		for _, m := range []int{1, 2, 4} {
+			bound := n.RhomCond(m)
+			for _, s := range sc {
+				if rs := s.RhomCond(m); rs > bound+1e-9 {
+					t.Fatalf("trial %d m=%d: scenario Rhom %v > conditional bound %v", trial, m, rs, bound)
+				}
+				g, err := s.ToDAG()
+				if err != nil {
+					t.Fatal(err)
+				}
+				sim, err := sched.Simulate(g, sched.Homogeneous(m), sched.BreadthFirst())
+				if err != nil {
+					t.Fatal(err)
+				}
+				if float64(sim.Makespan) > bound+1e-9 {
+					t.Fatalf("trial %d m=%d: sim %d > conditional bound %v", trial, m, sim.Makespan, bound)
+				}
+				// Consistency with package rta on the expanded DAG.
+				if rg := rta.Rhom(g, m); rg > bound+1e-9 {
+					t.Fatalf("trial %d m=%d: rta.Rhom %v > conditional bound %v", trial, m, rg, bound)
+				}
+			}
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindLeaf: "leaf", KindSeq: "seq", KindPar: "par", KindCond: "cond", Kind(9): "Kind(9)",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}
+
+func TestOffloadLeafThroughPipeline(t *testing.T) {
+	// A condition-free tree with an offload leaf expands to a het DAG
+	// accepted by the full analysis pipeline.
+	n := Seq(Leaf("pre", 2), Par(OffloadLeaf("gpu", 6), Leaf("cpu", 5)), Leaf("post", 1))
+	g, err := n.ToDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.OffloadNode(); !ok {
+		t.Fatal("offload leaf lost in expansion")
+	}
+	a, err := rta.Analyze(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Het.R <= 0 || a.Het.R > a.Rhom+1e-9 {
+		t.Fatalf("pipeline bounds: Rhet %v Rhom %v", a.Het.R, a.Rhom)
+	}
+}

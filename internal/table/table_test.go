@@ -1,0 +1,52 @@
+package table
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTextRendering(t *testing.T) {
+	tb := New("My Results", "m", "value")
+	tb.AddRow(2, 12.3456)
+	tb.AddRow(16, "hello")
+	out := tb.Text()
+	for _, want := range []string{"My Results", "m", "value", "12.35", "hello", "---"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text output missing %q:\n%s", want, out)
+		}
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d, want 2", tb.NumRows())
+	}
+}
+
+func TestColumnsAligned(t *testing.T) {
+	tb := New("", "a", "b")
+	tb.AddRow("xxxxxxx", 1)
+	tb.AddRow("y", 2)
+	lines := strings.Split(strings.TrimSpace(tb.Text()), "\n")
+	// header, separator, two rows
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d, want 4:\n%s", len(lines), tb.Text())
+	}
+	// Column b must start at the same offset in both data rows.
+	i1 := strings.IndexByte(lines[2], '1')
+	i2 := strings.IndexByte(lines[3], '2')
+	if i1 != i2 {
+		t.Errorf("misaligned columns:\n%s", tb.Text())
+	}
+}
+
+func TestCSV(t *testing.T) {
+	tb := New("t", "x", "note")
+	tb.AddRow(1.5, `say "hi", ok`)
+	var b strings.Builder
+	if err := tb.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	want := "x,note\n1.50,\"say \"\"hi\"\", ok\"\n"
+	if got != want {
+		t.Errorf("CSV = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,186 @@
+package taskset
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/rta"
+	"repro/internal/taskgen"
+)
+
+// mkTask builds a random heterogeneous task with the given deadline slack:
+// deadline = slack × vol.
+func mkTask(t testing.TB, seed int64, frac, slack float64) rta.Task {
+	t.Helper()
+	gen := taskgen.MustNew(taskgen.Small(10, 60), seed)
+	g, _, _, err := gen.HetTask(frac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := int64(slack * float64(g.Volume()))
+	if d < 1 {
+		d = 1
+	}
+	return rta.Task{G: g, Period: d, Deadline: d}
+}
+
+func TestAllocateSingleHeavyTask(t *testing.T) {
+	tk := mkTask(t, 1, 0.3, 0.5) // deadline = vol/2 → heavy (U = 2)
+	sys := System{Tasks: []rta.Task{tk}, M: 16, Devices: 1}
+	alloc, err := Allocate(sys)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	g := alloc.Grants[0]
+	if !g.Heavy {
+		t.Fatal("task with U=2 not marked heavy")
+	}
+	if g.Cores < 2 {
+		t.Fatalf("granted %d cores; U=2 needs at least 2", g.Cores)
+	}
+	if g.R > float64(tk.Deadline) {
+		t.Fatalf("admitted with R=%v > D=%d", g.R, tk.Deadline)
+	}
+	// Minimality: one fewer core must not be schedulable by the same path.
+	if g.Cores > 1 {
+		m := g.Cores - 1
+		okHet, _, err := tk.SchedulableHet(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		okHom, _ := tk.SchedulableHom(m)
+		if okHet || okHom {
+			t.Fatalf("grant of %d cores not minimal: %d suffices", g.Cores, m)
+		}
+	}
+}
+
+func TestAllocateLightTasksShareCores(t *testing.T) {
+	// Three light tasks (deadline = 4×vol → U = 0.25) on 2 cores.
+	var tasks []rta.Task
+	for s := int64(0); s < 3; s++ {
+		tasks = append(tasks, mkTask(t, 10+s, 0.2, 4))
+	}
+	alloc, err := Allocate(System{Tasks: tasks, M: 2, Devices: 1})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if alloc.DedicatedCores != 0 {
+		t.Fatalf("light-only system granted %d dedicated cores", alloc.DedicatedCores)
+	}
+	if alloc.SharedCores != 2 {
+		t.Fatalf("shared cores = %d, want 2", alloc.SharedCores)
+	}
+}
+
+func TestAllocateRejectsOverload(t *testing.T) {
+	// A heavy task with an impossible deadline: below the critical path.
+	g := dag.New()
+	a := g.AddNode("", 50, dag.Host)
+	b := g.AddNode("", 50, dag.Host)
+	g.MustAddEdge(a, b)
+	tk := rta.Task{G: g, Period: 60, Deadline: 60} // len = 100 > 60
+	_, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 1})
+	if err == nil {
+		t.Fatal("admitted task with deadline below critical path")
+	}
+}
+
+func TestAllocateRejectsTooFewCores(t *testing.T) {
+	// Two heavy tasks each needing several cores on a tiny platform.
+	t1 := mkTask(t, 21, 0.1, 0.4)
+	t2 := mkTask(t, 22, 0.1, 0.4)
+	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 2, Devices: 1})
+	if err == nil {
+		t.Fatal("admitted two heavy tasks on 2 cores")
+	}
+}
+
+func TestDeviceBudgetRespected(t *testing.T) {
+	// Two heavy offloading tasks, one device: at most one grant may use it.
+	t1 := mkTask(t, 31, 0.4, 0.6)
+	t2 := mkTask(t, 32, 0.4, 0.6)
+	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 64, Devices: 1})
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	used := 0
+	for _, g := range alloc.Grants {
+		if g.UsesDevice {
+			used++
+		}
+	}
+	if used > 1 {
+		t.Fatalf("%d grants use the single device", used)
+	}
+	// With two devices both may use one.
+	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 64, Devices: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	used2 := 0
+	for _, g := range alloc2.Grants {
+		if g.UsesDevice {
+			used2++
+		}
+	}
+	if used2 < used {
+		t.Fatalf("adding a device reduced device use (%d -> %d)", used, used2)
+	}
+}
+
+func TestHetAnalysisSavesCores(t *testing.T) {
+	// A task whose offloaded share is large: the heterogeneous analysis
+	// should need no more dedicated cores than the homogeneous one.
+	tk := mkTask(t, 41, 0.5, 0.7)
+	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withDev.Grants[0].Cores > withoutDev.Grants[0].Cores {
+		t.Fatalf("device-aware grant %d cores > homogeneous grant %d cores",
+			withDev.Grants[0].Cores, withoutDev.Grants[0].Cores)
+	}
+}
+
+func TestAllocateValidatesInput(t *testing.T) {
+	if _, err := Allocate(System{M: 0}); err == nil {
+		t.Fatal("accepted 0-core platform")
+	}
+	bad := rta.Task{G: nil, Period: 1, Deadline: 1}
+	if _, err := Allocate(System{Tasks: []rta.Task{bad}, M: 4}); err == nil {
+		t.Fatal("accepted nil-graph task")
+	}
+}
+
+// TestRhetMonotoneInCores supports the minimal-grant scan: both bounds must
+// be non-increasing in m (Rhet is piecewise across scenarios; the pieces
+// agree at the switch points — see Theorem 1's remark).
+func TestRhetMonotoneInCores(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(10, 60), 5)
+	for i := 0; i < 40; i++ {
+		frac := 0.02 + 0.5*float64(i)/40
+		g, _, _, err := gen.HetTask(frac)
+		if err != nil {
+			t.Fatal(err)
+		}
+		prevHom, prevHet := -1.0, -1.0
+		for m := 1; m <= 32; m *= 2 {
+			a, err := rta.Analyze(g, m)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if prevHom >= 0 && a.Rhom > prevHom+1e-9 {
+				t.Fatalf("iter %d: Rhom increased %v -> %v at m=%d", i, prevHom, a.Rhom, m)
+			}
+			if prevHet >= 0 && a.Het.R > prevHet+1e-9 {
+				t.Fatalf("iter %d: Rhet increased %v -> %v at m=%d", i, prevHet, a.Het.R, m)
+			}
+			prevHom, prevHet = a.Rhom, a.Het.R
+		}
+	}
+}

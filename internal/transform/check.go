@@ -1,0 +1,95 @@
+package transform
+
+import (
+	"fmt"
+
+	"repro/internal/dag"
+)
+
+// Check verifies the semantic guarantees Algorithm 1 must deliver. It is
+// used by the test suite (including property tests over thousands of random
+// DAGs) and by cmd/dagrta's -check flag. It returns nil when all hold:
+//
+//  1. G' is acyclic and contains exactly the original nodes plus one
+//     zero-WCET Sync node; vol(G') = vol(G).
+//  2. Every precedence constraint of G is preserved in G': for each edge
+//     (u,v) ∈ E, v is reachable from u in G'.
+//  3. vsync is the sole direct predecessor of vOff in G'.
+//  4. Every node of GPar is a descendant of vsync in G', so GPar and vOff
+//     cannot start before tsync — the property Theorem 1 relies on.
+//  5. VPar is exactly the set of nodes parallel to vOff in G, and GPar's
+//     edges are the induced original edges.
+//  6. Predecessors of vOff in G are ancestors of vsync in G' (they complete
+//     before tsync).
+func Check(r *Result) error {
+	g, gp := r.Original, r.Transformed
+	if gp.NumNodes() != g.NumNodes()+1 {
+		return fmt.Errorf("transform check: |V'| = %d, want |V|+1 = %d", gp.NumNodes(), g.NumNodes()+1)
+	}
+	if gp.Kind(r.Sync) != dag.Sync || gp.WCET(r.Sync) != 0 {
+		return fmt.Errorf("transform check: vsync kind/wcet = %v/%d", gp.Kind(r.Sync), gp.WCET(r.Sync))
+	}
+	if !gp.IsAcyclic() {
+		return fmt.Errorf("transform check: G' is cyclic")
+	}
+	if gp.Volume() != g.Volume() {
+		return fmt.Errorf("transform check: vol(G') = %d, want vol(G) = %d", gp.Volume(), g.Volume())
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		if g.Node(i).WCET != gp.Node(i).WCET || g.Node(i).Kind != gp.Node(i).Kind {
+			return fmt.Errorf("transform check: node %d attributes changed", i)
+		}
+	}
+
+	// (2) precedence preservation.
+	for _, e := range g.Edges() {
+		if !gp.Reaches(e[0], e[1]) {
+			return fmt.Errorf("transform check: original precedence (%d,%d) lost in G'", e[0], e[1])
+		}
+	}
+
+	// (3) vsync is the only gate into vOff.
+	if preds := gp.Preds(r.Offload); len(preds) != 1 || preds[0] != r.Sync {
+		return fmt.Errorf("transform check: Preds(vOff) = %v, want [vsync=%d]", preds, r.Sync)
+	}
+
+	// (4) GPar hangs below vsync.
+	desc := gp.Descendants(r.Sync)
+	for _, v := range r.ParSet.Sorted() {
+		if !desc.Contains(v) {
+			return fmt.Errorf("transform check: GPar node %d not a descendant of vsync", v)
+		}
+	}
+
+	// (5) VPar definition and induced edges.
+	wantPar := g.ParallelNodes(r.Offload)
+	if !r.ParSet.Equal(wantPar) {
+		return fmt.Errorf("transform check: VPar = %v, want %v", r.ParSet.Sorted(), wantPar.Sorted())
+	}
+	if r.Par.NumNodes() != r.ParSet.Len() {
+		return fmt.Errorf("transform check: |GPar| = %d, want %d", r.Par.NumNodes(), r.ParSet.Len())
+	}
+	for _, e := range r.Par.Edges() {
+		if !g.HasEdge(r.ParToOrig[e[0]], r.ParToOrig[e[1]]) {
+			return fmt.Errorf("transform check: GPar edge %v not in G", e)
+		}
+	}
+	wantEdges := 0
+	for _, e := range g.Edges() {
+		if r.ParSet.Contains(e[0]) && r.ParSet.Contains(e[1]) {
+			wantEdges++
+		}
+	}
+	if r.Par.NumEdges() != wantEdges {
+		return fmt.Errorf("transform check: |EPar| = %d, want %d", r.Par.NumEdges(), wantEdges)
+	}
+
+	// (6) all of Pred(vOff) completes before tsync.
+	syncAnc := gp.Ancestors(r.Sync)
+	for _, v := range g.Ancestors(r.Offload).Sorted() {
+		if !syncAnc.Contains(v) {
+			return fmt.Errorf("transform check: Pred(vOff) node %d not an ancestor of vsync", v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,342 @@
+package transform
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/taskgen"
+)
+
+// fig1Normalized rebuilds the paper's Figure 1(a) DAG (see
+// internal/dag/graph_test.go for the WCET reconstruction) plus the dummy
+// sink required by the single-sink assumption.
+func fig1Normalized(t testing.TB) (g *dag.Graph, vOff int) {
+	t.Helper()
+	g = dag.New()
+	v1 := g.AddNode("v1", 2, dag.Host)
+	v2 := g.AddNode("v2", 4, dag.Host)
+	v3 := g.AddNode("v3", 5, dag.Host)
+	v4 := g.AddNode("v4", 2, dag.Host)
+	v5 := g.AddNode("v5", 1, dag.Host)
+	vOff = g.AddNode("vOff", 4, dag.Offload)
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v3)
+	g.MustAddEdge(v1, v4)
+	g.MustAddEdge(v2, v5)
+	g.MustAddEdge(v3, v5)
+	g.MustAddEdge(v4, vOff)
+	g.NormalizeSourceSink()
+	return g, vOff
+}
+
+func TestTransformFig1(t *testing.T) {
+	g, vOff := fig1Normalized(t)
+	tr, err := Transform(g)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if tr.Offload != vOff {
+		t.Fatalf("Offload = %d, want %d", tr.Offload, vOff)
+	}
+	if err := Check(tr); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+
+	gp := tr.Transformed
+	const (
+		v1, v2, v3, v4, v5 = 0, 1, 2, 3, 4
+		sink               = 6
+	)
+	vsync := tr.Sync
+
+	// Figure 2(a): v4 -> vsync -> {v2, v3, vOff}; v1 keeps only v4.
+	wantEdges := [][2]int{
+		{v1, v4},
+		{v4, vsync},
+		{vsync, v2}, {vsync, v3}, {vsync, vOff},
+		{v2, v5}, {v3, v5},
+		{v5, sink}, {vOff, sink},
+	}
+	if gp.NumEdges() != len(wantEdges) {
+		t.Errorf("G' has %d edges, want %d: %v", gp.NumEdges(), len(wantEdges), gp.Edges())
+	}
+	for _, e := range wantEdges {
+		if !gp.HasEdge(e[0], e[1]) {
+			t.Errorf("G' missing edge %v", e)
+		}
+	}
+
+	// Section 3.3: the critical path of the transformed DAG is 10 (was 8).
+	if got := gp.CriticalPathLength(); got != 10 {
+		t.Errorf("len(G') = %d, want 10", got)
+	}
+	if got := gp.Volume(); got != 18 {
+		t.Errorf("vol(G') = %d, want 18", got)
+	}
+
+	// GPar = {v2, v3, v5} with edges v2->v5, v3->v5.
+	if !tr.ParSet.Equal(dag.NewNodeSet(v2, v3, v5)) {
+		t.Errorf("VPar = %v, want {v2,v3,v5}", tr.ParSet.Sorted())
+	}
+	if tr.Par.NumNodes() != 3 || tr.Par.NumEdges() != 2 {
+		t.Errorf("GPar n=%d e=%d, want 3,2", tr.Par.NumNodes(), tr.Par.NumEdges())
+	}
+	if got := tr.Par.CriticalPathLength(); got != 6 {
+		t.Errorf("len(GPar) = %d, want 6 (v3,v5)", got)
+	}
+	if got := tr.Par.Volume(); got != 10 {
+		t.Errorf("vol(GPar) = %d, want 10", got)
+	}
+	if tr.COff() != 4 {
+		t.Errorf("COff = %d, want 4", tr.COff())
+	}
+}
+
+// TestTransformFigure3Style exercises every branch of Algorithm 1 on a DAG
+// shaped like the paper's Figure 3: vOff has two direct predecessors (one
+// with an extra parallel successor), plus non-direct predecessors whose
+// parallel successors must be re-parented under vsync (the "pink edges").
+func TestTransformFigure3Style(t *testing.T) {
+	g := dag.New()
+	v1 := g.AddNode("v1", 1, dag.Host)   // source; non-direct pred of vOff
+	v2 := g.AddNode("v2", 2, dag.Host)   // parallel: pink edge (v1,v2)
+	v3 := g.AddNode("v3", 3, dag.Host)   // non-direct pred of vOff
+	v7 := g.AddNode("v7", 4, dag.Host)   // parallel: pink edge (v3,v7)
+	v8 := g.AddNode("v8", 5, dag.Host)   // direct pred of vOff
+	v9 := g.AddNode("v9", 6, dag.Host)   // direct pred of vOff
+	v11 := g.AddNode("v11", 7, dag.Host) // parallel: black edge (v8,v11)
+	vOff := g.AddNode("vOff", 8, dag.Offload)
+	v6 := g.AddNode("v6", 9, dag.Host) // successor of vOff
+	end := g.AddNode("end", 1, dag.Host)
+	g.MustAddEdge(v1, v2)
+	g.MustAddEdge(v1, v3)
+	g.MustAddEdge(v3, v7)
+	g.MustAddEdge(v3, v8)
+	g.MustAddEdge(v3, v9)
+	g.MustAddEdge(v8, vOff)
+	g.MustAddEdge(v9, vOff)
+	g.MustAddEdge(v8, v11)
+	g.MustAddEdge(vOff, v6)
+	g.MustAddEdge(v2, end)
+	g.MustAddEdge(v7, end)
+	g.MustAddEdge(v11, end)
+	g.MustAddEdge(v6, end)
+
+	tr, err := Transform(g)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if err := Check(tr); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	gp, vsync := tr.Transformed, tr.Sync
+
+	// Direct predecessors now feed vsync, not vOff (green edges).
+	for _, vi := range []int{v8, v9} {
+		if !gp.HasEdge(vi, vsync) {
+			t.Errorf("missing green edge (v%d, vsync)", vi)
+		}
+		if gp.HasEdge(vi, vOff) {
+			t.Errorf("edge (v%d, vOff) not removed", vi)
+		}
+	}
+	// Yellow edge.
+	if !gp.HasEdge(vsync, vOff) {
+		t.Error("missing yellow edge (vsync, vOff)")
+	}
+	// Black edge: (v8,v11) became (vsync,v11).
+	if gp.HasEdge(v8, v11) || !gp.HasEdge(vsync, v11) {
+		t.Error("black edge (v8,v11) not moved to vsync")
+	}
+	// Pink edges: (v1,v2) and (v3,v7) became (vsync,v2) and (vsync,v7).
+	if gp.HasEdge(v1, v2) || !gp.HasEdge(vsync, v2) {
+		t.Error("pink edge (v1,v2) not moved to vsync")
+	}
+	if gp.HasEdge(v3, v7) || !gp.HasEdge(vsync, v7) {
+		t.Error("pink edge (v3,v7) not moved to vsync")
+	}
+	// Edges among predecessors stay.
+	for _, e := range [][2]int{{v1, v3}, {v3, v8}, {v3, v9}} {
+		if !gp.HasEdge(e[0], e[1]) {
+			t.Errorf("predecessor edge %v must remain", e)
+		}
+	}
+	// GPar = {v2, v7, v11}.
+	if !tr.ParSet.Equal(dag.NewNodeSet(v2, v7, v11)) {
+		t.Errorf("VPar = %v, want {v2,v7,v11}", tr.ParSet.Sorted())
+	}
+	_ = end
+}
+
+func TestTransformNoOffload(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Host)
+	if _, err := Transform(g); err != ErrNoOffload {
+		t.Fatalf("Transform = %v, want ErrNoOffload", err)
+	}
+}
+
+func TestTransformRejectsRedundantEdge(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 1, dag.Host)
+	b := g.AddNode("", 1, dag.Offload)
+	c := g.AddNode("", 1, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	g.MustAddEdge(a, c) // transitive
+	_, err := Transform(g)
+	if err == nil || !strings.Contains(err.Error(), "redundant") {
+		t.Fatalf("Transform = %v, want redundant-edge error", err)
+	}
+}
+
+func TestTransformRejectsCycle(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 1, dag.Offload)
+	b := g.AddNode("", 1, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, a)
+	if _, err := Transform(g); err == nil {
+		t.Fatal("Transform accepted cyclic graph")
+	}
+}
+
+func TestTransformAroundOutOfRange(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Host)
+	if _, err := TransformAround(g, 5); err == nil {
+		t.Fatal("TransformAround accepted out-of-range node")
+	}
+	if _, err := TransformAround(g, -1); err == nil {
+		t.Fatal("TransformAround accepted negative node")
+	}
+}
+
+func TestTransformOffloadIsSource(t *testing.T) {
+	// vOff = single source: GPar must be empty and vsync becomes the new
+	// single source gating vOff.
+	g := dag.New()
+	vOff := g.AddNode("vOff", 5, dag.Offload)
+	b := g.AddNode("b", 1, dag.Host)
+	c := g.AddNode("c", 2, dag.Host)
+	d := g.AddNode("d", 1, dag.Host)
+	g.MustAddEdge(vOff, b)
+	g.MustAddEdge(vOff, c)
+	g.MustAddEdge(b, d)
+	g.MustAddEdge(c, d)
+	tr, err := Transform(g)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if err := Check(tr); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if tr.ParSet.Len() != 0 {
+		t.Errorf("VPar = %v, want empty", tr.ParSet.Sorted())
+	}
+	if srcs := tr.Transformed.Sources(); len(srcs) != 1 || srcs[0] != tr.Sync {
+		t.Errorf("Sources(G') = %v, want [vsync]", srcs)
+	}
+}
+
+func TestTransformOffloadIsSink(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("a", 1, dag.Host)
+	b := g.AddNode("b", 2, dag.Host)
+	c := g.AddNode("c", 3, dag.Host)
+	vOff := g.AddNode("vOff", 5, dag.Offload)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(a, c)
+	g.MustAddEdge(b, vOff)
+	g.MustAddEdge(c, vOff)
+	tr, err := Transform(g)
+	if err != nil {
+		t.Fatalf("Transform: %v", err)
+	}
+	if err := Check(tr); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	if tr.ParSet.Len() != 0 {
+		t.Errorf("VPar = %v, want empty (all nodes precede vOff)", tr.ParSet.Sorted())
+	}
+	// Both b and c must feed vsync now.
+	if !tr.Transformed.HasEdge(b, tr.Sync) || !tr.Transformed.HasEdge(c, tr.Sync) {
+		t.Error("direct predecessors not rewired to vsync")
+	}
+}
+
+func TestTransformChain(t *testing.T) {
+	// Pure chain a -> vOff -> c: nothing is parallel; the transformation
+	// inserts vsync between a and vOff.
+	g := dag.New()
+	a := g.AddNode("", 1, dag.Host)
+	vOff := g.AddNode("", 2, dag.Offload)
+	c := g.AddNode("", 3, dag.Host)
+	g.MustAddEdge(a, vOff)
+	g.MustAddEdge(vOff, c)
+	tr, err := Transform(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(tr); err != nil {
+		t.Fatal(err)
+	}
+	if got := tr.Transformed.CriticalPathLength(); got != 6 {
+		t.Errorf("len(G') = %d, want 6 (unchanged; vsync is free)", got)
+	}
+}
+
+func TestTransformInputNotModified(t *testing.T) {
+	g, _ := fig1Normalized(t)
+	before := g.Clone()
+	if _, err := Transform(g); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Equal(before) {
+		t.Fatal("Transform mutated its input graph")
+	}
+}
+
+func TestTransformPropertyRandomTasks(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(3, 40), 12345)
+	for i := 0; i < 300; i++ {
+		frac := 0.01 + 0.59*float64(i)/300.0
+		g, _, _, err := gen.HetTask(frac)
+		if err != nil {
+			t.Fatalf("HetTask: %v", err)
+		}
+		tr, err := Transform(g)
+		if err != nil {
+			t.Fatalf("iter %d: Transform: %v\n%s", i, err, g.DOT("g"))
+		}
+		if err := Check(tr); err != nil {
+			t.Fatalf("iter %d: Check: %v", i, err)
+		}
+		// The transformation only adds constraints: len(G') ≥ len(G).
+		if tr.Transformed.CriticalPathLength() < g.CriticalPathLength() {
+			t.Fatalf("iter %d: len(G') = %d < len(G) = %d", i,
+				tr.Transformed.CriticalPathLength(), g.CriticalPathLength())
+		}
+	}
+}
+
+func TestTransformPropertyLargeTasks(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large-task property sweep")
+	}
+	gen := taskgen.MustNew(taskgen.Large(100, 250), 999)
+	for i := 0; i < 30; i++ {
+		g, _, _, err := gen.HetTask(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tr, err := Transform(g)
+		if err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+		if err := Check(tr); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
