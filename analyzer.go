@@ -1,0 +1,305 @@
+package hetrta
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/transform"
+)
+
+// Analyzer is the construct-once entry point of the toolkit: configure the
+// platform, the bounds, and the optional simulation/exact stages with
+// functional options, then call Analyze for one graph or AnalyzeBatch for
+// many. An Analyzer is immutable after construction and safe for concurrent
+// use.
+//
+//	an, err := hetrta.NewAnalyzer(
+//	    hetrta.WithPlatform(hetrta.HeteroPlatform(4)),
+//	    hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.NaiveBound()),
+//	    hetrta.WithExactBudget(200_000),
+//	)
+//	report, err := an.Analyze(ctx, g)
+type Analyzer struct {
+	platform    Platform
+	bounds      []Bound
+	policy      func() Policy
+	exactOn     bool
+	exactOpts   ExactOptions
+	parallelism int
+	validate    *ValidateOptions
+	devices     *int // deferred WithDevices override
+}
+
+// Option configures an Analyzer at construction time.
+type Option func(*Analyzer) error
+
+// WithPlatform sets the execution platform. The default is the paper's
+// evaluation midpoint: 4 host cores + 1 accelerator.
+func WithPlatform(p Platform) Option {
+	return func(a *Analyzer) error {
+		a.platform = p
+		return nil
+	}
+}
+
+// WithDevices overrides the device count of the platform (applied after
+// WithPlatform regardless of option order).
+func WithDevices(d int) Option {
+	return func(a *Analyzer) error {
+		if d < 0 {
+			return fmt.Errorf("hetrta: negative device count %d", d)
+		}
+		a.devices = &d
+		return nil
+	}
+}
+
+// WithPolicy enables the simulation stage: every report gains a
+// SimulationReport of τ (and τ' when a transformation applies) under the
+// policy the factory returns. A factory is required — policies carry
+// per-run state, and AnalyzeBatch simulates concurrently.
+func WithPolicy(mk func() Policy) Option {
+	return func(a *Analyzer) error {
+		if mk == nil {
+			return fmt.Errorf("hetrta: WithPolicy(nil)")
+		}
+		a.policy = mk
+		return nil
+	}
+}
+
+// WithExactBudget enables the exact minimum-makespan stage with the given
+// branch-and-bound expansion budget (0 uses the solver default). The exact
+// search honors Analyze's context: cancelling it aborts mid-search with
+// context.Canceled.
+func WithExactBudget(budget int64) Option {
+	return func(a *Analyzer) error {
+		if budget < 0 {
+			return fmt.Errorf("hetrta: negative exact budget %d", budget)
+		}
+		a.exactOn = true
+		a.exactOpts.MaxExpansions = budget
+		return nil
+	}
+}
+
+// WithBounds selects the response-time bounds each report computes, in
+// order. The default is DefaultBounds (Rhom + Rhet); pass any mix of the
+// built-ins and custom Bound implementations. Names must be unique.
+func WithBounds(bs ...Bound) Option {
+	return func(a *Analyzer) error {
+		if len(bs) == 0 {
+			return fmt.Errorf("hetrta: WithBounds needs at least one bound")
+		}
+		a.bounds = append([]Bound(nil), bs...)
+		return nil
+	}
+}
+
+// WithParallelism sets the AnalyzeBatch worker-pool size. The default (0)
+// is one worker per CPU; 1 forces sequential processing. Output order is
+// deterministic at any parallelism.
+func WithParallelism(n int) Option {
+	return func(a *Analyzer) error {
+		if n < 0 {
+			return fmt.Errorf("hetrta: negative parallelism %d", n)
+		}
+		a.parallelism = n
+		return nil
+	}
+}
+
+// WithValidation makes every Analyze call validate the graph first under
+// the given options (e.g. PaperModel()). The default performs no structural
+// validation beyond what the analyses themselves require.
+func WithValidation(v ValidateOptions) Option {
+	return func(a *Analyzer) error {
+		a.validate = &v
+		return nil
+	}
+}
+
+// NewAnalyzer builds an Analyzer from the options, validating the resulting
+// configuration.
+func NewAnalyzer(opts ...Option) (*Analyzer, error) {
+	a := &Analyzer{
+		platform: HeteroPlatform(4),
+		bounds:   DefaultBounds(),
+	}
+	for _, opt := range opts {
+		if err := opt(a); err != nil {
+			return nil, err
+		}
+	}
+	if a.devices != nil {
+		a.platform.Devices = *a.devices
+	}
+	if err := a.platform.Validate(); err != nil {
+		return nil, fmt.Errorf("hetrta: %w", err)
+	}
+	seen := map[string]bool{}
+	for _, b := range a.bounds {
+		if seen[b.Name()] {
+			return nil, fmt.Errorf("hetrta: duplicate bound %q", b.Name())
+		}
+		seen[b.Name()] = true
+	}
+	return a, nil
+}
+
+// Platform returns the analyzer's configured platform.
+func (a *Analyzer) Platform() Platform { return a.platform }
+
+// Analyze runs the configured pipeline on one task graph and returns its
+// Report. The input graph is not modified: analysis runs on a transitively
+// reduced clone, as Algorithm 1 requires. Cancelling ctx aborts promptly
+// with the context's error — including mid-search inside the exact oracle.
+func (a *Analyzer) Analyze(ctx context.Context, g *Graph) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if g == nil {
+		return nil, fmt.Errorf("hetrta: Analyze(nil graph)")
+	}
+	if a.validate != nil {
+		if err := g.Validate(*a.validate); err != nil {
+			return nil, err
+		}
+	}
+
+	work := g.Clone()
+	removed, err := work.TransitiveReduction()
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{Platform: a.platform}
+	rep.Graph = GraphSummary{
+		Nodes:        work.NumNodes(),
+		Edges:        work.NumEdges(),
+		ReducedEdges: removed,
+		Volume:       work.Volume(),
+		CriticalPath: work.CriticalPathLength(),
+	}
+	offs := work.OffloadNodes()
+	rep.Graph.Offloads = len(offs)
+	if len(offs) == 1 {
+		vOff := offs[0]
+		frac := 0.0
+		if v := work.Volume(); v > 0 {
+			frac = float64(work.WCET(vOff)) / float64(v)
+		}
+		rep.Graph.Offload = &OffloadSummary{
+			Node: vOff,
+			Name: work.Name(vOff),
+			COff: work.WCET(vOff),
+			Frac: frac,
+		}
+	}
+
+	// Algorithm 1, computed once and shared by every bound.
+	if len(offs) == 1 {
+		tr, err := transform.Transform(work)
+		if err != nil {
+			return nil, err
+		}
+		rep.TransformResult = tr
+		rep.Transform = &TransformSummary{
+			Sync:     tr.Sync,
+			LenPrime: tr.Transformed.CriticalPathLength(),
+			VolPrime: tr.Transformed.Volume(),
+			ParNodes: tr.ParSet.Sorted(),
+			LenPar:   tr.Par.CriticalPathLength(),
+			VolPar:   tr.Par.Volume(),
+		}
+	}
+
+	in := BoundInput{Graph: work, Platform: a.platform, Transform: rep.TransformResult}
+	for _, b := range a.bounds {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := b.Compute(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("hetrta: bound %q: %w", b.Name(), err)
+		}
+		if res.Name == "" {
+			res.Name = b.Name()
+		}
+		rep.Bounds = append(rep.Bounds, res)
+	}
+
+	if a.policy != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		sim, err := sched.Simulate(work, a.platform, a.policy())
+		if err != nil {
+			return nil, err
+		}
+		rep.SimOriginal = sim
+		rep.Simulation = &SimulationReport{Policy: sim.Policy, Makespan: sim.Makespan}
+		if rep.TransformResult != nil {
+			simT, err := sched.Simulate(rep.TransformResult.Transformed, a.platform, a.policy())
+			if err != nil {
+				return nil, err
+			}
+			rep.SimTransformed = simT
+			rep.Simulation.MakespanTransformed = simT.Makespan
+		}
+	}
+
+	if a.exactOn {
+		opt, err := exact.MinMakespan(ctx, work, a.platform, a.exactOpts)
+		if err != nil {
+			return nil, err
+		}
+		rep.ExactResult = opt
+		rep.Exact = &ExactReport{
+			Makespan:   opt.Makespan,
+			Status:     opt.Status.String(),
+			LowerBound: opt.LowerBound,
+			Expansions: opt.Expansions,
+		}
+	}
+
+	return rep, nil
+}
+
+// AnalyzeBatch analyzes many graphs on the analyzer's worker pool
+// (WithParallelism) and returns one Report per input, in input order —
+// the order is deterministic at any parallelism because workers only ever
+// write their own slot. Per-graph failures do not abort the batch: the
+// failing graph's Report carries the error in Err. The returned error is
+// non-nil only when ctx is cancelled, in which case reports of unfinished
+// graphs record the cancellation.
+func (a *Analyzer) AnalyzeBatch(ctx context.Context, gs []*Graph) ([]*Report, error) {
+	reports := make([]*Report, len(gs))
+	err := batch.Run(ctx, len(gs), a.parallelism, func(ctx context.Context, i int) error {
+		rep, err := a.Analyze(ctx, gs[i])
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				reports[i] = &Report{Platform: a.platform, Err: ctxErr.Error()}
+				return ctxErr
+			}
+			reports[i] = &Report{Platform: a.platform, Err: err.Error()}
+			return nil
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		// Only context cancellation propagates; fill the slots the pool
+		// never dispatched.
+		for i, r := range reports {
+			if r == nil {
+				reports[i] = &Report{Platform: a.platform, Err: err.Error()}
+			}
+		}
+		return reports, err
+	}
+	return reports, nil
+}

@@ -7,11 +7,13 @@
 package hetrta_test
 
 import (
+	"context"
 	"testing"
 
 	hetrta "repro"
 	"repro/internal/exact"
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
@@ -31,7 +33,7 @@ func benchCfg() experiments.Config {
 func BenchmarkFig6(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig6(cfg, nil); err != nil {
+		if _, err := experiments.Fig6(context.Background(), cfg, nil); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -41,9 +43,9 @@ func BenchmarkFig6(b *testing.B) {
 func BenchmarkFig7(b *testing.B) {
 	cfg := benchCfg()
 	cfg.TasksPerPoint = 4
-	panels := []experiments.Fig7Panel{{M: 2, NMin: 3, NMax: 18}}
+	panels := []experiments.Fig7Panel{{Platform: platform.Hetero(2), NMin: 3, NMax: 18}}
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig7(cfg, panels); err != nil {
+		if _, err := experiments.Fig7(context.Background(), cfg, panels); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -53,7 +55,7 @@ func BenchmarkFig7(b *testing.B) {
 func BenchmarkFig8(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8(cfg); err != nil {
+		if _, err := experiments.Fig8(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -63,7 +65,7 @@ func BenchmarkFig8(b *testing.B) {
 func BenchmarkFig9(b *testing.B) {
 	cfg := benchCfg()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig9(cfg); err != nil {
+		if _, err := experiments.Fig9(context.Background(), cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +100,7 @@ func BenchmarkAnalyze(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rta.Analyze(g, 8); err != nil {
+		if _, err := rta.Analyze(g, platform.Hetero(8)); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -127,7 +129,7 @@ func BenchmarkExactSmall(b *testing.B) {
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{}); err != nil {
+		if _, err := exact.MinMakespan(context.Background(), g, sched.Hetero(2), exact.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -146,14 +148,14 @@ func BenchmarkAblationRestrictedVsUnrestricted(b *testing.B) {
 	}
 	b.Run("restricted", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{}); err != nil {
+			if _, err := exact.MinMakespan(context.Background(), g, sched.Hetero(2), exact.Options{}); err != nil {
 				b.Fatal(err)
 			}
 		}
 	})
 	b.Run("unrestricted", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			if _, err := exact.MinMakespan(g, sched.Hetero(2), exact.Options{Unrestricted: true}); err != nil {
+			if _, err := exact.MinMakespan(context.Background(), g, sched.Hetero(2), exact.Options{Unrestricted: true}); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,166 @@
+package hetrta
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/multioff"
+	"repro/internal/rta"
+)
+
+// BoundInput is what a Bound implementation gets to work with: the
+// (transitively reduced) task graph, the target platform, and — when the
+// graph has exactly one offload node — the Algorithm 1 transformation,
+// computed once by the Analyzer and shared by every bound.
+type BoundInput struct {
+	// Graph is the task graph G, transitively reduced.
+	Graph *Graph
+	// Platform is the execution platform under analysis.
+	Platform Platform
+	// Transform is the τ ⇒ τ' transformation, or nil when the graph has no
+	// offload node or more than one.
+	Transform *Transformation
+}
+
+// BoundResult is one computed response-time bound inside a Report.
+type BoundResult struct {
+	// Name identifies the bound ("rhom", "rhet", ...).
+	Name string `json:"name"`
+	// Value is the response-time bound. Meaningless when Skipped is set.
+	Value float64 `json:"value"`
+	// Scenario is the Theorem 1 case label for Rhet-style bounds.
+	Scenario string `json:"scenario,omitempty"`
+	// Unsafe marks bounds that are NOT valid upper bounds (the §3.2 naive
+	// reduction, kept for demonstration).
+	Unsafe bool `json:"unsafe,omitempty"`
+	// Skipped is a human-readable reason the bound did not apply to this
+	// graph/platform combination (e.g. Rhet on a graph with no offload
+	// node). A skipped bound is not an error: the rest of the report
+	// stands.
+	Skipped string `json:"skipped,omitempty"`
+	// Detail carries the named intermediate quantities of the bound
+	// (len(G'), vol(GPar), ... for Rhet).
+	Detail map[string]float64 `json:"detail,omitempty"`
+}
+
+// Bound is a pluggable response-time bound. Implementations must be safe
+// for concurrent use: AnalyzeBatch calls Compute from its worker pool.
+//
+// The built-in implementations are RhomBound (Eq. 1), RhetBound (Theorem
+// 1), TypedRhomBound (the typed multi-offload generalization), and
+// NaiveBound (the unsafe §3.2 reduction). Future analyses — e.g. the
+// long-path bounds of He et al. — plug in here without touching the
+// Analyzer.
+type Bound interface {
+	// Name is the stable identifier under which the result appears in
+	// Report.Bounds. Names must be unique within one Analyzer.
+	Name() string
+	// Compute evaluates the bound. Returning a BoundResult with Skipped
+	// set records a benign non-applicability; returning an error aborts
+	// the whole Report.
+	Compute(ctx context.Context, in BoundInput) (BoundResult, error)
+}
+
+// DefaultBounds returns the bounds an Analyzer computes when WithBounds is
+// not given: Rhom (the homogeneous baseline) and Rhet (the paper's
+// heterogeneous bound).
+func DefaultBounds() []Bound { return []Bound{RhomBound(), RhetBound()} }
+
+// RhomBound returns the homogeneous bound of Equation 1, the baseline that
+// treats offloaded work as host work. It applies to every graph.
+func RhomBound() Bound { return rhomBound{} }
+
+type rhomBound struct{}
+
+func (rhomBound) Name() string { return "rhom" }
+
+func (rhomBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{Name: "rhom", Value: rta.Rhom(in.Graph, in.Platform)}, nil
+}
+
+// RhetBound returns the paper's heterogeneous bound (Theorem 1, Eqs. 2–4)
+// on the transformed task τ'. It is skipped when the graph has no (or more
+// than one) offload node or the platform has no device; ties between
+// scenarios 2.1 and 2.2 follow the rule documented on the Scenario type.
+func RhetBound() Bound { return rhetBound{} }
+
+type rhetBound struct{}
+
+func (rhetBound) Name() string { return "rhet" }
+
+func (rhetBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) {
+	if in.Transform == nil {
+		switch n := len(in.Graph.OffloadNodes()); {
+		case n == 0:
+			return BoundResult{Name: "rhet", Skipped: "no offload node (homogeneous task)"}, nil
+		case n > 1:
+			return BoundResult{Name: "rhet", Skipped: fmt.Sprintf("%d offload nodes; use TypedRhomBound", n)}, nil
+		default:
+			return BoundResult{Name: "rhet", Skipped: "transformation unavailable"}, nil
+		}
+	}
+	if in.Platform.Devices < 1 {
+		return BoundResult{Name: "rhet", Skipped: "platform has no accelerator device"}, nil
+	}
+	het, err := rta.Rhet(in.Transform, in.Platform)
+	if err != nil {
+		return BoundResult{}, err
+	}
+	return BoundResult{
+		Name:     "rhet",
+		Value:    het.R,
+		Scenario: het.Scenario.String(),
+		Detail: map[string]float64{
+			"lenPrime": float64(het.LenPrime),
+			"volPrime": float64(het.VolPrime),
+			"cOff":     float64(het.COff),
+			"lenPar":   float64(het.LenPar),
+			"volPar":   float64(het.VolPar),
+			"rhomPar":  het.RhomPar,
+		},
+	}, nil
+}
+
+// TypedRhomBound returns the typed generalization of Equation 1 to any
+// number of offloaded nodes on p.Devices identical devices (the paper's
+// future work (i)/(ii); see extensions.go). With no offload nodes it equals
+// Rhom. It is skipped when the graph offloads but the platform has no
+// device.
+func TypedRhomBound() Bound { return typedRhomBound{} }
+
+type typedRhomBound struct{}
+
+func (typedRhomBound) Name() string { return "typed-rhom" }
+
+func (typedRhomBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) {
+	if len(in.Graph.OffloadNodes()) > 0 && in.Platform.Devices < 1 {
+		return BoundResult{Name: "typed-rhom", Skipped: "offload nodes but no device"}, nil
+	}
+	v, err := multioff.TypedRhom(in.Graph, in.Platform)
+	if err != nil {
+		return BoundResult{}, err
+	}
+	return BoundResult{Name: "typed-rhom", Value: v}, nil
+}
+
+// NaiveBound returns the UNSAFE bound of Section 3.2 (Rhom with COff
+// blindly subtracted from the self-interference factor). It is not a valid
+// upper bound — its results carry Unsafe: true — and exists to let reports
+// demonstrate why the transformation is necessary. Skipped on graphs
+// without an offload node.
+func NaiveBound() Bound { return naiveBound{} }
+
+type naiveBound struct{}
+
+func (naiveBound) Name() string { return "naive" }
+
+func (naiveBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) {
+	if _, ok := in.Graph.OffloadNode(); !ok {
+		return BoundResult{Name: "naive", Skipped: "no offload node", Unsafe: true}, nil
+	}
+	v, err := rta.Naive(in.Graph, in.Platform)
+	if err != nil {
+		return BoundResult{}, err
+	}
+	return BoundResult{Name: "naive", Value: v, Unsafe: true}, nil
+}

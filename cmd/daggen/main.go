@@ -12,34 +12,42 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
-	"repro/internal/dag"
-	"repro/internal/taskgen"
+	hetrta "repro"
 )
 
 func main() {
-	var (
-		preset = flag.String("preset", "small", "task preset: small (npar=6, maxdepth=3) or large (npar=8, maxdepth=5)")
-		nMin   = flag.Int("nmin", 0, "minimum node count (0 = preset default)")
-		nMax   = flag.Int("nmax", 0, "maximum node count (0 = preset default)")
-		cOff   = flag.Float64("coff", 0.2, "target COff as a fraction of vol(G), in (0,1); 0 generates a host-only DAG")
-		count  = flag.Int("count", 1, "number of tasks to generate")
-		seed   = flag.Int64("seed", 1, "random seed")
-		outDir = flag.String("o", "", "output directory (default: write to stdout)")
-	)
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	var params taskgen.Params
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("daggen", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		preset = fs.String("preset", "small", "task preset: small (npar=6, maxdepth=3) or large (npar=8, maxdepth=5)")
+		nMin   = fs.Int("nmin", 0, "minimum node count (0 = preset default)")
+		nMax   = fs.Int("nmax", 0, "maximum node count (0 = preset default)")
+		cOff   = fs.Float64("coff", 0.2, "target COff as a fraction of vol(G), in (0,1); 0 generates a host-only DAG")
+		count  = fs.Int("count", 1, "number of tasks to generate")
+		seed   = fs.Int64("seed", 1, "random seed")
+		outDir = fs.String("o", "", "output directory (default: write to stdout)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	var params hetrta.GenParams
 	switch *preset {
 	case "small":
-		params = taskgen.Small(3, 100)
+		params = hetrta.SmallTasks(3, 100)
 	case "large":
-		params = taskgen.Large(100, 400)
+		params = hetrta.LargeTasks(100, 400)
 	default:
-		fmt.Fprintf(os.Stderr, "daggen: unknown preset %q\n", *preset)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "daggen: unknown preset %q\n", *preset)
+		return 2
 	}
 	if *nMin > 0 {
 		params.NMin = *nMin
@@ -47,42 +55,37 @@ func main() {
 	if *nMax > 0 {
 		params.NMax = *nMax
 	}
-	gen, err := taskgen.New(params, *seed)
+	gen, err := hetrta.NewGenerator(params, *seed)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "daggen:", err)
+		return 1
 	}
 	for i := 0; i < *count; i++ {
-		var g *dag.Graph
+		var g *hetrta.Graph
 		if *cOff > 0 {
-			var err error
 			g, _, _, err = gen.HetTask(*cOff)
-			if err != nil {
-				fatal(err)
-			}
 		} else {
-			var err error
 			g, err = gen.Graph()
-			if err != nil {
-				fatal(err)
-			}
+		}
+		if err != nil {
+			fmt.Fprintln(stderr, "daggen:", err)
+			return 1
 		}
 		data, err := json.MarshalIndent(g, "", "  ")
 		if err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "daggen:", err)
+			return 1
 		}
 		if *outDir == "" {
-			fmt.Println(string(data))
+			fmt.Fprintln(stdout, string(data))
 			continue
 		}
 		name := filepath.Join(*outDir, fmt.Sprintf("task_%03d.json", i))
 		if err := os.WriteFile(name, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
+			fmt.Fprintln(stderr, "daggen:", err)
+			return 1
 		}
-		fmt.Printf("wrote %s (n=%d vol=%d len=%d)\n", name, g.NumNodes(), g.Volume(), g.CriticalPathLength())
+		fmt.Fprintf(stdout, "wrote %s (n=%d vol=%d len=%d)\n", name, g.NumNodes(), g.Volume(), g.CriticalPathLength())
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "daggen:", err)
-	os.Exit(1)
+	return 0
 }

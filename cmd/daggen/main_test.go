@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hetrta "repro"
+)
+
+func TestRunStdout(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-preset", "small", "-nmin", "5", "-nmax", "15", "-coff", "0.3", "-seed", "7"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	g := hetrta.NewGraph()
+	if err := json.Unmarshal(out.Bytes(), g); err != nil {
+		t.Fatalf("output is not a task graph: %v", err)
+	}
+	if g.NumNodes() < 5 {
+		t.Errorf("graph has %d nodes, want ≥ 5", g.NumNodes())
+	}
+	if _, ok := g.OffloadNode(); !ok {
+		t.Error("generated task has no offload node despite -coff 0.3")
+	}
+}
+
+func TestRunHostOnlyAndDeterminism(t *testing.T) {
+	gen := func() string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-coff", "0", "-seed", "3"}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	a, b := gen(), gen()
+	if a != b {
+		t.Error("same seed produced different tasks")
+	}
+	g := hetrta.NewGraph()
+	if err := json.Unmarshal([]byte(a), g); err != nil {
+		t.Fatal(err)
+	}
+	if offs := g.OffloadNodes(); len(offs) != 0 {
+		t.Errorf("-coff 0 produced %d offload nodes", len(offs))
+	}
+}
+
+func TestRunOutputDir(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-count", "3", "-o", dir, "-seed", "1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	for i := 0; i < 3; i++ {
+		path := filepath.Join(dir, "task_00"+string(rune('0'+i))+".json")
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing %s: %v", path, err)
+		}
+		g := hetrta.NewGraph()
+		if err := json.Unmarshal(data, g); err != nil {
+			t.Errorf("%s: %v", path, err)
+		}
+	}
+	if n := strings.Count(out.String(), "wrote "); n != 3 {
+		t.Errorf("wrote %d files per stdout, want 3", n)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-preset", "gigantic"}, &out, &errb); code != 2 {
+		t.Errorf("unknown preset: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nope"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -1,162 +1,255 @@
-// Command dagrta analyzes one heterogeneous DAG task (JSON produced by
-// cmd/daggen or by hand): it prints vol/len, the homogeneous bound Rhom
-// (Eq. 1), the transformed task's heterogeneous bound Rhet with its Theorem
-// 1 scenario, and optionally a simulated schedule and the exact minimum
+// Command dagrta analyzes heterogeneous DAG tasks (JSON produced by
+// cmd/daggen or by hand) through the hetrta.Analyzer: it prints vol/len,
+// the homogeneous bound Rhom (Eq. 1), the transformed task's heterogeneous
+// bound Rhet with its Theorem 1 scenario, the unsafe naive bound for
+// comparison, and optionally a simulated schedule and the exact minimum
 // makespan.
 //
 // Usage:
 //
 //	dagrta -in task.json -m 4 [-deadline 120] [-sim] [-gantt] [-exact] [-check]
+//	dagrta -m 8 -parallel 4 -json tasks/*.json   # batch, JSON reports
+//
+// With several input files the analysis fans out on the Analyzer's worker
+// pool (-parallel) and reports print in input order. -json always emits a
+// JSON array of reports, one element per input, even for a single input.
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 
-	"repro/internal/dag"
-	"repro/internal/exact"
-	"repro/internal/rta"
-	"repro/internal/sched"
-	"repro/internal/transform"
+	hetrta "repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dagrta", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in       = flag.String("in", "-", "input JSON file ('-' = stdin)")
-		m        = flag.Int("m", 4, "number of host cores")
-		deadline = flag.Int64("deadline", 0, "relative deadline D for a schedulability verdict (0 = skip)")
-		doSim    = flag.Bool("sim", false, "simulate τ and τ' under the breadth-first scheduler")
-		doGantt  = flag.Bool("gantt", false, "print ASCII Gantt charts of the simulations (implies -sim)")
-		doExact  = flag.Bool("exact", false, "compute the exact minimum makespan (n ≤ 64)")
-		doCheck  = flag.Bool("check", false, "verify the transformation invariants (Algorithm 1 post-conditions)")
-		budget   = flag.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
-		svgOut   = flag.String("svg", "", "write an SVG Gantt chart of the transformed task's schedule to this file")
+		in       = fs.String("in", "", "input JSON file ('-' = stdin); positional arguments add more inputs")
+		m        = fs.Int("m", 4, "number of host cores")
+		devices  = fs.Int("devices", 1, "number of accelerator devices")
+		deadline = fs.Int64("deadline", 0, "relative deadline D for a schedulability verdict (0 = skip)")
+		doSim    = fs.Bool("sim", false, "simulate τ and τ' under the breadth-first scheduler")
+		doGantt  = fs.Bool("gantt", false, "print ASCII Gantt charts of the simulations (implies -sim)")
+		doExact  = fs.Bool("exact", false, "compute the exact minimum makespan (n ≤ 64)")
+		doCheck  = fs.Bool("check", false, "verify the transformation invariants (Algorithm 1 post-conditions)")
+		budget   = fs.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
+		svgOut   = fs.String("svg", "", "write an SVG Gantt chart of the transformed task's schedule to this file (single input only)")
+		asJSON   = fs.Bool("json", false, "emit the reports as JSON instead of text")
+		parallel = fs.Int("parallel", 0, "worker-pool size for multiple inputs (0 = all CPUs)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
-	g, err := readGraph(*in)
+	inputs := fs.Args()
+	if *in != "" {
+		inputs = append([]string{*in}, inputs...)
+	}
+	if len(inputs) == 0 {
+		inputs = []string{"-"}
+	}
+	if *svgOut != "" && len(inputs) > 1 {
+		fmt.Fprintln(stderr, "dagrta: -svg needs a single input")
+		return 2
+	}
+
+	opts := []hetrta.Option{
+		hetrta.WithPlatform(hetrta.Platform{Cores: *m, Devices: *devices}),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.NaiveBound()),
+		hetrta.WithParallelism(*parallel),
+	}
+	needSim := *doSim || *doGantt || *svgOut != ""
+	if needSim {
+		opts = append(opts, hetrta.WithPolicy(hetrta.BreadthFirst))
+	}
+	if *doExact {
+		opts = append(opts, hetrta.WithExactBudget(*budget))
+	}
+	an, err := hetrta.NewAnalyzer(opts...)
 	if err != nil {
-		fatal(err)
-	}
-	if removed, err := g.TransitiveReduction(); err != nil {
-		fatal(err)
-	} else if removed > 0 {
-		fmt.Printf("note: removed %d redundant edge(s) before analysis\n", removed)
+		fmt.Fprintln(stderr, "dagrta:", err)
+		return 1
 	}
 
-	fmt.Printf("task: n=%d edges=%d vol=%d len=%d\n", g.NumNodes(), g.NumEdges(), g.Volume(), g.CriticalPathLength())
-	vOff, hasOff := g.OffloadNode()
-	if hasOff {
-		fmt.Printf("offload: node %s with COff=%d (%.1f%% of volume)\n",
-			g.Name(vOff), g.WCET(vOff), 100*float64(g.WCET(vOff))/float64(g.Volume()))
-	} else {
-		fmt.Println("offload: none (homogeneous task)")
-	}
-
-	fmt.Printf("Rhom(τ)  on m=%d: %.2f\n", *m, rta.Rhom(g, *m))
-	if hasOff {
-		a, err := rta.Analyze(g, *m)
+	graphs := make([]*hetrta.Graph, len(inputs))
+	for i, path := range inputs {
+		g, err := readGraph(path, stdin)
 		if err != nil {
-			fatal(err)
+			fmt.Fprintf(stderr, "dagrta: %s: %v\n", path, err)
+			return 1
 		}
-		fmt.Printf("naive    on m=%d: %.2f (UNSAFE, shown for comparison)\n", *m, a.Naive)
-		fmt.Printf("Rhet(τ') on m=%d: %.2f (%s; len'=%d lenPar=%d volPar=%d)\n",
-			*m, a.Het.R, a.Het.Scenario, a.Het.LenPrime, a.Het.LenPar, a.Het.VolPar)
-		if *doCheck {
-			if err := transform.Check(a.Transform); err != nil {
-				fatal(err)
+		graphs[i] = g
+	}
+
+	reports, err := an.AnalyzeBatch(context.Background(), graphs)
+	if err != nil {
+		fmt.Fprintln(stderr, "dagrta:", err)
+		return 1
+	}
+
+	if *asJSON {
+		// Always an array, so the output schema does not depend on how
+		// many inputs a glob happened to match.
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(reports); err != nil {
+			fmt.Fprintln(stderr, "dagrta:", err)
+			return 1
+		}
+	}
+
+	exitCode := 0
+	for i, rep := range reports {
+		if rep.Err != "" {
+			fmt.Fprintf(stderr, "dagrta: %s: %s\n", inputs[i], rep.Err)
+			exitCode = 1
+			continue
+		}
+		if !*asJSON {
+			if len(reports) > 1 {
+				fmt.Fprintf(stdout, "== %s ==\n", inputs[i])
 			}
-			fmt.Println("transform check: OK")
+			printReport(stdout, rep, graphs[i], *deadline, *doGantt || *doSim, *doGantt)
 		}
-		if *deadline > 0 {
+		if *doCheck && rep.TransformResult != nil {
+			if err := hetrta.CheckTransform(rep.TransformResult); err != nil {
+				fmt.Fprintf(stderr, "dagrta: %s: transform check: %v\n", inputs[i], err)
+				exitCode = 1
+				continue
+			}
+			if !*asJSON {
+				fmt.Fprintln(stdout, "transform check: OK")
+			}
+		}
+		if *svgOut != "" && rep.SimTransformed != nil {
+			if err := writeSVG(*svgOut, rep); err != nil {
+				fmt.Fprintln(stderr, "dagrta:", err)
+				return 1
+			}
+			if !*asJSON {
+				fmt.Fprintf(stdout, "wrote %s\n", *svgOut)
+			}
+		}
+	}
+	return exitCode
+}
+
+func printReport(w io.Writer, rep *hetrta.Report, g *hetrta.Graph, deadline int64, sim, gantt bool) {
+	gs := rep.Graph
+	fmt.Fprintf(w, "task: n=%d edges=%d vol=%d len=%d (platform %s)\n",
+		gs.Nodes, gs.Edges, gs.Volume, gs.CriticalPath, rep.Platform)
+	if gs.ReducedEdges > 0 {
+		fmt.Fprintf(w, "note: removed %d redundant edge(s) before analysis\n", gs.ReducedEdges)
+	}
+	if off := gs.Offload; off != nil {
+		fmt.Fprintf(w, "offload: node %s with COff=%d (%.1f%% of volume)\n", off.Name, off.COff, 100*off.Frac)
+	} else if gs.Offloads > 1 {
+		fmt.Fprintf(w, "offload: %d nodes (multi-offload extension)\n", gs.Offloads)
+	} else {
+		fmt.Fprintln(w, "offload: none (homogeneous task)")
+	}
+
+	for _, b := range rep.Bounds {
+		label := b.Name
+		switch b.Name {
+		case "rhom":
+			label = "Rhom(τ) "
+		case "rhet":
+			label = "Rhet(τ')"
+		case "naive":
+			label = "naive   "
+		}
+		if b.Skipped != "" {
+			fmt.Fprintf(w, "%s: skipped (%s)\n", label, b.Skipped)
+			continue
+		}
+		fmt.Fprintf(w, "%s: %.2f", label, b.Value)
+		if b.Scenario != "" {
+			fmt.Fprintf(w, " (%s", b.Scenario)
+			if tr := rep.Transform; tr != nil {
+				fmt.Fprintf(w, "; len'=%d lenPar=%d volPar=%d", tr.LenPrime, tr.LenPar, tr.VolPar)
+			}
+			fmt.Fprint(w, ")")
+		}
+		if b.Unsafe {
+			fmt.Fprint(w, " (UNSAFE, shown for comparison)")
+		}
+		fmt.Fprintln(w)
+	}
+
+	if deadline > 0 {
+		name := "rhet"
+		if _, ok := rep.Schedulable(name, deadline); !ok {
+			name = "rhom"
+		}
+		if s, ok := rep.Schedulable(name, deadline); ok {
 			verdict := "NOT schedulable"
-			if a.Het.R <= float64(*deadline) {
+			if s {
 				verdict = "schedulable"
 			}
-			fmt.Printf("deadline %d: %s under Rhet\n", *deadline, verdict)
+			fmt.Fprintf(w, "deadline %d: %s under %s\n", deadline, verdict, name)
 		}
-		if *doSim || *doGantt {
-			simulate(g, a, *m, *doGantt)
-		}
-		if *svgOut != "" {
-			r, err := sched.Simulate(a.Transform.Transformed, sched.Hetero(*m), sched.BreadthFirst())
-			if err != nil {
-				fatal(err)
-			}
-			f, err := os.Create(*svgOut)
-			if err != nil {
-				fatal(err)
-			}
-			if err := r.WriteSVG(f, a.Transform.Transformed); err != nil {
-				fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				fatal(err)
-			}
-			fmt.Printf("wrote %s\n", *svgOut)
-		}
-	} else if *deadline > 0 {
-		verdict := "NOT schedulable"
-		if rta.Rhom(g, *m) <= float64(*deadline) {
-			verdict = "schedulable"
-		}
-		fmt.Printf("deadline %d: %s under Rhom\n", *deadline, verdict)
 	}
 
-	if *doExact {
-		p := sched.Hetero(*m)
-		if !hasOff {
-			p = sched.Homogeneous(*m)
+	if sim && rep.Simulation != nil {
+		if rep.Simulation.MakespanTransformed > 0 {
+			fmt.Fprintf(w, "simulated makespan (%s): τ=%d τ'=%d\n",
+				rep.Simulation.Policy, rep.Simulation.Makespan, rep.Simulation.MakespanTransformed)
+		} else {
+			fmt.Fprintf(w, "simulated makespan (%s): τ=%d\n", rep.Simulation.Policy, rep.Simulation.Makespan)
 		}
-		r, err := exact.MinMakespan(g, p, exact.Options{MaxExpansions: *budget})
-		if err != nil {
-			fatal(err)
+		if gantt {
+			fmt.Fprintln(w, "τ schedule:")
+			fmt.Fprint(w, rep.SimOriginal.Gantt(g, 72))
+			if rep.SimTransformed != nil {
+				fmt.Fprintln(w, "τ' schedule:")
+				fmt.Fprint(w, rep.SimTransformed.Gantt(rep.TransformResult.Transformed, 72))
+			}
 		}
-		fmt.Printf("exact min makespan: %d (%s, %d expansions, lower bound %d)\n",
-			r.Makespan, r.Status, r.Expansions, r.LowerBound)
+	}
+
+	if rep.Exact != nil {
+		fmt.Fprintf(w, "exact min makespan: %d (%s, %d expansions, lower bound %d)\n",
+			rep.Exact.Makespan, rep.Exact.Status, rep.Exact.Expansions, rep.Exact.LowerBound)
 	}
 }
 
-func simulate(g *dag.Graph, a *rta.Analysis, m int, gantt bool) {
-	orig, err := sched.Simulate(g, sched.Hetero(m), sched.BreadthFirst())
+func writeSVG(path string, rep *hetrta.Report) error {
+	f, err := os.Create(path)
 	if err != nil {
-		fatal(err)
+		return err
 	}
-	trans, err := sched.Simulate(a.Transform.Transformed, sched.Hetero(m), sched.BreadthFirst())
-	if err != nil {
-		fatal(err)
+	if err := rep.SimTransformed.WriteSVG(f, rep.TransformResult.Transformed); err != nil {
+		f.Close()
+		return err
 	}
-	fmt.Printf("simulated makespan (breadth-first): τ=%d τ'=%d\n", orig.Makespan, trans.Makespan)
-	if gantt {
-		fmt.Println("τ schedule:")
-		fmt.Print(orig.Gantt(g, 72))
-		fmt.Println("τ' schedule:")
-		fmt.Print(trans.Gantt(a.Transform.Transformed, 72))
-	}
+	return f.Close()
 }
 
-func readGraph(path string) (*dag.Graph, error) {
+func readGraph(path string, stdin io.Reader) (*hetrta.Graph, error) {
 	var data []byte
 	var err error
 	if path == "-" {
-		data, err = io.ReadAll(os.Stdin)
+		data, err = io.ReadAll(stdin)
 	} else {
 		data, err = os.ReadFile(path)
 	}
 	if err != nil {
 		return nil, err
 	}
-	g := dag.New()
+	g := hetrta.NewGraph()
 	if err := json.Unmarshal(data, g); err != nil {
 		return nil, err
 	}
 	return g, nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dagrta:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	hetrta "repro"
+)
+
+// fig1JSON is the paper's running example (Figure 1(a)), normalized:
+// Rhom = 13, naive = 11, Rhet = 12 on m=2, exact optimum 9.
+const fig1JSON = `{
+  "nodes": [
+    {"name": "v1", "wcet": 2}, {"name": "v2", "wcet": 4},
+    {"name": "v3", "wcet": 5}, {"name": "v4", "wcet": 2},
+    {"name": "v5", "wcet": 1}, {"name": "vOff", "wcet": 4, "kind": "offload"},
+    {"name": "sink", "wcet": 0}
+  ],
+  "edges": [[0,1],[0,2],[0,3],[1,4],[2,4],[3,5],[4,6],[5,6]]
+}`
+
+func writeFig1(t *testing.T) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "fig1.json")
+	if err := os.WriteFile(path, []byte(fig1JSON), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	path := writeFig1(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-in", path, "-m", "2", "-sim", "-exact", "-check", "-deadline", "12"},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	for _, want := range []string{
+		"vol=18 len=8",
+		"Rhom(τ) : 13.00",
+		"Rhet(τ'): 12.00",
+		"scenario 1",
+		"naive   : 11.00",
+		"UNSAFE",
+		"deadline 12: schedulable under rhet",
+		"simulated makespan",
+		"exact min makespan: 9 (optimal",
+		"transform check: OK",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("output missing %q; got:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunJSONReport(t *testing.T) {
+	path := writeFig1(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-json", "-m", "2", "-exact", path}, strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	// The schema is stable: always an array, even for a single input.
+	var reps []hetrta.Report
+	if err := json.Unmarshal(out.Bytes(), &reps); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, out.String())
+	}
+	if len(reps) != 1 {
+		t.Fatalf("got %d reports, want 1", len(reps))
+	}
+	rep := reps[0]
+	if v, ok := rep.BoundValue("rhet"); !ok || v != 12 {
+		t.Errorf("rhet = %v (ok=%v), want 12", v, ok)
+	}
+	if rep.Exact == nil || rep.Exact.Makespan != 9 {
+		t.Errorf("exact = %+v", rep.Exact)
+	}
+}
+
+func TestRunBatchOrderAndStdin(t *testing.T) {
+	path := writeFig1(t)
+	var out, errb bytes.Buffer
+	code := run([]string{"-m", "2", "-parallel", "2", path, path, path},
+		strings.NewReader(""), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if n := strings.Count(out.String(), "== "); n != 3 {
+		t.Errorf("expected 3 per-file headers, got %d:\n%s", n, out.String())
+	}
+
+	// Reading from stdin with no inputs.
+	out.Reset()
+	errb.Reset()
+	code = run([]string{"-m", "2"}, strings.NewReader(fig1JSON), &out, &errb)
+	if code != 0 {
+		t.Fatalf("stdin run: exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Rhom(τ) : 13.00") {
+		t.Errorf("stdin output wrong:\n%s", out.String())
+	}
+}
+
+func TestRunFlagAndInputErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-badflag"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+	errb.Reset()
+	if code := run([]string{"-in", "/nonexistent.json"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	// A malformed graph must fail per-item with exit 1.
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"nodes": [{"wcet": 1, "kind": "alien"}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	errb.Reset()
+	if code := run([]string{bad}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("bad graph: exit %d, want 1 (stderr %q)", code, errb.String())
+	}
+}

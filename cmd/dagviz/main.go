@@ -16,45 +16,57 @@ import (
 	"io"
 	"os"
 
-	"repro/internal/dag"
-	"repro/internal/transform"
+	hetrta "repro"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dagviz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		in          = flag.String("in", "-", "input JSON file ('-' = stdin)")
-		transformed = flag.Bool("transformed", false, "emit the transformed DAG G' instead of G")
-		par         = flag.Bool("par", false, "emit the parallel sub-DAG GPar instead of G")
-		title       = flag.String("title", "task", "graph title")
+		in          = fs.String("in", "-", "input JSON file ('-' = stdin)")
+		transformed = fs.Bool("transformed", false, "emit the transformed DAG G' instead of G")
+		par         = fs.Bool("par", false, "emit the parallel sub-DAG GPar instead of G")
+		title       = fs.String("title", "task", "graph title")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var data []byte
 	var err error
 	if *in == "-" {
-		data = readStdin()
+		data, err = io.ReadAll(stdin)
 	} else {
 		data, err = os.ReadFile(*in)
-		if err != nil {
-			fatal(err)
-		}
 	}
-	g := dag.New()
+	if err != nil {
+		fmt.Fprintln(stderr, "dagviz:", err)
+		return 1
+	}
+	g := hetrta.NewGraph()
 	if err := json.Unmarshal(data, g); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dagviz:", err)
+		return 1
 	}
 	if !*transformed && !*par {
-		if err := g.WriteDOT(os.Stdout, *title); err != nil {
-			fatal(err)
+		if err := g.WriteDOT(stdout, *title); err != nil {
+			fmt.Fprintln(stderr, "dagviz:", err)
+			return 1
 		}
-		return
+		return 0
 	}
 	if _, err := g.TransitiveReduction(); err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dagviz:", err)
+		return 1
 	}
-	tr, err := transform.Transform(g)
+	tr, err := hetrta.Transform(g)
 	if err != nil {
-		fatal(err)
+		fmt.Fprintln(stderr, "dagviz:", err)
+		return 1
 	}
 	out := tr.Transformed
 	name := *title + "_transformed"
@@ -62,20 +74,9 @@ func main() {
 		out = tr.Par
 		name = *title + "_gpar"
 	}
-	if err := out.WriteDOT(os.Stdout, name); err != nil {
-		fatal(err)
+	if err := out.WriteDOT(stdout, name); err != nil {
+		fmt.Fprintln(stderr, "dagviz:", err)
+		return 1
 	}
-}
-
-func readStdin() []byte {
-	data, err := io.ReadAll(os.Stdin)
-	if err != nil {
-		fatal(err)
-	}
-	return data
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "dagviz:", err)
-	os.Exit(1)
+	return 0
 }

@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+const taskJSON = `{
+  "nodes": [
+    {"name": "a", "wcet": 2}, {"name": "gpu", "wcet": 5, "kind": "offload"},
+    {"name": "b", "wcet": 3}, {"name": "c", "wcet": 1}
+  ],
+  "edges": [[0,1],[0,2],[1,3],[2,3]]
+}`
+
+func TestRunPlainDOT(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-title", "demo"}, strings.NewReader(taskJSON), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "digraph") || !strings.Contains(s, "demo") {
+		t.Errorf("not a titled DOT graph:\n%s", s)
+	}
+	if !strings.Contains(s, "gpu") {
+		t.Errorf("offload node missing:\n%s", s)
+	}
+}
+
+func TestRunTransformedAndPar(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-transformed"}, strings.NewReader(taskJSON), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "vsync") {
+		t.Errorf("transformed DOT lacks vsync:\n%s", out.String())
+	}
+
+	out.Reset()
+	code = run([]string{"-par"}, strings.NewReader(taskJSON), &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "_gpar") {
+		t.Errorf("GPar DOT missing:\n%s", out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-in", "/nonexistent.json"}, strings.NewReader(""), &out, &errb); code != 1 {
+		t.Errorf("missing file: exit %d, want 1", code)
+	}
+	if code := run([]string{}, strings.NewReader("not json"), &out, &errb); code != 1 {
+		t.Errorf("bad JSON: exit %d, want 1", code)
+	}
+	if code := run([]string{"-wat"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Errorf("bad flag: exit %d, want 2", code)
+	}
+}

@@ -11,29 +11,43 @@
 //
 // -scale quick runs a reduced sweep (minutes); -scale paper reproduces the
 // paper's sample sizes (100 DAGs/point, n ∈ [100,250]; Figure 7 budgeted).
-// Tables print to stdout; -csv DIR additionally writes CSV files.
+// -parallel fans the per-(platform, COff%) points out on a worker pool —
+// results are bit-identical at any parallelism. Tables print to stdout;
+// -csv DIR additionally writes CSV files.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
 	"repro/internal/experiments"
+	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/table"
 )
 
 func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		fig    = flag.String("fig", "all", "which figure to regenerate: 6|7|8|9|tables|naive|all")
-		scale  = flag.String("scale", "quick", "experiment scale: quick, medium, or paper")
-		seed   = flag.Int64("seed", 2018, "random seed")
-		csvDir = flag.String("csv", "", "directory for CSV output (optional)")
-		ablate = flag.Bool("policies", false, "with -fig 6: also run the LIFO policy ablation")
+		fig      = fs.String("fig", "all", "which figure to regenerate: 6|7|8|9|tables|naive|all")
+		scale    = fs.String("scale", "quick", "experiment scale: quick, medium, or paper")
+		seed     = fs.Int64("seed", 2018, "random seed")
+		csvDir   = fs.String("csv", "", "directory for CSV output (optional)")
+		ablate   = fs.Bool("policies", false, "with -fig 6: also run the LIFO policy ablation")
+		parallel = fs.Int("parallel", 0, "worker-pool size for the sweep points (0 = all CPUs, 1 = serial)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	var cfg experiments.Config
 	switch *scale {
@@ -45,100 +59,120 @@ func main() {
 		cfg = experiments.Default(*seed)
 		cfg.ExactBudget = 2_000_000
 	default:
-		fmt.Fprintf(os.Stderr, "experiments: unknown scale %q\n", *scale)
-		os.Exit(2)
+		fmt.Fprintf(stderr, "experiments: unknown scale %q\n", *scale)
+		return 2
 	}
+	cfg.Parallelism = *parallel
 
-	runner := &runner{csvDir: *csvDir}
+	ctx := context.Background()
+	runner := &runner{csvDir: *csvDir, stdout: stdout, stderr: stderr}
 	want := func(f string) bool { return *fig == "all" || *fig == f }
 
-	var fig9 *experiments.Fig9Result
 	if want("6") {
-		res, err := experiments.Fig6(cfg, nil)
-		check(err)
+		res, err := experiments.Fig6(ctx, cfg, nil)
+		if !runner.check(err) {
+			return 1
+		}
 		runner.emit("fig6", res.Table())
 		runner.emit("fig6_summary", res.SummaryTable())
 		if *ablate {
-			lifo, err := experiments.Fig6(cfg, sched.LIFO)
-			check(err)
+			lifo, err := experiments.Fig6(ctx, cfg, sched.LIFO)
+			if !runner.check(err) {
+				return 1
+			}
 			runner.emit("fig6_lifo_ablation", lifo.Table())
 		}
 	}
 	if want("7") {
-		f7cfg := cfg
+		panels := experiments.PaperFig7Panels()
 		if *scale == "quick" {
-			res, err := experiments.Fig7(f7cfg, []experiments.Fig7Panel{
-				{M: 2, NMin: 3, NMax: 20},
-				{M: 8, NMin: 20, NMax: 40},
-			})
-			check(err)
-			for i, t := range res.Table() {
-				runner.emit(fmt.Sprintf("fig7_panel%c", 'a'+i), t)
+			panels = []experiments.Fig7Panel{
+				{Platform: platform.Hetero(2), NMin: 3, NMax: 20},
+				{Platform: platform.Hetero(8), NMin: 20, NMax: 40},
 			}
-		} else {
-			res, err := experiments.Fig7(f7cfg, experiments.PaperFig7Panels())
-			check(err)
-			for i, t := range res.Table() {
-				runner.emit(fmt.Sprintf("fig7_panel%c", 'a'+i), t)
-			}
+		}
+		res, err := experiments.Fig7(ctx, cfg, panels)
+		if !runner.check(err) {
+			return 1
+		}
+		for i, t := range res.Table() {
+			runner.emit(fmt.Sprintf("fig7_panel%c", 'a'+i), t)
 		}
 	}
 	if want("8") {
-		res, err := experiments.Fig8(cfg)
-		check(err)
+		res, err := experiments.Fig8(ctx, cfg)
+		if !runner.check(err) {
+			return 1
+		}
 		for i, t := range res.Table() {
 			runner.emit(fmt.Sprintf("fig8_m%d", res.Series[i].M), t)
 		}
 		runner.emit("fig8_summary", res.SummaryTable())
 	}
 	if want("9") || want("tables") {
-		var err error
-		fig9, err = experiments.Fig9(cfg)
-		check(err)
+		fig9, err := experiments.Fig9(ctx, cfg)
+		if !runner.check(err) {
+			return 1
+		}
 		if want("9") {
 			runner.emit("fig9", fig9.Table())
 		}
 		runner.emit("fig9_summary", fig9.SummaryTable())
 	}
 	if want("naive") {
-		res, err := experiments.Naive(cfg, 32)
-		check(err)
+		res, err := experiments.Naive(ctx, cfg, 32)
+		if !runner.check(err) {
+			return 1
+		}
 		for i, t := range res.Table() {
 			runner.emit(fmt.Sprintf("naive_m%d", res.Series[i].M), t)
 		}
 	}
-	if runner.count == 0 {
-		fmt.Fprintf(os.Stderr, "experiments: nothing matched -fig %q\n", *fig)
-		os.Exit(2)
+	if runner.failed {
+		return 1
 	}
+	if runner.count == 0 {
+		fmt.Fprintf(stderr, "experiments: nothing matched -fig %q\n", *fig)
+		return 2
+	}
+	return 0
 }
 
 type runner struct {
 	csvDir string
+	stdout io.Writer
+	stderr io.Writer
 	count  int
+	failed bool
+}
+
+func (r *runner) check(err error) bool {
+	if err != nil {
+		fmt.Fprintln(r.stderr, "experiments:", err)
+		r.failed = true
+		return false
+	}
+	return true
 }
 
 func (r *runner) emit(name string, t *table.Table) {
 	r.count++
-	if err := t.WriteText(os.Stdout); err != nil {
-		check(err)
+	if err := t.WriteText(r.stdout); err != nil {
+		r.check(err)
+		return
 	}
-	fmt.Println()
+	fmt.Fprintln(r.stdout)
 	if r.csvDir == "" {
 		return
 	}
 	if err := os.MkdirAll(r.csvDir, 0o755); err != nil {
-		check(err)
+		r.check(err)
+		return
 	}
 	f, err := os.Create(filepath.Join(r.csvDir, name+".csv"))
-	check(err)
-	defer f.Close()
-	check(t.WriteCSV(f))
-}
-
-func check(err error) {
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "experiments:", err)
-		os.Exit(1)
+	if !r.check(err) {
+		return
 	}
+	defer f.Close()
+	r.check(t.WriteCSV(f))
 }

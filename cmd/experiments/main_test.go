@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunFig9QuickParallel(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := run([]string{"-fig", "9", "-scale", "quick", "-parallel", "2"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Figure 9") || !strings.Contains(s, "crossover") {
+		t.Errorf("fig9 tables missing:\n%s", s)
+	}
+}
+
+func TestRunParallelismIsDeterministic(t *testing.T) {
+	gen := func(parallel string) string {
+		var out, errb bytes.Buffer
+		if code := run([]string{"-fig", "8", "-scale", "quick", "-parallel", parallel}, &out, &errb); code != 0 {
+			t.Fatalf("exit %d: %s", code, errb.String())
+		}
+		return out.String()
+	}
+	if gen("1") != gen("4") {
+		t.Error("-parallel changed the experiment output")
+	}
+}
+
+func TestRunCSVOutput(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-fig", "tables", "-scale", "quick", "-csv", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "fig9_summary.csv"))
+	if err != nil {
+		t.Fatalf("CSV not written: %v", err)
+	}
+	if !strings.Contains(string(data), "crossover") {
+		t.Errorf("CSV content unexpected: %s", data)
+	}
+}
+
+func TestRunBadArgs(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-scale", "galactic"}, &out, &errb); code != 2 {
+		t.Errorf("unknown scale: exit %d, want 2", code)
+	}
+	if code := run([]string{"-fig", "42"}, &out, &errb); code != 2 {
+		t.Errorf("unknown fig: exit %d, want 2", code)
+	}
+	if code := run([]string{"-zzz"}, &out, &errb); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}

@@ -57,8 +57,8 @@ func Example_schedulability() {
 	g.MustAddEdge(cpu, post)
 
 	task := hetrta.Task{G: g, Period: 20, Deadline: 16}
-	okHom, rhom := task.SchedulableHom(2)
-	okHet, a, err := task.SchedulableHet(2)
+	okHom, rhom := task.SchedulableHom(hetrta.HomogeneousPlatform(2))
+	okHet, a, err := task.SchedulableHet(hetrta.HeteroPlatform(2))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -5,15 +5,15 @@
 // tiling, feature extraction, and fusion run as host tasks with precedence
 // constraints — exactly the OpenMP-DAG correspondence of Section 2.
 //
-// The program derives the task's DAG, verifies schedulability against a
-// frame deadline under both analyses, and prints the schedules. It shows a
-// deadline that only the heterogeneous analysis Rhet can certify: Rhom
-// wastes the GPU overlap.
+// The program derives the task's DAG, runs one Analyzer pass, and reads the
+// frame-deadline verdicts off the Report. It shows a deadline that only the
+// heterogeneous analysis Rhet can certify: Rhom wastes the GPU overlap.
 //
 // Run with: go run ./examples/openmp_offload
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -49,48 +49,49 @@ func main() {
 	g.MustAddEdge(edges1, fuse)
 	g.MustAddEdge(gpu, fuse)
 
-	if err := g.Validate(hetrta.PaperModel()); err != nil {
-		log.Fatal(err)
-	}
-
 	const (
 		m        = 2    // host cores available to this task
 		deadline = 3500 // µs frame budget
-		period   = 5000 // µs pipeline stage period
 	)
-	task := hetrta.Task{G: g, Period: period, Deadline: deadline}
-	fmt.Printf("pipeline: n=%d vol=%dµs len=%dµs GPU share=%.0f%%\n",
-		g.NumNodes(), g.Volume(), g.CriticalPathLength(),
-		100*float64(g.WCET(gpu))/float64(g.Volume()))
 
-	okHom, rhom := task.SchedulableHom(m)
-	fmt.Printf("Rhom = %.0fµs → deadline %dµs %s (treats the GPU kernel as host work)\n",
-		rhom, deadline, verdict(okHom))
-
-	okHet, a, err := task.SchedulableHet(m)
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(m)),
+		hetrta.WithValidation(hetrta.PaperModel()),
+		hetrta.WithPolicy(hetrta.BreadthFirst),
+		hetrta.WithExactBudget(0),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("pipeline: n=%d vol=%dµs len=%dµs GPU share=%.0f%%\n",
+		rep.Graph.Nodes, rep.Graph.Volume, rep.Graph.CriticalPath, 100*rep.Graph.Offload.Frac)
+
+	rhom, _ := rep.BoundValue("rhom")
+	okHom, _ := rep.Schedulable("rhom", deadline)
+	fmt.Printf("Rhom = %.0fµs → deadline %dµs %s (treats the GPU kernel as host work)\n",
+		rhom, deadline, verdict(okHom))
+
+	rhet, _ := rep.Bound("rhet")
+	okHet, _ := rep.Schedulable("rhet", deadline)
 	fmt.Printf("Rhet = %.0fµs → deadline %dµs %s (%s)\n",
-		a.Het.R, deadline, verdict(okHet), a.Het.Scenario)
+		rhet.Value, deadline, verdict(okHet), rhet.Scenario)
 
 	if okHet && !okHom {
 		fmt.Println("\n→ only the heterogeneous analysis certifies this frame rate.")
 	}
 
-	sim, err := hetrta.Simulate(a.Transform.Transformed, hetrta.HeteroPlatform(m), hetrta.BreadthFirst())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nbreadth-first schedule of the transformed pipeline (makespan %dµs):\n", sim.Makespan)
-	fmt.Print(sim.Gantt(a.Transform.Transformed, 76))
+	fmt.Printf("\nbreadth-first schedule of the transformed pipeline (makespan %dµs):\n",
+		rep.Simulation.MakespanTransformed)
+	fmt.Print(rep.SimTransformed.Gantt(rep.TransformResult.Transformed, 76))
 
-	opt, err := hetrta.MinMakespan(g, hetrta.HeteroPlatform(m), hetrta.ExactOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
 	fmt.Printf("\nexact minimum makespan: %dµs (%s) — Rhet pessimism %.1f%%\n",
-		opt.Makespan, opt.Status, 100*(a.Het.R-float64(opt.Makespan))/float64(opt.Makespan))
+		rep.Exact.Makespan, rep.Exact.Status,
+		100*(rhet.Value-float64(rep.Exact.Makespan))/float64(rep.Exact.Makespan))
 }
 
 func verdict(ok bool) string {

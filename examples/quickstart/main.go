@@ -1,13 +1,14 @@
 // Quickstart walks the paper's running example (Figures 1 and 2) end to
-// end through the public API: build the six-node heterogeneous DAG task,
-// compute the homogeneous bound Rhom, show why the naive reduction is
-// unsafe (a work-conserving schedule exceeds it), transform the DAG with
-// Algorithm 1, and compute the heterogeneous bound Rhet.
+// end through the public Analyzer API: build the six-node heterogeneous DAG
+// task, configure an Analyzer once (platform, bounds, simulation, exact
+// oracle), and read every result off the single Report it produces —
+// including why the naive reduction is unsafe and how Algorithm 1 fixes it.
 //
 // Run with: go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -32,43 +33,46 @@ func main() {
 	g.MustAddEdge(v4, vOff)
 	g.NormalizeSourceSink() // single dummy sink, as Section 2 prescribes
 
-	fmt.Printf("τ: vol=%d len=%d\n", g.Volume(), g.CriticalPathLength())
-
-	const m = 2
-	a, err := hetrta.Analyze(g, m)
+	// One Analyzer, every stage: bounds, breadth-first simulation, exact
+	// oracle. m=2 host cores + 1 accelerator.
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.NaiveBound(), hetrta.RhetBound()),
+		hetrta.WithPolicy(hetrta.BreadthFirst),
+		hetrta.WithExactBudget(0), // 0 = solver default
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("Rhom(τ)  = %.0f   (Eq. 1 on m=%d cores)\n", a.Rhom, m)
-	fmt.Printf("naive    = %.0f   (Rhom minus COff/m — looks better...)\n", a.Naive)
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("τ: vol=%d len=%d on %s\n", rep.Graph.Volume, rep.Graph.CriticalPath, rep.Platform)
+
+	rhom, _ := rep.BoundValue("rhom")
+	naive, _ := rep.BoundValue("naive")
+	fmt.Printf("Rhom(τ)  = %.0f   (Eq. 1, homogeneous baseline)\n", rhom)
+	fmt.Printf("naive    = %.0f   (Rhom minus COff/m — looks better...)\n", naive)
 
 	// ...but it is unsafe: the breadth-first scheduler produces the
 	// Figure 1(c) schedule where the host idles while vOff runs.
-	sim, err := hetrta.Simulate(g, hetrta.HeteroPlatform(m), hetrta.BreadthFirst())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("observed = %d   (> naive %.0f: the naive bound is violated!)\n\n", sim.Makespan, a.Naive)
+	fmt.Printf("observed = %d   (> naive %.0f: the naive bound is violated!)\n\n",
+		rep.Simulation.Makespan, naive)
 	fmt.Println("Figure 1(c) schedule of τ:")
-	fmt.Print(sim.Gantt(g, 60))
+	fmt.Print(rep.SimOriginal.Gantt(g, 60))
 
 	// Algorithm 1 inserts vsync so GPar = {v2,v3,v5} and vOff start
 	// together; Theorem 1 then gives a safe, tighter bound.
+	rhet, _ := rep.Bound("rhet")
 	fmt.Printf("\nRhet(τ') = %.0f   (%s; len(G')=%d)\n",
-		a.Het.R, a.Het.Scenario, a.Het.LenPrime)
+		rhet.Value, rhet.Scenario, rep.Transform.LenPrime)
 
-	simT, err := hetrta.Simulate(a.Transform.Transformed, hetrta.HeteroPlatform(m), hetrta.BreadthFirst())
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("observed = %d   (Figure 2(b) schedule)\n\n", simT.Makespan)
+	fmt.Printf("observed = %d   (Figure 2(b) schedule)\n\n", rep.Simulation.MakespanTransformed)
 	fmt.Println("Figure 2(b) schedule of τ':")
-	fmt.Print(simT.Gantt(a.Transform.Transformed, 60))
+	fmt.Print(rep.SimTransformed.Gantt(rep.TransformResult.Transformed, 60))
 
 	// For reference, the true optimum (the paper's ILP):
-	opt, err := hetrta.MinMakespan(g, hetrta.HeteroPlatform(m), hetrta.ExactOptions{})
-	if err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("\nexact minimum makespan of τ: %d (%s)\n", opt.Makespan, opt.Status)
+	fmt.Printf("\nexact minimum makespan of τ: %d (%s)\n", rep.Exact.Makespan, rep.Exact.Status)
 }

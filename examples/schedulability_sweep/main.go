@@ -4,10 +4,16 @@
 // system-designer's view of the paper's Figure 9: a tighter bound admits
 // more task sets at the same deadline.
 //
+// It is also the AnalyzeBatch showcase: each sweep point generates a batch
+// of task graphs and analyzes them concurrently on the Analyzer's worker
+// pool — results are deterministic and arrive in input order, so the
+// acceptance counts are reproducible at any parallelism.
+//
 // Run with: go run ./examples/schedulability_sweep
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -25,7 +31,16 @@ func main() {
 	// (hard), larger is looser.
 	tightness := []float64{1.2, 1.5, 2.0}
 
-	fmt.Printf("acceptance ratio (%% of %d tasks schedulable), m=%d host cores + 1 accelerator\n\n", perPoint, m)
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(m)),
+		hetrta.WithParallelism(0), // one worker per CPU
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	ctx := context.Background()
+
+	fmt.Printf("acceptance ratio (%% of %d tasks schedulable), platform %s\n\n", perPoint, an.Platform())
 	fmt.Printf("%-10s", "COff/vol")
 	for _, tg := range tightness {
 		fmt.Printf("  D=%.1f·vol/m: Rhom  Rhet", tg)
@@ -37,23 +52,35 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		type counts struct{ hom, het int }
-		accept := make([]counts, len(tightness))
-		for k := 0; k < perPoint; k++ {
+		graphs := make([]*hetrta.Graph, perPoint)
+		for k := range graphs {
 			g, _, _, err := gen.HetTask(frac)
 			if err != nil {
 				log.Fatal(err)
 			}
-			a, err := hetrta.Analyze(g, m)
-			if err != nil {
-				log.Fatal(err)
+			graphs[k] = g
+		}
+
+		reports, err := an.AnalyzeBatch(ctx, graphs)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		type counts struct{ hom, het int }
+		accept := make([]counts, len(tightness))
+		for k, rep := range reports {
+			if rep.Err != "" {
+				log.Fatalf("task %d: %s", k, rep.Err)
 			}
+			rhom, hasRhom := rep.BoundValue("rhom")
+			rhet, hasRhet := rep.BoundValue("rhet")
 			for ti, tg := range tightness {
-				d := tg * float64(g.Volume()) / float64(m)
-				if a.Rhom <= d {
+				// Compare in float64: the deadline grid is fractional.
+				d := tg * float64(rep.Graph.Volume) / float64(m)
+				if hasRhom && rhom <= d {
 					accept[ti].hom++
 				}
-				if a.Het.R <= d {
+				if hasRhet && rhet <= d {
 					accept[ti].het++
 				}
 			}

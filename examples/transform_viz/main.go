@@ -2,14 +2,16 @@
 // DAG whose transformation exercises every rule of Algorithm 1 — green
 // edges from vOff's direct predecessors to vsync, the yellow (vsync, vOff)
 // edge, a black edge moved from a direct predecessor to vsync, and pink
-// edges moved from non-direct predecessors. It prints the DOT sources of G,
-// G', and GPar (pipe into `dot -Tpng` to render) plus a textual diff of the
-// edge rewiring.
+// edges moved from non-direct predecessors. It obtains the transformation
+// from an Analyzer Report (which carries the full τ ⇒ τ' result alongside
+// the bounds), prints the DOT sources of G, G', and GPar (pipe into
+// `dot -Tpng` to render) plus a textual diff of the edge rewiring.
 //
 // Run with: go run ./examples/transform_viz
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,9 +40,17 @@ func main() {
 		g.MustAddEdge(e[0], e[1])
 	}
 
-	tr, err := hetrta.Transform(g)
+	an, err := hetrta.NewAnalyzer(hetrta.WithPlatform(hetrta.HeteroPlatform(2)))
 	if err != nil {
 		log.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tr := rep.TransformResult
+	if tr == nil {
+		log.Fatal("no transformation in report")
 	}
 	if err := hetrta.CheckTransform(tr); err != nil {
 		log.Fatal(err)
@@ -78,6 +88,10 @@ func main() {
 		fmt.Printf("%s ", g.Name(id))
 	}
 	fmt.Printf("\nlen(G)=%d  len(G')=%d  len(GPar)=%d  vol(GPar)=%d  COff=%d\n",
-		g.CriticalPathLength(), tr.Transformed.CriticalPathLength(),
-		tr.Par.CriticalPathLength(), tr.Par.Volume(), tr.COff())
+		g.CriticalPathLength(), rep.Transform.LenPrime,
+		rep.Transform.LenPar, rep.Transform.VolPar, tr.COff())
+
+	rhom, _ := rep.BoundValue("rhom")
+	rhet, _ := rep.BoundValue("rhet")
+	fmt.Printf("bounds on %s: Rhom=%.1f Rhet=%.1f\n", rep.Platform, rhom, rhet)
 }

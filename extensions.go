@@ -2,6 +2,7 @@ package hetrta
 
 import (
 	"repro/internal/multioff"
+	"repro/internal/platform"
 	"repro/internal/taskset"
 )
 
@@ -9,8 +10,8 @@ import (
 // system-level federated scheduling and the future-work generalizations
 // (multiple offloaded nodes, multiple devices) of Section 7.
 
-// TaskSystem is a set of sporadic DAG tasks sharing M host cores and
-// Devices accelerators, analyzed with federated scheduling.
+// TaskSystem is a set of sporadic DAG tasks sharing an execution Platform
+// (host cores plus accelerators), analyzed with federated scheduling.
 type TaskSystem = taskset.System
 
 // Allocation is a feasible federated core assignment for a TaskSystem.
@@ -24,13 +25,23 @@ type Grant = taskset.Grant
 // the remainder. The test is sufficient, not necessary.
 func Allocate(sys TaskSystem) (*Allocation, error) { return taskset.Allocate(sys) }
 
-// TypedRhom generalizes Equation 1 to tasks with any number of offloaded
-// nodes on d identical devices (the paper's future work (i) and (ii)):
+// TypedRhomOn generalizes Equation 1 to tasks with any number of offloaded
+// nodes on p.Devices identical devices (the paper's future work (i) and
+// (ii)):
 //
 //	R ≤ volHost/m + volDev/d + max over paths λ of Σ_{v∈λ} C_v·(1 − 1/cap(v)).
 //
-// With no offloaded nodes it equals Rhom.
-func TypedRhom(g *Graph, m, d int) (float64, error) { return multioff.TypedRhom(g, m, d) }
+// With no offloaded nodes it equals Rhom. TypedRhomBound exposes the same
+// analysis as a pluggable Analyzer bound.
+func TypedRhomOn(g *Graph, p Platform) (float64, error) { return multioff.TypedRhom(g, p) }
+
+// TypedRhom generalizes Equation 1 to d identical devices.
+//
+// Deprecated: use TypedRhomOn with an explicit Platform, or an Analyzer
+// with TypedRhomBound. This shim will be removed after one release.
+func TypedRhom(g *Graph, m, d int) (float64, error) {
+	return multioff.TypedRhom(g, platform.Platform{Cores: m, Devices: d})
+}
 
 // MultiTransformation is the result of gating every offloaded node with a
 // synchronization point (iterated Algorithm 1).

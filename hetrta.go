@@ -18,6 +18,9 @@
 //
 // # Quick start
 //
+// The entry point is the Analyzer: construct once with functional options,
+// then analyze one graph — or millions, concurrently — against it.
+//
 //	g := hetrta.NewGraph()
 //	load := g.AddNode("load", 2, hetrta.Host)
 //	kern := g.AddNode("kernel", 8, hetrta.Offload) // runs on the GPU
@@ -25,16 +28,25 @@
 //	g.MustAddEdge(load, kern)
 //	g.MustAddEdge(kern, post)
 //
-//	a, err := hetrta.Analyze(g, 4) // 4 host cores + 1 accelerator
+//	an, err := hetrta.NewAnalyzer(hetrta.WithPlatform(hetrta.HeteroPlatform(4)))
 //	if err != nil { ... }
-//	fmt.Println(a.Rhom, a.Het.R, a.Het.Scenario)
+//	report, err := an.Analyze(ctx, g) // 4 host cores + 1 accelerator
+//	if err != nil { ... }
+//	rhet, _ := report.BoundValue("rhet")
+//
+// Reports are JSON-serializable; AnalyzeBatch fans a slice of graphs out on
+// a worker pool with deterministic output order; the context cancels
+// long-running stages (notably the exact oracle) promptly.
 //
 // See examples/ for runnable programs and DESIGN.md for the system map.
 package hetrta
 
 import (
+	"context"
+
 	"repro/internal/dag"
 	"repro/internal/exact"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
@@ -72,7 +84,11 @@ func PaperModel() ValidateOptions { return dag.PaperModel() }
 // Task is the sporadic DAG task τ = <G, T, D>.
 type Task = rta.Task
 
-// Scenario identifies which case of Theorem 1 produced a bound.
+// Scenario identifies which case of Theorem 1 produced a bound. At the
+// boundary COff = Rhom(GPar), Equations 3 and 4 coincide and the case is
+// classified as Scenario 2.1; the authoritative statement of this
+// tie-breaking rule lives on the internal rta.Scenario type, which this
+// alias re-exports.
 type Scenario = rta.Scenario
 
 // Theorem 1 scenarios.
@@ -80,8 +96,11 @@ const (
 	// Scenario1: vOff off the critical path (Eq. 2).
 	Scenario1 = rta.Scenario1
 	// Scenario21: vOff on the critical path, COff ≥ Rhom(GPar) (Eq. 3).
+	// Equality lands here — see the Scenario tie-breaking rule.
 	Scenario21 = rta.Scenario21
-	// Scenario22: vOff on the critical path, COff ≤ Rhom(GPar) (Eq. 4).
+	// Scenario22: vOff on the critical path, COff < Rhom(GPar) (Eq. 4).
+	// The paper writes "≤"; ties are classified as Scenario 2.1, where the
+	// two equations agree — see the Scenario tie-breaking rule.
 	Scenario22 = rta.Scenario22
 )
 
@@ -90,11 +109,25 @@ type Analysis = rta.Analysis
 
 // Rhom computes the homogeneous response-time bound of Eq. 1:
 // len(G) + (vol(G) − len(G))/m.
-func Rhom(g *Graph, m int) float64 { return rta.Rhom(g, m) }
+//
+// Deprecated: use an Analyzer with RhomBound (or rta.Rhom via AnalyzeOn
+// with an explicit Platform). This shim fixes the platform to m cores + 1
+// device and will be removed after one release.
+func Rhom(g *Graph, m int) float64 { return rta.Rhom(g, platform.Hetero(m)) }
 
 // Analyze transforms the task (Algorithm 1) and computes every bound:
 // Rhom(τ), the unsafe naive reduction, and Rhet(τ') with its scenario.
-func Analyze(g *Graph, m int) (*Analysis, error) { return rta.Analyze(g, m) }
+//
+// Deprecated: use Analyzer.Analyze, which adds context cancellation,
+// pluggable bounds, and a JSON-serializable Report; or call AnalyzeOn with
+// an explicit Platform for the raw *Analysis. This shim fixes the platform
+// to m cores + 1 device and will be removed after one release.
+func Analyze(g *Graph, m int) (*Analysis, error) { return rta.Analyze(g, platform.Hetero(m)) }
+
+// AnalyzeOn runs the paper's complete analysis pipeline (transform + Rhom +
+// naive + Rhet) on an explicit platform, returning the raw Analysis. Most
+// callers want the richer Analyzer.Analyze instead.
+func AnalyzeOn(g *Graph, p Platform) (*Analysis, error) { return rta.Analyze(g, p) }
 
 // Transformation is the result of Algorithm 1 (τ ⇒ τ').
 type Transformation = transform.Result
@@ -108,15 +141,15 @@ func Transform(g *Graph) (*Transformation, error) { return transform.Transform(g
 // (precedence preservation, GPar gating, volume conservation).
 func CheckTransform(t *Transformation) error { return transform.Check(t) }
 
-// Platform describes the execution platform for simulation and the exact
-// oracle: Cores host cores plus Devices accelerators.
-type Platform = sched.Platform
+// Platform describes the execution platform shared by every layer of the
+// toolkit: Cores host cores plus Devices accelerators.
+type Platform = platform.Platform
 
 // HeteroPlatform returns the paper's platform: m host cores + 1 device.
-func HeteroPlatform(m int) Platform { return sched.Hetero(m) }
+func HeteroPlatform(m int) Platform { return platform.Hetero(m) }
 
 // HomogeneousPlatform returns an m-core host-only platform.
-func HomogeneousPlatform(m int) Platform { return sched.Homogeneous(m) }
+func HomogeneousPlatform(m int) Platform { return platform.Homogeneous(m) }
 
 // Policy selects among ready nodes during simulation.
 type Policy = sched.Policy
@@ -141,8 +174,18 @@ type ExactOptions = exact.Options
 
 // MinMakespan computes the minimum makespan of g on p (the quantity the
 // paper obtains from CPLEX), proving optimality when the budget allows.
+//
+// Deprecated: use MinMakespanContext (or an Analyzer with WithExactBudget)
+// so long-running searches can be cancelled. This shim runs with
+// context.Background() and will be removed after one release.
 func MinMakespan(g *Graph, p Platform, opts ExactOptions) (*ExactResult, error) {
-	return exact.MinMakespan(g, p, opts)
+	return exact.MinMakespan(context.Background(), g, p, opts)
+}
+
+// MinMakespanContext computes the minimum makespan of g on p, aborting
+// promptly with ctx's error when the context is cancelled mid-search.
+func MinMakespanContext(ctx context.Context, g *Graph, p Platform, opts ExactOptions) (*ExactResult, error) {
+	return exact.MinMakespan(ctx, g, p, opts)
 }
 
 // GenParams are the random task generator parameters of Section 5.1.

@@ -95,14 +95,14 @@ func TestPublicGeneratorRoundTrip(t *testing.T) {
 
 func TestPublicTaskSchedulability(t *testing.T) {
 	tk := hetrta.Task{G: buildFig1(t), Period: 20, Deadline: 12}
-	ok, a, err := tk.SchedulableHet(2)
+	ok, a, err := tk.SchedulableHet(hetrta.HeteroPlatform(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !ok {
 		t.Fatalf("deadline 12 should be schedulable under Rhet=%v", a.Het.R)
 	}
-	if okHom, _ := tk.SchedulableHom(2); okHom {
+	if okHom, _ := tk.SchedulableHom(hetrta.HomogeneousPlatform(2)); okHom {
 		t.Fatal("deadline 12 must NOT be schedulable under Rhom=13")
 	}
 }

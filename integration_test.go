@@ -84,7 +84,7 @@ func TestTypedBoundConsistentWithRhet(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		typed, err := hetrta.TypedRhom(g, 4, 1)
+		typed, err := hetrta.TypedRhomOn(g, hetrta.HeteroPlatform(4))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +116,7 @@ func TestFederatedAllocationThroughPublicAPI(t *testing.T) {
 		d := int64(float64(g.Volume()) * 0.8) // heavy: U = 1.25
 		tasks = append(tasks, hetrta.Task{G: g, Period: d, Deadline: d})
 	}
-	alloc, err := hetrta.Allocate(hetrta.TaskSystem{Tasks: tasks, M: 64, Devices: 1})
+	alloc, err := hetrta.Allocate(hetrta.TaskSystem{Tasks: tasks, Platform: hetrta.Platform{Cores: 64, Devices: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,7 @@ func TestMultiOffloadEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	typed, err := hetrta.TypedRhom(g, 4, 2)
+	typed, err := hetrta.TypedRhomOn(g, hetrta.Platform{Cores: 4, Devices: 2})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,84 @@
+// Package batch is the shared worker-pool engine behind every concurrent
+// fan-out in the toolkit: the facade's Analyzer.AnalyzeBatch and the
+// experiment harnesses' per-point sweeps. It runs n index-addressed jobs on
+// a bounded pool, which keeps output ordering deterministic by
+// construction — workers write only to their own index — regardless of the
+// pool size or scheduling.
+package batch
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the pool size used when Run is given workers <= 0:
+// one worker per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// Run executes fn(ctx, i) for every i in [0, n) on a pool of the given
+// number of workers (workers <= 0 means DefaultWorkers; the pool never
+// exceeds n). It returns the error of the lowest index that failed with a
+// real (non-cancellation) error, so the reported error is deterministic
+// under concurrency and induced-cancellation errors from in-flight siblings
+// never mask the root cause (cancellation is detected with errors.Is, so
+// fn may wrap ctx errors). The first failure — in completion order — also
+// cancels the context passed to the remaining jobs, and undispatched jobs
+// are skipped; cancellation of the parent ctx is reported when no job
+// error outranks it.
+func Run(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	errs := make([]error, n)
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				if err := fn(ctx, i); err != nil {
+					errs[i] = err
+					cancel()
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil && !errors.Is(err, context.Canceled) {
+			return err
+		}
+	}
+	// Only cancellation (parent or induced) remains; report the parent's
+	// view so callers can distinguish external cancellation.
+	if err := ctx.Err(); err != nil {
+		for _, e := range errs {
+			if e != nil {
+				return e
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,141 @@
+package batch
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestRunCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 16} {
+		n := 100
+		counts := make([]int32, n)
+		err := Run(context.Background(), n, workers, func(_ context.Context, i int) error {
+			atomic.AddInt32(&counts[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestRunDeterministicOutputOrder(t *testing.T) {
+	// Workers write only to their own slot: the assembled output must be
+	// identical across pool sizes even though completion order scrambles.
+	mk := func(workers int) []string {
+		out := make([]string, 50)
+		err := Run(context.Background(), len(out), workers, func(_ context.Context, i int) error {
+			time.Sleep(time.Duration((i*7)%5) * time.Millisecond)
+			out[i] = fmt.Sprintf("job-%d", i)
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	seq := mk(1)
+	for _, w := range []int{2, 8} {
+		got := mk(w)
+		for i := range seq {
+			if got[i] != seq[i] {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", w, i, got[i], seq[i])
+			}
+		}
+	}
+}
+
+func TestRunReturnsLowestIndexError(t *testing.T) {
+	errBoom := errors.New("boom")
+	err := Run(context.Background(), 20, 4, func(_ context.Context, i int) error {
+		if i == 3 || i == 11 {
+			return fmt.Errorf("job %d: %w", i, errBoom)
+		}
+		return nil
+	})
+	if err == nil || !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if got := err.Error(); got != "job 3: boom" && got != "job 11: boom" {
+		t.Fatalf("err = %q, want a job error", got)
+	}
+}
+
+func TestRunWrappedCancellationDoesNotMaskRealError(t *testing.T) {
+	// Job 3 fails with a real error while job 0 is still running; job 0
+	// then observes the induced cancellation and returns it *wrapped*
+	// (as fig7 does with fmt.Errorf("fig7: %w", ctx.Err())). Run must
+	// still report the real root cause, not job 0's wrapped cancellation.
+	errBoom := errors.New("boom")
+	failed := make(chan struct{})
+	err := Run(context.Background(), 4, 4, func(ctx context.Context, i int) error {
+		if i == 3 {
+			defer close(failed)
+			return errBoom
+		}
+		if i == 0 {
+			<-failed
+			<-ctx.Done() // wait for the induced cancellation
+			return fmt.Errorf("wrapped: %w", ctx.Err())
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, want the real error, not a wrapped cancellation", err)
+	}
+}
+
+func TestRunFailureCancelsRemaining(t *testing.T) {
+	var ran int32
+	errBoom := errors.New("boom")
+	err := Run(context.Background(), 1000, 2, func(ctx context.Context, i int) error {
+		atomic.AddInt32(&ran, 1)
+		if i == 0 {
+			return errBoom
+		}
+		return nil
+	})
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := atomic.LoadInt32(&ran); n == 1000 {
+		t.Fatal("no job was skipped after failure")
+	}
+}
+
+func TestRunParentCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var mu sync.Mutex
+	started := 0
+	err := Run(ctx, 500, 2, func(ctx context.Context, i int) error {
+		mu.Lock()
+		started++
+		if started == 5 {
+			cancel()
+		}
+		mu.Unlock()
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}
+
+func TestRunZeroJobs(t *testing.T) {
+	if err := Run(context.Background(), 0, 4, func(context.Context, int) error {
+		t.Fatal("fn called for n=0")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -37,6 +37,7 @@
 package exact
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
@@ -85,6 +86,11 @@ const DefaultMaxExpansions = 500_000
 
 const defaultMemoLimit = 1 << 20
 
+// ctxCheckInterval is how many node expansions pass between context
+// cancellation checks: frequent enough that cancellation takes effect in
+// well under a millisecond, rare enough to stay off the dfs profile.
+const ctxCheckInterval = 1024
+
 // Result is the outcome of MinMakespan.
 type Result struct {
 	// Makespan is the best (minimum found) completion time.
@@ -103,7 +109,14 @@ type Result struct {
 // MinMakespan computes the minimum makespan of g on platform p. Graphs with
 // more than 64 nodes are rejected (the search state uses a 64-bit mask);
 // the paper's ILP comparison is likewise restricted to small tasks.
-func MinMakespan(g *dag.Graph, p sched.Platform, opts Options) (*Result, error) {
+//
+// The search honors ctx: cancelling it makes MinMakespan return promptly
+// with ctx's error (the branch-and-bound checks the context every
+// ctxCheckInterval node expansions), discarding any partial result.
+func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -120,6 +133,7 @@ func MinMakespan(g *dag.Graph, p sched.Platform, opts Options) (*Result, error) 
 	}
 
 	s := &solver{
+		ctx:          ctx,
 		g:            g,
 		p:            p,
 		n:            n,
@@ -204,6 +218,9 @@ func MinMakespan(g *dag.Graph, p sched.Platform, opts Options) (*Result, error) 
 
 	// Branch and bound.
 	s.dfs(s.rootState())
+	if s.ctxErr != nil {
+		return nil, s.ctxErr
+	}
 
 	res.Makespan = s.best
 	res.Expansions = s.expansions
@@ -220,6 +237,8 @@ func MinMakespan(g *dag.Graph, p sched.Platform, opts Options) (*Result, error) 
 func divCeil(a, b int64) int64 { return (a + b - 1) / b }
 
 type solver struct {
+	ctx      context.Context
+	ctxErr   error
 	g        *dag.Graph
 	p        sched.Platform
 	n        int
@@ -573,6 +592,13 @@ func (s *solver) dfs(st *state) {
 	if s.expansions > s.maxExp {
 		s.aborted = true
 		return
+	}
+	if s.expansions%ctxCheckInterval == 0 {
+		if err := s.ctx.Err(); err != nil {
+			s.ctxErr = err
+			s.aborted = true
+			return
+		}
 	}
 	est := s.estimates(st)
 	if s.lower(st, est) >= s.best {

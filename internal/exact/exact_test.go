@@ -1,9 +1,13 @@
 package exact
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
@@ -31,7 +35,7 @@ func fig1Normalized(t testing.TB) *dag.Graph {
 
 func mustOptimal(t *testing.T, g *dag.Graph, p sched.Platform) *Result {
 	t.Helper()
-	r, err := MinMakespan(g, p, Options{})
+	r, err := MinMakespan(context.Background(), g, p, Options{})
 	if err != nil {
 		t.Fatalf("MinMakespan: %v", err)
 	}
@@ -153,13 +157,13 @@ func TestZeroWCETNodesFree(t *testing.T) {
 }
 
 func TestEmptyAndTiny(t *testing.T) {
-	r, err := MinMakespan(dag.New(), sched.Hetero(2), Options{})
+	r, err := MinMakespan(context.Background(), dag.New(), sched.Hetero(2), Options{})
 	if err != nil || r.Makespan != 0 || r.Status != Optimal {
 		t.Fatalf("empty: %v %+v", err, r)
 	}
 	g := dag.New()
 	g.AddNode("", 7, dag.Host)
-	r2, err := MinMakespan(g, sched.Homogeneous(3), Options{})
+	r2, err := MinMakespan(context.Background(), g, sched.Homogeneous(3), Options{})
 	if err != nil || r2.Makespan != 7 {
 		t.Fatalf("single: %v %+v", err, r2)
 	}
@@ -170,7 +174,7 @@ func TestRejectsTooLarge(t *testing.T) {
 	for i := 0; i < 65; i++ {
 		g.AddNode("", 1, dag.Host)
 	}
-	if _, err := MinMakespan(g, sched.Homogeneous(2), Options{}); err == nil {
+	if _, err := MinMakespan(context.Background(), g, sched.Homogeneous(2), Options{}); err == nil {
 		t.Fatal("accepted 65-node graph")
 	}
 }
@@ -181,7 +185,7 @@ func TestRejectsCyclic(t *testing.T) {
 	b := g.AddNode("", 1, dag.Host)
 	g.MustAddEdge(a, b)
 	g.MustAddEdge(b, a)
-	if _, err := MinMakespan(g, sched.Homogeneous(2), Options{}); err == nil {
+	if _, err := MinMakespan(context.Background(), g, sched.Homogeneous(2), Options{}); err == nil {
 		t.Fatal("accepted cyclic graph")
 	}
 }
@@ -194,7 +198,7 @@ func TestBudgetExhaustionReportsFeasible(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r, err := MinMakespan(g, sched.Hetero(2), Options{MaxExpansions: 1})
+	r, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{MaxExpansions: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -225,7 +229,7 @@ func TestExactAtMostHeuristicsAndAtLeastBounds(t *testing.T) {
 		}
 		for _, m := range []int{2, 4} {
 			p := sched.Hetero(m)
-			r, err := MinMakespan(g, p, Options{})
+			r, err := MinMakespan(context.Background(), g, p, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -253,8 +257,8 @@ func TestExactAtMostHeuristicsAndAtLeastBounds(t *testing.T) {
 			}
 			// Rhom upper-bounds any work-conserving schedule, and some
 			// work-conserving schedule exists, so min ≤ Rhom.
-			if float64(r.Makespan) > rta.Rhom(g, m)+1e-9 {
-				t.Fatalf("iter %d m=%d: exact %d exceeds Rhom %v", i, m, r.Makespan, rta.Rhom(g, m))
+			if float64(r.Makespan) > rta.Rhom(g, platform.Homogeneous(m))+1e-9 {
+				t.Fatalf("iter %d m=%d: exact %d exceeds Rhom %v", i, m, r.Makespan, rta.Rhom(g, platform.Homogeneous(m)))
 			}
 		}
 	}
@@ -280,11 +284,11 @@ func TestRestrictedBranchingMatchesUnrestricted(t *testing.T) {
 			taskgen.SetOffload(g, i%g.NumNodes(), 0.3)
 		}
 		for _, p := range []sched.Platform{sched.Homogeneous(1), sched.Homogeneous(2), sched.Hetero(1), sched.Hetero(2), sched.Hetero(3)} {
-			restricted, err := MinMakespan(g, p, Options{})
+			restricted, err := MinMakespan(context.Background(), g, p, Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
-			full, err := MinMakespan(g, p, Options{Unrestricted: true})
+			full, err := MinMakespan(context.Background(), g, p, Options{Unrestricted: true})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -309,7 +313,7 @@ func TestExactMonotoneInCores(t *testing.T) {
 		}
 		prev := int64(-1)
 		for _, m := range []int{1, 2, 4, 8} {
-			r, err := MinMakespan(g, sched.Hetero(m), Options{})
+			r, err := MinMakespan(context.Background(), g, sched.Hetero(m), Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -321,5 +325,60 @@ func TestExactMonotoneInCores(t *testing.T) {
 			}
 			prev = r.Makespan
 		}
+	}
+}
+
+// TestMinMakespanCancellation: a cancelled context aborts the search
+// promptly with context.Canceled, even on instances whose full search would
+// take much longer than the allotted slice.
+func TestMinMakespanCancellation(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(30, 60), 99)
+	g, _, _, err := gen.HetTask(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := MinMakespan(ctx, g, sched.Hetero(2), Options{}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled ctx: err = %v, want context.Canceled", err)
+	}
+
+	// Mid-search cancellation: run with an effectively unlimited budget and
+	// cancel from a second goroutine as soon as the search starts.
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	go func() {
+		<-started
+		cancel2()
+	}()
+	close(started)
+	start := time.Now()
+	_, err = MinMakespan(ctx2, g, sched.Hetero(2), Options{MaxExpansions: 1 << 40})
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want nil (finished first) or context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancellation took %v, not prompt", elapsed)
+	}
+}
+
+// TestMinMakespanDeadline: a context deadline bounds the wall-clock of an
+// instance whose expansion budget alone would run far longer.
+func TestMinMakespanDeadline(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(40, 64), 7)
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	_, err = MinMakespan(ctx, g, sched.Hetero(2), Options{MaxExpansions: 1 << 40})
+	if err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want nil or context.DeadlineExceeded", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("deadline overrun: %v", elapsed)
 	}
 }

@@ -5,11 +5,18 @@
 // Rhet), and the headline numbers quoted in the text (crossover points,
 // maximum benefit). Each harness returns raw series plus rendered tables;
 // cmd/experiments drives them and EXPERIMENTS.md records paper-vs-measured.
+//
+// Every harness takes a context.Context (cancelling it aborts the sweep,
+// including any in-flight exact-oracle search) and honors
+// Config.Parallelism by fanning the per-(platform, COff%) sample points out
+// on the internal/batch worker pool. Each point seeds its own generator, so
+// results are bit-identical for a given Config at any parallelism.
 package experiments
 
 import (
 	"fmt"
 
+	"repro/internal/platform"
 	"repro/internal/taskgen"
 )
 
@@ -17,12 +24,13 @@ import (
 // Default or Quick.
 type Config struct {
 	// Seed drives all task generation; every run with the same Config is
-	// bit-identical.
+	// bit-identical (Parallelism does not affect results).
 	Seed int64
-	// Cores lists the host sizes m to evaluate. The paper uses 2,4,8,16.
-	Cores []int
-	// TasksPerPoint is the number of random DAGs per (m, COff%) point; the
-	// paper uses 100.
+	// Platforms lists the execution platforms to evaluate. The paper uses
+	// m ∈ {2,4,8,16} host cores with one accelerator each.
+	Platforms []platform.Platform
+	// TasksPerPoint is the number of random DAGs per (platform, COff%)
+	// point; the paper uses 100.
 	TasksPerPoint int
 	// Fractions are the COff/vol(τ) targets (in (0,1)) swept on the x axis.
 	Fractions []float64
@@ -32,15 +40,18 @@ type Config struct {
 	Params taskgen.Params
 	// ExactBudget caps exact-solver expansions per instance (Figure 7).
 	ExactBudget int64
+	// Parallelism is the worker-pool size for the per-point fan-out;
+	// 0 means one worker per CPU, 1 forces a serial sweep.
+	Parallelism int
 }
 
 // Default returns the paper-faithful configuration for the large-task
 // experiments (Figures 6, 8, 9): n ∈ [100,250], 100 DAGs per point,
-// m ∈ {2,4,8,16}, COff/vol from 0.12% to 70%.
+// m ∈ {2,4,8,16} host cores + 1 accelerator, COff/vol from 0.12% to 70%.
 func Default(seed int64) Config {
 	return Config{
 		Seed:          seed,
-		Cores:         []int{2, 4, 8, 16},
+		Platforms:     platform.Heteros(2, 4, 8, 16),
 		TasksPerPoint: 100,
 		Fractions: []float64{0.0012, 0.005, 0.01, 0.02, 0.034, 0.05, 0.08,
 			0.11, 0.14, 0.20, 0.26, 0.32, 0.40, 0.50, 0.60, 0.70},
@@ -65,7 +76,7 @@ func Medium(seed int64) Config {
 func Quick(seed int64) Config {
 	return Config{
 		Seed:          seed,
-		Cores:         []int{2, 8},
+		Platforms:     platform.Heteros(2, 8),
 		TasksPerPoint: 12,
 		Fractions:     []float64{0.01, 0.05, 0.14, 0.32, 0.50},
 		NMin:          40,
@@ -77,12 +88,12 @@ func Quick(seed int64) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if len(c.Cores) == 0 {
-		return fmt.Errorf("experiments: no core counts")
+	if len(c.Platforms) == 0 {
+		return fmt.Errorf("experiments: no platforms")
 	}
-	for _, m := range c.Cores {
-		if m < 1 {
-			return fmt.Errorf("experiments: bad core count %d", m)
+	for _, p := range c.Platforms {
+		if err := p.Validate(); err != nil {
+			return fmt.Errorf("experiments: %w", err)
 		}
 	}
 	if c.TasksPerPoint < 1 {
@@ -96,10 +107,13 @@ func (c Config) Validate() error {
 			return fmt.Errorf("experiments: fraction %v outside (0,1)", f)
 		}
 	}
+	if c.Parallelism < 0 {
+		return fmt.Errorf("experiments: negative parallelism %d", c.Parallelism)
+	}
 	return c.Params.Validate()
 }
 
-// SeriesPoint is one x-axis sample of a per-m series.
+// SeriesPoint is one x-axis sample of a per-platform series.
 type SeriesPoint struct {
 	// TargetFrac is the requested COff/vol(τ) target.
 	TargetFrac float64
@@ -114,10 +128,13 @@ type SeriesPoint struct {
 	N int
 }
 
-// Series is a metric as a function of COff% for one host size.
+// Series is a metric as a function of COff% for one platform.
 type Series struct {
-	M      int
-	Points []SeriesPoint
+	// Platform is the execution platform of this series; M mirrors its
+	// host-core count for table labels.
+	Platform platform.Platform
+	M        int
+	Points   []SeriesPoint
 }
 
 // crossover returns the first target fraction at which the series value
@@ -142,4 +159,22 @@ func (s Series) crossover() (float64, bool) {
 		}
 	}
 	return 0, false
+}
+
+// grid enumerates the (platform, fraction) sample points of a sweep in a
+// fixed order, the unit of work the batch pool fans out.
+type gridPoint struct {
+	si, pi int // series (platform) index, point (fraction) index
+	plat   platform.Platform
+	frac   float64
+}
+
+func (c Config) grid() []gridPoint {
+	pts := make([]gridPoint, 0, len(c.Platforms)*len(c.Fractions))
+	for si, p := range c.Platforms {
+		for pi, f := range c.Fractions {
+			pts = append(pts, gridPoint{si: si, pi: pi, plat: p, frac: f})
+		}
+	}
+	return pts
 }

@@ -1,10 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"math"
 	"strings"
 	"testing"
 
+	"repro/internal/platform"
 	"repro/internal/sched"
 )
 
@@ -22,8 +24,9 @@ func TestConfigValidate(t *testing.T) {
 		t.Fatalf("Quick invalid: %v", err)
 	}
 	bad := []func(*Config){
-		func(c *Config) { c.Cores = nil },
-		func(c *Config) { c.Cores = []int{0} },
+		func(c *Config) { c.Platforms = nil },
+		func(c *Config) { c.Platforms = []platform.Platform{{Cores: 0, Devices: 1}} },
+		func(c *Config) { c.Parallelism = -1 },
 		func(c *Config) { c.TasksPerPoint = 0 },
 		func(c *Config) { c.Fractions = nil },
 		func(c *Config) { c.Fractions = []float64{1.5} },
@@ -40,12 +43,12 @@ func TestConfigValidate(t *testing.T) {
 
 func TestFig6QuickShape(t *testing.T) {
 	cfg := quickCfg()
-	res, err := Fig6(cfg, nil)
+	res, err := Fig6(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(res.Series) != len(cfg.Cores) {
-		t.Fatalf("series = %d, want %d", len(res.Series), len(cfg.Cores))
+	if len(res.Series) != len(cfg.Platforms) {
+		t.Fatalf("series = %d, want %d", len(res.Series), len(cfg.Platforms))
 	}
 	for _, s := range res.Series {
 		if len(s.Points) != len(cfg.Fractions) {
@@ -74,13 +77,13 @@ func TestFig6QuickShape(t *testing.T) {
 
 func TestFig6Deterministic(t *testing.T) {
 	cfg := quickCfg()
-	cfg.Cores = []int{2}
+	cfg.Platforms = platform.Heteros(2)
 	cfg.Fractions = []float64{0.1}
-	a, err := Fig6(cfg, nil)
+	a, err := Fig6(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig6(cfg, nil)
+	b, err := Fig6(context.Background(), cfg, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,9 +94,9 @@ func TestFig6Deterministic(t *testing.T) {
 
 func TestFig6PolicyAblation(t *testing.T) {
 	cfg := quickCfg()
-	cfg.Cores = []int{2}
+	cfg.Platforms = platform.Heteros(2)
 	cfg.Fractions = []float64{0.3}
-	if _, err := Fig6(cfg, sched.LIFO); err != nil {
+	if _, err := Fig6(context.Background(), cfg, sched.LIFO); err != nil {
 		t.Fatalf("LIFO ablation failed: %v", err)
 	}
 }
@@ -102,8 +105,8 @@ func TestFig7QuickShape(t *testing.T) {
 	cfg := quickCfg()
 	cfg.TasksPerPoint = 5
 	cfg.Fractions = []float64{0.02, 0.2, 0.5}
-	panels := []Fig7Panel{{M: 2, NMin: 3, NMax: 14}}
-	res, err := Fig7(cfg, panels)
+	panels := []Fig7Panel{{Platform: platform.Hetero(2), NMin: 3, NMax: 14}}
+	res, err := Fig7(context.Background(), cfg, panels)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,7 +137,7 @@ func TestFig7QuickShape(t *testing.T) {
 
 func TestFig8QuickShape(t *testing.T) {
 	cfg := quickCfg()
-	res, err := Fig8(cfg)
+	res, err := Fig8(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -154,7 +157,7 @@ func TestFig8QuickShape(t *testing.T) {
 			t.Errorf("m=%d: scenario 2.1 did not grow with COff", s.M)
 		}
 	}
-	if len(res.Table()) != len(cfg.Cores) {
+	if len(res.Table()) != len(cfg.Platforms) {
 		t.Error("fig8 table count")
 	}
 	_ = res.SummaryTable().Text()
@@ -162,10 +165,10 @@ func TestFig8QuickShape(t *testing.T) {
 
 func TestNaiveViolationStudy(t *testing.T) {
 	cfg := quickCfg()
-	cfg.Cores = []int{2}
+	cfg.Platforms = platform.Heteros(2)
 	cfg.TasksPerPoint = 6
 	cfg.Fractions = []float64{0.1, 0.3}
-	res, err := Naive(cfg, 16)
+	res, err := Naive(context.Background(), cfg, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,7 +199,7 @@ func TestNaiveViolationStudy(t *testing.T) {
 
 func TestFig9QuickShape(t *testing.T) {
 	cfg := quickCfg()
-	res, err := Fig9(cfg)
+	res, err := Fig9(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -220,5 +223,53 @@ func TestFig9QuickShape(t *testing.T) {
 	}
 	if res.Table().NumRows() != len(cfg.Fractions) {
 		t.Error("fig9 table rows")
+	}
+}
+
+// TestParallelismDoesNotChangeResults: the batch fan-out must be
+// bit-identical to the serial sweep — each grid point owns its generator.
+func TestParallelismDoesNotChangeResults(t *testing.T) {
+	cfg := quickCfg()
+	cfg.Platforms = platform.Heteros(2, 4)
+	cfg.Fractions = []float64{0.05, 0.3}
+	cfg.Parallelism = 1
+	serial, err := Fig9(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Parallelism = 8
+	par, err := Fig9(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for si := range serial.Series {
+		for pi := range serial.Series[si].Points {
+			a, b := serial.Series[si].Points[pi], par.Series[si].Points[pi]
+			if a != b {
+				t.Fatalf("series %d point %d differs: serial %+v parallel %+v", si, pi, a, b)
+			}
+		}
+	}
+}
+
+// TestFigCancellation: a cancelled context aborts a sweep with its error.
+func TestFigCancellation(t *testing.T) {
+	cfg := quickCfg()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Fig6(ctx, cfg, nil); err == nil {
+		t.Error("Fig6 with cancelled ctx succeeded")
+	}
+	if _, err := Fig7(ctx, cfg, nil); err == nil {
+		t.Error("Fig7 with cancelled ctx succeeded")
+	}
+	if _, err := Fig8(ctx, cfg); err == nil {
+		t.Error("Fig8 with cancelled ctx succeeded")
+	}
+	if _, err := Fig9(ctx, cfg); err == nil {
+		t.Error("Fig9 with cancelled ctx succeeded")
+	}
+	if _, err := Naive(ctx, cfg, 4); err == nil {
+		t.Error("Naive with cancelled ctx succeeded")
 	}
 }

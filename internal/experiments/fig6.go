@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -25,7 +27,7 @@ type Fig6Result struct {
 
 // Fig6 runs the experiment. Policy defaults to breadth-first; pass others
 // for the policy-sensitivity ablation.
-func Fig6(cfg Config, mkPolicy func() sched.Policy) (*Fig6Result, error) {
+func Fig6(ctx context.Context, cfg Config, mkPolicy func() sched.Policy) (*Fig6Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -33,43 +35,56 @@ func Fig6(cfg Config, mkPolicy func() sched.Policy) (*Fig6Result, error) {
 		mkPolicy = sched.BreadthFirst
 	}
 	res := &Fig6Result{Crossovers: map[int]float64{}}
-	for _, m := range cfg.Cores {
-		series := Series{M: m}
-		for pi, frac := range cfg.Fractions {
-			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*m+pi))
-			var orig, trans, fracs stats.Accumulator
-			for k := 0; k < cfg.TasksPerPoint; k++ {
-				g, _, realized, err := gen.HetTask(frac)
-				if err != nil {
-					return nil, err
-				}
-				tr, err := transform.Transform(g)
-				if err != nil {
-					return nil, fmt.Errorf("fig6: %w", err)
-				}
-				ro, err := sched.Simulate(g, sched.Hetero(m), mkPolicy())
-				if err != nil {
-					return nil, err
-				}
-				rt, err := sched.Simulate(tr.Transformed, sched.Hetero(m), mkPolicy())
-				if err != nil {
-					return nil, err
-				}
-				orig.Add(float64(ro.Makespan))
-				trans.Add(float64(rt.Makespan))
-				fracs.Add(realized)
+	for _, p := range cfg.Platforms {
+		res.Series = append(res.Series, Series{
+			Platform: p, M: p.Cores,
+			Points: make([]SeriesPoint, len(cfg.Fractions)),
+		})
+	}
+	pts := cfg.grid()
+	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
+		pt := pts[i]
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*pt.plat.Cores+pt.pi))
+		var orig, trans, fracs stats.Accumulator
+		for k := 0; k < cfg.TasksPerPoint; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			series.Points = append(series.Points, SeriesPoint{
-				TargetFrac: frac,
-				MeanFrac:   fracs.Mean(),
-				Value:      stats.PercentChange(orig.Mean(), trans.Mean()),
-				N:          orig.N(),
-			})
+			g, _, realized, err := gen.HetTask(pt.frac)
+			if err != nil {
+				return err
+			}
+			tr, err := transform.Transform(g)
+			if err != nil {
+				return fmt.Errorf("fig6: %w", err)
+			}
+			ro, err := sched.Simulate(g, pt.plat, mkPolicy())
+			if err != nil {
+				return err
+			}
+			rt, err := sched.Simulate(tr.Transformed, pt.plat, mkPolicy())
+			if err != nil {
+				return err
+			}
+			orig.Add(float64(ro.Makespan))
+			trans.Add(float64(rt.Makespan))
+			fracs.Add(realized)
 		}
-		if x, ok := series.crossover(); ok {
-			res.Crossovers[series.M] = x
+		res.Series[pt.si].Points[pt.pi] = SeriesPoint{
+			TargetFrac: pt.frac,
+			MeanFrac:   fracs.Mean(),
+			Value:      stats.PercentChange(orig.Mean(), trans.Mean()),
+			N:          orig.N(),
 		}
-		res.Series = append(res.Series, series)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range res.Series {
+		if x, ok := s.crossover(); ok {
+			res.Crossovers[s.M] = x
+		}
 	}
 	return res, nil
 }

@@ -1,11 +1,13 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/exact"
+	"repro/internal/platform"
 	"repro/internal/rta"
-	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/table"
 	"repro/internal/taskgen"
@@ -24,8 +26,9 @@ type Fig7Point struct {
 	Proven, N int
 }
 
-// Fig7Series is the accuracy sweep for one (m, size-range) panel.
+// Fig7Series is the accuracy sweep for one (platform, size-range) panel.
 type Fig7Series struct {
+	Platform   platform.Platform
 	M          int
 	NMin, NMax int
 	Points     []Fig7Point
@@ -42,20 +45,21 @@ type Fig7Result struct {
 
 // Fig7Panel describes one panel of the figure.
 type Fig7Panel struct {
-	M          int
+	Platform   platform.Platform
 	NMin, NMax int
 }
 
 // PaperFig7Panels returns the two published panels.
 func PaperFig7Panels() []Fig7Panel {
 	return []Fig7Panel{
-		{M: 2, NMin: 3, NMax: 20},
-		{M: 8, NMin: 30, NMax: 60},
+		{Platform: platform.Hetero(2), NMin: 3, NMax: 20},
+		{Platform: platform.Hetero(8), NMin: 30, NMax: 60},
 	}
 }
 
-// Fig7 runs the accuracy experiment over the given panels.
-func Fig7(cfg Config, panels []Fig7Panel) (*Fig7Result, error) {
+// Fig7 runs the accuracy experiment over the given panels. Cancelling ctx
+// aborts the sweep, including any in-flight exact search.
+func Fig7(ctx context.Context, cfg Config, panels []Fig7Panel) (*Fig7Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -63,45 +67,60 @@ func Fig7(cfg Config, panels []Fig7Panel) (*Fig7Result, error) {
 		panels = PaperFig7Panels()
 	}
 	res := &Fig7Result{}
-	for _, panel := range panels {
-		params := taskgen.Small(panel.NMin, panel.NMax)
-		series := Fig7Series{M: panel.M, NMin: panel.NMin, NMax: panel.NMax}
-		for pi, frac := range cfg.Fractions {
-			gen := taskgen.MustNew(params, cfg.Seed+int64(7000*panel.M+pi))
-			var incHom, incHet, fracs stats.Accumulator
-			proven, total := 0, 0
-			for k := 0; k < cfg.TasksPerPoint; k++ {
-				g, _, realized, err := gen.HetTask(frac)
-				if err != nil {
-					return nil, err
-				}
-				total++
-				opt, err := exact.MinMakespan(g, sched.Hetero(panel.M), exact.Options{MaxExpansions: cfg.ExactBudget})
-				if err != nil {
-					return nil, fmt.Errorf("fig7: %w", err)
-				}
-				if opt.Status != exact.Optimal {
-					continue // unproven: excluded, reported via Proven/N
-				}
-				proven++
-				a, err := rta.Analyze(g, panel.M)
-				if err != nil {
-					return nil, err
-				}
-				incHom.Add(stats.Increment(a.Rhom, float64(opt.Makespan)))
-				incHet.Add(stats.Increment(a.Het.R, float64(opt.Makespan)))
-				fracs.Add(realized)
-			}
-			series.Points = append(series.Points, Fig7Point{
-				TargetFrac: frac,
-				MeanFrac:   fracs.Mean(),
-				IncHom:     incHom.Mean(),
-				IncHet:     incHet.Mean(),
-				Proven:     proven,
-				N:          total,
-			})
+	type cell struct{ panel, pi int }
+	var cells []cell
+	for i, panel := range panels {
+		res.Panels = append(res.Panels, Fig7Series{
+			Platform: panel.Platform, M: panel.Platform.Cores,
+			NMin: panel.NMin, NMax: panel.NMax,
+			Points: make([]Fig7Point, len(cfg.Fractions)),
+		})
+		for pi := range cfg.Fractions {
+			cells = append(cells, cell{panel: i, pi: pi})
 		}
-		res.Panels = append(res.Panels, series)
+	}
+	err := batch.Run(ctx, len(cells), cfg.Parallelism, func(ctx context.Context, i int) error {
+		c := cells[i]
+		panel := panels[c.panel]
+		frac := cfg.Fractions[c.pi]
+		params := taskgen.Small(panel.NMin, panel.NMax)
+		gen := taskgen.MustNew(params, cfg.Seed+int64(7000*panel.Platform.Cores+c.pi))
+		var incHom, incHet, fracs stats.Accumulator
+		proven, total := 0, 0
+		for k := 0; k < cfg.TasksPerPoint; k++ {
+			g, _, realized, err := gen.HetTask(frac)
+			if err != nil {
+				return err
+			}
+			total++
+			opt, err := exact.MinMakespan(ctx, g, panel.Platform, exact.Options{MaxExpansions: cfg.ExactBudget})
+			if err != nil {
+				return fmt.Errorf("fig7: %w", err)
+			}
+			if opt.Status != exact.Optimal {
+				continue // unproven: excluded, reported via Proven/N
+			}
+			proven++
+			a, err := rta.Analyze(g, panel.Platform)
+			if err != nil {
+				return err
+			}
+			incHom.Add(stats.Increment(a.Rhom, float64(opt.Makespan)))
+			incHet.Add(stats.Increment(a.Het.R, float64(opt.Makespan)))
+			fracs.Add(realized)
+		}
+		res.Panels[c.panel].Points[c.pi] = Fig7Point{
+			TargetFrac: frac,
+			MeanFrac:   fracs.Mean(),
+			IncHom:     incHom.Mean(),
+			IncHet:     incHet.Mean(),
+			Proven:     proven,
+			N:          total,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

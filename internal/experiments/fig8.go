@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/rta"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -20,7 +22,7 @@ type Fig8Point struct {
 	N            int
 }
 
-// Fig8Series is the scenario-occurrence sweep for one host size.
+// Fig8Series is the scenario-occurrence sweep for one platform.
 type Fig8Series struct {
 	M      int
 	Points []Fig8Point
@@ -28,7 +30,9 @@ type Fig8Series struct {
 
 // Fig8Result reproduces Figure 8: "Percentage of scenarios occurrence,
 // n ∈ [100,250]" — which of Theorem 1's cases classified each randomly
-// generated task as COff grows.
+// generated task as COff grows. Boundary tasks with COff = Rhom(GPar) are
+// counted as Scenario 2.1, the tie-breaking rule documented on
+// rta.Scenario.
 type Fig8Result struct {
 	Series []Fig8Series
 	// Intersections maps m to the COff fraction where scenarios 2.1 and
@@ -38,54 +42,67 @@ type Fig8Result struct {
 }
 
 // Fig8 runs the scenario-occurrence experiment.
-func Fig8(cfg Config) (*Fig8Result, error) {
+func Fig8(ctx context.Context, cfg Config) (*Fig8Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
 	res := &Fig8Result{Intersections: map[int]float64{}}
-	for _, m := range cfg.Cores {
-		series := Fig8Series{M: m}
-		for pi, frac := range cfg.Fractions {
-			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(8000*m+pi))
-			counts := map[rta.Scenario]int{}
-			var fracs stats.Accumulator
-			for k := 0; k < cfg.TasksPerPoint; k++ {
-				g, _, realized, err := gen.HetTask(frac)
-				if err != nil {
-					return nil, err
-				}
-				tr, err := transform.Transform(g)
-				if err != nil {
-					return nil, fmt.Errorf("fig8: %w", err)
-				}
-				het, err := rta.Rhet(tr, m)
-				if err != nil {
-					return nil, err
-				}
-				counts[het.Scenario]++
-				fracs.Add(realized)
+	for _, p := range cfg.Platforms {
+		res.Series = append(res.Series, Fig8Series{
+			M:      p.Cores,
+			Points: make([]Fig8Point, len(cfg.Fractions)),
+		})
+	}
+	pts := cfg.grid()
+	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
+		pt := pts[i]
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(8000*pt.plat.Cores+pt.pi))
+		counts := map[rta.Scenario]int{}
+		var fracs stats.Accumulator
+		for k := 0; k < cfg.TasksPerPoint; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			n := cfg.TasksPerPoint
-			series.Points = append(series.Points, Fig8Point{
-				TargetFrac: frac,
-				MeanFrac:   fracs.Mean(),
-				S1:         100 * float64(counts[rta.Scenario1]) / float64(n),
-				S21:        100 * float64(counts[rta.Scenario21]) / float64(n),
-				S22:        100 * float64(counts[rta.Scenario22]) / float64(n),
-				N:          n,
-			})
+			g, _, realized, err := gen.HetTask(pt.frac)
+			if err != nil {
+				return err
+			}
+			tr, err := transform.Transform(g)
+			if err != nil {
+				return fmt.Errorf("fig8: %w", err)
+			}
+			het, err := rta.Rhet(tr, pt.plat)
+			if err != nil {
+				return err
+			}
+			counts[het.Scenario]++
+			fracs.Add(realized)
 		}
+		n := cfg.TasksPerPoint
+		res.Series[pt.si].Points[pt.pi] = Fig8Point{
+			TargetFrac: pt.frac,
+			MeanFrac:   fracs.Mean(),
+			S1:         100 * float64(counts[rta.Scenario1]) / float64(n),
+			S21:        100 * float64(counts[rta.Scenario21]) / float64(n),
+			S22:        100 * float64(counts[rta.Scenario22]) / float64(n),
+			N:          n,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, series := range res.Series {
 		// Intersection of scenarios 2.1 and 2.2: first point where a
 		// non-trivial share of 2.1 overtakes 2.2 (both-zero ties, which
 		// occur while scenario 1 still dominates, do not count).
 		for i := 1; i < len(series.Points); i++ {
 			p, prev := series.Points[i], series.Points[i-1]
 			if p.S21 > 0 && p.S21 >= p.S22 && prev.S21 < prev.S22 {
-				res.Intersections[m] = p.TargetFrac
+				res.Intersections[series.M] = p.TargetFrac
 				break
 			}
 		}
-		res.Series = append(res.Series, series)
 	}
 	return res, nil
 }

@@ -1,9 +1,11 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/internal/batch"
 	"repro/internal/rta"
 	"repro/internal/stats"
 	"repro/internal/table"
@@ -29,7 +31,7 @@ type Fig9Result struct {
 }
 
 // Fig9 runs the bound-comparison experiment.
-func Fig9(cfg Config) (*Fig9Result, error) {
+func Fig9(ctx context.Context, cfg Config) (*Fig9Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -38,53 +40,68 @@ func Fig9(cfg Config) (*Fig9Result, error) {
 		PeakMean:   map[int]float64{},
 		PeakMax:    map[int]float64{},
 	}
-	for _, m := range cfg.Cores {
-		series := Series{M: m}
+	for _, p := range cfg.Platforms {
+		res.Series = append(res.Series, Series{
+			Platform: p, M: p.Cores,
+			Points: make([]SeriesPoint, len(cfg.Fractions)),
+		})
+	}
+	pts := cfg.grid()
+	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
+		pt := pts[i]
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(9000*pt.plat.Cores+pt.pi))
+		var change, fracs stats.Accumulator
+		maxAbs := math.Inf(-1)
+		for k := 0; k < cfg.TasksPerPoint; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g, _, realized, err := gen.HetTask(pt.frac)
+			if err != nil {
+				return err
+			}
+			tr, err := transform.Transform(g)
+			if err != nil {
+				return fmt.Errorf("fig9: %w", err)
+			}
+			het, err := rta.Rhet(tr, pt.plat)
+			if err != nil {
+				return err
+			}
+			c := stats.PercentChange(rta.Rhom(g, pt.plat), het.R)
+			change.Add(c)
+			if c > maxAbs {
+				maxAbs = c
+			}
+			fracs.Add(realized)
+		}
+		res.Series[pt.si].Points[pt.pi] = SeriesPoint{
+			TargetFrac: pt.frac,
+			MeanFrac:   fracs.Mean(),
+			Value:      change.Mean(),
+			MaxAbs:     maxAbs,
+			N:          change.N(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for _, series := range res.Series {
 		peakMean, peakMax := math.Inf(-1), math.Inf(-1)
-		for pi, frac := range cfg.Fractions {
-			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(9000*m+pi))
-			var change, fracs stats.Accumulator
-			maxAbs := math.Inf(-1)
-			for k := 0; k < cfg.TasksPerPoint; k++ {
-				g, _, realized, err := gen.HetTask(frac)
-				if err != nil {
-					return nil, err
-				}
-				tr, err := transform.Transform(g)
-				if err != nil {
-					return nil, fmt.Errorf("fig9: %w", err)
-				}
-				het, err := rta.Rhet(tr, m)
-				if err != nil {
-					return nil, err
-				}
-				c := stats.PercentChange(rta.Rhom(g, m), het.R)
-				change.Add(c)
-				if c > maxAbs {
-					maxAbs = c
-				}
-				fracs.Add(realized)
+		for _, p := range series.Points {
+			if p.Value > peakMean {
+				peakMean = p.Value
 			}
-			series.Points = append(series.Points, SeriesPoint{
-				TargetFrac: frac,
-				MeanFrac:   fracs.Mean(),
-				Value:      change.Mean(),
-				MaxAbs:     maxAbs,
-				N:          change.N(),
-			})
-			if change.Mean() > peakMean {
-				peakMean = change.Mean()
-			}
-			if maxAbs > peakMax {
-				peakMax = maxAbs
+			if p.MaxAbs > peakMax {
+				peakMax = p.MaxAbs
 			}
 		}
 		if x, ok := series.crossover(); ok {
-			res.Crossovers[m] = x
+			res.Crossovers[series.M] = x
 		}
-		res.PeakMean[m] = peakMean
-		res.PeakMax[m] = peakMax
-		res.Series = append(res.Series, series)
+		res.PeakMean[series.M] = peakMean
+		res.PeakMax[series.M] = peakMax
 	}
 	return res, nil
 }

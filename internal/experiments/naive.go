@@ -1,8 +1,10 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
+	"repro/internal/batch"
 	"repro/internal/rta"
 	"repro/internal/sched"
 	"repro/internal/stats"
@@ -26,7 +28,7 @@ type NaivePoint struct {
 	N                int
 }
 
-// NaiveSeries is the per-m sweep.
+// NaiveSeries is the per-platform sweep.
 type NaiveSeries struct {
 	M      int
 	Points []NaivePoint
@@ -45,7 +47,7 @@ type NaiveResult struct {
 
 // Naive runs the violation study. samples counts random schedules per task
 // (0 means 32).
-func Naive(cfg Config, samples int) (*NaiveResult, error) {
+func Naive(ctx context.Context, cfg Config, samples int) (*NaiveResult, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -53,60 +55,71 @@ func Naive(cfg Config, samples int) (*NaiveResult, error) {
 		samples = 32
 	}
 	res := &NaiveResult{Samples: samples}
-	for _, m := range cfg.Cores {
-		series := NaiveSeries{M: m}
-		for pi, frac := range cfg.Fractions {
-			gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*m+pi))
-			violated, hetViolated := 0, 0
-			var worst stats.Accumulator
-			for k := 0; k < cfg.TasksPerPoint; k++ {
-				g, _, _, err := gen.HetTask(frac)
-				if err != nil {
-					return nil, err
-				}
-				a, err := rta.Analyze(g, m)
-				if err != nil {
-					return nil, err
-				}
-				_, worstSim, err := sched.Sample(g, sched.Hetero(m), samples, cfg.Seed+int64(k))
-				if err != nil {
-					return nil, err
-				}
-				// Include the deterministic breadth-first schedule too —
-				// it is the Figure 1(c) culprit.
-				bf, err := sched.Simulate(g, sched.Hetero(m), sched.BreadthFirst())
-				if err != nil {
-					return nil, err
-				}
-				worstMakespan := worstSim.Makespan
-				if bf.Makespan > worstMakespan {
-					worstMakespan = bf.Makespan
-				}
-				if float64(worstMakespan) > a.Naive+1e-9 {
-					violated++
-					worst.Add(100 * (float64(worstMakespan) - a.Naive) / a.Naive)
-				}
-				// Live safety check on Rhet: worst simulated τ' schedule.
-				_, worstT, err := sched.Sample(a.Transform.Transformed, sched.Hetero(m), samples, cfg.Seed+int64(k))
-				if err != nil {
-					return nil, err
-				}
-				if float64(worstT.Makespan) > a.Het.R+1e-9 {
-					hetViolated++
-				}
+	for _, p := range cfg.Platforms {
+		res.Series = append(res.Series, NaiveSeries{
+			M:      p.Cores,
+			Points: make([]NaivePoint, len(cfg.Fractions)),
+		})
+	}
+	pts := cfg.grid()
+	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
+		pt := pts[i]
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*pt.plat.Cores+pt.pi))
+		violated, hetViolated := 0, 0
+		var worst stats.Accumulator
+		for k := 0; k < cfg.TasksPerPoint; k++ {
+			if err := ctx.Err(); err != nil {
+				return err
 			}
-			pt := NaivePoint{
-				TargetFrac:       frac,
-				ViolationPct:     100 * float64(violated) / float64(cfg.TasksPerPoint),
-				RhetViolationPct: 100 * float64(hetViolated) / float64(cfg.TasksPerPoint),
-				N:                cfg.TasksPerPoint,
+			g, _, _, err := gen.HetTask(pt.frac)
+			if err != nil {
+				return err
 			}
-			if worst.N() > 0 {
-				pt.WorstExcessPct = worst.Max()
+			a, err := rta.Analyze(g, pt.plat)
+			if err != nil {
+				return err
 			}
-			series.Points = append(series.Points, pt)
+			_, worstSim, err := sched.Sample(g, pt.plat, samples, cfg.Seed+int64(k))
+			if err != nil {
+				return err
+			}
+			// Include the deterministic breadth-first schedule too —
+			// it is the Figure 1(c) culprit.
+			bf, err := sched.Simulate(g, pt.plat, sched.BreadthFirst())
+			if err != nil {
+				return err
+			}
+			worstMakespan := worstSim.Makespan
+			if bf.Makespan > worstMakespan {
+				worstMakespan = bf.Makespan
+			}
+			if float64(worstMakespan) > a.Naive+1e-9 {
+				violated++
+				worst.Add(100 * (float64(worstMakespan) - a.Naive) / a.Naive)
+			}
+			// Live safety check on Rhet: worst simulated τ' schedule.
+			_, worstT, err := sched.Sample(a.Transform.Transformed, pt.plat, samples, cfg.Seed+int64(k))
+			if err != nil {
+				return err
+			}
+			if float64(worstT.Makespan) > a.Het.R+1e-9 {
+				hetViolated++
+			}
 		}
-		res.Series = append(res.Series, series)
+		p := NaivePoint{
+			TargetFrac:       pt.frac,
+			ViolationPct:     100 * float64(violated) / float64(cfg.TasksPerPoint),
+			RhetViolationPct: 100 * float64(hetViolated) / float64(cfg.TasksPerPoint),
+			N:                cfg.TasksPerPoint,
+		}
+		if worst.N() > 0 {
+			p.WorstExcessPct = worst.Max()
+		}
+		res.Series[pt.si].Points[pt.pi] = p
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -22,6 +22,7 @@
 package ilp
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -44,8 +45,12 @@ type Result struct {
 // solving the time-indexed ILP. horizon is an inclusive upper bound on the
 // makespan (e.g. a heuristic schedule length); 0 derives one by simulating
 // the policy portfolio. Instances with |V|·horizon beyond ~4000 binaries
-// are rejected to keep the dense solver tractable.
-func MinMakespan(g *dag.Graph, p sched.Platform, horizon int64) (*Result, error) {
+// are rejected to keep the dense solver tractable. Cancelling ctx aborts
+// the underlying MILP search promptly with ctx's error.
+func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, horizon int64) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -156,7 +161,7 @@ func MinMakespan(g *dag.Graph, p sched.Platform, horizon int64) (*Result, error)
 		m.AddConstraint(neg, lp.GE, float64(g.WCET(v)))
 	}
 
-	sol, err := m.SolveMILP(lp.MILPOptions{MaxNodes: 200_000})
+	sol, err := m.SolveMILP(ctx, lp.MILPOptions{MaxNodes: 200_000})
 	if err != nil {
 		return nil, fmt.Errorf("ilp: %w", err)
 	}

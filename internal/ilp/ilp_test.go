@@ -1,6 +1,7 @@
 package ilp
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/dag"
@@ -14,7 +15,7 @@ func TestChain(t *testing.T) {
 	a := g.AddNode("", 2, dag.Host)
 	b := g.AddNode("", 3, dag.Host)
 	g.MustAddEdge(a, b)
-	r, err := MinMakespan(g, sched.Homogeneous(2), 0)
+	r, err := MinMakespan(context.Background(), g, sched.Homogeneous(2), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -30,7 +31,7 @@ func TestParallelOnOneCore(t *testing.T) {
 	g := dag.New()
 	g.AddNode("", 2, dag.Host)
 	g.AddNode("", 3, dag.Host)
-	r, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	r, err := MinMakespan(context.Background(), g, sched.Homogeneous(1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,14 +51,14 @@ func TestOffloadOverlap(t *testing.T) {
 	g.MustAddEdge(s, a)
 	g.MustAddEdge(v, e)
 	g.MustAddEdge(a, e)
-	r, err := MinMakespan(g, sched.Hetero(1), 0)
+	r, err := MinMakespan(context.Background(), g, sched.Hetero(1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if r.Makespan != 6 {
 		t.Fatalf("hetero makespan = %d, want 6", r.Makespan)
 	}
-	rh, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	rh, err := MinMakespan(context.Background(), g, sched.Homogeneous(1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func TestZeroWCETNodes(t *testing.T) {
 	c := g.AddNode("", 0, dag.Sync)
 	g.MustAddEdge(a, b)
 	g.MustAddEdge(b, c)
-	r, err := MinMakespan(g, sched.Homogeneous(1), 0)
+	r, err := MinMakespan(context.Background(), g, sched.Homogeneous(1), 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestRejectsTooLarge(t *testing.T) {
 	for i := 0; i < 50; i++ {
 		g.AddNode("", 100, dag.Host)
 	}
-	if _, err := MinMakespan(g, sched.Homogeneous(2), 0); err == nil {
+	if _, err := MinMakespan(context.Background(), g, sched.Homogeneous(2), 0); err == nil {
 		t.Fatal("accepted model beyond size limit")
 	}
 }
@@ -98,7 +99,7 @@ func TestRejectsCycle(t *testing.T) {
 	b := g.AddNode("", 1, dag.Host)
 	g.MustAddEdge(a, b)
 	g.MustAddEdge(b, a)
-	if _, err := MinMakespan(g, sched.Homogeneous(1), 0); err == nil {
+	if _, err := MinMakespan(context.Background(), g, sched.Homogeneous(1), 0); err == nil {
 		t.Fatal("accepted cyclic graph")
 	}
 }
@@ -119,14 +120,14 @@ func TestCrossValidateAgainstBranchAndBound(t *testing.T) {
 			taskgen.SetOffload(g, g.NumNodes()/2, 0.3)
 		}
 		for _, p := range []sched.Platform{sched.Homogeneous(2), sched.Hetero(2)} {
-			bb, err := exact.MinMakespan(g, p, exact.Options{})
+			bb, err := exact.MinMakespan(context.Background(), g, p, exact.Options{})
 			if err != nil {
 				t.Fatal(err)
 			}
 			if bb.Status != exact.Optimal {
 				t.Fatalf("iter %d: B&B not optimal on tiny instance", i)
 			}
-			il, err := MinMakespan(g, p, 0)
+			il, err := MinMakespan(context.Background(), g, p, 0)
 			if err != nil {
 				t.Fatalf("iter %d %v: ILP: %v", i, p, err)
 			}

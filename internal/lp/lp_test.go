@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"math"
 	"testing"
@@ -145,7 +146,7 @@ func TestMILPKnapsack(t *testing.T) {
 	}
 	m.SetObjective(Maximize, obj)
 	m.AddConstraint(cons, LE, 14)
-	sol, err := m.SolveMILP(MILPOptions{})
+	sol, err := m.SolveMILP(context.Background(), MILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,7 +164,7 @@ func TestMILPIntegerRounding(t *testing.T) {
 	x := m.AddIntVariable("x")
 	m.SetObjective(Maximize, map[int]float64{x: 1})
 	m.AddConstraint(map[int]float64{x: 2}, LE, 7)
-	sol, err := m.SolveMILP(MILPOptions{})
+	sol, err := m.SolveMILP(context.Background(), MILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestMILPInfeasible(t *testing.T) {
 	x := m.AddIntVariable("x")
 	m.SetObjective(Minimize, map[int]float64{x: 1})
 	m.AddConstraint(map[int]float64{x: 2}, EQ, 1)
-	if _, err := m.SolveMILP(MILPOptions{}); !errors.Is(err, ErrInfeasible) {
+	if _, err := m.SolveMILP(context.Background(), MILPOptions{}); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -188,7 +189,7 @@ func TestMILPPureLPPassThrough(t *testing.T) {
 	x := m.AddVariable("x")
 	m.SetObjective(Maximize, map[int]float64{x: 2})
 	m.AddConstraint(map[int]float64{x: 1}, LE, 5)
-	sol, err := m.SolveMILP(MILPOptions{})
+	sol, err := m.SolveMILP(context.Background(), MILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -213,7 +214,7 @@ func TestMILPNodeLimit(t *testing.T) {
 	}
 	m.SetObjective(Maximize, obj)
 	m.AddConstraint(cons, LE, 14)
-	_, err := m.SolveMILP(MILPOptions{MaxNodes: 1})
+	_, err := m.SolveMILP(context.Background(), MILPOptions{MaxNodes: 1})
 	if !errors.Is(err, ErrNodeLimit) {
 		t.Fatalf("err = %v, want ErrNodeLimit", err)
 	}
@@ -227,7 +228,7 @@ func TestMILPEqualityInteger(t *testing.T) {
 	m.SetObjective(Minimize, map[int]float64{x: 3, y: 2})
 	m.AddConstraint(map[int]float64{x: 1, y: 1}, EQ, 5)
 	m.AddConstraint(map[int]float64{y: 1}, LE, 3)
-	sol, err := m.SolveMILP(MILPOptions{})
+	sol, err := m.SolveMILP(context.Background(), MILPOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}

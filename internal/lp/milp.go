@@ -1,6 +1,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -20,8 +21,10 @@ var ErrNodeLimit = errors.New("lp: MILP node limit exceeded")
 
 // SolveMILP solves the model respecting integrality of variables added via
 // AddIntVariable, by LP-relaxation branch and bound (branching on the most
-// fractional integer variable, depth-first, bound-driven pruning).
-func (m *Model) SolveMILP(opts MILPOptions) (*Solution, error) {
+// fractional integer variable, depth-first, bound-driven pruning). The
+// context is checked once per branch-and-bound node; cancelling it makes
+// SolveMILP return promptly with ctx's error.
+func (m *Model) SolveMILP(ctx context.Context, opts MILPOptions) (*Solution, error) {
 	maxNodes := opts.MaxNodes
 	if maxNodes == 0 {
 		maxNodes = 100_000
@@ -38,6 +41,9 @@ func (m *Model) SolveMILP(opts MILPOptions) (*Solution, error) {
 		}
 	}
 	if !hasInt {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		return m.SolveLP()
 	}
 
@@ -60,6 +66,9 @@ func (m *Model) SolveMILP(opts MILPOptions) (*Solution, error) {
 	}
 
 	for len(stack) > 0 {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		nd := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
 		nodes++

@@ -31,16 +31,19 @@ import (
 	"sort"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/transform"
 )
 
-// TypedRhom computes the typed Graham bound for a DAG with host nodes on m
-// cores and Offload nodes on d identical devices. With no offload nodes it
-// equals rta.Rhom. d must be ≥ 1 when the graph has offload nodes.
-func TypedRhom(g *dag.Graph, m, d int) (float64, error) {
-	if m < 1 {
-		return 0, fmt.Errorf("multioff: m = %d", m)
+// TypedRhom computes the typed Graham bound for a DAG with host nodes on
+// p.Cores cores and Offload nodes on p.Devices identical devices. With no
+// offload nodes it equals rta.Rhom. p.Devices must be ≥ 1 when the graph
+// has offload nodes.
+func TypedRhom(g *dag.Graph, p platform.Platform) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("multioff: %w", err)
 	}
+	m, d := p.Cores, p.Devices
 	offs := g.OffloadNodes()
 	if len(offs) > 0 && d < 1 {
 		return 0, fmt.Errorf("multioff: %d offload nodes but %d devices", len(offs), d)

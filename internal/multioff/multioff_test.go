@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
@@ -40,11 +41,11 @@ func TestTypedRhomDegeneratesToRhom(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, m := range []int{1, 2, 4, 8} {
-			typed, err := TypedRhom(g, m, 0)
+			typed, err := TypedRhom(g, platform.Platform{Cores: m, Devices: 0})
 			if err != nil {
 				t.Fatal(err)
 			}
-			if want := rta.Rhom(g, m); math.Abs(typed-want) > 1e-9 {
+			if want := rta.Rhom(g, platform.Homogeneous(m)); math.Abs(typed-want) > 1e-9 {
 				t.Fatalf("iter %d m=%d: typed %v ≠ Rhom %v on homogeneous DAG", i, m, typed, want)
 			}
 		}
@@ -54,10 +55,10 @@ func TestTypedRhomDegeneratesToRhom(t *testing.T) {
 func TestTypedRhomErrors(t *testing.T) {
 	g := dag.New()
 	g.AddNode("", 1, dag.Offload)
-	if _, err := TypedRhom(g, 0, 1); err == nil {
+	if _, err := TypedRhom(g, platform.Platform{Cores: 0, Devices: 1}); err == nil {
 		t.Error("accepted m=0")
 	}
-	if _, err := TypedRhom(g, 2, 0); err == nil {
+	if _, err := TypedRhom(g, platform.Platform{Cores: 2, Devices: 0}); err == nil {
 		t.Error("accepted offload nodes without devices")
 	}
 	cyc := dag.New()
@@ -65,7 +66,7 @@ func TestTypedRhomErrors(t *testing.T) {
 	b := cyc.AddNode("", 1, dag.Host)
 	cyc.MustAddEdge(a, b)
 	cyc.MustAddEdge(b, a)
-	if _, err := TypedRhom(cyc, 2, 1); err == nil {
+	if _, err := TypedRhom(cyc, platform.Platform{Cores: 2, Devices: 1}); err == nil {
 		t.Error("accepted cyclic graph")
 	}
 }
@@ -81,7 +82,7 @@ func TestTypedRhomSingleChain(t *testing.T) {
 	c := g.AddNode("", 2, dag.Host)
 	g.MustAddEdge(a, b)
 	g.MustAddEdge(b, c)
-	typed, err := TypedRhom(g, 2, 1)
+	typed, err := TypedRhom(g, platform.Platform{Cores: 2, Devices: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestTypedBoundSafeUnderSimulation(t *testing.T) {
 			g := multiOffTask(t, 100+seed, k)
 			for _, m := range []int{2, 4} {
 				for _, d := range []int{1, 2} {
-					bound, err := TypedRhom(g, m, d)
+					bound, err := TypedRhom(g, platform.Platform{Cores: m, Devices: d})
 					if err != nil {
 						t.Fatal(err)
 					}

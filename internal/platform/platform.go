@@ -1,0 +1,56 @@
+// Package platform defines the execution platform of the paper's system
+// model — a host with m identical cores plus accelerator devices — as a
+// first-class type shared by every analysis layer (rta, taskset, multioff,
+// sched, exact, ilp, experiments). It replaces the bare `m int` parameters
+// the analyses originally took, so that the device count travels with the
+// core count and the facade can grow new platform shapes without another
+// signature sweep.
+package platform
+
+import "fmt"
+
+// Platform describes the execution platform.
+type Platform struct {
+	// Cores is m, the number of identical host cores.
+	Cores int `json:"cores"`
+	// Devices is the number of accelerator devices. 0 means a homogeneous
+	// platform where Offload nodes execute on host cores. The paper's
+	// model has exactly 1; the multi-device extension allows more.
+	Devices int `json:"devices"`
+}
+
+// Hetero returns the paper's platform: m host cores and one accelerator.
+func Hetero(m int) Platform { return Platform{Cores: m, Devices: 1} }
+
+// Homogeneous returns an m-core host-only platform; offload nodes are
+// executed by the host as if they were regular nodes.
+func Homogeneous(m int) Platform { return Platform{Cores: m} }
+
+// Heteros returns one paper platform (m cores + 1 device) per host size,
+// the shape every experiment sweep uses.
+func Heteros(ms ...int) []Platform {
+	ps := make([]Platform, len(ms))
+	for i, m := range ms {
+		ps[i] = Hetero(m)
+	}
+	return ps
+}
+
+// Validate checks the platform is usable.
+func (p Platform) Validate() error {
+	if p.Cores < 1 {
+		return fmt.Errorf("platform: needs at least 1 core, got %d", p.Cores)
+	}
+	if p.Devices < 0 {
+		return fmt.Errorf("platform: negative device count %d", p.Devices)
+	}
+	return nil
+}
+
+// String renders the platform compactly, e.g. "m=4+1dev".
+func (p Platform) String() string {
+	if p.Devices == 0 {
+		return fmt.Sprintf("m=%d", p.Cores)
+	}
+	return fmt.Sprintf("m=%d+%ddev", p.Cores, p.Devices)
+}

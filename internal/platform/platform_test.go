@@ -1,0 +1,42 @@
+package platform
+
+import "testing"
+
+func TestValidate(t *testing.T) {
+	cases := []struct {
+		p  Platform
+		ok bool
+	}{
+		{Hetero(4), true},
+		{Homogeneous(1), true},
+		{Platform{Cores: 2, Devices: 3}, true},
+		{Platform{Cores: 0, Devices: 1}, false},
+		{Platform{Cores: 4, Devices: -1}, false},
+	}
+	for _, c := range cases {
+		if err := c.p.Validate(); (err == nil) != c.ok {
+			t.Errorf("Validate(%v) = %v, want ok=%v", c.p, err, c.ok)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	if s := Hetero(4).String(); s != "m=4+1dev" {
+		t.Errorf("Hetero(4) = %q", s)
+	}
+	if s := Homogeneous(8).String(); s != "m=8" {
+		t.Errorf("Homogeneous(8) = %q", s)
+	}
+}
+
+func TestHeteros(t *testing.T) {
+	ps := Heteros(2, 4, 8, 16)
+	if len(ps) != 4 {
+		t.Fatalf("len = %d", len(ps))
+	}
+	for i, m := range []int{2, 4, 8, 16} {
+		if ps[i] != Hetero(m) {
+			t.Errorf("ps[%d] = %v, want %v", i, ps[i], Hetero(m))
+		}
+	}
+}

@@ -11,6 +11,10 @@
 //     transformation is necessary (see the package tests, which exhibit the
 //     paper's Figure 1(c) counterexample).
 //
+// Every analysis takes the execution platform as a platform.Platform value
+// (m host cores + devices) rather than a bare core count, so the device
+// configuration travels with the analysis and its Report.
+//
 // Bounds are float64 because of the 1/m factor; WCETs are integers.
 package rta
 
@@ -18,10 +22,23 @@ import (
 	"fmt"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/transform"
 )
 
 // Scenario identifies which case of Theorem 1 applies to a transformed task.
+//
+// # Tie-breaking at COff = Rhom(GPar)
+//
+// The paper states Scenario 2.1 as "COff ≥ Rhom(GPar)" (Eq. 3) and Scenario
+// 2.2 as "COff ≤ Rhom(GPar)" (Eq. 4), so at exact equality both conditions
+// hold. The two equations coincide there — substituting COff = Rhom(GPar)
+// into either yields the same bound — so the choice is only a labeling
+// question. This package classifies the equality case as Scenario 2.1 (the
+// comparison used is COff ≥ Rhom(GPar), strict "<" selects 2.2); Figure 8's
+// scenario-occurrence counts follow the same rule. This is the single
+// authoritative statement of the tie-breaking rule; the facade documentation
+// references it.
 type Scenario int
 
 const (
@@ -30,8 +47,11 @@ const (
 	// Scenario1: vOff does not belong to the critical path of G' (Eq. 2).
 	Scenario1
 	// Scenario21: vOff on the critical path and COff ≥ Rhom(GPar) (Eq. 3).
+	// Equality belongs here; see the Scenario tie-breaking note.
 	Scenario21
-	// Scenario22: vOff on the critical path and COff ≤ Rhom(GPar) (Eq. 4).
+	// Scenario22: vOff on the critical path and COff < Rhom(GPar) (Eq. 4).
+	// The paper writes "≤"; equality is classified as Scenario 2.1, where
+	// Eqs. 3 and 4 coincide. See the Scenario tie-breaking note.
 	Scenario22
 )
 
@@ -50,21 +70,22 @@ func (s Scenario) String() string {
 }
 
 // Rhom computes Equation 1, the response-time upper bound of DAG task τ on
-// m homogeneous cores:
+// the p.Cores homogeneous host cores of p:
 //
 //	Rhom(τ) = len(G) + (vol(G) − len(G))/m
 //
 // The 1/m term upper-bounds the self-interference: the interference the
 // task's own parallel workload inflicts on its critical path. For a
-// heterogeneous task this treats vOff like any host node, which is the
-// baseline the paper compares against. m must be positive.
-func Rhom(g *dag.Graph, m int) float64 {
-	if m <= 0 {
-		panic(fmt.Sprintf("rta: Rhom with m = %d", m))
+// heterogeneous task this treats vOff like any host node (devices are
+// ignored), which is the baseline the paper compares against. p.Cores must
+// be positive.
+func Rhom(g *dag.Graph, p platform.Platform) float64 {
+	if p.Cores <= 0 {
+		panic(fmt.Sprintf("rta: Rhom with %v", p))
 	}
 	l := g.CriticalPathLength()
 	v := g.Volume()
-	return float64(l) + float64(v-l)/float64(m)
+	return float64(l) + float64(v-l)/float64(p.Cores)
 }
 
 // Naive computes the unsafe heterogeneous bound of Section 3.2: Rhom with
@@ -74,14 +95,17 @@ func Rhom(g *dag.Graph, m int) float64 {
 //
 // It is NOT a valid upper bound (Figure 1(c) of the paper; reproduced in
 // this package's tests): use Rhet on the transformed DAG instead.
-func Naive(g *dag.Graph, m int) (float64, error) {
+func Naive(g *dag.Graph, p platform.Platform) (float64, error) {
+	if err := p.Validate(); err != nil {
+		return 0, fmt.Errorf("rta: %w", err)
+	}
 	vOff, ok := g.OffloadNode()
 	if !ok {
 		return 0, transform.ErrNoOffload
 	}
 	l := g.CriticalPathLength()
 	v := g.Volume()
-	return float64(l) + float64(v-l-g.WCET(vOff))/float64(m), nil
+	return float64(l) + float64(v-l-g.WCET(vOff))/float64(p.Cores), nil
 }
 
 // HetResult carries Rhet and the quantities entering Equations 2–4, so
@@ -98,15 +122,20 @@ type HetResult struct {
 	// LenPar and VolPar are len(GPar) and vol(GPar).
 	LenPar, VolPar int64
 	// RhomPar is Rhom(GPar), the quantity compared against COff to choose
-	// between Scenarios 2.1 and 2.2.
+	// between Scenarios 2.1 and 2.2 (ties go to 2.1; see Scenario).
 	RhomPar float64
 }
 
 // Rhet evaluates Theorem 1 on a transformed task (the output of
-// transform.Transform) for a host with m cores.
-func Rhet(tr *transform.Result, m int) (HetResult, error) {
-	if m <= 0 {
-		return HetResult{}, fmt.Errorf("rta: Rhet with m = %d", m)
+// transform.Transform) for platform p. The analysis models the paper's
+// platform — p must have at least one host core and at least one device for
+// the offloaded node to run on.
+func Rhet(tr *transform.Result, p platform.Platform) (HetResult, error) {
+	if err := p.Validate(); err != nil {
+		return HetResult{}, fmt.Errorf("rta: Rhet: %w", err)
+	}
+	if p.Devices < 1 {
+		return HetResult{}, fmt.Errorf("rta: Rhet on %v: the heterogeneous analysis needs a device", p)
 	}
 	gp := tr.Transformed
 	res := HetResult{
@@ -116,6 +145,7 @@ func Rhet(tr *transform.Result, m int) (HetResult, error) {
 		LenPar:   tr.Par.CriticalPathLength(),
 		VolPar:   tr.Par.Volume(),
 	}
+	m := p.Cores
 	res.RhomPar = float64(res.LenPar) + float64(res.VolPar-res.LenPar)/float64(m)
 	mf := float64(m)
 
@@ -128,7 +158,8 @@ func Rhet(tr *transform.Result, m int) (HetResult, error) {
 		res.R = float64(res.LenPrime) + (float64(res.VolPrime-res.LenPrime)-float64(res.COff))/mf
 	case float64(res.COff) >= res.RhomPar:
 		// Scenario 2.1 (Eq. 3): the accelerator outlasts everything GPar
-		// can do, so the whole vol(GPar) overlaps COff.
+		// can do, so the whole vol(GPar) overlaps COff. Equality lands here
+		// (Eqs. 3 and 4 coincide at COff = Rhom(GPar); see Scenario).
 		res.Scenario = Scenario21
 		res.R = float64(res.LenPrime) + (float64(res.VolPrime-res.LenPrime)-float64(res.VolPar))/mf
 	default:
@@ -145,8 +176,8 @@ func Rhet(tr *transform.Result, m int) (HetResult, error) {
 // Analysis bundles every bound for one heterogeneous task, produced by
 // Analyze. It is the unit the experiments aggregate over.
 type Analysis struct {
-	// M is the number of host cores the analysis assumed.
-	M int
+	// Platform is the execution platform the analysis assumed.
+	Platform platform.Platform
 	// Rhom is Equation 1 on the original task τ.
 	Rhom float64
 	// Naive is the unsafe Section 3.2 bound on τ.
@@ -159,26 +190,26 @@ type Analysis struct {
 
 // Analyze runs the complete analysis pipeline of the paper on a
 // heterogeneous DAG task: it transforms τ into τ' (Algorithm 1) and
-// computes Rhom(τ), the naive unsafe bound, and Rhet(τ').
-func Analyze(g *dag.Graph, m int) (*Analysis, error) {
-	if m <= 0 {
-		return nil, fmt.Errorf("rta: Analyze with m = %d", m)
+// computes Rhom(τ), the naive unsafe bound, and Rhet(τ') on platform p.
+func Analyze(g *dag.Graph, p platform.Platform) (*Analysis, error) {
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("rta: Analyze: %w", err)
 	}
 	tr, err := transform.Transform(g)
 	if err != nil {
 		return nil, err
 	}
-	het, err := Rhet(tr, m)
+	het, err := Rhet(tr, p)
 	if err != nil {
 		return nil, err
 	}
-	naive, err := Naive(g, m)
+	naive, err := Naive(g, p)
 	if err != nil {
 		return nil, err
 	}
 	return &Analysis{
-		M:         m,
-		Rhom:      Rhom(g, m),
+		Platform:  p,
+		Rhom:      Rhom(g, p),
 		Naive:     naive,
 		Het:       het,
 		Transform: tr,

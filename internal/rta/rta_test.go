@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/taskgen"
 	"repro/internal/transform"
 )
@@ -37,15 +38,15 @@ func TestRhomFig1(t *testing.T) {
 	g := fig1Normalized(t)
 	// §3.2: "Assuming m = 2, the self-interference factor is (18-8)/2 = 5,
 	// resulting in Rhom(τ) = 13."
-	if got := Rhom(g, 2); !almostEqual(got, 13) {
+	if got := Rhom(g, platform.Hetero(2)); !almostEqual(got, 13) {
 		t.Errorf("Rhom(m=2) = %v, want 13", got)
 	}
 	// m = 1: the bound degenerates to the volume.
-	if got := Rhom(g, 1); !almostEqual(got, 18) {
+	if got := Rhom(g, platform.Hetero(1)); !almostEqual(got, 18) {
 		t.Errorf("Rhom(m=1) = %v, want vol = 18", got)
 	}
 	// m → ∞: the bound approaches the critical path length.
-	if got := Rhom(g, 1<<20); math.Abs(got-8) > 0.01 {
+	if got := Rhom(g, platform.Hetero(1<<20)); math.Abs(got-8) > 0.01 {
 		t.Errorf("Rhom(m=2^20) = %v, want ≈ len = 8", got)
 	}
 }
@@ -56,14 +57,14 @@ func TestRhomPanicsOnBadM(t *testing.T) {
 			t.Fatal("Rhom(m=0) did not panic")
 		}
 	}()
-	Rhom(fig1Normalized(t), 0)
+	Rhom(fig1Normalized(t), platform.Platform{})
 }
 
 func TestNaiveFig1(t *testing.T) {
 	g := fig1Normalized(t)
 	// §3.2: subtracting COff's contribution gives Rhom = 11 — which the
 	// worst-case schedule of Figure 1(c) (response 12) proves unsafe.
-	got, err := Naive(g, 2)
+	got, err := Naive(g, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +76,7 @@ func TestNaiveFig1(t *testing.T) {
 func TestNaiveNoOffload(t *testing.T) {
 	g := dag.New()
 	g.AddNode("", 1, dag.Host)
-	if _, err := Naive(g, 2); err == nil {
+	if _, err := Naive(g, platform.Hetero(2)); err == nil {
 		t.Fatal("Naive on homogeneous graph: want error")
 	}
 }
@@ -86,7 +87,7 @@ func TestRhetFig1Scenario1(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Rhet(tr, 2)
+	res, err := Rhet(tr, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +136,7 @@ func TestRhetScenario21(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Rhet(tr, 2)
+	res, err := Rhet(tr, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +157,7 @@ func TestRhetScenario22(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Rhet(tr, 2)
+	res, err := Rhet(tr, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestScenarioBoundaryEquations3And4Coincide(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := Rhet(tr, 2)
+	res, err := Rhet(tr, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -196,37 +197,48 @@ func TestScenarioBoundaryEquations3And4Coincide(t *testing.T) {
 	}
 }
 
+func TestRhetNeedsDevice(t *testing.T) {
+	g := fig1Normalized(t)
+	tr, err := transform.Transform(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Rhet(tr, platform.Homogeneous(4)); err == nil {
+		t.Fatal("Rhet on a device-less platform succeeded")
+	}
+}
+
 func TestRhetBadM(t *testing.T) {
 	g := fig1Normalized(t)
 	tr, err := transform.Transform(g)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := Rhet(tr, 0); err == nil {
+	if _, err := Rhet(tr, platform.Hetero(0)); err == nil {
 		t.Fatal("Rhet(m=0) succeeded")
 	}
 }
 
 func TestAnalyzeFig1(t *testing.T) {
-	a, err := Analyze(fig1Normalized(t), 2)
+	a, err := Analyze(fig1Normalized(t), platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !almostEqual(a.Rhom, 13) || !almostEqual(a.Naive, 11) || !almostEqual(a.Het.R, 12) {
 		t.Errorf("Analyze: Rhom=%v Naive=%v Rhet=%v, want 13/11/12", a.Rhom, a.Naive, a.Het.R)
 	}
-	if a.M != 2 {
-		t.Errorf("M = %d, want 2", a.M)
+	if a.Platform != platform.Hetero(2) {
+		t.Errorf("Platform = %v, want %v", a.Platform, platform.Hetero(2))
 	}
 }
 
 func TestAnalyzeErrors(t *testing.T) {
 	g := dag.New()
 	g.AddNode("", 1, dag.Host)
-	if _, err := Analyze(g, 2); err == nil {
+	if _, err := Analyze(g, platform.Hetero(2)); err == nil {
 		t.Fatal("Analyze without offload node succeeded")
 	}
-	if _, err := Analyze(fig1Normalized(t), 0); err == nil {
+	if _, err := Analyze(fig1Normalized(t), platform.Hetero(0)); err == nil {
 		t.Fatal("Analyze with m=0 succeeded")
 	}
 }
@@ -256,7 +268,7 @@ func TestRhetNeverBelowStructuralLowerBounds(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, m := range []int{2, 4, 8, 16} {
-			a, err := Analyze(g, m)
+			a, err := Analyze(g, platform.Hetero(m))
 			if err != nil {
 				t.Fatalf("iter %d m=%d: %v", i, m, err)
 			}
@@ -308,11 +320,11 @@ func TestTaskSchedulability(t *testing.T) {
 	// Rhom = 13, Rhet = 12 on m=2: a deadline of 12 is schedulable only
 	// under the heterogeneous analysis — the paper's selling point.
 	tk := Task{G: g, Period: 20, Deadline: 12}
-	okHom, r := tk.SchedulableHom(2)
+	okHom, r := tk.SchedulableHom(platform.Hetero(2))
 	if okHom || !almostEqual(r, 13) {
 		t.Errorf("SchedulableHom = %v (R=%v), want false (R=13)", okHom, r)
 	}
-	okHet, a, err := tk.SchedulableHet(2)
+	okHet, a, err := tk.SchedulableHet(platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}

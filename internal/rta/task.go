@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 )
 
 // Task is the sporadic DAG task τ = <G, T, D> of Section 2: a DAG G, a
@@ -40,18 +41,19 @@ func (t Task) Utilization() float64 {
 	return float64(t.G.Volume()) / float64(t.Period)
 }
 
-// SchedulableHom reports whether Rhom(τ) ≤ D on m cores, the schedulability
-// test of Section 3.1, together with the bound itself.
-func (t Task) SchedulableHom(m int) (bool, float64) {
-	r := Rhom(t.G, m)
+// SchedulableHom reports whether Rhom(τ) ≤ D on p's host cores, the
+// schedulability test of Section 3.1, together with the bound itself.
+// Devices are ignored (Rhom treats offloaded work as host work).
+func (t Task) SchedulableHom(p platform.Platform) (bool, float64) {
+	r := Rhom(t.G, p)
 	return r <= float64(t.Deadline), r
 }
 
-// SchedulableHet reports whether Rhet(τ') ≤ D on m host cores plus the
-// accelerator, transforming the task first. It returns the full analysis so
-// callers can inspect the scenario.
-func (t Task) SchedulableHet(m int) (bool, *Analysis, error) {
-	a, err := Analyze(t.G, m)
+// SchedulableHet reports whether Rhet(τ') ≤ D on platform p (host cores
+// plus accelerator), transforming the task first. It returns the full
+// analysis so callers can inspect the scenario.
+func (t Task) SchedulableHet(p platform.Platform) (bool, *Analysis, error) {
+	a, err := Analyze(t.G, p)
 	if err != nil {
 		return false, nil, err
 	}

@@ -17,40 +17,16 @@
 //     only chooses which.
 package sched
 
-import "fmt"
+import "repro/internal/platform"
 
-// Platform describes the execution platform.
-type Platform struct {
-	// Cores is m, the number of identical host cores.
-	Cores int
-	// Devices is the number of accelerator devices. 0 means a homogeneous
-	// platform where Offload nodes execute on host cores. The paper's
-	// model has exactly 1; the multi-device extension allows more.
-	Devices int
-}
+// Platform describes the execution platform. It is the shared
+// platform.Platform type; the alias keeps this package's historical name
+// working for simulator callers.
+type Platform = platform.Platform
 
 // Hetero returns the paper's platform: m host cores and one accelerator.
-func Hetero(m int) Platform { return Platform{Cores: m, Devices: 1} }
+func Hetero(m int) Platform { return platform.Hetero(m) }
 
 // Homogeneous returns an m-core host-only platform; offload nodes are
 // executed by the host as if they were regular nodes.
-func Homogeneous(m int) Platform { return Platform{Cores: m} }
-
-// Validate checks the platform is usable.
-func (p Platform) Validate() error {
-	if p.Cores < 1 {
-		return fmt.Errorf("sched: platform needs at least 1 core, got %d", p.Cores)
-	}
-	if p.Devices < 0 {
-		return fmt.Errorf("sched: negative device count %d", p.Devices)
-	}
-	return nil
-}
-
-// String renders the platform compactly, e.g. "m=4+1dev".
-func (p Platform) String() string {
-	if p.Devices == 0 {
-		return fmt.Sprintf("m=%d", p.Cores)
-	}
-	return fmt.Sprintf("m=%d+%ddev", p.Cores, p.Devices)
-}
+func Homogeneous(m int) Platform { return platform.Homogeneous(m) }

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/taskgen"
 	"repro/internal/transform"
@@ -48,7 +49,7 @@ func TestSimulateFig1BreadthFirstIsPaperWorstCase(t *testing.T) {
 	if err := r.CheckWorkConserving(g); err != nil {
 		t.Fatal(err)
 	}
-	naive, err := rta.Naive(g, 2)
+	naive, err := rta.Naive(g, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -100,7 +101,7 @@ func TestSimulateHomogeneousRunsOffloadOnHost(t *testing.T) {
 	if r.Makespan != 12 {
 		t.Fatalf("makespan = %d, want 12", r.Makespan)
 	}
-	if rh := rta.Rhom(g, 2); float64(r.Makespan) > rh {
+	if rh := rta.Rhom(g, platform.Hetero(2)); float64(r.Makespan) > rh {
 		t.Fatalf("homogeneous makespan %d exceeds Rhom %v", r.Makespan, rh)
 	}
 }
@@ -295,8 +296,8 @@ func TestGrahamBoundHolds(t *testing.T) {
 			t.Fatal(err)
 		}
 		for _, m := range []int{2, 4, 8} {
-			rhom := rta.Rhom(g, m)
-			het, err := rta.Rhet(tr, m)
+			rhom := rta.Rhom(g, platform.Hetero(m))
+			het, err := rta.Rhet(tr, platform.Hetero(m))
 			if err != nil {
 				t.Fatal(err)
 			}

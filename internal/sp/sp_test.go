@@ -5,6 +5,7 @@ import (
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
 )
@@ -214,7 +215,7 @@ func TestRhomCondSafeForEveryScenario(t *testing.T) {
 					t.Fatalf("trial %d m=%d: sim %d > conditional bound %v", trial, m, sim.Makespan, bound)
 				}
 				// Consistency with package rta on the expanded DAG.
-				if rg := rta.Rhom(g, m); rg > bound+1e-9 {
+				if rg := rta.Rhom(g, platform.Homogeneous(m)); rg > bound+1e-9 {
 					t.Fatalf("trial %d m=%d: rta.Rhom %v > conditional bound %v", trial, m, rg, bound)
 				}
 			}
@@ -243,7 +244,7 @@ func TestOffloadLeafThroughPipeline(t *testing.T) {
 	if _, ok := g.OffloadNode(); !ok {
 		t.Fatal("offload leaf lost in expansion")
 	}
-	a, err := rta.Analyze(g, 2)
+	a, err := rta.Analyze(g, platform.Hetero(2))
 	if err != nil {
 		t.Fatal(err)
 	}

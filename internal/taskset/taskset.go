@@ -24,15 +24,15 @@ import (
 	"fmt"
 	"sort"
 
+	"repro/internal/platform"
 	"repro/internal/rta"
 )
 
-// System is a set of sporadic DAG tasks sharing a platform of M host cores
-// and Devices accelerator devices.
+// System is a set of sporadic DAG tasks sharing an execution platform
+// (host cores plus accelerator devices).
 type System struct {
-	Tasks   []rta.Task
-	M       int
-	Devices int
+	Tasks    []rta.Task
+	Platform platform.Platform
 }
 
 // Grant is the outcome of the federated allocation for one task.
@@ -68,8 +68,8 @@ const MaxCoresPerTask = 1024
 // system is not schedulable under this analysis (which is sufficient, not
 // necessary).
 func Allocate(sys System) (*Allocation, error) {
-	if sys.M < 1 {
-		return nil, fmt.Errorf("taskset: platform has %d cores", sys.M)
+	if err := sys.Platform.Validate(); err != nil {
+		return nil, fmt.Errorf("taskset: %w", err)
 	}
 	for i, t := range sys.Tasks {
 		if err := t.Validate(); err != nil {
@@ -78,7 +78,7 @@ func Allocate(sys System) (*Allocation, error) {
 	}
 
 	// Device budget: how many offloading tasks may keep their accelerator.
-	devicesLeft := sys.Devices
+	devicesLeft := sys.Platform.Devices
 
 	// Process heavy tasks in decreasing utilization (classic federated
 	// order; allocation order does not affect feasibility here but makes
@@ -137,10 +137,10 @@ func Allocate(sys System) (*Allocation, error) {
 		alloc.Grants[i] = g
 	}
 
-	alloc.SharedCores = sys.M - alloc.DedicatedCores
+	alloc.SharedCores = sys.Platform.Cores - alloc.DedicatedCores
 	if alloc.SharedCores < 0 {
 		return nil, fmt.Errorf("taskset: heavy tasks need %d cores, platform has %d",
-			alloc.DedicatedCores, sys.M)
+			alloc.DedicatedCores, sys.Platform.Cores)
 	}
 	// Light tasks: partitioned bin check via the standard federated
 	// sufficient condition — total light utilization ≤ shared cores
@@ -160,7 +160,7 @@ func Allocate(sys System) (*Allocation, error) {
 func minCores(t rta.Task, useDevice bool) (cores int, r float64, usedDev bool, err error) {
 	for m := 1; m <= MaxCoresPerTask; m++ {
 		if useDevice {
-			ok, a, err := t.SchedulableHet(m)
+			ok, a, err := t.SchedulableHet(platform.Hetero(m))
 			if err != nil {
 				return 0, 0, false, err
 			}
@@ -169,12 +169,12 @@ func minCores(t rta.Task, useDevice bool) (cores int, r float64, usedDev bool, e
 			}
 			// Also accept via Rhom at this m: for small COff the
 			// homogeneous bound can be the tighter one (paper §5.4).
-			if ok2, r2 := t.SchedulableHom(m); ok2 {
+			if ok2, r2 := t.SchedulableHom(platform.Homogeneous(m)); ok2 {
 				return m, r2, false, nil
 			}
 			continue
 		}
-		if ok, r2 := t.SchedulableHom(m); ok {
+		if ok, r2 := t.SchedulableHom(platform.Homogeneous(m)); ok {
 			return m, r2, false, nil
 		}
 	}

@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"repro/internal/dag"
+	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/taskgen"
 )
@@ -26,7 +27,7 @@ func mkTask(t testing.TB, seed int64, frac, slack float64) rta.Task {
 
 func TestAllocateSingleHeavyTask(t *testing.T) {
 	tk := mkTask(t, 1, 0.3, 0.5) // deadline = vol/2 → heavy (U = 2)
-	sys := System{Tasks: []rta.Task{tk}, M: 16, Devices: 1}
+	sys := System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 16, Devices: 1}}
 	alloc, err := Allocate(sys)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
@@ -44,11 +45,11 @@ func TestAllocateSingleHeavyTask(t *testing.T) {
 	// Minimality: one fewer core must not be schedulable by the same path.
 	if g.Cores > 1 {
 		m := g.Cores - 1
-		okHet, _, err := tk.SchedulableHet(m)
+		okHet, _, err := tk.SchedulableHet(platform.Hetero(m))
 		if err != nil {
 			t.Fatal(err)
 		}
-		okHom, _ := tk.SchedulableHom(m)
+		okHom, _ := tk.SchedulableHom(platform.Homogeneous(m))
 		if okHet || okHom {
 			t.Fatalf("grant of %d cores not minimal: %d suffices", g.Cores, m)
 		}
@@ -61,7 +62,7 @@ func TestAllocateLightTasksShareCores(t *testing.T) {
 	for s := int64(0); s < 3; s++ {
 		tasks = append(tasks, mkTask(t, 10+s, 0.2, 4))
 	}
-	alloc, err := Allocate(System{Tasks: tasks, M: 2, Devices: 1})
+	alloc, err := Allocate(System{Tasks: tasks, Platform: platform.Platform{Cores: 2, Devices: 1}})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -80,7 +81,7 @@ func TestAllocateRejectsOverload(t *testing.T) {
 	b := g.AddNode("", 50, dag.Host)
 	g.MustAddEdge(a, b)
 	tk := rta.Task{G: g, Period: 60, Deadline: 60} // len = 100 > 60
-	_, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 1})
+	_, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 1}})
 	if err == nil {
 		t.Fatal("admitted task with deadline below critical path")
 	}
@@ -90,7 +91,7 @@ func TestAllocateRejectsTooFewCores(t *testing.T) {
 	// Two heavy tasks each needing several cores on a tiny platform.
 	t1 := mkTask(t, 21, 0.1, 0.4)
 	t2 := mkTask(t, 22, 0.1, 0.4)
-	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 2, Devices: 1})
+	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 2, Devices: 1}})
 	if err == nil {
 		t.Fatal("admitted two heavy tasks on 2 cores")
 	}
@@ -100,7 +101,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 	// Two heavy offloading tasks, one device: at most one grant may use it.
 	t1 := mkTask(t, 31, 0.4, 0.6)
 	t2 := mkTask(t, 32, 0.4, 0.6)
-	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 64, Devices: 1})
+	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 64, Devices: 1}})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -114,7 +115,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 		t.Fatalf("%d grants use the single device", used)
 	}
 	// With two devices both may use one.
-	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, M: 64, Devices: 2})
+	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 64, Devices: 2}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,11 +134,11 @@ func TestHetAnalysisSavesCores(t *testing.T) {
 	// A task whose offloaded share is large: the heterogeneous analysis
 	// should need no more dedicated cores than the homogeneous one.
 	tk := mkTask(t, 41, 0.5, 0.7)
-	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 1})
+	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, M: 64, Devices: 0})
+	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 0}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -148,11 +149,11 @@ func TestHetAnalysisSavesCores(t *testing.T) {
 }
 
 func TestAllocateValidatesInput(t *testing.T) {
-	if _, err := Allocate(System{M: 0}); err == nil {
+	if _, err := Allocate(System{}); err == nil {
 		t.Fatal("accepted 0-core platform")
 	}
 	bad := rta.Task{G: nil, Period: 1, Deadline: 1}
-	if _, err := Allocate(System{Tasks: []rta.Task{bad}, M: 4}); err == nil {
+	if _, err := Allocate(System{Tasks: []rta.Task{bad}, Platform: platform.Homogeneous(4)}); err == nil {
 		t.Fatal("accepted nil-graph task")
 	}
 }
@@ -170,7 +171,7 @@ func TestRhetMonotoneInCores(t *testing.T) {
 		}
 		prevHom, prevHet := -1.0, -1.0
 		for m := 1; m <= 32; m *= 2 {
-			a, err := rta.Analyze(g, m)
+			a, err := rta.Analyze(g, platform.Hetero(m))
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,0 +1,133 @@
+package hetrta
+
+// Report is the JSON-serializable outcome of one Analyzer.Analyze call: the
+// graph's metrics, every requested bound, the Algorithm 1 transformation
+// summary, and — when the Analyzer was configured for them — simulation and
+// exact-oracle results. Rich in-memory objects (the transformation, full
+// simulation schedules) ride along in fields excluded from JSON so CLI
+// front-ends can render Gantt charts without recomputing.
+type Report struct {
+	// Platform is the execution platform the report was computed for.
+	Platform Platform `json:"platform"`
+	// Graph summarizes the analyzed task graph (after transitive
+	// reduction).
+	Graph GraphSummary `json:"graph"`
+	// Bounds holds one entry per configured Bound, in WithBounds order.
+	Bounds []BoundResult `json:"bounds"`
+	// Transform summarizes τ ⇒ τ' when the graph has exactly one offload
+	// node.
+	Transform *TransformSummary `json:"transform,omitempty"`
+	// Simulation is present when the Analyzer has a policy (WithPolicy).
+	Simulation *SimulationReport `json:"simulation,omitempty"`
+	// Exact is present when the Analyzer has an exact budget
+	// (WithExactBudget).
+	Exact *ExactReport `json:"exact,omitempty"`
+	// Err records the per-graph failure inside an AnalyzeBatch, which
+	// reports errors item-by-item instead of failing the whole batch. A
+	// report with Err set has no other fields populated beyond Platform.
+	Err string `json:"error,omitempty"`
+
+	// TransformResult is the full transformation behind Transform.
+	TransformResult *Transformation `json:"-"`
+	// SimOriginal and SimTransformed are the full schedules behind
+	// Simulation (SimTransformed is nil when there is no transformation).
+	SimOriginal    *SimResult `json:"-"`
+	SimTransformed *SimResult `json:"-"`
+	// ExactResult is the full oracle outcome behind Exact.
+	ExactResult *ExactResult `json:"-"`
+}
+
+// GraphSummary captures the analyzed graph's headline metrics.
+type GraphSummary struct {
+	Nodes int `json:"nodes"`
+	Edges int `json:"edges"`
+	// ReducedEdges counts redundant edges removed by the transitive
+	// reduction the Analyzer applies before analysis.
+	ReducedEdges int   `json:"reducedEdges,omitempty"`
+	Volume       int64 `json:"volume"`
+	// CriticalPath is len(G).
+	CriticalPath int64 `json:"criticalPath"`
+	// Offload describes vOff for single-offload graphs; nil for
+	// homogeneous graphs. Multi-offload graphs list every node in
+	// Offloads instead.
+	Offload *OffloadSummary `json:"offload,omitempty"`
+	// Offloads is the number of offload nodes (0, 1, or more).
+	Offloads int `json:"offloads"`
+}
+
+// OffloadSummary describes the accelerator workload vOff.
+type OffloadSummary struct {
+	Node int    `json:"node"`
+	Name string `json:"name,omitempty"`
+	COff int64  `json:"cOff"`
+	// Frac is COff / vol(G).
+	Frac float64 `json:"frac"`
+}
+
+// TransformSummary captures the structural outcome of Algorithm 1.
+type TransformSummary struct {
+	// Sync is the ID of the inserted vsync node in the transformed graph.
+	Sync int `json:"sync"`
+	// LenPrime and VolPrime are len(G') and vol(G').
+	LenPrime int64 `json:"lenPrime"`
+	VolPrime int64 `json:"volPrime"`
+	// ParNodes lists GPar's nodes (original IDs); LenPar/VolPar are its
+	// critical path and volume.
+	ParNodes []int `json:"parNodes"`
+	LenPar   int64 `json:"lenPar"`
+	VolPar   int64 `json:"volPar"`
+}
+
+// SimulationReport captures the discrete-event simulation results.
+type SimulationReport struct {
+	// Policy is the scheduling policy name.
+	Policy string `json:"policy"`
+	// Makespan is the simulated response of the original task τ.
+	Makespan int64 `json:"makespan"`
+	// MakespanTransformed is the simulated response of τ'; 0 when no
+	// transformation applies.
+	MakespanTransformed int64 `json:"makespanTransformed,omitempty"`
+}
+
+// ExactReport captures the exact-oracle outcome.
+type ExactReport struct {
+	// Makespan is the best makespan found for τ.
+	Makespan int64 `json:"makespan"`
+	// Status is "optimal" or "feasible" (budget expired).
+	Status string `json:"status"`
+	// LowerBound is a proven lower bound on the optimum.
+	LowerBound int64 `json:"lowerBound"`
+	// Expansions is the branch-and-bound effort spent.
+	Expansions int64 `json:"expansions"`
+}
+
+// Bound returns the named bound's result, if present.
+func (r *Report) Bound(name string) (BoundResult, bool) {
+	for _, b := range r.Bounds {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return BoundResult{}, false
+}
+
+// BoundValue returns the named bound's value; ok is false when the bound is
+// absent or was skipped.
+func (r *Report) BoundValue(name string) (float64, bool) {
+	b, found := r.Bound(name)
+	if !found || b.Skipped != "" {
+		return 0, false
+	}
+	return b.Value, true
+}
+
+// Schedulable reports whether the named bound certifies the deadline
+// (bound ≤ deadline); ok is false when the bound is absent, skipped, or
+// unsafe (an unsafe bound certifies nothing).
+func (r *Report) Schedulable(name string, deadline int64) (schedulable, ok bool) {
+	b, found := r.Bound(name)
+	if !found || b.Skipped != "" || b.Unsafe {
+		return false, false
+	}
+	return b.Value <= float64(deadline), true
+}
