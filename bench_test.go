@@ -32,6 +32,7 @@ func benchCfg() experiments.Config {
 // BenchmarkFig6 regenerates Figure 6 (breadth-first simulation of τ vs τ').
 func BenchmarkFig6(b *testing.B) {
 	cfg := benchCfg()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig6(context.Background(), cfg, nil); err != nil {
 			b.Fatal(err)
@@ -44,6 +45,7 @@ func BenchmarkFig7(b *testing.B) {
 	cfg := benchCfg()
 	cfg.TasksPerPoint = 4
 	panels := []experiments.Fig7Panel{{Platform: platform.Hetero(2), NMin: 3, NMax: 18}}
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig7(context.Background(), cfg, panels); err != nil {
 			b.Fatal(err)
@@ -54,6 +56,7 @@ func BenchmarkFig7(b *testing.B) {
 // BenchmarkFig8 regenerates Figure 8 (scenario occurrence).
 func BenchmarkFig8(b *testing.B) {
 	cfg := benchCfg()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig8(context.Background(), cfg); err != nil {
 			b.Fatal(err)
@@ -64,6 +67,7 @@ func BenchmarkFig8(b *testing.B) {
 // BenchmarkFig9 regenerates Figure 9 (Rhom vs Rhet percentage change).
 func BenchmarkFig9(b *testing.B) {
 	cfg := benchCfg()
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig9(context.Background(), cfg); err != nil {
 			b.Fatal(err)
@@ -114,6 +118,58 @@ func BenchmarkSimulate(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := sched.Simulate(g, sched.Hetero(8), sched.BreadthFirst()); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAncestors measures single-node reachability (a bitset DFS) on a
+// ~200-node task, the primitive behind Algorithm 1's Pred(vOff).
+func BenchmarkAncestors(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	sink := g.Sinks()[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Ancestors(sink)
+	}
+}
+
+// BenchmarkParallelNodes measures the GPar vertex-set computation
+// (ancestors + descendants + word-wise complement).
+func BenchmarkParallelNodes(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	vOff, _ := g.OffloadNode()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.ParallelNodes(vOff)
+	}
+}
+
+// BenchmarkTopoOrderCached measures the steady-state cost of TopoOrder on
+// an unmutated graph: a property-cache hit, which must not allocate.
+func BenchmarkTopoOrderCached(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	g.TopoOrder()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok := g.TopoOrder(); !ok {
+			b.Fatal("cyclic")
+		}
+	}
+}
+
+// BenchmarkPropsRecompute measures a full property-cache rebuild (topo
+// order, volume, longest paths) after a mutation invalidates it.
+func BenchmarkPropsRecompute(b *testing.B) {
+	g := benchTask(b, 150, 0.2)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.SetWCET(0, int64(1+i%7)) // invalidate
+		if _, ok := g.TopoOrder(); !ok {
+			b.Fatal("cyclic")
 		}
 	}
 }

@@ -1,0 +1,311 @@
+// Command benchreport runs the repository's benchmark suite with -benchmem,
+// emits a machine-readable JSON report (ns/op, B/op, allocs/op per
+// benchmark), and compares it against a baseline report, failing on
+// allocation regressions. It is the benchmark-regression harness: each PR
+// commits a BENCH_<n>.json, and CI re-runs the suite against the committed
+// file so an alloc/op regression larger than -threshold× fails the build.
+//
+// Usage:
+//
+//	benchreport -out BENCH_3.json                     # run, write, compare vs BENCH_2.json
+//	benchreport -out report.json -baseline BENCH_2.json
+//	benchreport -input bench.txt -out report.json     # parse an existing `go test -bench` log
+//
+// When -baseline is empty and -out matches BENCH_<n>.json, the baseline
+// defaults to the BENCH_<k>.json with the largest k < n in the same
+// directory (no comparison if none exists). Only allocs/op regressions fail
+// the run: ns/op is too noisy on shared CI hardware, while allocation
+// counts are deterministic for deterministic code.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// Benchmark is one parsed benchmark result.
+type Benchmark struct {
+	// Name is the benchmark name with any -GOMAXPROCS suffix stripped,
+	// e.g. "BenchmarkAnalyze" or "BenchmarkAblationPolicies/lifo".
+	Name string `json:"name"`
+	// Iterations is b.N for the measured run.
+	Iterations int64 `json:"iterations"`
+	// NsPerOp, BytesPerOp and AllocsPerOp are the standard -benchmem
+	// metrics.
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Delta compares one benchmark between the current and the baseline run.
+type Delta struct {
+	Name string `json:"name"`
+	// NsRatio and AllocsRatio are current/baseline; 1.0 means unchanged,
+	// <1 is an improvement.
+	NsRatio     float64 `json:"ns_ratio"`
+	AllocsRatio float64 `json:"allocs_ratio"`
+	// Regressed marks an allocs/op ratio above the threshold.
+	Regressed bool `json:"regressed,omitempty"`
+}
+
+// Report is the emitted JSON document.
+type Report struct {
+	Schema     string      `json:"schema"`
+	GoVersion  string      `json:"go_version"`
+	Benchmarks []Benchmark `json:"benchmarks"`
+	// BaselineFile and Deltas are present when a baseline was compared.
+	BaselineFile string  `json:"baseline_file,omitempty"`
+	Deltas       []Delta `json:"deltas,omitempty"`
+	// MissingFromCurrent lists baseline benchmarks absent from this run —
+	// a renamed or deleted benchmark silently leaves the gate otherwise.
+	MissingFromCurrent []string `json:"missing_from_current,omitempty"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("benchreport", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		out       = fs.String("out", "", "output JSON path (required), e.g. BENCH_2.json")
+		baseline  = fs.String("baseline", "", "baseline JSON to compare against (default: previous BENCH_<k>.json next to -out)")
+		input     = fs.String("input", "", "parse this `go test -bench` output file instead of running the suite")
+		pkg       = fs.String("pkg", ".", "package to benchmark")
+		bench     = fs.String("bench", ".", "-bench regexp")
+		benchtime = fs.String("benchtime", "1x", "-benchtime value")
+		threshold = fs.Float64("threshold", 2.0, "fail when allocs/op exceeds threshold × baseline")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *out == "" {
+		fmt.Fprintln(stderr, "benchreport: -out is required")
+		return 2
+	}
+
+	var raw []byte
+	var err error
+	if *input != "" {
+		raw, err = os.ReadFile(*input)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+	} else {
+		cmd := exec.Command("go", "test", "-run", "^$", "-bench", *bench,
+			"-benchtime", *benchtime, "-benchmem", *pkg)
+		cmd.Stderr = stderr
+		raw, err = cmd.Output()
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport: go test -bench:", err)
+			return 1
+		}
+	}
+
+	benches, err := parseBench(string(raw))
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	if len(benches) == 0 {
+		fmt.Fprintln(stderr, "benchreport: no benchmark lines found")
+		return 1
+	}
+
+	rep := &Report{
+		Schema:     "benchreport/v1",
+		GoVersion:  runtime.Version(),
+		Benchmarks: benches,
+	}
+
+	base := *baseline
+	if base == "" {
+		base = previousReport(*out)
+	}
+	regressed := false
+	if base != "" {
+		prev, err := readReport(base)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		rep.BaselineFile = filepath.Base(base)
+		rep.Deltas, rep.MissingFromCurrent, regressed = compare(prev.Benchmarks, benches, *threshold)
+		for _, name := range rep.MissingFromCurrent {
+			fmt.Fprintf(stderr, "benchreport: warning: baseline benchmark %s missing from this run (renamed or deleted?)\n", name)
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+
+	printSummary(stdout, rep)
+	if regressed {
+		fmt.Fprintf(stderr, "benchreport: allocs/op regression above %.1f× baseline %s\n", *threshold, base)
+		return 1
+	}
+	return 0
+}
+
+// benchLine matches standard testing output, e.g.
+//
+//	BenchmarkFig6-4   2   58965415 ns/op   86468300 B/op   857633 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark\S*?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(?:\s+(\d+) B/op)?(?:\s+(\d+) allocs/op)?`)
+
+// parseBench extracts benchmark results from `go test -bench` output.
+func parseBench(out string) ([]Benchmark, error) {
+	var benches []Benchmark
+	for _, line := range strings.Split(out, "\n") {
+		m := benchLine.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("parsing %q: %w", line, err)
+		}
+		b := Benchmark{Name: m[1], Iterations: iters, NsPerOp: ns}
+		if m[4] != "" {
+			b.BytesPerOp, _ = strconv.ParseInt(m[4], 10, 64)
+		}
+		if m[5] != "" {
+			b.AllocsPerOp, _ = strconv.ParseInt(m[5], 10, 64)
+		}
+		benches = append(benches, b)
+	}
+	return benches, nil
+}
+
+// benchFileRE is the BENCH_<n>.json naming convention shared by -out and
+// baseline auto-discovery.
+var benchFileRE = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// previousReport finds the BENCH_<k>.json with the largest k below the
+// index of out (itself expected to look like .../BENCH_<n>.json). Returns
+// "" when out does not follow the convention or no predecessor exists.
+func previousReport(out string) string {
+	m := benchFileRE.FindStringSubmatch(filepath.Base(out))
+	if m == nil {
+		return ""
+	}
+	n, _ := strconv.Atoi(m[1])
+	dir := filepath.Dir(out)
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return ""
+	}
+	bestK := -1
+	best := ""
+	for _, e := range entries {
+		mm := benchFileRE.FindStringSubmatch(e.Name())
+		if mm == nil {
+			continue
+		}
+		k, _ := strconv.Atoi(mm[1])
+		if k < n && k > bestK {
+			bestK = k
+			best = filepath.Join(dir, e.Name())
+		}
+	}
+	return best
+}
+
+func readReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("decoding %s: %w", path, err)
+	}
+	return &rep, nil
+}
+
+// compare produces per-benchmark deltas (for benchmarks present in both
+// runs), the baseline benchmarks missing from the current run, and whether
+// any allocs/op ratio exceeds the threshold.
+func compare(baseline, current []Benchmark, threshold float64) (deltas []Delta, missing []string, regressed bool) {
+	prev := make(map[string]Benchmark, len(baseline))
+	for _, b := range baseline {
+		prev[b.Name] = b
+	}
+	seen := make(map[string]bool, len(current))
+	for _, b := range current {
+		seen[b.Name] = true
+		p, ok := prev[b.Name]
+		if !ok {
+			continue
+		}
+		d := Delta{Name: b.Name, NsRatio: ratio(b.NsPerOp, p.NsPerOp),
+			AllocsRatio: ratio(float64(b.AllocsPerOp), float64(p.AllocsPerOp))}
+		// A zero-alloc baseline is a hard promise (e.g. cache-hit paths):
+		// ANY allocation there regresses, ratio or no ratio.
+		if d.AllocsRatio > threshold || (p.AllocsPerOp == 0 && b.AllocsPerOp > 0) {
+			d.Regressed = true
+			regressed = true
+		}
+		deltas = append(deltas, d)
+	}
+	for _, b := range baseline {
+		if !seen[b.Name] {
+			missing = append(missing, b.Name)
+		}
+	}
+	sort.Strings(missing)
+	sort.Slice(deltas, func(i, j int) bool { return deltas[i].Name < deltas[j].Name })
+	return deltas, missing, regressed
+}
+
+// ratio returns cur/base. A zero base with nonzero cur has no meaningful
+// ratio; the absolute value is reported (compare flags that case as a
+// regression independently of the threshold).
+func ratio(cur, base float64) float64 {
+	if base == 0 {
+		if cur == 0 {
+			return 1
+		}
+		return cur
+	}
+	return cur / base
+}
+
+func printSummary(w io.Writer, rep *Report) {
+	fmt.Fprintf(w, "%-55s %14s %12s %12s\n", "benchmark", "ns/op", "B/op", "allocs/op")
+	for _, b := range rep.Benchmarks {
+		fmt.Fprintf(w, "%-55s %14.0f %12d %12d\n", b.Name, b.NsPerOp, b.BytesPerOp, b.AllocsPerOp)
+	}
+	if len(rep.Deltas) > 0 {
+		fmt.Fprintf(w, "\nvs %s (ratio, <1 is better):\n", rep.BaselineFile)
+		for _, d := range rep.Deltas {
+			mark := ""
+			if d.Regressed {
+				mark = "  REGRESSED"
+			}
+			fmt.Fprintf(w, "%-55s %8.2fx ns %8.2fx allocs%s\n", d.Name, d.NsRatio, d.AllocsRatio, mark)
+		}
+	}
+}

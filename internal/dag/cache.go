@@ -1,0 +1,117 @@
+package dag
+
+// Lazily computed, mutation-invalidated cache of the derived graph
+// properties the analyses query repeatedly: topological order, volume,
+// per-node longest path to the end / from the start, and the critical-path
+// length. The experiment sweeps call Volume/CriticalPathLength/TopoOrder on
+// the same graph many times per analysis; recomputing an O(V+E) walk per
+// call dominated the pre-cache profiles.
+//
+// # Invalidation rules
+//
+// Every mutating method of Graph (AddNode, AddEdge, RemoveEdge, SetWCET,
+// SetKind, SetName) bumps g.version. A cache snapshot records the version it
+// was computed at; a lookup whose version no longer matches recomputes from
+// scratch into a NEW snapshot. Cached slices are never mutated in place, so
+// a slice handed out before a mutation stays internally consistent (it
+// describes the pre-mutation graph) — callers must simply not write to it.
+//
+// All derived properties are computed together on the first query: they
+// share the topological order, each is O(V+E), and the analyses that need
+// one nearly always need the others.
+//
+// Concurrency: the cache is guarded by a mutex, so calling the read-only
+// property accessors from several goroutines remains safe (as it was before
+// the cache existed). Mutating methods are still not safe to call
+// concurrently with anything else.
+
+// propCache is one immutable snapshot of the derived properties.
+type propCache struct {
+	version uint64
+	// acyclic reports whether topo covers all nodes.
+	acyclic bool
+	// topo is a deterministic topological order (nil when cyclic).
+	topo []int
+	// volume is vol(G), the sum of all WCETs (valid even when cyclic).
+	volume int64
+	// toEnd[i] is the longest path starting at i, inclusive (nil when
+	// cyclic); fromStart[i] ends at i; through[i] passes through i.
+	toEnd, fromStart, through []int64
+	// cpl is len(G), the critical-path length (0 when cyclic).
+	cpl int64
+}
+
+// props returns the current property snapshot, computing it if the graph
+// has been mutated since the last query.
+func (g *Graph) props() *propCache {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if c := g.cache; c != nil && c.version == g.version {
+		return c
+	}
+	c := &propCache{version: g.version}
+	g.computeProps(c)
+	g.cache = c
+	return c
+}
+
+// computeProps fills c from the raw adjacency, touching no cached state.
+func (g *Graph) computeProps(c *propCache) {
+	n := len(g.nodes)
+	for i := range g.nodes {
+		c.volume += g.nodes[i].WCET
+	}
+
+	// Kahn's algorithm, IDs ascending for determinism (see TopoOrder).
+	indeg := make([]int, n)
+	for id := range g.nodes {
+		indeg[id] = len(g.preds[id])
+	}
+	order := make([]int, 0, n)
+	for id := 0; id < n; id++ {
+		if indeg[id] == 0 {
+			order = append(order, id)
+		}
+	}
+	for qi := 0; qi < len(order); qi++ {
+		u := order[qi]
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				order = append(order, v)
+			}
+		}
+	}
+	if len(order) != n {
+		// Cyclic: only volume is defined; the length accessors panic.
+		return
+	}
+	c.acyclic = true
+	c.topo = order
+
+	buf := make([]int64, 3*n)
+	c.toEnd, c.fromStart, c.through = buf[:n:n], buf[n:2*n:2*n], buf[2*n:]
+	for i := n - 1; i >= 0; i-- {
+		u := order[i]
+		var best int64
+		for _, v := range g.succs[u] {
+			if c.toEnd[v] > best {
+				best = c.toEnd[v]
+			}
+		}
+		c.toEnd[u] = best + g.nodes[u].WCET
+		if c.toEnd[u] > c.cpl {
+			c.cpl = c.toEnd[u]
+		}
+	}
+	for _, u := range order {
+		var best int64
+		for _, p := range g.preds[u] {
+			if c.fromStart[p] > best {
+				best = c.fromStart[p]
+			}
+		}
+		c.fromStart[u] = best + g.nodes[u].WCET
+		c.through[u] = c.fromStart[u] + c.toEnd[u] - g.nodes[u].WCET
+	}
+}

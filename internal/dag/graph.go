@@ -16,7 +16,9 @@ package dag
 
 import (
 	"fmt"
+	"iter"
 	"sort"
+	"sync"
 )
 
 // NodeKind distinguishes where a node executes and why it exists.
@@ -68,7 +70,20 @@ type Graph struct {
 	preds [][]int
 	// edgeCount caches the number of directed edges.
 	edgeCount int
+
+	// version counts mutations; the derived-property cache (cache.go)
+	// snapshots it to detect staleness. Every mutating method calls
+	// invalidate.
+	version uint64
+	// mu guards cache, keeping the read-only property accessors safe for
+	// concurrent use. Mutators are not safe to run concurrently.
+	mu    sync.Mutex
+	cache *propCache
 }
+
+// invalidate marks every cached derived property stale. Called by all
+// mutating methods; the next property query recomputes.
+func (g *Graph) invalidate() { g.version++ }
 
 // New returns an empty graph.
 func New() *Graph { return &Graph{} }
@@ -106,21 +121,57 @@ func (g *Graph) Name(id int) string {
 }
 
 // SetWCET updates the WCET of node id.
-func (g *Graph) SetWCET(id int, wcet int64) { g.nodes[id].WCET = wcet }
+func (g *Graph) SetWCET(id int, wcet int64) {
+	g.invalidate()
+	g.nodes[id].WCET = wcet
+}
 
 // SetKind updates the kind of node id.
-func (g *Graph) SetKind(id int, kind NodeKind) { g.nodes[id].Kind = kind }
+func (g *Graph) SetKind(id int, kind NodeKind) {
+	g.invalidate()
+	g.nodes[id].Kind = kind
+}
 
 // SetName updates the name of node id.
-func (g *Graph) SetName(id int, name string) { g.nodes[id].Name = name }
+func (g *Graph) SetName(id int, name string) {
+	g.invalidate()
+	g.nodes[id].Name = name
+}
 
 // AddNode appends a node and returns its ID.
 func (g *Graph) AddNode(name string, wcet int64, kind NodeKind) int {
+	g.invalidate()
 	id := len(g.nodes)
 	g.nodes = append(g.nodes, Node{ID: id, Name: name, WCET: wcet, Kind: kind})
-	g.succs = append(g.succs, nil)
-	g.preds = append(g.preds, nil)
+	// Regrowing after Reset recycles the old adjacency rows (truncated, but
+	// keeping their capacity) instead of allocating fresh ones.
+	if id < cap(g.succs) {
+		g.succs = g.succs[:id+1]
+		g.succs[id] = g.succs[id][:0]
+	} else {
+		g.succs = append(g.succs, nil)
+	}
+	if id < cap(g.preds) {
+		g.preds = g.preds[:id+1]
+		g.preds[id] = g.preds[id][:0]
+	} else {
+		g.preds = append(g.preds, nil)
+	}
 	return id
+}
+
+// Reset truncates g to an empty graph while retaining all allocated
+// capacity, including the per-node adjacency rows. Generate-and-retry loops
+// (e.g. the random task generator) reuse one graph across attempts so the
+// discarded attempts cost no allocations. Must not be called on graphs
+// whose adjacency may be shared (FromAdjacency rows are capacity-capped, so
+// regrowth never writes into a sibling row).
+func (g *Graph) Reset() {
+	g.invalidate()
+	g.nodes = g.nodes[:0]
+	g.succs = g.succs[:0]
+	g.preds = g.preds[:0]
+	g.edgeCount = 0
 }
 
 // AddEdge inserts the precedence constraint (u, v): u must complete before v
@@ -137,6 +188,7 @@ func (g *Graph) AddEdge(u, v int) error {
 	if g.HasEdge(u, v) {
 		return nil
 	}
+	g.invalidate()
 	g.succs[u] = insertSorted(g.succs[u], v)
 	g.preds[v] = insertSorted(g.preds[v], u)
 	g.edgeCount++
@@ -160,6 +212,7 @@ func (g *Graph) RemoveEdge(u, v int) bool {
 	if !ok {
 		return false
 	}
+	g.invalidate()
 	g.succs[u] = s
 	g.preds[v], _ = removeSorted(g.preds[v], u)
 	g.edgeCount--
@@ -197,6 +250,40 @@ func (g *Graph) Edges() [][2]int {
 		}
 	}
 	return out
+}
+
+// EachNode returns an iterator over the nodes in ID order. Unlike Nodes it
+// does not copy the node slice, so it is the right choice for hot loops:
+//
+//	for n := range g.EachNode() { ... }
+//
+// The graph must not be mutated during iteration.
+func (g *Graph) EachNode() iter.Seq[Node] {
+	return func(yield func(Node) bool) {
+		for _, n := range g.nodes {
+			if !yield(n) {
+				return
+			}
+		}
+	}
+}
+
+// EachEdge returns an iterator over every directed edge (u, v), ordered by
+// u then v. Unlike Edges it allocates nothing:
+//
+//	for u, v := range g.EachEdge() { ... }
+//
+// The graph must not be mutated during iteration.
+func (g *Graph) EachEdge() iter.Seq2[int, int] {
+	return func(yield func(int, int) bool) {
+		for u := range g.succs {
+			for _, v := range g.succs[u] {
+				if !yield(u, v) {
+					return
+				}
+			}
+		}
+	}
 }
 
 // Sources returns all nodes with no incoming edges, in ID order.
@@ -263,6 +350,66 @@ func (g *Graph) Clone() *Graph {
 		}
 	}
 	return c
+}
+
+// FromAdjacency builds a graph in one pass from a node slice and per-node
+// successor lists. Each succs[u] must be sorted ascending and duplicate-free
+// (the invariant AddEdge maintains); node IDs are re-assigned to the slice
+// index. Both inputs are copied, with all adjacency packed into two bulk
+// allocations, so construction is O(V+E) with O(1) allocations — the
+// fast path for algorithms like the DAG transformation that can compute
+// their output's full edge set up front instead of cloning and mutating.
+func FromAdjacency(nodes []Node, succs [][]int) (*Graph, error) {
+	n := len(nodes)
+	if len(succs) != n {
+		return nil, fmt.Errorf("dag: FromAdjacency: %d nodes but %d successor lists", n, len(succs))
+	}
+	g := &Graph{
+		nodes: make([]Node, n),
+		succs: make([][]int, n),
+		preds: make([][]int, n),
+	}
+	copy(g.nodes, nodes)
+	total := 0
+	indeg := make([]int, n)
+	for u, list := range succs {
+		g.nodes[u].ID = u
+		total += len(list)
+		prev := -1
+		for _, v := range list {
+			if v < 0 || v >= n {
+				return nil, fmt.Errorf("dag: FromAdjacency: edge (%d,%d) out of range [0,%d)", u, v, n)
+			}
+			if v == u {
+				return nil, fmt.Errorf("dag: FromAdjacency: self-loop on node %d", u)
+			}
+			if v <= prev {
+				return nil, fmt.Errorf("dag: FromAdjacency: successors of %d not sorted/unique at %d", u, v)
+			}
+			prev = v
+			indeg[v]++
+		}
+	}
+	g.edgeCount = total
+	succBack := make([]int, 0, total)
+	for u, list := range succs {
+		start := len(succBack)
+		succBack = append(succBack, list...)
+		g.succs[u] = succBack[start:len(succBack):len(succBack)]
+	}
+	predBack := make([]int, total)
+	off := 0
+	for v := 0; v < n; v++ {
+		g.preds[v] = predBack[off : off : off+indeg[v]]
+		off += indeg[v]
+	}
+	// Appending u ascending keeps every pred list sorted.
+	for u, list := range succs {
+		for _, v := range list {
+			g.preds[v] = append(g.preds[v], u)
+		}
+	}
+	return g, nil
 }
 
 // Equal reports whether g and h have identical node sequences and edge sets.

@@ -67,6 +67,12 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 			return err
 		}
 	}
-	*g = *tmp
+	// Adopt tmp's data field by field (Graph embeds a mutex, so whole-value
+	// assignment is off-limits), and invalidate any cached properties.
+	g.invalidate()
+	g.nodes = tmp.nodes
+	g.succs = tmp.succs
+	g.preds = tmp.preds
+	g.edgeCount = tmp.edgeCount
 	return nil
 }

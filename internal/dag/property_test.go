@@ -121,7 +121,7 @@ func TestQuickInducedSubgraphEdges(t *testing.T) {
 	f := func(v quickValue) bool {
 		g := v.g
 		// keep even IDs
-		keep := make(NodeSet)
+		keep := NewNodeSet()
 		for i := 0; i < g.NumNodes(); i += 2 {
 			keep.Add(i)
 		}

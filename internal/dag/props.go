@@ -1,6 +1,6 @@
 package dag
 
-// This file computes the two DAG properties the analysis is built on
+// This file exposes the two DAG properties the analysis is built on
 // (Section 2 of the paper):
 //
 //	vol(G) = Σ_{v∈V} C_v   — the volume: WCET of the task executed entirely
@@ -10,115 +10,63 @@ package dag
 //
 // plus the longest-path machinery needed to decide whether a given node
 // (vOff) belongs to a critical path, which selects between the scenarios of
-// Theorem 1.
+// Theorem 1. All of them are served from the lazily computed property cache
+// (cache.go), so repeated queries between mutations are O(1) and
+// allocation-free.
 
 // Volume returns vol(G): the sum of all node WCETs.
-func (g *Graph) Volume() int64 {
-	var v int64
-	for i := range g.nodes {
-		v += g.nodes[i].WCET
-	}
-	return v
-}
+func (g *Graph) Volume() int64 { return g.props().volume }
 
 // TopoOrder returns a topological order of the nodes (Kahn's algorithm,
 // smallest-ID-first for determinism) and ok=true, or nil and ok=false when
 // the graph contains a cycle.
+//
+// The returned slice is shared with the graph's property cache and must not
+// be modified.
 func (g *Graph) TopoOrder() (order []int, ok bool) {
-	n := g.NumNodes()
-	indeg := make([]int, n)
-	for id := range g.nodes {
-		indeg[id] = len(g.preds[id])
-	}
-	// Min-heap behaviour via a sorted frontier would be O(n log n); since
-	// successor lists are sorted and we scan IDs ascending, a simple queue
-	// seeded in ID order keeps output deterministic.
-	queue := make([]int, 0, n)
-	for id := 0; id < n; id++ {
-		if indeg[id] == 0 {
-			queue = append(queue, id)
-		}
-	}
-	order = make([]int, 0, n)
-	for len(queue) > 0 {
-		u := queue[0]
-		queue = queue[1:]
-		order = append(order, u)
-		for _, v := range g.succs[u] {
-			indeg[v]--
-			if indeg[v] == 0 {
-				queue = append(queue, v)
-			}
-		}
-	}
-	if len(order) != n {
-		return nil, false
-	}
-	return order, true
+	c := g.props()
+	return c.topo, c.acyclic
 }
 
 // IsAcyclic reports whether the graph has no directed cycles.
-func (g *Graph) IsAcyclic() bool {
-	_, ok := g.TopoOrder()
-	return ok
-}
+func (g *Graph) IsAcyclic() bool { return g.props().acyclic }
 
 // LongestToEnd returns, for every node i, the length of the longest path
 // that starts at i (inclusive of C_i), i.e. the paper's notion of remaining
 // critical path. It panics on cyclic graphs.
+//
+// The returned slice is shared with the graph's property cache and must not
+// be modified.
 func (g *Graph) LongestToEnd() []int64 {
-	order, ok := g.TopoOrder()
-	if !ok {
+	c := g.props()
+	if !c.acyclic {
 		panic("dag: LongestToEnd on cyclic graph")
 	}
-	out := make([]int64, g.NumNodes())
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		var best int64
-		for _, v := range g.succs[u] {
-			if out[v] > best {
-				best = out[v]
-			}
-		}
-		out[u] = best + g.nodes[u].WCET
-	}
-	return out
+	return c.toEnd
 }
 
 // LongestFromStart returns, for every node i, the length of the longest path
 // that ends at i (inclusive of C_i). It panics on cyclic graphs.
+//
+// The returned slice is shared with the graph's property cache and must not
+// be modified.
 func (g *Graph) LongestFromStart() []int64 {
-	order, ok := g.TopoOrder()
-	if !ok {
+	c := g.props()
+	if !c.acyclic {
 		panic("dag: LongestFromStart on cyclic graph")
 	}
-	out := make([]int64, g.NumNodes())
-	for _, u := range order {
-		var best int64
-		for _, p := range g.preds[u] {
-			if out[p] > best {
-				best = out[p]
-			}
-		}
-		out[u] = best + g.nodes[u].WCET
-	}
-	return out
+	return c.fromStart
 }
 
 // CriticalPathLength returns len(G): the maximum, over all paths, of the sum
-// of node WCETs along the path. An empty graph has length 0.
+// of node WCETs along the path. An empty graph has length 0. It panics on
+// cyclic graphs (as its underlying longest-path pass always did).
 func (g *Graph) CriticalPathLength() int64 {
-	if g.NumNodes() == 0 {
-		return 0
+	c := g.props()
+	if !c.acyclic && len(g.nodes) > 0 {
+		panic("dag: CriticalPathLength on cyclic graph")
 	}
-	toEnd := g.LongestToEnd()
-	var best int64
-	for _, l := range toEnd {
-		if l > best {
-			best = l
-		}
-	}
-	return best
+	return c.cpl
 }
 
 // CriticalPath returns one longest path as a node-ID sequence from a source
@@ -155,20 +103,25 @@ func (g *Graph) CriticalPath() []int {
 }
 
 // LongestPathThrough returns, for every node i, the length of the longest
-// source-to-sink path passing through i.
+// source-to-sink path passing through i. It panics on cyclic graphs.
+//
+// The returned slice is shared with the graph's property cache and must not
+// be modified.
 func (g *Graph) LongestPathThrough() []int64 {
-	toEnd := g.LongestToEnd()
-	fromStart := g.LongestFromStart()
-	out := make([]int64, g.NumNodes())
-	for i := range out {
-		out[i] = fromStart[i] + toEnd[i] - g.nodes[i].WCET
+	c := g.props()
+	if !c.acyclic {
+		panic("dag: LongestPathThrough on cyclic graph")
 	}
-	return out
+	return c.through
 }
 
 // OnCriticalPath reports whether node id lies on at least one critical path,
 // i.e. whether the longest source-to-sink path through id has length len(G).
 // This is the test selecting Scenario 1 versus Scenarios 2.x in Theorem 1.
 func (g *Graph) OnCriticalPath(id int) bool {
-	return g.LongestPathThrough()[id] == g.CriticalPathLength()
+	c := g.props()
+	if !c.acyclic {
+		panic("dag: OnCriticalPath on cyclic graph")
+	}
+	return c.through[id] == c.cpl
 }

@@ -9,19 +9,41 @@ package dag
 // order so results remain deterministic.
 func (g *Graph) InducedSubgraph(keep NodeSet) (*Graph, []int) {
 	newToOld := keep.Sorted()
-	oldToNew := make(map[int]int, len(newToOld))
-	sub := New()
+	oldToNew := make([]int, g.NumNodes())
+	for i := range oldToNew {
+		oldToNew[i] = -1
+	}
+	nodes := make([]Node, len(newToOld))
 	for newID, oldID := range newToOld {
-		n := g.nodes[oldID]
-		sub.AddNode(n.Name, n.WCET, n.Kind)
+		nodes[newID] = g.nodes[oldID]
 		oldToNew[oldID] = newID
 	}
+	succs := make([][]int, len(newToOld))
+	var edges int
 	for _, oldU := range newToOld {
 		for _, oldV := range g.succs[oldU] {
-			if nv, ok := oldToNew[oldV]; ok {
-				sub.MustAddEdge(oldToNew[oldU], nv)
+			if oldToNew[oldV] >= 0 {
+				edges++
 			}
 		}
+	}
+	back := make([]int, 0, edges)
+	for newU, oldU := range newToOld {
+		start := len(back)
+		for _, oldV := range g.succs[oldU] {
+			if nv := oldToNew[oldV]; nv >= 0 {
+				back = append(back, nv)
+			}
+		}
+		// Old IDs ascending map to new IDs ascending, so each list stays
+		// sorted.
+		succs[newU] = back[start:len(back):len(back)]
+	}
+	sub, err := FromAdjacency(nodes, succs)
+	if err != nil {
+		// keep's members are valid node IDs and g's lists are sorted, so
+		// this cannot happen.
+		panic("dag: InducedSubgraph: " + err.Error())
 	}
 	return sub, newToOld
 }
@@ -29,7 +51,7 @@ func (g *Graph) InducedSubgraph(keep NodeSet) (*Graph, []int) {
 // WithoutNode returns a copy of g with node id removed (and all its edges).
 // Remaining node IDs are re-densified; the returned map gives newID→oldID.
 func (g *Graph) WithoutNode(id int) (*Graph, []int) {
-	keep := make(NodeSet, g.NumNodes()-1)
+	keep := NewNodeSetWithMax(g.NumNodes())
 	for v := 0; v < g.NumNodes(); v++ {
 		if v != id {
 			keep.Add(v)

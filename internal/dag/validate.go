@@ -91,13 +91,10 @@ func (g *Graph) RedundantEdge() (u, v int, ok bool) {
 	if !topoOK {
 		return 0, 0, false
 	}
-	pos := make([]int, g.NumNodes())
-	for i, id := range order {
-		pos[id] = i
-	}
+	sc := newPathScratch(g.NumNodes(), order)
 	for _, uu := range order {
 		for _, vv := range g.succs[uu] {
-			if g.hasLongerPath(uu, vv, pos) {
+			if g.hasLongerPath(uu, vv, sc) {
 				return uu, vv, true
 			}
 		}
@@ -105,11 +102,36 @@ func (g *Graph) RedundantEdge() (u, v int, ok bool) {
 	return 0, 0, false
 }
 
-// hasLongerPath reports whether a u→v path of length ≥ 2 edges exists. pos
-// is a topological position table used to prune the search.
-func (g *Graph) hasLongerPath(u, v int, pos []int) bool {
-	seen := make(map[int]struct{})
-	var stack []int
+// pathScratch holds the per-query buffers of hasLongerPath so a caller
+// probing many edges (RedundantEdge, TransitiveReduction) allocates them
+// once instead of per edge.
+type pathScratch struct {
+	// pos is the topological position table used to prune the search.
+	pos []int
+	// seen marks visited nodes; cleared (O(n/64)) between queries.
+	seen  NodeSet
+	stack []int
+}
+
+func newPathScratch(n int, order []int) *pathScratch {
+	sc := &pathScratch{
+		pos:   make([]int, n),
+		seen:  NewNodeSetWithMax(n),
+		stack: make([]int, 0, n),
+	}
+	for i, id := range order {
+		sc.pos[id] = i
+	}
+	return sc
+}
+
+// hasLongerPath reports whether a u→v path of length ≥ 2 edges exists.
+func (g *Graph) hasLongerPath(u, v int, sc *pathScratch) bool {
+	for i := range sc.seen.words {
+		sc.seen.words[i] = 0
+	}
+	stack := sc.stack[:0]
+	pos := sc.pos
 	for _, w := range g.succs[u] {
 		if w != v && pos[w] < pos[v] {
 			stack = append(stack, w)
@@ -118,12 +140,13 @@ func (g *Graph) hasLongerPath(u, v int, pos []int) bool {
 	for len(stack) > 0 {
 		w := stack[len(stack)-1]
 		stack = stack[:len(stack)-1]
-		if _, dup := seen[w]; dup {
+		if sc.seen.Contains(w) {
 			continue
 		}
-		seen[w] = struct{}{}
+		sc.seen.Add(w)
 		for _, x := range g.succs[w] {
 			if x == v {
+				sc.stack = stack
 				return true
 			}
 			if pos[x] < pos[v] {
@@ -131,6 +154,7 @@ func (g *Graph) hasLongerPath(u, v int, pos []int) bool {
 			}
 		}
 	}
+	sc.stack = stack
 	return false
 }
 
@@ -142,15 +166,14 @@ func (g *Graph) TransitiveReduction() (removed int, err error) {
 	if !ok {
 		return 0, fmt.Errorf("dag: %w", ErrCyclic)
 	}
-	pos := make([]int, g.NumNodes())
-	for i, id := range order {
-		pos[id] = i
-	}
+	sc := newPathScratch(g.NumNodes(), order)
 	for _, u := range order {
-		// Copy because we mutate g.succs[u] while iterating.
+		// Copy because we mutate g.succs[u] while iterating. (Removing
+		// edges never changes topological positions, so sc.pos stays valid;
+		// order is a cache snapshot, safe across the mutations.)
 		targets := append([]int(nil), g.succs[u]...)
 		for _, v := range targets {
-			if g.hasLongerPath(u, v, pos) {
+			if g.hasLongerPath(u, v, sc) {
 				g.RemoveEdge(u, v)
 				removed++
 			}

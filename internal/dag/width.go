@@ -17,24 +17,9 @@ func (g *Graph) Width() int {
 		return 0
 	}
 	// Transitive closure as adjacency lists (left u → right v when u ≺ v).
-	order, ok := g.TopoOrder()
+	adj, ok := g.reachabilityAdj()
 	if !ok {
 		return 0
-	}
-	reach := make([]NodeSet, n)
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		reach[u] = make(NodeSet)
-		for _, w := range g.succs[u] {
-			reach[u].Add(w)
-			for x := range reach[w] {
-				reach[u].Add(x)
-			}
-		}
-	}
-	adj := make([][]int, n)
-	for u := 0; u < n; u++ {
-		adj[u] = reach[u].Sorted()
 	}
 	return n - hopcroftKarp(n, n, adj)
 }
@@ -49,24 +34,9 @@ func (g *Graph) MaxAntichain() []int {
 	if n == 0 {
 		return nil
 	}
-	order, ok := g.TopoOrder()
+	adj, ok := g.reachabilityAdj()
 	if !ok {
 		return nil
-	}
-	reach := make([]NodeSet, n)
-	for i := len(order) - 1; i >= 0; i-- {
-		u := order[i]
-		reach[u] = make(NodeSet)
-		for _, w := range g.succs[u] {
-			reach[u].Add(w)
-			for x := range reach[w] {
-				reach[u].Add(x)
-			}
-		}
-	}
-	adj := make([][]int, n)
-	for u := 0; u < n; u++ {
-		adj[u] = reach[u].Sorted()
 	}
 	matchL, matchR := hopcroftKarpMatch(n, n, adj)
 
@@ -102,6 +72,32 @@ func (g *Graph) MaxAntichain() []int {
 		}
 	}
 	return anti
+}
+
+// reachabilityAdj computes the transitive closure as left-to-right
+// adjacency lists (u → v when v is reachable from u), using word-wise
+// bitset unions along the reverse topological order. Returns ok=false on
+// cyclic graphs.
+func (g *Graph) reachabilityAdj() (adj [][]int, ok bool) {
+	order, ok := g.TopoOrder()
+	if !ok {
+		return nil, false
+	}
+	n := g.NumNodes()
+	reach := make([]NodeSet, n)
+	for i := len(order) - 1; i >= 0; i-- {
+		u := order[i]
+		reach[u] = NewNodeSetWithMax(n)
+		for _, w := range g.succs[u] {
+			reach[u].Add(w)
+			reach[u].UnionWith(reach[w])
+		}
+	}
+	adj = make([][]int, n)
+	for u := 0; u < n; u++ {
+		adj[u] = reach[u].Sorted()
+	}
+	return adj, true
 }
 
 // hopcroftKarp returns the size of a maximum matching in the bipartite

@@ -37,10 +37,11 @@
 package exact
 
 import (
+	"cmp"
 	"context"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 
 	"repro/internal/dag"
 	"repro/internal/sched"
@@ -74,6 +75,10 @@ type Options struct {
 	// MemoLimit caps the number of dominance records kept; 0 means the
 	// default. Lookups continue after the cap, insertions stop.
 	MemoLimit int
+	// CtxCheckEvery is how many node expansions pass between context
+	// cancellation checks; 0 means DefaultCtxCheckEvery. Cancellation is
+	// therefore honored within at most CtxCheckEvery further expansions.
+	CtxCheckEvery int64
 	// Unrestricted disables the Giffler–Thompson active-schedule branching
 	// restriction, enumerating all semi-active SGS orders. Exponentially
 	// slower; intended for cross-validating the restriction in tests.
@@ -86,10 +91,11 @@ const DefaultMaxExpansions = 500_000
 
 const defaultMemoLimit = 1 << 20
 
-// ctxCheckInterval is how many node expansions pass between context
-// cancellation checks: frequent enough that cancellation takes effect in
-// well under a millisecond, rare enough to stay off the dfs profile.
-const ctxCheckInterval = 1024
+// DefaultCtxCheckEvery is the context poll interval (in node expansions)
+// used when Options.CtxCheckEvery is zero: frequent enough that
+// cancellation takes effect in well under a millisecond, rare enough to
+// stay off the dfs profile.
+const DefaultCtxCheckEvery = 1024
 
 // Result is the outcome of MinMakespan.
 type Result struct {
@@ -112,7 +118,7 @@ type Result struct {
 //
 // The search honors ctx: cancelling it makes MinMakespan return promptly
 // with ctx's error (the branch-and-bound checks the context every
-// ctxCheckInterval node expansions), discarding any partial result.
+// Options.CtxCheckEvery node expansions), discarding any partial result.
 func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Options) (*Result, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
@@ -141,6 +147,7 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 		tail:         g.LongestToEnd(),
 		maxExp:       opts.MaxExpansions,
 		memoLimit:    opts.MemoLimit,
+		ctxEvery:     opts.CtxCheckEvery,
 		unrestricted: opts.Unrestricted,
 	}
 	if s.maxExp == 0 {
@@ -148,6 +155,9 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	}
 	if s.memoLimit == 0 {
 		s.memoLimit = defaultMemoLimit
+	}
+	if s.ctxEvery == 0 {
+		s.ctxEvery = DefaultCtxCheckEvery
 	}
 	s.isDev = make([]bool, n)
 	for v := 0; v < n; v++ {
@@ -197,8 +207,9 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	// Incumbent from the heuristic portfolio.
 	s.best = math.MaxInt64
 	pols := append(sched.Heuristics(), sched.Random(1), sched.Random(2))
+	var sc sched.Scratch
 	for _, pol := range pols {
-		r, err := sched.Simulate(g, p, pol)
+		r, err := sched.SimulateWith(&sc, g, p, pol)
 		if err != nil {
 			return nil, err
 		}
@@ -217,7 +228,8 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	}
 
 	// Branch and bound.
-	s.dfs(s.rootState())
+	s.initRoot()
+	s.dfs(0)
 	if s.ctxErr != nil {
 		return nil, s.ctxErr
 	}
@@ -257,12 +269,37 @@ type solver struct {
 
 	expansions   int64
 	maxExp       int64
+	ctxEvery     int64
 	aborted      bool
 	unrestricted bool
 
 	memo        map[uint64][][]int64
 	memoEntries int
 	memoLimit   int
+
+	// cur is THE search state: the dfs mutates it in place via
+	// applyTo/undo instead of cloning per branch, so descending one level
+	// costs an O(1) undo record rather than five slice copies.
+	cur state
+
+	// levels holds per-recursion-depth scratch (estimates, candidate
+	// lists); depth is bounded by the number of branchable nodes, so the
+	// buffers are allocated once and reused across the whole search.
+	levels []level
+
+	// Scratch for signature: the dominance vector is built in sigBuf and
+	// only copied when it is actually inserted into the memo; hostBuf and
+	// devBuf hold the sorted availability vectors.
+	sigBuf  []int64
+	hostBuf []int64
+	devBuf  []int64
+}
+
+// level is the per-depth scratch of one dfs frame.
+type level struct {
+	est      []int64
+	cands    []cand
+	filtered []cand
 }
 
 type state struct {
@@ -275,29 +312,57 @@ type state struct {
 	spans     []sched.Span // only populated during replay
 }
 
-func (s *solver) rootState() *state {
-	st := &state{
+// undoRec is what applyTo changed beyond the append-only order slice: the
+// previous mask and makespan, plus the single machine-availability slot the
+// branched node occupied. Finish times of newly scheduled nodes need no
+// restoration — finish is only ever read for nodes whose mask bit is set.
+type undoRec struct {
+	prevMask     uint64
+	prevMakespan int64
+	orderLen     int
+	machine      int // index into hostAvail/devAvail; -1 when nothing branched
+	isDev        bool
+	prevAvail    int64
+}
+
+// initRoot sets up the in-place search state and per-depth scratch.
+func (s *solver) initRoot() {
+	s.cur = state{
 		finish:    make([]int64, s.n),
 		hostAvail: make([]int64, s.p.Cores),
 		devAvail:  make([]int64, s.p.Devices),
+		order:     make([]int, 0, s.n),
 	}
-	s.scheduleFreeNodes(st)
-	return st
+	s.scheduleFreeNodes(&s.cur)
+	s.levels = make([]level, s.n+1)
+	s.sigBuf = make([]int64, 0, s.p.Cores+s.p.Devices+s.n+1)
+	s.hostBuf = make([]int64, 0, s.p.Cores)
+	s.devBuf = make([]int64, 0, s.p.Devices)
 }
 
-func (st *state) clone() *state {
-	c := &state{
-		mask:      st.mask,
-		finish:    append([]int64(nil), st.finish...),
-		hostAvail: append([]int64(nil), st.hostAvail...),
-		devAvail:  append([]int64(nil), st.devAvail...),
-		makespan:  st.makespan,
-		order:     append([]int(nil), st.order...),
+// levelAt returns depth d's scratch, allocating its buffers on first use.
+func (s *solver) levelAt(d int) *level {
+	l := &s.levels[d]
+	if l.est == nil {
+		l.est = make([]int64, s.n)
 	}
-	if st.spans != nil {
-		c.spans = append([]sched.Span(nil), st.spans...)
+	return l
+}
+
+// undo reverts applyTo. The zero-WCET nodes scheduled by the forced-move
+// cascade are undone by the mask restore alone.
+func (s *solver) undo(u undoRec) {
+	st := &s.cur
+	st.mask = u.prevMask
+	st.makespan = u.prevMakespan
+	st.order = st.order[:u.orderLen]
+	if u.machine >= 0 {
+		if u.isDev {
+			st.devAvail[u.machine] = u.prevAvail
+		} else {
+			st.hostAvail[u.machine] = u.prevAvail
+		}
 	}
-	return c
 }
 
 func (s *solver) scheduled(st *state, v int) bool { return st.mask&(1<<uint(v)) != 0 }
@@ -341,20 +406,20 @@ func (s *solver) scheduleFreeNodes(st *state) {
 	}
 }
 
-// apply schedules node v using the serial SGS rule and returns the
-// successor state (with forced zero-WCET moves applied).
-func (s *solver) apply(st *state, v int) *state {
-	c := st.clone()
+// applyTo schedules node v on st in place using the serial SGS rule (with
+// forced zero-WCET moves applied) and returns the undo record.
+func (s *solver) applyTo(st *state, v int) undoRec {
+	u := undoRec{prevMask: st.mask, prevMakespan: st.makespan, orderLen: len(st.order)}
 	var ready int64
 	for _, p := range s.g.Preds(v) {
-		if c.finish[p] > ready {
-			ready = c.finish[p]
+		if st.finish[p] > ready {
+			ready = st.finish[p]
 		}
 	}
-	avail := c.hostAvail
+	avail := st.hostAvail
 	resBase := 0
 	if s.isDev[v] {
-		avail = c.devAvail
+		avail = st.devAvail
 		resBase = s.p.Cores
 	}
 	// Earliest-available machine, lowest index on ties, for determinism.
@@ -364,26 +429,28 @@ func (s *solver) apply(st *state, v int) *state {
 			mi = i
 		}
 	}
+	u.machine, u.isDev, u.prevAvail = mi, s.isDev[v], avail[mi]
 	start := ready
 	if avail[mi] > start {
 		start = avail[mi]
 	}
 	fin := start + s.g.WCET(v)
 	avail[mi] = fin
-	c.mask |= 1 << uint(v)
-	c.finish[v] = fin
-	c.order = append(c.order, v)
-	if c.spans != nil {
-		c.spans[v] = sched.Span{Node: v, Start: start, Finish: fin, Resource: resBase + mi}
+	st.mask |= 1 << uint(v)
+	st.finish[v] = fin
+	st.order = append(st.order, v)
+	if st.spans != nil {
+		st.spans[v] = sched.Span{Node: v, Start: start, Finish: fin, Resource: resBase + mi}
 	}
-	if fin > c.makespan {
-		c.makespan = fin
+	if fin > st.makespan {
+		st.makespan = fin
 	}
-	s.scheduleFreeNodes(c)
-	return c
+	s.scheduleFreeNodes(st)
+	return u
 }
 
-// replay re-executes an SGS order with span recording enabled.
+// replay re-executes an SGS order with span recording enabled. It runs once
+// per incumbent improvement, so it allocates its own state.
 func (s *solver) replay(order []int) []sched.Span {
 	st := &state{
 		finish:    make([]int64, s.n),
@@ -393,16 +460,19 @@ func (s *solver) replay(order []int) []sched.Span {
 	}
 	s.scheduleFreeNodes(st)
 	for _, v := range order {
-		st = s.apply(st, v)
+		s.applyTo(st, v)
 	}
 	return st.spans
 }
 
 // estimates computes, for each unscheduled node, a lower bound on its start
 // time given the partial schedule: predecessors' (estimated) finishes and
-// the earliest machine availability of its class.
-func (s *solver) estimates(st *state) []int64 {
-	est := make([]int64, s.n)
+// the earliest machine availability of its class. The result is written
+// into est (one scratch slice per dfs depth).
+func (s *solver) estimates(st *state, est []int64) {
+	for i := range est {
+		est[i] = 0
+	}
 	minHost, minDev := int64(math.MaxInt64), int64(math.MaxInt64)
 	for _, a := range st.hostAvail {
 		if a < minHost {
@@ -441,7 +511,6 @@ func (s *solver) estimates(st *state) []int64 {
 		}
 		est[v] = e
 	}
-	return est
 }
 
 // lower computes the admissible bound pruning the node.
@@ -495,13 +564,15 @@ func (s *solver) lower(st *state, est []int64) int64 {
 // availability, so a finish below the relevant floor can never matter.
 // States differing only in such irrelevant finishes merge; this collapse is
 // what keeps small-m instances tractable.
+// The vector is built in the solver's scratch buffer, valid until the next
+// signature call; dominated copies it only on memo insertion.
 func (s *solver) signature(st *state) []int64 {
-	sig := make([]int64, 0, len(st.hostAvail)+len(st.devAvail)+8)
-	host := append([]int64(nil), st.hostAvail...)
-	sort.Slice(host, func(i, j int) bool { return host[i] < host[j] })
+	sig := s.sigBuf[:0]
+	host := append(s.hostBuf[:0], st.hostAvail...)
+	slices.Sort(host)
 	sig = append(sig, host...)
-	dev := append([]int64(nil), st.devAvail...)
-	sort.Slice(dev, func(i, j int) bool { return dev[i] < dev[j] })
+	dev := append(s.devBuf[:0], st.devAvail...)
+	slices.Sort(dev)
 	sig = append(sig, dev...)
 	minHost := int64(math.MaxInt64)
 	if len(host) > 0 {
@@ -539,6 +610,7 @@ func (s *solver) signature(st *state) []int64 {
 		}
 	}
 	sig = append(sig, st.makespan)
+	s.sigBuf = sig
 	return sig
 }
 
@@ -563,7 +635,8 @@ func (s *solver) dominated(st *state) bool {
 		}
 	}
 	if s.memoEntries < s.memoLimit {
-		s.memo[st.mask] = append(entries, sig)
+		// sig lives in the solver's scratch buffer; copy what we keep.
+		s.memo[st.mask] = append(entries, append([]int64(nil), sig...))
 		s.memoEntries++
 	}
 	return false
@@ -576,10 +649,11 @@ type cand struct {
 	tail int64
 }
 
-func (s *solver) dfs(st *state) {
+func (s *solver) dfs(depth int) {
 	if s.aborted {
 		return
 	}
+	st := &s.cur
 	full := uint64(1)<<uint(s.n) - 1
 	if st.mask == full {
 		if st.makespan < s.best {
@@ -593,14 +667,16 @@ func (s *solver) dfs(st *state) {
 		s.aborted = true
 		return
 	}
-	if s.expansions%ctxCheckInterval == 0 {
+	if s.expansions%s.ctxEvery == 0 {
 		if err := s.ctx.Err(); err != nil {
 			s.ctxErr = err
 			s.aborted = true
 			return
 		}
 	}
-	est := s.estimates(st)
+	lv := s.levelAt(depth)
+	est := lv.est
+	s.estimates(st, est)
 	if s.lower(st, est) >= s.best {
 		return
 	}
@@ -608,17 +684,19 @@ func (s *solver) dfs(st *state) {
 		return
 	}
 
-	var cands []cand
+	cands := lv.cands[:0]
 	for v := 0; v < s.n; v++ {
 		if s.scheduled(st, v) || s.g.WCET(v) == 0 || !s.ready(st, v) {
 			continue
 		}
 		cands = append(cands, cand{v: v, est: est[v], ect: est[v] + s.g.WCET(v), tail: s.tail[v]})
 	}
+	lv.cands = cands
 
 	// Giffler–Thompson active-schedule restriction: branch only on the
 	// class achieving the minimum earliest completion time, and only on
 	// its candidates that could start strictly before that completion.
+	// Filtered in place (writes trail reads).
 	if !s.unrestricted && len(cands) > 1 {
 		minECT := cands[0].ect
 		cls := s.isDev[cands[0].v]
@@ -628,7 +706,7 @@ func (s *solver) dfs(st *state) {
 				cls = s.isDev[c.v]
 			}
 		}
-		keep := make([]cand, 0, len(cands))
+		keep := cands[:0]
 		for _, c := range cands {
 			if s.isDev[c.v] == cls && c.est < minECT {
 				keep = append(keep, c)
@@ -640,7 +718,7 @@ func (s *solver) dfs(st *state) {
 	// Interchangeable-job symmetry breaking: among candidates with
 	// identical class, WCET, successor set, and estimated start, only the
 	// lowest ID branches.
-	filtered := make([]cand, 0, len(cands))
+	filtered := lv.filtered[:0]
 	for i, c := range cands {
 		dup := false
 		for j := 0; j < i; j++ {
@@ -656,18 +734,22 @@ func (s *solver) dfs(st *state) {
 			filtered = append(filtered, c)
 		}
 	}
-	sort.Slice(filtered, func(i, j int) bool {
-		a, b := filtered[i], filtered[j]
-		if a.est != b.est {
-			return a.est < b.est
+	lv.filtered = filtered
+	// The comparison is a total order (IDs are distinct), so the unstable
+	// sort is deterministic.
+	slices.SortFunc(filtered, func(a, b cand) int {
+		if c := cmp.Compare(a.est, b.est); c != 0 {
+			return c
 		}
-		if a.tail != b.tail {
-			return a.tail > b.tail
+		if c := cmp.Compare(b.tail, a.tail); c != 0 {
+			return c
 		}
-		return a.v < b.v
+		return a.v - b.v
 	})
 	for _, c := range filtered {
-		s.dfs(s.apply(st, c.v))
+		rec := s.applyTo(st, c.v)
+		s.dfs(depth + 1)
+		s.undo(rec)
 		if s.aborted {
 			return
 		}

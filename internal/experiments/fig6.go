@@ -46,6 +46,7 @@ func Fig6(ctx context.Context, cfg Config, mkPolicy func() sched.Policy) (*Fig6R
 		pt := pts[i]
 		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*pt.plat.Cores+pt.pi))
 		var orig, trans, fracs stats.Accumulator
+		var sc sched.Scratch
 		for k := 0; k < cfg.TasksPerPoint; k++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -58,11 +59,11 @@ func Fig6(ctx context.Context, cfg Config, mkPolicy func() sched.Policy) (*Fig6R
 			if err != nil {
 				return fmt.Errorf("fig6: %w", err)
 			}
-			ro, err := sched.Simulate(g, pt.plat, mkPolicy())
+			ro, err := sched.SimulateWith(&sc, g, pt.plat, mkPolicy())
 			if err != nil {
 				return err
 			}
-			rt, err := sched.Simulate(tr.Transformed, pt.plat, mkPolicy())
+			rt, err := sched.SimulateWith(&sc, tr.Transformed, pt.plat, mkPolicy())
 			if err != nil {
 				return err
 			}

@@ -67,6 +67,7 @@ func Naive(ctx context.Context, cfg Config, samples int) (*NaiveResult, error) {
 		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*pt.plat.Cores+pt.pi))
 		violated, hetViolated := 0, 0
 		var worst stats.Accumulator
+		var sc sched.Scratch
 		for k := 0; k < cfg.TasksPerPoint; k++ {
 			if err := ctx.Err(); err != nil {
 				return err
@@ -85,7 +86,7 @@ func Naive(ctx context.Context, cfg Config, samples int) (*NaiveResult, error) {
 			}
 			// Include the deterministic breadth-first schedule too —
 			// it is the Figure 1(c) culprit.
-			bf, err := sched.Simulate(g, pt.plat, sched.BreadthFirst())
+			bf, err := sched.SimulateWith(&sc, g, pt.plat, sched.BreadthFirst())
 			if err != nil {
 				return err
 			}

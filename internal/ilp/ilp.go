@@ -113,8 +113,8 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, horizon in
 	}
 
 	// Precedence: start(w) - start(v) ≥ C_v.
-	for _, e := range g.Edges() {
-		v, w := e[0], e[1]
+	for ev, ew := range g.EachEdge() {
+		v, w := ev, ew
 		terms := start(w)
 		for id, c := range start(v) {
 			terms[id] -= c

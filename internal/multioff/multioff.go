@@ -53,7 +53,7 @@ func TypedRhom(g *dag.Graph, p platform.Platform) (float64, error) {
 		return 0, fmt.Errorf("multioff: %w", dag.ErrCyclic)
 	}
 	var volHost, volDev float64
-	for _, n := range g.Nodes() {
+	for n := range g.EachNode() {
 		if n.Kind == dag.Offload {
 			volDev += float64(n.WCET)
 		} else {
@@ -152,9 +152,9 @@ func TransformAll(g *dag.Graph) (*MultiResult, error) {
 // survives in the multi-transformed graph and that each offload node is
 // gated by its synchronization node.
 func CheckTransformAll(g *dag.Graph, r *MultiResult) error {
-	for _, e := range g.Edges() {
-		if !r.Transformed.Reaches(e[0], e[1]) {
-			return fmt.Errorf("multioff: precedence (%d,%d) lost", e[0], e[1])
+	for u, v := range g.EachEdge() {
+		if !r.Transformed.Reaches(u, v) {
+			return fmt.Errorf("multioff: precedence (%d,%d) lost", u, v)
 		}
 	}
 	for vOff, vsync := range r.Syncs {

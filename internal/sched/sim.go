@@ -2,7 +2,7 @@ package sched
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/dag"
 )
@@ -32,11 +32,58 @@ type Result struct {
 	Platform Platform
 }
 
+// running is a node currently occupying a resource.
+type running struct {
+	node     int
+	finish   int64
+	resource int
+}
+
+// Scratch holds the per-simulation working buffers (in-degrees, ready
+// queues, free lists, running set). A single Scratch reused across many
+// simulations — as Sample and the exact solver's incumbent seeding do —
+// makes each run allocate only its Result and Spans. The zero value is
+// ready to use. A Scratch must not be shared between concurrent
+// simulations.
+type Scratch struct {
+	indeg     []int
+	released  []bool
+	hostReady []ReadyItem
+	devReady  []ReadyItem
+	freeHost  []int
+	freeDev   []int
+	run       []running
+	finishing []running
+}
+
+// intsReset returns s resized to n and zeroed.
+func intsReset(s []int, n int) []int {
+	s = slices.Grow(s[:0], n)[:n]
+	for i := range s {
+		s[i] = 0
+	}
+	return s
+}
+
+func boolsReset(s []bool, n int) []bool {
+	s = slices.Grow(s[:0], n)[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
+}
+
 // Simulate executes one instance of task graph g on platform p under the
 // given work-conserving policy and returns the schedule. The graph must be
 // acyclic. Offload nodes require p.Devices ≥ 1 unless the platform is
 // homogeneous (Devices == 0), in which case they run on host cores.
 func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
+	return SimulateWith(new(Scratch), g, p, pol)
+}
+
+// SimulateWith is Simulate using caller-provided working buffers, the
+// low-allocation path for tight simulation loops.
+func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
@@ -52,28 +99,23 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	// deviceNode reports whether a node needs a device on this platform.
 	deviceNode := func(v int) bool { return p.Devices > 0 && g.Kind(v) == dag.Offload }
 
-	indeg := make([]int, n)
+	sc.indeg = intsReset(sc.indeg, n)
+	indeg := sc.indeg
 	for v := 0; v < n; v++ {
 		indeg[v] = g.InDegree(v)
 	}
 	spans := make([]Span, n)
-	done := make([]bool, n)
-	var hostReady, devReady []ReadyItem
+	hostReady, devReady := sc.hostReady[:0], sc.devReady[:0]
 	seq := 0
 
 	// running nodes ordered by finish time (small n: linear scan heap-free).
-	type running struct {
-		node     int
-		finish   int64
-		resource int
-	}
-	var run []running
+	run := sc.run[:0]
 
-	freeHost := make([]int, 0, p.Cores)
+	freeHost := slices.Grow(sc.freeHost[:0], p.Cores)
 	for c := p.Cores - 1; c >= 0; c-- {
 		freeHost = append(freeHost, c) // pop from the back → core 0 first
 	}
-	freeDev := make([]int, 0, p.Devices)
+	freeDev := slices.Grow(sc.freeDev[:0], p.Devices)
 	for d := p.Devices - 1; d >= 0; d-- {
 		freeDev = append(freeDev, p.Cores+d)
 	}
@@ -85,7 +127,8 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	// nodes (and cascading through their successors). released guards
 	// against double release when a cascade reaches a node before the
 	// seeding loop does.
-	released := make([]bool, n)
+	released := boolsReset(sc.released, n)
+	sc.released = released
 	var release func(v int, t int64)
 	release = func(v int, t int64) {
 		if released[v] {
@@ -94,7 +137,6 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 		released[v] = true
 		if g.WCET(v) == 0 {
 			spans[v] = Span{Node: v, Start: t, Finish: t, Resource: -1}
-			done[v] = true
 			completed++
 			for _, s := range g.Succs(v) {
 				indeg[s]--
@@ -151,7 +193,7 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 		}
 		now = next
 		// Collect finishing nodes in node-ID order for determinism.
-		var finishing []running
+		finishing := sc.finishing[:0]
 		keep := run[:0]
 		for _, r := range run {
 			if r.finish == now {
@@ -161,9 +203,9 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 			}
 		}
 		run = keep
-		sort.Slice(finishing, func(i, j int) bool { return finishing[i].node < finishing[j].node })
+		sc.finishing = finishing
+		slices.SortFunc(finishing, func(a, b running) int { return a.node - b.node })
 		for _, r := range finishing {
-			done[r.node] = true
 			completed++
 			if r.resource >= p.Cores {
 				freeDev = append(freeDev, r.resource)
@@ -180,6 +222,9 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 			}
 		}
 	}
+	sc.hostReady, sc.devReady = hostReady[:0], devReady[:0]
+	sc.freeHost, sc.freeDev = freeHost, freeDev
+	sc.run = run
 
 	var makespan int64
 	for v := 0; v < n; v++ {
@@ -194,13 +239,15 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 // (derived from seed) and returns the best and worst observed results. It
 // is the tool for exhibiting schedules like the paper's Figure 1(c), where
 // an unlucky work-conserving order leaves the host idle while the
-// accelerator runs.
+// accelerator runs. The working buffers are shared across iterations, so
+// each run allocates only its result.
 func Sample(g *dag.Graph, p Platform, count int, seed int64) (best, worst *Result, err error) {
 	if count < 1 {
 		return nil, nil, fmt.Errorf("sched: Sample count %d < 1", count)
 	}
+	var sc Scratch
 	for i := 0; i < count; i++ {
-		r, err := Simulate(g, p, Random(seed+int64(i)))
+		r, err := SimulateWith(&sc, g, p, Random(seed+int64(i)))
 		if err != nil {
 			return nil, nil, err
 		}

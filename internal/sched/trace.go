@@ -49,10 +49,10 @@ func (r *Result) Validate(g *dag.Graph) error {
 			return fmt.Errorf("sched: host node %d ran on device %d", v, s.Resource)
 		}
 	}
-	for _, e := range g.Edges() {
-		if r.Spans[e[1]].Start < r.Spans[e[0]].Finish {
+	for u, v := range g.EachEdge() {
+		if r.Spans[v].Start < r.Spans[u].Finish {
 			return fmt.Errorf("sched: precedence (%d,%d) violated: start %d < finish %d",
-				e[0], e[1], r.Spans[e[1]].Start, r.Spans[e[0]].Finish)
+				u, v, r.Spans[v].Start, r.Spans[u].Finish)
 		}
 	}
 	// Exclusivity per resource.

@@ -42,9 +42,9 @@ func Check(r *Result) error {
 	}
 
 	// (2) precedence preservation.
-	for _, e := range g.Edges() {
-		if !gp.Reaches(e[0], e[1]) {
-			return fmt.Errorf("transform check: original precedence (%d,%d) lost in G'", e[0], e[1])
+	for u, v := range g.EachEdge() {
+		if !gp.Reaches(u, v) {
+			return fmt.Errorf("transform check: original precedence (%d,%d) lost in G'", u, v)
 		}
 	}
 
@@ -75,8 +75,8 @@ func Check(r *Result) error {
 		}
 	}
 	wantEdges := 0
-	for _, e := range g.Edges() {
-		if r.ParSet.Contains(e[0]) && r.ParSet.Contains(e[1]) {
+	for u, v := range g.EachEdge() {
+		if r.ParSet.Contains(u) && r.ParSet.Contains(v) {
 			wantEdges++
 		}
 	}

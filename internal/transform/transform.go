@@ -51,9 +51,22 @@ func Transform(g *dag.Graph) (*Result, error) {
 // TransformAround runs Algorithm 1 with an explicit offload node, which is
 // useful for what-if analyses on homogeneous graphs and for the
 // multi-offload extension. vOff must be a valid node ID of g.
+//
+// Rather than cloning g and mutating edges one sorted insert/remove at a
+// time, the final successor lists of G' are derived in a single read-only
+// pass over g and materialized with dag.FromAdjacency. The rewiring rules of
+// Algorithm 1 collapse to:
+//
+//   - every direct predecessor of vOff ends with the single successor vsync
+//     (lines 3–8 remove (v_i, vOff) and move every other successor);
+//   - every other ancestor of vOff keeps exactly its successors that are
+//     themselves ancestors of vOff (lines 10–13 move the rest below vsync);
+//   - vsync's successors are vOff plus everything moved (lines 3–9);
+//   - all remaining nodes keep their successor lists verbatim.
 func TransformAround(g *dag.Graph, vOff int) (*Result, error) {
-	if vOff < 0 || vOff >= g.NumNodes() {
-		return nil, fmt.Errorf("transform: offload node %d out of range [0,%d)", vOff, g.NumNodes())
+	n := g.NumNodes()
+	if vOff < 0 || vOff >= n {
+		return nil, fmt.Errorf("transform: offload node %d out of range [0,%d)", vOff, n)
 	}
 	if !g.IsAcyclic() {
 		return nil, fmt.Errorf("transform: %w", dag.ErrCyclic)
@@ -66,51 +79,73 @@ func TransformAround(g *dag.Graph, vOff int) (*Result, error) {
 	pred := g.Ancestors(vOff)
 	succ := g.Descendants(vOff)
 
-	// Line 2: V' = V ∪ {vsync}; E' = E.
-	gp := g.Clone()
-	vsync := gp.AddNode("vsync", 0, dag.Sync)
+	// V' = V ∪ {vsync}.
+	vsync := n
+	isDirect := dag.NewNodeSetWithMax(n)
+	for _, vi := range g.Preds(vOff) {
+		isDirect.Add(vi)
+	}
 
-	// Lines 3–8: loop over vOff's direct predecessors v_i:
-	// add (v_i, vsync), remove (v_i, vOff), and move every other successor
-	// v_j of v_i below vsync.
-	directPred := append([]int(nil), gp.Preds(vOff)...)
-	for _, vi := range directPred {
-		gp.MustAddEdge(vi, vsync)
-		gp.RemoveEdge(vi, vOff)
-		for _, vj := range append([]int(nil), gp.Succs(vi)...) {
-			if vj == vsync {
-				continue
+	// moved collects every successor rerouted below vsync. On redundant-
+	// edge-free inputs these are always nodes parallel to vOff (see
+	// DESIGN.md §4.2), never ancestors or descendants.
+	moved := dag.NewNodeSetWithMax(n)
+	for vi := range pred.All() {
+		if isDirect.Contains(vi) {
+			// Lines 3–8: every successor but vOff moves below vsync.
+			for _, vj := range g.Succs(vi) {
+				if vj != vOff {
+					moved.Add(vj)
+				}
 			}
-			gp.RemoveEdge(vi, vj)
-			gp.MustAddEdge(vsync, vj)
+		} else {
+			// Lines 10–13: successors outside Pred(vOff) move below vsync.
+			for _, vj := range g.Succs(vi) {
+				if !pred.Contains(vj) {
+					moved.Add(vj)
+				}
+			}
 		}
 	}
 
-	// Line 9: connect the synchronization node to the offloaded node.
-	gp.MustAddEdge(vsync, vOff)
+	nodes := make([]dag.Node, n+1)
+	for nd := range g.EachNode() {
+		nodes[nd.ID] = nd
+	}
+	nodes[vsync] = dag.Node{ID: vsync, Name: "vsync", Kind: dag.Sync}
 
-	// Lines 10–13: loop over the remaining predecessors of vOff. Their
-	// successors that are not themselves predecessors of vOff are parallel
-	// to vOff (no-redundant-edges assumption) and become successors of
-	// vsync instead.
-	for _, vi := range pred.Sorted() {
-		if containsInt(directPred, vi) {
-			continue
-		}
-		for _, vj := range append([]int(nil), gp.Succs(vi)...) {
-			if pred.Contains(vj) {
-				continue
+	succs := make([][]int, n+1)
+	syncOnly := []int{vsync} // shared row; FromAdjacency copies
+	for v := 0; v < n; v++ {
+		switch {
+		case isDirect.Contains(v):
+			succs[v] = syncOnly
+		case pred.Contains(v):
+			kept := make([]int, 0, len(g.Succs(v)))
+			for _, vj := range g.Succs(v) {
+				if pred.Contains(vj) {
+					kept = append(kept, vj)
+				}
 			}
-			gp.RemoveEdge(vi, vj)
-			gp.MustAddEdge(vsync, vj)
+			succs[v] = kept
+		default:
+			succs[v] = g.Succs(v)
 		}
+	}
+	// Line 9 plus all moves: vsync precedes vOff and everything rerouted.
+	moved.Add(vOff)
+	succs[vsync] = moved.Sorted()
+
+	gp, err := dag.FromAdjacency(nodes, succs)
+	if err != nil {
+		return nil, fmt.Errorf("transform: internal error: %w", err)
 	}
 
 	// Lines 14–17: build GPar from the nodes parallel to vOff and the
 	// original edges among them. (The paper's line 14 formally leaves vOff
 	// in VPar; the prose and Theorem 1 require excluding it.)
-	parSet := make(dag.NodeSet)
-	for v := 0; v < g.NumNodes(); v++ {
+	parSet := dag.NewNodeSetWithMax(n)
+	for v := 0; v < n; v++ {
 		if v == vOff || pred.Contains(v) || succ.Contains(v) {
 			continue
 		}
@@ -137,12 +172,3 @@ func TransformAround(g *dag.Graph, vOff int) (*Result, error) {
 
 // COff returns the WCET of the offloaded node.
 func (r *Result) COff() int64 { return r.Original.WCET(r.Offload) }
-
-func containsInt(s []int, v int) bool {
-	for _, x := range s {
-		if x == v {
-			return true
-		}
-	}
-	return false
-}
