@@ -45,8 +45,10 @@ func WithPlatform(p Platform) Option {
 	}
 }
 
-// WithDevices overrides the device count of the platform (applied after
-// WithPlatform regardless of option order).
+// WithDevices overrides the total device count of the platform (applied
+// after WithPlatform regardless of option order). It requires a platform
+// with at most one device class — with several, "the device count" is
+// ambiguous; construct the class list explicitly instead.
 func WithDevices(d int) Option {
 	return func(a *Analyzer) error {
 		if d < 0 {
@@ -135,7 +137,11 @@ func NewAnalyzer(opts ...Option) (*Analyzer, error) {
 		}
 	}
 	if a.devices != nil {
-		a.platform.Devices = *a.devices
+		p, err := a.platform.WithDeviceCount(*a.devices)
+		if err != nil {
+			return nil, fmt.Errorf("hetrta: %w", err)
+		}
+		a.platform = p
 	}
 	if err := a.platform.Validate(); err != nil {
 		return nil, fmt.Errorf("hetrta: %w", err)
@@ -200,24 +206,43 @@ func (a *Analyzer) Analyze(ctx context.Context, g *Graph) (*Report, error) {
 		}
 	}
 
-	// Algorithm 1, computed once and shared by every bound.
-	if len(offs) == 1 {
-		tr, err := transform.Transform(work)
+	// Iterated Algorithm 1, computed once and shared by every bound: every
+	// offloaded region is gated, the paper's single-offload model being the
+	// one-step case.
+	if len(offs) >= 1 {
+		mt, err := transform.All(work)
 		if err != nil {
 			return nil, err
 		}
-		rep.TransformResult = tr
-		rep.Transform = &TransformSummary{
-			Sync:     tr.Sync,
-			LenPrime: tr.Transformed.CriticalPathLength(),
-			VolPrime: tr.Transformed.Volume(),
-			ParNodes: tr.ParSet.Sorted(),
-			LenPar:   tr.Par.CriticalPathLength(),
-			VolPar:   tr.Par.Volume(),
+		rep.MultiTransformResult = mt
+		rep.Transforms = make([]TransformStepSummary, len(mt.Steps))
+		for i, step := range mt.Steps {
+			rep.Transforms[i] = TransformStepSummary{
+				Offload: step.Offload,
+				Name:    work.Name(step.Offload),
+				Class:   work.Class(step.Offload),
+				COff:    work.WCET(step.Offload),
+				Sync:    step.Sync,
+				Gate:    mt.Syncs[step.Offload],
+				LenPar:  step.Par.CriticalPathLength(),
+				VolPar:  step.Par.Volume(),
+			}
+		}
+		if len(mt.Steps) == 1 {
+			tr := mt.Steps[0]
+			rep.TransformResult = tr
+			rep.Transform = &TransformSummary{
+				Sync:     tr.Sync,
+				LenPrime: tr.Transformed.CriticalPathLength(),
+				VolPrime: tr.Transformed.Volume(),
+				ParNodes: tr.ParSet.Sorted(),
+				LenPar:   tr.Par.CriticalPathLength(),
+				VolPar:   tr.Par.Volume(),
+			}
 		}
 	}
 
-	in := BoundInput{Graph: work, Platform: a.platform, Transform: rep.TransformResult}
+	in := BoundInput{Graph: work, Platform: a.platform, Transform: rep.TransformResult, Multi: rep.MultiTransformResult}
 	for _, b := range a.bounds {
 		if err := ctx.Err(); err != nil {
 			return nil, err
@@ -242,8 +267,8 @@ func (a *Analyzer) Analyze(ctx context.Context, g *Graph) (*Report, error) {
 		}
 		rep.SimOriginal = sim
 		rep.Simulation = &SimulationReport{Policy: sim.Policy, Makespan: sim.Makespan}
-		if rep.TransformResult != nil {
-			simT, err := sched.Simulate(rep.TransformResult.Transformed, a.platform, a.policy())
+		if rep.MultiTransformResult != nil {
+			simT, err := sched.Simulate(rep.MultiTransformResult.Transformed, a.platform, a.policy())
 			if err != nil {
 				return nil, err
 			}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"errors"
 	"math"
+	"strings"
 	"testing"
 	"time"
 
@@ -154,7 +155,7 @@ func TestAnalyzerHomogeneousGraphSkipsRhet(t *testing.T) {
 
 func TestAnalyzerOptionValidation(t *testing.T) {
 	bad := [][]hetrta.Option{
-		{hetrta.WithPlatform(hetrta.Platform{Cores: 0, Devices: 1})},
+		{hetrta.WithPlatform(hetrta.NewPlatform(hetrta.ResourceClass{Name: "host", Count: 0}, hetrta.ResourceClass{Name: "dev", Count: 1}))},
 		{hetrta.WithDevices(-1)},
 		{hetrta.WithParallelism(-2)},
 		{hetrta.WithExactBudget(-5)},
@@ -175,7 +176,7 @@ func TestAnalyzerOptionValidation(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if p := an.Platform(); p.Cores != 8 || p.Devices != 3 {
+	if p := an.Platform(); p.Cores() != 8 || p.Devices() != 3 {
 		t.Errorf("platform = %v, want m=8+3dev", p)
 	}
 }
@@ -356,6 +357,234 @@ func TestAnalyzeBatchCancellation(t *testing.T) {
 	for i, r := range reports {
 		if r == nil {
 			t.Fatalf("report %d is nil", i)
+		}
+	}
+}
+
+// TestAnalyzerMultiOffloadReport: a graph with several offload nodes gets a
+// full report — per-offload transform summaries, an explicit Rhet skip
+// reason, a typed bound, and a simulation of the fully transformed graph —
+// so batch consumers can distinguish "homogeneous" from "multi-offload".
+func TestAnalyzerMultiOffloadReport(t *testing.T) {
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(12, 40), 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, offs, _, err := gen.MultiHetTask(3, 0.3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.NewPlatform(
+			hetrta.ResourceClass{Name: "host", Count: 4},
+			hetrta.ResourceClass{Name: "gpu", Count: 1},
+			hetrta.ResourceClass{Name: "fpga", Count: 1},
+		)),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.TypedRhomBound()),
+		hetrta.WithPolicy(hetrta.BreadthFirst),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Graph.Offloads != 3 || rep.Graph.Offload != nil {
+		t.Errorf("graph summary: offloads=%d offload=%+v", rep.Graph.Offloads, rep.Graph.Offload)
+	}
+	if len(rep.Transforms) != 3 || rep.MultiTransformResult == nil {
+		t.Fatalf("per-offload transforms missing: %d summaries", len(rep.Transforms))
+	}
+	if rep.Transform != nil || rep.TransformResult != nil {
+		t.Error("single-offload transform populated on a multi-offload task")
+	}
+	summarized := map[int]bool{}
+	for _, st := range rep.Transforms {
+		summarized[st.Offload] = true
+		if st.COff != g.WCET(st.Offload) || st.Class != g.Class(st.Offload) {
+			t.Errorf("step %+v does not match node %d", st, st.Offload)
+		}
+		if gate, ok := rep.MultiTransformResult.Syncs[st.Offload]; !ok || gate != st.Gate {
+			t.Errorf("step gate %d disagrees with Syncs[%d]=%d", st.Gate, st.Offload, gate)
+		}
+	}
+	for _, v := range offs {
+		if !summarized[v] {
+			t.Errorf("offload %d has no transform summary", v)
+		}
+	}
+	if rhet, _ := rep.Bound("rhet"); rhet.Skipped == "" {
+		t.Errorf("rhet not skipped with a reason on a multi-offload task: %+v", rhet)
+	}
+	if _, ok := rep.BoundValue("typed-rhom"); !ok {
+		t.Error("typed-rhom missing on a multi-offload task")
+	}
+	if rep.Simulation == nil || rep.Simulation.MakespanTransformed == 0 {
+		t.Errorf("transformed simulation missing: %+v", rep.Simulation)
+	}
+	if err := hetrta.CheckTransformAll(rep.MultiTransformResult.Original, rep.MultiTransformResult); err != nil {
+		t.Errorf("transform-all check: %v", err)
+	}
+	// JSON round trip keeps the per-offload summaries.
+	data, err := json.Marshal(rep)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back hetrta.Report
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Transforms) != 3 {
+		t.Errorf("round-tripped %d transform summaries", len(back.Transforms))
+	}
+}
+
+// TestAnalyzerSkipsBoundsOnMissingClass: a node whose device class has no
+// machine must skip Rhet and TypedRhom with a reason naming the class, not
+// silently produce a wrong number.
+func TestAnalyzerSkipsBoundsOnMissingClass(t *testing.T) {
+	g := hetrta.NewGraph()
+	a := g.AddNode("a", 2, hetrta.Host)
+	b := g.AddNode("b", 5, hetrta.Offload)
+	g.SetClass(b, 2) // class the platform below does not have
+	c := g.AddNode("c", 3, hetrta.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.TypedRhomBound()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.BoundValue("rhom"); !ok {
+		t.Error("rhom must still apply (it ignores devices)")
+	}
+	for _, name := range []string{"rhet", "typed-rhom"} {
+		bd, found := rep.Bound(name)
+		if !found || bd.Skipped == "" {
+			t.Errorf("%s not skipped: %+v", name, bd)
+			continue
+		}
+		if !strings.Contains(bd.Skipped, "class 2") {
+			t.Errorf("%s skip reason %q does not name the missing class", name, bd.Skipped)
+		}
+	}
+}
+
+// TestAnalyzeBatchErrorSlotsDeterministic: invalid graphs mid-batch yield
+// per-item Report.Err, and the full batch output — including the error
+// slots — is identical at parallelism 1 and N.
+func TestAnalyzeBatchErrorSlotsDeterministic(t *testing.T) {
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(8, 30), 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cyclic := hetrta.NewGraph()
+	ca := cyclic.AddNode("a", 1, hetrta.Host)
+	cb := cyclic.AddNode("b", 1, hetrta.Host)
+	cyclic.MustAddEdge(ca, cb)
+	cyclic.MustAddEdge(cb, ca)
+
+	var graphs []*hetrta.Graph
+	for i := 0; i < 24; i++ {
+		if i%5 == 2 {
+			graphs = append(graphs, cyclic)
+			continue
+		}
+		if i%7 == 3 {
+			graphs = append(graphs, nil)
+			continue
+		}
+		g, _, _, err := gen.HetTask(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+
+	run := func(parallelism int) []byte {
+		an, err := hetrta.NewAnalyzer(
+			hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+			hetrta.WithParallelism(parallelism),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		reports, err := an.AnalyzeBatch(context.Background(), graphs)
+		if err != nil {
+			t.Fatalf("batch failed outright: %v", err)
+		}
+		for i, rep := range reports {
+			wantErr := i%5 == 2 || i%7 == 3
+			if (rep.Err != "") != wantErr {
+				t.Fatalf("parallelism %d: slot %d Err=%q, want error=%v", parallelism, i, rep.Err, wantErr)
+			}
+			if wantErr && len(rep.Bounds) != 0 {
+				t.Fatalf("parallelism %d: failed slot %d carries bounds", parallelism, i)
+			}
+		}
+		data, err := json.Marshal(reports)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	serial := run(1)
+	for _, p := range []int{3, 8} {
+		if got := run(p); string(got) != string(serial) {
+			t.Fatalf("parallelism %d produced different batch output (error slots must be deterministic)", p)
+		}
+	}
+}
+
+// TestAnalyzeBatchCancellationFillsSlots: cancelling the batch fills every
+// undispatched slot with the cancellation error, so consumers always get
+// len(gs) well-formed reports.
+func TestAnalyzeBatchCancellationFillsSlots(t *testing.T) {
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(20, 40), 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var graphs []*hetrta.Graph
+	for i := 0; i < 100; i++ {
+		g, _, _, err := gen.HetTask(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		graphs = append(graphs, g)
+	}
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithParallelism(2),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // cancelled before dispatch: no slot may complete
+	reports, err := an.AnalyzeBatch(ctx, graphs)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if len(reports) != len(graphs) {
+		t.Fatalf("got %d report slots, want %d", len(reports), len(graphs))
+	}
+	for i, r := range reports {
+		if r == nil {
+			t.Fatalf("report %d is nil", i)
+		}
+		if r.Err == "" {
+			t.Fatalf("report %d lacks the cancellation error", i)
+		}
+		if !strings.Contains(r.Err, context.Canceled.Error()) {
+			t.Fatalf("report %d Err = %q, want it to record the cancellation", i, r.Err)
 		}
 	}
 }

@@ -3,23 +3,29 @@ package hetrta
 import (
 	"context"
 	"fmt"
+	"sort"
+	"strings"
 
-	"repro/internal/multioff"
 	"repro/internal/rta"
 )
 
 // BoundInput is what a Bound implementation gets to work with: the
-// (transitively reduced) task graph, the target platform, and — when the
-// graph has exactly one offload node — the Algorithm 1 transformation,
-// computed once by the Analyzer and shared by every bound.
+// (transitively reduced) task graph, the target platform, and the iterated
+// Algorithm 1 transformation, computed once by the Analyzer and shared by
+// every bound.
 type BoundInput struct {
 	// Graph is the task graph G, transitively reduced.
 	Graph *Graph
 	// Platform is the execution platform under analysis.
 	Platform Platform
-	// Transform is the τ ⇒ τ' transformation, or nil when the graph has no
-	// offload node or more than one.
+	// Transform is the paper's single-offload τ ⇒ τ' transformation, or
+	// nil when the graph has no offload node or more than one. When
+	// non-nil it is Multi.Steps[0].
 	Transform *Transformation
+	// Multi is the iterated transformation gating every offloaded region,
+	// or nil when the graph is homogeneous. The single-offload case is
+	// Multi with one step.
+	Multi *MultiTransformation
 }
 
 // BoundResult is one computed response-time bound inside a Report.
@@ -35,8 +41,8 @@ type BoundResult struct {
 	Unsafe bool `json:"unsafe,omitempty"`
 	// Skipped is a human-readable reason the bound did not apply to this
 	// graph/platform combination (e.g. Rhet on a graph with no offload
-	// node). A skipped bound is not an error: the rest of the report
-	// stands.
+	// node, or a node whose resource class has no machines). A skipped
+	// bound is not an error: the rest of the report stands.
 	Skipped string `json:"skipped,omitempty"`
 	// Detail carries the named intermediate quantities of the bound
 	// (len(G'), vol(GPar), ... for Rhet).
@@ -47,8 +53,8 @@ type BoundResult struct {
 // for concurrent use: AnalyzeBatch calls Compute from its worker pool.
 //
 // The built-in implementations are RhomBound (Eq. 1), RhetBound (Theorem
-// 1), TypedRhomBound (the typed multi-offload generalization), and
-// NaiveBound (the unsafe §3.2 reduction). Future analyses — e.g. the
+// 1), TypedRhomBound (the typed multi-offload/multi-class generalization),
+// and NaiveBound (the unsafe §3.2 reduction). Future analyses — e.g. the
 // long-path bounds of He et al. — plug in here without touching the
 // Analyzer.
 type Bound interface {
@@ -79,9 +85,12 @@ func (rhomBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) 
 }
 
 // RhetBound returns the paper's heterogeneous bound (Theorem 1, Eqs. 2–4)
-// on the transformed task τ'. It is skipped when the graph has no (or more
-// than one) offload node or the platform has no device; ties between
-// scenarios 2.1 and 2.2 follow the rule documented on the Scenario type.
+// on the transformed task τ'. It is skipped — with the reason recorded —
+// when the graph has no offload node, has more than one (Theorem 1 is a
+// single-offload analysis; TypedRhomBound covers the general case), or
+// when the offloaded node's resource class has no machine on the platform;
+// ties between scenarios 2.1 and 2.2 follow the rule documented on the
+// Scenario type.
 func RhetBound() Bound { return rhetBound{} }
 
 type rhetBound struct{}
@@ -94,13 +103,15 @@ func (rhetBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) 
 		case n == 0:
 			return BoundResult{Name: "rhet", Skipped: "no offload node (homogeneous task)"}, nil
 		case n > 1:
-			return BoundResult{Name: "rhet", Skipped: fmt.Sprintf("%d offload nodes; use TypedRhomBound", n)}, nil
+			return BoundResult{Name: "rhet", Skipped: fmt.Sprintf("%d offload nodes; Theorem 1 analyzes single-offload tasks (typed-rhom covers the general case)", n)}, nil
 		default:
 			return BoundResult{Name: "rhet", Skipped: "transformation unavailable"}, nil
 		}
 	}
-	if in.Platform.Devices < 1 {
-		return BoundResult{Name: "rhet", Skipped: "platform has no accelerator device"}, nil
+	if cls := in.Graph.Class(in.Transform.Offload); in.Platform.Count(cls) < 1 {
+		return BoundResult{Name: "rhet", Skipped: fmt.Sprintf(
+			"offloaded node %d needs resource class %d (%s), which has no machine on %v",
+			in.Transform.Offload, cls, in.Platform.ClassName(cls), in.Platform)}, nil
 	}
 	het, err := rta.Rhet(in.Transform, in.Platform)
 	if err != nil {
@@ -122,10 +133,10 @@ func (rhetBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) 
 }
 
 // TypedRhomBound returns the typed generalization of Equation 1 to any
-// number of offloaded nodes on p.Devices identical devices (the paper's
-// future work (i)/(ii); see extensions.go). With no offload nodes it equals
-// Rhom. It is skipped when the graph offloads but the platform has no
-// device.
+// number of offloaded nodes spread over any number of device classes (the
+// paper's future work (i)/(ii); see extensions.go). With no offload nodes
+// it equals Rhom. It is skipped — naming the classes — when a node's
+// resource class has no machine on the platform.
 func TypedRhomBound() Bound { return typedRhomBound{} }
 
 type typedRhomBound struct{}
@@ -133,14 +144,42 @@ type typedRhomBound struct{}
 func (typedRhomBound) Name() string { return "typed-rhom" }
 
 func (typedRhomBound) Compute(_ context.Context, in BoundInput) (BoundResult, error) {
-	if len(in.Graph.OffloadNodes()) > 0 && in.Platform.Devices < 1 {
-		return BoundResult{Name: "typed-rhom", Skipped: "offload nodes but no device"}, nil
+	if reason := missingClasses(in.Graph, in.Platform); reason != "" {
+		return BoundResult{Name: "typed-rhom", Skipped: reason}, nil
 	}
-	v, err := multioff.TypedRhom(in.Graph, in.Platform)
+	v, err := rta.TypedRhom(in.Graph, in.Platform)
 	if err != nil {
 		return BoundResult{}, err
 	}
 	return BoundResult{Name: "typed-rhom", Value: v}, nil
+}
+
+// missingClasses reports, per resource class, the nodes that cannot run on
+// p because their class has no machine; empty when every class is covered.
+func missingClasses(g *Graph, p Platform) string {
+	counts := map[int]int{}
+	for n := range g.EachNode() {
+		if n.Kind == Sync {
+			continue
+		}
+		if p.Count(n.Class) < 1 {
+			counts[n.Class]++
+		}
+	}
+	if len(counts) == 0 {
+		return ""
+	}
+	classes := make([]int, 0, len(counts))
+	for c := range counts {
+		classes = append(classes, c)
+	}
+	sort.Ints(classes)
+	parts := make([]string, 0, len(classes))
+	for _, c := range classes {
+		parts = append(parts, fmt.Sprintf("%d node(s) need resource class %d (%s), which has no machine on %v",
+			counts[c], c, p.ClassName(c), p))
+	}
+	return strings.Join(parts, "; ")
 }
 
 // NaiveBound returns the UNSAFE bound of Section 3.2 (Rhom with COff

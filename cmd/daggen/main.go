@@ -5,7 +5,8 @@
 // Usage:
 //
 //	daggen -preset small -nmin 3 -nmax 20 -coff 0.3 -count 5 -seed 1 -o tasks/
-//	daggen -preset large -coff 0.1            # one task to stdout
+//	daggen -preset large -coff 0.1             # one task to stdout
+//	daggen -offloads 3 -classes 2 -coff 0.3    # multi-offload over 2 device classes
 package main
 
 import (
@@ -27,13 +28,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("daggen", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		preset = fs.String("preset", "small", "task preset: small (npar=6, maxdepth=3) or large (npar=8, maxdepth=5)")
-		nMin   = fs.Int("nmin", 0, "minimum node count (0 = preset default)")
-		nMax   = fs.Int("nmax", 0, "maximum node count (0 = preset default)")
-		cOff   = fs.Float64("coff", 0.2, "target COff as a fraction of vol(G), in (0,1); 0 generates a host-only DAG")
-		count  = fs.Int("count", 1, "number of tasks to generate")
-		seed   = fs.Int64("seed", 1, "random seed")
-		outDir = fs.String("o", "", "output directory (default: write to stdout)")
+		preset   = fs.String("preset", "small", "task preset: small (npar=6, maxdepth=3) or large (npar=8, maxdepth=5)")
+		nMin     = fs.Int("nmin", 0, "minimum node count (0 = preset default)")
+		nMax     = fs.Int("nmax", 0, "maximum node count (0 = preset default)")
+		cOff     = fs.Float64("coff", 0.2, "target total offloaded fraction of vol(G), in (0,1); 0 generates a host-only DAG")
+		offloads = fs.Int("offloads", 1, "number of offloaded nodes (the paper's model uses 1)")
+		classes  = fs.Int("classes", 1, "number of device classes the offloads are spread over (round-robin)")
+		count    = fs.Int("count", 1, "number of tasks to generate")
+		seed     = fs.Int64("seed", 1, "random seed")
+		outDir   = fs.String("o", "", "output directory (default: write to stdout)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -60,12 +63,19 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "daggen:", err)
 		return 1
 	}
+	if *offloads < 1 || *classes < 1 {
+		fmt.Fprintln(stderr, "daggen: -offloads and -classes must be ≥ 1")
+		return 2
+	}
 	for i := 0; i < *count; i++ {
 		var g *hetrta.Graph
-		if *cOff > 0 {
-			g, _, _, err = gen.HetTask(*cOff)
-		} else {
+		switch {
+		case *cOff <= 0:
 			g, err = gen.Graph()
+		case *offloads > 1 || *classes > 1:
+			g, _, _, err = gen.MultiHetTask(*offloads, *cOff, *classes)
+		default:
+			g, _, _, err = gen.HetTask(*cOff)
 		}
 		if err != nil {
 			fmt.Fprintln(stderr, "daggen:", err)

@@ -37,6 +37,7 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		in       = fs.String("in", "", "input JSON file ('-' = stdin); positional arguments add more inputs")
 		m        = fs.Int("m", 4, "number of host cores")
 		devices  = fs.Int("devices", 1, "number of accelerator devices")
+		platSpec = fs.String("platform", "", `platform spec overriding -m/-devices, e.g. "4+1" or "host=4,gpu=1,fpga=2"`)
 		deadline = fs.Int64("deadline", 0, "relative deadline D for a schedulability verdict (0 = skip)")
 		doSim    = fs.Bool("sim", false, "simulate τ and τ' under the breadth-first scheduler")
 		doGantt  = fs.Bool("gantt", false, "print ASCII Gantt charts of the simulations (implies -sim)")
@@ -63,9 +64,17 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		return 2
 	}
 
+	plat, err := hetrta.HeteroPlatform(*m).WithDeviceCount(*devices)
+	if *platSpec != "" {
+		plat, err = hetrta.ParsePlatform(*platSpec)
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "dagrta:", err)
+		return 2
+	}
 	opts := []hetrta.Option{
-		hetrta.WithPlatform(hetrta.Platform{Cores: *m, Devices: *devices}),
-		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.NaiveBound()),
+		hetrta.WithPlatform(plat),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.NaiveBound(), hetrta.TypedRhomBound()),
 		hetrta.WithParallelism(*parallel),
 	}
 	needSim := *doSim || *doGantt || *svgOut != ""
@@ -155,6 +164,9 @@ func printReport(w io.Writer, rep *hetrta.Report, g *hetrta.Graph, deadline int6
 		fmt.Fprintf(w, "offload: node %s with COff=%d (%.1f%% of volume)\n", off.Name, off.COff, 100*off.Frac)
 	} else if gs.Offloads > 1 {
 		fmt.Fprintf(w, "offload: %d nodes (multi-offload extension)\n", gs.Offloads)
+		for _, st := range rep.Transforms {
+			fmt.Fprintf(w, "  gated %s (COff=%d, class %d) by sync node %d\n", st.Name, st.COff, st.Class, st.Gate)
+		}
 	} else {
 		fmt.Fprintln(w, "offload: none (homogeneous task)")
 	}

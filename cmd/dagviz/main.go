@@ -1,6 +1,7 @@
 // Command dagviz renders a heterogeneous DAG task (JSON) as Graphviz DOT,
-// optionally after the Algorithm 1 transformation, using the paper's
-// Figure 3 styling (double-bordered offload node, red square vsync).
+// optionally after the (iterated) Algorithm 1 transformation, using the
+// paper's Figure 3 styling: double-bordered offload nodes filled by
+// resource class (with a legend on multi-class graphs), red square vsync.
 //
 // Usage:
 //
@@ -63,15 +64,21 @@ func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "dagviz:", err)
 		return 1
 	}
-	tr, err := hetrta.Transform(g)
+	// Iterated Algorithm 1 gates every offloaded region; for the paper's
+	// single-offload tasks this is exactly Transform.
+	mt, err := hetrta.TransformAll(g)
 	if err != nil {
 		fmt.Fprintln(stderr, "dagviz:", err)
 		return 1
 	}
-	out := tr.Transformed
+	out := mt.Transformed
 	name := *title + "_transformed"
 	if *par {
-		out = tr.Par
+		if len(mt.Steps) > 1 {
+			fmt.Fprintf(stderr, "dagviz: -par renders the GPar of a single-offload task; this task has %d offloads\n", len(mt.Steps))
+			return 1
+		}
+		out = mt.Steps[0].Par
 		name = *title + "_gpar"
 	}
 	if err := out.WriteDOT(stdout, name); err != nil {

@@ -7,6 +7,8 @@
 //	-fig 9       Figure 9: % change of Rhom w.r.t. Rhet
 //	-fig tables  the §5 text-quoted summary numbers (crossovers, peaks)
 //	-fig naive   §3.2 violation study: sampled schedules vs the naive bound
+//	-fig multi   beyond the paper: offload count × device classes sweep
+//	             (generate → transform-all → typed bound → simulate → exact)
 //	-fig all     everything
 //
 // -scale quick runs a reduced sweep (minutes); -scale paper reproduces the
@@ -127,6 +129,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 		for i, t := range res.Table() {
 			runner.emit(fmt.Sprintf("naive_m%d", res.Series[i].M), t)
 		}
+	}
+	if want("multi") {
+		mcfg := experiments.DefaultMulti(*seed)
+		if *scale == "quick" {
+			mcfg = experiments.QuickMulti(*seed)
+		}
+		mcfg.Parallelism = *parallel
+		res, err := experiments.MultiSweep(ctx, mcfg)
+		if !runner.check(err) {
+			return 1
+		}
+		runner.emit("multi_sweep", res.Table())
 	}
 	if runner.failed {
 		return 1

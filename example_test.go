@@ -26,7 +26,7 @@ func Example() {
 	g.MustAddEdge(v4, vOff)
 	g.NormalizeSourceSink()
 
-	a, err := hetrta.Analyze(g, 2)
+	a, err := hetrta.AnalyzeOn(g, hetrta.HeteroPlatform(2))
 	if err != nil {
 		log.Fatal(err)
 	}

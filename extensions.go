@@ -1,14 +1,15 @@
 package hetrta
 
 import (
-	"repro/internal/multioff"
-	"repro/internal/platform"
+	"repro/internal/rta"
 	"repro/internal/taskset"
+	"repro/internal/transform"
 )
 
 // This file exposes the extensions beyond the paper's core model:
-// system-level federated scheduling and the future-work generalizations
-// (multiple offloaded nodes, multiple devices) of Section 7.
+// system-level federated scheduling and the Section 7 generalizations
+// (multiple offloaded nodes, multiple devices, multiple device classes),
+// which the core pipeline now carries end to end.
 
 // TaskSystem is a set of sporadic DAG tasks sharing an execution Platform
 // (host cores plus accelerators), analyzed with federated scheduling.
@@ -25,28 +26,27 @@ type Grant = taskset.Grant
 // the remainder. The test is sufficient, not necessary.
 func Allocate(sys TaskSystem) (*Allocation, error) { return taskset.Allocate(sys) }
 
-// TypedRhomOn generalizes Equation 1 to tasks with any number of offloaded
-// nodes on p.Devices identical devices (the paper's future work (i) and
-// (ii)):
+// TypedRhomOn generalizes Equation 1 to tasks whose nodes are spread over
+// any number of resource classes (the paper's future work (i) and (ii)):
 //
-//	R ≤ volHost/m + volDev/d + max over paths λ of Σ_{v∈λ} C_v·(1 − 1/cap(v)).
+//	R ≤ Σ_c vol_c/m_c + max over paths λ of Σ_{v∈λ} C_v·(1 − 1/m_cls(v)).
 //
 // With no offloaded nodes it equals Rhom. TypedRhomBound exposes the same
 // analysis as a pluggable Analyzer bound.
-func TypedRhomOn(g *Graph, p Platform) (float64, error) { return multioff.TypedRhom(g, p) }
-
-// TypedRhom generalizes Equation 1 to d identical devices.
-//
-// Deprecated: use TypedRhomOn with an explicit Platform, or an Analyzer
-// with TypedRhomBound. This shim will be removed after one release.
-func TypedRhom(g *Graph, m, d int) (float64, error) {
-	return multioff.TypedRhom(g, platform.Platform{Cores: m, Devices: d})
-}
+func TypedRhomOn(g *Graph, p Platform) (float64, error) { return rta.TypedRhom(g, p) }
 
 // MultiTransformation is the result of gating every offloaded node with a
-// synchronization point (iterated Algorithm 1).
-type MultiTransformation = multioff.MultiResult
+// synchronization point (iterated Algorithm 1). Its Steps hold the
+// per-offload Algorithm 1 results; for a single-offload task Steps[0] is
+// exactly the paper's Transformation.
+type MultiTransformation = transform.MultiResult
 
 // TransformAll applies Algorithm 1 iteratively around every offloaded node
-// in descending-COff order.
-func TransformAll(g *Graph) (*MultiTransformation, error) { return multioff.TransformAll(g) }
+// in descending-COff order. Like Transform, the input must be transitively
+// reduced; the single-offload case is the k = 1 instance.
+func TransformAll(g *Graph) (*MultiTransformation, error) { return transform.All(g) }
+
+// CheckTransformAll verifies that every original precedence constraint of
+// g survives in the multi-transformed graph and that each offload node is
+// gated by its synchronization node.
+func CheckTransformAll(g *Graph, r *MultiTransformation) error { return transform.CheckAll(g, r) }

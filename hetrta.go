@@ -1,20 +1,24 @@
 // Package hetrta is a response-time analysis toolkit for sporadic DAG tasks
-// on heterogeneous platforms (a multicore host plus an accelerator device),
+// on heterogeneous platforms (a multicore host plus accelerator devices),
 // reproducing Serrano & Quiñones, "Response-Time Analysis of DAG Tasks
 // Supporting Heterogeneous Computing", DAC 2018.
 //
 // The package is a facade over the implementation packages:
 //
-//   - building and validating task graphs (NewGraph, NodeKind, Validate);
+//   - building and validating task graphs (NewGraph, NodeKind, Validate),
+//     with each node mapped to a platform resource class (host cores or a
+//     device class — see SetClass for multi-accelerator tasks);
 //   - the homogeneous bound Rhom (Eq. 1), the DAG transformation inserting
-//     the synchronization node vsync (Algorithm 1), and the heterogeneous
-//     bound Rhet with its three scenarios (Theorem 1, Eqs. 2–4);
+//     synchronization nodes (Algorithm 1, iterated over every offloaded
+//     region by TransformAll), and the heterogeneous bound Rhet with its
+//     three scenarios (Theorem 1, Eqs. 2–4);
 //   - a discrete-event work-conserving scheduler simulator (GOMP-like
-//     breadth-first and other policies) on m cores + devices;
+//     breadth-first and other policies) on any mix of resource classes;
 //   - an exact minimum-makespan oracle (branch and bound; the paper used
 //     CPLEX) plus a from-scratch LP/MILP time-indexed formulation;
 //   - the random task generator of the paper's evaluation and harnesses
-//     regenerating every figure (see cmd/experiments).
+//     regenerating every figure (see cmd/experiments), including a
+//     multi-offload × device-class sweep beyond the paper.
 //
 // # Quick start
 //
@@ -33,6 +37,16 @@
 //	report, err := an.Analyze(ctx, g) // 4 host cores + 1 accelerator
 //	if err != nil { ... }
 //	rhet, _ := report.BoundValue("rhet")
+//
+// Platforms beyond the paper's "m cores + 1 device" are built from named
+// resource classes:
+//
+//	p := hetrta.NewPlatform(
+//	    hetrta.ResourceClass{Name: "host", Count: 4},
+//	    hetrta.ResourceClass{Name: "gpu", Count: 1},
+//	    hetrta.ResourceClass{Name: "fpga", Count: 2},
+//	)
+//	g.SetClass(kern, 2) // kernel runs on an FPGA (class index into p.Classes)
 //
 // Reports are JSON-serializable; AnalyzeBatch fans a slice of graphs out on
 // a worker pool with deterministic output order; the context cancels
@@ -54,18 +68,20 @@ import (
 )
 
 // Graph is the DAG task model G = (V, E): nodes are sequential jobs with
-// WCETs, edges are precedence constraints, and at most one node is marked
-// Offload (the accelerator workload vOff).
+// WCETs, edges are precedence constraints, and any number of nodes may be
+// marked Offload (each assigned to a device resource class).
 type Graph = dag.Graph
 
-// NodeKind says where a node executes.
+// NodeKind says whether a node runs on the host, is offloaded, or is a
+// synchronization node.
 type NodeKind = dag.NodeKind
 
 // Node kinds.
 const (
 	// Host nodes execute on one of the m identical host cores.
 	Host = dag.Host
-	// Offload marks vOff, executed on the accelerator device.
+	// Offload marks a node executed on an accelerator device (its Class
+	// says which device class).
 	Offload = dag.Offload
 	// Sync marks zero-WCET synchronization nodes inserted by Transform.
 	Sync = dag.Sync
@@ -107,34 +123,19 @@ const (
 // Analysis bundles Rhom, the naive (unsafe) bound, and Rhet for one task.
 type Analysis = rta.Analysis
 
-// Rhom computes the homogeneous response-time bound of Eq. 1:
-// len(G) + (vol(G) − len(G))/m.
-//
-// Deprecated: use an Analyzer with RhomBound (or rta.Rhom via AnalyzeOn
-// with an explicit Platform). This shim fixes the platform to m cores + 1
-// device and will be removed after one release.
-func Rhom(g *Graph, m int) float64 { return rta.Rhom(g, platform.Hetero(m)) }
-
-// Analyze transforms the task (Algorithm 1) and computes every bound:
-// Rhom(τ), the unsafe naive reduction, and Rhet(τ') with its scenario.
-//
-// Deprecated: use Analyzer.Analyze, which adds context cancellation,
-// pluggable bounds, and a JSON-serializable Report; or call AnalyzeOn with
-// an explicit Platform for the raw *Analysis. This shim fixes the platform
-// to m cores + 1 device and will be removed after one release.
-func Analyze(g *Graph, m int) (*Analysis, error) { return rta.Analyze(g, platform.Hetero(m)) }
-
 // AnalyzeOn runs the paper's complete analysis pipeline (transform + Rhom +
 // naive + Rhet) on an explicit platform, returning the raw Analysis. Most
 // callers want the richer Analyzer.Analyze instead.
 func AnalyzeOn(g *Graph, p Platform) (*Analysis, error) { return rta.Analyze(g, p) }
 
-// Transformation is the result of Algorithm 1 (τ ⇒ τ').
+// Transformation is the result of Algorithm 1 (τ ⇒ τ') around one
+// offloaded node.
 type Transformation = transform.Result
 
 // Transform runs Algorithm 1: it inserts the synchronization node vsync
 // before vOff and the parallel sub-DAG GPar, guaranteeing they start
-// together. The input must be transitively reduced (see Reduce).
+// together. The input must be transitively reduced (see Reduce). For tasks
+// with several offloaded nodes, use TransformAll.
 func Transform(g *Graph) (*Transformation, error) { return transform.Transform(g) }
 
 // CheckTransform verifies the structural guarantees of a transformation
@@ -142,8 +143,21 @@ func Transform(g *Graph) (*Transformation, error) { return transform.Transform(g
 func CheckTransform(t *Transformation) error { return transform.Check(t) }
 
 // Platform describes the execution platform shared by every layer of the
-// toolkit: Cores host cores plus Devices accelerators.
+// toolkit: an ordered list of resource classes, Classes[0] being the host
+// class and every further class a device class. The Cores()/Devices()
+// views summarize it in the paper's two numbers.
 type Platform = platform.Platform
+
+// ResourceClass is one named class of identical machines on a Platform.
+type ResourceClass = platform.ResourceClass
+
+// NewPlatform builds a platform from an explicit class list; the first
+// class is the host class.
+func NewPlatform(classes ...ResourceClass) Platform { return platform.New(classes...) }
+
+// ParsePlatform builds a platform from a compact spec such as "4", "4+1",
+// or "host=4,gpu=1,fpga=2" (first entry is the host class).
+func ParsePlatform(spec string) (Platform, error) { return platform.Parse(spec) }
 
 // HeteroPlatform returns the paper's platform: m host cores + 1 device.
 func HeteroPlatform(m int) Platform { return platform.Hetero(m) }
@@ -172,18 +186,10 @@ type ExactResult = exact.Result
 // ExactOptions budget the exact search.
 type ExactOptions = exact.Options
 
-// MinMakespan computes the minimum makespan of g on p (the quantity the
-// paper obtains from CPLEX), proving optimality when the budget allows.
-//
-// Deprecated: use MinMakespanContext (or an Analyzer with WithExactBudget)
-// so long-running searches can be cancelled. This shim runs with
-// context.Background() and will be removed after one release.
-func MinMakespan(g *Graph, p Platform, opts ExactOptions) (*ExactResult, error) {
-	return exact.MinMakespan(context.Background(), g, p, opts)
-}
-
-// MinMakespanContext computes the minimum makespan of g on p, aborting
-// promptly with ctx's error when the context is cancelled mid-search.
+// MinMakespanContext computes the minimum makespan of g on p (the quantity
+// the paper obtains from CPLEX), proving optimality when the budget
+// allows, and aborting promptly with ctx's error when the context is
+// cancelled mid-search.
 func MinMakespanContext(ctx context.Context, g *Graph, p Platform, opts ExactOptions) (*ExactResult, error) {
 	return exact.MinMakespan(ctx, g, p, opts)
 }

@@ -1,6 +1,7 @@
 package hetrta_test
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -32,7 +33,7 @@ func TestPublicAnalyzePipeline(t *testing.T) {
 	if err := g.Validate(hetrta.PaperModel()); err != nil {
 		t.Fatal(err)
 	}
-	a, err := hetrta.Analyze(g, 2)
+	a, err := hetrta.AnalyzeOn(g, hetrta.HeteroPlatform(2))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -56,14 +57,18 @@ func TestPublicSimulateAndExact(t *testing.T) {
 	if sim.Makespan != 12 {
 		t.Fatalf("sim makespan = %d, want 12", sim.Makespan)
 	}
-	opt, err := hetrta.MinMakespan(g, hetrta.HeteroPlatform(2), hetrta.ExactOptions{})
+	opt, err := hetrta.MinMakespanContext(context.Background(), g, hetrta.HeteroPlatform(2), hetrta.ExactOptions{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if opt.Makespan != 9 {
 		t.Fatalf("optimal makespan = %d, want 9", opt.Makespan)
 	}
-	if float64(sim.Makespan) > hetrta.Rhom(g, 2) {
+	a, err := hetrta.AnalyzeOn(g, hetrta.HeteroPlatform(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if float64(sim.Makespan) > a.Rhom {
 		t.Fatal("simulation exceeded Rhom")
 	}
 }
@@ -81,7 +86,7 @@ func TestPublicGeneratorRoundTrip(t *testing.T) {
 	if frac <= 0 || frac >= 1 {
 		t.Fatalf("realized fraction %v", frac)
 	}
-	a, err := hetrta.Analyze(g, 4)
+	a, err := hetrta.AnalyzeOn(g, hetrta.HeteroPlatform(4))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,10 +1,20 @@
 package hetrta_test
 
 import (
+	"context"
 	"testing"
 
 	hetrta "repro"
 )
+
+// twoDevPlatform is the 4-core + 2-device shape used by the extension
+// tests, built through the typed-platform constructor.
+func twoDevPlatform() hetrta.Platform {
+	return hetrta.NewPlatform(
+		hetrta.ResourceClass{Name: "host", Count: 4},
+		hetrta.ResourceClass{Name: "dev", Count: 2},
+	)
+}
 
 // Cross-package integration tests: the paper-level invariants that tie the
 // analysis (rta/transform), the simulator (sched), and the exact oracle
@@ -28,17 +38,17 @@ func TestBoundsSandwichExactOptimum(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		a, err := hetrta.Analyze(g, 2)
+		a, err := hetrta.AnalyzeOn(g, hetrta.HeteroPlatform(2))
 		if err != nil {
 			t.Fatal(err)
 		}
 		p := hetrta.HeteroPlatform(2)
 
-		optOrig, err := hetrta.MinMakespan(g, p, hetrta.ExactOptions{})
+		optOrig, err := hetrta.MinMakespanContext(context.Background(), g, p, hetrta.ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
-		optTrans, err := hetrta.MinMakespan(a.Transform.Transformed, p, hetrta.ExactOptions{})
+		optTrans, err := hetrta.MinMakespanContext(context.Background(), a.Transform.Transformed, p, hetrta.ExactOptions{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -116,7 +126,7 @@ func TestFederatedAllocationThroughPublicAPI(t *testing.T) {
 		d := int64(float64(g.Volume()) * 0.8) // heavy: U = 1.25
 		tasks = append(tasks, hetrta.Task{G: g, Period: d, Deadline: d})
 	}
-	alloc, err := hetrta.Allocate(hetrta.TaskSystem{Tasks: tasks, Platform: hetrta.Platform{Cores: 64, Devices: 1}})
+	alloc, err := hetrta.Allocate(hetrta.TaskSystem{Tasks: tasks, Platform: hetrta.HeteroPlatform(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,11 +184,11 @@ func TestMultiOffloadEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	typed, err := hetrta.TypedRhomOn(g, hetrta.Platform{Cores: 4, Devices: 2})
+	typed, err := hetrta.TypedRhomOn(g, twoDevPlatform())
 	if err != nil {
 		t.Fatal(err)
 	}
-	p := hetrta.Platform{Cores: 4, Devices: 2}
+	p := twoDevPlatform()
 	for _, graph := range []*hetrta.Graph{g, mt.Transformed} {
 		sim, err := hetrta.Simulate(graph, p, hetrta.BreadthFirst())
 		if err != nil {

@@ -3,29 +3,63 @@ package dag
 import (
 	"fmt"
 	"io"
+	"sort"
 	"strings"
 )
 
+// classFillColors is the palette for offload device classes in DOT output:
+// class c uses classFillColors[(c-1) % len]. Class 1 keeps the historical
+// lightblue so single-accelerator renderings are unchanged.
+var classFillColors = []string{
+	"lightblue", "palegreen", "gold", "orchid", "lightsalmon", "lightcyan",
+}
+
+// classFill returns the fill color for an offload node of class c (≥ 1).
+func classFill(c int) string {
+	if c < 1 {
+		c = 1
+	}
+	return classFillColors[(c-1)%len(classFillColors)]
+}
+
 // WriteDOT emits the graph in Graphviz DOT format. Offload nodes are drawn
-// as ellipses with a double border, Sync nodes as red squares (matching the
-// paper's Figure 3(b) convention), and host nodes as plain circles. Each
-// label shows the node name and WCET in parentheses, as in Figure 1(a).
+// as ellipses with a double border and a per-resource-class fill color,
+// Sync nodes as red squares (matching the paper's Figure 3(b) convention),
+// and host nodes as plain circles. Each label shows the node name and WCET
+// in parentheses, as in Figure 1(a). When the graph uses more than one
+// device class, a legend mapping colors to classes is included.
 func (g *Graph) WriteDOT(w io.Writer, title string) error {
 	var b strings.Builder
 	fmt.Fprintf(&b, "digraph %q {\n", title)
 	b.WriteString("  rankdir=TB;\n")
+	classes := map[int]bool{}
 	for id := range g.nodes {
 		n := &g.nodes[id]
 		attrs := fmt.Sprintf("label=%q", fmt.Sprintf("%s (%d)", g.Name(id), n.WCET))
 		switch n.Kind {
 		case Offload:
-			attrs += ", shape=ellipse, peripheries=2, style=filled, fillcolor=lightblue"
+			classes[n.Class] = true
+			attrs += fmt.Sprintf(", shape=ellipse, peripheries=2, style=filled, fillcolor=%s", classFill(n.Class))
 		case Sync:
 			attrs += ", shape=square, style=filled, fillcolor=red, fontcolor=white"
 		default:
 			attrs += ", shape=circle"
 		}
 		fmt.Fprintf(&b, "  n%d [%s];\n", id, attrs)
+	}
+	if len(classes) > 1 {
+		// Multi-class graph: emit a legend so the class colors are readable.
+		b.WriteString("  subgraph cluster_legend {\n    label=\"resource classes\";\n")
+		order := make([]int, 0, len(classes))
+		for c := range classes {
+			order = append(order, c)
+		}
+		sort.Ints(order)
+		for _, c := range order {
+			fmt.Fprintf(&b, "    legend_c%d [label=\"class %d\", shape=ellipse, peripheries=2, style=filled, fillcolor=%s];\n",
+				c, c, classFill(c))
+		}
+		b.WriteString("  }\n")
 	}
 	for u := range g.succs {
 		for _, v := range g.succs[u] {

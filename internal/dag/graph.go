@@ -58,8 +58,14 @@ type Node struct {
 	// WCET is the worst-case execution time C_i, a non-negative integer.
 	// Only Sync nodes may have WCET zero in paper-conformant graphs.
 	WCET int64
-	// Kind states on which resource class the node executes.
+	// Kind states whether the node runs on the host, is offloaded, or is a
+	// synchronization node.
 	Kind NodeKind
+	// Class is the platform resource-class index the node executes on:
+	// 0 (the host class) for Host and Sync nodes, ≥ 1 (a device class) for
+	// Offload nodes. Offload nodes default to class 1, the paper's single
+	// accelerator; SetClass targets further device classes.
+	Class int
 }
 
 // Graph is a directed graph intended to be acyclic. It is the G = (V, E) of
@@ -111,6 +117,10 @@ func (g *Graph) WCET(id int) int64 { return g.nodes[id].WCET }
 // Kind returns the kind of node id.
 func (g *Graph) Kind(id int) NodeKind { return g.nodes[id].Kind }
 
+// Class returns the resource-class index of node id: 0 for Host and Sync
+// nodes, the device-class index (≥ 1) for Offload nodes.
+func (g *Graph) Class(id int) int { return g.nodes[id].Class }
+
 // Name returns the name of node id, synthesizing "v<id+1>" when unnamed so
 // printed output matches the paper's v1..vn convention.
 func (g *Graph) Name(id int) string {
@@ -126,10 +136,38 @@ func (g *Graph) SetWCET(id int, wcet int64) {
 	g.nodes[id].WCET = wcet
 }
 
-// SetKind updates the kind of node id.
+// SetKind updates the kind of node id, keeping the resource class
+// consistent: non-Offload nodes land in the host class, Offload nodes keep
+// their device class (defaulting to class 1).
 func (g *Graph) SetKind(id int, kind NodeKind) {
 	g.invalidate()
 	g.nodes[id].Kind = kind
+	switch {
+	case kind != Offload:
+		g.nodes[id].Class = 0
+	case g.nodes[id].Class < 1:
+		g.nodes[id].Class = 1
+	}
+}
+
+// SetClass assigns node id to platform resource class class: 0 makes it a
+// Host node, ≥ 1 an Offload node of that device class. Sync nodes cannot be
+// re-classed (they consume no resource); SetClass panics on them, mirroring
+// the out-of-range panics of the other setters.
+func (g *Graph) SetClass(id int, class int) {
+	if class < 0 {
+		panic(fmt.Sprintf("dag: SetClass(%d, %d): negative class", id, class))
+	}
+	if g.nodes[id].Kind == Sync {
+		panic(fmt.Sprintf("dag: SetClass on sync node %d", id))
+	}
+	g.invalidate()
+	g.nodes[id].Class = class
+	if class == 0 {
+		g.nodes[id].Kind = Host
+	} else {
+		g.nodes[id].Kind = Offload
+	}
 }
 
 // SetName updates the name of node id.
@@ -138,11 +176,16 @@ func (g *Graph) SetName(id int, name string) {
 	g.nodes[id].Name = name
 }
 
-// AddNode appends a node and returns its ID.
+// AddNode appends a node and returns its ID. Offload nodes land in device
+// class 1 (the paper's single accelerator); use SetClass for other classes.
 func (g *Graph) AddNode(name string, wcet int64, kind NodeKind) int {
 	g.invalidate()
 	id := len(g.nodes)
-	g.nodes = append(g.nodes, Node{ID: id, Name: name, WCET: wcet, Kind: kind})
+	class := 0
+	if kind == Offload {
+		class = 1
+	}
+	g.nodes = append(g.nodes, Node{ID: id, Name: name, WCET: wcet, Kind: kind, Class: class})
 	// Regrowing after Reset recycles the old adjacency rows (truncated, but
 	// keeping their capacity) instead of allocating fresh ones.
 	if id < cap(g.succs) {
@@ -374,6 +417,13 @@ func FromAdjacency(nodes []Node, succs [][]int) (*Graph, error) {
 	indeg := make([]int, n)
 	for u, list := range succs {
 		g.nodes[u].ID = u
+		// Normalize the kind↔class invariant the setters maintain.
+		switch {
+		case g.nodes[u].Kind != Offload:
+			g.nodes[u].Class = 0
+		case g.nodes[u].Class < 1:
+			g.nodes[u].Class = 1
+		}
 		total += len(list)
 		prev := -1
 		for _, v := range list {

@@ -18,6 +18,10 @@ type jsonNode struct {
 	Name string `json:"name,omitempty"`
 	WCET int64  `json:"wcet"`
 	Kind string `json:"kind,omitempty"`
+	// Class is the resource-class index for offload nodes. Omitted for the
+	// default (host nodes, and offload nodes on the first device class), so
+	// single-accelerator task files are unchanged.
+	Class int `json:"class,omitempty"`
 }
 
 type jsonGraph struct {
@@ -36,6 +40,9 @@ func (g *Graph) MarshalJSON() ([]byte, error) {
 			Name: g.nodes[i].Name,
 			WCET: g.nodes[i].WCET,
 			Kind: g.nodes[i].Kind.String(),
+		}
+		if g.nodes[i].Class > 1 {
+			jg.Nodes[i].Class = g.nodes[i].Class
 		}
 	}
 	return json.Marshal(jg)
@@ -60,7 +67,16 @@ func (g *Graph) UnmarshalJSON(data []byte) error {
 		default:
 			return fmt.Errorf("dag: node %d: unknown kind %q", i, n.Kind)
 		}
-		tmp.AddNode(n.Name, n.WCET, kind)
+		id := tmp.AddNode(n.Name, n.WCET, kind)
+		if n.Class != 0 {
+			if kind != Offload {
+				return fmt.Errorf("dag: node %d: class %d on %s node (only offload nodes carry a device class)", i, n.Class, kind)
+			}
+			if n.Class < 1 {
+				return fmt.Errorf("dag: node %d: invalid class %d", i, n.Class)
+			}
+			tmp.SetClass(id, n.Class)
+		}
 	}
 	for _, e := range jg.Edges {
 		if err := tmp.AddEdge(e[0], e[1]); err != nil {

@@ -84,4 +84,68 @@ func TestDOTOutput(t *testing.T) {
 			t.Errorf("DOT output missing %q:\n%s", want, dot)
 		}
 	}
+	if strings.Contains(dot, "cluster_legend") {
+		t.Error("single-class graph got a class legend")
+	}
+}
+
+func TestDOTMultiClassLegend(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", 1, Host)
+	gpu := g.AddNode("gpu", 4, Offload) // class 1
+	fpga := g.AddNode("fpga", 3, Offload)
+	g.SetClass(fpga, 2)
+	g.MustAddEdge(a, gpu)
+	g.MustAddEdge(a, fpga)
+	dot := g.DOT("multi")
+	for _, want := range []string{
+		"cluster_legend",      // legend present on multi-class graphs
+		"fillcolor=lightblue", // class 1 keeps the historical color
+		"fillcolor=palegreen", // class 2 is distinguishable
+		`label="class 1"`,     // legend entries
+		`label="class 2"`,     //
+		`label="resource classes"`,
+	} {
+		if !strings.Contains(dot, want) {
+			t.Errorf("multi-class DOT missing %q:\n%s", want, dot)
+		}
+	}
+}
+
+func TestJSONRoundTripsDeviceClasses(t *testing.T) {
+	g := New()
+	a := g.AddNode("a", 2, Host)
+	b := g.AddNode("b", 5, Offload) // default class 1
+	c := g.AddNode("c", 3, Offload)
+	g.SetClass(c, 2)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+
+	data, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Default-class offloads stay class-free on the wire, so existing
+	// single-accelerator task files are byte-compatible.
+	if strings.Contains(string(data), `"class":1`) {
+		t.Errorf("default class serialized: %s", data)
+	}
+	if !strings.Contains(string(data), `"class":2`) {
+		t.Errorf("device class missing: %s", data)
+	}
+	back := New()
+	if err := json.Unmarshal(data, back); err != nil {
+		t.Fatal(err)
+	}
+	if !back.Equal(g) {
+		t.Errorf("round trip changed the graph")
+	}
+	if back.Class(b) != 1 || back.Class(c) != 2 {
+		t.Errorf("classes = %d/%d, want 1/2", back.Class(b), back.Class(c))
+	}
+
+	// A class on a host node is rejected.
+	if err := json.Unmarshal([]byte(`{"nodes":[{"wcet":1,"class":2}],"edges":[]}`), New()); err == nil {
+		t.Error("class on host node accepted")
+	}
 }

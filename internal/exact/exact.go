@@ -1,13 +1,14 @@
 // Package exact computes the minimum makespan of a heterogeneous DAG task
-// on m host cores plus accelerator devices. It replaces the IBM CPLEX ILP
-// of the paper's Section 5 (which minimizes heterogeneous DAG makespan to
-// quantify the pessimism of Rhom/Rhet in Figure 7).
+// on a platform of machine classes (m host cores plus accelerator-device
+// classes). It replaces the IBM CPLEX ILP of the paper's Section 5 (which
+// minimizes heterogeneous DAG makespan to quantify the pessimism of
+// Rhom/Rhet in Figure 7).
 //
 // # Why branch-and-bound over schedule-generation orders is exact
 //
-// For machines partitioned into classes (m identical host cores, d identical
-// devices) where every job needs exactly one machine of a fixed class, the
-// serial schedule-generation scheme (SGS) — schedule jobs one at a time in a
+// For machines partitioned into classes (identical within a class) where
+// every job needs exactly one machine of a fixed class, the serial
+// schedule-generation scheme (SGS) — schedule jobs one at a time in a
 // precedence-feasible order, each at max(ready time, earliest available
 // machine of its class) — reaches an optimal schedule for some order. Proof
 // sketch (DESIGN.md §4.3): take an optimal schedule S*, order jobs by
@@ -17,7 +18,8 @@
 // start time, the class-mates occupying them would also occupy them in S*,
 // leaving no machine for the job in S* — contradiction. Hence exhaustive
 // search over SGS orders, with admissible lower bounds for pruning, yields
-// the exact optimum.
+// the exact optimum. The argument never uses the number of classes, so it
+// holds unchanged for any class count.
 //
 // By default the branching additionally applies the Giffler–Thompson
 // active-schedule restriction adapted to identical machine classes: let
@@ -41,6 +43,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"slices"
 
 	"repro/internal/dag"
@@ -114,7 +117,8 @@ type Result struct {
 
 // MinMakespan computes the minimum makespan of g on platform p. Graphs with
 // more than 64 nodes are rejected (the search state uses a 64-bit mask);
-// the paper's ILP comparison is likewise restricted to small tasks.
+// the paper's ILP comparison is likewise restricted to small tasks. The
+// platform may have up to 64 resource classes.
 //
 // The search honors ctx: cancelling it makes MinMakespan return promptly
 // with ctx's error (the branch-and-bound checks the context every
@@ -133,6 +137,10 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	if n > 64 {
 		return nil, fmt.Errorf("exact: %d nodes exceed the 64-node search limit", n)
 	}
+	nClasses := p.NumClasses()
+	if nClasses > 64 {
+		return nil, fmt.Errorf("exact: %d resource classes exceed the 64-class limit", nClasses)
+	}
 	topo, ok := g.TopoOrder()
 	if !ok {
 		return nil, fmt.Errorf("exact: %w", dag.ErrCyclic)
@@ -143,6 +151,7 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 		g:            g,
 		p:            p,
 		n:            n,
+		nClasses:     nClasses,
 		topo:         topo,
 		tail:         g.LongestToEnd(),
 		maxExp:       opts.MaxExpansions,
@@ -159,14 +168,23 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	if s.ctxEvery == 0 {
 		s.ctxEvery = DefaultCtxCheckEvery
 	}
-	s.isDev = make([]bool, n)
+	s.cls = make([]int, n)
+	s.work = make([]int64, nClasses)
+	homogeneous := p.Devices() == 0
 	for v := 0; v < n; v++ {
-		if p.Devices > 0 && g.Kind(v) == dag.Offload {
-			s.isDev[v] = true
-			s.devWork += g.WCET(v)
-		} else {
-			s.hostWork += g.WCET(v)
+		c := g.Class(v)
+		if homogeneous {
+			c = 0
 		}
+		if g.WCET(v) > 0 && p.Count(c) == 0 {
+			return nil, fmt.Errorf("exact: node %d needs resource class %d (%s) but platform %v has no such machine",
+				v, c, p.ClassName(c), p)
+		}
+		if p.Count(c) == 0 {
+			c = 0 // resource-free node; park it in the host class
+		}
+		s.cls[v] = c
+		s.work[c] += g.WCET(v)
 	}
 	s.succMask = make([]uint64, n)
 	for v := 0; v < n; v++ {
@@ -174,20 +192,16 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 			s.succMask[v] |= 1 << uint(w)
 		}
 	}
-	// Influence flags for signature clamping: does v's finish time reach a
-	// host (resp. device) node's start through chains of zero-WCET nodes?
-	s.feedsHost = make([]bool, n)
-	s.feedsDev = make([]bool, n)
+	// Influence masks for signature clamping: which classes' node starts
+	// does v's finish time reach, through chains of zero-WCET nodes?
+	s.feeds = make([]uint64, n)
 	for i := n - 1; i >= 0; i-- {
 		v := topo[i]
 		for _, w := range g.Succs(v) {
 			if g.WCET(w) == 0 {
-				s.feedsHost[v] = s.feedsHost[v] || s.feedsHost[w]
-				s.feedsDev[v] = s.feedsDev[v] || s.feedsDev[w]
-			} else if s.isDev[w] {
-				s.feedsDev[v] = true
+				s.feeds[v] |= s.feeds[w]
 			} else {
-				s.feedsHost[v] = true
+				s.feeds[v] |= 1 << uint(s.cls[w])
 			}
 		}
 	}
@@ -195,12 +209,11 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 
 	// Root lower bound: critical path and per-class load.
 	rootLB := g.CriticalPathLength()
-	if lb := divCeil(s.hostWork, int64(p.Cores)); lb > rootLB {
-		rootLB = lb
-	}
-	if p.Devices > 0 && s.devWork > 0 {
-		if lb := divCeil(s.devWork, int64(p.Devices)); lb > rootLB {
-			rootLB = lb
+	for c := 0; c < nClasses; c++ {
+		if s.work[c] > 0 && p.Count(c) > 0 {
+			if lb := divCeil(s.work[c], int64(p.Count(c))); lb > rootLB {
+				rootLB = lb
+			}
 		}
 	}
 
@@ -254,15 +267,18 @@ type solver struct {
 	g        *dag.Graph
 	p        sched.Platform
 	n        int
+	nClasses int
 	topo     []int
 	tail     []int64
-	isDev    []bool
+	// cls is each node's machine class (with the homogeneous fallback
+	// applied); work is the total WCET per class.
+	cls      []int
+	work     []int64
 	succMask []uint64
-	hostWork int64
-	devWork  int64
 
-	feedsHost []bool
-	feedsDev  []bool
+	// feeds[v] is the bitmask of classes whose node starts v's finish time
+	// can influence through zero-WCET chains.
+	feeds []uint64
 
 	best      int64
 	bestSpans []sched.Span
@@ -279,7 +295,8 @@ type solver struct {
 
 	// cur is THE search state: the dfs mutates it in place via
 	// applyTo/undo instead of cloning per branch, so descending one level
-	// costs an O(1) undo record rather than five slice copies.
+	// costs an O(1) undo record rather than a copy of every class's
+	// availability vector.
 	cur state
 
 	// levels holds per-recursion-depth scratch (estimates, candidate
@@ -288,11 +305,13 @@ type solver struct {
 	levels []level
 
 	// Scratch for signature: the dominance vector is built in sigBuf and
-	// only copied when it is actually inserted into the memo; hostBuf and
-	// devBuf hold the sorted availability vectors.
-	sigBuf  []int64
-	hostBuf []int64
-	devBuf  []int64
+	// only copied when it is actually inserted into the memo; availBuf
+	// holds the per-class sorted availability vectors, classMin their
+	// minima, remBuf the per-class remaining work of lower().
+	sigBuf   []int64
+	availBuf []int64
+	classMin []int64
+	remBuf   []int64
 }
 
 // level is the per-depth scratch of one dfs frame.
@@ -303,13 +322,13 @@ type level struct {
 }
 
 type state struct {
-	mask      uint64 // scheduled nodes
-	finish    []int64
-	hostAvail []int64 // per host core, absolute availability time
-	devAvail  []int64
-	makespan  int64
-	order     []int        // branched (non-free) nodes in SGS order
-	spans     []sched.Span // only populated during replay
+	mask   uint64 // scheduled nodes
+	finish []int64
+	// avail[c][i] is the absolute availability time of machine i of class c.
+	avail    [][]int64
+	makespan int64
+	order    []int        // branched (non-free) nodes in SGS order
+	spans    []sched.Span // only populated during replay
 }
 
 // undoRec is what applyTo changed beyond the append-only order slice: the
@@ -320,24 +339,33 @@ type undoRec struct {
 	prevMask     uint64
 	prevMakespan int64
 	orderLen     int
-	machine      int // index into hostAvail/devAvail; -1 when nothing branched
-	isDev        bool
+	machine      int // index into avail[class]; -1 when nothing branched
+	class        int
 	prevAvail    int64
+}
+
+// newAvail allocates one availability vector per class, sized to the class.
+func (s *solver) newAvail() [][]int64 {
+	avail := make([][]int64, s.nClasses)
+	for c := range avail {
+		avail[c] = make([]int64, s.p.Count(c))
+	}
+	return avail
 }
 
 // initRoot sets up the in-place search state and per-depth scratch.
 func (s *solver) initRoot() {
 	s.cur = state{
-		finish:    make([]int64, s.n),
-		hostAvail: make([]int64, s.p.Cores),
-		devAvail:  make([]int64, s.p.Devices),
-		order:     make([]int, 0, s.n),
+		finish: make([]int64, s.n),
+		avail:  s.newAvail(),
+		order:  make([]int, 0, s.n),
 	}
 	s.scheduleFreeNodes(&s.cur)
 	s.levels = make([]level, s.n+1)
-	s.sigBuf = make([]int64, 0, s.p.Cores+s.p.Devices+s.n+1)
-	s.hostBuf = make([]int64, 0, s.p.Cores)
-	s.devBuf = make([]int64, 0, s.p.Devices)
+	s.sigBuf = make([]int64, 0, s.p.Total()+s.n+1)
+	s.availBuf = make([]int64, 0, s.p.Total())
+	s.classMin = make([]int64, s.nClasses)
+	s.remBuf = make([]int64, s.nClasses)
 }
 
 // levelAt returns depth d's scratch, allocating its buffers on first use.
@@ -357,11 +385,7 @@ func (s *solver) undo(u undoRec) {
 	st.makespan = u.prevMakespan
 	st.order = st.order[:u.orderLen]
 	if u.machine >= 0 {
-		if u.isDev {
-			st.devAvail[u.machine] = u.prevAvail
-		} else {
-			st.hostAvail[u.machine] = u.prevAvail
-		}
+		st.avail[u.class][u.machine] = u.prevAvail
 	}
 }
 
@@ -409,19 +433,16 @@ func (s *solver) scheduleFreeNodes(st *state) {
 // applyTo schedules node v on st in place using the serial SGS rule (with
 // forced zero-WCET moves applied) and returns the undo record.
 func (s *solver) applyTo(st *state, v int) undoRec {
-	u := undoRec{prevMask: st.mask, prevMakespan: st.makespan, orderLen: len(st.order)}
+	u := undoRec{prevMask: st.mask, prevMakespan: st.makespan, orderLen: len(st.order), machine: -1}
 	var ready int64
 	for _, p := range s.g.Preds(v) {
 		if st.finish[p] > ready {
 			ready = st.finish[p]
 		}
 	}
-	avail := st.hostAvail
-	resBase := 0
-	if s.isDev[v] {
-		avail = st.devAvail
-		resBase = s.p.Cores
-	}
+	cls := s.cls[v]
+	avail := st.avail[cls]
+	resBase := s.p.Base(cls)
 	// Earliest-available machine, lowest index on ties, for determinism.
 	mi := 0
 	for i := 1; i < len(avail); i++ {
@@ -429,7 +450,7 @@ func (s *solver) applyTo(st *state, v int) undoRec {
 			mi = i
 		}
 	}
-	u.machine, u.isDev, u.prevAvail = mi, s.isDev[v], avail[mi]
+	u.machine, u.class, u.prevAvail = mi, cls, avail[mi]
 	start := ready
 	if avail[mi] > start {
 		start = avail[mi]
@@ -453,16 +474,29 @@ func (s *solver) applyTo(st *state, v int) undoRec {
 // per incumbent improvement, so it allocates its own state.
 func (s *solver) replay(order []int) []sched.Span {
 	st := &state{
-		finish:    make([]int64, s.n),
-		hostAvail: make([]int64, s.p.Cores),
-		devAvail:  make([]int64, s.p.Devices),
-		spans:     make([]sched.Span, s.n),
+		finish: make([]int64, s.n),
+		avail:  s.newAvail(),
+		spans:  make([]sched.Span, s.n),
 	}
 	s.scheduleFreeNodes(st)
 	for _, v := range order {
 		s.applyTo(st, v)
 	}
 	return st.spans
+}
+
+// minAvails writes each class's minimum machine availability into
+// s.classMin (MaxInt64 for machine-less classes).
+func (s *solver) minAvails(st *state) {
+	for c := 0; c < s.nClasses; c++ {
+		m := int64(math.MaxInt64)
+		for _, a := range st.avail[c] {
+			if a < m {
+				m = a
+			}
+		}
+		s.classMin[c] = m
+	}
 }
 
 // estimates computes, for each unscheduled node, a lower bound on its start
@@ -473,29 +507,15 @@ func (s *solver) estimates(st *state, est []int64) {
 	for i := range est {
 		est[i] = 0
 	}
-	minHost, minDev := int64(math.MaxInt64), int64(math.MaxInt64)
-	for _, a := range st.hostAvail {
-		if a < minHost {
-			minHost = a
-		}
-	}
-	for _, a := range st.devAvail {
-		if a < minDev {
-			minDev = a
-		}
-	}
+	s.minAvails(st)
 	for _, v := range s.topo {
 		if s.scheduled(st, v) {
 			continue
 		}
 		var e int64
 		if s.g.WCET(v) > 0 {
-			if s.isDev[v] {
-				if s.p.Devices > 0 && minDev > e {
-					e = minDev
-				}
-			} else if minHost > e {
-				e = minHost
+			if m := s.classMin[s.cls[v]]; m != math.MaxInt64 && m > e {
+				e = m
 			}
 		}
 		for _, p := range s.g.Preds(v) {
@@ -516,7 +536,10 @@ func (s *solver) estimates(st *state, est []int64) {
 // lower computes the admissible bound pruning the node.
 func (s *solver) lower(st *state, est []int64) int64 {
 	lb := st.makespan
-	var remHost, remDev int64
+	rem := s.remBuf
+	for c := range rem {
+		rem[c] = 0
+	}
 	for v := 0; v < s.n; v++ {
 		if s.scheduled(st, v) {
 			continue
@@ -524,27 +547,17 @@ func (s *solver) lower(st *state, est []int64) int64 {
 		if b := est[v] + s.tail[v]; b > lb {
 			lb = b
 		}
-		if s.isDev[v] {
-			remDev += s.g.WCET(v)
-		} else {
-			remHost += s.g.WCET(v)
-		}
+		rem[s.cls[v]] += s.g.WCET(v)
 	}
-	if remHost > 0 {
+	for c := 0; c < s.nClasses; c++ {
+		if rem[c] == 0 || s.p.Count(c) == 0 {
+			continue
+		}
 		var sum int64
-		for _, a := range st.hostAvail {
+		for _, a := range st.avail[c] {
 			sum += a
 		}
-		if b := divCeil(sum+remHost, int64(s.p.Cores)); b > lb {
-			lb = b
-		}
-	}
-	if remDev > 0 && s.p.Devices > 0 {
-		var sum int64
-		for _, a := range st.devAvail {
-			sum += a
-		}
-		if b := divCeil(sum+remDev, int64(s.p.Devices)); b > lb {
+		if b := divCeil(sum+rem[c], int64(s.p.Count(c))); b > lb {
 			lb = b
 		}
 	}
@@ -552,10 +565,11 @@ func (s *solver) lower(st *state, est []int64) int64 {
 }
 
 // signature builds the dominance vector for memoization: sorted per-class
-// machine availability, the finish times of scheduled nodes that still have
-// unscheduled successors (in node-ID order), and the partial makespan. Two
-// states with equal masks compare componentwise; a state dominated by a
-// stored one cannot lead to a better completion.
+// machine availability (classes in platform order), the finish times of
+// scheduled nodes that still have unscheduled successors (in node-ID
+// order), and the partial makespan. Two states with equal masks compare
+// componentwise; a state dominated by a stored one cannot lead to a better
+// completion.
 //
 // Finish times are clamped up to the earliest machine availability of the
 // classes the node's finish can actually influence (through zero-WCET
@@ -568,36 +582,30 @@ func (s *solver) lower(st *state, est []int64) int64 {
 // signature call; dominated copies it only on memo insertion.
 func (s *solver) signature(st *state) []int64 {
 	sig := s.sigBuf[:0]
-	host := append(s.hostBuf[:0], st.hostAvail...)
-	slices.Sort(host)
-	sig = append(sig, host...)
-	dev := append(s.devBuf[:0], st.devAvail...)
-	slices.Sort(dev)
-	sig = append(sig, dev...)
-	minHost := int64(math.MaxInt64)
-	if len(host) > 0 {
-		minHost = host[0]
+	for c := 0; c < s.nClasses; c++ {
+		row := append(s.availBuf[:0], st.avail[c]...)
+		slices.Sort(row)
+		sig = append(sig, row...)
 	}
-	minDev := int64(math.MaxInt64)
-	if len(dev) > 0 {
-		minDev = dev[0]
-	}
+	s.minAvails(st)
 	// Fallback floor when a finish only feeds the makespan (zero-WCET sink
 	// chains): any current availability lower-bounds the final makespan,
 	// so the largest of the class minima is a sound clamp.
-	sinkFloor := minHost
-	if minDev != math.MaxInt64 && (sinkFloor == math.MaxInt64 || minDev > sinkFloor) {
-		sinkFloor = minDev
+	sinkFloor := int64(math.MaxInt64)
+	for c := 0; c < s.nClasses; c++ {
+		if m := s.classMin[c]; m != math.MaxInt64 && (sinkFloor == math.MaxInt64 || m > sinkFloor) {
+			sinkFloor = m
+		}
 	}
 	unscheduled := ^st.mask
 	for v := 0; v < s.n; v++ {
 		if s.scheduled(st, v) && s.succMask[v]&unscheduled != 0 {
 			floor := int64(math.MaxInt64)
-			if s.feedsHost[v] && minHost < floor {
-				floor = minHost
-			}
-			if s.feedsDev[v] && minDev < floor {
-				floor = minDev
+			for mask := s.feeds[v]; mask != 0; mask &= mask - 1 {
+				c := bits.TrailingZeros64(mask)
+				if m := s.classMin[c]; m < floor {
+					floor = m
+				}
 			}
 			if floor == math.MaxInt64 {
 				floor = sinkFloor
@@ -694,21 +702,22 @@ func (s *solver) dfs(depth int) {
 	lv.cands = cands
 
 	// Giffler–Thompson active-schedule restriction: branch only on the
-	// class achieving the minimum earliest completion time, and only on
-	// its candidates that could start strictly before that completion.
-	// Filtered in place (writes trail reads).
+	// class achieving the minimum earliest completion time (lowest class
+	// index on ties), and only on its candidates that could start strictly
+	// before that completion. Filtered in place (writes trail reads).
 	if !s.unrestricted && len(cands) > 1 {
 		minECT := cands[0].ect
-		cls := s.isDev[cands[0].v]
+		cls := s.cls[cands[0].v]
 		for _, c := range cands[1:] {
-			if c.ect < minECT || (c.ect == minECT && !s.isDev[c.v] && cls) {
+			cc := s.cls[c.v]
+			if c.ect < minECT || (c.ect == minECT && cc < cls) {
 				minECT = c.ect
-				cls = s.isDev[c.v]
+				cls = cc
 			}
 		}
 		keep := cands[:0]
 		for _, c := range cands {
-			if s.isDev[c.v] == cls && c.est < minECT {
+			if s.cls[c.v] == cls && c.est < minECT {
 				keep = append(keep, c)
 			}
 		}
@@ -723,7 +732,7 @@ func (s *solver) dfs(depth int) {
 		dup := false
 		for j := 0; j < i; j++ {
 			d := cands[j]
-			if d.v < c.v && s.isDev[d.v] == s.isDev[c.v] &&
+			if d.v < c.v && s.cls[d.v] == s.cls[c.v] &&
 				s.g.WCET(d.v) == s.g.WCET(c.v) &&
 				s.succMask[d.v] == s.succMask[c.v] && d.est == c.est {
 				dup = true

@@ -382,3 +382,112 @@ func TestMinMakespanDeadline(t *testing.T) {
 		t.Fatalf("deadline overrun: %v", elapsed)
 	}
 }
+
+// multiClassTask builds a random task with k offload nodes spread over
+// `classes` device classes.
+func multiClassTask(t testing.TB, seed int64, k, classes int) *dag.Graph {
+	t.Helper()
+	gen := taskgen.MustNew(taskgen.Small(8, 16), seed)
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := g.NumNodes()
+	for i := 0; i < k; i++ {
+		id := (1 + i*n/k) % n
+		if g.Kind(id) == dag.Offload {
+			continue
+		}
+		taskgen.SetOffloadClass(g, id, 0.1, 1+i%classes)
+	}
+	return g
+}
+
+// TestMultiClassRestrictedMatchesUnrestricted cross-validates the
+// Giffler–Thompson restriction on three-class platforms: both searches
+// must prove the same optimum, and it must be a feasible schedule.
+func TestMultiClassRestrictedMatchesUnrestricted(t *testing.T) {
+	p := platform.New(
+		platform.ResourceClass{Name: "host", Count: 2},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 1},
+	)
+	for seed := int64(0); seed < 8; seed++ {
+		g := multiClassTask(t, 7000+seed, 3, 2)
+		restricted, err := MinMakespan(context.Background(), g, p, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		unrestricted, err := MinMakespan(context.Background(), g, p, Options{Unrestricted: true})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if restricted.Status != Optimal || unrestricted.Status != Optimal {
+			t.Fatalf("seed %d: statuses %v/%v, want optimal", seed, restricted.Status, unrestricted.Status)
+		}
+		if restricted.Makespan != unrestricted.Makespan {
+			t.Fatalf("seed %d: restricted %d ≠ unrestricted %d", seed, restricted.Makespan, unrestricted.Makespan)
+		}
+		sim := &sched.Result{Makespan: restricted.Makespan, Spans: restricted.Spans, Platform: p}
+		if err := sim.Validate(g); err != nil {
+			t.Fatalf("seed %d: optimal schedule infeasible: %v", seed, err)
+		}
+		// The typed bound upper-bounds any work-conserving schedule, hence
+		// also the optimum.
+		bound, err := rta.TypedRhom(g, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if float64(restricted.Makespan) > bound+1e-9 {
+			t.Fatalf("seed %d: optimum %d exceeds typed bound %v", seed, restricted.Makespan, bound)
+		}
+	}
+}
+
+// TestMultiClassMoreMachinesNeverHurt: adding a machine to any class can
+// only reduce (or keep) the optimum.
+func TestMultiClassMoreMachinesNeverHurt(t *testing.T) {
+	base := platform.New(
+		platform.ResourceClass{Name: "host", Count: 1},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 1},
+	)
+	for seed := int64(0); seed < 6; seed++ {
+		g := multiClassTask(t, 8100+seed, 4, 2)
+		ref, err := MinMakespan(context.Background(), g, base, Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for c := 0; c < base.NumClasses(); c++ {
+			grown := platform.New(base.Classes...)
+			grown.Classes[c].Count++
+			got, err := MinMakespan(context.Background(), g, grown, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got.Makespan > ref.Makespan {
+				t.Fatalf("seed %d: growing class %d raised the optimum %d → %d",
+					seed, c, ref.Makespan, got.Makespan)
+			}
+		}
+	}
+}
+
+// TestMultiClassRejectsMissingClass: a node whose class has no machine is
+// a configuration error, not a silent rehost.
+func TestMultiClassRejectsMissingClass(t *testing.T) {
+	g := dag.New()
+	g.AddNode("x", 3, dag.Offload)
+	g.SetClass(0, 2)
+	if _, err := MinMakespan(context.Background(), g, platform.Hetero(2), Options{}); err == nil {
+		t.Fatal("missing class accepted")
+	}
+	// A fully homogeneous platform still falls back to host execution.
+	r, err := MinMakespan(context.Background(), g, platform.Homogeneous(2), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 3 {
+		t.Fatalf("makespan = %d, want 3", r.Makespan)
+	}
+}

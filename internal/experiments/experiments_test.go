@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -25,7 +26,9 @@ func TestConfigValidate(t *testing.T) {
 	}
 	bad := []func(*Config){
 		func(c *Config) { c.Platforms = nil },
-		func(c *Config) { c.Platforms = []platform.Platform{{Cores: 0, Devices: 1}} },
+		func(c *Config) {
+			c.Platforms = []platform.Platform{platform.New(platform.ResourceClass{Name: "host", Count: 0}, platform.ResourceClass{Name: "dev", Count: 1})}
+		},
 		func(c *Config) { c.Parallelism = -1 },
 		func(c *Config) { c.TasksPerPoint = 0 },
 		func(c *Config) { c.Fractions = nil },
@@ -271,5 +274,66 @@ func TestFigCancellation(t *testing.T) {
 	}
 	if _, err := Naive(ctx, cfg, 4); err == nil {
 		t.Error("Naive with cancelled ctx succeeded")
+	}
+}
+
+func TestMultiSweepEndToEndDeterministic(t *testing.T) {
+	cfg := QuickMulti(7)
+	cfg.TasksPerPoint = 4
+	cfg.ExactBudget = 20_000
+
+	run := func(parallelism int) *MultiResult {
+		c := cfg
+		c.Parallelism = parallelism
+		res, err := MultiSweep(context.Background(), c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	serial := run(1)
+	if len(serial.Points) != len(cfg.Offloads)*len(cfg.DeviceClasses) {
+		t.Fatalf("%d points, want %d", len(serial.Points), len(cfg.Offloads)*len(cfg.DeviceClasses))
+	}
+	for _, p := range serial.Points {
+		if p.N != cfg.TasksPerPoint {
+			t.Fatalf("point (k=%d c=%d) aggregated %d tasks, want %d", p.K, p.Classes, p.N, cfg.TasksPerPoint)
+		}
+		if p.MeanTyped < p.MeanSimOrig {
+			t.Fatalf("point (k=%d c=%d): mean typed %v below mean sim %v", p.K, p.Classes, p.MeanTyped, p.MeanSimOrig)
+		}
+		if p.MeanExact > p.MeanSimOrig {
+			t.Fatalf("point (k=%d c=%d): mean exact %v above mean sim %v", p.K, p.Classes, p.MeanExact, p.MeanSimOrig)
+		}
+		if p.Platform.Cores() != cfg.Cores || p.Platform.NumClasses() != p.Classes+1 {
+			t.Fatalf("point (k=%d c=%d): platform %v", p.K, p.Classes, p.Platform)
+		}
+	}
+	for _, par := range []int{2, 4} {
+		got := run(par)
+		if !reflect.DeepEqual(got, serial) {
+			t.Fatalf("parallelism %d produced different sweep output", par)
+		}
+	}
+}
+
+func TestMultiSweepConfigValidation(t *testing.T) {
+	bad := []func(*MultiConfig){
+		func(c *MultiConfig) { c.Cores = 0 },
+		func(c *MultiConfig) { c.DevicesPerClass = 0 },
+		func(c *MultiConfig) { c.Offloads = nil },
+		func(c *MultiConfig) { c.Offloads = []int{0} },
+		func(c *MultiConfig) { c.DeviceClasses = nil },
+		func(c *MultiConfig) { c.DeviceClasses = []int{-1} },
+		func(c *MultiConfig) { c.TasksPerPoint = 0 },
+		func(c *MultiConfig) { c.Frac = 1.2 },
+		func(c *MultiConfig) { c.Parallelism = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := QuickMulti(1)
+		mutate(&cfg)
+		if _, err := MultiSweep(context.Background(), cfg); err == nil {
+			t.Errorf("bad multi config %d accepted", i)
+		}
 	}
 }

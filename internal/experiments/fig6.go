@@ -37,14 +37,14 @@ func Fig6(ctx context.Context, cfg Config, mkPolicy func() sched.Policy) (*Fig6R
 	res := &Fig6Result{Crossovers: map[int]float64{}}
 	for _, p := range cfg.Platforms {
 		res.Series = append(res.Series, Series{
-			Platform: p, M: p.Cores,
+			Platform: p, M: p.Cores(),
 			Points: make([]SeriesPoint, len(cfg.Fractions)),
 		})
 	}
 	pts := cfg.grid()
 	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
 		pt := pts[i]
-		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*pt.plat.Cores+pt.pi))
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(1000*pt.plat.Cores()+pt.pi))
 		var orig, trans, fracs stats.Accumulator
 		var sc sched.Scratch
 		for k := 0; k < cfg.TasksPerPoint; k++ {

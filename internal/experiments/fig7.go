@@ -71,7 +71,7 @@ func Fig7(ctx context.Context, cfg Config, panels []Fig7Panel) (*Fig7Result, err
 	var cells []cell
 	for i, panel := range panels {
 		res.Panels = append(res.Panels, Fig7Series{
-			Platform: panel.Platform, M: panel.Platform.Cores,
+			Platform: panel.Platform, M: panel.Platform.Cores(),
 			NMin: panel.NMin, NMax: panel.NMax,
 			Points: make([]Fig7Point, len(cfg.Fractions)),
 		})
@@ -84,7 +84,7 @@ func Fig7(ctx context.Context, cfg Config, panels []Fig7Panel) (*Fig7Result, err
 		panel := panels[c.panel]
 		frac := cfg.Fractions[c.pi]
 		params := taskgen.Small(panel.NMin, panel.NMax)
-		gen := taskgen.MustNew(params, cfg.Seed+int64(7000*panel.Platform.Cores+c.pi))
+		gen := taskgen.MustNew(params, cfg.Seed+int64(7000*panel.Platform.Cores()+c.pi))
 		var incHom, incHet, fracs stats.Accumulator
 		proven, total := 0, 0
 		for k := 0; k < cfg.TasksPerPoint; k++ {

@@ -49,14 +49,14 @@ func Fig8(ctx context.Context, cfg Config) (*Fig8Result, error) {
 	res := &Fig8Result{Intersections: map[int]float64{}}
 	for _, p := range cfg.Platforms {
 		res.Series = append(res.Series, Fig8Series{
-			M:      p.Cores,
+			M:      p.Cores(),
 			Points: make([]Fig8Point, len(cfg.Fractions)),
 		})
 	}
 	pts := cfg.grid()
 	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
 		pt := pts[i]
-		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(8000*pt.plat.Cores+pt.pi))
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(8000*pt.plat.Cores()+pt.pi))
 		counts := map[rta.Scenario]int{}
 		var fracs stats.Accumulator
 		for k := 0; k < cfg.TasksPerPoint; k++ {

@@ -42,14 +42,14 @@ func Fig9(ctx context.Context, cfg Config) (*Fig9Result, error) {
 	}
 	for _, p := range cfg.Platforms {
 		res.Series = append(res.Series, Series{
-			Platform: p, M: p.Cores,
+			Platform: p, M: p.Cores(),
 			Points: make([]SeriesPoint, len(cfg.Fractions)),
 		})
 	}
 	pts := cfg.grid()
 	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
 		pt := pts[i]
-		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(9000*pt.plat.Cores+pt.pi))
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(9000*pt.plat.Cores()+pt.pi))
 		var change, fracs stats.Accumulator
 		maxAbs := math.Inf(-1)
 		for k := 0; k < cfg.TasksPerPoint; k++ {

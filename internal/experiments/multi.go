@@ -1,0 +1,245 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/batch"
+	"repro/internal/exact"
+	"repro/internal/platform"
+	"repro/internal/rta"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+	"repro/internal/transform"
+)
+
+// MultiConfig scales the multi-offload × device-class sweep, the §7
+// future-work dimension the paper leaves open: how do the typed bound, the
+// simulated schedules, and the exact optimum behave as tasks offload more
+// regions onto more accelerator classes?
+type MultiConfig struct {
+	// Seed drives all task generation; every run with the same MultiConfig
+	// is bit-identical (Parallelism does not affect results).
+	Seed int64
+	// Cores is the host-core count m shared by every point.
+	Cores int
+	// DevicesPerClass is the machine count of each device class.
+	DevicesPerClass int
+	// Offloads lists the offloaded-region counts k swept on one axis.
+	Offloads []int
+	// DeviceClasses lists the device-class counts swept on the other axis.
+	DeviceClasses []int
+	// TasksPerPoint is the number of random DAGs per (k, classes) point.
+	TasksPerPoint int
+	// Frac is the total offloaded fraction target, split evenly over the k
+	// offloaded regions.
+	Frac float64
+	// Params are the structural generator parameters. Tasks must stay at
+	// or below 64 nodes for the exact stage.
+	Params taskgen.Params
+	// ExactBudget caps exact-solver expansions per instance.
+	ExactBudget int64
+	// Parallelism is the worker-pool size for the per-point fan-out;
+	// 0 means one worker per CPU, 1 forces a serial sweep.
+	Parallelism int
+}
+
+// DefaultMulti returns the standard configuration: small (exact-solvable)
+// tasks, k ∈ {1,2,4}, 1–3 device classes of one machine each on a 4-core
+// host, 25 tasks per point.
+func DefaultMulti(seed int64) MultiConfig {
+	return MultiConfig{
+		Seed:            seed,
+		Cores:           4,
+		DevicesPerClass: 1,
+		Offloads:        []int{1, 2, 4},
+		DeviceClasses:   []int{1, 2, 3},
+		TasksPerPoint:   25,
+		Frac:            0.3,
+		Params:          taskgen.Small(10, 40),
+		ExactBudget:     100_000,
+	}
+}
+
+// QuickMulti returns a scaled-down configuration for tests and smoke runs.
+func QuickMulti(seed int64) MultiConfig {
+	c := DefaultMulti(seed)
+	c.Offloads = []int{1, 2}
+	c.DeviceClasses = []int{1, 2}
+	c.TasksPerPoint = 6
+	c.ExactBudget = 30_000
+	return c
+}
+
+// Validate reports configuration errors.
+func (c MultiConfig) Validate() error {
+	switch {
+	case c.Cores < 1:
+		return fmt.Errorf("experiments: multi sweep needs ≥1 core, got %d", c.Cores)
+	case c.DevicesPerClass < 1:
+		return fmt.Errorf("experiments: multi sweep needs ≥1 device per class, got %d", c.DevicesPerClass)
+	case len(c.Offloads) == 0:
+		return fmt.Errorf("experiments: no offload counts")
+	case len(c.DeviceClasses) == 0:
+		return fmt.Errorf("experiments: no device-class counts")
+	case c.TasksPerPoint < 1:
+		return fmt.Errorf("experiments: TasksPerPoint %d < 1", c.TasksPerPoint)
+	case c.Frac <= 0 || c.Frac >= 1:
+		return fmt.Errorf("experiments: fraction %v outside (0,1)", c.Frac)
+	case c.Parallelism < 0:
+		return fmt.Errorf("experiments: negative parallelism %d", c.Parallelism)
+	}
+	for _, k := range c.Offloads {
+		if k < 1 {
+			return fmt.Errorf("experiments: offload count %d < 1", k)
+		}
+	}
+	for _, d := range c.DeviceClasses {
+		if d < 1 {
+			return fmt.Errorf("experiments: device-class count %d < 1", d)
+		}
+	}
+	return c.Params.Validate()
+}
+
+// multiPlatform builds the point's platform: m host cores plus `classes`
+// device classes of `per` machines each.
+func multiPlatform(m, classes, per int) platform.Platform {
+	rcs := make([]platform.ResourceClass, 0, classes+1)
+	rcs = append(rcs, platform.ResourceClass{Name: "host", Count: m})
+	for c := 1; c <= classes; c++ {
+		name := "dev"
+		if classes > 1 {
+			name = fmt.Sprintf("dev%d", c)
+		}
+		rcs = append(rcs, platform.ResourceClass{Name: name, Count: per})
+	}
+	return platform.New(rcs...)
+}
+
+// MultiPoint aggregates one (offload count, device classes) sample.
+type MultiPoint struct {
+	// K is the offloaded-region count; Classes the device-class count.
+	K, Classes int
+	// Platform is the point's execution platform.
+	Platform platform.Platform
+	// MeanFrac is the mean realized total offloaded fraction.
+	MeanFrac float64
+	// MeanTyped is the mean typed bound (TypedRhom).
+	MeanTyped float64
+	// MeanSimOrig / MeanSimTrans are the mean breadth-first makespans of τ
+	// and of the fully transformed τ'.
+	MeanSimOrig, MeanSimTrans float64
+	// MeanExact is the mean exact (or best-found) minimum makespan of τ;
+	// Optimal counts instances proven optimal within the budget.
+	MeanExact float64
+	Optimal   int
+	// N is the number of tasks aggregated.
+	N int
+}
+
+// MultiResult is the outcome of MultiSweep.
+type MultiResult struct {
+	Points []MultiPoint
+}
+
+// MultiSweep runs the sweep end to end: generate k-offload tasks over c
+// device classes, gate every region (iterated Algorithm 1), compute the
+// typed bound, simulate τ and τ' breadth-first, and solve the exact
+// minimum makespan. Points fan out on the batch pool; per-point seeding
+// keeps results bit-identical at any parallelism. The safety invariants
+// sim ≤ typed and exact ≤ sim are checked on every instance.
+func MultiSweep(ctx context.Context, cfg MultiConfig) (*MultiResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	type point struct {
+		k, c int
+	}
+	var pts []point
+	for _, k := range cfg.Offloads {
+		for _, c := range cfg.DeviceClasses {
+			pts = append(pts, point{k: k, c: c})
+		}
+	}
+	res := &MultiResult{Points: make([]MultiPoint, len(pts))}
+	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
+		pt := pts[i]
+		p := multiPlatform(cfg.Cores, pt.c, cfg.DevicesPerClass)
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(50_000*pt.k+100*pt.c))
+		var fracs, typed, simO, simT, ex stats.Accumulator
+		optimal := 0
+		var sc sched.Scratch
+		for t := 0; t < cfg.TasksPerPoint; t++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			g, _, realized, err := gen.MultiHetTask(pt.k, cfg.Frac, pt.c)
+			if err != nil {
+				return err
+			}
+			mt, err := transform.All(g)
+			if err != nil {
+				return fmt.Errorf("multi sweep (k=%d c=%d): %w", pt.k, pt.c, err)
+			}
+			bound, err := rta.TypedRhom(g, p)
+			if err != nil {
+				return err
+			}
+			ro, err := sched.SimulateWith(&sc, g, p, sched.BreadthFirst())
+			if err != nil {
+				return err
+			}
+			rt, err := sched.SimulateWith(&sc, mt.Transformed, p, sched.BreadthFirst())
+			if err != nil {
+				return err
+			}
+			if float64(ro.Makespan) > bound+1e-9 {
+				return fmt.Errorf("multi sweep (k=%d c=%d): sim %d exceeds typed bound %v",
+					pt.k, pt.c, ro.Makespan, bound)
+			}
+			opt, err := exact.MinMakespan(ctx, g, p, exact.Options{MaxExpansions: cfg.ExactBudget})
+			if err != nil {
+				return err
+			}
+			if opt.Makespan > ro.Makespan {
+				return fmt.Errorf("multi sweep (k=%d c=%d): exact %d exceeds sim %d",
+					pt.k, pt.c, opt.Makespan, ro.Makespan)
+			}
+			if opt.Status == exact.Optimal {
+				optimal++
+			}
+			fracs.Add(realized)
+			typed.Add(bound)
+			simO.Add(float64(ro.Makespan))
+			simT.Add(float64(rt.Makespan))
+			ex.Add(float64(opt.Makespan))
+		}
+		res.Points[i] = MultiPoint{
+			K: pt.k, Classes: pt.c, Platform: p,
+			MeanFrac:    fracs.Mean(),
+			MeanTyped:   typed.Mean(),
+			MeanSimOrig: simO.Mean(), MeanSimTrans: simT.Mean(),
+			MeanExact: ex.Mean(), Optimal: optimal, N: typed.N(),
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// Table renders the sweep: one row per (k, device classes) point.
+func (r *MultiResult) Table() *table.Table {
+	t := table.New("Multi-offload sweep: typed bound vs simulation vs exact (mean per point)",
+		"k offloads", "device classes", "platform", "frac %", "typed", "sim τ", "sim τ'", "exact", "optimal", "N")
+	for _, p := range r.Points {
+		t.AddRow(p.K, p.Classes, p.Platform.String(), 100*p.MeanFrac,
+			p.MeanTyped, p.MeanSimOrig, p.MeanSimTrans, p.MeanExact,
+			fmt.Sprintf("%d/%d", p.Optimal, p.N), p.N)
+	}
+	return t
+}

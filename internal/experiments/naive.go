@@ -57,14 +57,14 @@ func Naive(ctx context.Context, cfg Config, samples int) (*NaiveResult, error) {
 	res := &NaiveResult{Samples: samples}
 	for _, p := range cfg.Platforms {
 		res.Series = append(res.Series, NaiveSeries{
-			M:      p.Cores,
+			M:      p.Cores(),
 			Points: make([]NaivePoint, len(cfg.Fractions)),
 		})
 	}
 	pts := cfg.grid()
 	err := batch.Run(ctx, len(pts), cfg.Parallelism, func(ctx context.Context, i int) error {
 		pt := pts[i]
-		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*pt.plat.Cores+pt.pi))
+		gen := taskgen.MustNew(cfg.Params, cfg.Seed+int64(600*pt.plat.Cores()+pt.pi))
 		violated, hetViolated := 0, 0
 		var worst stats.Accumulator
 		var sc sched.Scratch

@@ -80,7 +80,21 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, horizon in
 	}
 
 	m := lp.NewModel()
-	isDev := func(v int) bool { return p.Devices > 0 && g.Kind(v) == dag.Offload }
+	// Resolve each node's machine class (homogeneous fallback mirrors the
+	// simulator: with no devices at all, offload nodes run on host cores).
+	nClasses := p.NumClasses()
+	cls := make([]int, n)
+	for v := 0; v < n; v++ {
+		c := g.Class(v)
+		if p.Devices() == 0 {
+			c = 0
+		}
+		if g.WCET(v) > 0 && p.Count(c) == 0 {
+			return nil, fmt.Errorf("ilp: node %d needs resource class %d (%s) but platform %v has no such machine",
+				v, c, p.ClassName(c), p)
+		}
+		cls[v] = c
+	}
 
 	// x[v][t]: start variables. A node can start no later than
 	// horizon - C_v.
@@ -122,10 +136,12 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, horizon in
 		m.AddConstraint(terms, lp.GE, float64(g.WCET(v)))
 	}
 
-	// Resource capacity at each time step.
+	// Resource capacity at each time step, one row per machine class.
+	caps := make([]map[int]float64, nClasses)
 	for t := int64(0); t < horizon; t++ {
-		host := map[int]float64{}
-		dev := map[int]float64{}
+		for c := range caps {
+			caps[c] = nil
+		}
 		for v := 0; v < n; v++ {
 			c := g.WCET(v)
 			if c == 0 {
@@ -136,18 +152,16 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, horizon in
 				lo = 0
 			}
 			for s := lo; s <= t && s <= latest[v]; s++ {
-				if isDev(v) {
-					dev[x[v][s]] = 1
-				} else {
-					host[x[v][s]] = 1
+				if caps[cls[v]] == nil {
+					caps[cls[v]] = map[int]float64{}
 				}
+				caps[cls[v]][x[v][s]] = 1
 			}
 		}
-		if len(host) > 0 {
-			m.AddConstraint(host, lp.LE, float64(p.Cores))
-		}
-		if len(dev) > 0 {
-			m.AddConstraint(dev, lp.LE, float64(p.Devices))
+		for c, terms := range caps {
+			if len(terms) > 0 {
+				m.AddConstraint(terms, lp.LE, float64(p.Count(c)))
+			}
 		}
 	}
 

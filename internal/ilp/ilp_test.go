@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/dag"
 	"repro/internal/exact"
+	"repro/internal/platform"
 	"repro/internal/sched"
 	"repro/internal/taskgen"
 )
@@ -136,5 +137,46 @@ func TestCrossValidateAgainstBranchAndBound(t *testing.T) {
 					i, p, il.Makespan, bb.Makespan, g.DOT("g"))
 			}
 		}
+	}
+}
+
+// TestILPMultiClassAgreesWithExact cross-validates the per-class capacity
+// rows: on a tiny three-class instance the time-indexed ILP and the
+// branch-and-bound oracle must prove the same optimum.
+func TestILPMultiClassAgreesWithExact(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	gpu := g.AddNode("gpu", 4, dag.Offload) // class 1
+	fpga := g.AddNode("fpga", 4, dag.Offload)
+	g.SetClass(fpga, 2)
+	h := g.AddNode("h", 3, dag.Host)
+	e := g.AddNode("e", 1, dag.Host)
+	for _, v := range []int{gpu, fpga, h} {
+		g.MustAddEdge(s, v)
+		g.MustAddEdge(v, e)
+	}
+	p := platform.New(
+		platform.ResourceClass{Name: "host", Count: 1},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 1},
+	)
+	ilpRes, err := MinMakespan(context.Background(), g, p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactRes, err := exact.MinMakespan(context.Background(), g, p, exact.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exactRes.Status != exact.Optimal {
+		t.Fatalf("exact status %v", exactRes.Status)
+	}
+	if ilpRes.Makespan != exactRes.Makespan {
+		t.Fatalf("ILP %d ≠ exact %d on the 3-class instance", ilpRes.Makespan, exactRes.Makespan)
+	}
+	// s(1) then {gpu,fpga overlap on their own machines, h on the core}:
+	// 1 + max(4, 4, 3) + 1 = 6.
+	if exactRes.Makespan != 6 {
+		t.Fatalf("optimum %d, want 6", exactRes.Makespan)
 	}
 }

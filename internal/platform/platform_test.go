@@ -1,6 +1,10 @@
 package platform
 
-import "testing"
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
 
 func TestValidate(t *testing.T) {
 	cases := []struct {
@@ -9,9 +13,11 @@ func TestValidate(t *testing.T) {
 	}{
 		{Hetero(4), true},
 		{Homogeneous(1), true},
-		{Platform{Cores: 2, Devices: 3}, true},
-		{Platform{Cores: 0, Devices: 1}, false},
-		{Platform{Cores: 4, Devices: -1}, false},
+		{New(ResourceClass{"host", 2}, ResourceClass{"dev", 3}), true},
+		{New(ResourceClass{"host", 0}, ResourceClass{"dev", 1}), false},
+		{New(ResourceClass{"host", 4}, ResourceClass{"dev", -1}), false},
+		{New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}, ResourceClass{"fpga", 2}), true},
+		{Platform{}, false},
 	}
 	for _, c := range cases {
 		if err := c.p.Validate(); (err == nil) != c.ok {
@@ -27,6 +33,10 @@ func TestString(t *testing.T) {
 	if s := Homogeneous(8).String(); s != "m=8" {
 		t.Errorf("Homogeneous(8) = %q", s)
 	}
+	p := New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}, ResourceClass{"fpga", 2})
+	if s := p.String(); s != "m=4+1gpu+2fpga" {
+		t.Errorf("multi-class = %q", s)
+	}
 }
 
 func TestHeteros(t *testing.T) {
@@ -35,8 +45,94 @@ func TestHeteros(t *testing.T) {
 		t.Fatalf("len = %d", len(ps))
 	}
 	for i, m := range []int{2, 4, 8, 16} {
-		if ps[i] != Hetero(m) {
+		if !reflect.DeepEqual(ps[i], Hetero(m)) {
 			t.Errorf("ps[%d] = %v, want %v", i, ps[i], Hetero(m))
 		}
+	}
+}
+
+func TestViews(t *testing.T) {
+	p := New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}, ResourceClass{"fpga", 2})
+	if p.Cores() != 4 || p.Devices() != 3 || p.Total() != 7 || p.NumClasses() != 3 {
+		t.Errorf("views: cores=%d devices=%d total=%d classes=%d", p.Cores(), p.Devices(), p.Total(), p.NumClasses())
+	}
+	if p.Base(0) != 0 || p.Base(1) != 4 || p.Base(2) != 5 {
+		t.Errorf("bases: %d %d %d", p.Base(0), p.Base(1), p.Base(2))
+	}
+	for res, want := range map[int]int{0: 0, 3: 0, 4: 1, 5: 2, 6: 2} {
+		if got := p.ClassOf(res); got != want {
+			t.Errorf("ClassOf(%d) = %d, want %d", res, got, want)
+		}
+	}
+	if p.ClassOf(7) != -1 || p.ClassOf(-1) != -1 {
+		t.Error("out-of-range resources not rejected")
+	}
+	if p.Count(2) != 2 || p.Count(3) != 0 || p.Count(-1) != 0 {
+		t.Errorf("Count: %d %d %d", p.Count(2), p.Count(3), p.Count(-1))
+	}
+	if Homogeneous(2).Devices() != 0 {
+		t.Error("homogeneous platform has devices")
+	}
+}
+
+func TestParse(t *testing.T) {
+	cases := []struct {
+		spec string
+		want Platform
+		ok   bool
+	}{
+		{"4", Homogeneous(4), true},
+		{"4+1", Hetero(4), true},
+		{"4+2+1", New(ResourceClass{"host", 4}, ResourceClass{"dev", 2}, ResourceClass{"dev2", 1}), true},
+		{"host=4,gpu=1", New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}), true},
+		{"host=4,gpu=1,fpga=2", New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}, ResourceClass{"fpga", 2}), true},
+		{"", Platform{}, false},
+		{"x", Platform{}, false},
+		{"0+1", Platform{}, false},
+		{"=3", Platform{}, false},
+	}
+	for _, c := range cases {
+		got, err := Parse(c.spec)
+		if (err == nil) != c.ok {
+			t.Errorf("Parse(%q) err = %v, want ok=%v", c.spec, err, c.ok)
+			continue
+		}
+		if c.ok && !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Parse(%q) = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}
+
+func TestWithDeviceCount(t *testing.T) {
+	p, err := Hetero(4).WithDeviceCount(3)
+	if err != nil || p.Cores() != 4 || p.Devices() != 3 {
+		t.Errorf("override = %v (%v)", p, err)
+	}
+	p, err = Homogeneous(2).WithDeviceCount(2)
+	if err != nil || p.Devices() != 2 {
+		t.Errorf("append = %v (%v)", p, err)
+	}
+	p, err = Hetero(4).WithDeviceCount(0)
+	if err != nil || p.Devices() != 0 || p.NumClasses() != 1 {
+		t.Errorf("drop = %v (%v)", p, err)
+	}
+	multi := New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1}, ResourceClass{"fpga", 2})
+	if _, err := multi.WithDeviceCount(5); err == nil {
+		t.Error("ambiguous override accepted")
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	p := New(ResourceClass{"host", 4}, ResourceClass{"gpu", 1})
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Platform
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(p, back) {
+		t.Errorf("round trip: %v != %v", back, p)
 	}
 }

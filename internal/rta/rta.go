@@ -80,12 +80,12 @@ func (s Scenario) String() string {
 // ignored), which is the baseline the paper compares against. p.Cores must
 // be positive.
 func Rhom(g *dag.Graph, p platform.Platform) float64 {
-	if p.Cores <= 0 {
+	if p.Cores() <= 0 {
 		panic(fmt.Sprintf("rta: Rhom with %v", p))
 	}
 	l := g.CriticalPathLength()
 	v := g.Volume()
-	return float64(l) + float64(v-l)/float64(p.Cores)
+	return float64(l) + float64(v-l)/float64(p.Cores())
 }
 
 // Naive computes the unsafe heterogeneous bound of Section 3.2: Rhom with
@@ -105,7 +105,7 @@ func Naive(g *dag.Graph, p platform.Platform) (float64, error) {
 	}
 	l := g.CriticalPathLength()
 	v := g.Volume()
-	return float64(l) + float64(v-l-g.WCET(vOff))/float64(p.Cores), nil
+	return float64(l) + float64(v-l-g.WCET(vOff))/float64(p.Cores()), nil
 }
 
 // HetResult carries Rhet and the quantities entering Equations 2–4, so
@@ -134,8 +134,9 @@ func Rhet(tr *transform.Result, p platform.Platform) (HetResult, error) {
 	if err := p.Validate(); err != nil {
 		return HetResult{}, fmt.Errorf("rta: Rhet: %w", err)
 	}
-	if p.Devices < 1 {
-		return HetResult{}, fmt.Errorf("rta: Rhet on %v: the heterogeneous analysis needs a device", p)
+	if cls := tr.Original.Class(tr.Offload); p.Count(cls) < 1 {
+		return HetResult{}, fmt.Errorf("rta: Rhet on %v: the offloaded node runs on class %d (%s), which has no machine",
+			p, cls, p.ClassName(cls))
 	}
 	gp := tr.Transformed
 	res := HetResult{
@@ -145,7 +146,7 @@ func Rhet(tr *transform.Result, p platform.Platform) (HetResult, error) {
 		LenPar:   tr.Par.CriticalPathLength(),
 		VolPar:   tr.Par.Volume(),
 	}
-	m := p.Cores
+	m := p.Cores()
 	res.RhomPar = float64(res.LenPar) + float64(res.VolPar-res.LenPar)/float64(m)
 	mf := float64(m)
 

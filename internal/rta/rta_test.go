@@ -2,6 +2,7 @@ package rta
 
 import (
 	"math"
+	"reflect"
 	"testing"
 
 	"repro/internal/dag"
@@ -227,7 +228,7 @@ func TestAnalyzeFig1(t *testing.T) {
 	if !almostEqual(a.Rhom, 13) || !almostEqual(a.Naive, 11) || !almostEqual(a.Het.R, 12) {
 		t.Errorf("Analyze: Rhom=%v Naive=%v Rhet=%v, want 13/11/12", a.Rhom, a.Naive, a.Het.R)
 	}
-	if a.Platform != platform.Hetero(2) {
+	if !reflect.DeepEqual(a.Platform, platform.Hetero(2)) {
 		t.Errorf("Platform = %v, want %v", a.Platform, platform.Hetero(2))
 	}
 }

@@ -1,0 +1,169 @@
+package rta
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// typedTask builds a random task and marks k nodes as offloaded, spread
+// round-robin over `classes` device classes.
+func typedTask(t testing.TB, seed int64, k, classes int) *dag.Graph {
+	t.Helper()
+	gen := taskgen.MustNew(taskgen.Small(8, 40), seed)
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := g.NumNodes() / (k + 1)
+	if step == 0 {
+		step = 1
+	}
+	marked := 0
+	for i := 1; i <= k; i++ {
+		id := (i * step) % g.NumNodes()
+		if g.Kind(id) == dag.Offload {
+			continue
+		}
+		taskgen.SetOffload(g, id, 0.1)
+		if classes > 1 {
+			g.SetClass(id, 1+marked%classes)
+		}
+		marked++
+	}
+	return g
+}
+
+func TestTypedRhomDegeneratesToRhom(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(5, 30), 3)
+	for i := 0; i < 20; i++ {
+		g, err := gen.Graph()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{1, 2, 4, 8} {
+			typed, err := TypedRhom(g, platform.Homogeneous(m))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if want := Rhom(g, platform.Homogeneous(m)); math.Abs(typed-want) > 1e-9 {
+				t.Fatalf("iter %d m=%d: typed %v ≠ Rhom %v on homogeneous DAG", i, m, typed, want)
+			}
+		}
+	}
+}
+
+func TestTypedRhomErrors(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Offload)
+	if _, err := TypedRhom(g, platform.New(platform.ResourceClass{Name: "host", Count: 0}, platform.ResourceClass{Name: "dev", Count: 1})); err == nil {
+		t.Error("accepted m=0")
+	}
+	if _, err := TypedRhom(g, platform.Homogeneous(2)); err == nil {
+		t.Error("accepted offload nodes without devices")
+	}
+	// A node on a device class the platform does not have.
+	multi := dag.New()
+	multi.AddNode("", 1, dag.Offload)
+	multi.SetClass(0, 2)
+	if _, err := TypedRhom(multi, platform.Hetero(2)); err == nil {
+		t.Error("accepted a node on a missing device class")
+	}
+	cyc := dag.New()
+	a := cyc.AddNode("", 1, dag.Host)
+	b := cyc.AddNode("", 1, dag.Host)
+	cyc.MustAddEdge(a, b)
+	cyc.MustAddEdge(b, a)
+	if _, err := TypedRhom(cyc, platform.Hetero(2)); err == nil {
+		t.Error("accepted cyclic graph")
+	}
+}
+
+func TestTypedRhomSingleChain(t *testing.T) {
+	// Chain h(3) → off(5) → h(2) on m=2, d=1: typed bound =
+	// volH/m + volD/1 + max_λ [3/2·? ...] — compute expected by hand:
+	// weights: host C(1-1/2)=C/2, dev C(1-1/1)=0; path weight = 3/2+0+1 = 2.5;
+	// volH/m = 5/2 = 2.5; volD/d = 5. Total 10.
+	g := dag.New()
+	a := g.AddNode("", 3, dag.Host)
+	b := g.AddNode("", 5, dag.Offload)
+	c := g.AddNode("", 2, dag.Host)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	typed, err := TypedRhom(g, platform.Hetero(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(typed-10) > 1e-9 {
+		t.Fatalf("typed = %v, want 10", typed)
+	}
+}
+
+// TestTypedRhomMultiClassChain pins the per-class formula on a 3-class
+// chain: h(4) → gpu(6) → fpga(3) on host=2, gpu=1, fpga=3.
+// Weights: 4·(1−1/2)=2, 6·(1−1/1)=0, 3·(1−1/3)=2 → path 4.
+// Volumes: 4/2 + 6/1 + 3/3 = 2+6+1 = 9. Total 13.
+func TestTypedRhomMultiClassChain(t *testing.T) {
+	g := dag.New()
+	a := g.AddNode("", 4, dag.Host)
+	b := g.AddNode("", 6, dag.Offload) // class 1
+	c := g.AddNode("", 3, dag.Offload)
+	g.SetClass(c, 2)
+	g.MustAddEdge(a, b)
+	g.MustAddEdge(b, c)
+	p := platform.New(
+		platform.ResourceClass{Name: "host", Count: 2},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 3},
+	)
+	typed, err := TypedRhom(g, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(typed-13) > 1e-9 {
+		t.Fatalf("typed = %v, want 13", typed)
+	}
+}
+
+// TestTypedBoundSafeUnderSimulation is the safety property for the typed
+// generalization: any work-conserving schedule finishes within TypedRhom,
+// for tasks with several offloaded nodes across several device classes.
+func TestTypedBoundSafeUnderSimulation(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		for _, k := range []int{1, 2, 4} {
+			for _, classes := range []int{1, 2} {
+				g := typedTask(t, 100+seed, k, classes)
+				for _, m := range []int{2, 4} {
+					for _, d := range []int{1, 2} {
+						rcs := []platform.ResourceClass{{Name: "host", Count: m}}
+						for c := 0; c < classes; c++ {
+							rcs = append(rcs, platform.ResourceClass{Name: "dev", Count: d})
+						}
+						p := platform.New(rcs...)
+						bound, err := TypedRhom(g, p)
+						if err != nil {
+							t.Fatal(err)
+						}
+						for _, pol := range append(sched.Heuristics(), sched.Random(seed)) {
+							r, err := sched.Simulate(g, p, pol)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if err := r.Validate(g); err != nil {
+								t.Fatal(err)
+							}
+							if float64(r.Makespan) > bound+1e-9 {
+								t.Fatalf("seed %d k=%d classes=%d m=%d d=%d %s: makespan %d > typed bound %v",
+									seed, k, classes, m, d, pol.Name(), r.Makespan, bound)
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+}

@@ -1,15 +1,16 @@
 // Package sched is a discrete-event simulator for work-conserving list
-// scheduling of DAG tasks on the paper's heterogeneous platform: a host
-// with m identical cores plus accelerator devices. It stands in for the
-// GOMP (GCC OpenMP runtime) executions of Section 5.2: the paper itself
-// evaluates by simulating the breadth-first work-conserving scheduler over
-// node WCETs, which is exactly what this package does.
+// scheduling of DAG tasks on heterogeneous platforms: a host with m
+// identical cores plus any number of accelerator-device classes. It stands
+// in for the GOMP (GCC OpenMP runtime) executions of Section 5.2: the paper
+// itself evaluates by simulating the breadth-first work-conserving
+// scheduler over node WCETs, which is exactly what this package does.
 //
 // Scheduling rules:
 //
-//   - Host nodes run on host cores, Offload nodes on devices. With
-//     Devices == 0 the platform is homogeneous and Offload nodes run on
-//     host cores (the paper's Rhom baseline execution).
+//   - Every node runs on a machine of its resource class: host nodes on
+//     host cores, each offload node on its device class. When the platform
+//     has no devices at all, offload nodes run on host cores (the paper's
+//     Rhom baseline execution).
 //   - Zero-WCET nodes (Sync nodes, dummy sources/sinks) complete the
 //     instant they become ready and occupy no resource.
 //   - Scheduling is work conserving (non-delay): whenever a resource is

@@ -13,9 +13,10 @@ type Span struct {
 	Node int
 	// Start and Finish delimit execution; Finish-Start equals the WCET.
 	Start, Finish int64
-	// Resource identifies where the node ran: 0..Cores-1 are host cores,
-	// Cores..Cores+Devices-1 are devices, and -1 marks a zero-WCET node
-	// that completed instantly without occupying a resource.
+	// Resource identifies where the node ran: resources are numbered by
+	// class in platform order (0..Cores-1 are host cores, then each device
+	// class's machines — see platform.Base); -1 marks a zero-WCET node that
+	// completed instantly without occupying a resource.
 	Resource int
 }
 
@@ -46,12 +47,12 @@ type running struct {
 // ready to use. A Scratch must not be shared between concurrent
 // simulations.
 type Scratch struct {
-	indeg     []int
-	released  []bool
-	hostReady []ReadyItem
-	devReady  []ReadyItem
-	freeHost  []int
-	freeDev   []int
+	indeg    []int
+	released []bool
+	cls      []int
+	// ready and free hold one row per platform resource class.
+	ready     [][]ReadyItem
+	free      [][]int
 	run       []running
 	finishing []running
 }
@@ -75,8 +76,9 @@ func boolsReset(s []bool, n int) []bool {
 
 // Simulate executes one instance of task graph g on platform p under the
 // given work-conserving policy and returns the schedule. The graph must be
-// acyclic. Offload nodes require p.Devices ≥ 1 unless the platform is
-// homogeneous (Devices == 0), in which case they run on host cores.
+// acyclic. Every node's resource class needs at least one machine on p,
+// unless the platform is homogeneous (no devices at all), in which case
+// offload nodes run on host cores.
 func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	return SimulateWith(new(Scratch), g, p, pol)
 }
@@ -96,8 +98,25 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 	}
 	pol.Prepare(g)
 
-	// deviceNode reports whether a node needs a device on this platform.
-	deviceNode := func(v int) bool { return p.Devices > 0 && g.Kind(v) == dag.Offload }
+	// Resolve each node's machine class up front. On a homogeneous platform
+	// (no devices at all) offload nodes run on host cores, the paper's Rhom
+	// baseline execution; otherwise a node whose class has no machines is a
+	// configuration error.
+	homogeneous := p.Devices() == 0
+	nClasses := p.NumClasses()
+	cls := intsReset(sc.cls, n)
+	sc.cls = cls
+	for v := 0; v < n; v++ {
+		c := g.Class(v)
+		if homogeneous {
+			c = 0
+		}
+		if g.WCET(v) > 0 && p.Count(c) == 0 {
+			return nil, fmt.Errorf("sched: node %d needs resource class %d (%s) but platform %v has no such machine",
+				v, c, p.ClassName(c), p)
+		}
+		cls[v] = c
+	}
 
 	sc.indeg = intsReset(sc.indeg, n)
 	indeg := sc.indeg
@@ -105,20 +124,30 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 		indeg[v] = g.InDegree(v)
 	}
 	spans := make([]Span, n)
-	hostReady, devReady := sc.hostReady[:0], sc.devReady[:0]
+
+	// Per-class ready queues and free lists. Rows are reused across runs.
+	if cap(sc.ready) < nClasses {
+		sc.ready = slices.Grow(sc.ready[:0], nClasses)
+	}
+	if cap(sc.free) < nClasses {
+		sc.free = slices.Grow(sc.free[:0], nClasses)
+	}
+	ready := sc.ready[:nClasses]
+	free := sc.free[:nClasses]
+	for c := 0; c < nClasses; c++ {
+		ready[c] = ready[c][:0]
+		count := p.Count(c)
+		row := slices.Grow(free[c][:0], count)
+		base := p.Base(c)
+		for i := count - 1; i >= 0; i-- {
+			row = append(row, base+i) // pop from the back → lowest ID first
+		}
+		free[c] = row
+	}
 	seq := 0
 
 	// running nodes ordered by finish time (small n: linear scan heap-free).
 	run := sc.run[:0]
-
-	freeHost := slices.Grow(sc.freeHost[:0], p.Cores)
-	for c := p.Cores - 1; c >= 0; c-- {
-		freeHost = append(freeHost, c) // pop from the back → core 0 first
-	}
-	freeDev := slices.Grow(sc.freeDev[:0], p.Devices)
-	for d := p.Devices - 1; d >= 0; d-- {
-		freeDev = append(freeDev, p.Cores+d)
-	}
 
 	completed := 0
 	var now int64
@@ -148,11 +177,7 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 		}
 		item := ReadyItem{Node: v, Seq: seq, ReadyAt: t}
 		seq++
-		if deviceNode(v) {
-			devReady = append(devReady, item)
-		} else {
-			hostReady = append(hostReady, item)
-		}
+		ready[cls[v]] = append(ready[cls[v]], item)
 	}
 
 	// Seed sources in ID order so Seq is deterministic.
@@ -176,12 +201,10 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 	}
 
 	for completed < n {
-		dispatch(&hostReady, &freeHost)
-		dispatch(&devReady, &freeDev)
+		for c := 0; c < nClasses; c++ {
+			dispatch(&ready[c], &free[c])
+		}
 		if len(run) == 0 {
-			if len(devReady) > 0 && p.Devices == 0 {
-				return nil, fmt.Errorf("sched: offload node ready but platform has no device")
-			}
 			return nil, fmt.Errorf("sched: deadlock with %d/%d nodes completed", completed, n)
 		}
 		// Advance to the earliest finish; complete everything at that time.
@@ -207,11 +230,8 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 		slices.SortFunc(finishing, func(a, b running) int { return a.node - b.node })
 		for _, r := range finishing {
 			completed++
-			if r.resource >= p.Cores {
-				freeDev = append(freeDev, r.resource)
-			} else {
-				freeHost = append(freeHost, r.resource)
-			}
+			c := cls[r.node]
+			free[c] = append(free[c], r.resource)
 		}
 		for _, r := range finishing {
 			for _, s := range g.Succs(r.node) {
@@ -222,8 +242,10 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 			}
 		}
 	}
-	sc.hostReady, sc.devReady = hostReady[:0], devReady[:0]
-	sc.freeHost, sc.freeDev = freeHost, freeDev
+	for c := 0; c < nClasses; c++ {
+		ready[c] = ready[c][:0]
+	}
+	sc.ready, sc.free = ready, free
 	sc.run = run
 
 	var makespan int64

@@ -166,10 +166,10 @@ func TestSimulateEmptyGraph(t *testing.T) {
 
 func TestSimulateRejectsBadPlatform(t *testing.T) {
 	g := fig1Normalized(t)
-	if _, err := Simulate(g, Platform{Cores: 0}, BreadthFirst()); err == nil {
+	if _, err := Simulate(g, platform.New(platform.ResourceClass{Name: "host", Count: 0}), BreadthFirst()); err == nil {
 		t.Fatal("accepted zero-core platform")
 	}
-	if _, err := Simulate(g, Platform{Cores: 2, Devices: -1}, BreadthFirst()); err == nil {
+	if _, err := Simulate(g, platform.New(platform.ResourceClass{Name: "host", Count: 2}, platform.ResourceClass{Name: "dev", Count: -1}), BreadthFirst()); err == nil {
 		t.Fatal("accepted negative devices")
 	}
 }
@@ -355,5 +355,85 @@ func TestMakespanNeverBelowLoadOrPath(t *testing.T) {
 				t.Fatalf("iter %d m=%d: makespan %d below lower bound %v", i, m, r.Makespan, lb)
 			}
 		}
+	}
+}
+
+// TestMultiDeviceSimulationUsesAllDevices checks the d>1 plumbing: two
+// independent offload nodes on two devices overlap.
+func TestMultiDeviceSimulationUsesAllDevices(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	o1 := g.AddNode("o1", 10, dag.Offload)
+	o2 := g.AddNode("o2", 10, dag.Offload)
+	e := g.AddNode("e", 1, dag.Host)
+	g.MustAddEdge(s, o1)
+	g.MustAddEdge(s, o2)
+	g.MustAddEdge(o1, e)
+	g.MustAddEdge(o2, e)
+	one, err := Simulate(g, platform.Hetero(1), BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := platform.Hetero(1).WithDeviceCount(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	two, err := Simulate(g, p2, BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Makespan != 22 || two.Makespan != 12 {
+		t.Fatalf("makespans = %d/%d, want 22/12", one.Makespan, two.Makespan)
+	}
+}
+
+// TestMultiClassSimulation checks the n-class plumbing: nodes of distinct
+// device classes run concurrently on their own machines, resources are
+// numbered by class, and a class without machines is rejected.
+func TestMultiClassSimulation(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	gpu := g.AddNode("gpu", 10, dag.Offload) // class 1
+	fpga := g.AddNode("fpga", 10, dag.Offload)
+	g.SetClass(fpga, 2)
+	e := g.AddNode("e", 1, dag.Host)
+	g.MustAddEdge(s, gpu)
+	g.MustAddEdge(s, fpga)
+	g.MustAddEdge(gpu, e)
+	g.MustAddEdge(fpga, e)
+
+	p := platform.New(
+		platform.ResourceClass{Name: "host", Count: 1},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 1},
+	)
+	r, err := Simulate(g, p, BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Makespan != 12 {
+		t.Fatalf("makespan = %d, want 12 (classes overlap)", r.Makespan)
+	}
+	if err := r.Validate(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.CheckWorkConserving(g); err != nil {
+		t.Fatal(err)
+	}
+	if r.Spans[gpu].Resource != 1 || r.Spans[fpga].Resource != 2 {
+		t.Fatalf("resources = %d/%d, want 1/2 (numbered by class)", r.Spans[gpu].Resource, r.Spans[fpga].Resource)
+	}
+
+	// Dropping the fpga class must be rejected, not silently rehosted.
+	if _, err := Simulate(g, platform.Hetero(2), BreadthFirst()); err == nil {
+		t.Fatal("fpga node accepted on a platform without an fpga class")
+	}
+	// But a fully homogeneous platform falls back to host execution.
+	hom, err := Simulate(g, platform.Homogeneous(3), BreadthFirst())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := hom.Validate(g); err != nil {
+		t.Fatal(err)
 	}
 }

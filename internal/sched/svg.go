@@ -8,9 +8,14 @@ import (
 	"repro/internal/dag"
 )
 
+// classSVGFills colors offload bars by device class: class c uses
+// classSVGFills[(c-1) % len]. Class 1 keeps the historical orange.
+var classSVGFills = []string{"#fd8d3c", "#74c476", "#fdd835", "#c994c7", "#e377c2"}
+
 // WriteSVG renders the schedule as a standalone SVG Gantt chart: one lane
-// per resource, host nodes in blue, offload nodes in orange, labels when
-// they fit. Useful for papers and debugging; cmd/dagrta -svg writes it.
+// per resource, host nodes in blue, offload nodes colored by device class,
+// labels when they fit. Useful for papers and debugging; cmd/dagrta -svg
+// writes it.
 func (r *Result) WriteSVG(w io.Writer, g *dag.Graph) error {
 	const (
 		laneH   = 28.0
@@ -19,7 +24,7 @@ func (r *Result) WriteSVG(w io.Writer, g *dag.Graph) error {
 		topPad  = 24.0
 		width   = 860.0
 	)
-	lanes := r.Platform.Cores + r.Platform.Devices
+	lanes := r.Platform.Total()
 	if lanes == 0 {
 		lanes = 1
 	}
@@ -37,8 +42,8 @@ func (r *Result) WriteSVG(w io.Writer, g *dag.Graph) error {
 	laneY := func(res int) float64 { return topPad + float64(res)*(laneH+gap) }
 	for res := 0; res < lanes; res++ {
 		label := fmt.Sprintf("core %d", res)
-		if res >= r.Platform.Cores {
-			label = fmt.Sprintf("dev %d", res-r.Platform.Cores)
+		if c := r.Platform.ClassOf(res); c > 0 {
+			label = fmt.Sprintf("%s %d", r.Platform.ClassName(c), res-r.Platform.Base(c))
 		}
 		y := laneY(res)
 		fmt.Fprintf(&b, `<text x="4" y="%.0f">%s</text>`+"\n", y+laneH-9, label)
@@ -54,7 +59,7 @@ func (r *Result) WriteSVG(w io.Writer, g *dag.Graph) error {
 		wd := float64(s.Finish-s.Start) * scale
 		fill := "#6baed6"
 		if g.Kind(s.Node) == dag.Offload {
-			fill = "#fd8d3c"
+			fill = classSVGFills[(g.Class(s.Node)-1)%len(classSVGFills)]
 		}
 		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" stroke="#333"/>`+"\n",
 			x, y+2, wd, laneH-4, fill)

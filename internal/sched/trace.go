@@ -8,13 +8,25 @@ import (
 	"repro/internal/dag"
 )
 
+// effectiveClass returns the machine class node v occupies on platform p:
+// its own class, or the host class when the platform is homogeneous (no
+// devices at all), mirroring the simulator's fallback.
+func effectiveClass(g *dag.Graph, p Platform, v int) int {
+	if p.Devices() == 0 {
+		return 0
+	}
+	return g.Class(v)
+}
+
 // Validate checks that the schedule in r is feasible for graph g:
 //
 //   - every node has a span with Finish − Start = WCET;
 //   - precedence: for every edge (u,v), Start(v) ≥ Finish(u);
 //   - resource exclusivity: spans sharing a resource never overlap;
-//   - placement: host nodes on cores, offload nodes on devices (unless the
-//     platform is homogeneous), zero-WCET nodes anywhere;
+//   - placement: every node ran on a machine of its resource class (host
+//     nodes on cores, each offload node on its device class; on a
+//     homogeneous platform everything runs on cores), zero-WCET nodes
+//     anywhere;
 //   - capacity: resource indices within the platform.
 //
 // It is used by the test suite to cross-check every simulation and by the
@@ -41,12 +53,11 @@ func (r *Result) Validate(g *dag.Graph) error {
 		switch {
 		case g.WCET(v) == 0:
 			// Instant nodes carry Resource -1; nothing to check.
-		case s.Resource < 0 || s.Resource >= p.Cores+p.Devices:
+		case s.Resource < 0 || s.Resource >= p.Total():
 			return fmt.Errorf("sched: node %d on resource %d outside platform %v", v, s.Resource, p)
-		case p.Devices > 0 && g.Kind(v) == dag.Offload && s.Resource < p.Cores:
-			return fmt.Errorf("sched: offload node %d ran on host core %d", v, s.Resource)
-		case p.Devices > 0 && g.Kind(v) != dag.Offload && s.Resource >= p.Cores:
-			return fmt.Errorf("sched: host node %d ran on device %d", v, s.Resource)
+		case p.ClassOf(s.Resource) != effectiveClass(g, p, v):
+			return fmt.Errorf("sched: node %d (class %d) ran on resource %d of class %d",
+				v, effectiveClass(g, p, v), s.Resource, p.ClassOf(s.Resource))
 		}
 	}
 	for u, v := range g.EachEdge() {
@@ -79,6 +90,7 @@ func (r *Result) Validate(g *dag.Graph) error {
 // Event times are span starts/finishes.
 func (r *Result) CheckWorkConserving(g *dag.Graph) error {
 	p := r.Platform
+	nClasses := p.NumClasses()
 	events := map[int64]struct{}{}
 	for _, s := range r.Spans {
 		events[s.Start] = struct{}{}
@@ -89,21 +101,20 @@ func (r *Result) CheckWorkConserving(g *dag.Graph) error {
 		times = append(times, t)
 	}
 	sort.Slice(times, func(i, j int) bool { return times[i] < times[j] })
+	busy := make([]int, nClasses)
+	wait := make([]int, nClasses)
 	for _, t := range times {
 		if t >= r.Makespan {
 			continue
 		}
-		busyHost, busyDev := 0, 0
+		for c := range busy {
+			busy[c], wait[c] = 0, 0
+		}
 		for _, s := range r.Spans {
 			if s.Start <= t && t < s.Finish && s.Resource >= 0 {
-				if s.Resource >= p.Cores {
-					busyDev++
-				} else {
-					busyHost++
-				}
+				busy[p.ClassOf(s.Resource)]++
 			}
 		}
-		waitHost, waitDev := 0, 0
 		for v := 0; v < g.NumNodes(); v++ {
 			if g.WCET(v) == 0 || r.Spans[v].Start <= t {
 				continue // running, finished, or instant
@@ -118,20 +129,27 @@ func (r *Result) CheckWorkConserving(g *dag.Graph) error {
 			if !ready {
 				continue
 			}
-			if p.Devices > 0 && g.Kind(v) == dag.Offload {
-				waitDev++
-			} else {
-				waitHost++
+			wait[effectiveClass(g, p, v)]++
+		}
+		for c := 0; c < nClasses; c++ {
+			if wait[c] > 0 && busy[c] < p.Count(c) {
+				return fmt.Errorf("sched: at t=%d %d class-%d (%s) nodes wait while %d/%d machines busy",
+					t, wait[c], c, p.ClassName(c), busy[c], p.Count(c))
 			}
-		}
-		if waitHost > 0 && busyHost < p.Cores {
-			return fmt.Errorf("sched: at t=%d %d host nodes wait while %d/%d cores busy", t, waitHost, busyHost, p.Cores)
-		}
-		if waitDev > 0 && busyDev < p.Devices {
-			return fmt.Errorf("sched: at t=%d %d offload nodes wait while %d/%d devices busy", t, waitDev, busyDev, p.Devices)
 		}
 	}
 	return nil
+}
+
+// resourceLabel names a resource for chart rows: "core<i>" for host cores,
+// "dev<i>" on the paper's two-class platform, "<class><i>" in general.
+func resourceLabel(p Platform, res int) string {
+	c := p.ClassOf(res)
+	if c <= 0 {
+		return fmt.Sprintf("core%d", res)
+	}
+	name := p.ClassName(c)
+	return fmt.Sprintf("%s%d", name, res-p.Base(c))
 }
 
 // Gantt renders an ASCII Gantt chart of the schedule, one row per resource,
@@ -152,12 +170,9 @@ func (r *Result) Gantt(g *dag.Graph, width int) string {
 
 	var b strings.Builder
 	p := r.Platform
-	total := p.Cores + p.Devices
+	total := p.Total()
 	for res := 0; res < total; res++ {
-		label := fmt.Sprintf("core%-2d", res)
-		if res >= p.Cores {
-			label = fmt.Sprintf("dev%-3d", res-p.Cores)
-		}
+		label := fmt.Sprintf("%-6s", resourceLabel(p, res))
 		row := make([]byte, col(r.Makespan)+1)
 		for i := range row {
 			row[i] = '.'

@@ -212,3 +212,72 @@ func TestSeriesOfTasksDiffer(t *testing.T) {
 		t.Fatal("consecutive draws from one generator are identical")
 	}
 }
+
+func TestMultiHetTask(t *testing.T) {
+	gen := MustNew(Small(10, 40), 42)
+	for i := 0; i < 20; i++ {
+		g, offs, realized, err := gen.MultiHetTask(3, 0.3, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(offs) != 3 {
+			t.Fatalf("iter %d: %d offload ids", i, len(offs))
+		}
+		seen := map[int]bool{}
+		classes := map[int]bool{}
+		for _, id := range offs {
+			if seen[id] {
+				t.Fatalf("iter %d: node %d offloaded twice", i, id)
+			}
+			seen[id] = true
+			if g.Kind(id) != dag.Offload {
+				t.Fatalf("iter %d: node %d not offload", i, id)
+			}
+			classes[g.Class(id)] = true
+		}
+		if len(g.OffloadNodes()) != 3 {
+			t.Fatalf("iter %d: graph has %d offload nodes", i, len(g.OffloadNodes()))
+		}
+		if !classes[1] || !classes[2] {
+			t.Fatalf("iter %d: classes %v, want round-robin over {1,2}", i, classes)
+		}
+		if realized <= 0.15 || realized >= 0.5 {
+			t.Fatalf("iter %d: realized total fraction %v far from 0.3", i, realized)
+		}
+		// Generation must keep the structural invariants Algorithm 1 needs.
+		if err := g.Validate(dag.ValidateOptions{RequireSingleSourceSink: true, RequireReduced: true, AllowZeroWCET: true}); err != nil {
+			t.Fatalf("iter %d: %v", i, err)
+		}
+	}
+}
+
+func TestMultiHetTaskErrors(t *testing.T) {
+	gen := MustNew(Small(5, 20), 1)
+	if _, _, _, err := gen.MultiHetTask(0, 0.3, 1); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, _, _, err := gen.MultiHetTask(2, 0.3, 0); err == nil {
+		t.Error("classes=0 accepted")
+	}
+	if _, _, _, err := gen.MultiHetTask(2, 1.5, 1); err == nil {
+		t.Error("frac=1.5 accepted")
+	}
+	if _, _, _, err := gen.MultiHetTask(1000, 0.3, 1); err == nil {
+		t.Error("k beyond node count accepted")
+	}
+}
+
+func TestSetOffloadClass(t *testing.T) {
+	gen := MustNew(Small(5, 20), 2)
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	realized := SetOffloadClass(g, 1, 0.2, 3)
+	if g.Kind(1) != dag.Offload || g.Class(1) != 3 {
+		t.Fatalf("node 1: kind %v class %d, want offload class 3", g.Kind(1), g.Class(1))
+	}
+	if realized <= 0 || realized >= 1 {
+		t.Fatalf("realized fraction %v", realized)
+	}
+}

@@ -16,8 +16,11 @@
 // task in the system may carry an Offload node and use Rhet; any other
 // task with an Offload node is analyzed with Rhom, treating its offloaded
 // work as host work (always safe — see DESIGN.md §4.3). This restriction
-// is lifted in the obvious way when Platform.Devices ≥ number of
-// offloading tasks (each gets its own device).
+// is lifted in the obvious way when the platform's device count is at
+// least the number of offloading tasks (each gets its own device). The
+// budget is kept per device class: a task may only claim a device of the
+// class its offloaded node actually needs, so two tasks contending for one
+// GPU are never both admitted via Rhet even when an idle FPGA exists.
 package taskset
 
 import (
@@ -77,8 +80,12 @@ func Allocate(sys System) (*Allocation, error) {
 		}
 	}
 
-	// Device budget: how many offloading tasks may keep their accelerator.
-	devicesLeft := sys.Platform.Devices
+	// Device budget per class: how many offloading tasks may keep exclusive
+	// use of a machine of each device class.
+	devicesLeft := make([]int, sys.Platform.NumClasses())
+	for c := 1; c < sys.Platform.NumClasses(); c++ {
+		devicesLeft[c] = sys.Platform.Count(c)
+	}
 
 	// Process heavy tasks in decreasing utilization (classic federated
 	// order; allocation order does not affect feasibility here but makes
@@ -105,8 +112,12 @@ func Allocate(sys System) (*Allocation, error) {
 		t := sys.Tasks[i]
 		heavy := it.u > 1
 		g := Grant{Task: i, Heavy: heavy}
-		_, hasOff := t.G.OffloadNode()
-		useDevice := hasOff && devicesLeft > 0
+		vOff, hasOff := t.G.OffloadNode()
+		devClass := 0
+		if hasOff {
+			devClass = t.G.Class(vOff)
+		}
+		useDevice := hasOff && devClass < len(devicesLeft) && devicesLeft[devClass] > 0
 
 		if !heavy {
 			// Light task: runs on the shared partition; its response time
@@ -123,12 +134,12 @@ func Allocate(sys System) (*Allocation, error) {
 			continue
 		}
 
-		cores, r, usedDev, err := minCores(t, useDevice)
+		cores, r, usedDev, err := minCores(t, useDevice, devClass)
 		if err != nil {
 			return nil, fmt.Errorf("taskset: task %d: %w", i, err)
 		}
 		if usedDev {
-			devicesLeft--
+			devicesLeft[devClass]--
 		}
 		g.Cores = cores
 		g.R = r
@@ -137,10 +148,10 @@ func Allocate(sys System) (*Allocation, error) {
 		alloc.Grants[i] = g
 	}
 
-	alloc.SharedCores = sys.Platform.Cores - alloc.DedicatedCores
+	alloc.SharedCores = sys.Platform.Cores() - alloc.DedicatedCores
 	if alloc.SharedCores < 0 {
 		return nil, fmt.Errorf("taskset: heavy tasks need %d cores, platform has %d",
-			alloc.DedicatedCores, sys.Platform.Cores)
+			alloc.DedicatedCores, sys.Platform.Cores())
 	}
 	// Light tasks: partitioned bin check via the standard federated
 	// sufficient condition — total light utilization ≤ shared cores
@@ -155,12 +166,12 @@ func Allocate(sys System) (*Allocation, error) {
 }
 
 // minCores finds the smallest m with R(m) ≤ D, preferring the
-// heterogeneous analysis when the device is available. Both bounds are
-// non-increasing in m, so the first feasible m is minimal.
-func minCores(t rta.Task, useDevice bool) (cores int, r float64, usedDev bool, err error) {
+// heterogeneous analysis when a device of the task's class is available.
+// Both bounds are non-increasing in m, so the first feasible m is minimal.
+func minCores(t rta.Task, useDevice bool, devClass int) (cores int, r float64, usedDev bool, err error) {
 	for m := 1; m <= MaxCoresPerTask; m++ {
 		if useDevice {
-			ok, a, err := t.SchedulableHet(platform.Hetero(m))
+			ok, a, err := t.SchedulableHet(hetForClass(m, devClass))
 			if err != nil {
 				return 0, 0, false, err
 			}
@@ -179,4 +190,21 @@ func minCores(t rta.Task, useDevice bool) (cores int, r float64, usedDev bool, e
 		}
 	}
 	return 0, 0, false, fmt.Errorf("not schedulable within %d cores (D=%d)", MaxCoresPerTask, t.Deadline)
+}
+
+// hetForClass builds the per-task analysis platform: m dedicated host
+// cores plus the one granted device of class devClass (earlier device
+// classes are present but empty, keeping class indices aligned with the
+// task graph's).
+func hetForClass(m, devClass int) platform.Platform {
+	if devClass <= 1 {
+		return platform.Hetero(m)
+	}
+	classes := make([]platform.ResourceClass, devClass+1)
+	classes[0] = platform.ResourceClass{Name: "host", Count: m}
+	for c := 1; c < devClass; c++ {
+		classes[c] = platform.ResourceClass{Name: fmt.Sprintf("dev%d", c), Count: 0}
+	}
+	classes[devClass] = platform.ResourceClass{Name: fmt.Sprintf("dev%d", devClass), Count: 1}
+	return platform.New(classes...)
 }

@@ -27,7 +27,7 @@ func mkTask(t testing.TB, seed int64, frac, slack float64) rta.Task {
 
 func TestAllocateSingleHeavyTask(t *testing.T) {
 	tk := mkTask(t, 1, 0.3, 0.5) // deadline = vol/2 → heavy (U = 2)
-	sys := System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 16, Devices: 1}}
+	sys := System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(16)}
 	alloc, err := Allocate(sys)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
@@ -62,7 +62,7 @@ func TestAllocateLightTasksShareCores(t *testing.T) {
 	for s := int64(0); s < 3; s++ {
 		tasks = append(tasks, mkTask(t, 10+s, 0.2, 4))
 	}
-	alloc, err := Allocate(System{Tasks: tasks, Platform: platform.Platform{Cores: 2, Devices: 1}})
+	alloc, err := Allocate(System{Tasks: tasks, Platform: platform.Hetero(2)})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestAllocateRejectsOverload(t *testing.T) {
 	b := g.AddNode("", 50, dag.Host)
 	g.MustAddEdge(a, b)
 	tk := rta.Task{G: g, Period: 60, Deadline: 60} // len = 100 > 60
-	_, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 1}})
+	_, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
 	if err == nil {
 		t.Fatal("admitted task with deadline below critical path")
 	}
@@ -91,7 +91,7 @@ func TestAllocateRejectsTooFewCores(t *testing.T) {
 	// Two heavy tasks each needing several cores on a tiny platform.
 	t1 := mkTask(t, 21, 0.1, 0.4)
 	t2 := mkTask(t, 22, 0.1, 0.4)
-	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 2, Devices: 1}})
+	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(2)})
 	if err == nil {
 		t.Fatal("admitted two heavy tasks on 2 cores")
 	}
@@ -101,7 +101,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 	// Two heavy offloading tasks, one device: at most one grant may use it.
 	t1 := mkTask(t, 31, 0.4, 0.6)
 	t2 := mkTask(t, 32, 0.4, 0.6)
-	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 64, Devices: 1}})
+	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(64)})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -115,7 +115,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 		t.Fatalf("%d grants use the single device", used)
 	}
 	// With two devices both may use one.
-	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Platform{Cores: 64, Devices: 2}})
+	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.New(platform.ResourceClass{Name: "host", Count: 64}, platform.ResourceClass{Name: "dev", Count: 2})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +134,11 @@ func TestHetAnalysisSavesCores(t *testing.T) {
 	// A task whose offloaded share is large: the heterogeneous analysis
 	// should need no more dedicated cores than the homogeneous one.
 	tk := mkTask(t, 41, 0.5, 0.7)
-	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 1}})
+	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Platform{Cores: 64, Devices: 0}})
+	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Homogeneous(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -183,5 +183,67 @@ func TestRhetMonotoneInCores(t *testing.T) {
 			}
 			prevHom, prevHet = a.Rhom, a.Het.R
 		}
+	}
+}
+
+// TestDeviceBudgetIsPerClass: two heavy tasks offloading to the same GPU
+// class must not both be admitted via Rhet just because an idle FPGA
+// exists, and a task offloading to a later class gets that class's device.
+func TestDeviceBudgetIsPerClass(t *testing.T) {
+	mkTask := func(class int) rta.Task {
+		g := dag.New()
+		s := g.AddNode("s", 10, dag.Host)
+		o := g.AddNode("o", 40, dag.Offload)
+		g.SetClass(o, class)
+		h := g.AddNode("h", 40, dag.Host)
+		e := g.AddNode("e", 10, dag.Host)
+		g.MustAddEdge(s, o)
+		g.MustAddEdge(s, h)
+		g.MustAddEdge(o, e)
+		g.MustAddEdge(h, e)
+		d := int64(float64(g.Volume()) * 0.8) // heavy: U = 1.25
+		return rta.Task{G: g, Period: d, Deadline: d}
+	}
+	p := platform.New(
+		platform.ResourceClass{Name: "host", Count: 64},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+		platform.ResourceClass{Name: "fpga", Count: 1},
+	)
+	// Two GPU tasks + one FPGA task: exactly one task may hold the gpu and
+	// one the fpga; the remaining GPU task must fall back to Rhom.
+	alloc, err := Allocate(System{Tasks: []rta.Task{mkTask(1), mkTask(1), mkTask(2)}, Platform: p})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gpuUsers, fpgaUsers := 0, 0
+	for _, g := range alloc.Grants {
+		if !g.UsesDevice {
+			continue
+		}
+		switch g.Task {
+		case 0, 1:
+			gpuUsers++
+		case 2:
+			fpgaUsers++
+		}
+	}
+	if gpuUsers != 1 {
+		t.Errorf("%d tasks hold the single gpu, want exactly 1", gpuUsers)
+	}
+	if fpgaUsers != 1 {
+		t.Errorf("fpga task UsesDevice=%v, want its own class device", fpgaUsers == 1)
+	}
+	// A class-2 offloader on a platform whose class 2 is empty must not
+	// fail outright: it is analyzed with Rhom (offloaded work as host work).
+	noFpga := platform.New(
+		platform.ResourceClass{Name: "host", Count: 64},
+		platform.ResourceClass{Name: "gpu", Count: 1},
+	)
+	alloc2, err := Allocate(System{Tasks: []rta.Task{mkTask(2)}, Platform: noFpga})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc2.Grants[0].UsesDevice {
+		t.Error("task granted a device of a class the platform lacks")
 	}
 }

@@ -1,0 +1,107 @@
+package transform
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dag"
+)
+
+// MultiResult is the outcome of All: Algorithm 1 applied iteratively around
+// every offloaded node. The single-offload case is the k = 1 instance, so
+// All is the one transformation path of the toolkit; Transform remains as
+// the paper-shaped convenience wrapper around the first step.
+type MultiResult struct {
+	// Original is the input graph G (not modified).
+	Original *dag.Graph
+	// Transformed is the final DAG after gating every offload node with a
+	// synchronization node. Later transformation steps may re-gate earlier
+	// offload nodes (an offload parallel to a later one joins that one's
+	// GPar), so several offloads can share a gate.
+	Transformed *dag.Graph
+	// Steps holds the per-offload Algorithm 1 results in application order
+	// (descending COff, ties by ID). Steps[i].Original is the intermediate
+	// graph the step ran on — Steps[0].Original == Original — so for a
+	// single-offload task Steps[0] is exactly the paper's transformation.
+	Steps []*Result
+	// Order lists the offload node IDs in application order (the offload
+	// of each step, in original IDs, which every step preserves).
+	Order []int
+	// Syncs maps each offload node (original ID) to its final gate: the
+	// Sync node that is its sole direct predecessor in Transformed.
+	Syncs map[int]int
+}
+
+// All applies Algorithm 1 iteratively around every offload node, in
+// descending-COff order (ties by ID) so the dominant region is gated first.
+// Like Transform, the input must be acyclic and transitively reduced (the
+// intermediate graphs are re-reduced automatically between steps); the
+// input graph is not modified, and node IDs of the original graph are
+// preserved (each step appends one vsync).
+func All(g *dag.Graph) (*MultiResult, error) {
+	offs := g.OffloadNodes()
+	if len(offs) == 0 {
+		return nil, ErrNoOffload
+	}
+	sort.Slice(offs, func(i, j int) bool {
+		ci, cj := g.WCET(offs[i]), g.WCET(offs[j])
+		if ci != cj {
+			return ci > cj
+		}
+		return offs[i] < offs[j]
+	})
+	res := &MultiResult{Original: g, Syncs: map[int]int{}}
+	cur := g
+	for i, vOff := range offs {
+		if i > 0 {
+			// Re-reduce: the earlier steps' rewiring may have left edges
+			// redundant relative to the rerouted paths. cur is our own
+			// intermediate graph here, so in-place reduction is safe.
+			if _, err := cur.TransitiveReduction(); err != nil {
+				return nil, err
+			}
+		}
+		tr, err := TransformAround(cur, vOff)
+		if err != nil {
+			return nil, fmt.Errorf("transform: step %d around node %d: %w", i, vOff, err)
+		}
+		res.Steps = append(res.Steps, tr)
+		res.Order = append(res.Order, vOff)
+		cur = tr.Transformed
+	}
+	res.Transformed = cur
+	// Record the final gates: later steps may have re-parented earlier
+	// offload nodes under their own vsync.
+	for _, vOff := range offs {
+		preds := cur.Preds(vOff)
+		if len(preds) != 1 || cur.Kind(preds[0]) != dag.Sync {
+			return nil, fmt.Errorf("transform: offload %d not sync-gated after All (preds %v)", vOff, preds)
+		}
+		res.Syncs[vOff] = preds[0]
+	}
+	return res, nil
+}
+
+// CheckAll verifies that every original precedence constraint of g survives
+// in the multi-transformed graph and that each offload node is gated by its
+// synchronization node.
+func CheckAll(g *dag.Graph, r *MultiResult) error {
+	for u, v := range g.EachEdge() {
+		if !r.Transformed.Reaches(u, v) {
+			return fmt.Errorf("transform: precedence (%d,%d) lost", u, v)
+		}
+	}
+	for vOff, vsync := range r.Syncs {
+		preds := r.Transformed.Preds(vOff)
+		if len(preds) != 1 || preds[0] != vsync {
+			return fmt.Errorf("transform: offload %d gated by %v, want [%d]", vOff, preds, vsync)
+		}
+		if r.Transformed.Kind(vsync) != dag.Sync {
+			return fmt.Errorf("transform: gate %d of offload %d is not a sync node", vsync, vOff)
+		}
+	}
+	if !r.Transformed.IsAcyclic() {
+		return fmt.Errorf("transform: transformed graph cyclic")
+	}
+	return nil
+}

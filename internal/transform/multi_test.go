@@ -1,0 +1,152 @@
+package transform
+
+import (
+	"testing"
+
+	"repro/internal/dag"
+	"repro/internal/platform"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// multiOffTask builds a random task and marks k nodes as offloaded, spread
+// round-robin over `classes` device classes.
+func multiOffTask(t testing.TB, seed int64, k, classes int) *dag.Graph {
+	t.Helper()
+	gen := taskgen.MustNew(taskgen.Small(8, 40), seed)
+	g, err := gen.Graph()
+	if err != nil {
+		t.Fatal(err)
+	}
+	step := g.NumNodes() / (k + 1)
+	if step == 0 {
+		step = 1
+	}
+	marked := 0
+	for i := 1; i <= k; i++ {
+		id := (i * step) % g.NumNodes()
+		if g.Kind(id) == dag.Offload {
+			continue
+		}
+		taskgen.SetOffload(g, id, 0.1)
+		if classes > 1 {
+			g.SetClass(id, 1+marked%classes)
+		}
+		marked++
+	}
+	return g
+}
+
+func TestAllGatesEveryOffload(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		g := multiOffTask(t, 200+seed, 3, 1)
+		r, err := All(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckAll(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if len(r.Syncs) != len(g.OffloadNodes()) {
+			t.Fatalf("seed %d: %d syncs for %d offload nodes", seed, len(r.Syncs), len(g.OffloadNodes()))
+		}
+		if len(r.Steps) != len(r.Order) {
+			t.Fatalf("seed %d: %d step results for %d steps", seed, len(r.Steps), len(r.Order))
+		}
+	}
+}
+
+func TestAllNoOffload(t *testing.T) {
+	g := dag.New()
+	g.AddNode("", 1, dag.Host)
+	if _, err := All(g); err == nil {
+		t.Fatal("All succeeded without offload nodes")
+	}
+}
+
+func TestAllDescendingCOffOrder(t *testing.T) {
+	g := dag.New()
+	s := g.AddNode("s", 1, dag.Host)
+	o1 := g.AddNode("o1", 3, dag.Offload)
+	o2 := g.AddNode("o2", 9, dag.Offload)
+	e := g.AddNode("e", 1, dag.Host)
+	g.MustAddEdge(s, o1)
+	g.MustAddEdge(s, o2)
+	g.MustAddEdge(o1, e)
+	g.MustAddEdge(o2, e)
+	r, err := All(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Order) != 2 || r.Order[0] != o2 || r.Order[1] != o1 {
+		t.Fatalf("Order = %v, want [o2 o1] (descending COff)", r.Order)
+	}
+	if err := CheckAll(g, r); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllSingleOffloadMatchesTransform: the k = 1 case of All is exactly
+// Algorithm 1 — same transformed graph, sync node, and GPar.
+func TestAllSingleOffloadMatchesTransform(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		gen := taskgen.MustNew(taskgen.Small(8, 40), 900+seed)
+		g, _, _, err := gen.HetTask(0.2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		single, err := Transform(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		multi, err := All(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(multi.Steps) != 1 {
+			t.Fatalf("seed %d: %d steps for one offload", seed, len(multi.Steps))
+		}
+		if !multi.Transformed.Equal(single.Transformed) {
+			t.Fatalf("seed %d: All ≠ Transform on a single-offload task", seed)
+		}
+		if multi.Steps[0].Sync != single.Sync || multi.Syncs[single.Offload] != single.Sync {
+			t.Fatalf("seed %d: sync ids differ: %d vs %d", seed, multi.Steps[0].Sync, single.Sync)
+		}
+		if !multi.Steps[0].Par.Equal(single.Par) {
+			t.Fatalf("seed %d: GPar differs", seed)
+		}
+	}
+}
+
+// TestAllPreservesPrecedenceOnMultiClass: multi-class offloads transform
+// and simulate safely on a platform with one machine per device class.
+func TestAllPreservesPrecedenceOnMultiClass(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		g := multiOffTask(t, 400+seed, 4, 3)
+		r, err := All(g)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := CheckAll(g, r); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		p := platform.New(
+			platform.ResourceClass{Name: "host", Count: 2},
+			platform.ResourceClass{Name: "gpu", Count: 1},
+			platform.ResourceClass{Name: "fpga", Count: 1},
+			platform.ResourceClass{Name: "dsp", Count: 1},
+		)
+		for _, graph := range []*dag.Graph{g, r.Transformed} {
+			sim, err := sched.Simulate(graph, p, sched.BreadthFirst())
+			if err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := sim.Validate(graph); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+			if err := sim.CheckWorkConserving(graph); err != nil {
+				t.Fatalf("seed %d: %v", seed, err)
+			}
+		}
+	}
+}

@@ -15,8 +15,14 @@ type Report struct {
 	// Bounds holds one entry per configured Bound, in WithBounds order.
 	Bounds []BoundResult `json:"bounds"`
 	// Transform summarizes τ ⇒ τ' when the graph has exactly one offload
-	// node.
+	// node (the paper's model).
 	Transform *TransformSummary `json:"transform,omitempty"`
+	// Transforms lists one summary per offloaded region, in the order the
+	// iterated Algorithm 1 gated them (descending COff). Present whenever
+	// the graph has at least one offload node — for single-offload tasks it
+	// has one entry mirroring Transform, so batch consumers can treat every
+	// heterogeneous task uniformly.
+	Transforms []TransformStepSummary `json:"transforms,omitempty"`
 	// Simulation is present when the Analyzer has a policy (WithPolicy).
 	Simulation *SimulationReport `json:"simulation,omitempty"`
 	// Exact is present when the Analyzer has an exact budget
@@ -27,8 +33,13 @@ type Report struct {
 	// report with Err set has no other fields populated beyond Platform.
 	Err string `json:"error,omitempty"`
 
-	// TransformResult is the full transformation behind Transform.
+	// TransformResult is the full transformation behind Transform (nil
+	// unless the graph has exactly one offload node).
 	TransformResult *Transformation `json:"-"`
+	// MultiTransformResult is the full iterated transformation behind
+	// Transforms (non-nil whenever the graph has at least one offload
+	// node); its final graph backs SimTransformed.
+	MultiTransformResult *MultiTransformation `json:"-"`
 	// SimOriginal and SimTransformed are the full schedules behind
 	// Simulation (SimTransformed is nil when there is no transformation).
 	SimOriginal    *SimResult `json:"-"`
@@ -48,8 +59,8 @@ type GraphSummary struct {
 	// CriticalPath is len(G).
 	CriticalPath int64 `json:"criticalPath"`
 	// Offload describes vOff for single-offload graphs; nil for
-	// homogeneous graphs. Multi-offload graphs list every node in
-	// Offloads instead.
+	// homogeneous graphs. Multi-offload graphs describe every offloaded
+	// region in Report.Transforms instead.
 	Offload *OffloadSummary `json:"offload,omitempty"`
 	// Offloads is the number of offload nodes (0, 1, or more).
 	Offloads int `json:"offloads"`
@@ -76,6 +87,27 @@ type TransformSummary struct {
 	ParNodes []int `json:"parNodes"`
 	LenPar   int64 `json:"lenPar"`
 	VolPar   int64 `json:"volPar"`
+}
+
+// TransformStepSummary describes one step of the iterated Algorithm 1: the
+// offloaded region it gated and the parallel sub-DAG guaranteed to overlap
+// it.
+type TransformStepSummary struct {
+	// Offload is the offloaded node's ID (original graph IDs survive every
+	// step); Name is its label and Class its device resource class.
+	Offload int    `json:"offload"`
+	Name    string `json:"name,omitempty"`
+	Class   int    `json:"class,omitempty"`
+	// COff is the offloaded node's WCET.
+	COff int64 `json:"cOff"`
+	// Sync is the synchronization node this step inserted; Gate is the
+	// offload's final gate in the fully transformed graph (a later step may
+	// re-parent an earlier offload under its own vsync).
+	Sync int `json:"sync"`
+	Gate int `json:"gate"`
+	// LenPar and VolPar are len(GPar) and vol(GPar) of this step.
+	LenPar int64 `json:"lenPar"`
+	VolPar int64 `json:"volPar"`
 }
 
 // SimulationReport captures the discrete-event simulation results.
