@@ -3,6 +3,7 @@ package hetrta
 import (
 	"context"
 	"fmt"
+	"strings"
 
 	"repro/internal/batch"
 	"repro/internal/exact"
@@ -88,6 +89,26 @@ func WithExactBudget(budget int64) Option {
 	}
 }
 
+// WithExactOptions enables the exact minimum-makespan stage with full
+// solver options (budget, memo limit, context poll interval, branching
+// restriction). WithExactBudget is the common-case shorthand.
+func WithExactOptions(opts ExactOptions) Option {
+	return func(a *Analyzer) error {
+		if opts.MaxExpansions < 0 {
+			return fmt.Errorf("hetrta: negative exact budget %d", opts.MaxExpansions)
+		}
+		if opts.MemoLimit < 0 {
+			return fmt.Errorf("hetrta: negative exact memo limit %d", opts.MemoLimit)
+		}
+		if opts.CtxCheckEvery < 0 {
+			return fmt.Errorf("hetrta: negative exact poll interval %d", opts.CtxCheckEvery)
+		}
+		a.exactOn = true
+		a.exactOpts = opts
+		return nil
+	}
+}
+
 // WithBounds selects the response-time bounds each report computes, in
 // order. The default is DefaultBounds (Rhom + Rhet); pass any mix of the
 // built-ins and custom Bound implementations. Names must be unique.
@@ -158,6 +179,46 @@ func NewAnalyzer(opts ...Option) (*Analyzer, error) {
 
 // Platform returns the analyzer's configured platform.
 func (a *Analyzer) Platform() Platform { return a.platform }
+
+// Signature returns a stable string identifying every configuration input
+// that can influence a Report: the platform's full class list, the bound
+// set (in order), the simulation policy, the exact-stage options, and the
+// validation options. Two Analyzers with equal signatures produce
+// byte-identical reports for equal graphs, so (Graph.Fingerprint,
+// Signature) is a sound cache key — the serving layer (internal/service)
+// keys its result cache exactly this way. Parallelism is deliberately
+// excluded: batch output is deterministic at any pool size.
+func (a *Analyzer) Signature() string {
+	var b strings.Builder
+	b.WriteString("plat=")
+	for i, c := range a.platform.Classes {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", c.Name, c.Count)
+	}
+	b.WriteString(";bounds=")
+	for i, bd := range a.bounds {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(bd.Name())
+	}
+	if a.policy != nil {
+		fmt.Fprintf(&b, ";policy=%s", a.policy().Name())
+	}
+	if a.exactOn {
+		fmt.Fprintf(&b, ";exact=%d/%d/%d/%t",
+			a.exactOpts.MaxExpansions, a.exactOpts.MemoLimit,
+			a.exactOpts.CtxCheckEvery, a.exactOpts.Unrestricted)
+	}
+	if a.validate != nil {
+		fmt.Fprintf(&b, ";validate=%t/%t/%t/%t",
+			a.validate.RequireSingleSourceSink, a.validate.RequireReduced,
+			a.validate.RequireSingleOffload, a.validate.AllowZeroWCET)
+	}
+	return b.String()
+}
 
 // Analyze runs the configured pipeline on one task graph and returns its
 // Report. The input graph is not modified: analysis runs on a transitively

@@ -1,0 +1,338 @@
+// Command dagrtad is the analysis-as-a-service daemon: a long-running HTTP
+// server wrapping one hetrta.Analyzer behind the deduplicating serving
+// layer (internal/service). Identical — even merely isomorphic — task
+// graphs are analyzed once and served from a sharded LRU cache; concurrent
+// identical requests share a single execution (single-flight); batch
+// requests coalesce duplicates and fan the misses out on the analyzer's
+// worker pool.
+//
+// Endpoints:
+//
+//	POST /v1/analyze        task-graph JSON in (cmd/daggen schema), Report JSON out
+//	POST /v1/analyze/batch  {"graphs":[...]} in, {"reports":[...]} out (per-item errors inline)
+//	GET  /healthz           liveness probe
+//	GET  /statsz            cache hit rate, shard occupancy, in-flight executions
+//
+// Responses carry an X-Cache header (hit / miss / shared) and, for single
+// analyses, X-Fingerprint with the graph's canonical content hash. Each
+// request is bounded by -request-timeout and aborts promptly — including
+// mid-search inside the exact oracle — when the client disconnects. SIGINT
+// and SIGTERM drain in-flight requests before exiting (-grace).
+//
+// Usage:
+//
+//	dagrtad -addr :8080 -platform 4+1
+//	dagrtad -addr 127.0.0.1:0 -platform "host=4,gpu=1,fpga=2" -bounds rhom,rhet,typed-rhom -exact
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	hetrta "repro"
+	"repro/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// config is everything run derives from flags.
+type config struct {
+	addr           string
+	requestTimeout time.Duration
+	grace          time.Duration
+	maxBody        int64
+	maxBatch       int
+}
+
+func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dagrtad", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr       = fs.String("addr", ":8080", "listen address (host:port; port 0 picks an ephemeral port)")
+		platSpec   = fs.String("platform", "4+1", `platform spec, e.g. "4+1" or "host=4,gpu=1,fpga=2"`)
+		boundsSpec = fs.String("bounds", "rhom,rhet", "comma-separated bounds: rhom, rhet, typed-rhom, naive")
+		doSim      = fs.Bool("sim", false, "include a breadth-first simulation in every report")
+		doExact    = fs.Bool("exact", false, "include the exact minimum makespan in every report")
+		budget     = fs.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
+		exactPoll  = fs.Int64("exact-poll", 0, "exact-solver context poll interval in expansions (0 = default)")
+		parallel   = fs.Int("parallel", 0, "analyzer worker-pool size for batch requests (0 = all CPUs)")
+		cacheSize  = fs.Int("cache", service.DefaultCacheEntries, "report-cache capacity in entries")
+		shards     = fs.Int("cache-shards", service.DefaultShards, "report-cache shard count (rounded up to a power of two)")
+		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request analysis timeout")
+		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+		maxBody    = fs.Int64("max-body", 8<<20, "maximum request body size in bytes")
+		maxBatch   = fs.Int("max-batch", 1024, "maximum graphs per batch request")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	svc, err := buildService(*platSpec, *boundsSpec, *doSim, *doExact, *budget, *exactPoll, *parallel, *cacheSize, *shards)
+	if err != nil {
+		fmt.Fprintln(stderr, "dagrtad:", err)
+		return 2
+	}
+	cfg := config{
+		addr:           *addr,
+		requestTimeout: *reqTimeout,
+		grace:          *grace,
+		maxBody:        *maxBody,
+		maxBatch:       *maxBatch,
+	}
+
+	ln, err := net.Listen("tcp", cfg.addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "dagrtad:", err)
+		return 1
+	}
+	fmt.Fprintf(stdout, "dagrtad listening on %s (platform %s, signature %q)\n",
+		ln.Addr(), svc.Platform(), svc.Signature())
+
+	srv := &http.Server{
+		Handler:           newHandler(svc, cfg),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- srv.Serve(ln) }()
+
+	select {
+	case <-ctx.Done():
+		fmt.Fprintln(stdout, "dagrtad: shutting down")
+		shutCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
+		defer cancel()
+		if err := srv.Shutdown(shutCtx); err != nil {
+			fmt.Fprintln(stderr, "dagrtad: shutdown:", err)
+			return 1
+		}
+		return 0
+	case err := <-errCh:
+		if err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintln(stderr, "dagrtad:", err)
+			return 1
+		}
+		return 0
+	}
+}
+
+// buildService assembles the Analyzer from daemon flags and wraps it in the
+// serving layer.
+func buildService(platSpec, boundsSpec string, doSim, doExact bool, budget, exactPoll int64, parallel, cacheSize, shards int) (*service.Service, error) {
+	plat, err := hetrta.ParsePlatform(platSpec)
+	if err != nil {
+		return nil, err
+	}
+	var bounds []hetrta.Bound
+	for _, name := range strings.Split(boundsSpec, ",") {
+		switch strings.TrimSpace(name) {
+		case "rhom":
+			bounds = append(bounds, hetrta.RhomBound())
+		case "rhet":
+			bounds = append(bounds, hetrta.RhetBound())
+		case "typed-rhom":
+			bounds = append(bounds, hetrta.TypedRhomBound())
+		case "naive":
+			bounds = append(bounds, hetrta.NaiveBound())
+		case "":
+		default:
+			return nil, fmt.Errorf("unknown bound %q", name)
+		}
+	}
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("empty bound set %q", boundsSpec)
+	}
+	if !doExact && (budget != 0 || exactPoll != 0) {
+		return nil, fmt.Errorf("-budget/-exact-poll require -exact")
+	}
+	opts := []hetrta.Option{
+		hetrta.WithPlatform(plat),
+		hetrta.WithBounds(bounds...),
+		hetrta.WithParallelism(parallel),
+	}
+	if doSim {
+		opts = append(opts, hetrta.WithPolicy(hetrta.BreadthFirst))
+	}
+	if doExact {
+		opts = append(opts, hetrta.WithExactOptions(hetrta.ExactOptions{
+			MaxExpansions: budget,
+			CtxCheckEvery: exactPoll,
+		}))
+	}
+	an, err := hetrta.NewAnalyzer(opts...)
+	if err != nil {
+		return nil, err
+	}
+	return service.New(an, service.Options{CacheEntries: cacheSize, Shards: shards})
+}
+
+// newHandler wires the four endpoints.
+func newHandler(svc *service.Service, cfg config) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
+		handleAnalyze(svc, cfg, w, r)
+	})
+	mux.HandleFunc("POST /v1/analyze/batch", func(w http.ResponseWriter, r *http.Request) {
+		handleBatch(svc, cfg, w, r)
+	})
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, svc.Stats())
+	})
+	return mux
+}
+
+// requestCtx bounds the analysis by the per-request timeout on top of the
+// request context, so both client disconnect and timeout cancel the
+// pipeline (the context is threaded all the way into the exact oracle's
+// poll loop).
+func requestCtx(r *http.Request, cfg config) (context.Context, context.CancelFunc) {
+	if cfg.requestTimeout <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), cfg.requestTimeout)
+}
+
+func handleAnalyze(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	g := hetrta.NewGraph()
+	if err := json.Unmarshal(body, g); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := requestCtx(r, cfg)
+	defer cancel()
+	res, err := svc.Analyze(ctx, g)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", cacheState(res))
+	w.Header().Set("X-Fingerprint", res.Fingerprint.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.Body)
+}
+
+// batchRequest / batchResponse are the wire shapes of /v1/analyze/batch.
+// Reports mirrors Analyzer.AnalyzeBatch: one element per input graph, in
+// order, with per-item failures carried in the report's "error" field —
+// the same schema cmd/dagrta -json emits.
+type batchRequest struct {
+	Graphs []json.RawMessage `json:"graphs"`
+}
+
+type batchResponse struct {
+	Reports []json.RawMessage `json:"reports"`
+}
+
+func handleBatch(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	var req batchRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if len(req.Graphs) > cfg.maxBatch {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("%d graphs exceed the %d per-batch limit", len(req.Graphs), cfg.maxBatch))
+		return
+	}
+	graphs := make([]*hetrta.Graph, len(req.Graphs))
+	decodeErrs := make([]error, len(req.Graphs))
+	for i, raw := range req.Graphs {
+		g := hetrta.NewGraph()
+		if err := json.Unmarshal(raw, g); err != nil {
+			decodeErrs[i] = err // reported per item, not failing the batch
+			continue
+		}
+		graphs[i] = g
+	}
+	ctx, cancel := requestCtx(r, cfg)
+	defer cancel()
+	results, err := svc.AnalyzeBatch(ctx, graphs)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	resp := batchResponse{Reports: make([]json.RawMessage, len(results))}
+	for i, res := range results {
+		switch {
+		case decodeErrs[i] != nil:
+			resp.Reports[i] = errorReport(svc, decodeErrs[i])
+		case res.Err != nil:
+			resp.Reports[i] = errorReport(svc, res.Err)
+		default:
+			resp.Reports[i] = res.Body
+		}
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// errorReport renders a per-item failure in the Report wire schema
+// ({"error": "..."} alongside the platform), matching the error slots of
+// Analyzer.AnalyzeBatch.
+func errorReport(svc *service.Service, err error) json.RawMessage {
+	b, merr := json.Marshal(&hetrta.Report{Platform: svc.Platform(), Err: err.Error()})
+	if merr != nil {
+		return json.RawMessage(`{"error":"failed to encode error report"}`)
+	}
+	return b
+}
+
+func cacheState(res *service.Result) string {
+	switch {
+	case res.Hit:
+		return "hit"
+	case res.Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
+}
+
+func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		httpError(w, http.StatusGatewayTimeout, "analysis timed out")
+	case errors.Is(err, context.Canceled):
+		// The client is gone; the status is moot but 499-style closing is
+		// conventional (no stdlib constant, use 408).
+		httpError(w, http.StatusRequestTimeout, "request cancelled")
+	default:
+		httpError(w, http.StatusUnprocessableEntity, err.Error())
+	}
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.Encode(v)
+}

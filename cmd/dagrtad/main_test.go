@@ -1,0 +1,383 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	hetrta "repro"
+	"repro/internal/service"
+	"repro/internal/taskgen"
+)
+
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on ([^ ]+)`)
+
+// startDaemon runs the real daemon main loop on an ephemeral port and
+// returns its base URL plus a graceful-shutdown func.
+func startDaemon(t *testing.T, args ...string) string {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	done := make(chan int, 1)
+	go func() {
+		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, os.Stderr)
+	}()
+
+	var addr string
+	deadline := time.Now().Add(10 * time.Second)
+	for time.Now().Before(deadline) {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			addr = m[1]
+			break
+		}
+		select {
+		case code := <-done:
+			t.Fatalf("daemon exited early with code %d: %s", code, out.String())
+		case <-time.After(2 * time.Millisecond):
+		}
+	}
+	if addr == "" {
+		t.Fatalf("daemon never reported its address: %q", out.String())
+	}
+	t.Cleanup(func() {
+		cancel()
+		select {
+		case code := <-done:
+			if code != 0 {
+				t.Errorf("daemon exited with code %d", code)
+			}
+		case <-time.After(15 * time.Second):
+			t.Error("daemon did not shut down within the grace period")
+		}
+	})
+	return "http://" + addr
+}
+
+func taskJSON(t *testing.T, build func(g *hetrta.Graph)) []byte {
+	t.Helper()
+	g := hetrta.NewGraph()
+	build(g)
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func chainTask(t *testing.T) []byte {
+	return taskJSON(t, func(g *hetrta.Graph) {
+		load := g.AddNode("load", 2, hetrta.Host)
+		kern := g.AddNode("kernel", 8, hetrta.Offload)
+		post := g.AddNode("post", 3, hetrta.Host)
+		g.MustAddEdge(load, kern)
+		g.MustAddEdge(kern, post)
+	})
+}
+
+// relabeledChainTask is chainTask with node IDs assigned in a different
+// order — isomorphic, so it must share chainTask's cache entry.
+func relabeledChainTask(t *testing.T) []byte {
+	return taskJSON(t, func(g *hetrta.Graph) {
+		post := g.AddNode("post", 3, hetrta.Host)
+		kern := g.AddNode("kernel", 8, hetrta.Offload)
+		load := g.AddNode("load", 2, hetrta.Host)
+		g.MustAddEdge(load, kern)
+		g.MustAddEdge(kern, post)
+	})
+}
+
+func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, data
+}
+
+func getStats(t *testing.T, base string) service.Stats {
+	t.Helper()
+	resp, err := http.Get(base + "/statsz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var st service.Stats
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestEndToEndCacheHit is the acceptance path: same graph POSTed twice,
+// second response is a cache hit (verified via /statsz and X-Cache) and
+// byte-identical to the first; an isomorphic relabeling also hits.
+func TestEndToEndCacheHit(t *testing.T) {
+	base := startDaemon(t)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	r1, body1 := post(t, base+"/v1/analyze", chainTask(t))
+	if r1.StatusCode != http.StatusOK {
+		t.Fatalf("first analyze = %d: %s", r1.StatusCode, body1)
+	}
+	if got := r1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first X-Cache = %q, want miss", got)
+	}
+	if fp := r1.Header.Get("X-Fingerprint"); len(fp) != 64 {
+		t.Fatalf("X-Fingerprint = %q, want 64 hex chars", fp)
+	}
+
+	r2, body2 := post(t, base+"/v1/analyze", chainTask(t))
+	if r2.StatusCode != http.StatusOK {
+		t.Fatalf("second analyze = %d", r2.StatusCode)
+	}
+	if got := r2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("second X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cache hit not byte-identical:\n%s\n%s", body1, body2)
+	}
+
+	r3, body3 := post(t, base+"/v1/analyze", relabeledChainTask(t))
+	if got := r3.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("relabeled X-Cache = %q, want hit", got)
+	}
+	if !bytes.Equal(body1, body3) {
+		t.Fatal("relabeled graph served different bytes")
+	}
+	if r1.Header.Get("X-Fingerprint") != r3.Header.Get("X-Fingerprint") {
+		t.Fatal("relabeled graph got a different fingerprint")
+	}
+
+	st := getStats(t, base)
+	if st.Hits != 2 || st.Misses != 1 || st.Executions != 1 || st.Entries != 1 {
+		t.Fatalf("statsz = %+v, want 2 hits / 1 miss / 1 execution / 1 entry", st)
+	}
+
+	// The report must actually decode and carry the configured bounds.
+	var rep hetrta.Report
+	if err := json.Unmarshal(body1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.BoundValue("rhet"); !ok {
+		t.Fatalf("report carries no rhet bound: %s", body1)
+	}
+}
+
+func TestBatchEndpoint(t *testing.T) {
+	base := startDaemon(t)
+
+	req := map[string]any{"graphs": []json.RawMessage{
+		chainTask(t),
+		json.RawMessage(`{"nodes":[{"kind":"bogus"}]}`), // per-item decode error
+		chainTask(t), // duplicate: coalesces with slot 0
+	}}
+	body, _ := json.Marshal(req)
+	resp, data := post(t, base+"/v1/analyze/batch", body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("batch = %d: %s", resp.StatusCode, data)
+	}
+	var out struct {
+		Reports []json.RawMessage `json:"reports"`
+	}
+	if err := json.Unmarshal(data, &out); err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(out.Reports))
+	}
+	if !bytes.Equal(out.Reports[0], out.Reports[2]) {
+		t.Fatal("duplicate batch slots served different bytes")
+	}
+	var errRep hetrta.Report
+	if err := json.Unmarshal(out.Reports[1], &errRep); err != nil {
+		t.Fatal(err)
+	}
+	if errRep.Err == "" || !strings.Contains(errRep.Err, "unknown kind") {
+		t.Fatalf("slot 1 error = %q, want the decode error", errRep.Err)
+	}
+	st := getStats(t, base)
+	if st.Executions != 1 {
+		t.Fatalf("executions = %d, want 1 (duplicate coalesced, bad slot never analyzed)", st.Executions)
+	}
+	if st.Coalesced != 1 {
+		t.Fatalf("coalesced = %d, want 1", st.Coalesced)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	base := startDaemon(t)
+
+	resp, _ := post(t, base+"/v1/analyze", []byte("{not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("invalid JSON = %d, want 400", resp.StatusCode)
+	}
+
+	// Cyclic graphs fail analysis, not decoding.
+	cyclic := []byte(`{"nodes":[{"wcet":1},{"wcet":2}],"edges":[[0,1],[1,0]]}`)
+	resp, data := post(t, base+"/v1/analyze", cyclic)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("cyclic graph = %d (%s), want 422", resp.StatusCode, data)
+	}
+
+	r, err := http.Get(base + "/v1/analyze")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Body.Close()
+	if r.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET analyze = %d, want 405", r.StatusCode)
+	}
+}
+
+// hardTask returns a task whose exact search would run far longer than the
+// test timeouts, so only cancellation can end it quickly.
+func hardTask(t *testing.T) []byte {
+	t.Helper()
+	// Small(24,28) seed 1 on an m=2 platform: the branch-and-bound needs
+	// well beyond 3s uncancelled (probed), so tests pairing this task with
+	// "-platform 2+1" only finish quickly if cancellation works.
+	g, _, _, err := taskgen.MustNew(taskgen.Small(24, 28), 1).HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := json.Marshal(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestRequestTimeoutMapsToGatewayTimeout: the per-request timeout must
+// cancel the pipeline (inside the exact oracle) and map to 504.
+func TestRequestTimeoutMapsToGatewayTimeout(t *testing.T) {
+	base := startDaemon(t, "-platform", "2+1",
+		"-exact", "-budget", fmt.Sprint(int64(1)<<40), "-exact-poll", "64",
+		"-request-timeout", "100ms")
+	startedAt := time.Now()
+	resp, data := post(t, base+"/v1/analyze", hardTask(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status = %d (%s), want 504", resp.StatusCode, data)
+	}
+	if elapsed := time.Since(startedAt); elapsed > 10*time.Second {
+		t.Fatalf("timeout took %v, cancellation did not reach the oracle", elapsed)
+	}
+	// The timed-out analysis must not have been cached.
+	if st := getStats(t, base); st.Entries != 0 {
+		t.Fatalf("timed-out analysis cached: %+v", st)
+	}
+}
+
+// TestCancelledClientAbortsExactOracle: dropping the HTTP request must
+// propagate through the request context into the exact oracle's poll loop;
+// /statsz shows the in-flight execution draining promptly even though its
+// budget allowed a far longer search.
+func TestCancelledClientAbortsExactOracle(t *testing.T) {
+	base := startDaemon(t, "-platform", "2+1",
+		"-exact", "-budget", fmt.Sprint(int64(1)<<40), "-exact-poll", "64",
+		"-request-timeout", "10m")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyze", bytes.NewReader(hardTask(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request completed with %d before cancellation", resp.StatusCode)
+		}
+		errCh <- err
+	}()
+
+	// Let the request reach the oracle, then hang up.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStats(t, base).InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the analyzer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client err = %v, want context cancellation", err)
+	}
+
+	// The server-side execution must abort within the poll interval, not
+	// run out its 2^40-expansion budget.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := getStats(t, base)
+		if st.InFlight == 0 {
+			if st.Entries != 0 {
+				t.Fatalf("aborted analysis was cached: %+v", st)
+			}
+			if st.Failures == 0 {
+				t.Fatalf("abort not recorded as failure: %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("oracle still running after client hang-up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	for _, args := range [][]string{
+		{"-platform", "bogus"},
+		{"-bounds", "nope"},
+		{"-bounds", ""},
+		{"-budget", "100"},    // requires -exact
+		{"-exact-poll", "64"}, // requires -exact
+		{"-exact", "-budget", "-1"},
+		{"-exact", "-exact-poll", "-1"},
+	} {
+		out := &syncBuffer{}
+		if code := run(context.Background(), append([]string{"-addr", "127.0.0.1:0"}, args...), out, out); code != 2 {
+			t.Errorf("run(%v) = %d, want 2", args, code)
+		}
+	}
+}

@@ -90,6 +90,11 @@ const (
 // NewGraph returns an empty task graph.
 func NewGraph() *Graph { return dag.New() }
 
+// Fingerprint is a graph's canonical content hash (Graph.Fingerprint):
+// invariant under node relabeling, invalidated by mutation, and — combined
+// with Analyzer.Signature — the cache key of the serving layer.
+type Fingerprint = dag.Fingerprint
+
 // ValidateOptions tunes Graph validation; PaperModel returns the options
 // matching the paper's system model.
 type ValidateOptions = dag.ValidateOptions

@@ -1,0 +1,270 @@
+package dag
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"sort"
+)
+
+// Fingerprint is a 256-bit canonical content hash of a task graph: two
+// graphs that differ only by a permutation of their node IDs (a relabeling)
+// have equal fingerprints, while any change to the node contents (WCET,
+// kind, resource class, name) or to the edge set changes the fingerprint
+// (up to SHA-256 collision). It is the cache key of the serving layer
+// (internal/service): isomorphic requests share one cached report.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lower-case hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// Fingerprint returns the graph's canonical content hash. The result is
+// memoized against the mutation version counter, so repeated calls on an
+// unmodified graph are O(1); any mutation invalidates the snapshot exactly
+// like the derived-property cache. Safe for concurrent use with the other
+// read-only accessors.
+//
+// Canonicalization is a Weisfeiler–Leman-style color refinement followed by
+// a refined Kahn order (ties broken by the canonical positions of already
+// placed predecessors), which relabels every practically occurring task
+// graph into a unique normal form. Pathological WL-indistinguishable
+// non-isomorphic structures could in principle canonicalize differently
+// across relabelings — the failure mode is a spurious cache miss, never a
+// false hit beyond SHA-256 collision. Cyclic graphs (which Validate
+// rejects) still hash deterministically, but without the relabeling
+// invariance.
+func (g *Graph) Fingerprint() Fingerprint {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.fpValid && g.fpVersion == g.version {
+		return g.fp
+	}
+	fp := g.computeFingerprint()
+	g.fp, g.fpVersion, g.fpValid = fp, g.version, true
+	return fp
+}
+
+// fnv1a is the 64-bit FNV-1a running hash used for refinement labels.
+const fnvOffset64 = 14695981039346656037
+const fnvPrime64 = 1099511628211
+
+func fnvU64(h, v uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= fnvPrime64
+		v >>= 8
+	}
+	return h
+}
+
+func fnvStr(h uint64, s string) uint64 {
+	h = fnvU64(h, uint64(len(s)))
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// computeFingerprint canonicalizes the graph and hashes the normal form.
+// Caller holds g.mu.
+func (g *Graph) computeFingerprint() Fingerprint {
+	n := len(g.nodes)
+
+	// Initial labels: node content plus degrees.
+	labels := make([]uint64, n)
+	for i := range g.nodes {
+		nd := &g.nodes[i]
+		h := fnvU64(fnvOffset64, uint64(nd.WCET))
+		h = fnvU64(h, uint64(nd.Kind))
+		h = fnvU64(h, uint64(nd.Class))
+		h = fnvStr(h, nd.Name)
+		h = fnvU64(h, uint64(len(g.preds[i])))
+		h = fnvU64(h, uint64(len(g.succs[i])))
+		labels[i] = h
+	}
+
+	// Color refinement: fold the sorted neighbor labels (both directions)
+	// into each node's label until the partition stops refining. On DAGs
+	// this converges in O(diameter) rounds; the cap bounds adversarial
+	// inputs from the fuzzer.
+	next := make([]uint64, n)
+	var nbr []uint64
+	distinct := countDistinct(labels)
+	for round := 0; round < n && distinct < n; round++ {
+		for i := 0; i < n; i++ {
+			h := fnvU64(labels[i], 0x9e3779b97f4a7c15)
+			nbr = nbr[:0]
+			for _, p := range g.preds[i] {
+				nbr = append(nbr, labels[p])
+			}
+			sortU64(nbr)
+			for _, v := range nbr {
+				h = fnvU64(h, v)
+			}
+			h = fnvU64(h, 0xdeadbeefcafef00d)
+			nbr = nbr[:0]
+			for _, s := range g.succs[i] {
+				nbr = append(nbr, labels[s])
+			}
+			sortU64(nbr)
+			for _, v := range nbr {
+				h = fnvU64(h, v)
+			}
+			next[i] = h
+		}
+		labels, next = next, labels
+		d := countDistinct(labels)
+		if d == distinct {
+			break
+		}
+		distinct = d
+	}
+
+	// Refined Kahn order: among ready nodes pick the smallest label; break
+	// label ties by the sorted canonical positions of the (already placed)
+	// predecessors, which is label-independent; a final ID tie-break only
+	// fires between nodes the refinement could not distinguish, which are
+	// automorphic in every non-pathological graph, so either choice yields
+	// the same normal form.
+	pos := make([]int, n) // node ID -> canonical position
+	for i := range pos {
+		pos[i] = -1
+	}
+	order := make([]int, 0, n)
+	indeg := make([]int, n)
+	ready := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		indeg[i] = len(g.preds[i])
+		if indeg[i] == 0 {
+			ready = append(ready, i)
+		}
+	}
+	var pa, pb []int // predecessor-position scratch
+	predPos := func(id int, buf []int) []int {
+		buf = buf[:0]
+		for _, p := range g.preds[id] {
+			buf = append(buf, pos[p])
+		}
+		sort.Ints(buf)
+		return buf
+	}
+	for len(ready) > 0 {
+		best := 0
+		pa = predPos(ready[0], pa)
+		for c := 1; c < len(ready); c++ {
+			u, v := ready[best], ready[c]
+			if labels[v] != labels[u] {
+				if labels[v] < labels[u] {
+					best = c
+					pa = predPos(v, pa)
+				}
+				continue
+			}
+			pb = predPos(v, pb)
+			if cmp := cmpInts(pb, pa); cmp < 0 || (cmp == 0 && v < u) {
+				best = c
+				pa, pb = pb, pa
+			}
+		}
+		u := ready[best]
+		ready[best] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
+		pos[u] = len(order)
+		order = append(order, u)
+		for _, v := range g.succs[u] {
+			indeg[v]--
+			if indeg[v] == 0 {
+				ready = append(ready, v)
+			}
+		}
+	}
+	cyclic := len(order) < n
+	if cyclic {
+		// Deterministic fallback for the nodes on cycles: (label, ID)
+		// ascending. Stable, but not relabeling-invariant — cyclic graphs
+		// are rejected by Validate and by the serving layer.
+		rest := make([]int, 0, n-len(order))
+		for i := 0; i < n; i++ {
+			if pos[i] < 0 {
+				rest = append(rest, i)
+			}
+		}
+		sort.Slice(rest, func(a, b int) bool {
+			if labels[rest[a]] != labels[rest[b]] {
+				return labels[rest[a]] < labels[rest[b]]
+			}
+			return rest[a] < rest[b]
+		})
+		for _, u := range rest {
+			pos[u] = len(order)
+			order = append(order, u)
+		}
+	}
+
+	// Hash the normal form: node contents in canonical order, then the
+	// edge set as canonical position pairs.
+	h := sha256.New()
+	var w [8]byte
+	putU64 := func(v uint64) {
+		binary.LittleEndian.PutUint64(w[:], v)
+		h.Write(w[:])
+	}
+	putU64(uint64(n))
+	if cyclic {
+		putU64(0xc7c11c) // domain-separate cyclic fallbacks
+	}
+	for _, u := range order {
+		nd := &g.nodes[u]
+		putU64(uint64(nd.WCET))
+		putU64(uint64(nd.Kind))
+		putU64(uint64(nd.Class))
+		putU64(uint64(len(nd.Name)))
+		h.Write([]byte(nd.Name))
+	}
+	var succPos []int
+	for i, u := range order {
+		succPos = succPos[:0]
+		for _, v := range g.succs[u] {
+			succPos = append(succPos, pos[v])
+		}
+		sort.Ints(succPos)
+		for _, p := range succPos {
+			putU64(uint64(i))
+			putU64(uint64(p))
+		}
+	}
+	var fp Fingerprint
+	h.Sum(fp[:0])
+	return fp
+}
+
+func countDistinct(labels []uint64) int {
+	seen := make(map[uint64]struct{}, len(labels))
+	for _, l := range labels {
+		seen[l] = struct{}{}
+	}
+	return len(seen)
+}
+
+func sortU64(s []uint64) {
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+}
+
+func cmpInts(a, b []int) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
+			}
+			return 1
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	}
+	return 0
+}

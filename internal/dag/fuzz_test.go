@@ -1,0 +1,63 @@
+package dag
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzGraphJSON drives arbitrary bytes through the JSON interchange layer
+// and checks the serving-layer invariants the daemon relies on:
+//
+//   - decode → encode → decode is lossless (the re-decoded graph equals
+//     the first decode) and the encoding is a fixed point (second encode is
+//     byte-identical);
+//   - Fingerprint is stable across the round trip and never panics, even
+//     on inputs Validate would reject (cyclic graphs, zero WCETs, ...).
+//
+// Inputs that fail to decode are uninteresting (the daemon maps them to
+// HTTP 400) as long as decoding returns an error instead of panicking.
+func FuzzGraphJSON(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{"nodes":[],"edges":[]}`),
+		[]byte(`{"nodes":[{"name":"v1","wcet":3,"kind":"host"},{"name":"k","wcet":8,"kind":"offload"},{"wcet":2}],"edges":[[0,1],[1,2]]}`),
+		[]byte(`{"nodes":[{"wcet":1},{"wcet":8,"kind":"offload","class":2},{"wcet":5,"kind":"offload","class":3},{"wcet":2}],"edges":[[0,1],[0,2],[1,3],[2,3]]}`),
+		[]byte(`{"nodes":[{"wcet":0,"kind":"sync"},{"wcet":4}],"edges":[[0,1]]}`),
+		[]byte(`{"nodes":[{"wcet":1},{"wcet":2}],"edges":[[0,1],[1,0]]}`),
+		[]byte(`{"nodes":[{"wcet":1},{"wcet":2},{"wcet":3}],"edges":[[0,1],[0,1],[0,2]]}`),
+		[]byte(`{"nodes":[{"name":"a","wcet":-1}],"edges":[]}`),
+		[]byte(`{"edges":[[0,0]]}`),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var g Graph
+		if err := json.Unmarshal(data, &g); err != nil {
+			t.Skip() // invalid input must error, not panic
+		}
+		fp := g.Fingerprint()
+
+		enc, err := json.Marshal(&g)
+		if err != nil {
+			t.Fatalf("marshal of decoded graph failed: %v", err)
+		}
+		var g2 Graph
+		if err := json.Unmarshal(enc, &g2); err != nil {
+			t.Fatalf("re-decode of own encoding failed: %v\nencoding: %s", err, enc)
+		}
+		if !g.Equal(&g2) {
+			t.Fatalf("decode→encode→decode changed the graph\nin:  %s\nout: %s", data, enc)
+		}
+		if got := g2.Fingerprint(); got != fp {
+			t.Fatalf("fingerprint unstable across round trip: %s vs %s", fp, got)
+		}
+		enc2, err := json.Marshal(&g2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(enc, enc2) {
+			t.Fatalf("encoding not a fixed point:\n%s\n%s", enc, enc2)
+		}
+	})
+}

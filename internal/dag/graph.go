@@ -81,10 +81,16 @@ type Graph struct {
 	// snapshots it to detect staleness. Every mutating method calls
 	// invalidate.
 	version uint64
-	// mu guards cache, keeping the read-only property accessors safe for
-	// concurrent use. Mutators are not safe to run concurrently.
+	// mu guards cache and the fingerprint snapshot, keeping the read-only
+	// property accessors safe for concurrent use. Mutators are not safe to
+	// run concurrently.
 	mu    sync.Mutex
 	cache *propCache
+	// fp memoizes Fingerprint() (fingerprint.go) at version fpVersion;
+	// fpValid distinguishes "never computed" from version 0.
+	fp        Fingerprint
+	fpVersion uint64
+	fpValid   bool
 }
 
 // invalidate marks every cached derived property stale. Called by all

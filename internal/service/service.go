@@ -1,0 +1,525 @@
+// Package service is the serving layer of the toolkit: a long-running
+// wrapper around one hetrta.Analyzer that deduplicates work across
+// requests. Three mechanisms compose:
+//
+//   - a canonical cache key: (Graph.Fingerprint, Analyzer.Signature), so
+//     isomorphic graphs analyzed under the same configuration share one
+//     result regardless of node labeling or which client sent them;
+//   - a sharded LRU report cache holding both the in-memory Report and its
+//     serialized JSON, marshaled once — repeat responses are byte-identical
+//     by construction;
+//   - single-flight execution: concurrent requests for the same key run the
+//     Analyzer exactly once, with every other request waiting on the
+//     leader's result. Batch requests additionally coalesce duplicate
+//     graphs before fanning the remaining misses out on the Analyzer's
+//     worker pool (internal/batch) via AnalyzeBatch.
+//
+// Failures are never cached: a request that fails (including by its own
+// context being cancelled) leaves the key absent, and waiters whose leader
+// was cancelled retry with their own, still-live context.
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	hetrta "repro"
+	"repro/internal/dag"
+)
+
+// Defaults for Options zero values.
+const (
+	DefaultCacheEntries = 4096
+	DefaultShards       = 16
+)
+
+// Options configure a Service.
+type Options struct {
+	// CacheEntries is the total report-cache capacity in entries (spread
+	// over the shards, at least one per shard); 0 means
+	// DefaultCacheEntries.
+	CacheEntries int
+	// Shards is the number of cache shards, rounded up to a power of two;
+	// 0 means DefaultShards.
+	Shards int
+}
+
+// Service serves analysis requests against one immutable Analyzer,
+// deduplicating identical work through the cache and single-flight. Safe
+// for concurrent use.
+type Service struct {
+	an    *hetrta.Analyzer
+	sig   string
+	cache *cache
+
+	mu      sync.Mutex
+	flights map[string]*flight
+
+	requests   atomic.Uint64
+	hits       atomic.Uint64
+	misses     atomic.Uint64
+	executions atomic.Uint64
+	coalesced  atomic.Uint64
+	failures   atomic.Uint64
+	inFlight   atomic.Int64
+
+	// exec runs the analyzer for a slice of cache misses; a test hook that
+	// defaults to an.AnalyzeBatch, letting tests count executions.
+	exec func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error)
+}
+
+// flight is one in-progress execution; waiters block on done.
+type flight struct {
+	done chan struct{}
+	ent  *entry
+	err  error
+}
+
+// Result is the outcome of one analyzed graph.
+//
+// Cached results are shared between all graphs with the same fingerprint,
+// which is relabeling-invariant: a hit on an isomorphic graph returns the
+// report computed for whichever request populated the entry. Every
+// analytical quantity (bounds, makespans, volumes) is identical across
+// relabelings, but node-ID-valued summary fields (offload.node,
+// transforms[].offload/sync/gate, parNodes) echo the computing request's
+// labeling, not necessarily the caller's.
+type Result struct {
+	// Report is the analysis outcome; nil when Err is set.
+	Report *hetrta.Report
+	// Body is Report's canonical JSON, identical bytes for every request
+	// served from the same cache entry.
+	Body []byte
+	// Hit says the result came from the cache; Shared says it came from
+	// another request's in-flight execution.
+	Hit    bool
+	Shared bool
+	// Fingerprint is the graph's canonical content hash.
+	Fingerprint dag.Fingerprint
+	// Err is the per-graph failure, if any (batch requests fail
+	// item-by-item, mirroring Analyzer.AnalyzeBatch).
+	Err error
+}
+
+// New builds a Service around an analyzer.
+func New(an *hetrta.Analyzer, opts Options) (*Service, error) {
+	if an == nil {
+		return nil, errors.New("service: nil analyzer")
+	}
+	entries := opts.CacheEntries
+	if entries <= 0 {
+		entries = DefaultCacheEntries
+	}
+	shards := opts.Shards
+	if shards <= 0 {
+		shards = DefaultShards
+	}
+	for shards&(shards-1) != 0 {
+		shards++
+	}
+	s := &Service{
+		an:      an,
+		sig:     an.Signature(),
+		cache:   newCache(entries, shards),
+		flights: make(map[string]*flight),
+	}
+	s.exec = an.AnalyzeBatch
+	return s, nil
+}
+
+// Signature returns the analyzer configuration signature baked into every
+// cache key.
+func (s *Service) Signature() string { return s.sig }
+
+// Platform returns the wrapped analyzer's platform.
+func (s *Service) Platform() hetrta.Platform { return s.an.Platform() }
+
+// keyOf derives the cache key of g under this service's configuration.
+func (s *Service) keyOf(fp dag.Fingerprint) string {
+	return fp.String() + "|" + s.sig
+}
+
+// Analyze serves one graph: from the cache, from another request's
+// in-flight execution, or by running the Analyzer. The error is non-nil on
+// analysis failure or context cancellation; failed analyses are not
+// cached.
+func (s *Service) Analyze(ctx context.Context, g *hetrta.Graph) (*Result, error) {
+	if g == nil {
+		return nil, errors.New("service: Analyze(nil graph)")
+	}
+	s.requests.Add(1)
+	return s.analyze(ctx, g)
+}
+
+// analyze is Analyze without the request accounting, so internal retries
+// (await's fallback) do not double-count.
+func (s *Service) analyze(ctx context.Context, g *hetrta.Graph) (*Result, error) {
+	fp := g.Fingerprint()
+	key := s.keyOf(fp)
+	for {
+		if ent, ok := s.cache.get(key); ok {
+			s.hits.Add(1)
+			return &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fp}, nil
+		}
+		f, leader := s.leadOrJoin(key)
+		if leader {
+			ent, err := s.lead(ctx, key, f, g)
+			if err != nil {
+				return nil, err
+			}
+			return &Result{Report: ent.report, Body: ent.body, Fingerprint: fp}, nil
+		}
+		s.coalesced.Add(1)
+		select {
+		case <-f.done:
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+		if f.err == nil {
+			return &Result{Report: f.ent.report, Body: f.ent.body, Shared: true, Fingerprint: fp}, nil
+		}
+		if isCancellation(f.err) && ctx.Err() == nil {
+			// The leader died of its own cancelled context; ours is still
+			// live, so retry (re-checking the cache, possibly leading).
+			continue
+		}
+		return nil, f.err
+	}
+}
+
+// lead executes the analyzer for key as the flight leader, caches success,
+// and publishes the outcome to waiters (also on panic, so a crashing
+// analysis cannot strand them).
+func (s *Service) lead(ctx context.Context, key string, f *flight, g *hetrta.Graph) (ent *entry, err error) {
+	published := false
+	defer func() {
+		if !published {
+			s.publish(key, f, nil, fmt.Errorf("service: analysis aborted"))
+		}
+	}()
+	// Double-check the cache after registering the flight: a previous
+	// leader caches before deregistering, so this read cannot miss an
+	// entry that was published before we became leader.
+	if cached, ok := s.cache.get(key); ok {
+		s.hits.Add(1)
+		published = true
+		s.publish(key, f, cached, nil)
+		return cached, nil
+	}
+	s.misses.Add(1)
+	ent, err = s.runOne(ctx, g)
+	published = true
+	if err != nil {
+		s.failures.Add(1)
+		s.publish(key, f, nil, err)
+		return nil, err
+	}
+	s.cache.add(key, ent) // must precede publish (see double-check above)
+	s.publish(key, f, ent, nil)
+	return ent, nil
+}
+
+// runOne executes the analyzer for a single graph and serializes the
+// report.
+func (s *Service) runOne(ctx context.Context, g *hetrta.Graph) (*entry, error) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1) // deferred: the gauge survives analyzer panics
+	s.executions.Add(1)
+	reports, batchErr := s.exec(ctx, []*hetrta.Graph{g})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	if len(reports) != 1 || reports[0] == nil {
+		return nil, errors.New("service: analyzer returned no report")
+	}
+	if reports[0].Err != "" {
+		return nil, errors.New(reports[0].Err)
+	}
+	return marshalEntry(reports[0])
+}
+
+func marshalEntry(rep *hetrta.Report) (*entry, error) {
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshaling report: %w", err)
+	}
+	return &entry{report: rep, body: body}, nil
+}
+
+// AnalyzeBatch serves many graphs: cache hits fill immediately, duplicate
+// graphs within the batch coalesce to one execution, keys already in
+// flight (from any request) are waited on, and the remaining misses run in
+// ONE Analyzer.AnalyzeBatch call on its worker pool. Results come back in
+// input order; per-graph failures are reported in Result.Err without
+// failing the batch. The returned error is non-nil only when ctx is
+// cancelled.
+func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Result, error) {
+	res := make([]*Result, len(gs))
+	fps := make([]dag.Fingerprint, len(gs))
+	keys := make([]string, len(gs))
+
+	type group struct {
+		idxs   []int
+		flight *flight
+		leader bool
+		done   bool // slots already filled (double-check cache hit)
+	}
+	groups := make(map[string]*group)
+	var order []string // group keys in first-appearance order
+	var nilIdxs []int
+
+	for i, g := range gs {
+		s.requests.Add(1)
+		if g == nil {
+			nilIdxs = append(nilIdxs, i)
+			continue
+		}
+		fps[i] = g.Fingerprint()
+		keys[i] = s.keyOf(fps[i])
+		if ent, ok := s.cache.get(keys[i]); ok {
+			s.hits.Add(1)
+			res[i] = &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fps[i]}
+			continue
+		}
+		grp, ok := groups[keys[i]]
+		if !ok {
+			grp = &group{}
+			groups[keys[i]] = grp
+			order = append(order, keys[i])
+		} else {
+			s.coalesced.Add(1) // duplicate within the batch
+		}
+		grp.idxs = append(grp.idxs, i)
+	}
+
+	// Acquire flights; collect the representative graph of every key this
+	// request leads. Whatever happens afterwards (including an analyzer
+	// panic), no led flight may stay unpublished, or its waiters would
+	// block forever.
+	pending := make(map[string]*flight)
+	defer func() {
+		for k, f := range pending {
+			s.publish(k, f, nil, errors.New("service: analysis aborted"))
+		}
+	}()
+	var runKeys []string
+	for _, k := range order {
+		grp := groups[k]
+		f, leader := s.leadOrJoin(k)
+		grp.flight, grp.leader = f, leader
+		if !leader {
+			s.coalesced.Add(1) // joins another request's flight
+			continue
+		}
+		// Same double-check as lead(): a previous leader caches before
+		// deregistering, so a key that went resident between our first
+		// lookup and the flight registration is visible now.
+		if ent, ok := s.cache.get(k); ok {
+			s.hits.Add(1)
+			s.publish(k, f, ent, nil)
+			for _, i := range grp.idxs {
+				res[i] = &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fps[i]}
+			}
+			grp.leader, grp.done = false, true
+			continue
+		}
+		runKeys = append(runKeys, k)
+		pending[k] = f
+	}
+
+	// One AnalyzeBatch over every led key (plus nil slots, whose per-item
+	// error text the analyzer owns), fanned out on internal/batch.
+	if len(runKeys) > 0 || len(nilIdxs) > 0 {
+		batchGs := make([]*hetrta.Graph, 0, len(runKeys)+len(nilIdxs))
+		for _, k := range runKeys {
+			batchGs = append(batchGs, gs[groups[k].idxs[0]])
+		}
+		for range nilIdxs {
+			batchGs = append(batchGs, nil)
+		}
+		var reports []*hetrta.Report
+		var batchErr error
+		if len(runKeys) > 0 {
+			s.executions.Add(uint64(len(runKeys)))
+			s.misses.Add(uint64(len(runKeys)))
+			func() {
+				s.inFlight.Add(1)
+				defer s.inFlight.Add(-1) // survives analyzer panics
+				reports, batchErr = s.exec(ctx, batchGs)
+			}()
+		} else {
+			reports, batchErr = s.exec(ctx, batchGs)
+		}
+		for j, k := range runKeys {
+			grp := groups[k]
+			var ent *entry
+			var err error
+			switch {
+			case batchErr != nil && (j >= len(reports) || reports[j] == nil || reports[j].Err != ""):
+				err = batchErr
+			case j >= len(reports) || reports[j] == nil:
+				err = errors.New("service: analyzer returned no report")
+			case reports[j].Err != "":
+				err = errors.New(reports[j].Err)
+			default:
+				ent, err = marshalEntry(reports[j])
+			}
+			if err != nil {
+				s.failures.Add(1)
+				s.publish(k, grp.flight, nil, err)
+			} else {
+				s.cache.add(k, ent)
+				s.publish(k, grp.flight, ent, nil)
+			}
+			delete(pending, k)
+			shared := false
+			for _, i := range grp.idxs {
+				if err != nil {
+					res[i] = &Result{Err: err, Fingerprint: fps[i]}
+				} else {
+					res[i] = &Result{Report: ent.report, Body: ent.body, Shared: shared, Fingerprint: fps[i]}
+				}
+				shared = true
+			}
+		}
+		for j, i := range nilIdxs {
+			slot := len(runKeys) + j
+			err := errors.New("service: analyzer returned no report")
+			if slot < len(reports) && reports[slot] != nil && reports[slot].Err != "" {
+				err = errors.New(reports[slot].Err)
+			} else if batchErr != nil {
+				err = batchErr
+			}
+			s.failures.Add(1)
+			res[i] = &Result{Err: err}
+		}
+	}
+
+	// Wait for the groups another request is computing.
+	for _, k := range order {
+		grp := groups[k]
+		if grp.leader || grp.done {
+			continue
+		}
+		r := s.await(ctx, k, grp.flight, gs[grp.idxs[0]], fps[grp.idxs[0]])
+		for _, i := range grp.idxs {
+			ri := *r
+			ri.Fingerprint = fps[i]
+			ri.Shared = ri.Err == nil && !ri.Hit
+			res[i] = &ri
+		}
+	}
+
+	if err := ctx.Err(); err != nil {
+		for i, r := range res {
+			if r == nil {
+				res[i] = &Result{Err: err, Fingerprint: fps[i]}
+			}
+		}
+		return res, err
+	}
+	return res, nil
+}
+
+// await blocks on a foreign flight; if that flight's leader was cancelled
+// while our context is still live, it falls back to Analyze (which
+// re-checks the cache and may lead a fresh execution).
+func (s *Service) await(ctx context.Context, key string, f *flight, g *hetrta.Graph, fp dag.Fingerprint) *Result {
+	select {
+	case <-f.done:
+	case <-ctx.Done():
+		return &Result{Err: ctx.Err(), Fingerprint: fp}
+	}
+	if f.err == nil {
+		return &Result{Report: f.ent.report, Body: f.ent.body, Shared: true, Fingerprint: fp}
+	}
+	if isCancellation(f.err) && ctx.Err() == nil {
+		// Already counted as a request by AnalyzeBatch; analyze (not
+		// Analyze) keeps /statsz's "a batch of n counts n" contract.
+		r, err := s.analyze(ctx, g)
+		if err != nil {
+			return &Result{Err: err, Fingerprint: fp}
+		}
+		return r
+	}
+	s.failures.Add(1)
+	return &Result{Err: f.err, Fingerprint: fp}
+}
+
+func (s *Service) leadOrJoin(key string) (*flight, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if f, ok := s.flights[key]; ok {
+		return f, false
+	}
+	f := &flight{done: make(chan struct{})}
+	s.flights[key] = f
+	return f, true
+}
+
+func (s *Service) publish(key string, f *flight, ent *entry, err error) {
+	s.mu.Lock()
+	delete(s.flights, key)
+	s.mu.Unlock()
+	f.ent, f.err = ent, err
+	close(f.done)
+}
+
+func isCancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Stats is a point-in-time snapshot of the service counters, shaped for
+// the daemon's /statsz endpoint.
+type Stats struct {
+	// Requests counts analyzed graphs (a batch of n counts n).
+	Requests uint64 `json:"requests"`
+	// Hits and Misses partition cache lookups; HitRate = Hits/(Hits+Misses).
+	Hits    uint64  `json:"hits"`
+	Misses  uint64  `json:"misses"`
+	HitRate float64 `json:"hitRate"`
+	// Executions counts Analyzer runs (one per distinct missed key).
+	Executions uint64 `json:"executions"`
+	// Coalesced counts requests that shared another request's execution
+	// instead of running their own (single-flight joins plus in-batch
+	// duplicates).
+	Coalesced uint64 `json:"coalesced"`
+	// Failures counts analyses that returned an error (never cached).
+	Failures uint64 `json:"failures"`
+	// InFlight is the number of executions running right now.
+	InFlight int64 `json:"inFlight"`
+	// Entries is the current cache occupancy; Capacity its limit;
+	// Evictions the LRU evictions so far; ShardEntries the per-shard
+	// occupancy.
+	Entries      int    `json:"entries"`
+	Capacity     int    `json:"capacity"`
+	Evictions    uint64 `json:"evictions"`
+	ShardEntries []int  `json:"shardEntries"`
+}
+
+// Stats returns a snapshot of the service counters.
+func (s *Service) Stats() Stats {
+	st := Stats{
+		Requests:     s.requests.Load(),
+		Hits:         s.hits.Load(),
+		Misses:       s.misses.Load(),
+		Executions:   s.executions.Load(),
+		Coalesced:    s.coalesced.Load(),
+		Failures:     s.failures.Load(),
+		InFlight:     s.inFlight.Load(),
+		Entries:      s.cache.len(),
+		Evictions:    s.cache.evicted(),
+		ShardEntries: s.cache.shardLens(),
+	}
+	for _, sh := range s.cache.shards {
+		st.Capacity += sh.capacity
+	}
+	if total := st.Hits + st.Misses; total > 0 {
+		st.HitRate = float64(st.Hits) / float64(total)
+	}
+	return st
+}

@@ -6,6 +6,15 @@ package hetrta
 // exact-oracle results. Rich in-memory objects (the transformation, full
 // simulation schedules) ride along in fields excluded from JSON so CLI
 // front-ends can render Gantt charts without recomputing.
+//
+// The JSON form is a stable wire format with two guarantees the serving
+// layer (internal/service, cmd/dagrtad) builds on: marshaling is
+// deterministic — analyzing equal graphs under Analyzers with equal
+// Signatures yields byte-identical JSON (map-valued fields marshal with
+// sorted keys) — and the JSON-visible fields round-trip losslessly through
+// encoding/json. Both are pinned by golden files under testdata/golden
+// (regenerate deliberate changes with `go test -run TestReportGolden
+// -update .`).
 type Report struct {
 	// Platform is the execution platform the report was computed for.
 	Platform Platform `json:"platform"`
@@ -154,8 +163,10 @@ func (r *Report) BoundValue(name string) (float64, bool) {
 }
 
 // Schedulable reports whether the named bound certifies the deadline
-// (bound ≤ deadline); ok is false when the bound is absent, skipped, or
-// unsafe (an unsafe bound certifies nothing).
+// (bound ≤ deadline, equality schedulable); ok is false when the bound is
+// absent, skipped, or unsafe (an unsafe bound certifies nothing). A
+// non-positive deadline is compared like any other: no special casing, so
+// a zero bound meets a zero deadline.
 func (r *Report) Schedulable(name string, deadline int64) (schedulable, ok bool) {
 	b, found := r.Bound(name)
 	if !found || b.Skipped != "" || b.Unsafe {

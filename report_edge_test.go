@@ -1,0 +1,140 @@
+package hetrta
+
+import (
+	"context"
+	"math"
+	"testing"
+)
+
+// TestSchedulableEdgeCases pins the verdict semantics at the boundaries:
+// a bound certifies schedulability iff it is present, applicable (not
+// skipped), safe, and its value is ≤ the deadline — with equality counting
+// as schedulable (R ≤ D in the paper), including deadline 0 against a
+// zero bound.
+func TestSchedulableEdgeCases(t *testing.T) {
+	rep := &Report{Bounds: []BoundResult{
+		{Name: "rhet", Value: 10},
+		{Name: "rhom", Value: 12.5},
+		{Name: "zero", Value: 0},
+		{Name: "skipped", Skipped: "no offload node"},
+		{Name: "naive", Value: 5, Unsafe: true},
+	}}
+
+	cases := []struct {
+		name     string
+		bound    string
+		deadline int64
+		wantS    bool
+		wantOK   bool
+	}{
+		{"strictly below deadline", "rhet", 11, true, true},
+		{"exactly at deadline", "rhet", 10, true, true},
+		{"one above deadline", "rhet", 9, false, true},
+		{"fractional bound rounds against the task", "rhom", 12, false, true},
+		{"fractional bound within deadline", "rhom", 13, true, true},
+		{"zero deadline, positive bound", "rhet", 0, false, true},
+		{"zero deadline, zero bound", "zero", 0, true, true},
+		{"negative deadline", "rhet", -1, false, true},
+		{"missing bound name", "nope", 100, false, false},
+		{"skipped bound certifies nothing", "skipped", 100, false, false},
+		{"unsafe bound certifies nothing", "naive", 100, false, false},
+		{"empty name", "", 100, false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s, ok := rep.Schedulable(tc.bound, tc.deadline)
+			if s != tc.wantS || ok != tc.wantOK {
+				t.Fatalf("Schedulable(%q, %d) = %v/%v, want %v/%v",
+					tc.bound, tc.deadline, s, ok, tc.wantS, tc.wantOK)
+			}
+		})
+	}
+}
+
+func TestBoundValueEdgeCases(t *testing.T) {
+	rep := &Report{Bounds: []BoundResult{
+		{Name: "rhet", Value: 10},
+		{Name: "skipped", Value: math.NaN(), Skipped: "n/a"},
+	}}
+	if v, ok := rep.BoundValue("rhet"); !ok || v != 10 {
+		t.Fatalf("BoundValue(rhet) = %v/%v", v, ok)
+	}
+	if _, ok := rep.BoundValue("skipped"); ok {
+		t.Fatal("skipped bound reported a value")
+	}
+	if _, ok := rep.BoundValue("absent"); ok {
+		t.Fatal("absent bound reported a value")
+	}
+	if _, ok := rep.Bound("absent"); ok {
+		t.Fatal("Bound found an absent name")
+	}
+}
+
+// TestAnalyzeBatchErrorSlotShapes pins what each kind of failed slot looks
+// like: a nil graph, a cyclic graph, and a healthy graph in one batch. The
+// batch must not fail; failing slots carry only Platform and Err.
+func TestAnalyzeBatchErrorSlotShapes(t *testing.T) {
+	an, err := NewAnalyzer(WithPlatform(HeteroPlatform(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	healthy := NewGraph()
+	a := healthy.AddNode("a", 2, Host)
+	b := healthy.AddNode("b", 8, Offload)
+	healthy.MustAddEdge(a, b)
+
+	cyclic := NewGraph()
+	u := cyclic.AddNode("u", 1, Host)
+	v := cyclic.AddNode("v", 2, Host)
+	cyclic.MustAddEdge(u, v)
+	cyclic.MustAddEdge(v, u)
+
+	reports, err := an.AnalyzeBatch(context.Background(), []*Graph{nil, healthy, cyclic})
+	if err != nil {
+		t.Fatalf("per-item failures must not fail the batch: %v", err)
+	}
+	if len(reports) != 3 {
+		t.Fatalf("got %d reports, want 3", len(reports))
+	}
+	for i, rep := range reports {
+		if rep == nil {
+			t.Fatalf("slot %d is nil; error slots must still carry a report", i)
+		}
+	}
+	if reports[0].Err == "" {
+		t.Fatal("nil-graph slot has no error")
+	}
+	if reports[1].Err != "" || len(reports[1].Bounds) == 0 {
+		t.Fatalf("healthy slot corrupted: %+v", reports[1])
+	}
+	if reports[2].Err == "" {
+		t.Fatal("cyclic slot has no error")
+	}
+	// Error slots are bare: platform + error, nothing else.
+	for _, i := range []int{0, 2} {
+		rep := reports[i]
+		if len(rep.Bounds) != 0 || rep.Transform != nil || rep.Simulation != nil || rep.Exact != nil {
+			t.Fatalf("error slot %d carries analysis fields: %+v", i, rep)
+		}
+		if rep.Platform.NumClasses() == 0 {
+			t.Fatalf("error slot %d lost the platform", i)
+		}
+		// And the verdict API degrades gracefully on them.
+		if _, ok := rep.Schedulable("rhet", 100); ok {
+			t.Fatalf("error slot %d certified schedulability", i)
+		}
+	}
+}
+
+// TestAnalyzeBatchZeroLength: a zero-length batch succeeds with no
+// reports and no pool spin-up.
+func TestAnalyzeBatchZeroLength(t *testing.T) {
+	an, err := NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports, err := an.AnalyzeBatch(context.Background(), nil)
+	if err != nil || len(reports) != 0 {
+		t.Fatalf("empty batch: reports=%v err=%v", reports, err)
+	}
+}

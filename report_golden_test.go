@@ -1,0 +1,174 @@
+package hetrta
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// -update regenerates the golden files instead of comparing against them:
+//
+//	go test -run TestReportGolden -update .
+var updateGolden = flag.Bool("update", false, "rewrite golden files under testdata/golden")
+
+// The golden files pin the Report JSON wire format the serving layer
+// (internal/service, cmd/dagrtad) caches and ships to clients. A diff here
+// means the wire format changed: deliberate changes regenerate with
+// -update; accidental ones are regressions.
+func TestReportGolden(t *testing.T) {
+	cases := []struct {
+		name  string
+		graph func(t *testing.T) *Graph
+		opts  []Option
+	}{
+		{
+			// The paper's model: one offloaded region, full pipeline
+			// (all bounds, simulation, exact oracle).
+			name: "single_offload",
+			graph: func(t *testing.T) *Graph {
+				g := NewGraph()
+				load := g.AddNode("load", 2, Host)
+				kern := g.AddNode("kernel", 8, Offload)
+				left := g.AddNode("left", 3, Host)
+				right := g.AddNode("right", 5, Host)
+				post := g.AddNode("post", 3, Host)
+				g.MustAddEdge(load, kern)
+				g.MustAddEdge(load, left)
+				g.MustAddEdge(load, right)
+				g.MustAddEdge(kern, post)
+				g.MustAddEdge(left, post)
+				g.MustAddEdge(right, post)
+				return g
+			},
+			opts: []Option{
+				WithPlatform(HeteroPlatform(2)),
+				WithBounds(RhomBound(), RhetBound(), TypedRhomBound(), NaiveBound()),
+				WithPolicy(BreadthFirst),
+				WithExactBudget(0),
+			},
+		},
+		{
+			// Two offloaded regions on distinct device classes: the typed
+			// multi-class extension, including per-step transform summaries.
+			name: "multi_class",
+			graph: func(t *testing.T) *Graph {
+				g := NewGraph()
+				src := g.AddNode("src", 1, Host)
+				gpu := g.AddNode("gpuK", 9, Offload) // class 1
+				fpga := g.AddNode("fpgaK", 6, Offload)
+				mid := g.AddNode("mid", 4, Host)
+				sink := g.AddNode("sink", 2, Host)
+				g.SetClass(fpga, 2)
+				g.MustAddEdge(src, gpu)
+				g.MustAddEdge(src, fpga)
+				g.MustAddEdge(src, mid)
+				g.MustAddEdge(gpu, sink)
+				g.MustAddEdge(fpga, sink)
+				g.MustAddEdge(mid, sink)
+				return g
+			},
+			opts: []Option{
+				WithPlatform(NewPlatform(
+					ResourceClass{Name: "host", Count: 4},
+					ResourceClass{Name: "gpu", Count: 1},
+					ResourceClass{Name: "fpga", Count: 2},
+				)),
+				WithBounds(RhomBound(), RhetBound(), TypedRhomBound()),
+				WithPolicy(BreadthFirst),
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			an, err := NewAnalyzer(tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := an.Analyze(context.Background(), tc.graph(t))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test -run TestReportGolden -update .)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("report JSON drifted from %s (regenerate with -update if deliberate)\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+
+			// The wire format must round-trip: a decoded report re-encodes
+			// to the same bytes (the JSON-visible fields are lossless).
+			var back Report
+			if err := json.Unmarshal(got, &back); err != nil {
+				t.Fatal(err)
+			}
+			again, err := json.MarshalIndent(&back, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(got, again) {
+				t.Errorf("report JSON does not round-trip:\nfirst:\n%s\nsecond:\n%s", got, again)
+			}
+		})
+	}
+}
+
+// TestReportMarshalDeterministic guards the byte-identical-cache-hit
+// guarantee: marshaling the same report twice (and re-analyzing the same
+// graph) yields identical bytes, including the map-valued bound details.
+func TestReportMarshalDeterministic(t *testing.T) {
+	an, err := NewAnalyzer(
+		WithPlatform(HeteroPlatform(4)),
+		WithBounds(RhomBound(), RhetBound(), TypedRhomBound(), NaiveBound()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func() *Graph {
+		g := NewGraph()
+		a := g.AddNode("a", 2, Host)
+		b := g.AddNode("b", 8, Offload)
+		c := g.AddNode("c", 3, Host)
+		g.MustAddEdge(a, b)
+		g.MustAddEdge(b, c)
+		return g
+	}
+	var prev []byte
+	for i := 0; i < 5; i++ {
+		rep, err := an.Analyze(context.Background(), mk())
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if prev != nil && !bytes.Equal(prev, b) {
+			t.Fatalf("marshal %d differs:\n%s\n%s", i, prev, b)
+		}
+		prev = b
+	}
+}
