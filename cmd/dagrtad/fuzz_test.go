@@ -1,0 +1,48 @@
+package main
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzAdmitRequest drives the /v1/admit request decoder with arbitrary
+// bodies: it must never panic, and every decoded taskset must fingerprint
+// deterministically — including across its own permutation-canonical form,
+// the property the admission cache keys on. (Model validation is the
+// analyzer's job and deliberately not part of decoding.)
+func FuzzAdmitRequest(f *testing.F) {
+	seeds := [][]byte{
+		[]byte(`{}`),
+		[]byte(`{"tasks":[]}`),
+		[]byte(`{"tasks":[{"graph":{"nodes":[],"edges":[]},"period":10,"deadline":10}]}`),
+		[]byte(`{"tasks":[{"graph":{"nodes":[{"id":0,"wcet":2},{"id":1,"wcet":8,"kind":"offload"}],"edges":[[0,1]]},"period":60,"deadline":50,"jitter":3}]}`),
+		[]byte(`{"tasks":[{"period":-1,"deadline":9223372036854775807}]}`),
+		[]byte(`{"tasks":[{"graph":{"nodes":[{"id":0,"wcet":1}],"edges":[[0,0]]},"period":5,"deadline":5}]}`),
+		[]byte(`{not json`),
+		[]byte(``),
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, body []byte) {
+		ts, err := decodeAdmitRequest(body, 64)
+		if err != nil {
+			return
+		}
+		fp1 := ts.Fingerprint()
+		fp2 := ts.Fingerprint()
+		if fp1 != fp2 {
+			t.Fatalf("fingerprint not deterministic: %s vs %s", fp1, fp2)
+		}
+		if got := ts.Canonical().Fingerprint(); got != fp1 {
+			t.Fatalf("canonical form fingerprints differently: %s vs %s", got, fp1)
+		}
+		// The decoded shape must survive JSON re-encoding of its graphs
+		// (the daemon caches marshaled reports, so graphs must marshal).
+		for i, tk := range ts.Tasks {
+			if _, err := json.Marshal(tk.G); err != nil {
+				t.Fatalf("task %d graph does not marshal: %v", i, err)
+			}
+		}
+	})
+}

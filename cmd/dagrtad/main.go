@@ -10,8 +10,17 @@
 //
 //	POST /v1/analyze        task-graph JSON in (cmd/daggen schema), Report JSON out
 //	POST /v1/analyze/batch  {"graphs":[...]} in, {"reports":[...]} out (per-item errors inline)
+//	POST /v1/admit          sporadic-taskset JSON in ({"tasks":[{"graph":...,
+//	                        "period":...,"deadline":...,"jitter":...}]}),
+//	                        AdmitReport JSON out (federated + global verdicts)
 //	GET  /healthz           liveness probe
 //	GET  /statsz            cache hit rate, shard occupancy, in-flight executions
+//
+// Admissions are cached under the taskset's canonical fingerprint — an
+// order-insensitive hash over the member graphs' canonical fingerprints and
+// sporadic parameters — so permuted or relabeled-but-isomorphic tasksets
+// are served the identical cached bytes (X-Taskset-Fingerprint carries the
+// hash).
 //
 // Responses carry an X-Cache header (hit / miss / shared) and, for single
 // analyses, X-Fingerprint with the graph's canonical content hash. Each
@@ -188,6 +197,9 @@ func newHandler(svc *service.Service, cfg config) http.Handler {
 	mux.HandleFunc("POST /v1/analyze/batch", func(w http.ResponseWriter, r *http.Request) {
 		handleBatch(svc, cfg, w, r)
 	})
+	mux.HandleFunc("POST /v1/admit", func(w http.ResponseWriter, r *http.Request) {
+		handleAdmit(svc, cfg, w, r)
+	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -231,6 +243,80 @@ func handleAnalyze(svc *service.Service, cfg config, w http.ResponseWriter, r *h
 	w.Header().Set("X-Fingerprint", res.Fingerprint.String())
 	w.WriteHeader(http.StatusOK)
 	w.Write(res.Body)
+}
+
+// admitRequest / admitTask are the wire shape of /v1/admit: one sporadic
+// DAG task per entry, graphs in the cmd/daggen schema.
+type admitRequest struct {
+	Tasks []admitTask `json:"tasks"`
+}
+
+type admitTask struct {
+	Graph    json.RawMessage `json:"graph"`
+	Period   int64           `json:"period"`
+	Deadline int64           `json:"deadline"`
+	Jitter   int64           `json:"jitter,omitempty"`
+}
+
+// decodeAdmitRequest parses an /v1/admit body into a taskset. maxTasks
+// bounds the member count (the per-batch limit does double duty). Model
+// validation (deadlines, jitter, graph structure) is the analyzer's
+// business; this only decodes.
+func decodeAdmitRequest(body []byte, maxTasks int) (hetrta.Taskset, error) {
+	var req admitRequest
+	if err := json.Unmarshal(body, &req); err != nil {
+		return hetrta.Taskset{}, err
+	}
+	if len(req.Tasks) > maxTasks {
+		return hetrta.Taskset{}, fmt.Errorf("%d tasks exceed the %d per-taskset limit", len(req.Tasks), maxTasks)
+	}
+	ts := hetrta.Taskset{Tasks: make([]hetrta.SporadicTask, len(req.Tasks))}
+	for i, tk := range req.Tasks {
+		g := hetrta.NewGraph()
+		if len(tk.Graph) > 0 {
+			if err := json.Unmarshal(tk.Graph, g); err != nil {
+				return hetrta.Taskset{}, fmt.Errorf("task %d: %v", i, err)
+			}
+		}
+		ts.Tasks[i] = hetrta.SporadicTask{G: g, Period: tk.Period, Deadline: tk.Deadline, Jitter: tk.Jitter}
+	}
+	return ts, nil
+}
+
+func handleAdmit(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
+	if err != nil {
+		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+		return
+	}
+	ts, err := decodeAdmitRequest(body, cfg.maxBatch)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := requestCtx(r, cfg)
+	defer cancel()
+	res, err := svc.Admit(ctx, ts)
+	if err != nil {
+		writeAnalysisError(w, r, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", admitCacheState(res))
+	w.Header().Set("X-Taskset-Fingerprint", res.Fingerprint.String())
+	w.WriteHeader(http.StatusOK)
+	w.Write(res.Body)
+}
+
+func admitCacheState(res *service.AdmitResult) string {
+	switch {
+	case res.Hit:
+		return "hit"
+	case res.Shared:
+		return "shared"
+	default:
+		return "miss"
+	}
 }
 
 // batchRequest / batchResponse are the wire shapes of /v1/analyze/batch.

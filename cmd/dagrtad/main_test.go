@@ -381,3 +381,124 @@ func TestFlagErrors(t *testing.T) {
 		}
 	}
 }
+
+// admitBody renders an /v1/admit request; reorder permutes both the task
+// order and the member graphs' node insertion order, producing an
+// isomorphic taskset with the same canonical fingerprint.
+func admitBody(t *testing.T, reorder bool) []byte {
+	t.Helper()
+	type task struct {
+		Graph    json.RawMessage `json:"graph"`
+		Period   int64           `json:"period"`
+		Deadline int64           `json:"deadline"`
+		Jitter   int64           `json:"jitter,omitempty"`
+	}
+	g1, g2 := chainTask(t), taskJSON(t, func(g *hetrta.Graph) {
+		a := g.AddNode("a", 4, hetrta.Host)
+		b := g.AddNode("b", 6, hetrta.Host)
+		g.MustAddEdge(a, b)
+	})
+	if reorder {
+		g1 = relabeledChainTask(t)
+	}
+	tasks := []task{
+		{Graph: g1, Period: 60, Deadline: 50},
+		{Graph: g2, Period: 80, Deadline: 70, Jitter: 3},
+	}
+	if reorder {
+		tasks[0], tasks[1] = tasks[1], tasks[0]
+	}
+	b, err := json.Marshal(map[string]any{"tasks": tasks})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// TestAdmitEndToEnd is the admission acceptance path: POST /v1/admit, then
+// POST a permuted-but-isomorphic taskset and verify — via /statsz hit
+// counters and X-Cache — that it was served the byte-identical cached
+// response.
+func TestAdmitEndToEnd(t *testing.T) {
+	base := startDaemon(t, "-platform", "4+1", "-bounds", "rhom,rhet,typed-rhom")
+
+	resp1, body1 := post(t, base+"/v1/admit", admitBody(t, false))
+	if resp1.StatusCode != http.StatusOK {
+		t.Fatalf("first admit: %d: %s", resp1.StatusCode, body1)
+	}
+	if got := resp1.Header.Get("X-Cache"); got != "miss" {
+		t.Fatalf("first admit X-Cache = %q, want miss", got)
+	}
+	fp1 := resp1.Header.Get("X-Taskset-Fingerprint")
+	if fp1 == "" {
+		t.Fatal("missing X-Taskset-Fingerprint")
+	}
+	var rep struct {
+		Admitted bool `json:"admitted"`
+		Policies []struct {
+			Policy   string `json:"policy"`
+			Admitted bool   `json:"admitted"`
+		} `json:"policies"`
+	}
+	if err := json.Unmarshal(body1, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Admitted || len(rep.Policies) != 2 {
+		t.Fatalf("unexpected admit report: %s", body1)
+	}
+
+	before := getStats(t, base)
+	resp2, body2 := post(t, base+"/v1/admit", admitBody(t, true))
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second admit: %d: %s", resp2.StatusCode, body2)
+	}
+	if got := resp2.Header.Get("X-Cache"); got != "hit" {
+		t.Fatalf("permuted admit X-Cache = %q, want hit", got)
+	}
+	if got := resp2.Header.Get("X-Taskset-Fingerprint"); got != fp1 {
+		t.Fatalf("fingerprint changed across permutation: %q vs %q", got, fp1)
+	}
+	if !bytes.Equal(body1, body2) {
+		t.Fatalf("cached admit response not byte-identical:\n%s\n%s", body1, body2)
+	}
+	after := getStats(t, base)
+	if after.Hits != before.Hits+1 {
+		t.Fatalf("hit counter did not advance: before %+v after %+v", before, after)
+	}
+}
+
+// TestAdmitBadRequests covers the admission failure paths: malformed JSON,
+// oversized tasksets, and model-invalid tasksets.
+func TestAdmitBadRequests(t *testing.T) {
+	base := startDaemon(t, "-max-batch", "2")
+
+	resp, body := post(t, base+"/v1/admit", []byte("{not json"))
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed JSON: %d: %s", resp.StatusCode, body)
+	}
+
+	big := admitRequest{Tasks: make([]admitTask, 3)}
+	bigBody, err := json.Marshal(big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, base+"/v1/admit", bigBody)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("oversized taskset: %d: %s", resp.StatusCode, body)
+	}
+
+	// Deadline > period: decodes fine, fails model validation → 422.
+	bad, err := json.Marshal(map[string]any{"tasks": []map[string]any{
+		{"graph": json.RawMessage(chainTask(t)), "period": 10, "deadline": 20},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, base+"/v1/admit", bad)
+	if resp.StatusCode != http.StatusUnprocessableEntity {
+		t.Fatalf("invalid model: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "constrained deadline") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+}

@@ -9,6 +9,8 @@
 //	-fig naive   §3.2 violation study: sampled schedules vs the naive bound
 //	-fig multi   beyond the paper: offload count × device classes sweep
 //	             (generate → transform-all → typed bound → simulate → exact)
+//	-fig taskset acceptance ratios of sporadic tasksets (utilization grid ×
+//	             task count × offload mix, federated + global policies)
 //	-fig all     everything
 //
 // -scale quick runs a reduced sweep (minutes); -scale paper reproduces the
@@ -40,7 +42,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
-		fig      = fs.String("fig", "all", "which figure to regenerate: 6|7|8|9|tables|naive|all")
+		fig      = fs.String("fig", "all", "which figure to regenerate: 6|7|8|9|tables|naive|multi|taskset|all")
 		scale    = fs.String("scale", "quick", "experiment scale: quick, medium, or paper")
 		seed     = fs.Int64("seed", 2018, "random seed")
 		csvDir   = fs.String("csv", "", "directory for CSV output (optional)")
@@ -141,6 +143,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 1
 		}
 		runner.emit("multi_sweep", res.Table())
+	}
+	if want("taskset") {
+		tcfg := experiments.DefaultTaskset(*seed)
+		if *scale == "quick" {
+			tcfg = experiments.QuickTaskset(*seed)
+		}
+		tcfg.Parallelism = *parallel
+		res, err := experiments.TasksetSweep(ctx, tcfg)
+		if !runner.check(err) {
+			return 1
+		}
+		runner.emit("taskset_acceptance", res.Table())
 	}
 	if runner.failed {
 		return 1

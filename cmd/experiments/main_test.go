@@ -61,3 +61,19 @@ func TestRunBadArgs(t *testing.T) {
 		t.Errorf("unknown flag: exit %d, want 2", code)
 	}
 }
+
+func TestRunFigTaskset(t *testing.T) {
+	dir := t.TempDir()
+	var out, errb bytes.Buffer
+	code := run([]string{"-fig", "taskset", "-scale", "quick", "-parallel", "2", "-csv", dir}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	s := out.String()
+	if !strings.Contains(s, "Acceptance ratio") || !strings.Contains(s, "federated") || !strings.Contains(s, "global") {
+		t.Errorf("taskset table missing:\n%s", s)
+	}
+	if _, err := os.Stat(filepath.Join(dir, "taskset_acceptance.csv")); err != nil {
+		t.Errorf("CSV not written: %v", err)
+	}
+}

@@ -1,0 +1,115 @@
+package experiments
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro/internal/platform"
+	"repro/internal/taskgen"
+)
+
+func tinyTasksetConfig(seed int64) TasksetConfig {
+	return TasksetConfig{
+		Seed:          seed,
+		Platform:      platform.Hetero(2),
+		TaskCounts:    []int{3},
+		OffloadShares: []float64{0, 0.5},
+		UtilPoints:    []float64{0.2, 0.5, 0.8},
+		SetsPerPoint:  4,
+		COffFrac:      0.3,
+		Params:        taskgen.Small(8, 24),
+	}
+}
+
+// TestTasksetSweepMonotone pins the acceptance-criterion property: every
+// (policy, count, share) series is monotonically non-increasing in
+// utilization — guaranteed by the frontier construction, verified here
+// end to end.
+func TestTasksetSweepMonotone(t *testing.T) {
+	cfg := QuickTaskset(7)
+	cfg.SetsPerPoint = 4
+	res, err := TasksetSweep(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type series struct {
+		policy string
+		n      int
+		share  float64
+	}
+	last := map[series]float64{}
+	seen := map[series]int{}
+	for _, p := range res.Points {
+		k := series{p.Policy, p.N, p.Share}
+		if n, ok := seen[k]; ok {
+			if p.Ratio > last[k]+1e-12 {
+				t.Fatalf("series %+v not monotone at point %d: %v after %v", k, n, p.Ratio, last[k])
+			}
+		}
+		last[k] = p.Ratio
+		seen[k]++
+	}
+	wantSeries := len(res.Policies) * len(cfg.TaskCounts) * len(cfg.OffloadShares)
+	if len(seen) != wantSeries {
+		t.Fatalf("got %d series, want %d", len(seen), wantSeries)
+	}
+	for k, n := range seen {
+		if n != len(cfg.UtilPoints) {
+			t.Fatalf("series %+v has %d points, want %d", k, n, len(cfg.UtilPoints))
+		}
+	}
+}
+
+// TestTasksetSweepDeterministicParallel: the sweep is bit-identical at any
+// pool size.
+func TestTasksetSweepDeterministicParallel(t *testing.T) {
+	serial := tinyTasksetConfig(11)
+	serial.Parallelism = 1
+	parallel := tinyTasksetConfig(11)
+	parallel.Parallelism = 4
+
+	rs, err := TasksetSweep(context.Background(), serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := TasksetSweep(context.Background(), parallel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs, rp) {
+		t.Fatalf("serial and parallel sweeps differ:\n%+v\n%+v", rs, rp)
+	}
+}
+
+func TestTasksetSweepCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := TasksetSweep(ctx, tinyTasksetConfig(3)); err == nil {
+		t.Fatal("cancelled sweep returned nil error")
+	}
+}
+
+func TestTasksetConfigValidate(t *testing.T) {
+	bad := []func(*TasksetConfig){
+		func(c *TasksetConfig) { c.Platform = platform.Platform{} },
+		func(c *TasksetConfig) { c.TaskCounts = nil },
+		func(c *TasksetConfig) { c.TaskCounts = []int{0} },
+		func(c *TasksetConfig) { c.OffloadShares = []float64{1.5} },
+		func(c *TasksetConfig) { c.UtilPoints = nil },
+		func(c *TasksetConfig) { c.UtilPoints = []float64{0.5, 0.5} },
+		func(c *TasksetConfig) { c.UtilPoints = []float64{0.5, 0.2} },
+		func(c *TasksetConfig) { c.SetsPerPoint = 0 },
+		func(c *TasksetConfig) { c.Parallelism = -1 },
+	}
+	for i, mutate := range bad {
+		cfg := tinyTasksetConfig(1)
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: invalid config validated", i)
+		}
+	}
+	if err := tinyTasksetConfig(1).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,49 @@
+package platform
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+)
+
+// FuzzPlatformParse drives the spec parser with arbitrary input: it must
+// never panic, every accepted platform must validate, and the accepted
+// class list must survive a round-trip through the canonical "name=count"
+// spelling (the grammar Parse itself documents).
+func FuzzPlatformParse(f *testing.F) {
+	for _, seed := range []string{
+		"4", "4+1", "4+2+1", "host=4,gpu=1,fpga=2", "", " 8 + 0 ",
+		"host=1", "a=1,b=0", "0", "-1", "4+", "=3", "x=", "1+2+3+4+5",
+		"host=4,gpu=-1", "9999999999999999999999", "4,1", "host=4+1",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, spec string) {
+		p, err := Parse(spec)
+		if err != nil {
+			return
+		}
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("Parse(%q) accepted an invalid platform %v: %v", spec, p, verr)
+		}
+		// Accepted names cannot contain the grammar's separators, so the
+		// canonical name=count spelling must re-parse to the same classes.
+		var parts []string
+		for _, c := range p.Classes {
+			parts = append(parts, fmt.Sprintf("%s=%d", c.Name, c.Count))
+		}
+		canon := strings.Join(parts, ",")
+		p2, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical spelling %q of %q does not re-parse: %v", canon, spec, err)
+		}
+		if len(p2.Classes) != len(p.Classes) {
+			t.Fatalf("round-trip class count differs: %v vs %v", p, p2)
+		}
+		for i := range p.Classes {
+			if p.Classes[i] != p2.Classes[i] {
+				t.Fatalf("round-trip class %d differs: %+v vs %+v", i, p.Classes[i], p2.Classes[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,241 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	hetrta "repro"
+)
+
+func admitService(t *testing.T, opts Options) *Service {
+	t.Helper()
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(4)),
+		hetrta.WithBounds(hetrta.RhomBound(), hetrta.RhetBound(), hetrta.TypedRhomBound()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(an, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return svc
+}
+
+// admitTaskset builds a small schedulable taskset; reorder flips both the
+// task order and the member graphs' node insertion order, producing a
+// permuted-but-isomorphic system with the same fingerprint.
+func admitTaskset(reorder bool) hetrta.Taskset {
+	chain := func(w1, w2, w3 int64) *hetrta.Graph {
+		g := hetrta.NewGraph()
+		if reorder {
+			c := g.AddNode("c", w3, hetrta.Host)
+			b := g.AddNode("b", w2, hetrta.Offload)
+			a := g.AddNode("a", w1, hetrta.Host)
+			g.MustAddEdge(a, b)
+			g.MustAddEdge(b, c)
+		} else {
+			a := g.AddNode("a", w1, hetrta.Host)
+			b := g.AddNode("b", w2, hetrta.Offload)
+			c := g.AddNode("c", w3, hetrta.Host)
+			g.MustAddEdge(a, b)
+			g.MustAddEdge(b, c)
+		}
+		return g
+	}
+	t1 := hetrta.SporadicTask{G: chain(2, 8, 3), Period: 60, Deadline: 50}
+	t2 := hetrta.SporadicTask{G: chain(1, 4, 2), Period: 40, Deadline: 40}
+	if reorder {
+		return hetrta.Taskset{Tasks: []hetrta.SporadicTask{t2, t1}}
+	}
+	return hetrta.Taskset{Tasks: []hetrta.SporadicTask{t1, t2}}
+}
+
+// TestAdmitCacheHitByteIdentical: a permuted, relabeled-isomorphic taskset
+// hits the cache and receives byte-identical JSON.
+func TestAdmitCacheHitByteIdentical(t *testing.T) {
+	svc := admitService(t, Options{})
+	ctx := context.Background()
+
+	r1, err := svc.Admit(ctx, admitTaskset(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1.Hit || r1.Shared {
+		t.Fatalf("first admission was not a miss: %+v", r1)
+	}
+	if !r1.Report.Admitted {
+		t.Fatalf("test taskset rejected: %+v", r1.Report.Policies)
+	}
+
+	r2, err := svc.Admit(ctx, admitTaskset(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("permuted isomorphic taskset missed the cache")
+	}
+	if r1.Fingerprint != r2.Fingerprint {
+		t.Fatalf("fingerprints differ: %s vs %s", r1.Fingerprint, r2.Fingerprint)
+	}
+	if !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("cached admit bodies differ:\n%s\n%s", r1.Body, r2.Body)
+	}
+
+	st := svc.Stats()
+	if st.Requests != 2 || st.Hits != 1 || st.Misses != 1 || st.Executions != 1 {
+		t.Fatalf("stats after hit: %+v", st)
+	}
+}
+
+// TestAdmitSingleFlight: concurrent admissions of the same taskset execute
+// exactly once.
+func TestAdmitSingleFlight(t *testing.T) {
+	svc := admitService(t, Options{})
+	var execs atomic.Int64
+	inner := svc.execAdmit
+	gate := make(chan struct{})
+	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error) {
+		execs.Add(1)
+		<-gate
+		return inner(ctx, ts)
+	}
+
+	const clients = 8
+	results := make([]*AdmitResult, clients)
+	errs := make([]error, clients)
+	var wg sync.WaitGroup
+	var started sync.WaitGroup
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		started.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			started.Done()
+			results[i], errs[i] = svc.Admit(context.Background(), admitTaskset(i%2 == 1))
+		}(i)
+	}
+	started.Wait()
+	close(gate)
+	wg.Wait()
+
+	if got := execs.Load(); got != 1 {
+		t.Fatalf("%d executions for %d concurrent identical admissions", got, clients)
+	}
+	var body []byte
+	for i := range results {
+		if errs[i] != nil {
+			t.Fatalf("client %d: %v", i, errs[i])
+		}
+		if body == nil {
+			body = results[i].Body
+		} else if !bytes.Equal(body, results[i].Body) {
+			t.Fatalf("client %d got different bytes", i)
+		}
+	}
+}
+
+// TestAdmitFailuresNotCached: failed admissions (invalid tasksets) are
+// never cached and are counted as failures.
+func TestAdmitFailuresNotCached(t *testing.T) {
+	svc := admitService(t, Options{})
+	bad := hetrta.Taskset{} // empty: Validate fails inside the analyzer
+	if _, err := svc.Admit(context.Background(), bad); err == nil {
+		t.Fatal("empty taskset admitted")
+	}
+	if _, err := svc.Admit(context.Background(), bad); err == nil {
+		t.Fatal("empty taskset admitted on retry")
+	}
+	st := svc.Stats()
+	if st.Failures != 2 || st.Hits != 0 || st.Entries != 0 {
+		t.Fatalf("failure stats: %+v", st)
+	}
+}
+
+// TestAdmitCancelledLeaderRetry: a waiter whose leader was cancelled
+// retries with its own context instead of inheriting the failure.
+func TestAdmitCancelledLeaderRetry(t *testing.T) {
+	svc := admitService(t, Options{})
+	inner := svc.execAdmit
+	leaderStarted := make(chan struct{})
+	leaderCtx, cancelLeader := context.WithCancel(context.Background())
+	var once sync.Once
+	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error) {
+		once.Do(func() {
+			close(leaderStarted)
+			<-ctx.Done()
+		})
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		return inner(ctx, ts)
+	}
+
+	done := make(chan error, 1)
+	go func() {
+		_, err := svc.Admit(leaderCtx, admitTaskset(false))
+		done <- err
+	}()
+	<-leaderStarted
+
+	waiterDone := make(chan error, 1)
+	go func() {
+		r, err := svc.Admit(context.Background(), admitTaskset(false))
+		if err == nil && r.Report == nil {
+			err = errors.New("nil report")
+		}
+		waiterDone <- err
+	}()
+	// Let the waiter join the flight, then kill the leader.
+	cancelLeader()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader error = %v, want context.Canceled", err)
+	}
+	if err := <-waiterDone; err != nil {
+		t.Fatalf("waiter after cancelled leader: %v", err)
+	}
+}
+
+// TestAdmitAndAnalyzeShareCacheDisjointly: an admission and an analysis of
+// content-related inputs never collide in the shared cache.
+func TestAdmitAndAnalyzeShareCacheDisjointly(t *testing.T) {
+	svc := admitService(t, Options{})
+	ts := admitTaskset(false)
+	if _, err := svc.Admit(context.Background(), ts); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.Analyze(context.Background(), ts.Tasks[0].G); err != nil {
+		t.Fatal(err)
+	}
+	st := svc.Stats()
+	if st.Entries != 2 || st.Hits != 0 {
+		t.Fatalf("expected 2 disjoint entries, no hits: %+v", st)
+	}
+}
+
+func TestServiceTasksetPoliciesOption(t *testing.T) {
+	an, err := hetrta.NewAnalyzer()
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc, err := New(an, Options{TasksetPolicies: []hetrta.TasksetPolicy{hetrta.FederatedPolicy()}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := svc.Admit(context.Background(), admitTaskset(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Report.Policies) != 1 || r.Report.Policies[0].Policy != "federated" {
+		t.Fatalf("policy option ignored: %+v", r.Report.Policies)
+	}
+	full := admitService(t, Options{})
+	if svc.TasksetSignature() == full.TasksetSignature() {
+		t.Fatal("policy set missing from taskset signature")
+	}
+}

@@ -8,12 +8,14 @@ import (
 	hetrta "repro"
 )
 
-// entry is one cached analysis outcome: the in-memory report plus its
+// entry is one cached outcome: the in-memory report (an analysis Report or
+// a taskset AdmitReport, depending on the key's namespace) plus its
 // serialized wire form, marshaled exactly once by the request that computed
 // it. Handing the same byte slice to every subsequent hit is what makes
 // repeat responses byte-identical.
 type entry struct {
 	report *hetrta.Report
+	admit  *hetrta.AdmitReport
 	body   []byte
 }
 

@@ -46,6 +46,9 @@ type Options struct {
 	// Shards is the number of cache shards, rounded up to a power of two;
 	// 0 means DefaultShards.
 	Shards int
+	// TasksetPolicies selects the admission policies behind Admit; nil
+	// means hetrta.DefaultTasksetPolicies (federated + global).
+	TasksetPolicies []hetrta.TasksetPolicy
 }
 
 // Service serves analysis requests against one immutable Analyzer,
@@ -53,7 +56,9 @@ type Options struct {
 // for concurrent use.
 type Service struct {
 	an    *hetrta.Analyzer
+	ta    *hetrta.TasksetAnalyzer
 	sig   string
+	tsig  string
 	cache *cache
 
 	mu      sync.Mutex
@@ -70,6 +75,9 @@ type Service struct {
 	// exec runs the analyzer for a slice of cache misses; a test hook that
 	// defaults to an.AnalyzeBatch, letting tests count executions.
 	exec func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error)
+	// execAdmit runs the taskset analyzer for an admission miss; a test
+	// hook that defaults to ta.Admit.
+	execAdmit func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error)
 }
 
 // flight is one in-progress execution; waiters block on done.
@@ -121,13 +129,24 @@ func New(an *hetrta.Analyzer, opts Options) (*Service, error) {
 	for shards&(shards-1) != 0 {
 		shards++
 	}
+	var taOpts []hetrta.TasksetOption
+	if len(opts.TasksetPolicies) > 0 {
+		taOpts = append(taOpts, hetrta.WithTasksetPolicies(opts.TasksetPolicies...))
+	}
+	ta, err := hetrta.NewTasksetAnalyzer(an, taOpts...)
+	if err != nil {
+		return nil, err
+	}
 	s := &Service{
 		an:      an,
+		ta:      ta,
 		sig:     an.Signature(),
+		tsig:    ta.Signature(),
 		cache:   newCache(entries, shards),
 		flights: make(map[string]*flight),
 	}
 	s.exec = an.AnalyzeBatch
+	s.execAdmit = ta.Admit
 	return s, nil
 }
 
@@ -159,42 +178,52 @@ func (s *Service) Analyze(ctx context.Context, g *hetrta.Graph) (*Result, error)
 // (await's fallback) do not double-count.
 func (s *Service) analyze(ctx context.Context, g *hetrta.Graph) (*Result, error) {
 	fp := g.Fingerprint()
-	key := s.keyOf(fp)
+	ent, hit, shared, err := s.serve(ctx, s.keyOf(fp), func(ctx context.Context) (*entry, error) {
+		return s.runOne(ctx, g)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Report: ent.report, Body: ent.body, Hit: hit, Shared: shared, Fingerprint: fp}, nil
+}
+
+// serve resolves one cache key through the cache and the single-flight
+// table, running `run` as the flight leader on a miss. It is the shared
+// core of the analysis and admission paths: cache hit → (hit=true); joined
+// a foreign flight → (shared=true); led an execution → both false. A
+// waiter whose leader died of its own cancelled context retries with its
+// own, still-live context (re-checking the cache, possibly leading).
+func (s *Service) serve(ctx context.Context, key string, run func(ctx context.Context) (*entry, error)) (ent *entry, hit, shared bool, err error) {
 	for {
 		if ent, ok := s.cache.get(key); ok {
 			s.hits.Add(1)
-			return &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fp}, nil
+			return ent, true, false, nil
 		}
 		f, leader := s.leadOrJoin(key)
 		if leader {
-			ent, err := s.lead(ctx, key, f, g)
-			if err != nil {
-				return nil, err
-			}
-			return &Result{Report: ent.report, Body: ent.body, Fingerprint: fp}, nil
+			ent, err := s.lead(ctx, key, f, run)
+			return ent, false, false, err
 		}
 		s.coalesced.Add(1)
 		select {
 		case <-f.done:
 		case <-ctx.Done():
-			return nil, ctx.Err()
+			return nil, false, false, ctx.Err()
 		}
 		if f.err == nil {
-			return &Result{Report: f.ent.report, Body: f.ent.body, Shared: true, Fingerprint: fp}, nil
+			return f.ent, false, true, nil
 		}
 		if isCancellation(f.err) && ctx.Err() == nil {
-			// The leader died of its own cancelled context; ours is still
-			// live, so retry (re-checking the cache, possibly leading).
 			continue
 		}
-		return nil, f.err
+		return nil, false, false, f.err
 	}
 }
 
-// lead executes the analyzer for key as the flight leader, caches success,
-// and publishes the outcome to waiters (also on panic, so a crashing
-// analysis cannot strand them).
-func (s *Service) lead(ctx context.Context, key string, f *flight, g *hetrta.Graph) (ent *entry, err error) {
+// lead executes `run` for key as the flight leader, caches success, and
+// publishes the outcome to waiters (also on panic, so a crashing execution
+// cannot strand them).
+func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx context.Context) (*entry, error)) (ent *entry, err error) {
 	published := false
 	defer func() {
 		if !published {
@@ -211,7 +240,7 @@ func (s *Service) lead(ctx context.Context, key string, f *flight, g *hetrta.Gra
 		return cached, nil
 	}
 	s.misses.Add(1)
-	ent, err = s.runOne(ctx, g)
+	ent, err = run(ctx)
 	published = true
 	if err != nil {
 		s.failures.Add(1)
@@ -248,6 +277,76 @@ func marshalEntry(rep *hetrta.Report) (*entry, error) {
 		return nil, fmt.Errorf("service: marshaling report: %w", err)
 	}
 	return &entry{report: rep, body: body}, nil
+}
+
+// AdmitResult is the outcome of one taskset admission.
+//
+// Cached results are shared between all tasksets with the same fingerprint,
+// which is insensitive to task order and member-graph relabelings: the
+// AdmitReport is computed over the taskset's canonical order, so a hit on a
+// permuted-but-isomorphic taskset returns bytes identical to the original
+// response.
+type AdmitResult struct {
+	// Report is the admission outcome; Body its canonical JSON, identical
+	// bytes for every request served from the same cache entry.
+	Report *hetrta.AdmitReport
+	Body   []byte
+	// Hit says the result came from the cache; Shared says it came from
+	// another request's in-flight execution.
+	Hit    bool
+	Shared bool
+	// Fingerprint is the taskset's canonical content hash.
+	Fingerprint hetrta.TasksetFingerprint
+}
+
+// TasksetSignature returns the taskset-analyzer configuration signature
+// baked into every admission cache key.
+func (s *Service) TasksetSignature() string { return s.tsig }
+
+// admitKeyOf derives the admission cache key of ts under this service's
+// configuration. The "admit|" namespace keeps admission entries disjoint
+// from analysis entries in the shared sharded cache.
+func (s *Service) admitKeyOf(fp hetrta.TasksetFingerprint) string {
+	return "admit|" + fp.String() + "|" + s.tsig
+}
+
+// Admit serves one taskset admission: from the cache, from another
+// request's in-flight execution, or by running the TasksetAnalyzer. The
+// same single-flight and never-cache-failures rules as Analyze apply, and
+// the counters feed the same /statsz snapshot.
+func (s *Service) Admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, error) {
+	s.requests.Add(1)
+	return s.admit(ctx, ts)
+}
+
+// admit is Admit without the request accounting, so internal retries (the
+// cancelled-leader fallback) do not double-count.
+func (s *Service) admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, error) {
+	fp := ts.Fingerprint()
+	ent, hit, shared, err := s.serve(ctx, s.admitKeyOf(fp), func(ctx context.Context) (*entry, error) {
+		return s.runAdmit(ctx, ts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &AdmitResult{Report: ent.admit, Body: ent.body, Hit: hit, Shared: shared, Fingerprint: fp}, nil
+}
+
+// runAdmit executes the taskset analyzer once and serializes the report
+// (the admission counterpart of runOne).
+func (s *Service) runAdmit(ctx context.Context, ts hetrta.Taskset) (*entry, error) {
+	s.inFlight.Add(1)
+	defer s.inFlight.Add(-1) // deferred: the gauge survives analyzer panics
+	s.executions.Add(1)
+	rep, err := s.execAdmit(ctx, ts)
+	if err != nil {
+		return nil, err
+	}
+	body, err := json.Marshal(rep)
+	if err != nil {
+		return nil, fmt.Errorf("service: marshaling admit report: %w", err)
+	}
+	return &entry{admit: rep, body: body}, nil
 }
 
 // AnalyzeBatch serves many graphs: cache hits fill immediately, duplicate

@@ -281,3 +281,26 @@ func TestSetOffloadClass(t *testing.T) {
 		t.Fatalf("realized fraction %v", realized)
 	}
 }
+
+func TestUUniFast(t *testing.T) {
+	gen := MustNew(Small(5, 20), 3)
+	for _, tc := range []struct {
+		n     int
+		total float64
+	}{{1, 0.5}, {4, 2.0}, {16, 3.2}, {50, 0.9}} {
+		us := gen.UUniFast(tc.n, tc.total)
+		if len(us) != tc.n {
+			t.Fatalf("n=%d: got %d utilizations", tc.n, len(us))
+		}
+		var sum float64
+		for _, u := range us {
+			if u < 0 {
+				t.Fatalf("n=%d: negative utilization %v", tc.n, u)
+			}
+			sum += u
+		}
+		if diff := sum - tc.total; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("n=%d: utilizations sum to %v, want %v", tc.n, sum, tc.total)
+		}
+	}
+}

@@ -1,0 +1,127 @@
+package taskset
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/dag"
+	"repro/internal/taskgen"
+)
+
+// TasksetParams scale the sporadic-taskset builder used by the
+// schedulability (acceptance-ratio) experiments: N per-task DAGs whose
+// utilizations are drawn UUniFast-style to sum to Util, periods derived as
+// T_i = ⌈vol_i/u_i⌉, constrained deadlines D_i = ⌈DeadlineRatio·T_i⌉, and
+// an OffloadShare fraction of tasks carrying one offloaded region.
+type TasksetParams struct {
+	// N is the number of tasks in the set.
+	N int
+	// Util is the target total utilization Σ vol_i/T_i (> 0). Individual
+	// task utilizations may exceed 1 (heavy tasks) when Util is large
+	// enough.
+	Util float64
+	// OffloadShare is the fraction of tasks (rounded down, at least one
+	// when > 0) that carry an offloaded node; COffFrac is that node's share
+	// of its task's volume.
+	OffloadShare float64
+	// COffFrac is the offloaded fraction per offloading task (in (0,1)).
+	COffFrac float64
+	// Classes spreads offloading tasks round-robin over device classes
+	// 1..Classes; 0 or 1 puts every offload on class 1.
+	Classes int
+	// DeadlineRatio sets D_i = max(1, ⌈DeadlineRatio·T_i⌉) clamped to T_i;
+	// 0 means implicit deadlines (ratio 1).
+	DeadlineRatio float64
+	// JitterFrac sets the release jitter J_i = ⌊JitterFrac·D_i⌋ (clamped
+	// below D_i); 0 means no jitter.
+	JitterFrac float64
+	// Params are the structural per-DAG generator parameters (taskgen).
+	Params taskgen.Params
+}
+
+// Validate reports whether the taskset parameters are internally
+// consistent.
+func (tp TasksetParams) Validate() error {
+	switch {
+	case tp.N < 1:
+		return fmt.Errorf("taskset: generate N %d < 1", tp.N)
+	case tp.Util <= 0:
+		return fmt.Errorf("taskset: generate Util %v <= 0", tp.Util)
+	case tp.OffloadShare < 0 || tp.OffloadShare > 1:
+		return fmt.Errorf("taskset: OffloadShare %v outside [0,1]", tp.OffloadShare)
+	case tp.OffloadShare > 0 && (tp.COffFrac <= 0 || tp.COffFrac >= 1):
+		return fmt.Errorf("taskset: COffFrac %v outside (0,1)", tp.COffFrac)
+	case tp.Classes < 0:
+		return fmt.Errorf("taskset: negative Classes %d", tp.Classes)
+	case tp.DeadlineRatio < 0 || tp.DeadlineRatio > 1:
+		return fmt.Errorf("taskset: DeadlineRatio %v outside [0,1]", tp.DeadlineRatio)
+	case tp.JitterFrac < 0 || tp.JitterFrac >= 1:
+		return fmt.Errorf("taskset: JitterFrac %v outside [0,1)", tp.JitterFrac)
+	}
+	return tp.Params.Validate()
+}
+
+// Generate builds one random sporadic taskset from a seed: N DAGs
+// (taskgen's recursive fork–join expansion), UUniFast utilizations, periods
+// T_i = ⌈vol_i/u_i⌉ and deadlines/jitter per TasksetParams. The first
+// ⌊OffloadShare·N⌋ tasks (at least one when the share is positive) carry
+// one offloaded node each, spread round-robin over the device classes.
+// A derived deadline below the critical path is possible at high
+// utilization and simply yields an unschedulable task — that is the point
+// of an acceptance sweep.
+func Generate(tp TasksetParams, seed int64) (Taskset, error) {
+	if err := tp.Validate(); err != nil {
+		return Taskset{}, err
+	}
+	gen, err := taskgen.New(tp.Params, seed)
+	if err != nil {
+		return Taskset{}, err
+	}
+	nOff := int(tp.OffloadShare * float64(tp.N))
+	if tp.OffloadShare > 0 && nOff == 0 {
+		nOff = 1
+	}
+	classes := tp.Classes
+	if classes < 1 {
+		classes = 1
+	}
+	us := gen.UUniFast(tp.N, tp.Util)
+
+	ts := Taskset{Tasks: make([]SporadicTask, tp.N)}
+	for i := 0; i < tp.N; i++ {
+		g, err := gen.Graph()
+		if err != nil {
+			return Taskset{}, err
+		}
+		if i < nOff {
+			id := gen.Intn(g.NumNodes())
+			taskgen.SetOffloadClass(g, id, tp.COffFrac, 1+i%classes)
+		}
+		ts.Tasks[i] = SporadicFromUtilization(g, us[i], tp.DeadlineRatio, tp.JitterFrac)
+	}
+	return ts, nil
+}
+
+// SporadicFromUtilization derives the sporadic parameters of a generated
+// DAG from a target utilization: T = ⌈vol/u⌉ (at least 1), D =
+// max(1, ⌈ratio·T⌉) clamped to T (ratio 0 means implicit deadlines), J =
+// ⌊jitterFrac·D⌋ clamped below D. The realized utilization vol/T differs
+// from u only by the period rounding.
+func SporadicFromUtilization(g *dag.Graph, u, deadlineRatio, jitterFrac float64) SporadicTask {
+	period := int64(math.Ceil(float64(g.Volume()) / u))
+	if period < 1 {
+		period = 1
+	}
+	deadline := period
+	if deadlineRatio > 0 && deadlineRatio < 1 {
+		deadline = int64(math.Ceil(deadlineRatio * float64(period)))
+		if deadline < 1 {
+			deadline = 1
+		}
+	}
+	jitter := int64(jitterFrac * float64(deadline))
+	if jitter >= deadline {
+		jitter = deadline - 1
+	}
+	return SporadicTask{G: g, Period: period, Deadline: deadline, Jitter: jitter}
+}

@@ -1,0 +1,79 @@
+package taskset_test
+
+import (
+	"testing"
+
+	"repro/internal/taskgen"
+	"repro/internal/taskset"
+)
+
+func TestGenerate(t *testing.T) {
+	tp := taskset.TasksetParams{
+		N: 8, Util: 2.0, OffloadShare: 0.5, COffFrac: 0.3, Classes: 2,
+		DeadlineRatio: 0.8, JitterFrac: 0.1, Params: taskgen.Small(10, 40),
+	}
+	ts, err := taskset.Generate(tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Validate(); err != nil {
+		t.Fatalf("generated taskset invalid: %v", err)
+	}
+	if len(ts.Tasks) != 8 {
+		t.Fatalf("got %d tasks", len(ts.Tasks))
+	}
+	offloading := 0
+	classes := map[int]bool{}
+	for i, tk := range ts.Tasks {
+		if tk.Deadline > tk.Period || tk.Jitter >= tk.Deadline {
+			t.Fatalf("task %d: D=%d T=%d J=%d", i, tk.Deadline, tk.Period, tk.Jitter)
+		}
+		if offs := tk.G.OffloadNodes(); len(offs) > 0 {
+			offloading++
+			for _, v := range offs {
+				classes[tk.G.Class(v)] = true
+			}
+		}
+	}
+	if offloading != 4 {
+		t.Fatalf("offloading tasks = %d, want 4 (share 0.5 of 8)", offloading)
+	}
+	if !classes[1] || !classes[2] {
+		t.Fatalf("offloads not spread over 2 classes: %v", classes)
+	}
+	// Realized total utilization tracks the target up to period rounding.
+	if u := ts.Utilization(); u < 1.5 || u > 2.05 {
+		t.Fatalf("realized utilization %v far from target 2.0", u)
+	}
+
+	// Determinism: same seed, same parameters, same fingerprint.
+	ts2, err := taskset.Generate(tp, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Fingerprint() != ts2.Fingerprint() {
+		t.Fatal("same-seed tasksets fingerprint differently")
+	}
+	// A different seed produces a different system.
+	ts3, err := taskset.Generate(tp, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ts.Fingerprint() == ts3.Fingerprint() {
+		t.Fatal("different seeds fingerprint identically")
+	}
+
+	bad := []taskset.TasksetParams{
+		{N: 0, Util: 1, Params: taskgen.Small(5, 20)},
+		{N: 2, Util: 0, Params: taskgen.Small(5, 20)},
+		{N: 2, Util: 1, OffloadShare: 0.5, COffFrac: 0, Params: taskgen.Small(5, 20)},
+		{N: 2, Util: 1, OffloadShare: 1.5, COffFrac: 0.3, Params: taskgen.Small(5, 20)},
+		{N: 2, Util: 1, DeadlineRatio: 2, Params: taskgen.Small(5, 20)},
+		{N: 2, Util: 1, JitterFrac: 1, Params: taskgen.Small(5, 20)},
+	}
+	for i, b := range bad {
+		if _, err := taskset.Generate(b, 1); err == nil {
+			t.Errorf("case %d: invalid params accepted", i)
+		}
+	}
+}

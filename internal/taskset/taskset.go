@@ -1,210 +1,200 @@
 // Package taskset lifts the paper's single-task analysis to systems of
-// sporadic DAG tasks via federated scheduling (Baruah, RTSS 2016 — cited as
-// [4] in the paper's related work): each high-utilization task receives
-// dedicated host cores, low-utilization tasks are partitioned onto the
-// remaining cores, and schedulability of each dedicated-core task is
-// verified with the paper's bounds.
+// sporadic DAG tasks: the workload family behind the DAC'18 evaluation's
+// acceptance-ratio curves. It defines the taskset model (SporadicTask,
+// Taskset), an order-insensitive canonical fingerprint for serving-layer
+// caching, and pluggable schedulability Policies:
 //
-// Core grants exploit that both Rhom and Rhet are non-increasing in m: the
-// minimal number of dedicated cores for task τ is found by scanning m
-// upward until R(m) ≤ D.
+//   - Federated (federated.go): Baruah-style federated scheduling — heavy
+//     tasks get the minimal dedicated host cores proven sufficient by the
+//     paper's per-DAG bounds (with a per-class accelerator budget), light
+//     tasks share the remainder.
+//   - Global (global.go): global fixed-priority scheduling with a
+//     carry-in/interference-bound response-time iteration, after the global
+//     sporadic DAG analyses of Melani et al. (ECRTS 2015), Dinh et al.
+//     ("Analysis of Global Fixed-Priority Scheduling for Generalized
+//     Sporadic DAG Tasks"), and Dong & Liu ("New Analysis Techniques for
+//     Supporting Hard Real-Time Sporadic DAG Task Systems on
+//     Multiprocessors").
 //
-// Accelerator handling: the paper's model gives a task exclusive use of the
-// single accelerator during its execution. Under federated scheduling this
-// holds only if at most one granted task offloads, or offloading tasks
-// never overlap. We take the conservative published route: at most one
-// task in the system may carry an Offload node and use Rhet; any other
-// task with an Offload node is analyzed with Rhom, treating its offloaded
-// work as host work (always safe — see DESIGN.md §4.3). This restriction
-// is lifted in the obvious way when the platform's device count is at
-// least the number of offloading tasks (each gets its own device). The
-// budget is kept per device class: a task may only claim a device of the
-// class its offloaded node actually needs, so two tasks contending for one
-// GPU are never both admitted via Rhet even when an idle FPGA exists.
+// Both policies are sufficient tests: admission guarantees schedulability
+// under the respective scheduler, rejection proves nothing. Policies
+// consume per-DAG response-time bounds through the TaskEval interface, so
+// the facade (the root package's TasksetAnalyzer) can plug in its
+// configured Bound set while this package stays independent of it.
 package taskset
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
 	"fmt"
 	"sort"
 
-	"repro/internal/platform"
-	"repro/internal/rta"
+	"repro/internal/dag"
 )
 
-// System is a set of sporadic DAG tasks sharing an execution platform
-// (host cores plus accelerator devices).
-type System struct {
-	Tasks    []rta.Task
-	Platform platform.Platform
+// SporadicTask is the sporadic DAG task τ = <G, T, D, J> of the taskset
+// model: a DAG G (any mix of host and offloaded nodes, each mapped to a
+// platform resource class), a minimum inter-arrival time T, a constrained
+// relative deadline D ≤ T, and a release jitter J — a job arriving at t is
+// released for execution no later than t+J, so the analyses budget J
+// against the deadline (effective deadline D−J) and extend interference
+// windows by J.
+type SporadicTask struct {
+	// G models the parallel execution of one job of the task.
+	G *dag.Graph
+	// Period is the minimum inter-arrival time T.
+	Period int64
+	// Deadline is the constrained relative deadline D (0 < D ≤ T).
+	Deadline int64
+	// Jitter is the release jitter J (0 ≤ J < D).
+	Jitter int64
 }
 
-// Grant is the outcome of the federated allocation for one task.
-type Grant struct {
-	// Task is the index into System.Tasks.
-	Task int
-	// Cores is the number of dedicated host cores granted (0 for
-	// low-utilization tasks scheduled on the shared partition).
-	Cores int
-	// UsesDevice says whether the task's Rhet analysis assumed exclusive
-	// accelerator access.
-	UsesDevice bool
-	// R is the response-time bound used for admission.
-	R float64
-	// Heavy marks tasks with utilization > 1 that need dedicated cores.
-	Heavy bool
-}
-
-// Allocation is a feasible federated schedule of the system.
-type Allocation struct {
-	Grants []Grant
-	// DedicatedCores is the total number of cores granted to heavy tasks.
-	DedicatedCores int
-	// SharedCores is what remains for light tasks.
-	SharedCores int
-}
-
-// MaxCoresPerTask caps the per-task core scan; tasks needing more are
-// deemed unschedulable.
-const MaxCoresPerTask = 1024
-
-// Allocate performs the federated allocation. It returns an error when the
-// system is not schedulable under this analysis (which is sufficient, not
-// necessary).
-func Allocate(sys System) (*Allocation, error) {
-	if err := sys.Platform.Validate(); err != nil {
-		return nil, fmt.Errorf("taskset: %w", err)
+// Validate checks the task's model constraints: a structurally sound DAG
+// (acyclic, sane WCETs; any number of offloaded nodes is allowed — the
+// multi-offload extension is part of the model here) and 0 ≤ J < D ≤ T.
+func (t SporadicTask) Validate() error {
+	if t.G == nil {
+		return fmt.Errorf("taskset: task has nil graph")
 	}
-	for i, t := range sys.Tasks {
+	if err := t.G.Validate(dag.ValidateOptions{AllowZeroWCET: true}); err != nil {
+		return err
+	}
+	if t.Deadline <= 0 {
+		return fmt.Errorf("taskset: deadline %d must be positive", t.Deadline)
+	}
+	if t.Deadline > t.Period {
+		return fmt.Errorf("taskset: constrained deadline violated: D = %d > T = %d", t.Deadline, t.Period)
+	}
+	if t.Jitter < 0 || t.Jitter >= t.Deadline {
+		return fmt.Errorf("taskset: jitter %d outside [0, D) with D = %d", t.Jitter, t.Deadline)
+	}
+	return nil
+}
+
+// Utilization returns vol(G)/T.
+func (t SporadicTask) Utilization() float64 {
+	return float64(t.G.Volume()) / float64(t.Period)
+}
+
+// EffectiveDeadline returns D − J, the deadline budget left after the
+// worst-case release jitter.
+func (t SporadicTask) EffectiveDeadline() int64 { return t.Deadline - t.Jitter }
+
+// Taskset is a system of sporadic DAG tasks sharing one execution platform.
+type Taskset struct {
+	Tasks []SporadicTask
+}
+
+// Validate checks every member task.
+func (ts Taskset) Validate() error {
+	if len(ts.Tasks) == 0 {
+		return fmt.Errorf("taskset: empty taskset")
+	}
+	for i, t := range ts.Tasks {
 		if err := t.Validate(); err != nil {
-			return nil, fmt.Errorf("taskset: task %d: %w", i, err)
+			return fmt.Errorf("taskset: task %d: %w", i, err)
 		}
 	}
+	return nil
+}
 
-	// Device budget per class: how many offloading tasks may keep exclusive
-	// use of a machine of each device class.
-	devicesLeft := make([]int, sys.Platform.NumClasses())
-	for c := 1; c < sys.Platform.NumClasses(); c++ {
-		devicesLeft[c] = sys.Platform.Count(c)
+// Utilization returns the total utilization Σ vol_i/T_i.
+func (ts Taskset) Utilization() float64 {
+	var u float64
+	for _, t := range ts.Tasks {
+		u += t.Utilization()
 	}
+	return u
+}
 
-	// Process heavy tasks in decreasing utilization (classic federated
-	// order; allocation order does not affect feasibility here but makes
-	// the device assignment deterministic and favors the hungriest task).
-	type idxU struct {
-		i int
-		u float64
+// Fingerprint is a 256-bit canonical content hash of a taskset. It is
+// insensitive to the order tasks are listed in and to relabelings of the
+// member graphs (each graph contributes its canonical dag.Fingerprint), and
+// sensitive to every analysis-relevant parameter (graph content, period,
+// deadline, jitter). Combined with a TasksetAnalyzer signature it is the
+// admission cache key of the serving layer.
+type Fingerprint [sha256.Size]byte
+
+// String returns the fingerprint as lower-case hex.
+func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
+
+// digest hashes one task: its graph's canonical fingerprint plus the
+// sporadic parameters.
+func (t SporadicTask) digest() [sha256.Size]byte {
+	h := sha256.New()
+	if t.G != nil {
+		fp := t.G.Fingerprint()
+		h.Write(fp[:])
 	}
-	order := make([]idxU, 0, len(sys.Tasks))
-	for i, t := range sys.Tasks {
-		order = append(order, idxU{i, t.Utilization()})
+	var buf [24]byte
+	binary.LittleEndian.PutUint64(buf[0:8], uint64(t.Period))
+	binary.LittleEndian.PutUint64(buf[8:16], uint64(t.Deadline))
+	binary.LittleEndian.PutUint64(buf[16:24], uint64(t.Jitter))
+	h.Write(buf[:])
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// Fingerprint returns the taskset's canonical content hash: the sorted
+// member digests hashed together, so any permutation of the same tasks —
+// including graph relabelings — fingerprints identically.
+func (ts Taskset) Fingerprint() Fingerprint {
+	digests := make([][sha256.Size]byte, len(ts.Tasks))
+	for i, t := range ts.Tasks {
+		digests[i] = t.digest()
 	}
-	sort.Slice(order, func(a, b int) bool {
-		if order[a].u != order[b].u {
-			return order[a].u > order[b].u
-		}
-		return order[a].i < order[b].i
+	sortDigests(digests)
+	h := sha256.New()
+	var n [8]byte
+	binary.LittleEndian.PutUint64(n[:], uint64(len(digests)))
+	h.Write(n[:])
+	for _, d := range digests {
+		h.Write(d[:])
+	}
+	var out Fingerprint
+	h.Sum(out[:0])
+	return out
+}
+
+// Canonical returns a copy of the taskset with tasks in canonical order
+// (ascending per-task digest). Analyses and reports over the canonical
+// order are permutation-invariant by construction; identical tasks have
+// identical digests and are interchangeable. The member graphs are shared,
+// not cloned.
+func (ts Taskset) Canonical() Taskset {
+	type td struct {
+		t SporadicTask
+		d [sha256.Size]byte
+	}
+	tds := make([]td, len(ts.Tasks))
+	for i, t := range ts.Tasks {
+		tds[i] = td{t: t, d: t.digest()}
+	}
+	sort.SliceStable(tds, func(a, b int) bool {
+		return compareDigests(tds[a].d, tds[b].d) < 0
 	})
-
-	alloc := &Allocation{Grants: make([]Grant, len(sys.Tasks))}
-	var lightLoad float64
-	for _, it := range order {
-		i := it.i
-		t := sys.Tasks[i]
-		heavy := it.u > 1
-		g := Grant{Task: i, Heavy: heavy}
-		vOff, hasOff := t.G.OffloadNode()
-		devClass := 0
-		if hasOff {
-			devClass = t.G.Class(vOff)
-		}
-		useDevice := hasOff && devClass < len(devicesLeft) && devicesLeft[devClass] > 0
-
-		if !heavy {
-			// Light task: runs on the shared partition; its response time
-			// alone on one core is vol ≤ D required (checked below via
-			// density). Device use by light tasks is declined: they share
-			// cores, so exclusive-accelerator timing cannot be guaranteed.
-			g.R = float64(t.G.Volume())
-			if g.R > float64(t.Deadline) {
-				return nil, fmt.Errorf("taskset: light task %d has vol %d > deadline %d",
-					i, t.G.Volume(), t.Deadline)
-			}
-			lightLoad += it.u
-			alloc.Grants[i] = g
-			continue
-		}
-
-		cores, r, usedDev, err := minCores(t, useDevice, devClass)
-		if err != nil {
-			return nil, fmt.Errorf("taskset: task %d: %w", i, err)
-		}
-		if usedDev {
-			devicesLeft[devClass]--
-		}
-		g.Cores = cores
-		g.R = r
-		g.UsesDevice = usedDev
-		alloc.DedicatedCores += cores
-		alloc.Grants[i] = g
+	out := Taskset{Tasks: make([]SporadicTask, len(tds))}
+	for i, x := range tds {
+		out.Tasks[i] = x.t
 	}
-
-	alloc.SharedCores = sys.Platform.Cores() - alloc.DedicatedCores
-	if alloc.SharedCores < 0 {
-		return nil, fmt.Errorf("taskset: heavy tasks need %d cores, platform has %d",
-			alloc.DedicatedCores, sys.Platform.Cores())
-	}
-	// Light tasks: partitioned bin check via the standard federated
-	// sufficient condition — total light utilization ≤ shared cores
-	// (each light task fits a core since density vol/D ≤ ... we demanded
-	// vol ≤ D above, so any first-fit with utilization capacity works;
-	// we keep the coarse load test and report failure otherwise).
-	if lightLoad > float64(alloc.SharedCores) {
-		return nil, fmt.Errorf("taskset: light utilization %.2f exceeds %d shared cores",
-			lightLoad, alloc.SharedCores)
-	}
-	return alloc, nil
+	return out
 }
 
-// minCores finds the smallest m with R(m) ≤ D, preferring the
-// heterogeneous analysis when a device of the task's class is available.
-// Both bounds are non-increasing in m, so the first feasible m is minimal.
-func minCores(t rta.Task, useDevice bool, devClass int) (cores int, r float64, usedDev bool, err error) {
-	for m := 1; m <= MaxCoresPerTask; m++ {
-		if useDevice {
-			ok, a, err := t.SchedulableHet(hetForClass(m, devClass))
-			if err != nil {
-				return 0, 0, false, err
+func compareDigests(a, b [sha256.Size]byte) int {
+	for i := range a {
+		if a[i] != b[i] {
+			if a[i] < b[i] {
+				return -1
 			}
-			if ok {
-				return m, a.Het.R, true, nil
-			}
-			// Also accept via Rhom at this m: for small COff the
-			// homogeneous bound can be the tighter one (paper §5.4).
-			if ok2, r2 := t.SchedulableHom(platform.Homogeneous(m)); ok2 {
-				return m, r2, false, nil
-			}
-			continue
-		}
-		if ok, r2 := t.SchedulableHom(platform.Homogeneous(m)); ok {
-			return m, r2, false, nil
+			return 1
 		}
 	}
-	return 0, 0, false, fmt.Errorf("not schedulable within %d cores (D=%d)", MaxCoresPerTask, t.Deadline)
+	return 0
 }
 
-// hetForClass builds the per-task analysis platform: m dedicated host
-// cores plus the one granted device of class devClass (earlier device
-// classes are present but empty, keeping class indices aligned with the
-// task graph's).
-func hetForClass(m, devClass int) platform.Platform {
-	if devClass <= 1 {
-		return platform.Hetero(m)
-	}
-	classes := make([]platform.ResourceClass, devClass+1)
-	classes[0] = platform.ResourceClass{Name: "host", Count: m}
-	for c := 1; c < devClass; c++ {
-		classes[c] = platform.ResourceClass{Name: fmt.Sprintf("dev%d", c), Count: 0}
-	}
-	classes[devClass] = platform.ResourceClass{Name: fmt.Sprintf("dev%d", devClass), Count: 1}
-	return platform.New(classes...)
+func sortDigests(ds [][sha256.Size]byte) {
+	sort.Slice(ds, func(a, b int) bool { return compareDigests(ds[a], ds[b]) < 0 })
 }

@@ -1,4 +1,4 @@
-package taskset
+package taskset_test
 
 import (
 	"testing"
@@ -7,6 +7,7 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/taskgen"
+	"repro/internal/taskset"
 )
 
 // mkTask builds a random heterogeneous task with the given deadline slack:
@@ -27,8 +28,8 @@ func mkTask(t testing.TB, seed int64, frac, slack float64) rta.Task {
 
 func TestAllocateSingleHeavyTask(t *testing.T) {
 	tk := mkTask(t, 1, 0.3, 0.5) // deadline = vol/2 → heavy (U = 2)
-	sys := System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(16)}
-	alloc, err := Allocate(sys)
+	sys := taskset.System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(16)}
+	alloc, err := taskset.Allocate(sys)
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -62,7 +63,7 @@ func TestAllocateLightTasksShareCores(t *testing.T) {
 	for s := int64(0); s < 3; s++ {
 		tasks = append(tasks, mkTask(t, 10+s, 0.2, 4))
 	}
-	alloc, err := Allocate(System{Tasks: tasks, Platform: platform.Hetero(2)})
+	alloc, err := taskset.Allocate(taskset.System{Tasks: tasks, Platform: platform.Hetero(2)})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -81,7 +82,7 @@ func TestAllocateRejectsOverload(t *testing.T) {
 	b := g.AddNode("", 50, dag.Host)
 	g.MustAddEdge(a, b)
 	tk := rta.Task{G: g, Period: 60, Deadline: 60} // len = 100 > 60
-	_, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
+	_, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
 	if err == nil {
 		t.Fatal("admitted task with deadline below critical path")
 	}
@@ -91,7 +92,7 @@ func TestAllocateRejectsTooFewCores(t *testing.T) {
 	// Two heavy tasks each needing several cores on a tiny platform.
 	t1 := mkTask(t, 21, 0.1, 0.4)
 	t2 := mkTask(t, 22, 0.1, 0.4)
-	_, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(2)})
+	_, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(2)})
 	if err == nil {
 		t.Fatal("admitted two heavy tasks on 2 cores")
 	}
@@ -101,7 +102,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 	// Two heavy offloading tasks, one device: at most one grant may use it.
 	t1 := mkTask(t, 31, 0.4, 0.6)
 	t2 := mkTask(t, 32, 0.4, 0.6)
-	alloc, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(64)})
+	alloc, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{t1, t2}, Platform: platform.Hetero(64)})
 	if err != nil {
 		t.Fatalf("Allocate: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestDeviceBudgetRespected(t *testing.T) {
 		t.Fatalf("%d grants use the single device", used)
 	}
 	// With two devices both may use one.
-	alloc2, err := Allocate(System{Tasks: []rta.Task{t1, t2}, Platform: platform.New(platform.ResourceClass{Name: "host", Count: 64}, platform.ResourceClass{Name: "dev", Count: 2})})
+	alloc2, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{t1, t2}, Platform: platform.New(platform.ResourceClass{Name: "host", Count: 64}, platform.ResourceClass{Name: "dev", Count: 2})})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -134,11 +135,11 @@ func TestHetAnalysisSavesCores(t *testing.T) {
 	// A task whose offloaded share is large: the heterogeneous analysis
 	// should need no more dedicated cores than the homogeneous one.
 	tk := mkTask(t, 41, 0.5, 0.7)
-	withDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
+	withDev, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{tk}, Platform: platform.Hetero(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
-	withoutDev, err := Allocate(System{Tasks: []rta.Task{tk}, Platform: platform.Homogeneous(64)})
+	withoutDev, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{tk}, Platform: platform.Homogeneous(64)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -149,11 +150,11 @@ func TestHetAnalysisSavesCores(t *testing.T) {
 }
 
 func TestAllocateValidatesInput(t *testing.T) {
-	if _, err := Allocate(System{}); err == nil {
+	if _, err := taskset.Allocate(taskset.System{}); err == nil {
 		t.Fatal("accepted 0-core platform")
 	}
 	bad := rta.Task{G: nil, Period: 1, Deadline: 1}
-	if _, err := Allocate(System{Tasks: []rta.Task{bad}, Platform: platform.Homogeneous(4)}); err == nil {
+	if _, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{bad}, Platform: platform.Homogeneous(4)}); err == nil {
 		t.Fatal("accepted nil-graph task")
 	}
 }
@@ -211,7 +212,7 @@ func TestDeviceBudgetIsPerClass(t *testing.T) {
 	)
 	// Two GPU tasks + one FPGA task: exactly one task may hold the gpu and
 	// one the fpga; the remaining GPU task must fall back to Rhom.
-	alloc, err := Allocate(System{Tasks: []rta.Task{mkTask(1), mkTask(1), mkTask(2)}, Platform: p})
+	alloc, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{mkTask(1), mkTask(1), mkTask(2)}, Platform: p})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -239,7 +240,7 @@ func TestDeviceBudgetIsPerClass(t *testing.T) {
 		platform.ResourceClass{Name: "host", Count: 64},
 		platform.ResourceClass{Name: "gpu", Count: 1},
 	)
-	alloc2, err := Allocate(System{Tasks: []rta.Task{mkTask(2)}, Platform: noFpga})
+	alloc2, err := taskset.Allocate(taskset.System{Tasks: []rta.Task{mkTask(2)}, Platform: noFpga})
 	if err != nil {
 		t.Fatal(err)
 	}

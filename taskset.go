@@ -1,0 +1,347 @@
+package hetrta
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/batch"
+	"repro/internal/platform"
+	"repro/internal/taskset"
+)
+
+// Taskset is a system of sporadic DAG tasks sharing one execution platform;
+// SporadicTask is one member τ = <G, T, D, J> (DAG, period, constrained
+// deadline, release jitter). Tasksets are the unit the TasksetAnalyzer
+// admits.
+type Taskset = taskset.Taskset
+
+// SporadicTask is the sporadic DAG task of the taskset model.
+type SporadicTask = taskset.SporadicTask
+
+// TasksetFingerprint is a taskset's canonical content hash: insensitive to
+// task order and member-graph relabelings, sensitive to every
+// analysis-relevant parameter. With TasksetAnalyzer.Signature it forms the
+// admission cache key of the serving layer.
+type TasksetFingerprint = taskset.Fingerprint
+
+// TasksetPolicy is a pluggable taskset schedulability test (a sufficient
+// condition: admission certifies schedulability, rejection proves nothing).
+type TasksetPolicy = taskset.Policy
+
+// FederatedPolicy returns the federated-scheduling admission test: heavy
+// tasks get minimal dedicated cores proven by the per-DAG bounds (with a
+// per-class accelerator budget), light tasks share the remainder.
+func FederatedPolicy() TasksetPolicy { return taskset.FederatedPolicy() }
+
+// GlobalPolicy returns the global fixed-priority admission test: a
+// response-time iteration with carry-in interference bounds, after the
+// global sporadic-DAG analyses of Melani et al., Dinh et al., and
+// Dong & Liu.
+func GlobalPolicy() TasksetPolicy { return taskset.GlobalPolicy() }
+
+// DefaultTasksetPolicies returns the policies a TasksetAnalyzer runs when
+// WithTasksetPolicies is not given: federated and global.
+func DefaultTasksetPolicies() []TasksetPolicy {
+	return []TasksetPolicy{FederatedPolicy(), GlobalPolicy()}
+}
+
+// ErrNoSafeBound is wrapped by per-DAG bound evaluation when no safe,
+// applicable bound exists for a task on a probed platform; policies report
+// it as a per-task rejection, never a fatal admission error.
+var ErrNoSafeBound = taskset.ErrNoSafeBound
+
+// TasksetAnalyzer is the taskset-level counterpart of the Analyzer: wrap a
+// per-DAG Analyzer once, then call Admit for one taskset or AdmitBatch for
+// many. Each policy consumes the Analyzer's configured per-DAG Bounds
+// (evaluated on the platform shapes the policy needs — dedicated-core
+// slices for federated, the full platform for global). Immutable after
+// construction and safe for concurrent use.
+type TasksetAnalyzer struct {
+	an          *Analyzer
+	policies    []TasksetPolicy
+	parallelism int
+}
+
+// TasksetOption configures a TasksetAnalyzer at construction time.
+type TasksetOption func(*TasksetAnalyzer) error
+
+// WithTasksetPolicies selects the admission policies each AdmitReport
+// evaluates, in order. Names must be unique.
+func WithTasksetPolicies(ps ...TasksetPolicy) TasksetOption {
+	return func(ta *TasksetAnalyzer) error {
+		if len(ps) == 0 {
+			return fmt.Errorf("hetrta: WithTasksetPolicies needs at least one policy")
+		}
+		ta.policies = append([]TasksetPolicy(nil), ps...)
+		return nil
+	}
+}
+
+// WithTasksetParallelism sets the AdmitBatch worker-pool size. The default
+// (0) is one worker per CPU; 1 forces sequential processing. Output order
+// is deterministic at any parallelism.
+func WithTasksetParallelism(n int) TasksetOption {
+	return func(ta *TasksetAnalyzer) error {
+		if n < 0 {
+			return fmt.Errorf("hetrta: negative taskset parallelism %d", n)
+		}
+		ta.parallelism = n
+		return nil
+	}
+}
+
+// NewTasksetAnalyzer builds a TasksetAnalyzer around a per-DAG Analyzer.
+// The Analyzer contributes the platform and the bound set; its simulation
+// and exact stages are not used by admission.
+func NewTasksetAnalyzer(an *Analyzer, opts ...TasksetOption) (*TasksetAnalyzer, error) {
+	if an == nil {
+		return nil, fmt.Errorf("hetrta: NewTasksetAnalyzer(nil analyzer)")
+	}
+	ta := &TasksetAnalyzer{an: an, policies: DefaultTasksetPolicies()}
+	for _, opt := range opts {
+		if err := opt(ta); err != nil {
+			return nil, err
+		}
+	}
+	seen := map[string]bool{}
+	for _, p := range ta.policies {
+		if seen[p.Name()] {
+			return nil, fmt.Errorf("hetrta: duplicate taskset policy %q", p.Name())
+		}
+		seen[p.Name()] = true
+	}
+	return ta, nil
+}
+
+// Platform returns the shared execution platform admissions are tested on.
+func (ta *TasksetAnalyzer) Platform() Platform { return ta.an.Platform() }
+
+// Signature returns a stable string identifying every configuration input
+// that can influence an AdmitReport: the wrapped Analyzer's signature (its
+// platform and bound set feed every per-DAG evaluation) plus the policy
+// list. Two TasksetAnalyzers with equal signatures produce byte-identical
+// reports for fingerprint-equal tasksets, so (Taskset.Fingerprint,
+// Signature) is a sound admission cache key.
+func (ta *TasksetAnalyzer) Signature() string {
+	var b strings.Builder
+	b.WriteString(ta.an.Signature())
+	b.WriteString(";tspolicies=")
+	for i, p := range ta.policies {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.Name())
+	}
+	return b.String()
+}
+
+// AdmitReport is the JSON-serializable outcome of one Admit call. Tasks and
+// all per-task decisions are reported in the taskset's canonical order
+// (ascending per-task digest), which makes the report — and therefore the
+// serving layer's cached bytes — invariant under permutations of the input
+// and relabelings of the member graphs.
+type AdmitReport struct {
+	// Platform is the shared execution platform.
+	Platform Platform `json:"platform"`
+	// Fingerprint is the taskset's canonical content hash.
+	Fingerprint string `json:"fingerprint,omitempty"`
+	// Taskset summarizes the system; Tasks describes each member in
+	// canonical order.
+	Taskset TasksetSummary     `json:"taskset"`
+	Tasks   []AdmitTaskSummary `json:"tasks,omitempty"`
+	// Policies holds one verdict per configured policy, in order. Each is
+	// a sufficient test, so Admitted is their disjunction: one certifying
+	// policy is enough.
+	Policies []taskset.PolicyResult `json:"policies,omitempty"`
+	Admitted bool                   `json:"admitted"`
+	// Err records the per-taskset failure inside an AdmitBatch, which
+	// reports errors item-by-item instead of failing the whole batch. A
+	// report with Err set has no other fields populated beyond Platform.
+	Err string `json:"error,omitempty"`
+}
+
+// TasksetSummary captures the taskset's headline metrics.
+type TasksetSummary struct {
+	// Tasks is the member count; Offloading counts members with at least
+	// one offloaded node.
+	Tasks      int `json:"tasks"`
+	Offloading int `json:"offloading"`
+	// Utilization is Σ vol_i/T_i.
+	Utilization float64 `json:"utilization"`
+}
+
+// AdmitTaskSummary describes one member task (canonical order).
+type AdmitTaskSummary struct {
+	Task         int     `json:"task"`
+	Nodes        int     `json:"nodes"`
+	Volume       int64   `json:"volume"`
+	CriticalPath int64   `json:"criticalPath"`
+	Offloads     int     `json:"offloads"`
+	Period       int64   `json:"period"`
+	Deadline     int64   `json:"deadline"`
+	Jitter       int64   `json:"jitter,omitempty"`
+	Utilization  float64 `json:"utilization"`
+}
+
+// PolicyReport returns the named policy's verdict, if present.
+func (r *AdmitReport) PolicyReport(name string) (taskset.PolicyResult, bool) {
+	for _, p := range r.Policies {
+		if p.Policy == name {
+			return p, true
+		}
+	}
+	return taskset.PolicyResult{}, false
+}
+
+// facadeEval adapts the Analyzer's Bound set to the taskset.TaskEval
+// interface: platform-independent work (reduction, Algorithm 1) happens
+// once at construction, each Bound call evaluates the configured bounds on
+// the requested platform and returns the minimum over the safe, applicable
+// ones.
+type facadeEval struct {
+	an    *Analyzer
+	work  *Graph
+	tr    *Transformation
+	multi *MultiTransformation
+}
+
+func newFacadeEval(an *Analyzer, g *Graph) (*facadeEval, error) {
+	work, multi, err := taskset.PrepareDAG(g)
+	if err != nil {
+		return nil, err
+	}
+	e := &facadeEval{an: an, work: work, multi: multi}
+	if multi != nil && len(multi.Steps) == 1 {
+		e.tr = multi.Steps[0]
+	}
+	return e, nil
+}
+
+func (e *facadeEval) Bound(ctx context.Context, p platform.Platform) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	in := BoundInput{Graph: e.work, Platform: p, Transform: e.tr, Multi: e.multi}
+	rhomOK := taskset.RhomSafeFor(e.work, p)
+	best := math.Inf(1)
+	for _, b := range e.an.bounds {
+		res, err := b.Compute(ctx, in)
+		if err != nil {
+			return 0, fmt.Errorf("hetrta: bound %q: %w", b.Name(), err)
+		}
+		if res.Skipped != "" || res.Unsafe {
+			continue
+		}
+		// Rhom is a report baseline everywhere, but as an *admission* bound
+		// it is only safe on the single-offload model (or when the offload
+		// classes have no machines): with k ≥ 2 offloads serializing on a
+		// device, simulated makespans exceed it — see
+		// taskset.RhomSafeFor and crosscheck_test.go.
+		if res.Name == "rhom" && !rhomOK {
+			continue
+		}
+		best = math.Min(best, res.Value)
+	}
+	if math.IsInf(best, 1) {
+		return 0, fmt.Errorf("hetrta: %w on %v", taskset.ErrNoSafeBound, p)
+	}
+	return best, nil
+}
+
+// Admit evaluates every configured policy on one taskset and returns its
+// AdmitReport. The input graphs are not modified (analysis runs on reduced
+// clones); the report is permutation-invariant (see AdmitReport).
+// Cancelling ctx aborts promptly with the context's error.
+func (ta *TasksetAnalyzer) Admit(ctx context.Context, ts Taskset) (*AdmitReport, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if err := ts.Validate(); err != nil {
+		return nil, err
+	}
+	canon := ts.Canonical()
+	p := ta.an.Platform()
+
+	rep := &AdmitReport{
+		Platform:    p,
+		Fingerprint: canon.Fingerprint().String(),
+		Taskset: TasksetSummary{
+			Tasks:       len(canon.Tasks),
+			Utilization: canon.Utilization(),
+		},
+		Tasks: make([]AdmitTaskSummary, len(canon.Tasks)),
+	}
+	evals := make([]taskset.TaskEval, len(canon.Tasks))
+	for i, t := range canon.Tasks {
+		e, err := newFacadeEval(ta.an, t.G)
+		if err != nil {
+			return nil, fmt.Errorf("hetrta: taskset task %d: %w", i, err)
+		}
+		evals[i] = e
+		offs := len(e.work.OffloadNodes())
+		if offs > 0 {
+			rep.Taskset.Offloading++
+		}
+		rep.Tasks[i] = AdmitTaskSummary{
+			Task:         i,
+			Nodes:        e.work.NumNodes(),
+			Volume:       e.work.Volume(),
+			CriticalPath: e.work.CriticalPathLength(),
+			Offloads:     offs,
+			Period:       t.Period,
+			Deadline:     t.Deadline,
+			Jitter:       t.Jitter,
+			Utilization:  t.Utilization(),
+		}
+	}
+
+	in := taskset.AdmitInput{Set: canon, Platform: p, Evals: evals}
+	for _, pol := range ta.policies {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		res, err := pol.Admit(ctx, in)
+		if err != nil {
+			return nil, fmt.Errorf("hetrta: taskset policy %q: %w", pol.Name(), err)
+		}
+		rep.Policies = append(rep.Policies, *res)
+		if res.Admitted {
+			rep.Admitted = true
+		}
+	}
+	return rep, nil
+}
+
+// AdmitBatch admits many tasksets on the analyzer's worker pool
+// (WithTasksetParallelism) and returns one AdmitReport per input, in input
+// order — deterministic at any parallelism. Per-taskset failures do not
+// abort the batch: the failing taskset's report carries the error in Err.
+// The returned error is non-nil only when ctx is cancelled, in which case
+// reports of unfinished tasksets record the cancellation.
+func (ta *TasksetAnalyzer) AdmitBatch(ctx context.Context, tss []Taskset) ([]*AdmitReport, error) {
+	reports := make([]*AdmitReport, len(tss))
+	err := batch.Run(ctx, len(tss), ta.parallelism, func(ctx context.Context, i int) error {
+		rep, err := ta.Admit(ctx, tss[i])
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				reports[i] = &AdmitReport{Platform: ta.an.platform, Err: ctxErr.Error()}
+				return ctxErr
+			}
+			reports[i] = &AdmitReport{Platform: ta.an.platform, Err: err.Error()}
+			return nil
+		}
+		reports[i] = rep
+		return nil
+	})
+	if err != nil {
+		for i, r := range reports {
+			if r == nil {
+				reports[i] = &AdmitReport{Platform: ta.an.platform, Err: err.Error()}
+			}
+		}
+		return reports, err
+	}
+	return reports, nil
+}

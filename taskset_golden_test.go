@@ -1,0 +1,131 @@
+package hetrta
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// The golden files pin the AdmitReport JSON wire format served by
+// POST /v1/admit and cached byte-identically by the serving layer. A diff
+// here means the admission wire format changed: deliberate changes
+// regenerate with `go test -run TestAdmitReportGolden -update .`;
+// accidental ones are regressions. (The -update flag is shared with
+// TestReportGolden.)
+func TestAdmitReportGolden(t *testing.T) {
+	// Hand-built graphs so the fixtures are tiny and readable.
+	hetTask := func(cOff int64, period int64) SporadicTask {
+		g := NewGraph()
+		load := g.AddNode("load", 2, Host)
+		kern := g.AddNode("kernel", cOff, Offload)
+		side := g.AddNode("side", 5, Host)
+		post := g.AddNode("post", 3, Host)
+		g.MustAddEdge(load, kern)
+		g.MustAddEdge(load, side)
+		g.MustAddEdge(kern, post)
+		g.MustAddEdge(side, post)
+		return SporadicTask{G: g, Period: period, Deadline: period}
+	}
+	hostTask := func(wcet, period, deadline, jitter int64) SporadicTask {
+		g := NewGraph()
+		a := g.AddNode("a", wcet, Host)
+		b := g.AddNode("b", wcet, Host)
+		c := g.AddNode("c", wcet, Host)
+		g.MustAddEdge(a, b)
+		g.MustAddEdge(a, c)
+		d := g.AddNode("d", wcet, Host)
+		g.MustAddEdge(b, d)
+		g.MustAddEdge(c, d)
+		return SporadicTask{G: g, Period: period, Deadline: deadline, Jitter: jitter}
+	}
+
+	cases := []struct {
+		name string
+		ts   Taskset
+	}{
+		{
+			// A schedulable mix: one heavy offloading task, two light host
+			// tasks (one with jitter).
+			name: "admit_accept",
+			ts: Taskset{Tasks: []SporadicTask{
+				hetTask(8, 14),         // U ≈ 1.3: heavy, device-backed
+				hostTask(3, 60, 40, 0), // U = 0.2
+				hostTask(2, 80, 50, 5), // U = 0.1, jittered
+			}},
+		},
+		{
+			// Unschedulable: a deadline below the critical path defeats
+			// every policy.
+			name: "admit_reject",
+			ts: Taskset{Tasks: []SporadicTask{
+				hostTask(20, 70, 50, 0), // critical path 60 > D = 50
+				hetTask(8, 14),
+			}},
+		},
+	}
+
+	an, err := NewAnalyzer(
+		WithPlatform(HeteroPlatform(4)),
+		WithBounds(RhomBound(), RhetBound(), TypedRhomBound()),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ta, err := NewTasksetAnalyzer(an)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rep, err := ta.Admit(context.Background(), tc.ts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if wantAdmit := tc.name == "admit_accept"; rep.Admitted != wantAdmit {
+				t.Fatalf("admitted = %v, want %v (%+v)", rep.Admitted, wantAdmit, rep.Policies)
+			}
+			got, err := json.MarshalIndent(rep, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+
+			path := filepath.Join("testdata", "golden", tc.name+".json")
+			if *updateGolden {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("%v (regenerate with: go test -run TestAdmitReportGolden -update .)", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("admit report JSON drifted from %s (regenerate with -update if deliberate)\ngot:\n%s\nwant:\n%s",
+					path, got, want)
+			}
+
+			// The wire format must round-trip losslessly.
+			var back AdmitReport
+			if err := json.Unmarshal(got, &back); err != nil {
+				t.Fatal(err)
+			}
+			again, err := json.MarshalIndent(&back, "", "  ")
+			if err != nil {
+				t.Fatal(err)
+			}
+			again = append(again, '\n')
+			if !bytes.Equal(got, again) {
+				t.Errorf("admit report JSON does not round-trip:\nfirst:\n%s\nsecond:\n%s", got, again)
+			}
+		})
+	}
+}
