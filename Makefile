@@ -1,0 +1,75 @@
+# Development entry points, mirroring .github/workflows/ci.yml so that
+# `make lint` / `make test` / `make bench` reproduce locally exactly what CI
+# gates on. staticcheck and govulncheck are skipped (with a notice) when the
+# pinned tools are not installed, so the core targets work offline.
+
+GO        ?= go
+BIN       := $(CURDIR)/bin
+HETRTALINT := $(BIN)/hetrtalint
+
+STATICCHECK_VERSION := 2025.1
+GOVULNCHECK_VERSION := v1.1.4
+
+.PHONY: all lint test bench fmt vet vettool staticcheck govulncheck tools clean
+
+all: lint test
+
+# --- lint: gofmt + vet + vettool + staticcheck, identical to the CI lint job.
+
+lint: fmt vet vettool staticcheck govulncheck
+
+fmt:
+	@out=$$(gofmt -l .); \
+	if [ -n "$$out" ]; then \
+		echo "gofmt needed on:" >&2; echo "$$out" >&2; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+# The repo's own analyzers (detmap, ctxpoll, boundreg, hotalloc) run as a
+# vettool so cross-package facts flow through cmd/go's vet cache.
+vettool: $(HETRTALINT)
+	$(GO) vet -vettool=$(HETRTALINT) ./...
+
+$(HETRTALINT): FORCE
+	@mkdir -p $(BIN)
+	$(GO) build -o $(HETRTALINT) ./cmd/hetrtalint
+
+FORCE:
+
+staticcheck:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (make tools to install)"; \
+	fi
+
+govulncheck:
+	@if command -v govulncheck >/dev/null 2>&1; then \
+		govulncheck ./...; \
+	else \
+		echo "govulncheck not installed; skipping (make tools to install)"; \
+	fi
+
+# --- test: the CI race + shuffle matrix.
+
+test:
+	$(GO) build ./...
+	$(GO) test -race -shuffle=on -count=1 ./...
+
+# --- bench: the CI benchmark regression gate against the latest baseline.
+
+bench:
+	@baseline=$$(ls BENCH_*.json | sort -t_ -k2 -n | tail -1); \
+	echo "comparing against $$baseline"; \
+	$(GO) run ./cmd/benchreport -out bench_local.json -baseline "$$baseline" -benchtime 2x -threshold 2
+
+# --- tools: install the pinned external linters (requires network).
+
+tools:
+	$(GO) install honnef.co/go/tools/cmd/staticcheck@$(STATICCHECK_VERSION)
+	$(GO) install golang.org/x/vuln/cmd/govulncheck@$(GOVULNCHECK_VERSION)
+
+clean:
+	rm -rf $(BIN) bench_local.json

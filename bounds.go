@@ -170,7 +170,7 @@ func missingClasses(g *Graph, p Platform) string {
 		return ""
 	}
 	classes := make([]int, 0, len(counts))
-	for c := range counts {
+	for c := range counts { //lint:ordered sorted before use
 		classes = append(classes, c)
 	}
 	sort.Ints(classes)

@@ -92,9 +92,17 @@ func TestCrossValidationDominance(t *testing.T) {
 			}
 		}
 
+		// The bound set under test is the registered lattice, not a
+		// hand-picked list: a bound missing from BoundLattice is a bound
+		// this sweep silently stops checking, which is exactly what the
+		// boundreg analyzer forbids.
+		bounds := make([]Bound, 0, len(BoundLattice))
+		for _, name := range LatticeNames() {
+			bounds = append(bounds, BoundLattice[name].New())
+		}
 		opts := []Option{
 			WithPlatform(p),
-			WithBounds(RhomBound(), RhetBound(), TypedRhomBound(), NaiveBound()),
+			WithBounds(bounds...),
 			WithPolicy(BreadthFirst),
 		}
 		exactOn := g.NumNodes() <= 18
@@ -116,19 +124,31 @@ func TestCrossValidationDominance(t *testing.T) {
 			t.Errorf("iter %d (%v, n=%d): %s", i, p, g.NumNodes(), why)
 		}
 
-		// Safe bounds dominate the simulated makespan. Rhom's safety
-		// argument needs the single-offload model (see the test comment).
-		if v, ok := rep.BoundValue("rhom"); ok && rep.Graph.Offloads <= 1 && sim > v+eps {
-			fail(fmt.Sprintf("sim %v exceeds rhom %v", sim, v))
-		}
-		if v, ok := rep.BoundValue("typed-rhom"); ok && sim > v+eps {
-			fail(fmt.Sprintf("sim %v exceeds typed-rhom %v", sim, v))
-		}
-		// Rhet bounds the transformed task (the sync-enforcing runtime).
-		if v, ok := rep.BoundValue("rhet"); ok {
-			simT := float64(rep.Simulation.MakespanTransformed)
-			if simT > v+eps {
-				fail(fmt.Sprintf("sim(τ') %v exceeds rhet %v", simT, v))
+		// Each registered bound is asserted per its declared lattice
+		// relation (BoundLattice, registry.go).
+		for _, name := range LatticeNames() {
+			entry := BoundLattice[name]
+			v, ok := rep.BoundValue(name)
+			if !ok {
+				continue
+			}
+			switch entry.Relation {
+			case BoundsSim:
+				if entry.SingleOffloadOnly && rep.Graph.Offloads > 1 {
+					continue
+				}
+				if sim > v+eps {
+					fail(fmt.Sprintf("sim %v exceeds %s %v", sim, name, v))
+				}
+			case BoundsSimTransformed:
+				simT := float64(rep.Simulation.MakespanTransformed)
+				if simT > v+eps {
+					fail(fmt.Sprintf("sim(τ') %v exceeds %s %v", simT, name, v))
+				}
+			case UnsafeDemo:
+				// Never asserted as an upper bound; specific relations below.
+			default:
+				t.Fatalf("bound %q has unknown lattice relation %q", name, entry.Relation)
 			}
 		}
 		// The unsafe §3.2 reduction only ever subtracts from Rhom.

@@ -51,7 +51,7 @@ func (g *Graph) WriteDOT(w io.Writer, title string) error {
 		// Multi-class graph: emit a legend so the class colors are readable.
 		b.WriteString("  subgraph cluster_legend {\n    label=\"resource classes\";\n")
 		order := make([]int, 0, len(classes))
-		for c := range classes {
+		for c := range classes { //lint:ordered sorted before use
 			order = append(order, c)
 		}
 		sort.Ints(order)

@@ -580,6 +580,8 @@ func (s *solver) lower(st *state, est []int64) int64 {
 // what keeps small-m instances tractable.
 // The vector is built in the solver's scratch buffer, valid until the next
 // signature call; dominated copies it only on memo insertion.
+//
+//hetrta:hotpath
 func (s *solver) signature(st *state) []int64 {
 	sig := s.sigBuf[:0]
 	for c := 0; c < s.nClasses; c++ {
@@ -624,6 +626,8 @@ func (s *solver) signature(st *state) []int64 {
 
 // dominated checks and updates the memo; it reports whether st is dominated
 // by a previously seen state with the same mask.
+//
+//hetrta:hotpath
 func (s *solver) dominated(st *state) bool {
 	sig := s.signature(st)
 	entries := s.memo[st.mask]
@@ -657,6 +661,10 @@ type cand struct {
 	tail int64
 }
 
+// dfs is the branch-and-bound search over schedule-generation orders, the
+// hottest code in the package: every expansion passes through here.
+//
+//hetrta:hotpath
 func (s *solver) dfs(depth int) {
 	if s.aborted {
 		return

@@ -1,0 +1,320 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+
+	"repro/internal/lint/analysis"
+)
+
+// registryFact is the package fact boundreg exports: the bound names
+// declared by this package's registries (plus, transitively, those of its
+// dependencies — the driver re-exports facts wholesale). It is how the
+// root package's Bound implementations see the admission-safety table that
+// lives below them in internal/taskset.
+type registryFact struct {
+	Lattice   []string `json:"lattice,omitempty"`
+	Admission []string `json:"admission,omitempty"`
+}
+
+// Boundreg enforces the registration invariant behind the dominance
+// lattice (exact ≤ sim ≤ bound): every type implementing the Bound
+// interface — structurally, Name() string plus
+// Compute(context.Context, BoundInput) (BoundResult, error) — must appear,
+// under its static Name() string, in
+//
+//   - the crosscheck dominance-lattice registry (a map variable annotated
+//     //hetrta:registry lattice), which the 520-instance sweep iterates, and
+//   - the taskset admission-safety table (//hetrta:registry admission),
+//     which decides whether the bound may enter admission minima.
+//
+// This is the machine check for the failure mode PR 5 caught by sweep
+// luck: Rhom entering multi-offload admission without a safety
+// declaration. A bound whose Name() is not a compile-time constant cannot
+// be checked and is reported; //lint:boundreg <why> exempts
+// deliberately unregistered implementations (e.g. decorators).
+var Boundreg = &analysis.Analyzer{
+	Name: "boundreg",
+	Doc:  "every Bound implementation must be declared in the lattice registry and the admission-safety table",
+	Run:  runBoundreg,
+}
+
+func runBoundreg(pass *analysis.Pass) error {
+	lattice, admission := collectRegistries(pass)
+
+	// Union in the registries visible through imports.
+	var imported registryFact
+	err := pass.EachImportedFact(&imported, func(string) error {
+		for _, n := range imported.Lattice {
+			lattice[n] = true
+		}
+		for _, n := range imported.Admission {
+			admission[n] = true
+		}
+		imported = registryFact{}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+
+	// Re-export the union so importers see registries any dependency
+	// declared, however deep.
+	if len(lattice) > 0 || len(admission) > 0 {
+		if err := pass.ExportFact(registryFact{
+			Lattice:   sortedKeys(lattice),
+			Admission: sortedKeys(admission),
+		}); err != nil {
+			return err
+		}
+	}
+
+	for _, impl := range findBoundImpls(pass) {
+		if impl.exempt {
+			continue
+		}
+		if impl.name == "" {
+			pass.Reportf(impl.pos, "Bound implementation %s: Name() does not return a compile-time constant, so registration cannot be checked; return a constant or annotate the type //lint:boundreg <why>", impl.typeName)
+			continue
+		}
+		if !lattice[impl.name] {
+			pass.Reportf(impl.pos, "Bound %q (%s) is missing from the crosscheck dominance-lattice registry (//hetrta:registry lattice): declare its relation to the simulated makespan so the cross-validation sweep exercises it", impl.name, impl.typeName)
+		}
+		if !admission[impl.name] {
+			pass.Reportf(impl.pos, "Bound %q (%s) is missing from the taskset admission-safety table (//hetrta:registry admission): declare when it may enter admission minima (cf. RhomSafeFor and DESIGN.md §10.3)", impl.name, impl.typeName)
+		}
+	}
+	return nil
+}
+
+// collectRegistries finds //hetrta:registry lattice|admission map variables
+// in the package and returns the sets of string keys they declare.
+func collectRegistries(pass *analysis.Pass) (lattice, admission map[string]bool) {
+	lattice, admission = map[string]bool{}, map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				kind := registryDirective(vs.Doc)
+				if kind == "" {
+					kind = registryDirective(gd.Doc)
+				}
+				var into map[string]bool
+				switch kind {
+				case "lattice":
+					into = lattice
+				case "admission":
+					into = admission
+				default:
+					continue
+				}
+				for _, v := range vs.Values {
+					cl, ok := v.(*ast.CompositeLit)
+					if !ok {
+						pass.Reportf(v.Pos(), "//hetrta:registry %s variable must be initialized with a map composite literal so the key set is statically known", kind)
+						continue
+					}
+					for _, elt := range cl.Elts {
+						kv, ok := elt.(*ast.KeyValueExpr)
+						if !ok {
+							continue
+						}
+						if name, ok := constString(pass, kv.Key); ok {
+							into[name] = true
+						} else {
+							pass.Reportf(kv.Key.Pos(), "//hetrta:registry %s key must be a compile-time string constant", kind)
+						}
+					}
+				}
+			}
+		}
+	}
+	return lattice, admission
+}
+
+// boundImpl is one detected Bound implementation.
+type boundImpl struct {
+	typeName string
+	name     string // static Name() result; "" when not constant
+	pos      token.Pos
+	exempt   bool
+}
+
+// findBoundImpls detects package-local named types that structurally
+// implement the Bound interface and resolves their static bound names.
+// Types declared in _test.go files are skipped: test scaffolding may fake
+// bounds freely.
+func findBoundImpls(pass *analysis.Pass) []boundImpl {
+	type methods struct {
+		name    *ast.FuncDecl
+		compute *ast.FuncDecl
+	}
+	byType := map[string]*methods{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recv := recvTypeName(fd.Recv.List[0].Type)
+			if recv == "" {
+				continue
+			}
+			m := byType[recv]
+			if m == nil {
+				m = &methods{}
+				byType[recv] = m
+			}
+			switch fd.Name.Name {
+			case "Name":
+				m.name = fd
+			case "Compute":
+				m.compute = fd
+			}
+		}
+	}
+
+	var impls []boundImpl
+	names := make([]string, 0, len(byType))
+	for n := range byType { //lint:ordered sorted before use
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, typeName := range names {
+		m := byType[typeName]
+		if m.name == nil || m.compute == nil {
+			continue
+		}
+		obj, ok := pass.Pkg.Scope().Lookup(typeName).(*types.TypeName)
+		if !ok || isTestFile(pass.Fset, obj.Pos()) {
+			continue
+		}
+		if !implementsBound(obj.Type()) {
+			continue
+		}
+		impl := boundImpl{typeName: typeName, pos: obj.Pos()}
+		if name, ok := staticNameReturn(pass, m.name); ok {
+			impl.name = name
+		}
+		// The hatch sits on the type declaration line (or above it).
+		file := fileOf(pass, obj.Pos())
+		if file != nil {
+			idx := collectEscapes(pass.Fset, file, "boundreg")
+			if e, ok := idx.at(pass.Fset.Position(obj.Pos()).Line); ok {
+				if !e.justified {
+					pass.Reportf(e.pos, "escape hatch //lint:boundreg requires a justification (//lint:boundreg <why>)")
+				}
+				impl.exempt = true
+			}
+		}
+		impls = append(impls, impl)
+	}
+	return impls
+}
+
+// implementsBound structurally matches the Bound interface: a Name() string
+// method and a Compute method of shape
+// (context.Context, <...>BoundInput) (<...>BoundResult, error) in the
+// method set of T or *T. Matching by method shape rather than by the
+// interface object keeps the analyzer usable from fixtures that declare
+// their own miniature Bound world.
+func implementsBound(t types.Type) bool {
+	ms := types.NewMethodSet(types.NewPointer(t))
+	var nameOK, computeOK bool
+	for i := 0; i < ms.Len(); i++ {
+		fn, ok := ms.At(i).Obj().(*types.Func)
+		if !ok {
+			continue
+		}
+		sig, ok := fn.Type().(*types.Signature)
+		if !ok {
+			continue
+		}
+		switch fn.Name() {
+		case "Name":
+			nameOK = sig.Params().Len() == 0 && sig.Results().Len() == 1 &&
+				types.Identical(sig.Results().At(0).Type(), types.Typ[types.String])
+		case "Compute":
+			computeOK = sig.Params().Len() == 2 && sig.Results().Len() == 2 &&
+				isContextType(sig.Params().At(0).Type()) &&
+				namedCalled(sig.Params().At(1).Type(), "BoundInput") &&
+				namedCalled(sig.Results().At(0).Type(), "BoundResult") &&
+				isErrorType(sig.Results().At(1).Type())
+		}
+	}
+	return nameOK && computeOK
+}
+
+// staticNameReturn extracts the constant string a Name() method returns.
+func staticNameReturn(pass *analysis.Pass, fd *ast.FuncDecl) (string, bool) {
+	if fd.Body == nil || len(fd.Body.List) != 1 {
+		return "", false
+	}
+	ret, ok := fd.Body.List[0].(*ast.ReturnStmt)
+	if !ok || len(ret.Results) != 1 {
+		return "", false
+	}
+	return constString(pass, ret.Results[0])
+}
+
+// constString resolves e to a compile-time string constant.
+func constString(pass *analysis.Pass, e ast.Expr) (string, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return "", false
+	}
+	return constant.StringVal(tv.Value), true
+}
+
+func recvTypeName(t ast.Expr) string {
+	switch t := t.(type) {
+	case *ast.Ident:
+		return t.Name
+	case *ast.StarExpr:
+		return recvTypeName(t.X)
+	case *ast.IndexExpr: // generic receiver
+		return recvTypeName(t.X)
+	}
+	return ""
+}
+
+func namedCalled(t types.Type, name string) bool {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == name
+}
+
+func isErrorType(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "error" && named.Obj().Pkg() == nil
+}
+
+func fileOf(pass *analysis.Pass, pos token.Pos) *ast.File {
+	for _, f := range pass.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m { //lint:ordered sorted below before returning
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,19 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/linttest"
+)
+
+func TestBoundreg(t *testing.T) {
+	linttest.Run(t, lint.Boundreg, "boundreg/a")
+}
+
+// TestBoundregFacts checks registration visibility across an import edge:
+// the registry package is analyzed first (driver dependency order), its
+// fact flows to the implementation package.
+func TestBoundregFacts(t *testing.T) {
+	linttest.Run(t, lint.Boundreg, "boundreg/registry", "boundreg/impls")
+}

@@ -1,0 +1,59 @@
+package lint_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/driver"
+)
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// TestVettoolEndToEnd builds cmd/hetrtalint and drives it through cmd/go's
+// -vettool protocol over the whole module, the exact invocation CI uses.
+// The tree must be clean: real violations get fixed, deliberate ones get
+// justified hatches.
+func TestVettoolEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds the vettool and vets the whole module")
+	}
+	root := moduleRoot(t)
+	bin := filepath.Join(t.TempDir(), "hetrtalint")
+	build := exec.Command("go", "build", "-o", bin, "repro/cmd/hetrtalint")
+	build.Dir = root
+	if out, err := build.CombinedOutput(); err != nil {
+		t.Fatalf("building hetrtalint: %v\n%s", err, out)
+	}
+	vet := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	vet.Dir = root
+	if out, err := vet.CombinedOutput(); err != nil {
+		t.Errorf("go vet -vettool=hetrtalint ./... failed: %v\n%s", err, out)
+	}
+}
+
+// TestStandaloneDogfood runs the in-process standalone driver over the
+// module: same analyzers, same clean-tree expectation, no binary involved.
+func TestStandaloneDogfood(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	var buf bytes.Buffer
+	findings, err := driver.Run(lint.Suite(), []string{"./..."}, moduleRoot(t), &buf)
+	if err != nil {
+		t.Fatalf("standalone run: %v", err)
+	}
+	if len(findings) > 0 {
+		t.Errorf("hetrtalint found %d in-tree violations:\n%s", len(findings), buf.String())
+	}
+}

@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+)
+
+// Hotalloc polices the //hetrta:hotpath contract: functions so annotated
+// sit inside the admission inner loop (or the simulator's event loop) and
+// are covered by the benchreport allocation gate, so they must not
+// reintroduce per-call heap work. Inside an annotated function the
+// analyzer flags
+//
+//   - map and slice composite literals, and make() of maps/slices/chans;
+//   - fmt.Sprintf/Sprint/Sprintln/Errorf/Fprintf-family calls, except on
+//     return statements (cold error exits may format);
+//   - function literals that capture function-local variables — each such
+//     closure allocates its environment per call;
+//   - append to a slice the function itself declared empty, which grows
+//     from zero instead of reusing scratch capacity.
+//
+// //lint:alloc <why> records allocations that are deliberate (one-time
+// result buffers, growth paths measured as amortized-free).
+var Hotalloc = &analysis.Analyzer{
+	Name: "hotalloc",
+	Doc:  "flags allocation constructs inside functions annotated //hetrta:hotpath",
+	Run:  runHotalloc,
+}
+
+func runHotalloc(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		var escapes escapeIndex // lazily built: most files have no hotpaths
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !docHasDirective(fd.Doc, "hetrta:hotpath") {
+				continue
+			}
+			if escapes == nil {
+				escapes = collectEscapes(pass.Fset, f, "alloc")
+			}
+			checkHotFunc(pass, escapes, fd)
+		}
+	}
+	return nil
+}
+
+func checkHotFunc(pass *analysis.Pass, escapes escapeIndex, fd *ast.FuncDecl) {
+	locals := localObjects(pass, fd)
+	fresh := freshSlices(pass, fd.Body)
+
+	var walk func(n ast.Node, retDepth int)
+	walk = func(n ast.Node, retDepth int) {
+		if n == nil {
+			return
+		}
+		switch n := n.(type) {
+		case *ast.ReturnStmt:
+			for _, r := range n.Results {
+				walk(r, retDepth+1)
+			}
+			return
+		case *ast.CompositeLit:
+			if tv, ok := pass.TypesInfo.Types[n]; ok {
+				switch tv.Type.Underlying().(type) {
+				case *types.Map:
+					checkEscape(pass, escapes, "alloc", n.Pos(),
+						"map literal allocates on a //hetrta:hotpath function; hoist into scratch state or annotate //lint:alloc <why>")
+				case *types.Slice:
+					checkEscape(pass, escapes, "alloc", n.Pos(),
+						"slice literal allocates on a //hetrta:hotpath function; reuse scratch capacity or annotate //lint:alloc <why>")
+				}
+			}
+		case *ast.CallExpr:
+			if isBuiltin(pass, n.Fun, "make") && len(n.Args) > 0 {
+				if tv, ok := pass.TypesInfo.Types[n.Args[0]]; ok {
+					switch tv.Type.Underlying().(type) {
+					case *types.Map, *types.Slice, *types.Chan:
+						checkEscape(pass, escapes, "alloc", n.Pos(),
+							"make() allocates on a //hetrta:hotpath function; hoist into scratch state or annotate //lint:alloc <why>")
+					}
+				}
+			}
+			if retDepth == 0 && isFmtFormatter(pass, n.Fun) {
+				checkEscape(pass, escapes, "alloc", n.Pos(),
+					"fmt formatting allocates on a //hetrta:hotpath function; format only on cold return paths or annotate //lint:alloc <why>")
+			}
+			if isBuiltin(pass, n.Fun, "append") && len(n.Args) > 0 {
+				if base, ok := n.Args[0].(*ast.Ident); ok {
+					if obj := pass.TypesInfo.Uses[base]; obj != nil && fresh[obj] {
+						checkEscape(pass, escapes, "alloc", n.Pos(),
+							"append to a slice declared empty in this //hetrta:hotpath function grows from zero capacity; pre-size it from scratch state or annotate //lint:alloc <why>")
+					}
+				}
+			}
+		case *ast.FuncLit:
+			if captured := capturesLocal(pass, n, locals); captured != "" {
+				checkEscape(pass, escapes, "alloc", n.Pos(),
+					"function literal captures local variable "+captured+" and allocates its environment per call on a //hetrta:hotpath function; pass state explicitly (method on scratch) or annotate //lint:alloc <why>")
+			}
+			// Still walk the body: literals inside the closure allocate too.
+		}
+		// Generic traversal into children, preserving retDepth.
+		ast.Inspect(n, func(c ast.Node) bool {
+			if c == n {
+				return true
+			}
+			walk(c, retDepth)
+			return false
+		})
+	}
+	for _, stmt := range fd.Body.List {
+		walk(stmt, 0)
+	}
+}
+
+// localObjects collects the objects declared inside fd (params, receivers,
+// and body declarations).
+func localObjects(pass *analysis.Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	locals := map[types.Object]bool{}
+	ast.Inspect(fd, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				if _, isVar := obj.(*types.Var); isVar {
+					locals[obj] = true
+				}
+			}
+		}
+		return true
+	})
+	return locals
+}
+
+// freshSlices collects slice variables body declares with no backing
+// capacity: `var x []T` or `x := []T{}` / `x := []T(nil)`. Appending to
+// these grows from zero.
+func freshSlices(pass *analysis.Pass, body *ast.BlockStmt) map[types.Object]bool {
+	fresh := map[types.Object]bool{}
+	mark := func(id *ast.Ident) {
+		obj := pass.TypesInfo.Defs[id]
+		if obj == nil {
+			return
+		}
+		if _, ok := obj.Type().Underlying().(*types.Slice); ok {
+			fresh[obj] = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeclStmt:
+			gd, ok := n.Decl.(*ast.GenDecl)
+			if !ok {
+				return true
+			}
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok && len(vs.Values) == 0 {
+					for _, name := range vs.Names {
+						mark(name)
+					}
+				}
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				if i >= len(n.Lhs) {
+					break
+				}
+				id, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				switch rhs := rhs.(type) {
+				case *ast.CompositeLit:
+					if len(rhs.Elts) == 0 {
+						mark(id)
+					}
+				case *ast.CallExpr: // []T(nil) conversion
+					if len(rhs.Args) == 1 {
+						if lit, ok := rhs.Args[0].(*ast.Ident); ok && lit.Name == "nil" {
+							mark(id)
+						}
+					}
+				}
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// capturesLocal returns the name of a function-local variable (declared
+// outside lit but inside the enclosing function) that lit references, or
+// "" when the literal is capture-free.
+func capturesLocal(pass *analysis.Pass, lit *ast.FuncLit, locals map[types.Object]bool) string {
+	inner := map[types.Object]bool{}
+	ast.Inspect(lit, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Defs[id]; obj != nil {
+				inner[obj] = true
+			}
+		}
+		return true
+	})
+	captured := ""
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		if captured != "" {
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := pass.TypesInfo.Uses[id]; obj != nil && locals[obj] && !inner[obj] {
+				captured = id.Name
+				return false
+			}
+		}
+		return true
+	})
+	return captured
+}
+
+// isFmtFormatter reports whether fun resolves to one of fmt's allocating
+// formatters.
+func isFmtFormatter(pass *analysis.Pass, fun ast.Expr) bool {
+	return isPkgFunc(pass, fun, "fmt",
+		"Sprintf", "Sprint", "Sprintln", "Errorf", "Fprintf", "Fprint", "Fprintln", "Appendf")
+}
+
+// isBuiltin reports whether fun is the predeclared builtin of that name.
+func isBuiltin(pass *analysis.Pass, fun ast.Expr, name string) bool {
+	id, ok := fun.(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	_, ok = pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok
+}

@@ -1,0 +1,88 @@
+// Package a exercises boundreg against a miniature Bound world: the
+// analyzer matches implementations structurally (Name() string +
+// Compute(context.Context, BoundInput) (BoundResult, error)), so the
+// fixture declares its own input/result types and registries.
+package a
+
+import "context"
+
+// BoundInput mirrors the real analysis input bundle.
+type BoundInput struct{ N int }
+
+// BoundResult mirrors the real bound outcome.
+type BoundResult struct{ R int }
+
+// lattice declares each bound's relation to the simulated makespan; the
+// crosscheck sweep iterates it.
+//
+//hetrta:registry lattice
+var lattice = map[string]string{
+	"reg":    "bounds-sim",
+	"unsafe": "unsafe-demo",
+}
+
+// admission declares which bounds may enter admission minima.
+//
+//hetrta:registry admission
+var admission = map[string]bool{
+	"reg":  true,
+	"rhom": false,
+}
+
+// Registered appears in both registries: clean.
+type Registered struct{}
+
+func (Registered) Name() string { return "reg" }
+
+func (Registered) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: in.N}, ctx.Err()
+}
+
+// Rhom replays the PR-5 incident: a bound wired into admission thinking
+// but never added to the dominance lattice, so no sweep ever checked it
+// against the simulated makespan.
+type Rhom struct{} // want "Bound \"rhom\" \\(Rhom\\) is missing from the crosscheck dominance-lattice registry"
+
+func (Rhom) Name() string { return "rhom" }
+
+func (Rhom) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: 2 * in.N}, ctx.Err()
+}
+
+// Unsafe is swept by the lattice but has no admission-safety declaration.
+type Unsafe struct{} // want "Bound \"unsafe\" \\(Unsafe\\) is missing from the taskset admission-safety table"
+
+func (Unsafe) Name() string { return "unsafe" }
+
+func (Unsafe) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: 3 * in.N}, ctx.Err()
+}
+
+// Dynamic computes its name at runtime: unverifiable.
+type Dynamic struct{ tag string } // want "Name\\(\\) does not return a compile-time constant"
+
+func (d Dynamic) Name() string { return d.tag }
+
+func (d Dynamic) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: in.N}, ctx.Err()
+}
+
+// Decorator forwards to a wrapped bound and is deliberately unregistered.
+//
+//lint:boundreg reports under the wrapped bound's name, which is registered
+type Decorator struct{ inner Registered }
+
+func (d Decorator) Name() string { return d.inner.Name() }
+
+func (d Decorator) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return d.inner.Compute(ctx, in)
+}
+
+// NotABound has the right names but the wrong shapes: ignored.
+type NotABound struct{}
+
+func (NotABound) Name() int { return 0 }
+
+func (NotABound) Compute(in BoundInput) (BoundResult, error) {
+	return BoundResult{R: in.N}, nil
+}

@@ -1,0 +1,36 @@
+// Package impls declares Bound implementations whose registries live one
+// package away, in boundreg/registry — the shape of the real module, where
+// the admission-safety table sits in internal/taskset below the root
+// package's bounds. boundreg must see the registration through the
+// imported package fact.
+package impls
+
+import (
+	"context"
+
+	"boundreg/registry"
+)
+
+// BoundInput mirrors the real analysis input bundle.
+type BoundInput struct{ N int }
+
+// BoundResult mirrors the real bound outcome.
+type BoundResult struct{ R int }
+
+// Cross is registered in package registry: the fact makes it clean here.
+type Cross struct{}
+
+func (Cross) Name() string { return "cross" }
+
+func (Cross) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: registry.Scale * in.N}, ctx.Err()
+}
+
+// Orphan is registered nowhere, neither locally nor in any import.
+type Orphan struct{} // want "Bound \"orphan\" \\(Orphan\\) is missing from the crosscheck dominance-lattice registry" "Bound \"orphan\" \\(Orphan\\) is missing from the taskset admission-safety table"
+
+func (Orphan) Name() string { return "orphan" }
+
+func (Orphan) Compute(ctx context.Context, in BoundInput) (BoundResult, error) {
+	return BoundResult{R: in.N}, ctx.Err()
+}

@@ -1,0 +1,23 @@
+// Package registry holds the dominance-lattice and admission-safety tables
+// for the cross-package boundreg fixture: the implementations live in
+// boundreg/impls, one import edge away, and see these tables only through
+// the exported package fact.
+package registry
+
+// Scale is a knob the implementation package references, making the import
+// edge real.
+const Scale = 2
+
+// Lattice is the dominance-lattice table.
+//
+//hetrta:registry lattice
+var Lattice = map[string]string{
+	"cross": "bounds-sim",
+}
+
+// Admission is the admission-safety table.
+//
+//hetrta:registry admission
+var Admission = map[string]bool{
+	"cross": true,
+}

@@ -1,0 +1,51 @@
+// Package a exercises detmap: it opts in via the file directive below,
+// standing in for the canonical-bytes packages of the real module.
+//
+//hetrta:canonical
+package a
+
+import (
+	"maps"
+	"slices"
+	"sort"
+)
+
+// Bad iterates a map directly: nondeterministic order.
+func Bad(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "iteration over map in a canonical-bytes package"
+		out = append(out, k)
+	}
+	return out
+}
+
+// BadKeys lets maps.Keys escape unsorted.
+func BadKeys(m map[string]int) []string {
+	return slices.Collect(maps.Keys(m)) // want "maps.Keys/Values yields keys in nondeterministic order"
+}
+
+// GoodSorted consumes maps.Keys through slices.Sorted: ordered.
+func GoodSorted(m map[string]int) []string {
+	return slices.Sorted(maps.Keys(m))
+}
+
+// GoodCollectThenSort iterates sorted keys.
+func GoodCollectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m { //lint:ordered keys are sorted before use
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// BadHatch carries a hatch with no justification: itself a finding.
+func BadHatch(m map[string]int) int {
+	n := 0
+	// want+1 "escape hatch //lint:ordered requires a justification"
+	//lint:ordered
+	for range m {
+		n++
+	}
+	return n
+}

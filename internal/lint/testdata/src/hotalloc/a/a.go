@@ -1,0 +1,89 @@
+// Package a exercises hotalloc: only functions annotated //hetrta:hotpath
+// are policed; everything else may allocate freely.
+package a
+
+import "fmt"
+
+// Scratch is the reusable state a hot path is supposed to draw from.
+type Scratch struct {
+	buf  []int
+	seen map[int]bool
+}
+
+// Hot is an annotated hot path with one of each violation.
+//
+//hetrta:hotpath
+func (s *Scratch) Hot(xs []int) (int, error) {
+	m := map[int]bool{}                   // want "map literal allocates on a //hetrta:hotpath function"
+	tmp := make([]int, 0, len(xs))        // want "make\\(\\) allocates on a //hetrta:hotpath function"
+	pairs := []int{1, 2}                  // want "slice literal allocates on a //hetrta:hotpath function"
+	label := fmt.Sprintf("n=%d", len(xs)) // want "fmt formatting allocates on a //hetrta:hotpath function"
+
+	total := 0
+	add := func() { // want "function literal captures local variable"
+		total++
+	}
+	var grown []int
+	for _, x := range xs {
+		if !m[x] {
+			m[x] = true
+			tmp = append(tmp, x)
+			grown = append(grown, x) // want "append to a slice declared empty in this //hetrta:hotpath function"
+			add()
+		}
+	}
+	_, _, _ = pairs, label, grown
+	if total == 0 {
+		return 0, fmt.Errorf("no input (%d)", len(xs)) // cold return path: allowed
+	}
+	return total, nil
+}
+
+// HotClean is an annotated hot path that reuses scratch state: no findings.
+//
+//hetrta:hotpath
+func (s *Scratch) HotClean(xs []int) int {
+	s.buf = s.buf[:0]
+	clear(s.seen)
+	for _, x := range xs {
+		if !s.seen[x] {
+			s.seen[x] = true
+			s.buf = append(s.buf, x)
+		}
+	}
+	return len(s.buf)
+}
+
+// HotHatch records a deliberate allocation.
+//
+//hetrta:hotpath
+func (s *Scratch) HotHatch(n int) []int {
+	out := make([]int, n) //lint:alloc result buffer is the caller's to keep
+	for i := range out {
+		out[i] = i
+	}
+	return out
+}
+
+// HotBadHatch carries a hatch with no justification.
+//
+//hetrta:hotpath
+func (s *Scratch) HotBadHatch(n int) map[int]int {
+	// want+1 "escape hatch //lint:alloc requires a justification"
+	//lint:alloc
+	out := map[int]int{}
+	out[0] = n
+	return out
+}
+
+// Cold is unannotated: allocate at will.
+func Cold(xs []int) map[int]bool {
+	m := map[int]bool{}
+	var out []int
+	for _, x := range xs {
+		m[x] = true
+		out = append(out, x)
+	}
+	_ = fmt.Sprint(len(out))
+	return m
+}

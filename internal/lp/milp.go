@@ -41,10 +41,7 @@ func (m *Model) SolveMILP(ctx context.Context, opts MILPOptions) (*Solution, err
 		}
 	}
 	if !hasInt {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
-		return m.SolveLP()
+		return m.SolveLPContext(ctx)
 	}
 
 	type node struct {
@@ -80,8 +77,11 @@ func (m *Model) SolveMILP(ctx context.Context, opts MILPOptions) (*Solution, err
 			}
 			return nil, ErrNodeLimit
 		}
+		// The relaxation inherits ctx: a node's pivot loop can be the
+		// longest-running straight-line work in the whole solve, and an
+		// uninterruptible relaxation would defeat the per-node poll above.
 		sub := m.withBounds(nd.bounds)
-		sol, err := sub.SolveLP()
+		sol, err := sub.SolveLPContext(ctx)
 		if errors.Is(err, ErrInfeasible) {
 			continue
 		}

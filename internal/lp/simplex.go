@@ -14,6 +14,7 @@
 package lp
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -87,7 +88,7 @@ func (m *Model) VarName(i int) string { return m.names[i] }
 func (m *Model) SetObjective(direction int, coefs map[int]float64) {
 	m.direction = direction
 	m.objective = map[int]float64{}
-	for k, v := range coefs {
+	for k, v := range coefs { //lint:ordered map-to-map copy, order-insensitive
 		m.objective[k] = v
 	}
 }
@@ -98,7 +99,7 @@ func (m *Model) SetObjectiveCoef(v int, c float64) { m.objective[v] = c }
 // AddConstraint appends Σ terms {sense} rhs and returns its index.
 func (m *Model) AddConstraint(terms map[int]float64, sense Sense, rhs float64) int {
 	t := make(map[int]float64, len(terms))
-	for k, v := range terms {
+	for k, v := range terms { //lint:ordered map-to-map copy, order-insensitive
 		if v != 0 {
 			t[k] = v
 		}
@@ -131,21 +132,41 @@ var ErrIterLimit = errors.New("lp: iteration limit exceeded")
 const (
 	eps       = 1e-9
 	maxPivots = 200_000
+	// pollMask gates the context poll in the pivot loop: cancellation is
+	// checked every pollMask+1 pivots, cheap enough to keep the serving
+	// layer's abort latency in the microseconds.
+	pollMask = 1023
 )
 
-// SolveLP solves the continuous relaxation (integrality ignored).
+// SolveLP solves the continuous relaxation (integrality ignored). It is
+// SolveLPContext without a cancellation handle; prefer the context variant
+// anywhere a caller might hang up (the analysis daemon does).
 func (m *Model) SolveLP() (*Solution, error) {
+	return m.SolveLPContext(context.Background())
+}
+
+// SolveLPContext solves the continuous relaxation, polling ctx every
+// pollMask+1 simplex pivots so a cancelled solve aborts promptly with
+// ctx's error instead of grinding through the remaining pivot budget.
+func (m *Model) SolveLPContext(ctx context.Context) (*Solution, error) {
 	t, err := newTableau(m)
 	if err != nil {
 		return nil, err
 	}
+	t.ctx = ctx
 	if err := t.solve(); err != nil {
 		return nil, err
 	}
 	x := t.extract(m.NumVariables())
+	// Accumulate in variable-index order: summing floats in map order made
+	// the reported objective differ across runs of the same model at the
+	// last ulp, which the canonical-bytes layers above amplify into
+	// fingerprint mismatches.
 	obj := 0.0
-	for v, c := range m.objective {
-		obj += c * x[v]
+	for v := range x {
+		if c, ok := m.objective[v]; ok {
+			obj += c * x[v]
+		}
 	}
 	return &Solution{Objective: obj, X: x, Iterations: t.pivots, Nodes: 1}, nil
 }
@@ -160,6 +181,7 @@ type tableau struct {
 	artifStart int
 	obj        []float64 // phase-2 cost vector over all columns
 	pivots     int
+	ctx        context.Context // polled in the pivot loop; nil = background
 }
 
 func newTableau(m *Model) (*tableau, error) {
@@ -184,7 +206,7 @@ func newTableau(m *Model) (*tableau, error) {
 	infos := make([]rowInfo, rows)
 	for i, c := range m.constraints {
 		row := make([]float64, cols+1) // +1 for RHS
-		for v, coef := range c.Terms {
+		for v, coef := range c.Terms { //lint:ordered writes by index, order-insensitive
 			if v < 0 || v >= n {
 				return nil, fmt.Errorf("lp: constraint %d references variable %d", i, v)
 			}
@@ -261,7 +283,7 @@ func newTableau(m *Model) (*tableau, error) {
 	if m.direction == Maximize {
 		sign = -1.0
 	}
-	for v, c := range m.objective {
+	for v, c := range m.objective { //lint:ordered writes by index, order-insensitive
 		t.obj[v] = sign * c
 	}
 	return t, nil
@@ -333,6 +355,11 @@ func (t *tableau) optimize(cost []float64, banArtificials bool) (float64, error)
 	const degenerateSwitch = 40
 	degenerate := 0
 	for {
+		if t.pivots&pollMask == 0 && t.ctx != nil {
+			if err := t.ctx.Err(); err != nil {
+				return 0, err
+			}
+		}
 		enter := -1
 		if degenerate < degenerateSwitch {
 			worst := -eps

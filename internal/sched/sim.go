@@ -83,8 +83,76 @@ func Simulate(g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	return SimulateWith(new(Scratch), g, p, pol)
 }
 
+// simRun is the live state of one simulation. Its methods replace what
+// used to be function literals inside SimulateWith: release and dispatch
+// closed over a dozen locals by reference, so every call heap-allocated
+// the closures plus escaped copies of now/run/seq/completed — per-run
+// garbage the Scratch contract explicitly promises to avoid.
+type simRun struct {
+	sc        *Scratch
+	g         *dag.Graph
+	pol       Policy
+	spans     []Span
+	run       []running
+	now       int64
+	seq       int
+	completed int
+}
+
+// release marks v ready at time t, instantly completing zero-WCET nodes
+// (and cascading through their successors). sc.released guards against
+// double release when a cascade reaches a node before the seeding loop
+// does.
+//
+//hetrta:hotpath
+func (r *simRun) release(v int, t int64) {
+	sc := r.sc
+	if sc.released[v] {
+		return
+	}
+	sc.released[v] = true
+	if r.g.WCET(v) == 0 {
+		r.spans[v] = Span{Node: v, Start: t, Finish: t, Resource: -1}
+		r.completed++
+		for _, s := range r.g.Succs(v) {
+			sc.indeg[s]--
+			if sc.indeg[s] == 0 {
+				r.release(s, t)
+			}
+		}
+		return
+	}
+	item := ReadyItem{Node: v, Seq: r.seq, ReadyAt: t}
+	r.seq++
+	sc.ready[sc.cls[v]] = append(sc.ready[sc.cls[v]], item)
+}
+
+// dispatch drains class c's ready queue onto its free machines at the
+// current time.
+//
+//hetrta:hotpath
+func (r *simRun) dispatch(c int) {
+	sc := r.sc
+	ready := sc.ready[c]
+	free := sc.free[c]
+	for len(free) > 0 && len(ready) > 0 {
+		idx := r.pol.Pick(ready)
+		item := ready[idx]
+		ready = append(ready[:idx], ready[idx+1:]...)
+		res := free[len(free)-1]
+		free = free[:len(free)-1]
+		fin := r.now + r.g.WCET(item.Node)
+		r.spans[item.Node] = Span{Node: item.Node, Start: r.now, Finish: fin, Resource: res}
+		r.run = append(r.run, running{node: item.Node, finish: fin, resource: res})
+	}
+	sc.ready[c] = ready
+	sc.free[c] = free
+}
+
 // SimulateWith is Simulate using caller-provided working buffers, the
 // low-allocation path for tight simulation loops.
+//
+//hetrta:hotpath
 func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
@@ -119,11 +187,10 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 	}
 
 	sc.indeg = intsReset(sc.indeg, n)
-	indeg := sc.indeg
 	for v := 0; v < n; v++ {
-		indeg[v] = g.InDegree(v)
+		sc.indeg[v] = g.InDegree(v)
 	}
-	spans := make([]Span, n)
+	spans := make([]Span, n) //lint:alloc Spans is the returned result, owned by the caller
 
 	// Per-class ready queues and free lists. Rows are reused across runs.
 	if cap(sc.ready) < nClasses {
@@ -132,121 +199,75 @@ func SimulateWith(sc *Scratch, g *dag.Graph, p Platform, pol Policy) (*Result, e
 	if cap(sc.free) < nClasses {
 		sc.free = slices.Grow(sc.free[:0], nClasses)
 	}
-	ready := sc.ready[:nClasses]
-	free := sc.free[:nClasses]
+	sc.ready = sc.ready[:nClasses]
+	sc.free = sc.free[:nClasses]
 	for c := 0; c < nClasses; c++ {
-		ready[c] = ready[c][:0]
+		sc.ready[c] = sc.ready[c][:0]
 		count := p.Count(c)
-		row := slices.Grow(free[c][:0], count)
+		row := slices.Grow(sc.free[c][:0], count)
 		base := p.Base(c)
 		for i := count - 1; i >= 0; i-- {
 			row = append(row, base+i) // pop from the back → lowest ID first
 		}
-		free[c] = row
+		sc.free[c] = row
 	}
-	seq := 0
+	sc.released = boolsReset(sc.released, n)
 
-	// running nodes ordered by finish time (small n: linear scan heap-free).
-	run := sc.run[:0]
-
-	completed := 0
-	var now int64
-
-	// release marks v ready at time t, instantly completing zero-WCET
-	// nodes (and cascading through their successors). released guards
-	// against double release when a cascade reaches a node before the
-	// seeding loop does.
-	released := boolsReset(sc.released, n)
-	sc.released = released
-	var release func(v int, t int64)
-	release = func(v int, t int64) {
-		if released[v] {
-			return
-		}
-		released[v] = true
-		if g.WCET(v) == 0 {
-			spans[v] = Span{Node: v, Start: t, Finish: t, Resource: -1}
-			completed++
-			for _, s := range g.Succs(v) {
-				indeg[s]--
-				if indeg[s] == 0 {
-					release(s, t)
-				}
-			}
-			return
-		}
-		item := ReadyItem{Node: v, Seq: seq, ReadyAt: t}
-		seq++
-		ready[cls[v]] = append(ready[cls[v]], item)
-	}
+	r := simRun{sc: sc, g: g, pol: pol, spans: spans, run: sc.run[:0]}
 
 	// Seed sources in ID order so Seq is deterministic.
 	for v := 0; v < n; v++ {
-		if indeg[v] == 0 {
-			release(v, 0)
+		if sc.indeg[v] == 0 {
+			r.release(v, 0)
 		}
 	}
 
-	dispatch := func(ready *[]ReadyItem, free *[]int) {
-		for len(*free) > 0 && len(*ready) > 0 {
-			idx := pol.Pick(*ready)
-			item := (*ready)[idx]
-			*ready = append((*ready)[:idx], (*ready)[idx+1:]...)
-			res := (*free)[len(*free)-1]
-			*free = (*free)[:len(*free)-1]
-			fin := now + g.WCET(item.Node)
-			spans[item.Node] = Span{Node: item.Node, Start: now, Finish: fin, Resource: res}
-			run = append(run, running{node: item.Node, finish: fin, resource: res})
-		}
-	}
-
-	for completed < n {
+	for r.completed < n {
 		for c := 0; c < nClasses; c++ {
-			dispatch(&ready[c], &free[c])
+			r.dispatch(c)
 		}
-		if len(run) == 0 {
-			return nil, fmt.Errorf("sched: deadlock with %d/%d nodes completed", completed, n)
+		if len(r.run) == 0 {
+			return nil, fmt.Errorf("sched: deadlock with %d/%d nodes completed", r.completed, n)
 		}
 		// Advance to the earliest finish; complete everything at that time.
-		next := run[0].finish
-		for _, r := range run[1:] {
-			if r.finish < next {
-				next = r.finish
+		next := r.run[0].finish
+		for _, rn := range r.run[1:] {
+			if rn.finish < next {
+				next = rn.finish
 			}
 		}
-		now = next
+		r.now = next
 		// Collect finishing nodes in node-ID order for determinism.
 		finishing := sc.finishing[:0]
-		keep := run[:0]
-		for _, r := range run {
-			if r.finish == now {
-				finishing = append(finishing, r)
+		keep := r.run[:0]
+		for _, rn := range r.run {
+			if rn.finish == r.now {
+				finishing = append(finishing, rn)
 			} else {
-				keep = append(keep, r)
+				keep = append(keep, rn)
 			}
 		}
-		run = keep
+		r.run = keep
 		sc.finishing = finishing
 		slices.SortFunc(finishing, func(a, b running) int { return a.node - b.node })
-		for _, r := range finishing {
-			completed++
-			c := cls[r.node]
-			free[c] = append(free[c], r.resource)
+		for _, rn := range finishing {
+			r.completed++
+			c := sc.cls[rn.node]
+			sc.free[c] = append(sc.free[c], rn.resource)
 		}
-		for _, r := range finishing {
-			for _, s := range g.Succs(r.node) {
-				indeg[s]--
-				if indeg[s] == 0 {
-					release(s, now)
+		for _, rn := range finishing {
+			for _, s := range g.Succs(rn.node) {
+				sc.indeg[s]--
+				if sc.indeg[s] == 0 {
+					r.release(s, r.now)
 				}
 			}
 		}
 	}
 	for c := 0; c < nClasses; c++ {
-		ready[c] = ready[c][:0]
+		sc.ready[c] = sc.ready[c][:0]
 	}
-	sc.ready, sc.free = ready, free
-	sc.run = run
+	sc.run = r.run
 
 	var makespan int64
 	for v := 0; v < n; v++ {

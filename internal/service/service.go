@@ -401,7 +401,7 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 	// block forever.
 	pending := make(map[string]*flight)
 	defer func() {
-		for k, f := range pending {
+		for k, f := range pending { //lint:ordered abort-path cleanup; publish order is unobservable
 			s.publish(k, f, nil, errors.New("service: analysis aborted"))
 		}
 	}()

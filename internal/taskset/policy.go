@@ -157,7 +157,7 @@ func (e *rtaEval) Bound(ctx context.Context, p platform.Platform) (float64, erro
 		return 0, fmt.Errorf("taskset: bound on %v: no host cores", p)
 	}
 	best := math.Inf(1)
-	if RhomSafeFor(e.work, p) {
+	if AdmissionSafe("rhom", e.work, p) {
 		best = rta.Rhom(e.work, p)
 	}
 	if e.multi != nil && len(e.multi.Steps) == 1 {

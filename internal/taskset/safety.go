@@ -1,0 +1,63 @@
+package taskset
+
+import (
+	"repro/internal/dag"
+	"repro/internal/platform"
+)
+
+// AdmissionSafety declares when a named bound's value may enter admission
+// minima — the per-task minimum over applicable bounds that Admit policies
+// compare against deadlines. Being a *valid analysis result* and being
+// *admission-safe* are different properties: Rhom is a correct report
+// baseline everywhere yet admission-safe only on the single-offload model,
+// and the §3.2 naive reduction is computed for demonstration but never
+// certifies anything.
+type AdmissionSafety struct {
+	// Never marks bounds that must not enter admission minima on any
+	// instance (unsafe demonstrations).
+	Never bool
+	// SafeFor gates instance-dependent safety; nil means safe on every
+	// (graph, platform) the bound itself did not skip.
+	SafeFor func(g *dag.Graph, p platform.Platform) bool
+	// Note records the safety argument (or the counterexample reference).
+	Note string
+}
+
+// BoundSafety is the admission-safety table: every Bound implementation in
+// the module must have an entry here under its Name(), machine-checked by
+// the boundreg analyzer (cmd/hetrtalint). Adding a bound without deciding
+// its admission safety is exactly the failure mode that once let Rhom into
+// multi-offload admission minima (DESIGN.md §10.3); the table makes the
+// decision explicit and the lint makes it mandatory.
+//
+//hetrta:registry admission
+var BoundSafety = map[string]AdmissionSafety{
+	"rhom": {
+		SafeFor: RhomSafeFor,
+		Note:    "safe on ≤1 offload, or when no offload class has a machine; k≥2 offloads serializing on a device break Graham's charging argument (DESIGN.md §4.3)",
+	},
+	"rhet": {
+		Note: "Theorem 1 upper-bounds the transformed task τ′, which the sync-enforcing runtime executes; skips itself off the single-offload model",
+	},
+	"typed-rhom": {
+		Note: "typed generalization of Eq. 1; safe whenever it applies (every populated class has a machine), asserted unconditionally by the crosscheck sweep",
+	},
+	"naive": {
+		Never: true,
+		Note:  "the §3.2 reduction is not an upper bound — it exists to demonstrate why the transformation is necessary",
+	},
+}
+
+// AdmissionSafe reports whether the bound named name may enter admission
+// minima for g on p. Unknown names are unsafe: a bound earns its way into
+// admission by declaring an entry in BoundSafety, not by existing.
+func AdmissionSafe(name string, g *dag.Graph, p platform.Platform) bool {
+	s, ok := BoundSafety[name]
+	if !ok || s.Never {
+		return false
+	}
+	if s.SafeFor != nil {
+		return s.SafeFor(g, p)
+	}
+	return true
+}

@@ -1,0 +1,81 @@
+package hetrta
+
+import "sort"
+
+// LatticeRelation names the dominance relation a registered bound
+// maintains with the simulated makespan — the property the
+// cross-validation sweep (crosscheck_test.go) asserts over hundreds of
+// random instances.
+type LatticeRelation string
+
+const (
+	// BoundsSim: simulated makespan ≤ bound value on every instance where
+	// the bound applies (did not skip itself).
+	BoundsSim LatticeRelation = "bounds-sim"
+	// BoundsSimTransformed: the bound upper-bounds the simulated makespan
+	// of the *transformed* task τ′ (the sync-enforcing runtime), not of
+	// the original graph.
+	BoundsSimTransformed LatticeRelation = "bounds-sim-transformed"
+	// UnsafeDemo: the value is NOT an upper bound and must never be
+	// asserted as one; the sweep instead checks its documented relation to
+	// the baseline (naive ≤ rhom: the §3.2 reduction only ever subtracts).
+	UnsafeDemo LatticeRelation = "unsafe-demo"
+)
+
+// LatticeEntry is one bound's declaration in the dominance lattice.
+type LatticeEntry struct {
+	// New returns a fresh instance of the bound, so sweeps and tools can
+	// instantiate the full registered set.
+	New func() Bound
+	// Relation is the asserted dominance relation.
+	Relation LatticeRelation
+	// SingleOffloadOnly restricts the sim ≤ bound assertion to graphs with
+	// at most one offload node — Rhom's safety model; beyond it this very
+	// sweep exhibits counterexamples (see crosscheck_test.go).
+	SingleOffloadOnly bool
+	// Note records the argument behind the relation.
+	Note string
+}
+
+// BoundLattice is the crosscheck dominance-lattice registry: every Bound
+// implementation in the module must appear here under its Name(),
+// machine-checked by the boundreg analyzer (cmd/hetrtalint). The
+// cross-validation sweep iterates this table — a bound absent from it is a
+// bound no sweep ever compared against the simulated makespan, which is
+// how unsound bounds survive (DESIGN.md §10.3). The companion
+// admission-safety table lives in internal/taskset (BoundSafety).
+//
+//hetrta:registry lattice
+var BoundLattice = map[string]LatticeEntry{
+	"rhom": {
+		New:               RhomBound,
+		Relation:          BoundsSim,
+		SingleOffloadOnly: true,
+		Note:              "Eq. 1 baseline; Graham bound, safe on the paper's single-offload model",
+	},
+	"rhet": {
+		New:      RhetBound,
+		Relation: BoundsSimTransformed,
+		Note:     "Theorem 1 bounds the transformed task τ′ the runtime actually executes",
+	},
+	"typed-rhom": {
+		New:      TypedRhomBound,
+		Relation: BoundsSim,
+		Note:     "typed multi-offload generalization of Eq. 1, asserted unconditionally",
+	},
+	"naive": {
+		New:      NaiveBound,
+		Relation: UnsafeDemo,
+		Note:     "§3.2 reduction; sweep checks naive ≤ rhom, never sim ≤ naive",
+	},
+}
+
+// LatticeNames returns the registered bound names in sorted order.
+func LatticeNames() []string {
+	names := make([]string, 0, len(BoundLattice))
+	for name := range BoundLattice { //lint:ordered sorted before returning
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

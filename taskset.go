@@ -224,7 +224,6 @@ func (e *facadeEval) Bound(ctx context.Context, p platform.Platform) (float64, e
 		return 0, err
 	}
 	in := BoundInput{Graph: e.work, Platform: p, Transform: e.tr, Multi: e.multi}
-	rhomOK := taskset.RhomSafeFor(e.work, p)
 	best := math.Inf(1)
 	for _, b := range e.an.bounds {
 		res, err := b.Compute(ctx, in)
@@ -234,12 +233,12 @@ func (e *facadeEval) Bound(ctx context.Context, p platform.Platform) (float64, e
 		if res.Skipped != "" || res.Unsafe {
 			continue
 		}
-		// Rhom is a report baseline everywhere, but as an *admission* bound
-		// it is only safe on the single-offload model (or when the offload
-		// classes have no machines): with k ≥ 2 offloads serializing on a
-		// device, simulated makespans exceed it — see
-		// taskset.RhomSafeFor and crosscheck_test.go.
-		if res.Name == "rhom" && !rhomOK {
+		// A bound is a report artifact everywhere but enters *admission*
+		// minima only per the declared admission-safety table: Rhom is
+		// gated to the single-offload model, the naive demo never enters,
+		// and an unregistered bound does not certify anything (see
+		// taskset.BoundSafety and the boundreg analyzer).
+		if !taskset.AdmissionSafe(res.Name, e.work, p) {
 			continue
 		}
 		best = math.Min(best, res.Value)
