@@ -10,7 +10,7 @@ HETRTALINT := $(BIN)/hetrtalint
 STATICCHECK_VERSION := 2025.1
 GOVULNCHECK_VERSION := v1.1.4
 
-.PHONY: all lint test bench fmt vet vettool staticcheck govulncheck tools clean
+.PHONY: all lint test bench chaos fmt vet vettool staticcheck govulncheck tools clean
 
 all: lint test
 
@@ -57,6 +57,15 @@ govulncheck:
 test:
 	$(GO) build ./...
 	$(GO) test -race -shuffle=on -count=1 ./...
+
+# --- chaos: the deterministic fault-injection suite, exactly as the CI
+# chaos job runs it: resilience primitives, the service chaos invariants,
+# and the daemon resilience end-to-end tests, under -race twice.
+
+chaos:
+	$(GO) test -race -count=2 ./internal/resilience/...
+	$(GO) test -race -count=2 -run 'TestChaos|TestFailureNeverCached|TestDroppedCacheAdd|TestForcedCacheMiss|TestExecPanic' ./internal/service
+	$(GO) test -race -count=2 -run 'TestShedding|TestDegraded|TestBatchDegraded|TestHandlerPanic|TestGracefulShutdown|TestShutdownGrace|TestBodySize|TestReadyz' ./cmd/dagrtad
 
 # --- bench: the CI benchmark regression gate against the latest baseline.
 

@@ -2,13 +2,37 @@ package hetrta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"strings"
+	"time"
 
 	"repro/internal/batch"
 	"repro/internal/exact"
 	"repro/internal/sched"
 	"repro/internal/transform"
+)
+
+// Degradation reasons carried in Report.DegradedReason. The first two are
+// produced by the Analyzer itself when the exact stage runs out of its
+// expansion budget or deadline slice; the last two are stamped by the
+// serving layer (internal/service) when it routes a request around the
+// exact stage entirely.
+const (
+	// DegradedExactBudget: the exact search exhausted MaxExpansions and
+	// returned a feasible-but-unproven makespan.
+	DegradedExactBudget = "exact-budget-exhausted"
+	// DegradedExactDeadline: the exact stage's deadline slice
+	// (DegradeOptions.ExactSlice) expired before the search finished; the
+	// report carries bounds only.
+	DegradedExactDeadline = "exact-deadline-exceeded"
+	// DegradedBreakerOpen: the serving layer's circuit breaker was open, so
+	// the exact stage was skipped preemptively.
+	DegradedBreakerOpen = "breaker-open"
+	// DegradedHardInstance: the graph's fingerprint is in the serving
+	// layer's hard-instance cache — a previous full analysis on it degraded
+	// or timed out — so the exact stage was skipped immediately.
+	DegradedHardInstance = "hard-instance"
 )
 
 // Analyzer is the construct-once entry point of the toolkit: configure the
@@ -32,6 +56,22 @@ type Analyzer struct {
 	parallelism int
 	validate    *ValidateOptions
 	devices     *int // deferred WithDevices override
+
+	degrade       *DegradeOptions
+	forcedDegrade string // BoundsOnly reason; marks every report degraded
+}
+
+// DegradeOptions configures graceful degradation of the exact stage
+// (WithDegradation). With degradation on, exhausting the exact search's
+// expansion budget or its deadline slice no longer fails or blocks the
+// analysis: the report comes back valid — bounds, transformation, and
+// simulation intact — but marked Degraded with a machine-readable reason.
+type DegradeOptions struct {
+	// ExactSlice caps the wall-clock time of the exact stage. When it
+	// expires before the search finishes, the report omits the Exact
+	// section and is marked Degraded with DegradedExactDeadline. Zero
+	// means no time slice (budget exhaustion still degrades).
+	ExactSlice time.Duration
 }
 
 // Option configures an Analyzer at construction time.
@@ -109,6 +149,21 @@ func WithExactOptions(opts ExactOptions) Option {
 	}
 }
 
+// WithDegradation enables graceful degradation of the exact stage: instead
+// of failing (slice expiry) or silently returning an unproven result
+// (budget exhaustion), Analyze returns a valid report marked Degraded with
+// a machine-readable reason. It has no effect unless the exact stage is
+// enabled (WithExactBudget / WithExactOptions).
+func WithDegradation(d DegradeOptions) Option {
+	return func(a *Analyzer) error {
+		if d.ExactSlice < 0 {
+			return fmt.Errorf("hetrta: negative exact slice %v", d.ExactSlice)
+		}
+		a.degrade = &d
+		return nil
+	}
+}
+
 // WithBounds selects the response-time bounds each report computes, in
 // order. The default is DefaultBounds (Rhom + Rhet); pass any mix of the
 // built-ins and custom Bound implementations. Names must be unique.
@@ -180,6 +235,24 @@ func NewAnalyzer(opts ...Option) (*Analyzer, error) {
 // Platform returns the analyzer's configured platform.
 func (a *Analyzer) Platform() Platform { return a.platform }
 
+// ExactEnabled reports whether the exact minimum-makespan stage is
+// configured (WithExactBudget / WithExactOptions).
+func (a *Analyzer) ExactEnabled() bool { return a.exactOn }
+
+// BoundsOnly returns a degraded variant of the analyzer: identical
+// configuration except the exact stage is disabled, and every report it
+// produces is marked Degraded with the given reason (one of the Degraded*
+// constants). The serving layer uses it to answer with safe bounds when
+// the full pipeline is skipped — breaker open, or the graph is a known
+// hard instance. The receiver is not modified.
+func (a *Analyzer) BoundsOnly(reason string) *Analyzer {
+	d := *a
+	d.exactOn = false
+	d.exactOpts = ExactOptions{}
+	d.forcedDegrade = reason
+	return &d
+}
+
 // Signature returns a stable string identifying every configuration input
 // that can influence a Report: the platform's full class list, the bound
 // set (in order), the simulation policy, the exact-stage options, and the
@@ -216,6 +289,12 @@ func (a *Analyzer) Signature() string {
 		fmt.Fprintf(&b, ";validate=%t/%t/%t/%t",
 			a.validate.RequireSingleSourceSink, a.validate.RequireReduced,
 			a.validate.RequireSingleOffload, a.validate.AllowZeroWCET)
+	}
+	if a.degrade != nil {
+		fmt.Fprintf(&b, ";degrade=%d", a.degrade.ExactSlice.Nanoseconds())
+	}
+	if a.forcedDegrade != "" {
+		fmt.Fprintf(&b, ";forced=%s", a.forcedDegrade)
 	}
 	return b.String()
 }
@@ -339,17 +418,43 @@ func (a *Analyzer) Analyze(ctx context.Context, g *Graph) (*Report, error) {
 	}
 
 	if a.exactOn {
-		opt, err := exact.MinMakespan(ctx, work, a.platform, a.exactOpts)
-		if err != nil {
+		exactCtx := ctx
+		var cancel context.CancelFunc
+		if a.degrade != nil && a.degrade.ExactSlice > 0 {
+			exactCtx, cancel = context.WithTimeout(ctx, a.degrade.ExactSlice)
+		}
+		opt, err := exact.MinMakespan(exactCtx, work, a.platform, a.exactOpts)
+		if cancel != nil {
+			cancel()
+		}
+		switch {
+		case err == nil:
+			rep.ExactResult = opt
+			rep.Exact = &ExactReport{
+				Makespan:   opt.Makespan,
+				Status:     opt.Status.String(),
+				LowerBound: opt.LowerBound,
+				Expansions: opt.Expansions,
+			}
+			if a.degrade != nil && opt.Status != exact.Optimal {
+				// The budget expired: the makespan is feasible but unproven.
+				// The bracket [LowerBound, Makespan] is still safe, so the
+				// Exact section stays — flagged, not dropped.
+				rep.Degraded = true
+				rep.DegradedReason = DegradedExactBudget
+			}
+		case a.degrade != nil && errors.Is(err, context.DeadlineExceeded) && ctx.Err() == nil:
+			// Only the stage's own slice expired — the caller's context is
+			// intact. Degrade to a bounds-only report instead of failing.
+			rep.Degraded = true
+			rep.DegradedReason = DegradedExactDeadline
+		default:
 			return nil, err
 		}
-		rep.ExactResult = opt
-		rep.Exact = &ExactReport{
-			Makespan:   opt.Makespan,
-			Status:     opt.Status.String(),
-			LowerBound: opt.LowerBound,
-			Expansions: opt.Expansions,
-		}
+	}
+	if a.forcedDegrade != "" {
+		rep.Degraded = true
+		rep.DegradedReason = a.forcedDegrade
 	}
 
 	return rep, nil

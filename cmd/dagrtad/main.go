@@ -13,8 +13,9 @@
 //	POST /v1/admit          sporadic-taskset JSON in ({"tasks":[{"graph":...,
 //	                        "period":...,"deadline":...,"jitter":...}]}),
 //	                        AdmitReport JSON out (federated + global verdicts)
-//	GET  /healthz           liveness probe
-//	GET  /statsz            cache hit rate, shard occupancy, in-flight executions
+//	GET  /healthz           liveness probe (200 while the process runs)
+//	GET  /readyz            readiness probe (503 while draining or wedged)
+//	GET  /statsz            cache hit rate, shard occupancy, overload counters
 //
 // Admissions are cached under the taskset's canonical fingerprint — an
 // order-insensitive hash over the member graphs' canonical fingerprints and
@@ -26,7 +27,19 @@
 // analyses, X-Fingerprint with the graph's canonical content hash. Each
 // request is bounded by -request-timeout and aborts promptly — including
 // mid-search inside the exact oracle — when the client disconnects. SIGINT
-// and SIGTERM drain in-flight requests before exiting (-grace).
+// and SIGTERM drain in-flight requests before exiting (-grace); /readyz
+// flips to 503 the moment draining begins, -drain-delay ahead of the
+// listener closing, so load balancers can route away first.
+//
+// Operating under load: a cost-classed concurrency limiter with a bounded
+// wait queue (-max-concurrent, -max-queue) fronts every analysis; when the
+// queue is full the request is shed with 429 and a Retry-After header
+// (-retry-after). With -exact, analyses whose exact search exhausts its
+// expansion budget or its -exact-slice return a valid bounds-only report
+// marked "degraded" instead of stalling, a circuit breaker
+// (-breaker-threshold) plus a negative cache of known-hard fingerprints
+// (-hard-cache) route repeat offenders around the exact oracle entirely,
+// and /statsz exposes the shed/degraded/breaker counters.
 //
 // Usage:
 //
@@ -45,11 +58,15 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
 	hetrta "repro"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/service"
 )
 
@@ -59,16 +76,50 @@ func main() {
 	os.Exit(run(ctx, os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// config is everything run derives from flags.
+// config is everything the HTTP layer derives from flags.
 type config struct {
 	addr           string
 	requestTimeout time.Duration
 	grace          time.Duration
+	drainDelay     time.Duration
 	maxBody        int64
 	maxBatch       int
 }
 
+// serviceConfig is everything buildService derives from flags: the analyzer
+// pipeline plus the serving layer's cache and overload-protection knobs.
+type serviceConfig struct {
+	platform  string
+	bounds    string
+	sim       bool
+	exact     bool
+	budget    int64
+	exactPoll int64
+	// exactSlice bounds each full analysis' exact-oracle stage; past it the
+	// report degrades to bounds-only instead of erroring.
+	exactSlice time.Duration
+	parallel   int
+
+	cacheSize int
+	shards    int
+
+	maxConcurrent    int
+	maxQueue         int
+	retryAfter       time.Duration
+	breakerThreshold int
+	hardCache        int
+
+	inj *faultinject.Injector
+}
+
 func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	return runWith(ctx, args, stdout, stderr, nil)
+}
+
+// runWith is run with a fault-injection seam: chaos tests arm inj to
+// inject latency, errors, and panics into the serving path; production
+// (run) passes nil.
+func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *faultinject.Injector) int {
 	fs := flag.NewFlagSet("dagrtad", flag.ContinueOnError)
 	fs.SetOutput(stderr)
 	var (
@@ -79,19 +130,48 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		doExact    = fs.Bool("exact", false, "include the exact minimum makespan in every report")
 		budget     = fs.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
 		exactPoll  = fs.Int64("exact-poll", 0, "exact-solver context poll interval in expansions (0 = default)")
+		exactSlice = fs.Duration("exact-slice", 0, "per-analysis exact-stage time slice; past it the report degrades to bounds-only (0 = no slice)")
 		parallel   = fs.Int("parallel", 0, "analyzer worker-pool size for batch requests (0 = all CPUs)")
 		cacheSize  = fs.Int("cache", service.DefaultCacheEntries, "report-cache capacity in entries")
 		shards     = fs.Int("cache-shards", service.DefaultShards, "report-cache shard count (rounded up to a power of two)")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request analysis timeout")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
+		drainDelay = fs.Duration("drain-delay", 0, "pause between flipping /readyz to 503 and closing the listener, for load balancers to route away")
 		maxBody    = fs.Int64("max-body", 8<<20, "maximum request body size in bytes")
 		maxBatch   = fs.Int("max-batch", 1024, "maximum graphs per batch request")
+		maxConc    = fs.Int("max-concurrent", 0, "concurrent analysis cost units (0 = 2 x GOMAXPROCS); a batch of n graphs costs n")
+		maxQueue   = fs.Int("max-queue", 64, "analyses that may wait for a slot before further requests are shed with 429")
+		retryAfter = fs.Duration("retry-after", time.Second, "client backoff advertised in the Retry-After header of shed responses")
+		brkThresh  = fs.Int("breaker-threshold", 0, "consecutive exact-stage failures that open the circuit breaker (0 = default)")
+		hardCache  = fs.Int("hard-cache", 0, "capacity of the known-hard-fingerprint cache that skips the exact oracle (0 = default)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	svc, err := buildService(*platSpec, *boundsSpec, *doSim, *doExact, *budget, *exactPoll, *parallel, *cacheSize, *shards)
+	sc := serviceConfig{
+		platform:  *platSpec,
+		bounds:    *boundsSpec,
+		sim:       *doSim,
+		exact:     *doExact,
+		budget:    *budget,
+		exactPoll: *exactPoll,
+
+		exactSlice: *exactSlice,
+		parallel:   *parallel,
+
+		cacheSize: *cacheSize,
+		shards:    *shards,
+
+		maxConcurrent:    *maxConc,
+		maxQueue:         *maxQueue,
+		retryAfter:       *retryAfter,
+		breakerThreshold: *brkThresh,
+		hardCache:        *hardCache,
+
+		inj: inj,
+	}
+	svc, err := buildService(sc)
 	if err != nil {
 		fmt.Fprintln(stderr, "dagrtad:", err)
 		return 2
@@ -100,9 +180,11 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		addr:           *addr,
 		requestTimeout: *reqTimeout,
 		grace:          *grace,
+		drainDelay:     *drainDelay,
 		maxBody:        *maxBody,
 		maxBatch:       *maxBatch,
 	}
+	d := &daemon{svc: svc, cfg: cfg, inj: inj, errw: stderr}
 
 	ln, err := net.Listen("tcp", cfg.addr)
 	if err != nil {
@@ -113,7 +195,7 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		ln.Addr(), svc.Platform(), svc.Signature())
 
 	srv := &http.Server{
-		Handler:           newHandler(svc, cfg),
+		Handler:           d.handler(),
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 	errCh := make(chan error, 1)
@@ -122,10 +204,17 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	select {
 	case <-ctx.Done():
 		fmt.Fprintln(stdout, "dagrtad: shutting down")
+		// Flip readiness before closing the listener so load balancers
+		// polling /readyz drain away while connections still work.
+		d.draining.Store(true)
+		if cfg.drainDelay > 0 {
+			time.Sleep(cfg.drainDelay)
+		}
 		shutCtx, cancel := context.WithTimeout(context.Background(), cfg.grace)
 		defer cancel()
 		if err := srv.Shutdown(shutCtx); err != nil {
 			fmt.Fprintln(stderr, "dagrtad: shutdown:", err)
+			srv.Close() // grace exceeded: hard-close the stragglers
 			return 1
 		}
 		return 0
@@ -139,14 +228,14 @@ func run(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 }
 
 // buildService assembles the Analyzer from daemon flags and wraps it in the
-// serving layer.
-func buildService(platSpec, boundsSpec string, doSim, doExact bool, budget, exactPoll int64, parallel, cacheSize, shards int) (*service.Service, error) {
-	plat, err := hetrta.ParsePlatform(platSpec)
+// serving layer with the overload-protection stack.
+func buildService(sc serviceConfig) (*service.Service, error) {
+	plat, err := hetrta.ParsePlatform(sc.platform)
 	if err != nil {
 		return nil, err
 	}
 	var bounds []hetrta.Bound
-	for _, name := range strings.Split(boundsSpec, ",") {
+	for _, name := range strings.Split(sc.bounds, ",") {
 		switch strings.TrimSpace(name) {
 		case "rhom":
 			bounds = append(bounds, hetrta.RhomBound())
@@ -162,87 +251,184 @@ func buildService(platSpec, boundsSpec string, doSim, doExact bool, budget, exac
 		}
 	}
 	if len(bounds) == 0 {
-		return nil, fmt.Errorf("empty bound set %q", boundsSpec)
+		return nil, fmt.Errorf("empty bound set %q", sc.bounds)
 	}
-	if !doExact && (budget != 0 || exactPoll != 0) {
-		return nil, fmt.Errorf("-budget/-exact-poll require -exact")
+	if !sc.exact && (sc.budget != 0 || sc.exactPoll != 0 || sc.exactSlice != 0) {
+		return nil, fmt.Errorf("-budget/-exact-poll/-exact-slice require -exact")
 	}
 	opts := []hetrta.Option{
 		hetrta.WithPlatform(plat),
 		hetrta.WithBounds(bounds...),
-		hetrta.WithParallelism(parallel),
+		hetrta.WithParallelism(sc.parallel),
 	}
-	if doSim {
+	if sc.sim {
 		opts = append(opts, hetrta.WithPolicy(hetrta.BreadthFirst))
 	}
-	if doExact {
+	if sc.exact {
 		opts = append(opts, hetrta.WithExactOptions(hetrta.ExactOptions{
-			MaxExpansions: budget,
-			CtxCheckEvery: exactPoll,
+			MaxExpansions: sc.budget,
+			CtxCheckEvery: sc.exactPoll,
 		}))
+		// The daemon always serves degraded-but-valid bounds when the exact
+		// stage runs out of budget or slice: a serving endpoint must answer,
+		// not error, on hard instances.
+		opts = append(opts, hetrta.WithDegradation(hetrta.DegradeOptions{ExactSlice: sc.exactSlice}))
 	}
 	an, err := hetrta.NewAnalyzer(opts...)
 	if err != nil {
 		return nil, err
 	}
-	return service.New(an, service.Options{CacheEntries: cacheSize, Shards: shards})
+	return service.New(an, service.Options{
+		CacheEntries: sc.cacheSize,
+		Shards:       sc.shards,
+		Resilience: &service.ResilienceOptions{
+			Limiter: resilience.LimiterOptions{
+				Capacity:   sc.maxConcurrent,
+				MaxQueue:   sc.maxQueue,
+				RetryAfter: sc.retryAfter,
+			},
+			Breaker:   resilience.BreakerOptions{FailureThreshold: sc.breakerThreshold},
+			HardCache: resilience.NegCacheOptions{Capacity: sc.hardCache},
+		},
+		FaultInjector: sc.inj,
+	})
 }
 
-// newHandler wires the four endpoints.
-func newHandler(svc *service.Service, cfg config) http.Handler {
+// daemon is the HTTP layer's shared state: the service, the config, the
+// fault-injection seam, and the counters /statsz reports on top of the
+// service's own.
+type daemon struct {
+	svc  *service.Service
+	cfg  config
+	inj  *faultinject.Injector
+	errw io.Writer
+
+	// draining flips once shutdown begins; /readyz maps it to 503.
+	draining  atomic.Bool
+	recovered atomic.Uint64
+	writeErrs atomic.Uint64
+}
+
+// handler wires the endpoints behind the recovery middleware.
+func (d *daemon) handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
-		handleAnalyze(svc, cfg, w, r)
-	})
-	mux.HandleFunc("POST /v1/analyze/batch", func(w http.ResponseWriter, r *http.Request) {
-		handleBatch(svc, cfg, w, r)
-	})
-	mux.HandleFunc("POST /v1/admit", func(w http.ResponseWriter, r *http.Request) {
-		handleAdmit(svc, cfg, w, r)
-	})
+	mux.HandleFunc("POST /v1/analyze", d.handleAnalyze)
+	mux.HandleFunc("POST /v1/analyze/batch", d.handleBatch)
+	mux.HandleFunc("POST /v1/admit", d.handleAdmit)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		d.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
+	mux.HandleFunc("GET /readyz", d.handleReady)
 	mux.HandleFunc("GET /statsz", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, svc.Stats())
+		d.writeJSON(w, http.StatusOK, statsResponse{
+			Stats:               d.svc.Stats(),
+			RecoveredPanics:     d.recovered.Load(),
+			ResponseWriteErrors: d.writeErrs.Load(),
+			Draining:            d.draining.Load(),
+		})
 	})
-	return mux
+	return d.protect(mux)
+}
+
+// statsResponse is /statsz's wire shape: the service counters plus the
+// HTTP layer's own.
+type statsResponse struct {
+	service.Stats
+	RecoveredPanics     uint64 `json:"recoveredPanics"`
+	ResponseWriteErrors uint64 `json:"responseWriteErrors"`
+	Draining            bool   `json:"draining"`
+}
+
+// protect is the outermost middleware: a handler panic (a bug, or an
+// injected fault) is recovered, counted, and mapped to 503 — one request
+// dies, the daemon does not. It also hosts the Handler fault-injection
+// seam.
+func (d *daemon) protect(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				d.recovered.Add(1)
+				fmt.Fprintf(d.errw, "dagrtad: recovered panic serving %s: %v\n", r.URL.Path, rec)
+				d.httpError(w, http.StatusServiceUnavailable, "internal fault, request aborted")
+			}
+		}()
+		if err := d.inj.Fire(faultinject.Handler); err != nil {
+			d.httpError(w, http.StatusServiceUnavailable, "injected handler fault")
+			return
+		}
+		next.ServeHTTP(w, r)
+	})
+}
+
+// handleReady is the readiness probe: 503 once shutdown begins, and while
+// the service is wedged (breaker open with the limiter's queue budget
+// exhausted); /healthz stays 200 throughout — the process is alive, it
+// just should not receive new traffic.
+func (d *daemon) handleReady(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case d.draining.Load():
+		d.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+	case !d.svc.Ready():
+		d.writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "overloaded"})
+	default:
+		d.writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	}
 }
 
 // requestCtx bounds the analysis by the per-request timeout on top of the
 // request context, so both client disconnect and timeout cancel the
 // pipeline (the context is threaded all the way into the exact oracle's
 // poll loop).
-func requestCtx(r *http.Request, cfg config) (context.Context, context.CancelFunc) {
-	if cfg.requestTimeout <= 0 {
+func (d *daemon) requestCtx(r *http.Request) (context.Context, context.CancelFunc) {
+	if d.cfg.requestTimeout <= 0 {
 		return r.Context(), func() {}
 	}
-	return context.WithTimeout(r.Context(), cfg.requestTimeout)
+	return context.WithTimeout(r.Context(), d.cfg.requestTimeout)
 }
 
-func handleAnalyze(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
-	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+// readBody reads the request body under the -max-body cap, writing the
+// error response itself on failure: the cap maps to 413, a transport-level
+// read failure (client hung up mid-body, short chunked stream) to 400.
+func (d *daemon) readBody(w http.ResponseWriter, r *http.Request) ([]byte, bool) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, d.cfg.maxBody))
+	if err == nil {
+		return body, true
+	}
+	var tooLarge *http.MaxBytesError
+	if errors.As(err, &tooLarge) {
+		d.httpError(w, http.StatusRequestEntityTooLarge,
+			fmt.Sprintf("body exceeds the %d-byte limit", tooLarge.Limit))
+	} else {
+		d.httpError(w, http.StatusBadRequest, fmt.Sprintf("reading body: %v", err))
+	}
+	return nil, false
+}
+
+func (d *daemon) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	body, ok := d.readBody(w, r)
+	if !ok {
 		return
 	}
 	g := hetrta.NewGraph()
 	if err := json.Unmarshal(body, g); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		d.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := requestCtx(r, cfg)
+	ctx, cancel := d.requestCtx(r)
 	defer cancel()
-	res, err := svc.Analyze(ctx, g)
+	res, err := d.svc.Analyze(ctx, g)
 	if err != nil {
-		writeAnalysisError(w, r, err)
+		d.writeAnalysisError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", cacheState(res))
 	w.Header().Set("X-Fingerprint", res.Fingerprint.String())
+	if res.Report != nil && res.Report.Degraded {
+		w.Header().Set("X-Degraded", res.Report.DegradedReason)
+	}
 	w.WriteHeader(http.StatusOK)
-	w.Write(res.Body)
+	d.writeBody(w, res.Body)
 }
 
 // admitRequest / admitTask are the wire shape of /v1/admit: one sporadic
@@ -283,29 +469,28 @@ func decodeAdmitRequest(body []byte, maxTasks int) (hetrta.Taskset, error) {
 	return ts, nil
 }
 
-func handleAdmit(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
-	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+func (d *daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
+	body, ok := d.readBody(w, r)
+	if !ok {
 		return
 	}
-	ts, err := decodeAdmitRequest(body, cfg.maxBatch)
+	ts, err := decodeAdmitRequest(body, d.cfg.maxBatch)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		d.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	ctx, cancel := requestCtx(r, cfg)
+	ctx, cancel := d.requestCtx(r)
 	defer cancel()
-	res, err := svc.Admit(ctx, ts)
+	res, err := d.svc.Admit(ctx, ts)
 	if err != nil {
-		writeAnalysisError(w, r, err)
+		d.writeAnalysisError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Cache", admitCacheState(res))
 	w.Header().Set("X-Taskset-Fingerprint", res.Fingerprint.String())
 	w.WriteHeader(http.StatusOK)
-	w.Write(res.Body)
+	d.writeBody(w, res.Body)
 }
 
 func admitCacheState(res *service.AdmitResult) string {
@@ -331,19 +516,18 @@ type batchResponse struct {
 	Reports []json.RawMessage `json:"reports"`
 }
 
-func handleBatch(svc *service.Service, cfg config, w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, cfg.maxBody))
-	if err != nil {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("reading body: %v", err))
+func (d *daemon) handleBatch(w http.ResponseWriter, r *http.Request) {
+	body, ok := d.readBody(w, r)
+	if !ok {
 		return
 	}
 	var req batchRequest
 	if err := json.Unmarshal(body, &req); err != nil {
-		httpError(w, http.StatusBadRequest, err.Error())
+		d.httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	if len(req.Graphs) > cfg.maxBatch {
-		httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("%d graphs exceed the %d per-batch limit", len(req.Graphs), cfg.maxBatch))
+	if len(req.Graphs) > d.cfg.maxBatch {
+		d.httpError(w, http.StatusRequestEntityTooLarge, fmt.Sprintf("%d graphs exceed the %d per-batch limit", len(req.Graphs), d.cfg.maxBatch))
 		return
 	}
 	graphs := make([]*hetrta.Graph, len(req.Graphs))
@@ -356,25 +540,32 @@ func handleBatch(svc *service.Service, cfg config, w http.ResponseWriter, r *htt
 		}
 		graphs[i] = g
 	}
-	ctx, cancel := requestCtx(r, cfg)
+	ctx, cancel := d.requestCtx(r)
 	defer cancel()
-	results, err := svc.AnalyzeBatch(ctx, graphs)
+	results, err := d.svc.AnalyzeBatch(ctx, graphs)
 	if err != nil {
-		writeAnalysisError(w, r, err)
+		d.writeAnalysisError(w, err)
 		return
 	}
+	degradedCount := 0
 	resp := batchResponse{Reports: make([]json.RawMessage, len(results))}
 	for i, res := range results {
 		switch {
 		case decodeErrs[i] != nil:
-			resp.Reports[i] = errorReport(svc, decodeErrs[i])
+			resp.Reports[i] = errorReport(d.svc, decodeErrs[i])
 		case res.Err != nil:
-			resp.Reports[i] = errorReport(svc, res.Err)
+			resp.Reports[i] = errorReport(d.svc, res.Err)
 		default:
+			if res.Report != nil && res.Report.Degraded {
+				degradedCount++
+			}
 			resp.Reports[i] = res.Body
 		}
 	}
-	writeJSON(w, http.StatusOK, resp)
+	// Batch callers get the degraded tally up front; each affected item
+	// also carries its own "degraded"/"degradedReason" fields inline.
+	w.Header().Set("X-Degraded-Count", strconv.Itoa(degradedCount))
+	d.writeJSON(w, http.StatusOK, resp)
 }
 
 // errorReport renders a per-item failure in the Report wire schema
@@ -399,26 +590,55 @@ func cacheState(res *service.Result) string {
 	}
 }
 
-func writeAnalysisError(w http.ResponseWriter, r *http.Request, err error) {
+func (d *daemon) writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
+	case errors.Is(err, resilience.ErrOverloaded):
+		w.Header().Set("Retry-After", retryAfterSeconds(d.svc.RetryAfter()))
+		d.httpError(w, http.StatusTooManyRequests, "overloaded, retry later")
 	case errors.Is(err, context.DeadlineExceeded):
-		httpError(w, http.StatusGatewayTimeout, "analysis timed out")
+		d.httpError(w, http.StatusGatewayTimeout, "analysis timed out")
 	case errors.Is(err, context.Canceled):
 		// The client is gone; the status is moot but 499-style closing is
 		// conventional (no stdlib constant, use 408).
-		httpError(w, http.StatusRequestTimeout, "request cancelled")
+		d.httpError(w, http.StatusRequestTimeout, "request cancelled")
 	default:
-		httpError(w, http.StatusUnprocessableEntity, err.Error())
+		d.httpError(w, http.StatusUnprocessableEntity, err.Error())
 	}
 }
 
-func httpError(w http.ResponseWriter, code int, msg string) {
-	writeJSON(w, code, map[string]string{"error": msg})
+// retryAfterSeconds renders a backoff as the Retry-After header's
+// delta-seconds form, rounding up so a sub-second hint never becomes 0
+// ("retry immediately").
+func retryAfterSeconds(dur time.Duration) string {
+	secs := int64((dur + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	return strconv.FormatInt(secs, 10)
 }
 
-func writeJSON(w http.ResponseWriter, code int, v any) {
+func (d *daemon) httpError(w http.ResponseWriter, code int, msg string) {
+	d.writeJSON(w, code, map[string]string{"error": msg})
+}
+
+func (d *daemon) writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.Encode(v)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		d.noteWriteError(err)
+	}
+}
+
+// writeBody writes pre-serialized response bytes, counting (not masking)
+// failures: by this point the status line is sent, so all that is left is
+// observability.
+func (d *daemon) writeBody(w http.ResponseWriter, body []byte) {
+	if _, err := w.Write(body); err != nil {
+		d.noteWriteError(err)
+	}
+}
+
+func (d *daemon) noteWriteError(err error) {
+	d.writeErrs.Add(1)
+	fmt.Fprintln(d.errw, "dagrtad: writing response:", err)
 }

@@ -15,7 +15,7 @@ import (
 	"time"
 
 	hetrta "repro"
-	"repro/internal/service"
+	"repro/internal/resilience/faultinject"
 	"repro/internal/taskgen"
 )
 
@@ -38,37 +38,61 @@ func (s *syncBuffer) String() string {
 
 var listenRe = regexp.MustCompile(`listening on ([^ ]+)`)
 
-// startDaemon runs the real daemon main loop on an ephemeral port and
-// returns its base URL plus a graceful-shutdown func.
-func startDaemon(t *testing.T, args ...string) string {
+// daemonHandle is a launched daemon the test controls directly: cancel
+// triggers shutdown, done carries the exit code, out the daemon's stdout.
+type daemonHandle struct {
+	base   string
+	cancel context.CancelFunc
+	done   chan int
+	out    *syncBuffer
+}
+
+// launchDaemon runs the real daemon main loop on an ephemeral port
+// (optionally with a fault injector armed) and hands the caller control
+// over shutdown. Most tests want startDaemon, which registers a
+// clean-exit cleanup.
+func launchDaemon(t *testing.T, inj *faultinject.Injector, args ...string) *daemonHandle {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
-	out := &syncBuffer{}
-	done := make(chan int, 1)
+	h := &daemonHandle{cancel: cancel, done: make(chan int, 1), out: &syncBuffer{}}
 	go func() {
-		done <- run(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, os.Stderr)
+		h.done <- runWith(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), h.out, os.Stderr, inj)
 	}()
 
 	var addr string
 	deadline := time.Now().Add(10 * time.Second)
 	for time.Now().Before(deadline) {
-		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+		if m := listenRe.FindStringSubmatch(h.out.String()); m != nil {
 			addr = m[1]
 			break
 		}
 		select {
-		case code := <-done:
-			t.Fatalf("daemon exited early with code %d: %s", code, out.String())
+		case code := <-h.done:
+			t.Fatalf("daemon exited early with code %d: %s", code, h.out.String())
 		case <-time.After(2 * time.Millisecond):
 		}
 	}
 	if addr == "" {
-		t.Fatalf("daemon never reported its address: %q", out.String())
+		t.Fatalf("daemon never reported its address: %q", h.out.String())
 	}
+	h.base = "http://" + addr
+	return h
+}
+
+// startDaemon runs the daemon and returns its base URL; shutdown (clean,
+// exit 0) is checked in cleanup.
+func startDaemon(t *testing.T, args ...string) string {
+	return startDaemonInj(t, nil, args...)
+}
+
+// startDaemonInj is startDaemon with a fault injector armed.
+func startDaemonInj(t *testing.T, inj *faultinject.Injector, args ...string) string {
+	t.Helper()
+	h := launchDaemon(t, inj, args...)
 	t.Cleanup(func() {
-		cancel()
+		h.cancel()
 		select {
-		case code := <-done:
+		case code := <-h.done:
 			if code != 0 {
 				t.Errorf("daemon exited with code %d", code)
 			}
@@ -76,7 +100,7 @@ func startDaemon(t *testing.T, args ...string) string {
 			t.Error("daemon did not shut down within the grace period")
 		}
 	})
-	return "http://" + addr
+	return h.base
 }
 
 func taskJSON(t *testing.T, build func(g *hetrta.Graph)) []byte {
@@ -126,14 +150,14 @@ func post(t *testing.T, url string, body []byte) (*http.Response, []byte) {
 	return resp, data
 }
 
-func getStats(t *testing.T, base string) service.Stats {
+func getStats(t *testing.T, base string) statsResponse {
 	t.Helper()
 	resp, err := http.Get(base + "/statsz")
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer resp.Body.Close()
-	var st service.Stats
+	var st statsResponse
 	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
 		t.Fatal(err)
 	}
@@ -374,6 +398,8 @@ func TestFlagErrors(t *testing.T) {
 		{"-exact-poll", "64"}, // requires -exact
 		{"-exact", "-budget", "-1"},
 		{"-exact", "-exact-poll", "-1"},
+		{"-exact-slice", "50ms"}, // requires -exact
+		{"-exact", "-exact-slice", "-1s"},
 	} {
 		out := &syncBuffer{}
 		if code := run(context.Background(), append([]string{"-addr", "127.0.0.1:0"}, args...), out, out); code != 2 {

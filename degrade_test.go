@@ -1,0 +1,193 @@
+package hetrta_test
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	hetrta "repro"
+)
+
+// threeParallel builds the smallest deterministic hard-ish instance: three
+// independent WCET-3 jobs on two host cores. The list-scheduling incumbent
+// (6) beats the root lower bound (ceil(9/2) = 5), so the exact search must
+// branch and a 1-expansion budget exhausts immediately.
+func threeParallel() *hetrta.Graph {
+	g := hetrta.NewGraph()
+	g.AddNode("a", 3, hetrta.Host)
+	g.AddNode("b", 3, hetrta.Host)
+	g.AddNode("c", 3, hetrta.Host)
+	return g
+}
+
+func TestDegradeBudgetExhaustion(t *testing.T) {
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactOptions(hetrta.ExactOptions{MaxExpansions: 1}),
+		hetrta.WithDegradation(hetrta.DegradeOptions{}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), threeParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.DegradedReason != hetrta.DegradedExactBudget {
+		t.Fatalf("degraded = %v / %q, want budget exhaustion", rep.Degraded, rep.DegradedReason)
+	}
+	// Budget exhaustion keeps the (safe, unproven) exact bracket.
+	if rep.Exact == nil || rep.Exact.Status != "feasible" || rep.Exact.Makespan != 6 || rep.Exact.LowerBound != 5 {
+		t.Fatalf("exact section = %+v, want feasible 6 / LB 5", rep.Exact)
+	}
+}
+
+func TestNoDegradationKeepsOldBehavior(t *testing.T) {
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactOptions(hetrta.ExactOptions{MaxExpansions: 1}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), threeParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Degraded || rep.DegradedReason != "" {
+		t.Fatalf("report marked degraded without WithDegradation: %v / %q", rep.Degraded, rep.DegradedReason)
+	}
+}
+
+func TestDegradeExactSliceExpiry(t *testing.T) {
+	// An instance whose exact search runs far longer than the slice: the
+	// stage's private deadline expires, and with degradation on the report
+	// comes back bounds-only instead of failing.
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(40, 64), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactBudget(1<<40),
+		hetrta.WithDegradation(hetrta.DegradeOptions{ExactSlice: 10 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := an.Analyze(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.DegradedReason != hetrta.DegradedExactDeadline {
+		t.Fatalf("degraded = %v / %q, want slice expiry", rep.Degraded, rep.DegradedReason)
+	}
+	if rep.Exact != nil {
+		t.Fatalf("slice expiry must drop the exact section, got %+v", rep.Exact)
+	}
+	if len(rep.Bounds) == 0 {
+		t.Fatal("degraded report lost its bounds")
+	}
+}
+
+func TestDegradeCallerDeadlineStillFails(t *testing.T) {
+	// Degradation only absorbs the stage's own slice. When the caller's
+	// context expires, Analyze must still fail — the client is gone.
+	gen, err := hetrta.NewGenerator(hetrta.SmallTasks(40, 64), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactBudget(1<<40),
+		hetrta.WithDegradation(hetrta.DegradeOptions{ExactSlice: time.Hour}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	_, err = an.Analyze(ctx, g)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("err = %v, want the caller's DeadlineExceeded", err)
+	}
+}
+
+func TestBoundsOnlyVariant(t *testing.T) {
+	an, err := hetrta.NewAnalyzer(
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactBudget(0),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !an.ExactEnabled() {
+		t.Fatal("ExactEnabled() = false with WithExactBudget configured")
+	}
+	deg := an.BoundsOnly(hetrta.DegradedBreakerOpen)
+	if deg.ExactEnabled() {
+		t.Fatal("BoundsOnly variant still has the exact stage on")
+	}
+	if an == deg || !an.ExactEnabled() {
+		t.Fatal("BoundsOnly mutated its receiver")
+	}
+	rep, err := deg.Analyze(context.Background(), threeParallel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Degraded || rep.DegradedReason != hetrta.DegradedBreakerOpen {
+		t.Fatalf("degraded = %v / %q, want forced breaker-open", rep.Degraded, rep.DegradedReason)
+	}
+	if rep.Exact != nil {
+		t.Fatalf("bounds-only report carries an exact section: %+v", rep.Exact)
+	}
+	if len(rep.Bounds) == 0 {
+		t.Fatal("bounds-only report lost its bounds")
+	}
+}
+
+func TestDegradeSignatureComponents(t *testing.T) {
+	base, err := hetrta.NewAnalyzer(hetrta.WithExactBudget(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sliced, err := hetrta.NewAnalyzer(
+		hetrta.WithExactBudget(0),
+		hetrta.WithDegradation(hetrta.DegradeOptions{ExactSlice: 50 * time.Millisecond}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.Signature() == sliced.Signature() {
+		t.Fatal("degradation slice does not show in Signature")
+	}
+	if !strings.Contains(sliced.Signature(), ";degrade=") {
+		t.Fatalf("signature %q lacks degrade component", sliced.Signature())
+	}
+	forced := base.BoundsOnly(hetrta.DegradedHardInstance)
+	if forced.Signature() == base.Signature() {
+		t.Fatal("forced degradation does not show in Signature")
+	}
+	if !strings.Contains(forced.Signature(), ";forced=hard-instance") {
+		t.Fatalf("signature %q lacks forced component", forced.Signature())
+	}
+}
+
+func TestDegradeOptionValidation(t *testing.T) {
+	_, err := hetrta.NewAnalyzer(
+		hetrta.WithDegradation(hetrta.DegradeOptions{ExactSlice: -time.Second}),
+	)
+	if err == nil {
+		t.Fatal("negative ExactSlice accepted")
+	}
+}

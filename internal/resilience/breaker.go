@@ -1,0 +1,147 @@
+package resilience
+
+import "sync"
+
+// BreakerOptions configure a Breaker.
+type BreakerOptions struct {
+	// FailureThreshold is how many consecutive full-analysis failures
+	// (degradations, exact-stage timeouts) open the breaker; <= 0 means
+	// DefaultFailureThreshold.
+	FailureThreshold int
+	// ProbeEvery is, while the breaker is open, how many Allow calls pass
+	// between half-open probes (the probe itself is allowed through);
+	// <= 0 means DefaultProbeEvery.
+	ProbeEvery uint64
+}
+
+// Defaults for BreakerOptions zero values.
+const (
+	DefaultFailureThreshold = 5
+	DefaultProbeEvery       = 16
+)
+
+// Breaker is a circuit breaker for the exact-oracle stage. It is
+// deliberately clock-free: opening happens after FailureThreshold
+// consecutive failures, and while open every ProbeEvery-th Allow call is
+// let through as a half-open probe whose outcome closes or re-arms the
+// breaker. Counting requests instead of elapsed time keeps chaos tests
+// deterministic — the Nth request behaves identically on every run. A nil
+// *Breaker is valid and always allows.
+type Breaker struct {
+	mu          sync.Mutex
+	threshold   int
+	probeEvery  uint64
+	consecutive int
+	open        bool
+	sinceOpen   uint64
+
+	opens    uint64
+	probes   uint64
+	rejected uint64
+}
+
+// NewBreaker builds a breaker from opts.
+func NewBreaker(opts BreakerOptions) *Breaker {
+	threshold := opts.FailureThreshold
+	if threshold <= 0 {
+		threshold = DefaultFailureThreshold
+	}
+	probeEvery := opts.ProbeEvery
+	if probeEvery == 0 {
+		probeEvery = DefaultProbeEvery
+	}
+	return &Breaker{threshold: threshold, probeEvery: probeEvery}
+}
+
+// Allow reports whether a full analysis attempt may proceed. While the
+// breaker is open it returns false except for the periodic half-open
+// probe. The fast (closed) path is allocation-free.
+//
+//hetrta:hotpath
+func (b *Breaker) Allow() bool {
+	if b == nil {
+		return true
+	}
+	b.mu.Lock()
+	if !b.open {
+		b.mu.Unlock()
+		return true
+	}
+	b.sinceOpen++
+	if b.sinceOpen%b.probeEvery == 0 {
+		b.probes++
+		b.mu.Unlock()
+		return true
+	}
+	b.rejected++
+	b.mu.Unlock()
+	return false
+}
+
+// Success records a completed full analysis: the failure streak resets and
+// an open breaker closes (a probe came back healthy).
+func (b *Breaker) Success() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive = 0
+	b.open = false
+	b.sinceOpen = 0
+	b.mu.Unlock()
+}
+
+// Failure records a failed or degraded full analysis; FailureThreshold
+// consecutive ones open the breaker, and a failing probe re-arms the probe
+// interval.
+func (b *Breaker) Failure() {
+	if b == nil {
+		return
+	}
+	b.mu.Lock()
+	b.consecutive++
+	if b.consecutive >= b.threshold {
+		if !b.open {
+			b.opens++
+		}
+		b.open = true
+		b.sinceOpen = 0
+	}
+	b.mu.Unlock()
+}
+
+// Open reports whether the breaker is currently open.
+func (b *Breaker) Open() bool {
+	if b == nil {
+		return false
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.open
+}
+
+// BreakerStats is a point-in-time snapshot of the breaker.
+type BreakerStats struct {
+	// State is "closed" or "open".
+	State string `json:"state"`
+	// Opens counts closed-to-open transitions; Probes the half-open
+	// attempts let through while open; Rejected the Allow calls answered
+	// false.
+	Opens    uint64 `json:"opens"`
+	Probes   uint64 `json:"probes"`
+	Rejected uint64 `json:"rejected"`
+}
+
+// Stats returns a snapshot of the breaker counters. Nil-safe.
+func (b *Breaker) Stats() BreakerStats {
+	if b == nil {
+		return BreakerStats{State: "closed"}
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	st := BreakerStats{State: "closed", Opens: b.opens, Probes: b.probes, Rejected: b.rejected}
+	if b.open {
+		st.State = "open"
+	}
+	return st
+}

@@ -1,0 +1,207 @@
+// Package faultinject provides deterministic, seeded fault-injection
+// seams for the serving layer. An Injector is threaded into
+// internal/service (and the daemon's handler middleware) as a test option
+// only — production builds pass nil, which makes every hook a single
+// pointer comparison. Faults fire on deterministic hit counts derived
+// from explicit rules or from a seed, never from wall time or global
+// randomness, so a chaos schedule replays identically on every run: the
+// suite can assert serving invariants (failures never cached,
+// single-flight exactly-once, byte-identical repeats, panic containment)
+// under the exact same interleaving pressure each time.
+package faultinject
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Point names one injection seam in the serving path.
+type Point uint8
+
+const (
+	// Exec fires immediately before the analyzer (or taskset analyzer)
+	// executes a cache miss — the oracle-latency/error/panic seam.
+	Exec Point = iota
+	// CacheGet and CacheAdd fire on report-cache shard lookups and
+	// inserts (latency and panic faults; an error fault at CacheGet is a
+	// forced miss, at CacheAdd a dropped insert).
+	CacheGet
+	CacheAdd
+	// Handler fires at the top of every HTTP request, inside the
+	// daemon's recovery middleware — the handler-panic seam.
+	Handler
+	numPoints
+)
+
+// String returns the point's schedule-spec name.
+func (p Point) String() string {
+	switch p {
+	case Exec:
+		return "exec"
+	case CacheGet:
+		return "cacheget"
+	case CacheAdd:
+		return "cacheadd"
+	case Handler:
+		return "handler"
+	}
+	return fmt.Sprintf("point(%d)", uint8(p))
+}
+
+// Rule arms one fault at one point. The rule fires on the hits h
+// (1-based per-point counters) with (h+Offset) % Every == 0, at most
+// Count times (0 = unlimited). When it fires, the injector first sleeps
+// Latency, then panics (Panic) or returns Err; a latency-only rule is a
+// pure slowdown.
+type Rule struct {
+	Point   Point
+	Every   uint64 // 0 is treated as 1 (every hit)
+	Offset  uint64
+	Count   uint64
+	Latency time.Duration
+	Err     error
+	Panic   bool
+}
+
+// PanicValue is what an injected panic carries, so recovery middleware
+// and chaos tests can tell injected panics from genuine bugs.
+type PanicValue struct {
+	Point Point
+	Hit   uint64
+}
+
+func (p PanicValue) String() string {
+	return fmt.Sprintf("faultinject: injected panic at %s (hit %d)", p.Point, p.Hit)
+}
+
+// Injector evaluates rules at every Fire call. Safe for concurrent use; a
+// nil *Injector is valid and never fires.
+type Injector struct {
+	mu    sync.Mutex
+	rules []ruleState
+	hits  [numPoints]uint64
+
+	latencies uint64
+	errors    uint64
+	panics    uint64
+}
+
+type ruleState struct {
+	Rule
+	fired uint64
+}
+
+// New builds an injector from explicit rules.
+func New(rules ...Rule) *Injector {
+	in := &Injector{rules: make([]ruleState, len(rules))}
+	for i, r := range rules {
+		if r.Every == 0 {
+			r.Every = 1
+		}
+		in.rules[i] = ruleState{Rule: r}
+	}
+	return in
+}
+
+// Seeded derives a pseudo-random but fully deterministic schedule from
+// seed: for each requested point it arms a latency rule, an error rule,
+// and a panic rule with small seed-derived periods and offsets. Two
+// injectors built from the same seed and points fire identically.
+func Seeded(seed uint64, points ...Point) *Injector {
+	var rules []Rule
+	s := seed
+	next := func(mod uint64) uint64 {
+		// splitmix64: cheap, deterministic, well-mixed.
+		s += 0x9e3779b97f4a7c15
+		z := s
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		z ^= z >> 31
+		return z % mod
+	}
+	for _, p := range points {
+		rules = append(rules,
+			Rule{Point: p, Every: 2 + next(5), Offset: next(7), Latency: time.Duration(1+next(3)) * time.Millisecond},
+			Rule{Point: p, Every: 3 + next(6), Offset: next(11), Err: ErrInjected},
+			Rule{Point: p, Every: 5 + next(9), Offset: next(13), Panic: true},
+		)
+	}
+	return New(rules...)
+}
+
+// ErrInjected is the error value Seeded schedules return; explicit rules
+// may carry any error.
+var ErrInjected = fmt.Errorf("faultinject: injected error")
+
+// Fire advances point p's hit counter and applies every armed rule that
+// matches it: latency first (sleeps outside the injector lock), then
+// panic, then error. Returns nil when nothing fires. Nil-safe.
+func (in *Injector) Fire(p Point) error {
+	if in == nil {
+		return nil
+	}
+	var (
+		latency time.Duration
+		err     error
+		doPanic bool
+	)
+	in.mu.Lock()
+	in.hits[p]++
+	hit := in.hits[p]
+	for i := range in.rules {
+		r := &in.rules[i]
+		if r.Point != p || (hit+r.Offset)%r.Every != 0 {
+			continue
+		}
+		if r.Count > 0 && r.fired >= r.Count {
+			continue
+		}
+		r.fired++
+		if r.Latency > latency {
+			latency = r.Latency
+		}
+		if r.Panic {
+			doPanic = true
+		}
+		if r.Err != nil && err == nil {
+			err = r.Err
+		}
+	}
+	if latency > 0 {
+		in.latencies++
+	}
+	if doPanic {
+		in.panics++
+	} else if err != nil {
+		in.errors++
+	}
+	in.mu.Unlock()
+
+	if latency > 0 {
+		time.Sleep(latency)
+	}
+	if doPanic {
+		panic(PanicValue{Point: p, Hit: hit})
+	}
+	return err
+}
+
+// Stats reports how many faults of each kind have fired.
+type Stats struct {
+	Latencies uint64 `json:"latencies"`
+	Errors    uint64 `json:"errors"`
+	Panics    uint64 `json:"panics"`
+	// Hits is the per-point Fire count, indexed by Point.
+	Hits [numPoints]uint64 `json:"hits"`
+}
+
+// Stats returns a snapshot of fired faults. Nil-safe.
+func (in *Injector) Stats() Stats {
+	if in == nil {
+		return Stats{}
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return Stats{Latencies: in.latencies, Errors: in.errors, Panics: in.panics, Hits: in.hits}
+}

@@ -1,0 +1,132 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestRuleFiresOnSchedule(t *testing.T) {
+	boom := errors.New("boom")
+	in := New(Rule{Point: Exec, Every: 3, Err: boom})
+	// Hits 1,2 clean; 3 fires; 4,5 clean; 6 fires.
+	want := []bool{false, false, true, false, false, true}
+	for i, w := range want {
+		err := in.Fire(Exec)
+		if (err != nil) != w {
+			t.Fatalf("hit %d: err = %v, want firing=%v", i+1, err, w)
+		}
+		if w && !errors.Is(err, boom) {
+			t.Fatalf("hit %d: err = %v, want boom", i+1, err)
+		}
+	}
+	if st := in.Stats(); st.Errors != 2 || st.Hits[Exec] != 6 {
+		t.Fatalf("stats = %+v, want 2 errors / 6 hits", st)
+	}
+}
+
+func TestRuleOffsetAndCount(t *testing.T) {
+	in := New(Rule{Point: CacheGet, Every: 2, Offset: 1, Count: 2, Err: ErrInjected})
+	// (hit+1)%2==0 → fires on odd hits 1,3; Count 2 stops it afterwards.
+	var fired []int
+	for h := 1; h <= 8; h++ {
+		if in.Fire(CacheGet) != nil {
+			fired = append(fired, h)
+		}
+	}
+	if len(fired) != 2 || fired[0] != 1 || fired[1] != 3 {
+		t.Fatalf("fired on hits %v, want [1 3]", fired)
+	}
+}
+
+func TestPointsAreIndependent(t *testing.T) {
+	in := New(Rule{Point: Exec, Every: 1, Err: ErrInjected})
+	if err := in.Fire(Handler); err != nil {
+		t.Fatalf("Handler hit fired an Exec rule: %v", err)
+	}
+	if err := in.Fire(Exec); err == nil {
+		t.Fatal("Exec rule did not fire")
+	}
+}
+
+func TestInjectedPanicCarriesPoint(t *testing.T) {
+	in := New(Rule{Point: Handler, Every: 1, Panic: true})
+	defer func() {
+		rec := recover()
+		pv, ok := rec.(PanicValue)
+		if !ok {
+			t.Fatalf("panic value = %#v, want PanicValue", rec)
+		}
+		if pv.Point != Handler || pv.Hit != 1 {
+			t.Fatalf("panic value = %+v", pv)
+		}
+		if st := in.Stats(); st.Panics != 1 {
+			t.Fatalf("stats = %+v, want 1 panic", st)
+		}
+	}()
+	in.Fire(Handler)
+	t.Fatal("Fire returned instead of panicking")
+}
+
+func TestLatencyRuleSleeps(t *testing.T) {
+	in := New(Rule{Point: Exec, Every: 1, Latency: 20 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire(Exec); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 15*time.Millisecond {
+		t.Fatalf("latency fault slept only %v", elapsed)
+	}
+	if st := in.Stats(); st.Latencies != 1 {
+		t.Fatalf("stats = %+v, want 1 latency", st)
+	}
+}
+
+// TestSeededIsDeterministic replays the same seed twice over the same hit
+// sequence and requires identical fault behavior — the property every
+// chaos test leans on.
+func TestSeededIsDeterministic(t *testing.T) {
+	run := func() []string {
+		in := Seeded(42, Exec, CacheGet, Handler)
+		var trace []string
+		for i := 0; i < 200; i++ {
+			for _, p := range []Point{Exec, CacheGet, Handler} {
+				func() {
+					defer func() {
+						if rec := recover(); rec != nil {
+							trace = append(trace, "panic:"+p.String())
+						}
+					}()
+					if err := in.Fire(p); err != nil {
+						trace = append(trace, "err:"+p.String())
+					}
+				}()
+			}
+		}
+		return trace
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %q vs %q", i, a[i], b[i])
+		}
+	}
+	if len(a) == 0 {
+		t.Fatal("seeded schedule fired nothing in 200 rounds")
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	for p := Point(0); p < numPoints; p++ {
+		if err := in.Fire(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st := in.Stats(); st != (Stats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+}

@@ -1,0 +1,200 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestLimiterUncontended(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Capacity: 4, MaxQueue: 2})
+	ctx := context.Background()
+	for i := 0; i < 10; i++ {
+		if err := l.Acquire(ctx, 1); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		l.Release(1)
+	}
+	st := l.Stats()
+	if st.Admitted != 10 || st.Shed != 0 || st.Queued != 0 || st.InUse != 0 {
+		t.Fatalf("stats = %+v, want 10 admitted, nothing shed/queued/held", st)
+	}
+}
+
+func TestLimiterCostClamped(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Capacity: 2, MaxQueue: 0})
+	// A cost above capacity must clamp rather than never being satisfiable.
+	if err := l.Acquire(context.Background(), 100); err != nil {
+		t.Fatalf("oversized cost not clamped: %v", err)
+	}
+	if st := l.Stats(); st.InUse != 2 {
+		t.Fatalf("inUse = %d, want clamped 2", st.InUse)
+	}
+	l.Release(100)
+	if st := l.Stats(); st.InUse != 0 {
+		t.Fatalf("inUse = %d after release, want 0", st.InUse)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Capacity: 1, MaxQueue: 1})
+	ctx := context.Background()
+	if err := l.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	// One waiter fits in the queue.
+	waiterErr := make(chan error, 1)
+	go func() {
+		waiterErr <- l.Acquire(ctx, 1)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The queue is now full: the next acquisition is shed immediately.
+	if err := l.Acquire(ctx, 1); !errors.Is(err, ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	if !l.Saturated() {
+		t.Fatal("limiter with full queue and no free units not Saturated")
+	}
+
+	l.Release(1)
+	if err := <-waiterErr; err != nil {
+		t.Fatalf("queued waiter failed: %v", err)
+	}
+	l.Release(1)
+	st := l.Stats()
+	if st.Shed != 1 || st.Queued != 1 || st.Admitted != 2 {
+		t.Fatalf("stats = %+v, want 1 shed / 1 queued / 2 admitted", st)
+	}
+}
+
+func TestLimiterQueueIsFIFO(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Capacity: 1, MaxQueue: 8})
+	ctx := context.Background()
+	if err := l.Acquire(ctx, 1); err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 4
+	order := make(chan int, waiters)
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := l.Acquire(ctx, 1); err != nil {
+				t.Errorf("waiter %d: %v", i, err)
+				return
+			}
+			order <- i
+			l.Release(1)
+		}(i)
+		// Serialize enqueue order so FIFO is observable.
+		deadline := time.Now().Add(5 * time.Second)
+		for l.Stats().QueueDepth != i+1 {
+			if time.Now().After(deadline) {
+				t.Fatalf("waiter %d never queued", i)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+	l.Release(1)
+	wg.Wait()
+	close(order)
+	prev := -1
+	for got := range order {
+		if got != prev+1 {
+			t.Fatalf("grant order broke FIFO: got %d after %d", got, prev)
+		}
+		prev = got
+	}
+}
+
+func TestLimiterCancelledWaiterLeavesQueue(t *testing.T) {
+	l := NewLimiter(LimiterOptions{Capacity: 1, MaxQueue: 4})
+	if err := l.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	waiterErr := make(chan error, 1)
+	go func() { waiterErr <- l.Acquire(ctx, 1) }()
+	deadline := time.Now().Add(5 * time.Second)
+	for l.Stats().QueueDepth == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("waiter never queued")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	if err := <-waiterErr; !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if st := l.Stats(); st.QueueDepth != 0 {
+		t.Fatalf("queueDepth = %d after cancellation, want 0", st.QueueDepth)
+	}
+	// Accounting must be intact: the unit is still grantable.
+	l.Release(1)
+	if err := l.Acquire(context.Background(), 1); err != nil {
+		t.Fatalf("acquire after cancelled waiter: %v", err)
+	}
+}
+
+func TestLimiterNilIsUnlimited(t *testing.T) {
+	var l *Limiter
+	for i := 0; i < 100; i++ {
+		if err := l.Acquire(context.Background(), 10); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l.Release(10)
+	if l.Saturated() {
+		t.Fatal("nil limiter reports saturated")
+	}
+	if st := l.Stats(); st != (LimiterStats{}) {
+		t.Fatalf("nil stats = %+v, want zero", st)
+	}
+	if l.RetryAfter() != 0 {
+		t.Fatal("nil RetryAfter != 0")
+	}
+}
+
+// TestLimiterFastPathDoesNotAllocate pins the uncontended hot path at zero
+// allocations per acquire/release pair — the //hetrta:hotpath contract the
+// benchreport gate relies on.
+func TestLimiterFastPathDoesNotAllocate(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is perturbed under -race")
+	}
+	l := NewLimiter(LimiterOptions{Capacity: 8, MaxQueue: 4})
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := l.Acquire(ctx, 2); err != nil {
+			t.Fatal(err)
+		}
+		l.Release(2)
+	})
+	if allocs != 0 {
+		t.Fatalf("uncontended acquire/release allocates %.1f per op, want 0", allocs)
+	}
+}
+
+func BenchmarkLimiterUncontended(b *testing.B) {
+	l := NewLimiter(LimiterOptions{Capacity: 8, MaxQueue: 4})
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := l.Acquire(ctx, 1); err != nil {
+			b.Fatal(err)
+		}
+		l.Release(1)
+	}
+}

@@ -17,6 +17,20 @@ type entry struct {
 	report *hetrta.Report
 	admit  *hetrta.AdmitReport
 	body   []byte
+	// cacheKey, when non-empty, overrides the flight key at insert time: a
+	// full attempt that came back degraded publishes normally to its
+	// flight's waiters but is cached under the "deg|" namespace, so full
+	// keys only ever hold non-degraded reports.
+	cacheKey string
+}
+
+// storeKey is the key this entry is cached under when its flight ran under
+// flightKey.
+func (e *entry) storeKey(flightKey string) string {
+	if e.cacheKey != "" {
+		return e.cacheKey
+	}
+	return flightKey
 }
 
 // cache is a sharded LRU over string keys. Sharding keeps the lock a
@@ -106,6 +120,19 @@ func (c *cache) add(key string, val *entry) {
 		}
 	}
 	s.items[key] = s.lru.PushFront(&lruItem{key: key, val: val})
+}
+
+// remove deletes key if present (the degraded-entry upgrade path: a
+// successful full analysis invalidates the fingerprint's stale degraded
+// results).
+func (c *cache) remove(key string) {
+	s := c.shardFor(key)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if el, ok := s.items[key]; ok {
+		s.lru.Remove(el)
+		delete(s.items, key)
+	}
 }
 
 // len returns the number of cached entries across all shards.

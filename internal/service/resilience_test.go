@@ -1,0 +1,421 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"sync"
+	"testing"
+
+	hetrta "repro"
+	"repro/internal/resilience"
+)
+
+// parallel3 builds the smallest deterministic hard instance for a
+// 1-expansion exact budget: three independent WCET-3 jobs on two host
+// cores (incumbent 6 beats the root lower bound 5, so the search must
+// branch and immediately exhausts its budget).
+func parallel3(t *testing.T) *hetrta.Graph {
+	t.Helper()
+	g := hetrta.NewGraph()
+	g.AddNode("a", 3, hetrta.Host)
+	g.AddNode("b", 3, hetrta.Host)
+	g.AddNode("c", 3, hetrta.Host)
+	return g
+}
+
+// degradingAnalyzer are the analyzer options every resilience test uses:
+// exact stage with a 1-expansion budget plus degradation, on a 2-core
+// platform. chainGraph solves at the root (Optimal); parallel3 degrades.
+func degradingAnalyzer() []hetrta.Option {
+	return []hetrta.Option{
+		hetrta.WithPlatform(hetrta.HeteroPlatform(2)),
+		hetrta.WithExactOptions(hetrta.ExactOptions{MaxExpansions: 1}),
+		hetrta.WithDegradation(hetrta.DegradeOptions{}),
+	}
+}
+
+func TestDegradedResultCachedSeparatelyAndRouted(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Breaker:   resilience.BreakerOptions{FailureThreshold: 100},
+			HardCache: resilience.NegCacheOptions{ProbeEvery: -1},
+		},
+	}, degradingAnalyzer()...)
+	ctx := context.Background()
+
+	// Full attempt: budget exhausts, report is degraded, fingerprint
+	// becomes a hard instance.
+	r1, err := s.Analyze(ctx, parallel3(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Report.Degraded || r1.Report.DegradedReason != hetrta.DegradedExactBudget {
+		t.Fatalf("first result degraded = %v / %q, want budget exhaustion", r1.Report.Degraded, r1.Report.DegradedReason)
+	}
+	if r1.Hit {
+		t.Fatal("first request reported a hit")
+	}
+
+	// Second request routes around the exact stage (hard instance) and is
+	// served the cached degraded result, byte-identical.
+	r2, err := s.Analyze(ctx, parallel3(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("routed request missed the degraded cache")
+	}
+	if !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("degraded bodies differ:\n%s\n%s", r1.Body, r2.Body)
+	}
+
+	// The full key must NOT hold the degraded entry: its namespace is
+	// disjoint by construction.
+	if _, ok := s.cache.get(s.keyOf(r1.Fingerprint)); ok {
+		t.Fatal("degraded report cached under the full key")
+	}
+	if _, ok := s.cache.get(s.degFullKey(r1.Fingerprint)); !ok {
+		t.Fatal("degraded report missing from the deg namespace")
+	}
+	st := s.Stats()
+	if st.Degraded != 2 {
+		t.Fatalf("stats.Degraded = %d, want 2", st.Degraded)
+	}
+	if st.HardInstances == nil || st.HardInstances.Entries != 1 {
+		t.Fatalf("hard-instance stats = %+v, want 1 entry", st.HardInstances)
+	}
+	// An easy graph is unaffected: full pipeline, not degraded.
+	r3, err := s.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Report.Degraded {
+		t.Fatal("easy graph degraded")
+	}
+}
+
+func TestBreakerOpensRoutesAndRecovers(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Breaker:   resilience.BreakerOptions{FailureThreshold: 1, ProbeEvery: 2},
+			HardCache: resilience.NegCacheOptions{ProbeEvery: -1},
+		},
+	}, degradingAnalyzer()...)
+	ctx := context.Background()
+
+	// One degraded full attempt opens the breaker (threshold 1).
+	if _, err := s.Analyze(ctx, parallel3(t)); err != nil {
+		t.Fatal(err)
+	}
+	if !s.breaker.Open() {
+		t.Fatal("breaker still closed after a degraded full attempt")
+	}
+
+	// While open, even an easy graph is answered bounds-only: Allow #1 is
+	// rejected (ProbeEvery 2), so this routes to the breaker variant.
+	r2, err := s.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Report.Degraded || r2.Report.DegradedReason != hetrta.DegradedBreakerOpen {
+		t.Fatalf("breaker-open result = %v / %q, want breaker-open degradation", r2.Report.Degraded, r2.Report.DegradedReason)
+	}
+	if r2.Report.Exact != nil {
+		t.Fatalf("bounds-only report carries exact section: %+v", r2.Report.Exact)
+	}
+
+	// Allow #2 is the probe: the easy graph completes the full pipeline,
+	// closing the breaker.
+	r3, err := s.Analyze(ctx, chainGraph(t, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Report.Degraded {
+		t.Fatal("probe request came back degraded")
+	}
+	if s.breaker.Open() {
+		t.Fatal("breaker still open after a clean probe")
+	}
+	// Closed again: full pipeline for new work.
+	r4, err := s.Analyze(ctx, chainGraph(t, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r4.Report.Degraded || r4.Report.Exact == nil {
+		t.Fatal("post-recovery request not served the full pipeline")
+	}
+	if st := s.Stats(); st.Breaker == nil || st.Breaker.Opens != 1 {
+		t.Fatalf("breaker stats = %+v, want 1 open", st.Breaker)
+	}
+}
+
+func TestUpgradeOnFullSuccess(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Breaker:   resilience.BreakerOptions{FailureThreshold: 100},
+			HardCache: resilience.NegCacheOptions{ProbeEvery: 2},
+		},
+	}, degradingAnalyzer()...)
+	ctx := context.Background()
+
+	// Fabricated outcomes: the full pipeline degrades once, then succeeds
+	// — the instance "got easier" (more capacity, bigger budget).
+	degRep := &hetrta.Report{Platform: s.an.Platform(), Degraded: true, DegradedReason: hetrta.DegradedExactBudget}
+	fullRep := &hetrta.Report{Platform: s.an.Platform()}
+	calls := 0
+	s.exec = func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error) {
+		calls++
+		if calls == 1 {
+			return []*hetrta.Report{degRep}, nil
+		}
+		return []*hetrta.Report{fullRep}, nil
+	}
+
+	g := parallel3(t)
+	r1, err := s.Analyze(ctx, g) // full attempt -> degraded, hard-cached
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Report.Degraded {
+		t.Fatal("fabricated degraded report lost its flag")
+	}
+	r2, err := s.Analyze(ctx, g) // ShouldSkip hit 1 -> served degraded cache
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit || !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatal("routed request not served the cached degraded body")
+	}
+	r3, err := s.Analyze(ctx, g) // ShouldSkip hit 2 -> probe -> full success
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r3.Report.Degraded {
+		t.Fatal("probe's full success still degraded")
+	}
+	if bytes.Equal(r3.Body, r1.Body) {
+		t.Fatal("full body byte-identical to degraded body")
+	}
+	// Upgraded: the hard entry and the stale degraded entries are gone,
+	// and the full result is served from the full key.
+	if s.hard.Len() != 0 {
+		t.Fatalf("hard cache still holds %d entries after upgrade", s.hard.Len())
+	}
+	if _, ok := s.cache.get(s.degFullKey(r1.Fingerprint)); ok {
+		t.Fatal("stale degraded entry survived the upgrade")
+	}
+	r4, err := s.Analyze(ctx, g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r4.Hit || !bytes.Equal(r4.Body, r3.Body) {
+		t.Fatal("post-upgrade request not served the cached full body")
+	}
+	if calls != 2 {
+		t.Fatalf("executions = %d, want 2", calls)
+	}
+}
+
+func TestLimiterShedsWhenQueueFull(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Limiter: resilience.LimiterOptions{Capacity: 1, MaxQueue: 0},
+		},
+	})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	inner := s.exec
+	s.exec = func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error) {
+		once.Do(func() { close(running) })
+		<-release
+		return inner(ctx, gs)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var err1 error
+	go func() {
+		defer wg.Done()
+		_, err1 = s.Analyze(ctx, chainGraph(t, 8))
+	}()
+	<-running
+
+	// Capacity 1 held, queue 0: the second distinct graph is shed.
+	_, err := s.Analyze(ctx, chainGraph(t, 9))
+	if !errors.Is(err, resilience.ErrOverloaded) {
+		t.Fatalf("err = %v, want ErrOverloaded", err)
+	}
+	close(release)
+	wg.Wait()
+	if err1 != nil {
+		t.Fatal(err1)
+	}
+	st := s.Stats()
+	if st.Overload == nil || st.Overload.Shed != 1 {
+		t.Fatalf("overload stats = %+v, want 1 shed", st.Overload)
+	}
+	// The shed request was never cached as a failure: retrying succeeds.
+	if _, err := s.Analyze(ctx, chainGraph(t, 9)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchMixesFullAndDegraded(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Breaker:   resilience.BreakerOptions{FailureThreshold: 100},
+			HardCache: resilience.NegCacheOptions{ProbeEvery: -1},
+		},
+	}, degradingAnalyzer()...)
+	ctx := context.Background()
+
+	gs := []*hetrta.Graph{chainGraph(t, 8), parallel3(t)}
+	res1, err := s.AnalyzeBatch(ctx, gs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res1[0].Report.Degraded {
+		t.Fatal("easy batch item degraded")
+	}
+	if !res1[1].Report.Degraded || res1[1].Report.DegradedReason != hetrta.DegradedExactBudget {
+		t.Fatalf("hard batch item = %v / %q, want budget degradation", res1[1].Report.Degraded, res1[1].Report.DegradedReason)
+	}
+
+	// Replay: the easy item hits the full cache, the hard item routes to
+	// the degraded cache; both bodies are byte-identical to round one.
+	res2, err := s.AnalyzeBatch(ctx, []*hetrta.Graph{chainGraph(t, 8), parallel3(t)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range res2 {
+		if res2[i].Err != nil {
+			t.Fatal(res2[i].Err)
+		}
+		if !res2[i].Hit {
+			t.Fatalf("replay item %d missed the cache", i)
+		}
+		if !bytes.Equal(res1[i].Body, res2[i].Body) {
+			t.Fatalf("replay item %d body differs", i)
+		}
+	}
+}
+
+func TestBatchShedPropagatesPerItem(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Limiter: resilience.LimiterOptions{Capacity: 1, MaxQueue: 0},
+		},
+	})
+	release := make(chan struct{})
+	running := make(chan struct{})
+	var once sync.Once
+	inner := s.exec
+	s.exec = func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error) {
+		once.Do(func() { close(running) })
+		<-release
+		return inner(ctx, gs)
+	}
+	ctx := context.Background()
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_, _ = s.Analyze(ctx, chainGraph(t, 8))
+	}()
+	<-running
+
+	res, err := s.AnalyzeBatch(ctx, []*hetrta.Graph{chainGraph(t, 9), chainGraph(t, 10)})
+	if err != nil {
+		t.Fatalf("batch-level error %v; sheds must be per-item", err)
+	}
+	for i, r := range res {
+		if !errors.Is(r.Err, resilience.ErrOverloaded) {
+			t.Fatalf("item %d err = %v, want ErrOverloaded", i, r.Err)
+		}
+	}
+	close(release)
+	wg.Wait()
+
+	// Nothing was cached for the shed items: a retry recomputes cleanly.
+	res, err = s.AnalyzeBatch(ctx, []*hetrta.Graph{chainGraph(t, 9), chainGraph(t, 10)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range res {
+		if r.Err != nil {
+			t.Fatalf("item %d still failing after load cleared: %v", i, r.Err)
+		}
+		if r.Hit {
+			t.Fatalf("item %d served from cache — a shed was cached", i)
+		}
+	}
+}
+
+func TestReadyReflectsWedgedState(t *testing.T) {
+	s := newTestService(t, Options{
+		Resilience: &ResilienceOptions{
+			Limiter: resilience.LimiterOptions{Capacity: 1, MaxQueue: 0},
+			Breaker: resilience.BreakerOptions{FailureThreshold: 1},
+		},
+	}, degradingAnalyzer()...)
+	if !s.Ready() {
+		t.Fatal("fresh service not ready")
+	}
+	s.breaker.Failure() // open
+	if !s.Ready() {
+		t.Fatal("open breaker alone must not flip readiness (degraded path still has slots)")
+	}
+	if err := s.limiter.Acquire(context.Background(), 1); err != nil {
+		t.Fatal(err)
+	}
+	if s.Ready() {
+		t.Fatal("open breaker + saturated limiter still ready")
+	}
+	s.limiter.Release(1)
+	if !s.Ready() {
+		t.Fatal("readiness did not recover after capacity freed")
+	}
+
+	// A service without resilience is always ready.
+	plain := newTestService(t, Options{})
+	if !plain.Ready() {
+		t.Fatal("plain service not ready")
+	}
+	if plain.RetryAfter() <= 0 {
+		t.Fatal("RetryAfter must always advertise a positive backoff")
+	}
+}
+
+func TestResilienceStatsShape(t *testing.T) {
+	plain := newTestService(t, Options{})
+	st := plain.Stats()
+	if st.Overload != nil || st.Breaker != nil || st.HardInstances != nil {
+		t.Fatalf("plain service exposes resilience stats: %+v", st)
+	}
+	s := newTestService(t, Options{Resilience: &ResilienceOptions{}}, degradingAnalyzer()...)
+	st = s.Stats()
+	if st.Overload == nil || st.Breaker == nil || st.HardInstances == nil {
+		t.Fatalf("resilient service missing stats sections: %+v", st)
+	}
+	if st.Breaker.State != "closed" {
+		t.Fatalf("fresh breaker state = %q", st.Breaker.State)
+	}
+	// Without an exact stage there is nothing to degrade: breaker off,
+	// limiter still on.
+	limOnly := newTestService(t, Options{Resilience: &ResilienceOptions{}})
+	st = limOnly.Stats()
+	if st.Overload == nil {
+		t.Fatal("limiter stats missing")
+	}
+	if st.Breaker != nil || st.HardInstances != nil {
+		t.Fatal("breaker engaged without an exact stage to protect")
+	}
+	if !strings.Contains(limOnly.Signature(), "plat=") {
+		t.Fatal("sanity: signature lost")
+	}
+}

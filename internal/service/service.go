@@ -17,6 +17,19 @@
 // Failures are never cached: a request that fails (including by its own
 // context being cancelled) leaves the key absent, and waiters whose leader
 // was cancelled retry with their own, still-live context.
+//
+// With Options.Resilience set, an overload-protection layer wraps
+// execution (cache hits always bypass it):
+//
+//   - a cost-classed concurrency limiter with a bounded wait queue sits in
+//     front of every analyzer run; when the queue is full the request is
+//     shed with resilience.ErrOverloaded (HTTP 429 + Retry-After);
+//   - a clock-free circuit breaker and a per-fingerprint hard-instance
+//     cache route requests around the exact oracle when it is struggling:
+//     routed requests get a valid bounds-only report marked Degraded;
+//   - degraded results live under a separate "deg|" cache namespace — they
+//     are never byte-identical to full reports, and a later successful
+//     full analysis upgrades the fingerprint by dropping them.
 package service
 
 import (
@@ -26,9 +39,19 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	hetrta "repro"
 	"repro/internal/dag"
+	"repro/internal/resilience"
+	"repro/internal/resilience/faultinject"
+)
+
+// Limiter cost classes: a batch of n led keys costs n units, and a taskset
+// admission — a whole-taskset analysis — costs more than one graph.
+const (
+	costAnalyze = 1
+	costAdmit   = 2
 )
 
 // Defaults for Options zero values.
@@ -49,6 +72,25 @@ type Options struct {
 	// TasksetPolicies selects the admission policies behind Admit; nil
 	// means hetrta.DefaultTasksetPolicies (federated + global).
 	TasksetPolicies []hetrta.TasksetPolicy
+	// Resilience enables the overload-protection layer (limiter, circuit
+	// breaker, hard-instance cache, degraded routing). Nil disables it
+	// entirely: the service behaves exactly as without this option.
+	Resilience *ResilienceOptions
+	// FaultInjector arms deterministic fault-injection seams (execution,
+	// cache shards) for chaos tests. Nil — the only production value —
+	// reduces every seam to a single pointer check.
+	FaultInjector *faultinject.Injector
+}
+
+// ResilienceOptions configure the overload-protection layer; zero values
+// select each primitive's defaults. The breaker, the hard-instance cache,
+// and degraded routing only engage when the wrapped Analyzer has its exact
+// stage enabled — they exist to protect that stage; the limiter always
+// engages.
+type ResilienceOptions struct {
+	Limiter   resilience.LimiterOptions
+	Breaker   resilience.BreakerOptions
+	HardCache resilience.NegCacheOptions
 }
 
 // Service serves analysis requests against one immutable Analyzer,
@@ -71,6 +113,20 @@ type Service struct {
 	coalesced  atomic.Uint64
 	failures   atomic.Uint64
 	inFlight   atomic.Int64
+	degraded   atomic.Uint64
+
+	// Overload-protection layer; every field is nil-safe, so call sites
+	// need no resilience-enabled checks. degBreaker/degHard are the
+	// bounds-only analyzer variants degraded routing executes; non-nil only
+	// when Resilience is configured AND the analyzer has an exact stage.
+	limiter    *resilience.Limiter
+	breaker    *resilience.Breaker
+	hard       *resilience.NegCache
+	degBreaker *hetrta.Analyzer
+	degHard    *hetrta.Analyzer
+	degBSig    string
+	degHSig    string
+	inj        *faultinject.Injector
 
 	// exec runs the analyzer for a slice of cache misses; a test hook that
 	// defaults to an.AnalyzeBatch, letting tests count executions.
@@ -147,6 +203,18 @@ func New(an *hetrta.Analyzer, opts Options) (*Service, error) {
 	}
 	s.exec = an.AnalyzeBatch
 	s.execAdmit = ta.Admit
+	s.inj = opts.FaultInjector
+	if r := opts.Resilience; r != nil {
+		s.limiter = resilience.NewLimiter(r.Limiter)
+		if an.ExactEnabled() {
+			s.breaker = resilience.NewBreaker(r.Breaker)
+			s.hard = resilience.NewNegCache(r.HardCache)
+			s.degBreaker = an.BoundsOnly(hetrta.DegradedBreakerOpen)
+			s.degHard = an.BoundsOnly(hetrta.DegradedHardInstance)
+			s.degBSig = s.degBreaker.Signature()
+			s.degHSig = s.degHard.Signature()
+		}
+	}
 	return s, nil
 }
 
@@ -162,6 +230,67 @@ func (s *Service) keyOf(fp dag.Fingerprint) string {
 	return fp.String() + "|" + s.sig
 }
 
+// degFullKey is where a FULL attempt's degraded outcome (exact budget or
+// slice exhausted) is cached: the "deg|" namespace keeps it disjoint from
+// full entries, so the full key only ever holds non-degraded reports and a
+// later successful analysis upgrades the fingerprint cleanly.
+func (s *Service) degFullKey(fp dag.Fingerprint) string {
+	return "deg|" + fp.String() + "|" + s.sig
+}
+
+// degVariantKey is where a routed bounds-only result is cached. The
+// variant signature embeds the forced reason, so breaker-routed and
+// hard-instance-routed bodies never collide.
+func degVariantKey(fp dag.Fingerprint, variantSig string) string {
+	return "deg|" + fp.String() + "|" + variantSig
+}
+
+// cacheGet is cache.get behind the CacheGet fault seam: an injected error
+// is a forced miss — the cache is advisory, so a faulty shard degrades to
+// recomputation, never to a wrong answer. An injected panic propagates.
+func (s *Service) cacheGet(key string) (*entry, bool) {
+	if err := s.inj.Fire(faultinject.CacheGet); err != nil {
+		return nil, false
+	}
+	return s.cache.get(key)
+}
+
+// cacheAdd is cache.add behind the CacheAdd fault seam: an injected error
+// drops the insert — correctness never depends on residency, and report
+// marshaling is deterministic, so a recomputed entry is byte-identical.
+func (s *Service) cacheAdd(key string, ent *entry) {
+	if err := s.inj.Fire(faultinject.CacheAdd); err != nil {
+		return
+	}
+	s.cache.add(key, ent)
+}
+
+// noteFullOutcome feeds the breaker and the hard-instance cache from a
+// FULL analysis attempt's outcome. Degraded reports and exact-stage
+// deadline expiries count as failures (the oracle is struggling on this
+// instance); a clean full report closes the breaker and upgrades the
+// fingerprint, dropping any stale degraded entries. Cancellations carry no
+// signal — the client hung up, the oracle may be fine.
+func (s *Service) noteFullOutcome(fp dag.Fingerprint, rep *hetrta.Report, err error) {
+	if s.breaker == nil {
+		return
+	}
+	switch {
+	case err == nil && rep != nil && !rep.Degraded:
+		s.breaker.Success()
+		s.hard.Remove(fp.String())
+		s.cache.remove(s.degFullKey(fp))
+		s.cache.remove(degVariantKey(fp, s.degBSig))
+		s.cache.remove(degVariantKey(fp, s.degHSig))
+	case err == nil && rep != nil && rep.Degraded:
+		s.breaker.Failure()
+		s.hard.Add(fp.String())
+	case errors.Is(err, context.DeadlineExceeded):
+		s.breaker.Failure()
+		s.hard.Add(fp.String())
+	}
+}
+
 // Analyze serves one graph: from the cache, from another request's
 // in-flight execution, or by running the Analyzer. The error is non-nil on
 // analysis failure or context cancellation; failed analyses are not
@@ -175,16 +304,73 @@ func (s *Service) Analyze(ctx context.Context, g *hetrta.Graph) (*Result, error)
 }
 
 // analyze is Analyze without the request accounting, so internal retries
-// (await's fallback) do not double-count.
+// (await's fallback) do not double-count. With degraded routing enabled it
+// decides the route here: a full cache hit always serves; otherwise an
+// open breaker or a known-hard fingerprint diverts to the bounds-only
+// path, and only surviving requests attempt the full pipeline.
 func (s *Service) analyze(ctx context.Context, g *hetrta.Graph) (*Result, error) {
 	fp := g.Fingerprint()
+	if s.breaker != nil {
+		if ent, ok := s.cacheGet(s.keyOf(fp)); ok {
+			s.hits.Add(1)
+			return &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fp}, nil
+		}
+		if !s.breaker.Allow() {
+			return s.analyzeDegraded(ctx, g, fp, s.degBreaker, s.degBSig)
+		}
+		if s.hard.ShouldSkip(fp.String()) {
+			return s.analyzeDegraded(ctx, g, fp, s.degHard, s.degHSig)
+		}
+	}
 	ent, hit, shared, err := s.serve(ctx, s.keyOf(fp), func(ctx context.Context) (*entry, error) {
-		return s.runOne(ctx, g)
+		return s.runFull(ctx, g, fp)
 	})
 	if err != nil {
 		return nil, err
 	}
+	if ent.report != nil && ent.report.Degraded {
+		s.degraded.Add(1)
+	}
 	return &Result{Report: ent.report, Body: ent.body, Hit: hit, Shared: shared, Fingerprint: fp}, nil
+}
+
+// analyzeDegraded serves the bounds-only fallback for fp via the given
+// analyzer variant. A prior full attempt's degraded result (cached under
+// degFullKey, strictly richer — it kept the feasible exact bracket) wins
+// over recomputing; otherwise the variant runs under the usual cache +
+// single-flight discipline on its own "deg|" key. Degraded runs bypass the
+// breaker accounting — they are the fallback, not evidence.
+func (s *Service) analyzeDegraded(ctx context.Context, g *hetrta.Graph, fp dag.Fingerprint, variant *hetrta.Analyzer, vsig string) (*Result, error) {
+	if ent, ok := s.cacheGet(s.degFullKey(fp)); ok {
+		s.hits.Add(1)
+		s.degraded.Add(1)
+		return &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fp}, nil
+	}
+	ent, hit, shared, err := s.serve(ctx, degVariantKey(fp, vsig), func(ctx context.Context) (*entry, error) {
+		return s.runGraph(ctx, g, variant.AnalyzeBatch)
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.degraded.Add(1)
+	return &Result{Report: ent.report, Body: ent.body, Hit: hit, Shared: shared, Fingerprint: fp}, nil
+}
+
+// runFull is the full-pipeline flight body: it runs the analyzer, feeds
+// the breaker and hard-instance cache from the outcome, and redirects a
+// degraded result into the "deg|" cache namespace so the full key only
+// ever holds non-degraded reports.
+func (s *Service) runFull(ctx context.Context, g *hetrta.Graph, fp dag.Fingerprint) (*entry, error) {
+	ent, err := s.runOne(ctx, g)
+	var rep *hetrta.Report
+	if ent != nil {
+		rep = ent.report
+	}
+	s.noteFullOutcome(fp, rep, err)
+	if err == nil && rep != nil && rep.Degraded {
+		ent.cacheKey = s.degFullKey(fp)
+	}
+	return ent, err
 }
 
 // serve resolves one cache key through the cache and the single-flight
@@ -195,7 +381,7 @@ func (s *Service) analyze(ctx context.Context, g *hetrta.Graph) (*Result, error)
 // own, still-live context (re-checking the cache, possibly leading).
 func (s *Service) serve(ctx context.Context, key string, run func(ctx context.Context) (*entry, error)) (ent *entry, hit, shared bool, err error) {
 	for {
-		if ent, ok := s.cache.get(key); ok {
+		if ent, ok := s.cacheGet(key); ok {
 			s.hits.Add(1)
 			return ent, true, false, nil
 		}
@@ -233,7 +419,7 @@ func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx 
 	// Double-check the cache after registering the flight: a previous
 	// leader caches before deregistering, so this read cannot miss an
 	// entry that was published before we became leader.
-	if cached, ok := s.cache.get(key); ok {
+	if cached, ok := s.cacheGet(key); ok {
 		s.hits.Add(1)
 		published = true
 		s.publish(key, f, cached, nil)
@@ -241,13 +427,18 @@ func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx 
 	}
 	s.misses.Add(1)
 	ent, err = run(ctx)
-	published = true
 	if err != nil {
 		s.failures.Add(1)
+		published = true
 		s.publish(key, f, nil, err)
 		return nil, err
 	}
-	s.cache.add(key, ent) // must precede publish (see double-check above)
+	// Must precede publish (see double-check above). A degraded outcome of
+	// a full attempt redirects to the "deg|" namespace via ent.cacheKey.
+	// published stays false until after the insert: a panicking cache
+	// shard (fault injection) must not strand waiters.
+	s.cacheAdd(ent.storeKey(key), ent)
+	published = true
 	s.publish(key, f, ent, nil)
 	return ent, nil
 }
@@ -255,10 +446,25 @@ func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx 
 // runOne executes the analyzer for a single graph and serializes the
 // report.
 func (s *Service) runOne(ctx context.Context, g *hetrta.Graph) (*entry, error) {
+	return s.runGraph(ctx, g, s.exec)
+}
+
+// runGraph is runOne over an explicit executor (the configured analyzer or
+// a bounds-only degraded variant), behind the limiter and the Exec fault
+// seam. The limiter is only consulted here — on the execution path — so
+// cache hits and single-flight joins are never shed.
+func (s *Service) runGraph(ctx context.Context, g *hetrta.Graph, exec func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error)) (*entry, error) {
+	if err := s.limiter.Acquire(ctx, costAnalyze); err != nil {
+		return nil, err
+	}
+	defer s.limiter.Release(costAnalyze)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1) // deferred: the gauge survives analyzer panics
 	s.executions.Add(1)
-	reports, batchErr := s.exec(ctx, []*hetrta.Graph{g})
+	if err := s.inj.Fire(faultinject.Exec); err != nil {
+		return nil, err
+	}
+	reports, batchErr := exec(ctx, []*hetrta.Graph{g})
 	if batchErr != nil {
 		return nil, batchErr
 	}
@@ -335,9 +541,16 @@ func (s *Service) admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, e
 // runAdmit executes the taskset analyzer once and serializes the report
 // (the admission counterpart of runOne).
 func (s *Service) runAdmit(ctx context.Context, ts hetrta.Taskset) (*entry, error) {
+	if err := s.limiter.Acquire(ctx, costAdmit); err != nil {
+		return nil, err
+	}
+	defer s.limiter.Release(costAdmit)
 	s.inFlight.Add(1)
 	defer s.inFlight.Add(-1) // deferred: the gauge survives analyzer panics
 	s.executions.Add(1)
+	if err := s.inj.Fire(faultinject.Exec); err != nil {
+		return nil, err
+	}
 	rep, err := s.execAdmit(ctx, ts)
 	if err != nil {
 		return nil, err
@@ -371,6 +584,16 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 	var order []string // group keys in first-appearance order
 	var nilIdxs []int
 
+	// Degraded-routed items (open breaker / hard fingerprint) leave the
+	// batch machinery: each is served via the bounds-only path after the
+	// full misses execute (they are cheap — no exact stage).
+	type degRoute struct {
+		idx     int
+		variant *hetrta.Analyzer
+		sig     string
+	}
+	var degRoutes []degRoute
+
 	for i, g := range gs {
 		s.requests.Add(1)
 		if g == nil {
@@ -379,10 +602,20 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 		}
 		fps[i] = g.Fingerprint()
 		keys[i] = s.keyOf(fps[i])
-		if ent, ok := s.cache.get(keys[i]); ok {
+		if ent, ok := s.cacheGet(keys[i]); ok {
 			s.hits.Add(1)
 			res[i] = &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fps[i]}
 			continue
+		}
+		if s.breaker != nil {
+			if !s.breaker.Allow() {
+				degRoutes = append(degRoutes, degRoute{i, s.degBreaker, s.degBSig})
+				continue
+			}
+			if s.hard.ShouldSkip(fps[i].String()) {
+				degRoutes = append(degRoutes, degRoute{i, s.degHard, s.degHSig})
+				continue
+			}
 		}
 		grp, ok := groups[keys[i]]
 		if !ok {
@@ -414,12 +647,16 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			s.coalesced.Add(1) // joins another request's flight
 			continue
 		}
+		// Registered in pending BEFORE the lookup: a panicking cache shard
+		// (fault injection) must not leak an unpublished flight.
+		pending[k] = f
 		// Same double-check as lead(): a previous leader caches before
 		// deregistering, so a key that went resident between our first
 		// lookup and the flight registration is visible now.
-		if ent, ok := s.cache.get(k); ok {
+		if ent, ok := s.cacheGet(k); ok {
 			s.hits.Add(1)
 			s.publish(k, f, ent, nil)
+			delete(pending, k)
 			for _, i := range grp.idxs {
 				res[i] = &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fps[i]}
 			}
@@ -427,7 +664,6 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			continue
 		}
 		runKeys = append(runKeys, k)
-		pending[k] = f
 	}
 
 	// One AnalyzeBatch over every led key (plus nil slots, whose per-item
@@ -445,18 +681,33 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 		if len(runKeys) > 0 {
 			s.executions.Add(uint64(len(runKeys)))
 			s.misses.Add(uint64(len(runKeys)))
-			func() {
-				s.inFlight.Add(1)
-				defer s.inFlight.Add(-1) // survives analyzer panics
-				reports, batchErr = s.exec(ctx, batchGs)
-			}()
+			// The whole fan-out acquires its total cost at once: a batch of
+			// n led keys is n units of work, so one saturating batch cannot
+			// slip past the limiter at single-request price.
+			cost := int64(len(runKeys))
+			if err := s.limiter.Acquire(ctx, cost); err != nil {
+				batchErr = err
+			} else {
+				func() {
+					defer s.limiter.Release(cost)
+					s.inFlight.Add(1)
+					defer s.inFlight.Add(-1) // survives analyzer panics
+					if err := s.inj.Fire(faultinject.Exec); err != nil {
+						batchErr = err
+						return
+					}
+					reports, batchErr = s.exec(ctx, batchGs)
+				}()
+			}
 		} else {
 			reports, batchErr = s.exec(ctx, batchGs)
 		}
 		for j, k := range runKeys {
 			grp := groups[k]
+			fp := fps[grp.idxs[0]]
 			var ent *entry
 			var err error
+			var rep *hetrta.Report
 			switch {
 			case batchErr != nil && (j >= len(reports) || reports[j] == nil || reports[j].Err != ""):
 				err = batchErr
@@ -465,13 +716,19 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			case reports[j].Err != "":
 				err = errors.New(reports[j].Err)
 			default:
-				ent, err = marshalEntry(reports[j])
+				rep = reports[j]
+				ent, err = marshalEntry(rep)
+				if err == nil && rep.Degraded {
+					ent.cacheKey = s.degFullKey(fp)
+					s.degraded.Add(uint64(len(grp.idxs)))
+				}
 			}
+			s.noteFullOutcome(fp, rep, err)
 			if err != nil {
 				s.failures.Add(1)
 				s.publish(k, grp.flight, nil, err)
 			} else {
-				s.cache.add(k, ent)
+				s.cacheAdd(ent.storeKey(k), ent)
 				s.publish(k, grp.flight, ent, nil)
 			}
 			delete(pending, k)
@@ -496,6 +753,18 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			s.failures.Add(1)
 			res[i] = &Result{Err: err}
 		}
+	}
+
+	// Serve the degraded-routed items now that every led flight is
+	// published (blocking on a foreign degraded flight must not strand
+	// waiters of our own full flights).
+	for _, d := range degRoutes {
+		r, err := s.analyzeDegraded(ctx, gs[d.idx], fps[d.idx], d.variant, d.sig)
+		if err != nil {
+			res[d.idx] = &Result{Err: err, Fingerprint: fps[d.idx]}
+			continue
+		}
+		res[d.idx] = r
 	}
 
 	// Wait for the groups another request is computing.
@@ -589,6 +858,10 @@ type Stats struct {
 	Coalesced uint64 `json:"coalesced"`
 	// Failures counts analyses that returned an error (never cached).
 	Failures uint64 `json:"failures"`
+	// Degraded counts degraded results served: bounds-only fallbacks
+	// (breaker open, hard instance) plus full attempts that exhausted
+	// their exact budget or deadline slice.
+	Degraded uint64 `json:"degraded"`
 	// InFlight is the number of executions running right now.
 	InFlight int64 `json:"inFlight"`
 	// Entries is the current cache occupancy; Capacity its limit;
@@ -598,6 +871,12 @@ type Stats struct {
 	Capacity     int    `json:"capacity"`
 	Evictions    uint64 `json:"evictions"`
 	ShardEntries []int  `json:"shardEntries"`
+	// Overload / Breaker / HardInstances snapshot the overload-protection
+	// layer; present only when Options.Resilience enabled it (Breaker and
+	// HardInstances additionally require an exact-enabled analyzer).
+	Overload      *resilience.LimiterStats  `json:"overload,omitempty"`
+	Breaker       *resilience.BreakerStats  `json:"breaker,omitempty"`
+	HardInstances *resilience.NegCacheStats `json:"hardInstances,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -609,6 +888,7 @@ func (s *Service) Stats() Stats {
 		Executions:   s.executions.Load(),
 		Coalesced:    s.coalesced.Load(),
 		Failures:     s.failures.Load(),
+		Degraded:     s.degraded.Load(),
 		InFlight:     s.inFlight.Load(),
 		Entries:      s.cache.len(),
 		Evictions:    s.cache.evicted(),
@@ -620,5 +900,34 @@ func (s *Service) Stats() Stats {
 	if total := st.Hits + st.Misses; total > 0 {
 		st.HitRate = float64(st.Hits) / float64(total)
 	}
+	if s.limiter != nil {
+		ls := s.limiter.Stats()
+		st.Overload = &ls
+	}
+	if s.breaker != nil {
+		bs := s.breaker.Stats()
+		st.Breaker = &bs
+		hs := s.hard.Stats()
+		st.HardInstances = &hs
+	}
 	return st
+}
+
+// Ready reports whether the service can still make progress on NEW work.
+// It is false only in the fully-wedged state: the breaker is open (the
+// exact oracle is struggling) AND the limiter is saturated with a full
+// wait queue — even the cheap degraded path has no slot budget left.
+// /readyz maps false to 503 so load balancers drain away; /healthz stays
+// 200 (the process itself is fine).
+func (s *Service) Ready() bool {
+	return !(s.breaker.Open() && s.limiter.Saturated())
+}
+
+// RetryAfter is the client backoff the HTTP layer advertises alongside a
+// shed (429 Retry-After).
+func (s *Service) RetryAfter() time.Duration {
+	if d := s.limiter.RetryAfter(); d > 0 {
+		return d
+	}
+	return time.Second
 }

@@ -37,6 +37,15 @@ type Report struct {
 	// Exact is present when the Analyzer has an exact budget
 	// (WithExactBudget).
 	Exact *ExactReport `json:"exact,omitempty"`
+	// Degraded marks a report produced under graceful degradation: the
+	// exact stage was skipped (breaker open, known-hard instance) or came
+	// back without an optimality certificate (expansion budget or deadline
+	// slice exhausted). Everything else in the report — bounds,
+	// transformation, simulation — is computed normally and remains safe;
+	// only the exact certificate is missing or unproven. DegradedReason is
+	// the machine-readable cause, one of the Degraded* constants.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 	// Err records the per-graph failure inside an AnalyzeBatch, which
 	// reports errors item-by-item instead of failing the whole batch. A
 	// report with Err set has no other fields populated beyond Platform.

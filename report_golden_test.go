@@ -81,6 +81,27 @@ func TestReportGolden(t *testing.T) {
 				WithPolicy(BreadthFirst),
 			},
 		},
+		{
+			// Graceful degradation: three independent jobs on two host cores
+			// make the list-scheduling incumbent (6) beat the root lower
+			// bound (ceil(9/2) = 5), so the search must branch — and a
+			// 1-expansion budget exhausts immediately, yielding a
+			// deterministic degraded report (feasible 6, lower bound 5).
+			name: "degraded",
+			graph: func(t *testing.T) *Graph {
+				g := NewGraph()
+				g.AddNode("a", 3, Host)
+				g.AddNode("b", 3, Host)
+				g.AddNode("c", 3, Host)
+				return g
+			},
+			opts: []Option{
+				WithPlatform(HeteroPlatform(2)),
+				WithBounds(RhomBound(), NaiveBound()),
+				WithExactOptions(ExactOptions{MaxExpansions: 1}),
+				WithDegradation(DegradeOptions{}),
+			},
+		},
 	}
 
 	for _, tc := range cases {
