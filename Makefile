@@ -60,12 +60,14 @@ test:
 
 # --- chaos: the deterministic fault-injection suite, exactly as the CI
 # chaos job runs it: resilience primitives, the service chaos invariants,
-# and the daemon resilience end-to-end tests, under -race twice.
+# and the daemon resilience end-to-end tests, under -race twice; plus the
+# parallel exact oracle under -race at 1, 2, and 4 CPUs.
 
 chaos:
 	$(GO) test -race -count=2 ./internal/resilience/...
 	$(GO) test -race -count=2 -run 'TestChaos|TestFailureNeverCached|TestDroppedCacheAdd|TestForcedCacheMiss|TestExecPanic' ./internal/service
 	$(GO) test -race -count=2 -run 'TestShedding|TestDegraded|TestBatchDegraded|TestHandlerPanic|TestGracefulShutdown|TestShutdownGrace|TestBodySize|TestReadyz' ./cmd/dagrtad
+	$(GO) test -race -cpu=1,2,4 ./internal/exact
 
 # --- bench: the CI benchmark regression gate against the latest baseline.
 

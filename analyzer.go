@@ -130,8 +130,8 @@ func WithExactBudget(budget int64) Option {
 }
 
 // WithExactOptions enables the exact minimum-makespan stage with full
-// solver options (budget, memo limit, context poll interval, branching
-// restriction). WithExactBudget is the common-case shorthand.
+// solver options (budget, memo limit, context poll interval, parallelism,
+// branching restriction). WithExactBudget is the common-case shorthand.
 func WithExactOptions(opts ExactOptions) Option {
 	return func(a *Analyzer) error {
 		if opts.MaxExpansions < 0 {
@@ -142,6 +142,9 @@ func WithExactOptions(opts ExactOptions) Option {
 		}
 		if opts.CtxCheckEvery < 0 {
 			return fmt.Errorf("hetrta: negative exact poll interval %d", opts.CtxCheckEvery)
+		}
+		if opts.Parallelism < 0 {
+			return fmt.Errorf("hetrta: negative exact parallelism %d", opts.Parallelism)
 		}
 		a.exactOn = true
 		a.exactOpts = opts
@@ -259,8 +262,13 @@ func (a *Analyzer) BoundsOnly(reason string) *Analyzer {
 // validation options. Two Analyzers with equal signatures produce
 // byte-identical reports for equal graphs, so (Graph.Fingerprint,
 // Signature) is a sound cache key — the serving layer (internal/service)
-// keys its result cache exactly this way. Parallelism is deliberately
-// excluded: batch output is deterministic at any pool size.
+// keys its result cache exactly this way. Batch parallelism is
+// deliberately excluded: batch output is deterministic at any pool size.
+// Exact-stage parallelism is excluded for the same reason — the oracle
+// proves the same optimum (or reports the same budget-capped bracket) at
+// any worker count, so replicas configured with different -exact-parallel
+// values may share cache entries; only the path-dependent Expansions
+// field of a proven-optimal report can differ across worker counts.
 func (a *Analyzer) Signature() string {
 	var b strings.Builder
 	b.WriteString("plat=")

@@ -8,6 +8,7 @@ package hetrta_test
 
 import (
 	"context"
+	"fmt"
 	"testing"
 
 	hetrta "repro"
@@ -216,6 +217,30 @@ func BenchmarkAblationRestrictedVsUnrestricted(b *testing.B) {
 			}
 		}
 	})
+}
+
+// BenchmarkExactParallel measures the work-stealing branch-and-bound at
+// 1, 2, and 4 workers on a hard instance (≈41k expansions serial — the
+// same seed as the ablation benchmark, hard enough that frontier handoff
+// pays for itself). The w1 case runs the dedicated serial path and must
+// stay allocation-identical to BenchmarkExactSmall's profile; speedup at
+// w2/w4 scales with the cores the host actually has.
+func BenchmarkExactParallel(b *testing.B) {
+	gen := taskgen.MustNew(taskgen.Small(10, 16), 6)
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("w%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := exact.MinMakespan(context.Background(), g, sched.Hetero(2), exact.Options{Parallelism: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkAblationPolicies compares scheduling policies on the same task

@@ -58,6 +58,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync/atomic"
@@ -95,6 +96,9 @@ type serviceConfig struct {
 	exact     bool
 	budget    int64
 	exactPoll int64
+	// exactParallel is the exact-oracle worker count; 0 defaults to
+	// GOMAXPROCS — hard instances are the one stage worth every core.
+	exactParallel int
 	// exactSlice bounds each full analysis' exact-oracle stage; past it the
 	// report degrades to bounds-only instead of erroring.
 	exactSlice time.Duration
@@ -130,6 +134,7 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 		doExact    = fs.Bool("exact", false, "include the exact minimum makespan in every report")
 		budget     = fs.Int64("budget", 0, "exact-solver expansion budget (0 = default)")
 		exactPoll  = fs.Int64("exact-poll", 0, "exact-solver context poll interval in expansions (0 = default)")
+		exactPar   = fs.Int("exact-parallel", 0, "exact-solver search workers (0 = GOMAXPROCS; results are identical at any value)")
 		exactSlice = fs.Duration("exact-slice", 0, "per-analysis exact-stage time slice; past it the report degrades to bounds-only (0 = no slice)")
 		parallel   = fs.Int("parallel", 0, "analyzer worker-pool size for batch requests (0 = all CPUs)")
 		cacheSize  = fs.Int("cache", service.DefaultCacheEntries, "report-cache capacity in entries")
@@ -150,12 +155,13 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 	}
 
 	sc := serviceConfig{
-		platform:  *platSpec,
-		bounds:    *boundsSpec,
-		sim:       *doSim,
-		exact:     *doExact,
-		budget:    *budget,
-		exactPoll: *exactPoll,
+		platform:      *platSpec,
+		bounds:        *boundsSpec,
+		sim:           *doSim,
+		exact:         *doExact,
+		budget:        *budget,
+		exactPoll:     *exactPoll,
+		exactParallel: *exactPar,
 
 		exactSlice: *exactSlice,
 		parallel:   *parallel,
@@ -253,8 +259,8 @@ func buildService(sc serviceConfig) (*service.Service, error) {
 	if len(bounds) == 0 {
 		return nil, fmt.Errorf("empty bound set %q", sc.bounds)
 	}
-	if !sc.exact && (sc.budget != 0 || sc.exactPoll != 0 || sc.exactSlice != 0) {
-		return nil, fmt.Errorf("-budget/-exact-poll/-exact-slice require -exact")
+	if !sc.exact && (sc.budget != 0 || sc.exactPoll != 0 || sc.exactParallel != 0 || sc.exactSlice != 0) {
+		return nil, fmt.Errorf("-budget/-exact-poll/-exact-parallel/-exact-slice require -exact")
 	}
 	opts := []hetrta.Option{
 		hetrta.WithPlatform(plat),
@@ -265,9 +271,14 @@ func buildService(sc serviceConfig) (*service.Service, error) {
 		opts = append(opts, hetrta.WithPolicy(hetrta.BreadthFirst))
 	}
 	if sc.exact {
+		ep := sc.exactParallel
+		if ep == 0 {
+			ep = runtime.GOMAXPROCS(0)
+		}
 		opts = append(opts, hetrta.WithExactOptions(hetrta.ExactOptions{
 			MaxExpansions: sc.budget,
 			CtxCheckEvery: sc.exactPoll,
+			Parallelism:   ep,
 		}))
 		// The daemon always serves degraded-but-valid bounds when the exact
 		// stage runs out of budget or slice: a serving endpoint must answer,

@@ -400,6 +400,8 @@ func TestFlagErrors(t *testing.T) {
 		{"-exact", "-exact-poll", "-1"},
 		{"-exact-slice", "50ms"}, // requires -exact
 		{"-exact", "-exact-slice", "-1s"},
+		{"-exact-parallel", "4"}, // requires -exact
+		{"-exact", "-exact-parallel", "-1"},
 	} {
 		out := &syncBuffer{}
 		if code := run(context.Background(), append([]string{"-addr", "127.0.0.1:0"}, args...), out, out); code != 2 {

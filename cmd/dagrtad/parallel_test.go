@@ -1,0 +1,128 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/exact"
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// TestParallelExactBeatsSerialTimeout: the point of -exact-parallel is
+// latency — a hard instance that blows a serial daemon's -request-timeout
+// must come back 200 from a parallel one under the same timeout. Wall-clock
+// speedup needs real cores, so the test calibrates in-process first and
+// skips (rather than flakes) on hosts where the parallel solver cannot
+// establish the margin: serial must NOT finish within the timeout, parallel
+// must finish within a third of it.
+func TestParallelExactBeatsSerialTimeout(t *testing.T) {
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs ≥ 4 CPUs for wall-clock speedup, have %d", runtime.NumCPU())
+	}
+	g, _, _, err := taskgen.MustNew(taskgen.Small(24, 28), 1).HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const timeout = 1500 * time.Millisecond
+
+	// Serial probe: the instance must genuinely exceed the timeout on this
+	// hardware, or the 504 half of the claim is vacuous.
+	sctx, scancel := context.WithTimeout(context.Background(), timeout)
+	defer scancel()
+	if _, err := exact.MinMakespan(sctx, g, sched.Hetero(2), exact.Options{MaxExpansions: 1 << 40, Parallelism: 1}); err == nil {
+		t.Skip("instance solved serially within the timeout on this host; nothing to beat")
+	}
+
+	// Parallel probe: require a 3x margin below the timeout so the daemon
+	// round-trip (HTTP, bounds, simulation) cannot push it over.
+	pctx, pcancel := context.WithTimeout(context.Background(), timeout/3)
+	defer pcancel()
+	if _, err := exact.MinMakespan(pctx, g, sched.Hetero(2), exact.Options{MaxExpansions: 1 << 40, Parallelism: 4}); err != nil {
+		t.Skipf("parallel solver cannot establish the wall-clock margin on this host: %v", err)
+	}
+
+	serial := startDaemon(t, "-platform", "2+1",
+		"-exact", "-budget", fmt.Sprint(int64(1)<<40), "-exact-parallel", "1",
+		"-request-timeout", timeout.String())
+	resp, data := post(t, serial+"/v1/analyze", hardTask(t))
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("serial daemon: status = %d (%s), want 504", resp.StatusCode, data)
+	}
+
+	parallel := startDaemon(t, "-platform", "2+1",
+		"-exact", "-budget", fmt.Sprint(int64(1)<<40), "-exact-parallel", "4",
+		"-request-timeout", timeout.String())
+	resp, data = post(t, parallel+"/v1/analyze", hardTask(t))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("parallel daemon: status = %d (%s), want 200 inside the timeout the serial daemon blew", resp.StatusCode, data)
+	}
+	if !bytes.Contains(data, []byte(`"exact"`)) {
+		t.Fatalf("parallel report lacks the exact stage: %s", data)
+	}
+}
+
+// TestCancelledClientAbortsParallelExactOracle: client hang-up must stop
+// all four search workers, not just the one that happens to poll — the
+// shared expansion counter makes the poll window global, so the whole pool
+// drains within it. This is the parallel twin of
+// TestCancelledClientAbortsExactOracle and is meaningful even on one CPU.
+func TestCancelledClientAbortsParallelExactOracle(t *testing.T) {
+	base := startDaemon(t, "-platform", "2+1",
+		"-exact", "-budget", fmt.Sprint(int64(1)<<40), "-exact-poll", "64",
+		"-exact-parallel", "4", "-request-timeout", "10m")
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/analyze", bytes.NewReader(hardTask(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() {
+		resp, err := http.DefaultClient.Do(req)
+		if err == nil {
+			resp.Body.Close()
+			err = fmt.Errorf("request completed with %d before cancellation", resp.StatusCode)
+		}
+		errCh <- err
+	}()
+
+	// Let the request reach the oracle, then hang up.
+	deadline := time.Now().Add(10 * time.Second)
+	for getStats(t, base).InFlight == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("request never reached the analyzer")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancel()
+	if err := <-errCh; err == nil || !strings.Contains(err.Error(), "context canceled") {
+		t.Fatalf("client err = %v, want context cancellation", err)
+	}
+
+	// Every worker must abort within the shared poll window: in-flight
+	// drains to zero long before the 2^40 budget could.
+	deadline = time.Now().Add(10 * time.Second)
+	for {
+		st := getStats(t, base)
+		if st.InFlight == 0 {
+			if st.Entries != 0 {
+				t.Fatalf("aborted analysis was cached: %+v", st)
+			}
+			if st.Failures == 0 {
+				t.Fatalf("abort not recorded as failure: %+v", st)
+			}
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("parallel oracle still running after client hang-up: %+v", st)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

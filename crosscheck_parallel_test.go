@@ -1,0 +1,119 @@
+package hetrta
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"repro/internal/exact"
+)
+
+// TestCrossValidationParallelDeterminism sweeps the same 520-instance
+// population as TestCrossValidationDominance (identical RNG seed and draw
+// sequence) and asserts the parallel exact oracle's determinism contract on
+// every instance the dominance sweep solves exactly (n ≤ 18):
+//
+//   - instances a serial probe proves Optimal must yield the identical
+//     makespan, status, and lower bound at parallelism 2 and 4;
+//   - instances where the probe's budget trips must yield the identical
+//     budget-capped bracket — every Result field, expansion count included —
+//     at parallelism 1 and 4, because the bracket is fixed before the
+//     search starts (DESIGN.md §13.4).
+//
+// This is the cross-layer guarantee the daemon's default parallelism rests
+// on: turning -exact-parallel up can never change a reported verdict.
+func TestCrossValidationParallelDeterminism(t *testing.T) {
+	const iters = 520
+	rng := rand.New(rand.NewSource(2018))
+	hostSizes := []int{1, 2, 3, 4, 8}
+	optimal, capped := 0, 0
+
+	for i := 0; i < iters; i++ {
+		// Draw exactly as TestCrossValidationDominance does, so the sweep
+		// covers the same instance population (the RNG sequence must match
+		// draw for draw).
+		nMin := 5 + rng.Intn(8)
+		nMax := nMin + 4 + rng.Intn(14)
+		gen, err := NewGenerator(SmallTasks(nMin, nMax), rng.Int63())
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := hostSizes[rng.Intn(len(hostSizes))]
+		devClasses := rng.Intn(3)
+		classes := []ResourceClass{{Name: "host", Count: m}}
+		for c := 1; c <= devClasses; c++ {
+			classes = append(classes, ResourceClass{Name: fmt.Sprintf("dev%d", c), Count: 1 + rng.Intn(2)})
+		}
+		p := NewPlatform(classes...)
+
+		var g *Graph
+		if devClasses == 0 {
+			g, err = gen.Graph()
+			if err != nil {
+				t.Fatal(err)
+			}
+		} else {
+			k := 1 + rng.Intn(3)
+			frac := 0.05 + 0.55*rng.Float64()
+			g, _, _, err = gen.MultiHetTask(k, frac, devClasses)
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		if g.NumNodes() > 18 {
+			continue
+		}
+
+		probe, err := exact.MinMakespan(context.Background(), g, p, exact.Options{MaxExpansions: 40_000, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("iter %d (%v, n=%d): serial probe: %v", i, p, g.NumNodes(), err)
+		}
+
+		if probe.Status == exact.Optimal {
+			optimal++
+			for _, workers := range []int{2, 4} {
+				r, err := exact.MinMakespan(context.Background(), g, p, exact.Options{MaxExpansions: 1 << 40, Parallelism: workers})
+				if err != nil {
+					t.Fatalf("iter %d P=%d: %v", i, workers, err)
+				}
+				if r.Status != exact.Optimal || r.Makespan != probe.Makespan || r.LowerBound != probe.LowerBound {
+					t.Fatalf("iter %d (%v, n=%d) P=%d: got (makespan=%d,%v,lb=%d), serial (makespan=%d,%v,lb=%d)",
+						i, p, g.NumNodes(), workers,
+						r.Makespan, r.Status, r.LowerBound,
+						probe.Makespan, probe.Status, probe.LowerBound)
+				}
+			}
+			continue
+		}
+
+		// Budget-capped: the bracket is computed before the search starts,
+		// so all parallelism levels must agree on every field.
+		capped++
+		ref, err := exact.MinMakespan(context.Background(), g, p, exact.Options{MaxExpansions: 256, Parallelism: 1})
+		if err != nil {
+			t.Fatalf("iter %d capped ref: %v", i, err)
+		}
+		for _, workers := range []int{1, 4} {
+			r, err := exact.MinMakespan(context.Background(), g, p, exact.Options{MaxExpansions: 256, Parallelism: workers})
+			if err != nil {
+				t.Fatalf("iter %d P=%d: %v", i, workers, err)
+			}
+			if r.Makespan != ref.Makespan || r.Status != ref.Status ||
+				r.LowerBound != ref.LowerBound || r.Expansions != ref.Expansions ||
+				len(r.Spans) != len(ref.Spans) {
+				t.Fatalf("iter %d (%v, n=%d) P=%d: budget bracket diverged:\n got %+v\nwant %+v",
+					i, p, g.NumNodes(), workers, r, ref)
+			}
+			for j := range r.Spans {
+				if r.Spans[j] != ref.Spans[j] {
+					t.Fatalf("iter %d P=%d: bracket span %d diverged: %+v vs %+v", i, workers, j, r.Spans[j], ref.Spans[j])
+				}
+			}
+		}
+	}
+	if optimal == 0 || capped == 0 {
+		t.Fatalf("sweep degenerate: %d optimal, %d budget-capped instances — both classes must be exercised", optimal, capped)
+	}
+	t.Logf("verified %d optimal and %d budget-capped instances", optimal, capped)
+}

@@ -36,15 +36,29 @@
 // sched, interchangeable-job symmetry breaking, and memoized dominance on
 // the set of scheduled jobs. Search effort is budgeted by node expansions;
 // results report whether optimality was proven.
+//
+// # Parallel search
+//
+// Options.Parallelism ≥ 2 splits the search tree across a work-stealing
+// pool (DESIGN.md §13): workers hand off frontier prefixes above a cutoff
+// depth through bounded per-worker deques and run the in-place
+// applyTo/undo DFS below it, sharing the incumbent through an atomic
+// compare-and-swap, the dominance memo through mutex-guarded shards, and
+// the expansion budget through one atomic counter. The result is
+// deterministic at any parallelism — a completed search proves the same
+// optimum, and a budget-aborted search reports the same heuristic
+// incumbent and root lower bound — while the search path (and with it
+// Result.Expansions and the specific optimal schedule witnessed by
+// Result.Spans) is free to vary between runs at Parallelism ≥ 2.
 package exact
 
 import (
-	"cmp"
 	"context"
 	"fmt"
 	"math"
 	"math/bits"
-	"slices"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dag"
 	"repro/internal/sched"
@@ -73,15 +87,27 @@ func (s Status) String() string {
 type Options struct {
 	// MaxExpansions caps branch-and-bound node expansions; 0 means the
 	// DefaultMaxExpansions. The cap makes runtime deterministic (no
-	// wall-clock dependence).
+	// wall-clock dependence). The budget is shared: at any Parallelism the
+	// pool as a whole expands at most MaxExpansions nodes (plus at most one
+	// in-flight expansion per worker) before aborting.
 	MaxExpansions int64
 	// MemoLimit caps the number of dominance records kept; 0 means the
-	// default. Lookups continue after the cap, insertions stop.
-	MemoLimit int
+	// default. Lookups continue after the cap, insertions stop. The cap is
+	// enforced globally across memo shards at any Parallelism.
+	MemoLimit int64
 	// CtxCheckEvery is how many node expansions pass between context
 	// cancellation checks; 0 means DefaultCtxCheckEvery. Cancellation is
-	// therefore honored within at most CtxCheckEvery further expansions.
+	// therefore honored within at most CtxCheckEvery further expansions —
+	// the expansion counter is shared, so the window holds globally even
+	// when expansions are split across workers.
 	CtxCheckEvery int64
+	// Parallelism is the number of branch-and-bound workers; 0 and 1 both
+	// run the serial in-place search. Results are deterministic at any
+	// value: a completed search returns the same proven optimum, and a
+	// budget-aborted search returns the same heuristic bracket. The search
+	// path — and therefore Expansions and which optimal schedule Spans
+	// witnesses — may vary at Parallelism ≥ 2.
+	Parallelism int
 	// Unrestricted disables the Giffler–Thompson active-schedule branching
 	// restriction, enumerating all semi-active SGS orders. Exponentially
 	// slower; intended for cross-validating the restriction in tests.
@@ -92,13 +118,17 @@ type Options struct {
 // Options.MaxExpansions is zero.
 const DefaultMaxExpansions = 500_000
 
-const defaultMemoLimit = 1 << 20
+const defaultMemoLimit int64 = 1 << 20
 
 // DefaultCtxCheckEvery is the context poll interval (in node expansions)
 // used when Options.CtxCheckEvery is zero: frequent enough that
 // cancellation takes effect in well under a millisecond, rare enough to
 // stay off the dfs profile.
 const DefaultCtxCheckEvery = 1024
+
+// maxWorkers caps Options.Parallelism: beyond the 64-node search limit
+// there are never enough frontier subtrees to feed more workers.
+const maxWorkers = 64
 
 // Result is the outcome of MinMakespan.
 type Result struct {
@@ -109,7 +139,10 @@ type Result struct {
 	// LowerBound is a proven lower bound on the optimum (equals Makespan
 	// when Status == Optimal).
 	LowerBound int64
-	// Expansions is the number of branch-and-bound nodes expanded.
+	// Expansions is the number of branch-and-bound nodes expanded. It is
+	// path-dependent and therefore only reproducible at Parallelism ≤ 1
+	// (budget-aborted searches report the exhausted budget at any
+	// parallelism).
 	Expansions int64
 	// Spans is a feasible schedule achieving Makespan, indexed by node.
 	Spans []sched.Span
@@ -130,6 +163,9 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
+	if opts.Parallelism < 0 {
+		return nil, fmt.Errorf("exact: negative parallelism %d", opts.Parallelism)
+	}
 	n := g.NumNodes()
 	if n == 0 {
 		return &Result{Status: Optimal}, nil
@@ -146,30 +182,38 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 		return nil, fmt.Errorf("exact: %w", dag.ErrCyclic)
 	}
 
-	s := &solver{
+	sh := &shared{
 		ctx:          ctx,
 		g:            g,
 		p:            p,
 		n:            n,
 		nClasses:     nClasses,
+		full:         uint64(1)<<uint(n) - 1,
 		topo:         topo,
 		tail:         g.LongestToEnd(),
 		maxExp:       opts.MaxExpansions,
-		memoLimit:    opts.MemoLimit,
 		ctxEvery:     opts.CtxCheckEvery,
 		unrestricted: opts.Unrestricted,
 	}
-	if s.maxExp == 0 {
-		s.maxExp = DefaultMaxExpansions
+	memoLimit := opts.MemoLimit
+	if sh.maxExp == 0 {
+		sh.maxExp = DefaultMaxExpansions
 	}
-	if s.memoLimit == 0 {
-		s.memoLimit = defaultMemoLimit
+	if memoLimit == 0 {
+		memoLimit = defaultMemoLimit
 	}
-	if s.ctxEvery == 0 {
-		s.ctxEvery = DefaultCtxCheckEvery
+	if sh.ctxEvery == 0 {
+		sh.ctxEvery = DefaultCtxCheckEvery
 	}
-	s.cls = make([]int, n)
-	s.work = make([]int64, nClasses)
+	workers := opts.Parallelism
+	if workers == 0 {
+		workers = 1
+	}
+	if workers > maxWorkers {
+		workers = maxWorkers
+	}
+	sh.cls = make([]int, n)
+	sh.work = make([]int64, nClasses)
 	homogeneous := p.Devices() == 0
 	for v := 0; v < n; v++ {
 		c := g.Class(v)
@@ -183,42 +227,45 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 		if p.Count(c) == 0 {
 			c = 0 // resource-free node; park it in the host class
 		}
-		s.cls[v] = c
-		s.work[c] += g.WCET(v)
+		sh.cls[v] = c
+		sh.work[c] += g.WCET(v)
 	}
-	s.succMask = make([]uint64, n)
+	sh.succMask = make([]uint64, n)
 	for v := 0; v < n; v++ {
 		for _, w := range g.Succs(v) {
-			s.succMask[v] |= 1 << uint(w)
+			sh.succMask[v] |= 1 << uint(w)
 		}
 	}
 	// Influence masks for signature clamping: which classes' node starts
 	// does v's finish time reach, through chains of zero-WCET nodes?
-	s.feeds = make([]uint64, n)
+	sh.feeds = make([]uint64, n)
 	for i := n - 1; i >= 0; i-- {
 		v := topo[i]
 		for _, w := range g.Succs(v) {
 			if g.WCET(w) == 0 {
-				s.feeds[v] |= s.feeds[w]
+				sh.feeds[v] |= sh.feeds[w]
 			} else {
-				s.feeds[v] |= 1 << uint(s.cls[w])
+				sh.feeds[v] |= 1 << uint(sh.cls[w])
 			}
 		}
 	}
-	s.memo = make(map[uint64][][]int64)
+	sh.memo = newMemo(memoLimit, memoShardCount(workers))
 
 	// Root lower bound: critical path and per-class load.
 	rootLB := g.CriticalPathLength()
 	for c := 0; c < nClasses; c++ {
-		if s.work[c] > 0 && p.Count(c) > 0 {
-			if lb := divCeil(s.work[c], int64(p.Count(c))); lb > rootLB {
+		if sh.work[c] > 0 && p.Count(c) > 0 {
+			if lb := divCeil(sh.work[c], int64(p.Count(c))); lb > rootLB {
 				rootLB = lb
 			}
 		}
 	}
 
-	// Incumbent from the heuristic portfolio.
-	s.best = math.MaxInt64
+	// Incumbent from the heuristic portfolio. The seed is computed before
+	// the search, so it is identical at every parallelism — it is what a
+	// budget-aborted search reports (see below).
+	seedBest := int64(math.MaxInt64)
+	var seedSpans []sched.Span
 	pols := append(sched.Heuristics(), sched.Random(1), sched.Random(2))
 	var sc sched.Scratch
 	for _, pol := range pols {
@@ -226,48 +273,117 @@ func MinMakespan(ctx context.Context, g *dag.Graph, p sched.Platform, opts Optio
 		if err != nil {
 			return nil, err
 		}
-		if r.Makespan < s.best {
-			s.best = r.Makespan
-			s.bestSpans = append([]sched.Span(nil), r.Spans...)
+		if r.Makespan < seedBest {
+			seedBest = r.Makespan
+			seedSpans = append(seedSpans[:0], r.Spans...)
 		}
 	}
 
 	res := &Result{LowerBound: rootLB}
-	if s.best == rootLB {
-		res.Makespan = s.best
+	if seedBest == rootLB {
+		res.Makespan = seedBest
 		res.Status = Optimal
-		res.Spans = s.bestSpans
+		res.Spans = seedSpans
 		return res, nil
 	}
 
 	// Branch and bound.
-	s.initRoot()
-	s.dfs(0)
-	if s.ctxErr != nil {
-		return nil, s.ctxErr
+	sh.best.Store(seedBest)
+	w0 := newWorker(sh, 0)
+	if workers <= 1 {
+		w0.runTask(nil)
+	} else {
+		sh.pool = newPool(workers)
+		sh.spawnDepth = spawnDepthFor(n, workers)
+		sh.backlog = int64(4 * workers)
+		sh.pool.push(0, []int{}) // root prefix
+		var wg sync.WaitGroup
+		for i := 0; i < workers; i++ {
+			w := w0
+			if i > 0 {
+				w = newWorker(sh, i)
+			}
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				// A worker panic must not kill the process from a bare
+				// goroutine: the serving layer contains handler panics to a
+				// single 503, and the exact stage runs inside a handler.
+				// Record the first panic, halt the pool, and re-raise it on
+				// the caller's goroutine below.
+				defer func() {
+					if r := recover(); r != nil {
+						sh.recordPanic(r)
+					}
+				}()
+				w.loop()
+			}()
+		}
+		wg.Wait()
+		if pv := sh.panicVal; pv != nil {
+			panic(fmt.Sprintf("exact: search worker panicked: %v", pv))
+		}
+	}
+	if sh.err != nil {
+		return nil, sh.err
 	}
 
-	res.Makespan = s.best
-	res.Expansions = s.expansions
-	res.Spans = s.bestSpans
-	if s.aborted {
+	if sh.budgetHit.Load() {
+		// Deterministic bracket: which node the budget ran out on — and at
+		// Parallelism ≥ 2, whatever improvements happened to land before it
+		// did — depends on the search path, so an aborted search discards
+		// the path entirely and reports the pre-search seed. Every
+		// parallelism level therefore returns byte-identical budget-capped
+		// results, which is what lets the serving layer cache and replicate
+		// them (DESIGN.md §13.4).
+		res.Makespan = seedBest
 		res.Status = Feasible
+		res.Spans = seedSpans
+		res.Expansions = sh.maxExp + 1 // the expansion that crossed the cap
+		return res, nil
+	}
+	res.Makespan = sh.best.Load()
+	res.Status = Optimal
+	res.LowerBound = res.Makespan
+	res.Expansions = sh.spent.Load()
+	if sh.bestOrder != nil {
+		res.Spans = w0.replay(sh.bestOrder)
 	} else {
-		res.Status = Optimal
-		res.LowerBound = s.best
+		res.Spans = seedSpans
 	}
 	return res, nil
 }
 
 func divCeil(a, b int64) int64 { return (a + b - 1) / b }
 
-type solver struct {
-	ctx      context.Context
-	ctxErr   error
-	g        *dag.Graph
-	p        sched.Platform
+// spawnDepthFor is the frontier cutoff: prefixes shorter than this may be
+// handed to the pool, deeper subtrees are always inlined. Deep enough that
+// the early levels split into far more tasks than workers, shallow enough
+// that each task amortizes its replay cost over an exponentially larger
+// subtree.
+func spawnDepthFor(n, workers int) int {
+	d := 4 + bits.Len(uint(workers))
+	if d > n {
+		d = n
+	}
+	return d
+}
+
+// shared is the cross-worker search context: the immutable instance data
+// plus everything the workers share — the atomic incumbent, the atomic
+// expansion budget, the sharded dominance memo, and the stop machinery.
+// At Parallelism ≤ 1 a single worker uses the same structure (pool == nil)
+// and the atomics are uncontended, keeping the serial search's expansion
+// accounting, poll timing, and memo decisions identical to what they were
+// before the pool existed.
+type shared struct {
+	ctx context.Context
+	g   *dag.Graph
+	p   sched.Platform
+
 	n        int
 	nClasses int
+	full     uint64 // mask with all n node bits set
 	topo     []int
 	tail     []int64
 	// cls is each node's machine class (with the homogeneous fallback
@@ -275,500 +391,96 @@ type solver struct {
 	cls      []int
 	work     []int64
 	succMask []uint64
-
 	// feeds[v] is the bitmask of classes whose node starts v's finish time
 	// can influence through zero-WCET chains.
 	feeds []uint64
 
-	best      int64
-	bestSpans []sched.Span
-
-	expansions   int64
 	maxExp       int64
 	ctxEvery     int64
-	aborted      bool
 	unrestricted bool
 
-	memo        map[uint64][][]int64
-	memoEntries int
-	memoLimit   int
+	// spent counts expansions across all workers; the budget and the
+	// context poll cadence both key off it, so bounded-abort and
+	// cancellation windows hold globally, not per worker.
+	spent atomic.Int64
+	// best is the incumbent makespan: CAS-published on improvement,
+	// lock-free-read in the pruning test.
+	best atomic.Int64
+	// stop halts every worker: budget exhaustion, context error, or a
+	// worker panic.
+	stop      atomic.Bool
+	budgetHit atomic.Bool
 
-	// cur is THE search state: the dfs mutates it in place via
-	// applyTo/undo instead of cloning per branch, so descending one level
-	// costs an O(1) undo record rather than a copy of every class's
-	// availability vector.
-	cur state
+	errMu    sync.Mutex
+	err      error // first context error, returned to the caller
+	panicVal any   // first worker panic, re-raised on the caller goroutine
 
-	// levels holds per-recursion-depth scratch (estimates, candidate
-	// lists); depth is bounded by the number of branchable nodes, so the
-	// buffers are allocated once and reused across the whole search.
-	levels []level
+	// bestOrder is the SGS order behind best, replayed once into spans
+	// after the search; bestOrderMakespan guards against an older CAS
+	// winner overwriting a newer, better order.
+	bestMu            sync.Mutex
+	bestOrder         []int
+	bestOrderMakespan int64
 
-	// Scratch for signature: the dominance vector is built in sigBuf and
-	// only copied when it is actually inserted into the memo; availBuf
-	// holds the per-class sorted availability vectors, classMin their
-	// minima, remBuf the per-class remaining work of lower().
-	sigBuf   []int64
-	availBuf []int64
-	classMin []int64
-	remBuf   []int64
+	memo *memo
+
+	// pool is nil at Parallelism ≤ 1; spawnDepth and backlog throttle the
+	// frontier handoff (worker.offload).
+	pool       *pool
+	spawnDepth int
+	backlog    int64
 }
 
-// level is the per-depth scratch of one dfs frame.
-type level struct {
-	est      []int64
-	cands    []cand
-	filtered []cand
-}
-
-type state struct {
-	mask   uint64 // scheduled nodes
-	finish []int64
-	// avail[c][i] is the absolute availability time of machine i of class c.
-	avail    [][]int64
-	makespan int64
-	order    []int        // branched (non-free) nodes in SGS order
-	spans    []sched.Span // only populated during replay
-}
-
-// undoRec is what applyTo changed beyond the append-only order slice: the
-// previous mask and makespan, plus the single machine-availability slot the
-// branched node occupied. Finish times of newly scheduled nodes need no
-// restoration — finish is only ever read for nodes whose mask bit is set.
-type undoRec struct {
-	prevMask     uint64
-	prevMakespan int64
-	orderLen     int
-	machine      int // index into avail[class]; -1 when nothing branched
-	class        int
-	prevAvail    int64
-}
-
-// newAvail allocates one availability vector per class, sized to the class.
-func (s *solver) newAvail() [][]int64 {
-	avail := make([][]int64, s.nClasses)
-	for c := range avail {
-		avail[c] = make([]int64, s.p.Count(c))
-	}
-	return avail
-}
-
-// initRoot sets up the in-place search state and per-depth scratch.
-func (s *solver) initRoot() {
-	s.cur = state{
-		finish: make([]int64, s.n),
-		avail:  s.newAvail(),
-		order:  make([]int, 0, s.n),
-	}
-	s.scheduleFreeNodes(&s.cur)
-	s.levels = make([]level, s.n+1)
-	s.sigBuf = make([]int64, 0, s.p.Total()+s.n+1)
-	s.availBuf = make([]int64, 0, s.p.Total())
-	s.classMin = make([]int64, s.nClasses)
-	s.remBuf = make([]int64, s.nClasses)
-}
-
-// levelAt returns depth d's scratch, allocating its buffers on first use.
-func (s *solver) levelAt(d int) *level {
-	l := &s.levels[d]
-	if l.est == nil {
-		l.est = make([]int64, s.n)
-	}
-	return l
-}
-
-// undo reverts applyTo. The zero-WCET nodes scheduled by the forced-move
-// cascade are undone by the mask restore alone.
-func (s *solver) undo(u undoRec) {
-	st := &s.cur
-	st.mask = u.prevMask
-	st.makespan = u.prevMakespan
-	st.order = st.order[:u.orderLen]
-	if u.machine >= 0 {
-		st.avail[u.class][u.machine] = u.prevAvail
-	}
-}
-
-func (s *solver) scheduled(st *state, v int) bool { return st.mask&(1<<uint(v)) != 0 }
-
-// ready reports whether all predecessors of v are scheduled.
-func (s *solver) ready(st *state, v int) bool {
-	for _, p := range s.g.Preds(v) {
-		if !s.scheduled(st, p) {
-			return false
-		}
-	}
-	return true
-}
-
-// scheduleFreeNodes places every ready zero-WCET node (sync nodes, dummy
-// sources/sinks) immediately at its predecessors' max finish. These are
-// forced moves: they consume no resource, so delaying them never helps.
-func (s *solver) scheduleFreeNodes(st *state) {
-	for changed := true; changed; {
-		changed = false
-		for v := 0; v < s.n; v++ {
-			if s.scheduled(st, v) || s.g.WCET(v) != 0 || !s.ready(st, v) {
-				continue
-			}
-			var t int64
-			for _, p := range s.g.Preds(v) {
-				if st.finish[p] > t {
-					t = st.finish[p]
-				}
-			}
-			st.mask |= 1 << uint(v)
-			st.finish[v] = t
-			if st.spans != nil {
-				st.spans[v] = sched.Span{Node: v, Start: t, Finish: t, Resource: -1}
-			}
-			if t > st.makespan {
-				st.makespan = t
-			}
-			changed = true
-		}
-	}
-}
-
-// applyTo schedules node v on st in place using the serial SGS rule (with
-// forced zero-WCET moves applied) and returns the undo record.
-func (s *solver) applyTo(st *state, v int) undoRec {
-	u := undoRec{prevMask: st.mask, prevMakespan: st.makespan, orderLen: len(st.order), machine: -1}
-	var ready int64
-	for _, p := range s.g.Preds(v) {
-		if st.finish[p] > ready {
-			ready = st.finish[p]
-		}
-	}
-	cls := s.cls[v]
-	avail := st.avail[cls]
-	resBase := s.p.Base(cls)
-	// Earliest-available machine, lowest index on ties, for determinism.
-	mi := 0
-	for i := 1; i < len(avail); i++ {
-		if avail[i] < avail[mi] {
-			mi = i
-		}
-	}
-	u.machine, u.class, u.prevAvail = mi, cls, avail[mi]
-	start := ready
-	if avail[mi] > start {
-		start = avail[mi]
-	}
-	fin := start + s.g.WCET(v)
-	avail[mi] = fin
-	st.mask |= 1 << uint(v)
-	st.finish[v] = fin
-	st.order = append(st.order, v)
-	if st.spans != nil {
-		st.spans[v] = sched.Span{Node: v, Start: start, Finish: fin, Resource: resBase + mi}
-	}
-	if fin > st.makespan {
-		st.makespan = fin
-	}
-	s.scheduleFreeNodes(st)
-	return u
-}
-
-// replay re-executes an SGS order with span recording enabled. It runs once
-// per incumbent improvement, so it allocates its own state.
-func (s *solver) replay(order []int) []sched.Span {
-	st := &state{
-		finish: make([]int64, s.n),
-		avail:  s.newAvail(),
-		spans:  make([]sched.Span, s.n),
-	}
-	s.scheduleFreeNodes(st)
-	for _, v := range order {
-		s.applyTo(st, v)
-	}
-	return st.spans
-}
-
-// minAvails writes each class's minimum machine availability into
-// s.classMin (MaxInt64 for machine-less classes).
-func (s *solver) minAvails(st *state) {
-	for c := 0; c < s.nClasses; c++ {
-		m := int64(math.MaxInt64)
-		for _, a := range st.avail[c] {
-			if a < m {
-				m = a
-			}
-		}
-		s.classMin[c] = m
-	}
-}
-
-// estimates computes, for each unscheduled node, a lower bound on its start
-// time given the partial schedule: predecessors' (estimated) finishes and
-// the earliest machine availability of its class. The result is written
-// into est (one scratch slice per dfs depth).
-func (s *solver) estimates(st *state, est []int64) {
-	for i := range est {
-		est[i] = 0
-	}
-	s.minAvails(st)
-	for _, v := range s.topo {
-		if s.scheduled(st, v) {
-			continue
-		}
-		var e int64
-		if s.g.WCET(v) > 0 {
-			if m := s.classMin[s.cls[v]]; m != math.MaxInt64 && m > e {
-				e = m
-			}
-		}
-		for _, p := range s.g.Preds(v) {
-			var f int64
-			if s.scheduled(st, p) {
-				f = st.finish[p]
-			} else {
-				f = est[p] + s.g.WCET(p)
-			}
-			if f > e {
-				e = f
-			}
-		}
-		est[v] = e
-	}
-}
-
-// lower computes the admissible bound pruning the node.
-func (s *solver) lower(st *state, est []int64) int64 {
-	lb := st.makespan
-	rem := s.remBuf
-	for c := range rem {
-		rem[c] = 0
-	}
-	for v := 0; v < s.n; v++ {
-		if s.scheduled(st, v) {
-			continue
-		}
-		if b := est[v] + s.tail[v]; b > lb {
-			lb = b
-		}
-		rem[s.cls[v]] += s.g.WCET(v)
-	}
-	for c := 0; c < s.nClasses; c++ {
-		if rem[c] == 0 || s.p.Count(c) == 0 {
-			continue
-		}
-		var sum int64
-		for _, a := range st.avail[c] {
-			sum += a
-		}
-		if b := divCeil(sum+rem[c], int64(s.p.Count(c))); b > lb {
-			lb = b
-		}
-	}
-	return lb
-}
-
-// signature builds the dominance vector for memoization: sorted per-class
-// machine availability (classes in platform order), the finish times of
-// scheduled nodes that still have unscheduled successors (in node-ID
-// order), and the partial makespan. Two states with equal masks compare
-// componentwise; a state dominated by a stored one cannot lead to a better
-// completion.
-//
-// Finish times are clamped up to the earliest machine availability of the
-// classes the node's finish can actually influence (through zero-WCET
-// chains): a class-c successor starts no earlier than class c's minimum
-// availability, and the final makespan is at least every current
-// availability, so a finish below the relevant floor can never matter.
-// States differing only in such irrelevant finishes merge; this collapse is
-// what keeps small-m instances tractable.
-// The vector is built in the solver's scratch buffer, valid until the next
-// signature call; dominated copies it only on memo insertion.
-//
-//hetrta:hotpath
-func (s *solver) signature(st *state) []int64 {
-	sig := s.sigBuf[:0]
-	for c := 0; c < s.nClasses; c++ {
-		row := append(s.availBuf[:0], st.avail[c]...)
-		slices.Sort(row)
-		sig = append(sig, row...)
-	}
-	s.minAvails(st)
-	// Fallback floor when a finish only feeds the makespan (zero-WCET sink
-	// chains): any current availability lower-bounds the final makespan,
-	// so the largest of the class minima is a sound clamp.
-	sinkFloor := int64(math.MaxInt64)
-	for c := 0; c < s.nClasses; c++ {
-		if m := s.classMin[c]; m != math.MaxInt64 && (sinkFloor == math.MaxInt64 || m > sinkFloor) {
-			sinkFloor = m
-		}
-	}
-	unscheduled := ^st.mask
-	for v := 0; v < s.n; v++ {
-		if s.scheduled(st, v) && s.succMask[v]&unscheduled != 0 {
-			floor := int64(math.MaxInt64)
-			for mask := s.feeds[v]; mask != 0; mask &= mask - 1 {
-				c := bits.TrailingZeros64(mask)
-				if m := s.classMin[c]; m < floor {
-					floor = m
-				}
-			}
-			if floor == math.MaxInt64 {
-				floor = sinkFloor
-			}
-			f := st.finish[v]
-			if f < floor {
-				f = floor
-			}
-			sig = append(sig, f)
-		}
-	}
-	sig = append(sig, st.makespan)
-	s.sigBuf = sig
-	return sig
-}
-
-// dominated checks and updates the memo; it reports whether st is dominated
-// by a previously seen state with the same mask.
-//
-//hetrta:hotpath
-func (s *solver) dominated(st *state) bool {
-	sig := s.signature(st)
-	entries := s.memo[st.mask]
-	for _, old := range entries {
-		if len(old) != len(sig) {
-			continue
-		}
-		dom := true
-		for i := range old {
-			if old[i] > sig[i] {
-				dom = false
-				break
-			}
-		}
-		if dom {
-			return true
-		}
-	}
-	if s.memoEntries < s.memoLimit {
-		// sig lives in the solver's scratch buffer; copy what we keep.
-		s.memo[st.mask] = append(entries, append([]int64(nil), sig...))
-		s.memoEntries++
-	}
-	return false
-}
-
-type cand struct {
-	v    int
-	est  int64
-	ect  int64 // est + WCET
-	tail int64
-}
-
-// dfs is the branch-and-bound search over schedule-generation orders, the
-// hottest code in the package: every expansion passes through here.
-//
-//hetrta:hotpath
-func (s *solver) dfs(depth int) {
-	if s.aborted {
-		return
-	}
-	st := &s.cur
-	full := uint64(1)<<uint(s.n) - 1
-	if st.mask == full {
-		if st.makespan < s.best {
-			s.best = st.makespan
-			s.bestSpans = s.replay(st.order)
-		}
-		return
-	}
-	s.expansions++
-	if s.expansions > s.maxExp {
-		s.aborted = true
-		return
-	}
-	if s.expansions%s.ctxEvery == 0 {
-		if err := s.ctx.Err(); err != nil {
-			s.ctxErr = err
-			s.aborted = true
+// publish installs makespan ms, achieved by the SGS order, as the incumbent
+// if it improves on it. The CAS loop keeps best monotonically decreasing
+// under concurrent improvements; the order behind the final best value is
+// always retained because every successful CAS re-checks under bestMu.
+func (sh *shared) publish(ms int64, order []int) {
+	//lint:polled CAS retry, not a search loop: every iteration either returns (no longer an improvement) or swaps and exits, so it runs at most once per concurrent improvement
+	for {
+		cur := sh.best.Load()
+		if ms >= cur {
 			return
 		}
+		if sh.best.CompareAndSwap(cur, ms) {
+			break
+		}
 	}
-	lv := s.levelAt(depth)
-	est := lv.est
-	s.estimates(st, est)
-	if s.lower(st, est) >= s.best {
-		return
+	sh.bestMu.Lock()
+	if sh.bestOrder == nil || ms < sh.bestOrderMakespan {
+		sh.bestOrderMakespan = ms
+		sh.bestOrder = append(sh.bestOrder[:0], order...)
 	}
-	if s.dominated(st) {
-		return
-	}
+	sh.bestMu.Unlock()
+}
 
-	cands := lv.cands[:0]
-	for v := 0; v < s.n; v++ {
-		if s.scheduled(st, v) || s.g.WCET(v) == 0 || !s.ready(st, v) {
-			continue
-		}
-		cands = append(cands, cand{v: v, est: est[v], ect: est[v] + s.g.WCET(v), tail: s.tail[v]})
+// halt stops every worker without recording an error (budget exhaustion,
+// panic propagation).
+func (sh *shared) halt() {
+	sh.stop.Store(true)
+	if sh.pool != nil {
+		sh.pool.close()
 	}
-	lv.cands = cands
+}
 
-	// Giffler–Thompson active-schedule restriction: branch only on the
-	// class achieving the minimum earliest completion time (lowest class
-	// index on ties), and only on its candidates that could start strictly
-	// before that completion. Filtered in place (writes trail reads).
-	if !s.unrestricted && len(cands) > 1 {
-		minECT := cands[0].ect
-		cls := s.cls[cands[0].v]
-		for _, c := range cands[1:] {
-			cc := s.cls[c.v]
-			if c.ect < minECT || (c.ect == minECT && cc < cls) {
-				minECT = c.ect
-				cls = cc
-			}
-		}
-		keep := cands[:0]
-		for _, c := range cands {
-			if s.cls[c.v] == cls && c.est < minECT {
-				keep = append(keep, c)
-			}
-		}
-		cands = keep
+// fail records the first context error and halts the pool; idle workers
+// are woken by the close broadcast.
+func (sh *shared) fail(err error) {
+	sh.errMu.Lock()
+	if sh.err == nil {
+		sh.err = err
 	}
+	sh.errMu.Unlock()
+	sh.halt()
+}
 
-	// Interchangeable-job symmetry breaking: among candidates with
-	// identical class, WCET, successor set, and estimated start, only the
-	// lowest ID branches.
-	filtered := lv.filtered[:0]
-	for i, c := range cands {
-		dup := false
-		for j := 0; j < i; j++ {
-			d := cands[j]
-			if d.v < c.v && s.cls[d.v] == s.cls[c.v] &&
-				s.g.WCET(d.v) == s.g.WCET(c.v) &&
-				s.succMask[d.v] == s.succMask[c.v] && d.est == c.est {
-				dup = true
-				break
-			}
-		}
-		if !dup {
-			filtered = append(filtered, c)
-		}
+// recordPanic stores the first worker panic and halts the pool so the
+// remaining workers drain instead of racing a crashing process.
+func (sh *shared) recordPanic(v any) {
+	sh.errMu.Lock()
+	if sh.panicVal == nil {
+		sh.panicVal = v
 	}
-	lv.filtered = filtered
-	// The comparison is a total order (IDs are distinct), so the unstable
-	// sort is deterministic.
-	slices.SortFunc(filtered, func(a, b cand) int {
-		if c := cmp.Compare(a.est, b.est); c != 0 {
-			return c
-		}
-		if c := cmp.Compare(b.tail, a.tail); c != 0 {
-			return c
-		}
-		return a.v - b.v
-	})
-	for _, c := range filtered {
-		rec := s.applyTo(st, c.v)
-		s.dfs(depth + 1)
-		s.undo(rec)
-		if s.aborted {
-			return
-		}
-	}
+	sh.errMu.Unlock()
+	sh.halt()
 }

@@ -1,0 +1,98 @@
+package exact
+
+import (
+	"math/bits"
+	"sync"
+	"sync/atomic"
+)
+
+// memo is the dominance store, sharded by hashed state mask the way
+// internal/service shards its report cache: each shard owns a mutex and a
+// mask → signature-list map, and a single atomic counter enforces
+// MemoLimit globally across shards. States with equal masks always land in
+// the same shard, so the check-then-insert in dominated stays atomic —
+// two workers reaching states with equal signatures can never both insert
+// and both prune (which would silently drop a subtree).
+type memo struct {
+	shards []memoShard
+	mask   uint64
+	// entries counts records across all shards; insertion reserves a slot
+	// first and backs out over the limit, so the cap holds exactly under
+	// concurrency. Lookups continue after the cap, insertions stop.
+	entries atomic.Int64
+	limit   int64
+}
+
+type memoShard struct {
+	mu sync.Mutex
+	m  map[uint64][][]int64
+}
+
+// memoShardCount picks the shard count: one shard at Parallelism ≤ 1 (the
+// serial search keeps its lock uncontended and its insertion order — and
+// therefore its pruning decisions — exactly as before), a few shards per
+// worker beyond that.
+func memoShardCount(workers int) int {
+	if workers <= 1 {
+		return 1
+	}
+	n := 1 << bits.Len(uint(4*workers-1)) // next power of two ≥ 4·workers
+	if n > 256 {
+		n = 256
+	}
+	return n
+}
+
+func newMemo(limit int64, shards int) *memo {
+	mm := &memo{shards: make([]memoShard, shards), mask: uint64(shards - 1), limit: limit}
+	for i := range mm.shards {
+		mm.shards[i].m = make(map[uint64][][]int64)
+	}
+	return mm
+}
+
+// mix64 is the splitmix64 finalizer: state masks are dense in the low bits,
+// so shard selection needs a real avalanche, not a modulo.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// dominated checks and updates the memo; it reports whether the state
+// (mask, sig) is dominated by a previously seen state with the same mask.
+// sig may live in caller scratch — it is copied on insertion.
+//
+//hetrta:hotpath
+func (mm *memo) dominated(mask uint64, sig []int64) bool {
+	s := &mm.shards[mix64(mask)&mm.mask]
+	s.mu.Lock()
+	entries := s.m[mask]
+	for _, old := range entries {
+		if len(old) != len(sig) {
+			continue
+		}
+		dom := true
+		for i := range old {
+			if old[i] > sig[i] {
+				dom = false
+				break
+			}
+		}
+		if dom {
+			s.mu.Unlock()
+			return true
+		}
+	}
+	if mm.entries.Add(1) <= mm.limit {
+		// sig lives in the worker's scratch buffer; copy what we keep.
+		s.m[mask] = append(entries, append([]int64(nil), sig...))
+	} else {
+		mm.entries.Add(-1)
+	}
+	s.mu.Unlock()
+	return false
+}

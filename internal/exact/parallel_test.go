@@ -1,0 +1,178 @@
+package exact
+
+import (
+	"context"
+	"reflect"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/sched"
+	"repro/internal/taskgen"
+)
+
+// atomicCountingCtx is the goroutine-safe sibling of countingCtx: parallel
+// workers poll Err concurrently, so the counter and the trip-wire must be
+// atomic. It cannot pin exact poll counts (worker interleaving varies) —
+// only that cancellation is observed and honored.
+type atomicCountingCtx struct {
+	calls    atomic.Int64
+	errAfter int64
+}
+
+func (c *atomicCountingCtx) Deadline() (time.Time, bool) { return time.Time{}, false }
+func (c *atomicCountingCtx) Done() <-chan struct{}       { return nil }
+func (c *atomicCountingCtx) Value(any) any               { return nil }
+func (c *atomicCountingCtx) Err() error {
+	if c.calls.Add(1) > c.errAfter {
+		return context.Canceled
+	}
+	return nil
+}
+
+// TestParallelMatchesSerialOptimum is the core determinism contract: with an
+// unexhausted budget the search runs to completion, and a run-to-completion
+// branch-and-bound proves the same optimum no matter how its frontier is
+// partitioned. Makespan, Status, and LowerBound must be identical at every
+// parallelism; the returned schedule must be feasible at the optimum.
+func TestParallelMatchesSerialOptimum(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(8, 18), 42)
+	for i := 0; i < 12; i++ {
+		g, _, _, err := gen.HetTask(0.05 + 0.4*float64(i)/12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, m := range []int{2, 3} {
+			p := sched.Hetero(m)
+			ref, err := MinMakespan(context.Background(), g, p, Options{Parallelism: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if ref.Status != Optimal {
+				t.Fatalf("iter %d m=%d: serial reference not optimal", i, m)
+			}
+			for _, workers := range []int{2, 4, 8} {
+				r, err := MinMakespan(context.Background(), g, p, Options{Parallelism: workers})
+				if err != nil {
+					t.Fatalf("iter %d m=%d P=%d: %v", i, m, workers, err)
+				}
+				if r.Status != Optimal || r.Makespan != ref.Makespan || r.LowerBound != ref.LowerBound {
+					t.Fatalf("iter %d m=%d P=%d: got (%d,%v,lb=%d), serial (%d,%v,lb=%d)",
+						i, m, workers, r.Makespan, r.Status, r.LowerBound,
+						ref.Makespan, ref.Status, ref.LowerBound)
+				}
+				sr := &sched.Result{Makespan: r.Makespan, Spans: r.Spans, Policy: "exact", Platform: p}
+				if err := sr.Validate(g); err != nil {
+					t.Fatalf("iter %d m=%d P=%d: optimal schedule invalid: %v", i, m, workers, err)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelBudgetBracketIdentical: when the budget trips, the result is
+// the pre-search bracket (portfolio incumbent, root lower bound), which
+// does not depend on which worker burned which expansion — every field of
+// the Result must be byte-identical across parallelism.
+func TestParallelBudgetBracketIdentical(t *testing.T) {
+	g, _, _, err := hardInstance(t).HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{MaxExpansions: 256, Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ref.Status != Feasible {
+		t.Fatalf("budget 256 did not trip on the hard instance (status %v, %d expansions)", ref.Status, ref.Expansions)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		r, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{MaxExpansions: 256, Parallelism: workers})
+		if err != nil {
+			t.Fatalf("P=%d: %v", workers, err)
+		}
+		if !reflect.DeepEqual(r, ref) {
+			t.Fatalf("P=%d: budget-capped result diverged:\n got %+v\nwant %+v", workers, r, ref)
+		}
+	}
+}
+
+// TestParallelCancellationAborts: a mid-search cancellation at P=4 stops
+// all workers promptly — the shared expansion counter gates a global poll
+// window, so the whole pool observes the failure within CtxCheckEvery
+// expansions of the tripping poll.
+func TestParallelCancellationAborts(t *testing.T) {
+	g, _, _, err := hardInstance(t).HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := &atomicCountingCtx{errAfter: 3}
+	start := time.Now()
+	res, err := MinMakespan(ctx, g, sched.Hetero(2), Options{CtxCheckEvery: 128, Parallelism: 4, MaxExpansions: 1 << 40})
+	if err != context.Canceled {
+		t.Fatalf("err = %v (result %+v), want context.Canceled", err, res)
+	}
+	if res != nil {
+		t.Fatalf("partial result %+v returned alongside cancellation", res)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("parallel cancellation took %v, not prompt", elapsed)
+	}
+	if ctx.calls.Load() < 4 {
+		t.Fatalf("context polled only %d times; the in-search poll never fired", ctx.calls.Load())
+	}
+}
+
+// TestParallelTinyMemoLimit: the dominance memo is an accelerator, not a
+// soundness requirement — an absurdly small shared limit must still prove
+// the true optimum at every parallelism.
+func TestParallelTinyMemoLimit(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(8, 14), 11)
+	g, _, _, err := gen.HetTask(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{Parallelism: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{1, 4} {
+		r, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{Parallelism: workers, MemoLimit: 4})
+		if err != nil {
+			t.Fatalf("P=%d: %v", workers, err)
+		}
+		if r.Status != Optimal || r.Makespan != ref.Makespan {
+			t.Fatalf("P=%d memo=4: got (%d,%v), want (%d,%v)", workers, r.Makespan, r.Status, ref.Makespan, ref.Status)
+		}
+	}
+}
+
+// TestNegativeParallelismRejected: a negative worker count is a caller bug,
+// not a request for the default.
+func TestNegativeParallelismRejected(t *testing.T) {
+	g, _, _, err := hardInstance(t).HetTask(0.15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := MinMakespan(context.Background(), g, sched.Hetero(2), Options{Parallelism: -1}); err == nil {
+		t.Fatal("negative parallelism accepted")
+	}
+}
+
+// TestSpawnDepthFor: the handoff cutoff grows logarithmically with the
+// worker count and never exceeds the node count.
+func TestSpawnDepthFor(t *testing.T) {
+	cases := []struct {
+		n, workers, want int
+	}{
+		{40, 2, 6},
+		{40, 4, 7},
+		{40, 8, 8},
+		{3, 8, 3},
+	}
+	for _, c := range cases {
+		if got := spawnDepthFor(c.n, c.workers); got != c.want {
+			t.Errorf("spawnDepthFor(%d,%d) = %d, want %d", c.n, c.workers, got, c.want)
+		}
+	}
+}

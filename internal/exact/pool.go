@@ -1,0 +1,180 @@
+package exact
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// dequeCap bounds each worker's deque: past it, offload declines and the
+// spawning worker inlines the subtree instead, so a deep frontier can
+// never queue unbounded work.
+const dequeCap = 256
+
+// pool is the work-stealing coordination for parallel search: one bounded
+// deque per worker plus the idle/termination machinery. Tasks are frontier
+// prefixes (SGS orders of the branched nodes above the handoff point).
+type pool struct {
+	deques []deque
+
+	// outstanding counts tasks pushed but not yet finished (queued or
+	// running). It is incremented before a task becomes stealable, so it
+	// can only reach zero when the search tree has fully drained — the
+	// last finish closes the pool.
+	outstanding atomic.Int64
+
+	// Idle workers park on cond; wakeGen increments on every push so a
+	// worker whose deque scan raced with a push re-scans instead of
+	// sleeping through it.
+	mu      sync.Mutex
+	cond    *sync.Cond
+	wakeGen uint64
+	waiters int
+	closed  bool
+}
+
+func newPool(workers int) *pool {
+	p := &pool{deques: make([]deque, workers)}
+	for i := range p.deques {
+		p.deques[i].buf = make([][]int, 0, dequeCap)
+	}
+	p.cond = sync.NewCond(&p.mu)
+	return p
+}
+
+// push enqueues a task on worker i's deque, reporting false when the deque
+// is full. The outstanding count rises before the task becomes visible to
+// thieves: otherwise a thief could pop, run, and finish the task first and
+// drive the count to zero — closing the pool — while its producer is still
+// generating work.
+func (p *pool) push(i int, order []int) bool {
+	d := &p.deques[i]
+	d.mu.Lock()
+	if len(d.buf)-d.head >= dequeCap {
+		d.mu.Unlock()
+		return false
+	}
+	p.outstanding.Add(1)
+	d.push(order)
+	d.mu.Unlock()
+	p.signal()
+	return true
+}
+
+// finish retires one task; the last retirement means the search tree is
+// exhausted and closes the pool.
+func (p *pool) finish() {
+	if p.outstanding.Add(-1) == 0 {
+		p.close()
+	}
+}
+
+// gen returns the current wakeup generation. Taking it before a deque scan
+// and handing it to wait closes the race between a failed scan and a
+// concurrent push.
+func (p *pool) gen() uint64 {
+	p.mu.Lock()
+	g := p.wakeGen
+	p.mu.Unlock()
+	return g
+}
+
+// signal wakes parked workers after a push.
+func (p *pool) signal() {
+	p.mu.Lock()
+	p.wakeGen++
+	if p.waiters > 0 {
+		p.cond.Broadcast()
+	}
+	p.mu.Unlock()
+}
+
+// wait parks until the wakeup generation moves past g or the pool closes;
+// it reports whether the pool is still open (re-scan on true, exit on
+// false).
+func (p *pool) wait(g uint64) bool {
+	p.mu.Lock()
+	//lint:polled cond.Wait blocks rather than spins, and every path that needs to end the wait broadcasts: push signals, drain closes, and the worker that observes cancellation or budget exhaustion closes too
+	for p.wakeGen == g && !p.closed {
+		p.waiters++
+		p.cond.Wait()
+		p.waiters--
+	}
+	open := !p.closed
+	p.mu.Unlock()
+	return open
+}
+
+// close wakes every parked worker for exit. Idempotent; called on drain,
+// cancellation, budget exhaustion, and panic.
+func (p *pool) close() {
+	p.mu.Lock()
+	p.closed = true
+	p.cond.Broadcast()
+	p.mu.Unlock()
+}
+
+// deque is one worker's bounded task queue: the owner pushes and pops at
+// the tail (newest-first, depth-first locality), thieves take from the
+// head (oldest-first — the shallowest and therefore largest subtrees).
+// A plain mutex guards it: handoff traffic is throttled to the frontier
+// above the spawn cutoff, so the lock is far off the expansion hot path.
+type deque struct {
+	mu   sync.Mutex
+	head int // buf[head:] are live; buf[:head] are stolen slots
+	buf  [][]int
+}
+
+// push appends at the tail; callers hold d.mu (see pool.push). The buffer
+// never reallocates: compaction keeps len(buf) within the dequeCap backing
+// array.
+func (d *deque) push(order []int) {
+	if d.head > 0 && len(d.buf) == cap(d.buf) {
+		n := copy(d.buf, d.buf[d.head:])
+		for i := n; i < len(d.buf); i++ {
+			d.buf[i] = nil
+		}
+		d.buf = d.buf[:n]
+		d.head = 0
+	}
+	d.buf = append(d.buf, order)
+}
+
+// popTail takes the newest task (owner side).
+//
+//hetrta:hotpath
+func (d *deque) popTail() ([]int, bool) {
+	d.mu.Lock()
+	if len(d.buf) == d.head {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.buf[len(d.buf)-1]
+	d.buf[len(d.buf)-1] = nil
+	d.buf = d.buf[:len(d.buf)-1]
+	if d.head == len(d.buf) {
+		d.head = 0
+		d.buf = d.buf[:0]
+	}
+	d.mu.Unlock()
+	return t, true
+}
+
+// stealHead takes the oldest task (thief side).
+//
+//hetrta:hotpath
+func (d *deque) stealHead() ([]int, bool) {
+	d.mu.Lock()
+	if len(d.buf) == d.head {
+		d.mu.Unlock()
+		return nil, false
+	}
+	t := d.buf[d.head]
+	d.buf[d.head] = nil
+	d.head++
+	if d.head == len(d.buf) {
+		d.head = 0
+		d.buf = d.buf[:0]
+	}
+	d.mu.Unlock()
+	return t, true
+}

@@ -26,9 +26,14 @@ var oraclePackages = map[string]bool{
 //   - every unbounded loop (`for { ... }` or `for cond { ... }`) must
 //     contain a dominating poll: a ctx.Err()/ctx.Done() check executed on
 //     every iteration, a counter-gated check (`if n%k == 0 { ctx.Err() }`
-//     or a bitmask equivalent), or a call that hands a context to a callee.
-//     A poll hidden behind an unrelated branch does not dominate and does
-//     not count.
+//     or a bitmask equivalent), a call that hands a context to a callee,
+//     or a call to a same-package function that itself polls a context —
+//     directly or through further same-package calls. The last form is the
+//     shared-state worker pattern: a search worker holds its context in a
+//     struct field next to an atomic expansion counter, and its loop
+//     delegates the counter-gated poll to the recursive search it calls,
+//     so no context value ever crosses the call. A poll hidden behind an
+//     unrelated branch does not dominate and does not count.
 //
 // The //lint:polled <why> hatch records loops that are bounded for a
 // structural reason the analyzer cannot see.
@@ -40,9 +45,13 @@ var Ctxpoll = &analysis.Analyzer{
 
 func runCtxpoll(pass *analysis.Pass) error {
 	inScope := oraclePackages[pass.Pkg.Path()]
+	var pollers map[types.Object]bool // built lazily: only checked files need it
 	for _, f := range pass.Files {
 		if !inScope && !fileHasDirective(f, "hetrta:oracle") {
 			continue
+		}
+		if pollers == nil {
+			pollers = packagePollers(pass)
 		}
 		escapes := collectEscapes(pass.Fset, f, "polled")
 		for _, decl := range f.Decls {
@@ -58,7 +67,7 @@ func runCtxpoll(pass *analysis.Pass) error {
 				if !ok || loop.Init != nil || loop.Post != nil {
 					return true // three-clause loops advance a bounded induction variable
 				}
-				if !hasDominatingPoll(pass, loop.Body) {
+				if !hasDominatingPoll(pass, pollers, loop.Body) {
 					checkEscape(pass, escapes, "polled", loop.Pos(),
 						"unbounded loop without a dominating context poll: add a ctx.Err() check (optionally counter-gated, e.g. if n%k == 0), or annotate //lint:polled <why> if the loop is structurally bounded")
 				}
@@ -104,36 +113,108 @@ func checkCtxUse(pass *analysis.Pass, fd *ast.FuncDecl) {
 	}
 }
 
+// packagePollers computes the set of package-level functions and methods
+// whose body polls a context — directly (ctx.Err/Done on a context-typed
+// expression, or a call handing a context along), or transitively, by
+// calling another function of the same package that does. The worker
+// pattern needs the transitive closure: the loop calls runTask, runTask
+// calls the recursive search, and only the search touches the context
+// field — counter-gated on the shared atomic expansion counter.
+func packagePollers(pass *analysis.Pass) map[types.Object]bool {
+	type fn struct {
+		obj  types.Object
+		body *ast.BlockStmt
+	}
+	var fns []fn
+	pollers := map[types.Object]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj := pass.TypesInfo.Defs[fd.Name]
+			if obj == nil {
+				continue
+			}
+			if blockPollsAnywhere(pass, nil, fd.Body) {
+				pollers[obj] = true
+			} else {
+				fns = append(fns, fn{obj, fd.Body})
+			}
+		}
+	}
+	// Propagate through same-package calls to a fixpoint. Each round either
+	// grows pollers or terminates, so the loop runs at most len(fns) times.
+	for changed := true; changed; {
+		changed = false
+		rest := fns[:0]
+		for _, f := range fns {
+			calls := false
+			ast.Inspect(f.body, func(n ast.Node) bool {
+				if calls {
+					return false
+				}
+				if call, ok := n.(*ast.CallExpr); ok && pollers[calleeObj(pass, call)] {
+					calls = true
+					return false
+				}
+				return true
+			})
+			if calls {
+				pollers[f.obj] = true
+				changed = true
+			} else {
+				rest = append(rest, f)
+			}
+		}
+		fns = rest
+	}
+	return pollers
+}
+
+// calleeObj resolves the object a call statically targets (function or
+// method); nil for indirect calls through values.
+func calleeObj(pass *analysis.Pass, call *ast.CallExpr) types.Object {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return pass.TypesInfo.Uses[fun]
+	case *ast.SelectorExpr:
+		return pass.TypesInfo.Uses[fun.Sel]
+	}
+	return nil
+}
+
 // hasDominatingPoll reports whether the loop body polls a context on every
 // iteration: an unconditional poll statement, a select on ctx.Done(), a
 // counter-gated if containing a poll, or an unconditional call that passes
-// a context along.
-func hasDominatingPoll(pass *analysis.Pass, body *ast.BlockStmt) bool {
+// a context along or targets a same-package (transitive) poller.
+func hasDominatingPoll(pass *analysis.Pass, pollers map[types.Object]bool, body *ast.BlockStmt) bool {
 	for _, stmt := range body.List {
 		switch s := stmt.(type) {
 		case *ast.IfStmt:
 			// `if err := ctx.Err(); err != nil` — the poll sits in Init/Cond
 			// and executes unconditionally.
-			if s.Init != nil && stmtPolls(pass, s.Init) {
+			if s.Init != nil && stmtPolls(pass, pollers, s.Init) {
 				return true
 			}
-			if exprPolls(pass, s.Cond) {
+			if exprPolls(pass, pollers, s.Cond) {
 				return true
 			}
 			// Counter-gated poll: `if n%k == 0 { ... ctx.Err() ... }`. The
 			// modulo (or bitmask) gate is itself the poll interval; any
 			// other branch condition hides the poll from most iterations.
-			if counterGated(s.Cond) && blockPollsAnywhere(pass, s.Body) {
+			if counterGated(s.Cond) && blockPollsAnywhere(pass, pollers, s.Body) {
 				return true
 			}
 		case *ast.SelectStmt:
 			for _, c := range s.Body.List {
-				if comm, ok := c.(*ast.CommClause); ok && comm.Comm != nil && stmtPolls(pass, comm.Comm) {
+				if comm, ok := c.(*ast.CommClause); ok && comm.Comm != nil && stmtPolls(pass, pollers, comm.Comm) {
 					return true
 				}
 			}
 		default:
-			if stmtPolls(pass, stmt) {
+			if stmtPolls(pass, pollers, stmt) {
 				return true
 			}
 		}
@@ -143,26 +224,26 @@ func hasDominatingPoll(pass *analysis.Pass, body *ast.BlockStmt) bool {
 
 // stmtPolls reports whether a straight-line statement (no nested control
 // flow considered) contains a poll expression.
-func stmtPolls(pass *analysis.Pass, stmt ast.Stmt) bool {
+func stmtPolls(pass *analysis.Pass, pollers map[types.Object]bool, stmt ast.Stmt) bool {
 	switch s := stmt.(type) {
 	case *ast.ExprStmt:
-		return exprPolls(pass, s.X)
+		return exprPolls(pass, pollers, s.X)
 	case *ast.AssignStmt:
 		for _, rhs := range s.Rhs {
-			if exprPolls(pass, rhs) {
+			if exprPolls(pass, pollers, rhs) {
 				return true
 			}
 		}
 	case *ast.ReturnStmt:
 		for _, r := range s.Results {
-			if exprPolls(pass, r) {
+			if exprPolls(pass, pollers, r) {
 				return true
 			}
 		}
 	case *ast.DeclStmt:
 		polls := false
 		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok && exprPolls(pass, e) {
+			if e, ok := n.(ast.Expr); ok && exprPolls(pass, pollers, e) {
 				polls = true
 				return false
 			}
@@ -174,10 +255,11 @@ func stmtPolls(pass *analysis.Pass, stmt ast.Stmt) bool {
 }
 
 // exprPolls reports whether e (or a subexpression outside nested function
-// literals) polls a context: ctx.Err(), ctx.Done(), <-ctx.Done(), or a
-// call receiving a context argument (delegation — the callee is then
-// responsible, and ctxpoll checks it wherever it lives in scope).
-func exprPolls(pass *analysis.Pass, e ast.Expr) bool {
+// literals) polls a context: ctx.Err(), ctx.Done(), <-ctx.Done(), a call
+// receiving a context argument, or a call to a function in pollers
+// (same-package delegation — the callee owns the poll; either way the
+// callee is checked wherever it lives in scope).
+func exprPolls(pass *analysis.Pass, pollers map[types.Object]bool, e ast.Expr) bool {
 	if e == nil {
 		return false
 	}
@@ -196,6 +278,10 @@ func exprPolls(pass *analysis.Pass, e ast.Expr) bool {
 					return false
 				}
 			}
+			if pollers[calleeObj(pass, n)] {
+				polls = true
+				return false
+			}
 			for _, arg := range n.Args {
 				if isContextExpr(pass, arg) {
 					polls = true
@@ -209,12 +295,12 @@ func exprPolls(pass *analysis.Pass, e ast.Expr) bool {
 }
 
 // blockPollsAnywhere reports whether any expression in the block polls,
-// regardless of dominance — used only under a counter gate, which already
-// establishes the poll interval.
-func blockPollsAnywhere(pass *analysis.Pass, block *ast.BlockStmt) bool {
+// regardless of dominance — used under a counter gate (which already
+// establishes the poll interval) and to seed the packagePollers base set.
+func blockPollsAnywhere(pass *analysis.Pass, pollers map[types.Object]bool, block *ast.BlockStmt) bool {
 	polls := false
 	ast.Inspect(block, func(n ast.Node) bool {
-		if e, ok := n.(ast.Expr); ok && exprPolls(pass, e) {
+		if e, ok := n.(ast.Expr); ok && exprPolls(pass, pollers, e) {
 			polls = true
 		}
 		return !polls

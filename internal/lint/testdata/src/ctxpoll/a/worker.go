@@ -1,0 +1,70 @@
+// The shared-state worker pattern: a search worker holds its context in a
+// struct field next to an atomic expansion counter, and its loop never
+// touches the context itself — the recursive search it calls polls,
+// counter-gated on the shared atomic. No context value crosses any call,
+// so the old argument-delegation rule cannot see it; the same-package
+// transitive-poller rule does.
+//
+//hetrta:oracle
+package a
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type searchShared struct {
+	ctx   context.Context
+	spent atomic.Int64
+	halt  atomic.Bool
+}
+
+type searchWorker struct {
+	sh    *searchShared
+	depth int
+}
+
+// descend is the direct poller: the shared counter gates the context
+// check, exactly like the exact solver's dfs.
+func (w *searchWorker) descend() bool {
+	if w.sh.spent.Add(1)%1024 == 0 {
+		if w.sh.ctx.Err() != nil {
+			w.sh.halt.Store(true)
+			return false
+		}
+	}
+	return true
+}
+
+// runOne polls only transitively, through descend.
+func (w *searchWorker) runOne() bool {
+	if w.sh.halt.Load() {
+		return false
+	}
+	return w.descend()
+}
+
+// WorkerLoop delegates its poll two same-package calls deep: accepted.
+func (w *searchWorker) WorkerLoop() int {
+	n := 0
+	for {
+		if !w.runOne() {
+			return n
+		}
+		n++
+	}
+}
+
+// idle touches only the atomics — it never reaches the context.
+func (w *searchWorker) idle() bool { return w.sh.halt.Load() }
+
+// SpinNoPoll delegates to a sibling that never polls: still flagged.
+func (w *searchWorker) SpinNoPoll() int {
+	n := 0
+	for { // want "unbounded loop without a dominating context poll"
+		if w.idle() {
+			return n
+		}
+		n++
+	}
+}
