@@ -17,7 +17,9 @@ import (
 	"repro/internal/platform"
 	"repro/internal/rta"
 	"repro/internal/sched"
+	"repro/internal/service"
 	"repro/internal/taskgen"
+	"repro/internal/taskset"
 	"repro/internal/transform"
 )
 
@@ -259,4 +261,110 @@ func BenchmarkAblationPolicies(b *testing.B) {
 			}
 		})
 	}
+}
+
+// BenchmarkAdmitDelta measures the serving layer's delta-admission path on
+// a warm 32-task resident base (the churn experiment's acceptance floor)
+// against the from-scratch whole-set baseline. Every iteration is a cold
+// delta: the newcomer is a freshly cloned graph (the request-decode
+// analog, charged to the path that hashes it) with a unique period, so no
+// iteration is an admit-cache hit.
+func BenchmarkAdmitDelta(b *testing.B) {
+	ctx := context.Background()
+	const baseN = 32
+	pool, err := taskset.Generate(taskset.TasksetParams{
+		N: baseN + 1, Util: float64(baseN+1) / float64(baseN),
+		OffloadShare: 0.25, COffFrac: 0.3, Params: taskgen.Small(10, 30),
+	}, 2018)
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := pool.Tasks[:baseN]
+	template := pool.Tasks[baseN]
+	newcomer := func(i int) hetrta.SporadicTask {
+		t := template
+		t.G = t.G.Clone()
+		t.Period += int64(i % 1000)
+		return t
+	}
+	warmSvc := func(b *testing.B) (*service.Service, hetrta.TasksetFingerprint) {
+		b.Helper()
+		an, err := hetrta.NewAnalyzer(hetrta.WithPlatform(platform.Hetero(4)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		svc, err := service.New(an, service.Options{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		warm, err := svc.Admit(ctx, hetrta.Taskset{Tasks: base})
+		if err != nil {
+			b.Fatal(err)
+		}
+		return svc, warm.Fingerprint
+	}
+
+	// One arrival anchored at the warm base: cold per-task eval for the
+	// newcomer, memoized global-step replay for the rest.
+	b.Run("arrival", func(b *testing.B) {
+		svc, fp := warmSvc(b)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := svc.AdmitDelta(ctx, fp, hetrta.TasksetDelta{Add: []hetrta.SporadicTask{newcomer(i)}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// An arrival/departure pair per op, the departure anchored at the
+	// arrival's result — the churn experiment's event shape.
+	b.Run("churn", func(b *testing.B) {
+		svc, fp := warmSvc(b)
+		victims := make([]hetrta.TaskDigest, len(base))
+		for i, t := range base {
+			victims[i] = t.Digest()
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			ar, err := svc.AdmitDelta(ctx, fp, hetrta.TasksetDelta{Add: []hetrta.SporadicTask{newcomer(i)}})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := svc.AdmitDelta(ctx, ar.Fingerprint, hetrta.TasksetDelta{Remove: []hetrta.TaskDigest{victims[i%len(victims)]}}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	// The stateless baseline: the whole resulting 33-task set re-admitted
+	// from scratch (fresh graphs each iteration — a stateless daemon
+	// re-decodes and re-hashes every request) and marshaled, as a serving
+	// daemon would.
+	b.Run("full", func(b *testing.B) {
+		an, err := hetrta.NewAnalyzer(hetrta.WithPlatform(platform.Hetero(4)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		ta, err := hetrta.NewTasksetAnalyzer(an)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			set := hetrta.Taskset{Tasks: make([]hetrta.SporadicTask, 0, baseN+1)}
+			for _, t := range base {
+				t.G = t.G.Clone()
+				set.Tasks = append(set.Tasks, t)
+			}
+			set.Tasks = append(set.Tasks, newcomer(i))
+			rep, err := ta.Admit(ctx, set)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := rep.MarshalJSON(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -13,6 +13,13 @@
 //	POST /v1/admit          sporadic-taskset JSON in ({"tasks":[{"graph":...,
 //	                        "period":...,"deadline":...,"jitter":...}]}),
 //	                        AdmitReport JSON out (federated + global verdicts)
+//	POST /v1/admit/delta    incremental admission against a warm base:
+//	                        {"base":"<taskset fingerprint>","add":[task...],
+//	                        "remove":["<task digest>"...],"update":[{"old":
+//	                        "<digest>","task":{...}}...]} in, the resulting
+//	                        set's full AdmitReport out — byte-identical to a
+//	                        whole-set /v1/admit of it; 404 with a reason when
+//	                        the base is cold (client falls back to full admit)
 //	GET  /healthz           liveness probe (200 while the process runs)
 //	GET  /readyz            readiness probe (503 while draining or wedged)
 //	GET  /statsz            cache hit rate, shard occupancy, overload counters
@@ -326,6 +333,7 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze", d.handleAnalyze)
 	mux.HandleFunc("POST /v1/analyze/batch", d.handleBatch)
 	mux.HandleFunc("POST /v1/admit", d.handleAdmit)
+	mux.HandleFunc("POST /v1/admit/delta", d.handleAdmitDelta)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		d.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -504,6 +512,101 @@ func (d *daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 	d.writeBody(w, res.Body)
 }
 
+// admitDeltaRequest is the wire shape of /v1/admit/delta: the base
+// taskset's fingerprint (as returned in X-Taskset-Fingerprint by a prior
+// admit of the base), tasks to add, task digests to remove, and
+// replacements. Task digests come from the taskset model (graph canonical
+// fingerprint + sporadic parameters); removing a digest removes one
+// instance of that task.
+type admitDeltaRequest struct {
+	Base   string             `json:"base"`
+	Add    []admitTask        `json:"add,omitempty"`
+	Remove []string           `json:"remove,omitempty"`
+	Update []admitDeltaUpdate `json:"update,omitempty"`
+}
+
+type admitDeltaUpdate struct {
+	Old  string    `json:"old"`
+	Task admitTask `json:"task"`
+}
+
+// decodeAdmitDeltaRequest parses an /v1/admit/delta body. maxTasks bounds
+// the number of edits; like decodeAdmitRequest, model validation is the
+// analyzer's business.
+func decodeAdmitDeltaRequest(body []byte, maxTasks int) (hetrta.TasksetFingerprint, hetrta.TasksetDelta, error) {
+	var req admitDeltaRequest
+	var delta hetrta.TasksetDelta
+	if err := json.Unmarshal(body, &req); err != nil {
+		return hetrta.TasksetFingerprint{}, delta, err
+	}
+	base, err := hetrta.ParseTasksetFingerprint(req.Base)
+	if err != nil {
+		return hetrta.TasksetFingerprint{}, delta, fmt.Errorf("base: %v", err)
+	}
+	if edits := len(req.Add) + len(req.Remove) + len(req.Update); edits > maxTasks {
+		return base, delta, fmt.Errorf("%d delta edits exceed the %d limit", edits, maxTasks)
+	}
+	decodeTask := func(tk admitTask, what string) (hetrta.SporadicTask, error) {
+		g := hetrta.NewGraph()
+		if len(tk.Graph) > 0 {
+			if err := json.Unmarshal(tk.Graph, g); err != nil {
+				return hetrta.SporadicTask{}, fmt.Errorf("%s: %v", what, err)
+			}
+		}
+		return hetrta.SporadicTask{G: g, Period: tk.Period, Deadline: tk.Deadline, Jitter: tk.Jitter}, nil
+	}
+	for i, tk := range req.Add {
+		t, err := decodeTask(tk, fmt.Sprintf("add %d", i))
+		if err != nil {
+			return base, delta, err
+		}
+		delta.Add = append(delta.Add, t)
+	}
+	for i, s := range req.Remove {
+		dg, err := hetrta.ParseTaskDigest(s)
+		if err != nil {
+			return base, delta, fmt.Errorf("remove %d: %v", i, err)
+		}
+		delta.Remove = append(delta.Remove, dg)
+	}
+	for i, u := range req.Update {
+		dg, err := hetrta.ParseTaskDigest(u.Old)
+		if err != nil {
+			return base, delta, fmt.Errorf("update %d: old: %v", i, err)
+		}
+		t, err := decodeTask(u.Task, fmt.Sprintf("update %d: task", i))
+		if err != nil {
+			return base, delta, err
+		}
+		delta.Update = append(delta.Update, hetrta.TaskDeltaUpdate{Old: dg, Task: t})
+	}
+	return base, delta, nil
+}
+
+func (d *daemon) handleAdmitDelta(w http.ResponseWriter, r *http.Request) {
+	body, ok := d.readBody(w, r)
+	if !ok {
+		return
+	}
+	base, delta, err := decodeAdmitDeltaRequest(body, d.cfg.maxBatch)
+	if err != nil {
+		d.httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	ctx, cancel := d.requestCtx(r)
+	defer cancel()
+	res, err := d.svc.AdmitDelta(ctx, base, delta)
+	if err != nil {
+		d.writeAnalysisError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Cache", admitCacheState(res))
+	w.Header().Set("X-Taskset-Fingerprint", res.Fingerprint.String())
+	w.WriteHeader(http.StatusOK)
+	d.writeBody(w, res.Body)
+}
+
 func admitCacheState(res *service.AdmitResult) string {
 	switch {
 	case res.Hit:
@@ -601,6 +704,12 @@ func cacheState(res *service.Result) string {
 	}
 }
 
+// writeAnalysisError maps a service error to a status by what CAUSED it,
+// not just where it surfaced: input-shaped failures (model validation,
+// malformed deltas, no safe bound, the analysis itself rejecting the
+// graph) are the client's 4xx; everything else — injected faults,
+// cache-marshal failures, missing reports — is OUR 500, so operators see
+// infrastructure trouble instead of clients retrying unfixable requests.
 func (d *daemon) writeAnalysisError(w http.ResponseWriter, err error) {
 	switch {
 	case errors.Is(err, resilience.ErrOverloaded):
@@ -612,8 +721,16 @@ func (d *daemon) writeAnalysisError(w http.ResponseWriter, err error) {
 		// The client is gone; the status is moot but 499-style closing is
 		// conventional (no stdlib constant, use 408).
 		d.httpError(w, http.StatusRequestTimeout, "request cancelled")
-	default:
+	case errors.Is(err, service.ErrUnknownBase):
+		// Delta admission against a cold base: the reason tells the client
+		// to fall back to a full /v1/admit of the resulting set.
+		d.httpError(w, http.StatusNotFound, err.Error())
+	case errors.Is(err, hetrta.ErrInvalidInput):
+		d.httpError(w, http.StatusBadRequest, err.Error())
+	case errors.Is(err, service.ErrAnalysis), errors.Is(err, hetrta.ErrNoSafeBound):
 		d.httpError(w, http.StatusUnprocessableEntity, err.Error())
+	default:
+		d.httpError(w, http.StatusInternalServerError, err.Error())
 	}
 }
 

@@ -515,7 +515,8 @@ func TestAdmitBadRequests(t *testing.T) {
 		t.Fatalf("oversized taskset: %d: %s", resp.StatusCode, body)
 	}
 
-	// Deadline > period: decodes fine, fails model validation → 422.
+	// Deadline > period: decodes fine, fails model validation → 400 (an
+	// input-shaped error, named after the offending field).
 	bad, err := json.Marshal(map[string]any{"tasks": []map[string]any{
 		{"graph": json.RawMessage(chainTask(t)), "period": 10, "deadline": 20},
 	}})
@@ -523,10 +524,41 @@ func TestAdmitBadRequests(t *testing.T) {
 		t.Fatal(err)
 	}
 	resp, body = post(t, base+"/v1/admit", bad)
-	if resp.StatusCode != http.StatusUnprocessableEntity {
+	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("invalid model: %d: %s", resp.StatusCode, body)
 	}
 	if !strings.Contains(string(body), "constrained deadline") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+
+	// Non-positive period: previously flowed garbage into the policy
+	// iterations; now a 400 naming the field.
+	badPeriod, err := json.Marshal(map[string]any{"tasks": []map[string]any{
+		{"graph": json.RawMessage(chainTask(t)), "period": 0, "deadline": 0},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, base+"/v1/admit", badPeriod)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("non-positive period: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "period") {
+		t.Fatalf("unexpected error body: %s", body)
+	}
+
+	// Negative jitter → 400 naming the field.
+	badJitter, err := json.Marshal(map[string]any{"tasks": []map[string]any{
+		{"graph": json.RawMessage(chainTask(t)), "period": 10, "deadline": 10, "jitter": -1},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body = post(t, base+"/v1/admit", badJitter)
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("negative jitter: %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "jitter") {
 		t.Fatalf("unexpected error body: %s", body)
 	}
 }

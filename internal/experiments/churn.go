@@ -1,0 +1,268 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"time"
+
+	hetrta "repro"
+	"repro/internal/platform"
+	"repro/internal/service"
+	"repro/internal/stats"
+	"repro/internal/table"
+	"repro/internal/taskgen"
+	"repro/internal/taskset"
+)
+
+// ChurnConfig scales the admission-churn experiment: a long-lived serving
+// daemon sees a stream of task arrivals and departures against a resident
+// taskset, and every event needs a fresh admission decision. The
+// experiment measures how much of that re-admission the delta path
+// (cached per-task evals + global-step memo behind Service.AdmitDelta)
+// actually saves over a from-scratch re-analysis, and — the part that is
+// a correctness claim, not a performance one — that both paths produce
+// byte-identical AdmitReports at every event.
+type ChurnConfig struct {
+	// Seed drives all task generation; runs are deterministic.
+	Seed int64
+	// Platform is the shared execution platform.
+	Platform platform.Platform
+	// BaseTasks is the resident taskset size the churn plays against.
+	BaseTasks int
+	// Events is the number of churn events (arrivals and departures
+	// alternate, so the resident size stays near BaseTasks).
+	Events int
+	// Util is the target total utilization of the generated task pool.
+	Util float64
+	// OffloadShare / COffFrac / Classes mirror TasksetConfig.
+	OffloadShare float64
+	COffFrac     float64
+	Classes      int
+	// DeadlineRatio / JitterFrac derive deadlines and jitter as in
+	// TasksetConfig.
+	DeadlineRatio float64
+	JitterFrac    float64
+	// Params are the structural per-DAG generator parameters.
+	Params taskgen.Params
+}
+
+// DefaultChurn returns the standard churn configuration: a 32-task
+// resident set (the acceptance-criterion floor) at unit utilization on
+// the paper's midpoint platform, 64 alternating arrivals and departures.
+func DefaultChurn(seed int64) ChurnConfig {
+	return ChurnConfig{
+		Seed:         seed,
+		Platform:     platform.Hetero(4),
+		BaseTasks:    32,
+		Events:       64,
+		Util:         1,
+		OffloadShare: 0.25,
+		COffFrac:     0.3,
+		Params:       taskgen.Small(10, 30),
+	}
+}
+
+// QuickChurn returns a scaled-down configuration for tests and smoke runs.
+func QuickChurn(seed int64) ChurnConfig {
+	cfg := DefaultChurn(seed)
+	cfg.BaseTasks = 6
+	cfg.Events = 8
+	return cfg
+}
+
+// Validate reports configuration errors.
+func (c ChurnConfig) Validate() error {
+	if err := c.Platform.Validate(); err != nil {
+		return fmt.Errorf("experiments: %w", err)
+	}
+	if c.BaseTasks < 2 {
+		return fmt.Errorf("experiments: churn base of %d tasks (need at least 2)", c.BaseTasks)
+	}
+	if c.Events < 1 {
+		return fmt.Errorf("experiments: churn with %d events", c.Events)
+	}
+	if c.Util <= 0 {
+		return fmt.Errorf("experiments: non-positive churn utilization %v", c.Util)
+	}
+	return c.Params.Validate()
+}
+
+// ChurnResult is the outcome of Churn: per-path admission-latency
+// percentiles plus the byte-identity verdict.
+type ChurnResult struct {
+	Platform  platform.Platform
+	BaseTasks int
+	Events    int
+
+	// Delta / Full hold per-event admission latencies in microseconds for
+	// the delta path (Service.AdmitDelta over warm caches) and the
+	// from-scratch whole-set re-analysis.
+	Delta stats.Accumulator
+	Full  stats.Accumulator
+
+	// Mismatches counts events where the delta path's AdmitReport bytes
+	// differed from the from-scratch report — must be zero.
+	Mismatches int
+
+	// EvalHits / EvalMisses are the service's per-task eval cache counters
+	// after the run: churn should re-prepare only tasks it has never seen.
+	EvalHits   uint64
+	EvalMisses uint64
+}
+
+// SpeedupP50 is the median full-readmission latency over the median
+// delta-admission latency.
+func (r *ChurnResult) SpeedupP50() float64 {
+	return r.Full.Percentile(50) / r.Delta.Percentile(50)
+}
+
+// Churn runs the admission-churn experiment. It warms a resident
+// BaseTasks-sized set in a Service, then replays Events alternating
+// arrivals (a never-seen task joins) and departures (a deterministic
+// resident leaves). Each event is admitted twice: through AdmitDelta
+// anchored at the previous event's fingerprint, and from scratch through
+// a separate TasksetAnalyzer with no shared state. Latencies for both go
+// into the result; the two reports are compared byte-for-byte.
+func Churn(ctx context.Context, cfg ChurnConfig) (*ChurnResult, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	arrivals := (cfg.Events + 1) / 2
+	// Util names the RESIDENT set's target utilization; the generated pool
+	// is larger (base + future arrivals), so scale the pool's total
+	// accordingly — otherwise running more events would dilute every task
+	// and quietly change the workload being measured.
+	poolN := cfg.BaseTasks + arrivals
+	pool, err := taskset.Generate(taskset.TasksetParams{
+		N: poolN, Util: cfg.Util * float64(poolN) / float64(cfg.BaseTasks),
+		OffloadShare: cfg.OffloadShare, COffFrac: cfg.COffFrac,
+		Classes: cfg.Classes, DeadlineRatio: cfg.DeadlineRatio,
+		JitterFrac: cfg.JitterFrac, Params: cfg.Params,
+	}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("churn generate: %w", err)
+	}
+	// Pool digests are warmed up front for the parts that are bookkeeping,
+	// not serving work: the warm-up admit and the departure events' Remove
+	// digests (a real client names departures by digests it already holds
+	// from previous responses — no hashing happens server-side for those).
+	for i := range pool.Tasks {
+		_ = pool.Tasks[i].Digest()
+	}
+	// What each path hashes INSIDE its timer mirrors what a daemon would do
+	// for its request shape. A whole-set re-admission is stateless: the
+	// request decodes to fresh graph objects, so every task's canonical
+	// fingerprint is recomputed per request — the full path therefore
+	// admits a freshly cloned set each event (the clone itself, the decode
+	// analog, runs off the clock). A delta request carries only the new
+	// task, so the delta path hashes exactly that one fresh graph; the
+	// resident base's digests come from the service's entry bookkeeping,
+	// which is the statefulness this subsystem exists to provide.
+	cloneTask := func(t hetrta.SporadicTask) hetrta.SporadicTask {
+		t.G = t.G.Clone()
+		return t
+	}
+	cloneSet := func(ts []hetrta.SporadicTask) hetrta.Taskset {
+		out := make([]hetrta.SporadicTask, len(ts))
+		for i, t := range ts {
+			out[i] = cloneTask(t)
+		}
+		return hetrta.Taskset{Tasks: out}
+	}
+
+	an, err := hetrta.NewAnalyzer(hetrta.WithPlatform(cfg.Platform))
+	if err != nil {
+		return nil, err
+	}
+	svc, err := service.New(an, service.Options{})
+	if err != nil {
+		return nil, err
+	}
+	// The from-scratch baseline gets its own analyzer stack so no cache,
+	// eval handle, or step memo leaks across the comparison.
+	fullAn, err := hetrta.NewAnalyzer(hetrta.WithPlatform(cfg.Platform))
+	if err != nil {
+		return nil, err
+	}
+	fullTA, err := hetrta.NewTasksetAnalyzer(fullAn)
+	if err != nil {
+		return nil, err
+	}
+
+	resident := append([]hetrta.SporadicTask(nil), pool.Tasks[:cfg.BaseTasks]...)
+	warm, err := svc.Admit(ctx, hetrta.Taskset{Tasks: resident})
+	if err != nil {
+		return nil, fmt.Errorf("churn warm-up admit: %w", err)
+	}
+	fp := warm.Fingerprint
+
+	res := &ChurnResult{Platform: cfg.Platform, BaseTasks: cfg.BaseTasks, Events: cfg.Events}
+	for ev := 0; ev < cfg.Events; ev++ {
+		var delta hetrta.TasksetDelta
+		if ev%2 == 0 { // arrival: a task the caches have never seen
+			newcomer := cloneTask(pool.Tasks[cfg.BaseTasks+ev/2])
+			delta.Add = []hetrta.SporadicTask{newcomer}
+			resident = append(resident, newcomer)
+		} else { // departure: deterministic victim, spread across the set
+			vi := (ev * 7) % len(resident)
+			delta.Remove = []hetrta.TaskDigest{resident[vi].Digest()}
+			resident = append(resident[:vi:vi], resident[vi+1:]...)
+		}
+		fullSet := cloneSet(resident) // the full request's "decoded body"
+
+		start := time.Now()
+		dres, err := svc.AdmitDelta(ctx, fp, delta)
+		if err != nil {
+			return nil, fmt.Errorf("churn event %d: delta admit: %w", ev, err)
+		}
+		res.Delta.Add(float64(time.Since(start)) / float64(time.Microsecond))
+		fp = dres.Fingerprint
+
+		// The full path is timed through serialization too: a serving
+		// daemon marshals the report either way, and AdmitDelta's timing
+		// includes it.
+		start = time.Now()
+		fullRep, err := fullTA.Admit(ctx, fullSet)
+		if err != nil {
+			return nil, fmt.Errorf("churn event %d: full admit: %w", ev, err)
+		}
+		// Direct MarshalJSON mirrors what the service does on its hot
+		// path (same bytes; skips encoding/json's compact rescan).
+		fullBody, err := fullRep.MarshalJSON()
+		if err != nil {
+			return nil, err
+		}
+		res.Full.Add(float64(time.Since(start)) / float64(time.Microsecond))
+		if !bytes.Equal(fullBody, dres.Body) {
+			res.Mismatches++
+		}
+	}
+
+	st := svc.Stats()
+	res.EvalHits, res.EvalMisses = st.EvalHits, st.EvalMisses
+	return res, nil
+}
+
+// Table renders the per-path latency distributions plus the identity and
+// cache-reuse summary.
+func (r *ChurnResult) Table() *table.Table {
+	t := table.New(fmt.Sprintf("Admission churn on %s: %d-task resident set, %d arrival/departure events",
+		r.Platform, r.BaseTasks, r.Events),
+		"path", "admissions", "p50 (µs)", "p90 (µs)", "p99 (µs)", "mean (µs)")
+	add := func(name string, a *stats.Accumulator) {
+		t.AddRow(name, a.N(), a.Percentile(50), a.Percentile(90), a.Percentile(99), a.Mean())
+	}
+	add("delta", &r.Delta)
+	add("full", &r.Full)
+	return t
+}
+
+// SummaryTable renders the headline numbers: the p50 speedup the delta
+// path delivers, and the byte-identity / cache-reuse verdicts.
+func (r *ChurnResult) SummaryTable() *table.Table {
+	t := table.New("Admission churn summary",
+		"speedup (p50 full/delta)", "report mismatches", "eval hits", "eval misses")
+	t.AddRow(r.SpeedupP50(), r.Mismatches, r.EvalHits, r.EvalMisses)
+	return t
+}

@@ -1,0 +1,51 @@
+package experiments
+
+import (
+	"context"
+	"testing"
+)
+
+// TestChurnByteIdentity is the churn acceptance property: across every
+// arrival/departure event, the delta-admission report is byte-identical
+// to a from-scratch re-analysis of the resulting set, and the eval cache
+// only ever re-prepares tasks it has never seen. Latency ratios are
+// reported by the experiment but deliberately not asserted here — CI
+// machines make timing gates flaky; the identity is the invariant.
+func TestChurnByteIdentity(t *testing.T) {
+	cfg := QuickChurn(7)
+	res, err := Churn(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Mismatches != 0 {
+		t.Fatalf("%d of %d churn events produced a report differing from full re-analysis", res.Mismatches, cfg.Events)
+	}
+	if res.Delta.N() != cfg.Events || res.Full.N() != cfg.Events {
+		t.Fatalf("latency samples delta=%d full=%d, want %d each", res.Delta.N(), res.Full.N(), cfg.Events)
+	}
+	// Warm-up prepares BaseTasks evals; each arrival adds exactly one more.
+	arrivals := (cfg.Events + 1) / 2
+	if want := uint64(cfg.BaseTasks + arrivals); res.EvalMisses != want {
+		t.Fatalf("eval misses = %d, want %d (base + one per arrival)", res.EvalMisses, want)
+	}
+	if res.EvalHits == 0 {
+		t.Fatal("churn reused no cached evals")
+	}
+	if res.Table() == nil || res.SummaryTable() == nil {
+		t.Fatal("nil tables")
+	}
+}
+
+func TestChurnConfigValidate(t *testing.T) {
+	for name, mut := range map[string]func(*ChurnConfig){
+		"base":   func(c *ChurnConfig) { c.BaseTasks = 1 },
+		"events": func(c *ChurnConfig) { c.Events = 0 },
+		"util":   func(c *ChurnConfig) { c.Util = 0 },
+	} {
+		cfg := QuickChurn(1)
+		mut(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("%s: invalid config validated", name)
+		}
+	}
+}

@@ -100,10 +100,10 @@ func TestAdmitSingleFlight(t *testing.T) {
 	var execs atomic.Int64
 	inner := svc.execAdmit
 	gate := make(chan struct{})
-	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error) {
+	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset, ds []hetrta.TaskDigest, src hetrta.TaskEvalSource) (*hetrta.AdmitReport, error) {
 		execs.Add(1)
 		<-gate
-		return inner(ctx, ts)
+		return inner(ctx, ts, ds, src)
 	}
 
 	const clients = 8
@@ -165,7 +165,7 @@ func TestAdmitCancelledLeaderRetry(t *testing.T) {
 	leaderStarted := make(chan struct{})
 	leaderCtx, cancelLeader := context.WithCancel(context.Background())
 	var once sync.Once
-	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error) {
+	svc.execAdmit = func(ctx context.Context, ts hetrta.Taskset, ds []hetrta.TaskDigest, src hetrta.TaskEvalSource) (*hetrta.AdmitReport, error) {
 		once.Do(func() {
 			close(leaderStarted)
 			<-ctx.Done()
@@ -173,7 +173,7 @@ func TestAdmitCancelledLeaderRetry(t *testing.T) {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		return inner(ctx, ts)
+		return inner(ctx, ts, ds, src)
 	}
 
 	done := make(chan error, 1)
@@ -202,7 +202,10 @@ func TestAdmitCancelledLeaderRetry(t *testing.T) {
 }
 
 // TestAdmitAndAnalyzeShareCacheDisjointly: an admission and an analysis of
-// content-related inputs never collide in the shared cache.
+// content-related inputs never collide in the shared cache. The admission
+// leaves one "admit|" entry plus one "eval|" entry per distinct task; the
+// analysis adds its own entry — and none of the four lookups hits another
+// namespace's key.
 func TestAdmitAndAnalyzeShareCacheDisjointly(t *testing.T) {
 	svc := admitService(t, Options{})
 	ts := admitTaskset(false)
@@ -213,8 +216,12 @@ func TestAdmitAndAnalyzeShareCacheDisjointly(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := svc.Stats()
-	if st.Entries != 2 || st.Hits != 0 {
-		t.Fatalf("expected 2 disjoint entries, no hits: %+v", st)
+	wantEntries := 2 + len(ts.Tasks) // admit| + analyze| + one eval| per task
+	if st.Entries != wantEntries || st.Hits != 0 || st.EvalHits != 0 {
+		t.Fatalf("expected %d disjoint entries, no hits: %+v", wantEntries, st)
+	}
+	if st.EvalMisses != uint64(len(ts.Tasks)) {
+		t.Fatalf("expected %d eval misses: %+v", len(ts.Tasks), st)
 	}
 }
 

@@ -17,6 +17,23 @@ type entry struct {
 	report *hetrta.Report
 	admit  *hetrta.AdmitReport
 	body   []byte
+	// eval holds a per-task evaluation handle ("eval|" namespace entries):
+	// the platform-independent preparation plus memoized per-platform
+	// bounds, shared across every admission that contains the task. Eval
+	// entries have no body — they are never served over the wire.
+	eval *hetrta.TaskEvalHandle
+	// base holds the canonical taskset behind an "admit|" entry, anchoring
+	// delta admission: AdmitDelta resolves its base fingerprint to this set
+	// and applies the delta to it. digests is parallel to base.Tasks, so the
+	// delta path resolves removals and derives the resulting fingerprint
+	// without re-hashing the base. Both nil on non-admission entries.
+	base    *hetrta.Taskset
+	digests []hetrta.TaskDigest
+	// evals anchors the eval handles of the tasks in base, keyed by digest,
+	// so a delta admission resolves surviving tasks' handles by map lookup
+	// instead of going through the string-keyed eval cache. Written only by
+	// the leader that builds the entry (before publish); read-only after.
+	evals map[hetrta.TaskDigest]*hetrta.TaskEvalHandle
 	// cacheKey, when non-empty, overrides the flight key at insert time: a
 	// full attempt that came back degraded publishes normally to its
 	// flight's waiters but is cached under the "deg|" namespace, so full

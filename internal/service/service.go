@@ -115,6 +115,17 @@ type Service struct {
 	inFlight   atomic.Int64
 	degraded   atomic.Uint64
 
+	// Per-task eval-cache counters, disjoint from the request-level
+	// hit/miss economics above (an admission that reuses 32 evals is still
+	// ONE request-level miss).
+	evalHits     atomic.Uint64
+	evalMisses   atomic.Uint64
+	evalFailures atomic.Uint64
+
+	// steps memoizes Global-policy fixpoint iterations across admissions
+	// (see hetrta.GlobalStepCache); results are byte-identical either way.
+	steps *hetrta.GlobalStepCache
+
 	// Overload-protection layer; every field is nil-safe, so call sites
 	// need no resilience-enabled checks. degBreaker/degHard are the
 	// bounds-only analyzer variants degraded routing executes; non-nil only
@@ -132,8 +143,11 @@ type Service struct {
 	// defaults to an.AnalyzeBatch, letting tests count executions.
 	exec func(ctx context.Context, gs []*hetrta.Graph) ([]*hetrta.Report, error)
 	// execAdmit runs the taskset analyzer for an admission miss; a test
-	// hook that defaults to ta.Admit.
-	execAdmit func(ctx context.Context, ts hetrta.Taskset) (*hetrta.AdmitReport, error)
+	// hook that defaults to admitCached (AdmitWith over the shared per-task
+	// eval cache and Global step memo — byte-identical to ta.Admit). src,
+	// when non-nil, overrides the per-task eval source (the delta path's
+	// entry-anchored handles).
+	execAdmit func(ctx context.Context, ts hetrta.Taskset, ds []hetrta.TaskDigest, src hetrta.TaskEvalSource) (*hetrta.AdmitReport, error)
 }
 
 // flight is one in-progress execution; waiters block on done.
@@ -142,6 +156,21 @@ type flight struct {
 	ent  *entry
 	err  error
 }
+
+// ErrAnalysis marks errors produced by the analysis itself on well-formed
+// input (a Report that came back with Err set — e.g. a cyclic graph, an
+// exact-stage infeasibility). The HTTP layer maps it to 422; errors
+// WITHOUT this mark on the execution path are infrastructure faults
+// (injected errors, marshal failures, missing reports) and map to 500.
+var ErrAnalysis = errors.New("analysis failed")
+
+// analysisError carries a per-report failure message verbatim while
+// satisfying errors.Is(err, ErrAnalysis).
+type analysisError struct{ msg string }
+
+func (e analysisError) Error() string { return e.msg }
+
+func (e analysisError) Is(target error) bool { return target == ErrAnalysis }
 
 // Result is the outcome of one analyzed graph.
 //
@@ -200,9 +229,10 @@ func New(an *hetrta.Analyzer, opts Options) (*Service, error) {
 		tsig:    ta.Signature(),
 		cache:   newCache(entries, shards),
 		flights: make(map[string]*flight),
+		steps:   hetrta.NewGlobalStepCache(entries),
 	}
 	s.exec = an.AnalyzeBatch
-	s.execAdmit = ta.Admit
+	s.execAdmit = s.admitCached
 	s.inj = opts.FaultInjector
 	if r := opts.Resilience; r != nil {
 		s.limiter = resilience.NewLimiter(r.Limiter)
@@ -373,6 +403,15 @@ func (s *Service) runFull(ctx context.Context, g *hetrta.Graph, fp dag.Fingerpri
 	return ent, err
 }
 
+// serveCounters selects which hit/miss/failure counters a serve call
+// feeds: the request-level counters for analyze/admit keys, the eval
+// counters for per-task "eval|" keys — so the internal per-task lookups of
+// a delta admission do not distort the request-level cache economics the
+// /statsz tests assert on.
+type serveCounters struct {
+	hits, misses, failures *atomic.Uint64
+}
+
 // serve resolves one cache key through the cache and the single-flight
 // table, running `run` as the flight leader on a miss. It is the shared
 // core of the analysis and admission paths: cache hit → (hit=true); joined
@@ -380,14 +419,19 @@ func (s *Service) runFull(ctx context.Context, g *hetrta.Graph, fp dag.Fingerpri
 // waiter whose leader died of its own cancelled context retries with its
 // own, still-live context (re-checking the cache, possibly leading).
 func (s *Service) serve(ctx context.Context, key string, run func(ctx context.Context) (*entry, error)) (ent *entry, hit, shared bool, err error) {
+	return s.serveWith(ctx, key, serveCounters{&s.hits, &s.misses, &s.failures}, run)
+}
+
+// serveWith is serve with explicit counter routing.
+func (s *Service) serveWith(ctx context.Context, key string, ctrs serveCounters, run func(ctx context.Context) (*entry, error)) (ent *entry, hit, shared bool, err error) {
 	for {
 		if ent, ok := s.cacheGet(key); ok {
-			s.hits.Add(1)
+			ctrs.hits.Add(1)
 			return ent, true, false, nil
 		}
 		f, leader := s.leadOrJoin(key)
 		if leader {
-			ent, err := s.lead(ctx, key, f, run)
+			ent, err := s.lead(ctx, key, f, ctrs, run)
 			return ent, false, false, err
 		}
 		s.coalesced.Add(1)
@@ -409,7 +453,7 @@ func (s *Service) serve(ctx context.Context, key string, run func(ctx context.Co
 // lead executes `run` for key as the flight leader, caches success, and
 // publishes the outcome to waiters (also on panic, so a crashing execution
 // cannot strand them).
-func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx context.Context) (*entry, error)) (ent *entry, err error) {
+func (s *Service) lead(ctx context.Context, key string, f *flight, ctrs serveCounters, run func(ctx context.Context) (*entry, error)) (ent *entry, err error) {
 	published := false
 	defer func() {
 		if !published {
@@ -420,15 +464,15 @@ func (s *Service) lead(ctx context.Context, key string, f *flight, run func(ctx 
 	// leader caches before deregistering, so this read cannot miss an
 	// entry that was published before we became leader.
 	if cached, ok := s.cacheGet(key); ok {
-		s.hits.Add(1)
+		ctrs.hits.Add(1)
 		published = true
 		s.publish(key, f, cached, nil)
 		return cached, nil
 	}
-	s.misses.Add(1)
+	ctrs.misses.Add(1)
 	ent, err = run(ctx)
 	if err != nil {
-		s.failures.Add(1)
+		ctrs.failures.Add(1)
 		published = true
 		s.publish(key, f, nil, err)
 		return nil, err
@@ -472,7 +516,7 @@ func (s *Service) runGraph(ctx context.Context, g *hetrta.Graph, exec func(ctx c
 		return nil, errors.New("service: analyzer returned no report")
 	}
 	if reports[0].Err != "" {
-		return nil, errors.New(reports[0].Err)
+		return nil, analysisError{reports[0].Err}
 	}
 	return marshalEntry(reports[0])
 }
@@ -516,6 +560,12 @@ func (s *Service) admitKeyOf(fp hetrta.TasksetFingerprint) string {
 	return "admit|" + fp.String() + "|" + s.tsig
 }
 
+// ErrUnknownBase is returned by AdmitDelta when the base fingerprint is
+// not resident in the admit cache (never admitted here, or evicted). The
+// HTTP layer maps it to 404-with-reason; clients recover by re-submitting
+// the full resulting taskset to Admit.
+var ErrUnknownBase = errors.New("service: unknown base taskset")
+
 // Admit serves one taskset admission: from the cache, from another
 // request's in-flight execution, or by running the TasksetAnalyzer. The
 // same single-flight and never-cache-failures rules as Analyze apply, and
@@ -525,12 +575,60 @@ func (s *Service) Admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, e
 	return s.admit(ctx, ts)
 }
 
+// AdmitDelta admits the taskset obtained by applying delta to the base set
+// anchored under the base fingerprint — the churn-serving path. The base
+// must be warm: any prior Admit or AdmitDelta of it on this service
+// anchors its canonical taskset in the admit cache; a cold base returns
+// ErrUnknownBase (the client falls back to a full Admit). The result is
+// byte-identical to Admit of the full resulting set — the resulting
+// fingerprint keys the same cache namespace, per-task evals are shared
+// through the "eval|" namespace, and the Global step memo replays
+// unchanged fixpoint iterations — so delta and whole-set requests for the
+// same resulting system are interchangeable. Malformed deltas (a removed
+// digest not in the base) satisfy errors.Is(err, hetrta.ErrInvalidInput).
+func (s *Service) AdmitDelta(ctx context.Context, base hetrta.TasksetFingerprint, delta hetrta.TasksetDelta) (*AdmitResult, error) {
+	s.requests.Add(1)
+	ent, ok := s.cacheGet(s.admitKeyOf(base))
+	if !ok || ent.base == nil {
+		return nil, fmt.Errorf("%w: fingerprint %s not resident (never admitted or evicted); fall back to full admit", ErrUnknownBase, base)
+	}
+	ts, ds, err := ent.base.ApplyDeltaDigests(ent.digests, delta)
+	if err != nil {
+		return nil, hetrta.MarkInvalidInput(err)
+	}
+	// One canonicalization covers the whole event: entries anchored by the
+	// delta path hold canonical order, so this sorts an almost-sorted
+	// slice, the fingerprint needs no second sort, and the analyzer's own
+	// canonical pass below becomes the identity.
+	ts, ds = ts.CanonicalWithGivenDigests(ds)
+	// Carry the base entry's eval handles forward (minus removals), so the
+	// admission resolves surviving tasks without touching the eval cache.
+	evals := make(map[hetrta.TaskDigest]*hetrta.TaskEvalHandle, len(ds))
+	//lint:ordered map copy: the destination is a map, so insert order is immaterial
+	for dg, h := range ent.evals {
+		evals[dg] = h
+	}
+	for _, rd := range delta.Remove {
+		delete(evals, rd)
+	}
+	// The resulting fingerprint falls out of the digest bookkeeping: only
+	// tasks the delta introduced were hashed, never the resident base.
+	return s.admitFP(ctx, hetrta.TasksetFingerprintFromDigests(ds), ts, ds, evals)
+}
+
 // admit is Admit without the request accounting, so internal retries (the
 // cancelled-leader fallback) do not double-count.
 func (s *Service) admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, error) {
-	fp := ts.Fingerprint()
+	return s.admitFP(ctx, ts.Fingerprint(), ts, nil, nil)
+}
+
+// admitFP is admit with the taskset's fingerprint — and optionally the
+// per-task digests (parallel to ts.Tasks) and anchored eval handles —
+// already in hand: the delta path derives all three from the base entry's
+// bookkeeping instead of full hash passes and cache lookups.
+func (s *Service) admitFP(ctx context.Context, fp hetrta.TasksetFingerprint, ts hetrta.Taskset, ds []hetrta.TaskDigest, evals map[hetrta.TaskDigest]*hetrta.TaskEvalHandle) (*AdmitResult, error) {
 	ent, hit, shared, err := s.serve(ctx, s.admitKeyOf(fp), func(ctx context.Context) (*entry, error) {
-		return s.runAdmit(ctx, ts)
+		return s.runAdmit(ctx, ts, ds, evals)
 	})
 	if err != nil {
 		return nil, err
@@ -539,8 +637,12 @@ func (s *Service) admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, e
 }
 
 // runAdmit executes the taskset analyzer once and serializes the report
-// (the admission counterpart of runOne).
-func (s *Service) runAdmit(ctx context.Context, ts hetrta.Taskset) (*entry, error) {
+// (the admission counterpart of runOne). The successful entry carries a
+// copy of the taskset so it can anchor later AdmitDelta calls; ds, when
+// non-nil, is the precomputed per-task digest slice parallel to ts.Tasks,
+// and evals seeds the entry's digest→handle anchor map (handles resolved
+// during this admission are added to it before the entry is published).
+func (s *Service) runAdmit(ctx context.Context, ts hetrta.Taskset, ds []hetrta.TaskDigest, evals map[hetrta.TaskDigest]*hetrta.TaskEvalHandle) (*entry, error) {
 	if err := s.limiter.Acquire(ctx, costAdmit); err != nil {
 		return nil, err
 	}
@@ -551,15 +653,97 @@ func (s *Service) runAdmit(ctx context.Context, ts hetrta.Taskset) (*entry, erro
 	if err := s.inj.Fire(faultinject.Exec); err != nil {
 		return nil, err
 	}
-	rep, err := s.execAdmit(ctx, ts)
+	if evals == nil {
+		evals = make(map[hetrta.TaskDigest]*hetrta.TaskEvalHandle, len(ts.Tasks))
+	}
+	// Anchored handles satisfy lookups without the string-keyed eval cache;
+	// they still count as eval hits so churn metrics keep their meaning
+	// (only never-seen tasks are prepared). Misses go through taskEval —
+	// single-flight, counted, fault-injectable — and join the anchor map.
+	src := func(ctx context.Context, t hetrta.SporadicTask, dg hetrta.TaskDigest) (*hetrta.TaskEvalHandle, error) {
+		if h, ok := evals[dg]; ok {
+			s.evalHits.Add(1)
+			return h, nil
+		}
+		h, err := s.taskEval(ctx, t, dg)
+		if err == nil {
+			evals[dg] = h
+		}
+		return h, err
+	}
+	rep, err := s.execAdmit(ctx, ts, ds, src)
 	if err != nil {
 		return nil, err
 	}
-	body, err := json.Marshal(rep)
+	// The direct MarshalJSON call sidesteps encoding/json's marshaler
+	// wrapper, whose compact/validate rescan of the output costs more than
+	// the encoding itself. The bytes are identical: the encoder emits no
+	// insignificant whitespace and pre-escapes everything compact would.
+	body, err := rep.MarshalJSON()
 	if err != nil {
 		return nil, fmt.Errorf("service: marshaling admit report: %w", err)
 	}
-	return &entry{admit: rep, body: body}, nil
+	// Anchor for later AdmitDelta calls: a private copy of the task list
+	// (ApplyDelta resolves digests in any order, so no canonicalization
+	// pass is needed here; the graphs themselves are immutable-by-contract
+	// once admitted) plus its per-task digests, cheap now that the member
+	// graphs' canonical fingerprints are memoized from the admission.
+	base := hetrta.Taskset{Tasks: append([]hetrta.SporadicTask(nil), ts.Tasks...)}
+	if ds == nil {
+		ds = make([]hetrta.TaskDigest, len(base.Tasks))
+		for i := range base.Tasks {
+			ds[i] = base.Tasks[i].Digest()
+		}
+	}
+	return &entry{admit: rep, body: body, base: &base, digests: ds, evals: evals}, nil
+}
+
+// evalKeyOf derives the per-task eval cache key: the task digest under the
+// per-DAG analyzer signature (bounds config feeds every eval; the policy
+// list does not), in the "eval|" namespace of the shared sharded cache.
+// The digest goes in as raw bytes — the key is internal to the cache, and
+// hex-encoding 32 bytes per task per admission is measurable churn.
+func (s *Service) evalKeyOf(dg hetrta.TaskDigest) string {
+	return "eval|" + string(dg[:]) + "|" + s.sig
+}
+
+// taskEval resolves one task's evaluation handle through the shared cache
+// under single-flight per task digest: concurrent admissions containing
+// the same task prepare it exactly once, failures are never cached, and
+// the publish ordering is the panic-safe one every namespace uses.
+// Preparation runs inside the admission's limiter slot (runAdmit already
+// holds costAdmit), so evals never double-acquire, and eval lookups feed
+// the eval counters, not the request-level hit/miss economics.
+func (s *Service) taskEval(ctx context.Context, t hetrta.SporadicTask, dg hetrta.TaskDigest) (*hetrta.TaskEvalHandle, error) {
+	ent, _, _, err := s.serveWith(ctx, s.evalKeyOf(dg),
+		serveCounters{&s.evalHits, &s.evalMisses, &s.evalFailures},
+		func(ctx context.Context) (*entry, error) {
+			h, err := s.ta.PrepareTaskEval(t.G)
+			if err != nil {
+				return nil, err
+			}
+			return &entry{eval: h}, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+	if ent.eval == nil {
+		return nil, errors.New("service: eval cache entry without handle")
+	}
+	return ent.eval, nil
+}
+
+// admitCached is the default execAdmit: AdmitWith over the shared per-task
+// eval cache and the Global step memo. Byte-identical to ta.Admit — eval
+// handles memoize pure per-platform bound values and the step cache
+// replays fixpoint iterations keyed on their full inputs — but an
+// admission whose tasks are warm (the delta path) skips all per-task
+// preparation and most policy iteration work.
+func (s *Service) admitCached(ctx context.Context, ts hetrta.Taskset, ds []hetrta.TaskDigest, src hetrta.TaskEvalSource) (*hetrta.AdmitReport, error) {
+	if src == nil {
+		src = s.taskEval
+	}
+	return s.ta.AdmitPrepared(ctx, ts, ds, src, s.steps)
 }
 
 // AnalyzeBatch serves many graphs: cache hits fill immediately, duplicate
@@ -714,7 +898,7 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			case j >= len(reports) || reports[j] == nil:
 				err = errors.New("service: analyzer returned no report")
 			case reports[j].Err != "":
-				err = errors.New(reports[j].Err)
+				err = analysisError{reports[j].Err}
 			default:
 				rep = reports[j]
 				ent, err = marshalEntry(rep)
@@ -746,7 +930,7 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 			slot := len(runKeys) + j
 			err := errors.New("service: analyzer returned no report")
 			if slot < len(reports) && reports[slot] != nil && reports[slot].Err != "" {
-				err = errors.New(reports[slot].Err)
+				err = analysisError{reports[slot].Err}
 			} else if batchErr != nil {
 				err = batchErr
 			}
@@ -862,6 +1046,18 @@ type Stats struct {
 	// (breaker open, hard instance) plus full attempts that exhausted
 	// their exact budget or deadline slice.
 	Degraded uint64 `json:"degraded"`
+	// EvalHits / EvalMisses / EvalFailures count per-task eval-cache
+	// lookups on the admission path ("eval|" namespace). They are
+	// deliberately disjoint from Hits/Misses: a delta admission that
+	// reuses 32 cached task evals is still one request-level miss.
+	EvalHits     uint64 `json:"evalHits"`
+	EvalMisses   uint64 `json:"evalMisses"`
+	EvalFailures uint64 `json:"evalFailures,omitempty"`
+	// StepHits / StepMisses count Global-policy fixpoint memo lookups;
+	// StepEntries is the memo's current size.
+	StepHits    uint64 `json:"stepHits"`
+	StepMisses  uint64 `json:"stepMisses"`
+	StepEntries int    `json:"stepEntries,omitempty"`
 	// InFlight is the number of executions running right now.
 	InFlight int64 `json:"inFlight"`
 	// Entries is the current cache occupancy; Capacity its limit;
@@ -880,6 +1076,19 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the service counters.
+//
+// The snapshot's contract is per-field monotonicity, not cross-field
+// consistency: each cumulative counter (Requests, Hits, Misses,
+// Executions, Coalesced, Failures, Degraded, Eval*, Step*, Evictions) is
+// read atomically and never decreases between successive snapshots, but
+// the fields are read one by one while flights publish concurrently, so a
+// single snapshot can be torn ACROSS fields — e.g. a request counted in
+// Requests whose hit is not yet in Hits, so Hits+Misses may momentarily
+// trail Requests. Consumers (the /statsz tests, dashboards computing
+// deltas) must therefore only compare the same field across snapshots, or
+// quiesce the service before asserting cross-field identities.
+// Point-in-time gauges (InFlight, Entries, ShardEntries, StepEntries) obey
+// neither property. TestStatsMonotonicity pins the contract.
 func (s *Service) Stats() Stats {
 	st := Stats{
 		Requests:     s.requests.Load(),
@@ -889,11 +1098,15 @@ func (s *Service) Stats() Stats {
 		Coalesced:    s.coalesced.Load(),
 		Failures:     s.failures.Load(),
 		Degraded:     s.degraded.Load(),
+		EvalHits:     s.evalHits.Load(),
+		EvalMisses:   s.evalMisses.Load(),
+		EvalFailures: s.evalFailures.Load(),
 		InFlight:     s.inFlight.Load(),
 		Entries:      s.cache.len(),
 		Evictions:    s.cache.evicted(),
 		ShardEntries: s.cache.shardLens(),
 	}
+	st.StepHits, st.StepMisses, st.StepEntries = s.steps.Stats()
 	for _, sh := range s.cache.shards {
 		st.Capacity += sh.capacity
 	}

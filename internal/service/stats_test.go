@@ -1,0 +1,71 @@
+package service
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	hetrta "repro"
+)
+
+// TestStatsMonotonicity pins the documented Stats() contract: each
+// cumulative counter is monotonic non-decreasing across successive
+// snapshots, even while the service is being hammered concurrently.
+// Cross-field consistency is explicitly NOT asserted — snapshots may be
+// torn between fields (see the Stats doc comment).
+func TestStatsMonotonicity(t *testing.T) {
+	svc := admitService(t, Options{})
+	ctx := context.Background()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				switch i % 3 {
+				case 0:
+					svc.Admit(ctx, admitTaskset(w%2 == 0))
+				case 1:
+					svc.Analyze(ctx, admitTaskset(false).Tasks[i%2].G)
+				case 2:
+					svc.Admit(ctx, hetrta.Taskset{}) // failure path: bumps Failures
+				}
+			}
+		}(w)
+	}
+
+	counters := func(st Stats) map[string]uint64 {
+		return map[string]uint64{
+			"Requests":     st.Requests,
+			"Hits":         st.Hits,
+			"Misses":       st.Misses,
+			"Failures":     st.Failures,
+			"Executions":   st.Executions,
+			"EvalHits":     st.EvalHits,
+			"EvalMisses":   st.EvalMisses,
+			"EvalFailures": st.EvalFailures,
+			"StepHits":     st.StepHits,
+			"StepMisses":   st.StepMisses,
+		}
+	}
+
+	prev := counters(svc.Stats())
+	for i := 0; i < 200; i++ {
+		cur := counters(svc.Stats())
+		for name, v := range prev {
+			if cur[name] < v {
+				t.Fatalf("snapshot %d: %s went backwards: %d -> %d", i, name, v, cur[name])
+			}
+		}
+		prev = cur
+	}
+	close(stop)
+	wg.Wait()
+}

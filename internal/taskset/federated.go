@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/platform"
@@ -57,17 +58,30 @@ func (federated) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error
 
 	// Process tasks in decreasing utilization (classic federated order;
 	// makes the device assignment deterministic and favors the hungriest
-	// task). Ties break on the (canonical) taskset index.
+	// task). Ties break on the (canonical) taskset index. Utilizations are
+	// computed once up front — the sort comparator would otherwise take the
+	// per-graph property lock O(N log N) times.
+	us := in.Utils
+	if us == nil {
+		us = make([]float64, len(in.Set.Tasks))
+		for i, t := range in.Set.Tasks {
+			us[i] = t.Utilization()
+		}
+	}
 	order := make([]int, len(in.Set.Tasks))
 	for i := range order {
 		order[i] = i
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		ua, ub := in.Set.Tasks[order[a]].Utilization(), in.Set.Tasks[order[b]].Utilization()
-		if ua != ub {
-			return ua > ub
+	slices.SortStableFunc(order, func(a, b int) int {
+		ua, ub := us[a], us[b]
+		switch {
+		case ua > ub:
+			return -1
+		case ua < ub:
+			return 1
+		default:
+			return a - b
 		}
-		return order[a] < order[b]
 	})
 
 	reject := func(reason string) {
@@ -83,7 +97,7 @@ func (federated) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error
 			return nil, err
 		}
 		t := in.Set.Tasks[i]
-		u := t.Utilization()
+		u := us[i]
 		d := TaskDecision{Task: i, Utilization: u, Heavy: u > 1}
 		deff := t.EffectiveDeadline()
 

@@ -45,7 +45,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sort"
+	"slices"
 )
 
 // maxGlobalIterations caps the per-task fixpoint loop; the iteration is
@@ -72,24 +72,37 @@ func (global) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error) {
 		Tasks:    make([]TaskDecision, len(in.Set.Tasks)),
 	}
 
-	// Deadline-monotonic priority order, ties by (canonical) index.
+	// Deadline-monotonic priority order, ties by (canonical) index. The
+	// deadlines are hoisted into a dense array first so the comparator
+	// reads 8-byte slots instead of striding through the task structs.
 	order := make([]int, len(in.Set.Tasks))
+	dls := make([]int64, len(in.Set.Tasks))
 	for i := range order {
 		order[i] = i
+		dls[i] = in.Set.Tasks[i].Deadline
 	}
-	sort.SliceStable(order, func(a, b int) bool {
-		da, db := in.Set.Tasks[order[a]].Deadline, in.Set.Tasks[order[b]].Deadline
-		if da != db {
-			return da < db
+	slices.SortStableFunc(order, func(a, b int) int {
+		switch da, db := dls[a], dls[b]; {
+		case da < db:
+			return -1
+		case da > db:
+			return 1
+		default:
+			return a - b
 		}
-		return order[a] < order[b]
 	})
 
 	// Per-task per-class volumes. Work of a class without machines (or of
 	// the host class) lands in the host bucket: it can only execute there.
+	// Evals that carry the graph (the facade's handles) serve these from a
+	// per-platform memo — node sums are graph content, identical either way.
 	nC := p.NumClasses()
 	vols := make([][]float64, len(in.Set.Tasks))
 	for i, t := range in.Set.Tasks {
+		if cv, ok := in.Evals[i].(ClassVolumeSource); ok {
+			vols[i] = cv.ClassVolumes(p)
+			continue
+		}
 		v := make([]float64, nC)
 		for n := range t.G.EachNode() {
 			c := n.Class
@@ -101,15 +114,24 @@ func (global) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error) {
 		vols[i] = v
 	}
 
-	// R[i] is τ_i's certified response bound, valid once processed (higher
-	// priority first).
-	R := make([]float64, len(in.Set.Tasks))
-	for rank, k := range order {
+	memo := in.GlobalSteps != nil && len(in.Digests) == len(in.Set.Tasks)
+	var chain chainID
+	if memo {
+		chain = in.GlobalSteps.seed(p)
+	}
+	// interferers grows by one entry as each task is certified, so every
+	// task sees exactly its higher-priority prefix without re-building it.
+	// Certification stops at the first failure, so the prefix is always
+	// complete when it is read.
+	interferers := make([]globalInterferer, 0, len(order))
+	caps := make([]float64, 0, nC)
+	buckets := make([]int, 0, nC)
+	for _, k := range order {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
 		t := in.Set.Tasks[k]
-		d := TaskDecision{Task: k, Utilization: t.Utilization()}
+		d := TaskDecision{Task: k, Utilization: in.util(k)}
 		if !res.Admitted {
 			d.Reason = "not analyzed: a higher-priority task is already unschedulable"
 			res.Tasks[k] = d
@@ -131,9 +153,9 @@ func (global) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error) {
 			return nil, fmt.Errorf("taskset: global: task %d: %w", k, err)
 		}
 		// classes(k): the buckets τ_k occupies — its chain can only be
-		// blocked on machines of these classes.
-		caps := make([]float64, 0, nC)
-		buckets := make([]int, 0, nC)
+		// blocked on machines of these classes. The scratch slices are
+		// reused across tasks; globalIterate does not retain them.
+		caps, buckets = caps[:0], buckets[:0]
 		for c := 0; c < nC; c++ {
 			if c == 0 || vols[k][c] > 0 {
 				buckets = append(buckets, c)
@@ -145,40 +167,45 @@ func (global) Admit(ctx context.Context, in AdmitInput) (*PolicyResult, error) {
 			}
 		}
 
-		r := rdag
-		converged := r <= deff && rank == 0
-		for it := 0; !converged && it < maxGlobalIterations; it++ {
-			res.Iterations++
-			if r > deff {
-				break
+		// The fixpoint is a pure function of (platform, task digest, rdag,
+		// ordered higher-priority (digest, R) pairs); with a GlobalStepCache
+		// supplied, replay an earlier identical instance — including its
+		// iteration count and the interned successor prefix — instead of
+		// re-iterating.
+		var r float64
+		var converged bool
+		var iters int
+		var nextChain chainID
+		var key stepKey
+		cached := false
+		if memo {
+			key = stepKey{chain: chain, self: in.Digests[k], rdagBits: math.Float64bits(rdag)}
+			if v, ok := in.GlobalSteps.get(key); ok {
+				r, converged, iters, nextChain = v.r, v.converged, v.iters, v.next
+				cached = true
 			}
-			next := rdag
-			for bi, c := range buckets {
-				cap := caps[bi]
-				var interference float64
-				for _, i := range order[:rank] {
-					ti := in.Set.Tasks[i]
-					vol := vols[i][c]
-					if vol == 0 {
-						continue
-					}
-					a := r + R[i] + float64(ti.Jitter)
-					jobs := math.Floor(a / float64(ti.Period))
-					rem := a - jobs*float64(ti.Period)
-					interference += jobs*vol + math.Min(vol, cap*rem)
-				}
-				next += interference / cap
-			}
-			if next <= r+1e-9 {
-				converged = true
-				break
-			}
-			r = next
 		}
+		if !cached {
+			r, converged, iters = globalIterate(rdag, deff, buckets, caps, interferers)
+			if memo {
+				nextChain = in.GlobalSteps.put(key,
+					globalStep{r: r, converged: converged, iters: iters},
+					converged && r <= deff)
+			}
+		}
+		res.Iterations += iters
 		d.R = r
 		if converged && r <= deff {
 			d.Admitted = true
-			R[k] = r
+			if memo {
+				chain = nextChain
+			}
+			interferers = append(interferers, globalInterferer{
+				vols:   vols[k],
+				r:      r,
+				period: float64(t.Period),
+				jitter: float64(t.Jitter),
+			})
 		} else {
 			if r > deff {
 				d.Reason = fmt.Sprintf("response bound %.2f exceeds effective deadline %.0f", r, deff)

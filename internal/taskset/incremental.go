@@ -1,0 +1,199 @@
+// Incremental re-analysis support: memoization of the Global policy's
+// per-task response-time fixpoint. The iteration for τ_k is a pure function
+// of (platform shape, τ_k's digest, its standalone bound Rdag_k, and the
+// ordered higher-priority tasks with their certified bounds R_i) — so when
+// a delta leaves a prefix of the priority order untouched, those tasks'
+// iterations replay from the cache bit-identically, including the iteration
+// counts that feed PolicyResult.Iterations. Only tasks whose interfering
+// set actually changed re-run the fixpoint.
+package taskset
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"repro/internal/platform"
+)
+
+// chainID names one certified higher-priority prefix: a platform shape
+// followed by an ordered sequence of (digest, R) pairs. IDs are
+// hash-consed — the cache assigns a fresh ID the first time a prefix is
+// extended and returns the same ID on every replay — so equal IDs mean
+// bit-identical prefixes by construction, with no hashing of the history
+// itself. The counter is never reset, even across generational clears:
+// an ID held by an in-flight admission can therefore never alias a
+// post-clear prefix; it simply stops matching and the steps re-run cold.
+type chainID uint64
+
+// stepKey identifies one per-task fixpoint instance: everything the
+// iteration's result depends on. The ORDER of the higher-priority pairs is
+// part of the key (via chain): interference terms are summed in priority
+// order and float addition is not associative, so byte-identity with the
+// uncached path demands an order-exact match.
+type stepKey struct {
+	chain    chainID
+	self     TaskDigest
+	rdagBits uint64
+}
+
+// globalStep is the memoized outcome of one per-task fixpoint, fused with
+// the interned successor prefix. The iteration is pure, so the key
+// determines (r, converged, iters) — and with it whether the task is
+// admitted and what the extended prefix chain + (self, r) is. Storing that
+// successor's ID in the entry makes one locked lookup serve as both the
+// step replay and the chain extension; a separate extension table would
+// re-hash the same identity a second time per task.
+type globalStep struct {
+	r         float64
+	converged bool
+	iters     int
+	next      chainID // successor prefix when admitted; 0 otherwise
+}
+
+// GlobalStepCache memoizes Global-policy per-task fixpoint iterations
+// across Admit calls. It is safe for concurrent use. Entries are dropped
+// wholesale when the capacity is reached (generational clearing keeps the
+// policy deterministic — no eviction order depends on map iteration).
+type GlobalStepCache struct {
+	mu     sync.Mutex
+	cap    int
+	seeds  map[string]chainID
+	steps  map[stepKey]globalStep
+	next   chainID // never reset: IDs stay unique across generations
+	hits   uint64
+	misses uint64
+}
+
+// NewGlobalStepCache returns a cache holding up to capacity steps
+// (capacity <= 0 selects a default of 4096).
+func NewGlobalStepCache(capacity int) *GlobalStepCache {
+	if capacity <= 0 {
+		capacity = 4096
+	}
+	c := &GlobalStepCache{cap: capacity}
+	c.reset()
+	return c
+}
+
+// reset drops every memoized step (and with it every interned successor
+// prefix — a chain ID is only reachable through the entries that name it).
+// The step map is pre-sized to its cap: a churn stream inserts steadily,
+// and incremental rehashing would otherwise show up on the admission path.
+// Callers hold c.mu.
+func (c *GlobalStepCache) reset() {
+	c.seeds = make(map[string]chainID)
+	c.steps = make(map[stepKey]globalStep, c.cap)
+}
+
+// seed interns the chain root for a platform shape (host cores + per-class
+// machine counts — per-task volumes, buckets, and caps are functions of
+// the task digest and these counts).
+func (c *GlobalStepCache) seed(p platform.Platform) chainID {
+	nC := p.NumClasses()
+	buf := make([]byte, 0, 8*(nC+1))
+	var w [8]byte
+	binary.LittleEndian.PutUint64(w[:], uint64(p.Cores()))
+	buf = append(buf, w[:]...)
+	for cl := 1; cl < nC; cl++ {
+		binary.LittleEndian.PutUint64(w[:], uint64(p.Count(cl)))
+		buf = append(buf, w[:]...)
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if id, ok := c.seeds[string(buf)]; ok {
+		return id
+	}
+	c.next++
+	c.seeds[string(buf)] = c.next
+	return c.next
+}
+
+func (c *GlobalStepCache) get(k stepKey) (globalStep, bool) {
+	c.mu.Lock()
+	v, ok := c.steps[k]
+	if ok {
+		c.hits++
+	} else {
+		c.misses++
+	}
+	c.mu.Unlock()
+	return v, ok
+}
+
+// put memoizes one fixpoint outcome, interning the successor prefix for
+// admitted tasks, and returns that successor's ID (0 when not admitted).
+// Within one cache the entry is deterministic in its key — every Bound
+// comes from the same analyzer configuration, so a digest determines its
+// rdag, and globalIterate is pure — which is what makes fusing the
+// successor into the entry sound: a replayed hit returns the same next as
+// the put that created it.
+func (c *GlobalStepCache) put(k stepKey, v globalStep, admitted bool) chainID {
+	c.mu.Lock()
+	if len(c.steps) >= c.cap {
+		c.reset()
+	}
+	if admitted {
+		c.next++
+		v.next = c.next
+	}
+	c.steps[k] = v
+	c.mu.Unlock()
+	return v.next
+}
+
+// Stats returns lookup hits, lookup misses, and the current entry count.
+func (c *GlobalStepCache) Stats() (hits, misses uint64, entries int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses, len(c.steps)
+}
+
+// globalInterferer is one higher-priority task's contribution to the
+// fixpoint, with the int64 model parameters pre-widened.
+type globalInterferer struct {
+	vols   []float64
+	r      float64
+	period float64
+	jitter float64
+}
+
+// globalIterate runs one task's response-time fixpoint: r starts at the
+// standalone bound and grows by per-class carry-in interference from the
+// higher-priority tasks until it stabilizes, exceeds the effective
+// deadline, or hits the iteration cap. Returns the final r, whether it
+// converged, and the number of iterations consumed (the contribution to
+// PolicyResult.Iterations — memoized verbatim so cached and fresh
+// admissions report identical totals).
+func globalIterate(rdag, deff float64, buckets []int, caps []float64, interferers []globalInterferer) (r float64, converged bool, iters int) {
+	r = rdag
+	converged = r <= deff && len(interferers) == 0
+	for it := 0; !converged && it < maxGlobalIterations; it++ {
+		iters++
+		if r > deff {
+			break
+		}
+		next := rdag
+		for bi, c := range buckets {
+			cap := caps[bi]
+			var interference float64
+			for _, inf := range interferers {
+				vol := inf.vols[c]
+				if vol == 0 {
+					continue
+				}
+				a := r + inf.r + inf.jitter
+				jobs := math.Floor(a / inf.period)
+				rem := a - jobs*inf.period
+				interference += jobs*vol + math.Min(vol, cap*rem)
+			}
+			next += interference / cap
+		}
+		if next <= r+1e-9 {
+			converged = true
+			break
+		}
+		r = next
+	}
+	return r, converged, iters
+}

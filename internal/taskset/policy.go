@@ -34,6 +34,17 @@ type TaskEval interface {
 	Bound(ctx context.Context, p platform.Platform) (float64, error)
 }
 
+// ClassVolumeSource is an optional TaskEval extension: per-class WCET
+// volumes of the task's graph, bucketed for platform p — work of a class
+// with no machines on p (or of the host class) lands in bucket 0, exactly
+// the bucketing the Global policy computes for itself when the eval does
+// not implement this. Implementations may memoize per platform shape; the
+// returned slice is read-only to the caller and must stay valid for the
+// policy call.
+type ClassVolumeSource interface {
+	ClassVolumes(p platform.Platform) []float64
+}
+
 // AdmitInput is what a Policy gets to work with: the (canonically ordered)
 // taskset, the shared platform, and one TaskEval per task.
 type AdmitInput struct {
@@ -41,6 +52,28 @@ type AdmitInput struct {
 	Platform platform.Platform
 	// Evals is parallel to Set.Tasks.
 	Evals []TaskEval
+	// Digests, when non-nil, is parallel to Set.Tasks and carries each
+	// task's content digest so policies can key incremental caches without
+	// re-hashing graphs. Policies must behave identically with or without
+	// it — it is an acceleration hint, never an input.
+	Digests []TaskDigest
+	// GlobalSteps, when non-nil (and Digests is supplied), lets the Global
+	// policy replay per-task fixpoint iterations memoized across Admit
+	// calls. Results are byte-identical either way.
+	GlobalSteps *GlobalStepCache
+	// Utils, when non-nil, is parallel to Set.Tasks and carries each task's
+	// Utilization() value so policies that report it per decision do not
+	// take the graph property lock again. Same acceleration-hint contract
+	// as Digests: the values are exactly what Utilization() returns.
+	Utils []float64
+}
+
+// util returns task i's utilization, from the precomputed hint if present.
+func (in *AdmitInput) util(i int) float64 {
+	if in.Utils != nil {
+		return in.Utils[i]
+	}
+	return in.Set.Tasks[i].Utilization()
 }
 
 // TaskDecision is one task's outcome under a policy, shaped for the JSON

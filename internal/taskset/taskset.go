@@ -28,6 +28,7 @@ import (
 	"encoding/binary"
 	"encoding/hex"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/dag"
@@ -60,6 +61,9 @@ func (t SporadicTask) Validate() error {
 	}
 	if err := t.G.Validate(dag.ValidateOptions{AllowZeroWCET: true}); err != nil {
 		return err
+	}
+	if t.Period <= 0 {
+		return fmt.Errorf("taskset: period %d must be positive", t.Period)
 	}
 	if t.Deadline <= 0 {
 		return fmt.Errorf("taskset: deadline %d must be positive", t.Deadline)
@@ -120,43 +124,98 @@ type Fingerprint [sha256.Size]byte
 // String returns the fingerprint as lower-case hex.
 func (f Fingerprint) String() string { return hex.EncodeToString(f[:]) }
 
-// digest hashes one task: its graph's canonical fingerprint plus the
-// sporadic parameters.
-func (t SporadicTask) digest() [sha256.Size]byte {
-	h := sha256.New()
-	if t.G != nil {
-		fp := t.G.Fingerprint()
-		h.Write(fp[:])
+// ParseFingerprint parses the lower-case-hex form produced by
+// Fingerprint.String.
+func ParseFingerprint(s string) (Fingerprint, error) {
+	var f Fingerprint
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return f, fmt.Errorf("taskset: bad fingerprint %q: %w", s, err)
 	}
-	var buf [24]byte
-	binary.LittleEndian.PutUint64(buf[0:8], uint64(t.Period))
-	binary.LittleEndian.PutUint64(buf[8:16], uint64(t.Deadline))
-	binary.LittleEndian.PutUint64(buf[16:24], uint64(t.Jitter))
-	h.Write(buf[:])
-	var out [sha256.Size]byte
-	h.Sum(out[:0])
-	return out
+	if len(b) != len(f) {
+		return f, fmt.Errorf("taskset: bad fingerprint %q: want %d hex bytes, got %d", s, len(f), len(b))
+	}
+	copy(f[:], b)
+	return f, nil
+}
+
+// TaskDigest is the 256-bit content hash of one SporadicTask: the graph's
+// canonical (relabeling-invariant) fingerprint plus the sporadic
+// parameters. Tasks with equal digests are interchangeable for analysis, so
+// the digest keys per-task eval caches and names tasks in deltas.
+type TaskDigest [sha256.Size]byte
+
+// String returns the digest as lower-case hex.
+func (d TaskDigest) String() string { return hex.EncodeToString(d[:]) }
+
+// ParseTaskDigest parses the lower-case-hex form produced by
+// TaskDigest.String.
+func ParseTaskDigest(s string) (TaskDigest, error) {
+	var d TaskDigest
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return d, fmt.Errorf("taskset: bad task digest %q: %w", s, err)
+	}
+	if len(b) != len(d) {
+		return d, fmt.Errorf("taskset: bad task digest %q: want %d hex bytes, got %d", s, len(d), len(b))
+	}
+	copy(d[:], b)
+	return d, nil
+}
+
+// Digest hashes one task: its graph's canonical fingerprint plus the
+// sporadic parameters. The one-shot Sum256 over a stack buffer keeps
+// this allocation-free — it runs per task per admission on hot serving
+// paths (cache keys, canonical ordering, delta resolution).
+func (t SporadicTask) Digest() TaskDigest {
+	var buf [sha256.Size + 24]byte
+	binary.LittleEndian.PutUint64(buf[sha256.Size:], uint64(t.Period))
+	binary.LittleEndian.PutUint64(buf[sha256.Size+8:], uint64(t.Deadline))
+	binary.LittleEndian.PutUint64(buf[sha256.Size+16:], uint64(t.Jitter))
+	if t.G == nil { // hash exactly the bytes the streaming form hashed
+		return sha256.Sum256(buf[sha256.Size:])
+	}
+	fp := t.G.Fingerprint()
+	copy(buf[:sha256.Size], fp[:])
+	return sha256.Sum256(buf[:])
 }
 
 // Fingerprint returns the taskset's canonical content hash: the sorted
 // member digests hashed together, so any permutation of the same tasks —
 // including graph relabelings — fingerprints identically.
 func (ts Taskset) Fingerprint() Fingerprint {
-	digests := make([][sha256.Size]byte, len(ts.Tasks))
+	digests := make([]TaskDigest, len(ts.Tasks))
 	for i, t := range ts.Tasks {
-		digests[i] = t.digest()
+		digests[i] = t.Digest()
 	}
-	sortDigests(digests)
+	sort.Slice(digests, func(a, b int) bool { return compareDigests(digests[a], digests[b]) < 0 })
+	return FingerprintFromDigests(digests)
+}
+
+// FingerprintFromDigests returns the fingerprint of the taskset whose
+// member digests, already in canonical (ascending) order, are ds — the
+// same value Fingerprint computes, without re-hashing every task. The
+// digests returned by CanonicalWithDigests are in this order.
+func FingerprintFromDigests(ds []TaskDigest) Fingerprint {
 	h := sha256.New()
 	var n [8]byte
-	binary.LittleEndian.PutUint64(n[:], uint64(len(digests)))
+	binary.LittleEndian.PutUint64(n[:], uint64(len(ds)))
 	h.Write(n[:])
-	for _, d := range digests {
+	for _, d := range ds {
 		h.Write(d[:])
 	}
 	var out Fingerprint
 	h.Sum(out[:0])
 	return out
+}
+
+// FingerprintOfDigests returns the fingerprint of the taskset whose member
+// digests are ds, in any order — Taskset.Fingerprint without re-hashing any
+// task. ds is not modified.
+func FingerprintOfDigests(ds []TaskDigest) Fingerprint {
+	sorted := append([]TaskDigest(nil), ds...)
+	sort.Slice(sorted, func(a, b int) bool { return compareDigests(sorted[a], sorted[b]) < 0 })
+	return FingerprintFromDigests(sorted)
 }
 
 // Canonical returns a copy of the taskset with tasks in canonical order
@@ -165,22 +224,57 @@ func (ts Taskset) Fingerprint() Fingerprint {
 // identical digests and are interchangeable. The member graphs are shared,
 // not cloned.
 func (ts Taskset) Canonical() Taskset {
-	type td struct {
-		t SporadicTask
-		d [sha256.Size]byte
-	}
-	tds := make([]td, len(ts.Tasks))
-	for i, t := range ts.Tasks {
-		tds[i] = td{t: t, d: t.digest()}
-	}
-	sort.SliceStable(tds, func(a, b int) bool {
-		return compareDigests(tds[a].d, tds[b].d) < 0
-	})
-	out := Taskset{Tasks: make([]SporadicTask, len(tds))}
-	for i, x := range tds {
-		out.Tasks[i] = x.t
-	}
+	out, _ := ts.CanonicalWithDigests()
 	return out
+}
+
+// CanonicalWithDigests is Canonical plus the per-task digests of the
+// returned order (digests[i] is the digest of out.Tasks[i]), so callers
+// keying per-task caches do not hash every graph twice.
+func (ts Taskset) CanonicalWithDigests() (Taskset, []TaskDigest) {
+	ds := make([]TaskDigest, len(ts.Tasks))
+	for i, t := range ts.Tasks {
+		ds[i] = t.Digest()
+	}
+	return ts.CanonicalWithGivenDigests(ds)
+}
+
+// CanonicalWithGivenDigests is CanonicalWithDigests with the per-task
+// digests — parallel to ts.Tasks, e.g. from ApplyDeltaDigests — already in
+// hand, so no task is re-hashed. ds is not modified.
+func (ts Taskset) CanonicalWithGivenDigests(ds []TaskDigest) (Taskset, []TaskDigest) {
+	// Already-canonical input returns as-is (slices shared, like the member
+	// graphs): the sort is stable, so on sorted input it is the identity,
+	// and every caller treats the result as read-only. The delta admission
+	// path canonicalizes once at the serving layer and re-enters here with
+	// the same slices.
+	if sorted := func() bool {
+		for i := 1; i < len(ds); i++ {
+			if compareDigests(ds[i-1], ds[i]) > 0 {
+				return false
+			}
+		}
+		return true
+	}(); sorted {
+		return ts, ds
+	}
+	idx := make([]int, len(ts.Tasks))
+	for i := range idx {
+		idx[i] = i
+	}
+	slices.SortStableFunc(idx, func(a, b int) int {
+		if c := compareDigests(ds[a], ds[b]); c != 0 {
+			return c
+		}
+		return a - b
+	})
+	out := Taskset{Tasks: make([]SporadicTask, len(idx))}
+	digests := make([]TaskDigest, len(idx))
+	for i, j := range idx {
+		out.Tasks[i] = ts.Tasks[j]
+		digests[i] = ds[j]
+	}
+	return out, digests
 }
 
 func compareDigests(a, b [sha256.Size]byte) int {
@@ -193,8 +287,4 @@ func compareDigests(a, b [sha256.Size]byte) int {
 		}
 	}
 	return 0
-}
-
-func sortDigests(ds [][sha256.Size]byte) {
-	sort.Slice(ds, func(a, b int) bool { return compareDigests(ds[a], ds[b]) < 0 })
 }

@@ -2,9 +2,12 @@ package hetrta
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
+	"strconv"
 	"strings"
+	"sync"
 
 	"repro/internal/batch"
 	"repro/internal/platform"
@@ -25,6 +28,83 @@ type SporadicTask = taskset.SporadicTask
 // analysis-relevant parameter. With TasksetAnalyzer.Signature it forms the
 // admission cache key of the serving layer.
 type TasksetFingerprint = taskset.Fingerprint
+
+// ParseTasksetFingerprint parses the lower-case-hex form produced by
+// TasksetFingerprint.String.
+func ParseTasksetFingerprint(s string) (TasksetFingerprint, error) {
+	return taskset.ParseFingerprint(s)
+}
+
+// TaskDigest is one task's 256-bit content hash (canonical graph
+// fingerprint + sporadic parameters). Digest-equal tasks are
+// interchangeable for analysis; digests key per-task eval caches and name
+// tasks in TasksetDeltas.
+type TaskDigest = taskset.TaskDigest
+
+// ParseTaskDigest parses the lower-case-hex form produced by
+// TaskDigest.String.
+func ParseTaskDigest(s string) (TaskDigest, error) { return taskset.ParseTaskDigest(s) }
+
+// TasksetFingerprintOfDigests returns the canonical fingerprint of the
+// taskset whose member digests are ds, in any order — the same value
+// Taskset.Fingerprint computes, without re-hashing any task. The serving
+// layer's delta path uses it to derive the resulting set's cache key from
+// digest bookkeeping alone.
+func TasksetFingerprintOfDigests(ds []TaskDigest) TasksetFingerprint {
+	return taskset.FingerprintOfDigests(ds)
+}
+
+// TasksetFingerprintFromDigests is TasksetFingerprintOfDigests for digests
+// already in canonical (ascending) order — no copy, no sort.
+func TasksetFingerprintFromDigests(ds []TaskDigest) TasksetFingerprint {
+	return taskset.FingerprintFromDigests(ds)
+}
+
+// TasksetDelta is an incremental edit against a base taskset (arrivals,
+// digest-named departures, updates); TaskDeltaUpdate is one replacement.
+// Applying a delta and re-admitting is byte-equivalent to admitting the
+// full resulting set.
+type TasksetDelta = taskset.Delta
+
+// TaskDeltaUpdate replaces the task with digest Old by Task.
+type TaskDeltaUpdate = taskset.TaskUpdate
+
+// GlobalStepCache memoizes the Global policy's per-task response-time
+// fixpoint across AdmitWith calls, keyed on everything the iteration
+// depends on, so unchanged tasks of a delta-edited set replay instead of
+// re-iterating — bit-identically, including iteration counts. Safe for
+// concurrent use.
+type GlobalStepCache = taskset.GlobalStepCache
+
+// NewGlobalStepCache returns a step cache holding up to capacity entries
+// (<= 0 selects a default).
+func NewGlobalStepCache(capacity int) *GlobalStepCache {
+	return taskset.NewGlobalStepCache(capacity)
+}
+
+// ErrInvalidInput marks errors caused by the caller's input (model
+// validation failures, malformed deltas) as opposed to analysis or
+// infrastructure faults. Test with errors.Is; serving layers map it to
+// 400-class statuses.
+var ErrInvalidInput = errors.New("invalid input")
+
+// invalidInput wraps an input-shaped error without changing its message.
+type invalidInput struct{ err error }
+
+func (e invalidInput) Error() string { return e.err.Error() }
+
+func (e invalidInput) Unwrap() error { return e.err }
+
+func (e invalidInput) Is(target error) bool { return target == ErrInvalidInput }
+
+// MarkInvalidInput wraps err so errors.Is(err, ErrInvalidInput) holds,
+// preserving its message. A nil err returns nil.
+func MarkInvalidInput(err error) error {
+	if err == nil {
+		return nil
+	}
+	return invalidInput{err: err}
+}
 
 // TasksetPolicy is a pluggable taskset schedulability test (a sufficient
 // condition: admission certifies schedulability, rejection proves nothing).
@@ -249,54 +329,214 @@ func (e *facadeEval) Bound(ctx context.Context, p platform.Platform) (float64, e
 	return best, nil
 }
 
+// TaskEvalHandle is one task's reusable evaluation state: the
+// platform-independent preparation (transitive reduction, Algorithm 1) done
+// once, the report summary precomputed, and every Bound probe memoized per
+// platform shape. Handles are what delta admission shares across calls —
+// re-admitting a set whose task was already evaluated replays the memoized
+// bounds instead of re-running the analyses, bit-identically (bounds are
+// pure functions of the reduced graph and the platform's class counts).
+// Safe for concurrent use; obtain one from PrepareTaskEval.
+type TaskEvalHandle struct {
+	eval *facadeEval
+
+	// Report summary of the reduced graph, fixed at construction.
+	nodes        int
+	offloads     int
+	volume       int64
+	criticalPath int64
+
+	mu   sync.Mutex
+	memo map[string]evalBound
+	vols map[string][]float64
+}
+
+// evalBound is one memoized Bound outcome: either a value or the
+// deterministic no-safe-bound rejection (reconstructed with the probed
+// platform so the message matches a fresh evaluation byte-for-byte). Other
+// errors — cancellations, analysis faults — are never memoized.
+type evalBound struct {
+	v      float64
+	noSafe bool
+}
+
+// Bound implements taskset.TaskEval with per-platform-shape memoization.
+// The memo key is the platform's class-count vector: bound values depend
+// only on machine counts, never on class names.
+func (h *TaskEvalHandle) Bound(ctx context.Context, p platform.Platform) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	var kb [32]byte
+	key := platformCountsKey(kb[:0], p)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	// string(key) in the index expression compiles to an allocation-free
+	// lookup — the memo hit, which every warm admission takes once per
+	// task, builds its key entirely on the stack.
+	if b, ok := h.memo[string(key)]; ok {
+		if b.noSafe {
+			return 0, fmt.Errorf("hetrta: %w on %v", taskset.ErrNoSafeBound, p)
+		}
+		return b.v, nil
+	}
+	v, err := h.eval.Bound(ctx, p)
+	if err != nil {
+		if errors.Is(err, taskset.ErrNoSafeBound) {
+			h.memo[string(key)] = evalBound{noSafe: true}
+		}
+		return 0, err
+	}
+	h.memo[string(key)] = evalBound{v: v}
+	return v, nil
+}
+
+// ClassVolumes implements taskset.ClassVolumeSource with the same
+// per-platform-shape memoization as Bound. Sums run over the reduced work
+// graph; transitive reduction drops only edges, so the per-node WCETs and
+// classes — and therefore the bucketed sums — are those of the input graph.
+func (h *TaskEvalHandle) ClassVolumes(p platform.Platform) []float64 {
+	var kb [32]byte
+	key := platformCountsKey(kb[:0], p)
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if v, ok := h.vols[string(key)]; ok {
+		return v
+	}
+	nC := p.NumClasses()
+	v := make([]float64, nC)
+	for n := range h.eval.work.EachNode() {
+		c := n.Class
+		if c < 1 || c >= nC || p.Count(c) < 1 {
+			c = 0
+		}
+		v[c] += float64(n.WCET)
+	}
+	h.vols[string(key)] = v
+	return v
+}
+
+// platformCountsKey appends the class-count vector ("4" host-only,
+// "4+1+2" host plus devices) to buf. Unlike Platform.String it ignores
+// class names, which never enter bound math. Callers pass a stack buffer
+// and index the memo maps with string(key), which the compiler turns into
+// an allocation-free lookup.
+func platformCountsKey(buf []byte, p platform.Platform) []byte {
+	b := strconv.AppendInt(buf, int64(p.Cores()), 10)
+	for c := 1; c < p.NumClasses(); c++ {
+		b = append(b, '+')
+		b = strconv.AppendInt(b, int64(p.Count(c)), 10)
+	}
+	return b
+}
+
+// PrepareTaskEval builds the reusable evaluation handle for one task graph:
+// clone, transitive reduction, Algorithm 1 when offloads exist, and the
+// report summary. The input graph is not modified or retained.
+func (ta *TasksetAnalyzer) PrepareTaskEval(g *Graph) (*TaskEvalHandle, error) {
+	e, err := newFacadeEval(ta.an, g)
+	if err != nil {
+		return nil, err
+	}
+	return &TaskEvalHandle{
+		eval:         e,
+		nodes:        e.work.NumNodes(),
+		offloads:     len(e.work.OffloadNodes()),
+		volume:       e.work.Volume(),
+		criticalPath: e.work.CriticalPathLength(),
+		memo:         make(map[string]evalBound),
+		vols:         make(map[string][]float64),
+	}, nil
+}
+
+// TaskEvalSource supplies the evaluation handle for one (canonical) task —
+// freshly prepared, or recovered from a cache keyed by the digest. It is
+// called once per task in canonical order.
+type TaskEvalSource func(ctx context.Context, t SporadicTask, digest TaskDigest) (*TaskEvalHandle, error)
+
 // Admit evaluates every configured policy on one taskset and returns its
 // AdmitReport. The input graphs are not modified (analysis runs on reduced
 // clones); the report is permutation-invariant (see AdmitReport).
-// Cancelling ctx aborts promptly with the context's error.
+// Cancelling ctx aborts promptly with the context's error. Validation
+// failures satisfy errors.Is(err, ErrInvalidInput).
 func (ta *TasksetAnalyzer) Admit(ctx context.Context, ts Taskset) (*AdmitReport, error) {
+	return ta.AdmitWith(ctx, ts, func(ctx context.Context, t SporadicTask, _ TaskDigest) (*TaskEvalHandle, error) {
+		return ta.PrepareTaskEval(t.G)
+	}, nil)
+}
+
+// AdmitWith is Admit with the per-task evaluation source and the Global
+// fixpoint memo pluggable — the incremental path under delta admission.
+// With a source that returns cached handles and a shared step cache, only
+// the delta's tasks pay for bound evaluation and only tasks whose
+// interfering set changed re-run the response-time iteration; the report is
+// byte-identical to a from-scratch Admit of the same set either way,
+// because handles memoize pure per-platform values and the step cache
+// replays iterations (counts included) keyed on their full inputs.
+func (ta *TasksetAnalyzer) AdmitWith(ctx context.Context, ts Taskset, src TaskEvalSource, steps *GlobalStepCache) (*AdmitReport, error) {
+	return ta.AdmitPrepared(ctx, ts, nil, src, steps)
+}
+
+// AdmitPrepared is AdmitWith with the per-task digests (parallel to
+// ts.Tasks) optionally precomputed — the delta path resolves them from its
+// base entry's bookkeeping, so canonicalization re-hashes nothing. A nil or
+// mismatched-length ds is computed from scratch.
+func (ta *TasksetAnalyzer) AdmitPrepared(ctx context.Context, ts Taskset, ds []TaskDigest, src TaskEvalSource, steps *GlobalStepCache) (*AdmitReport, error) {
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
 	if err := ts.Validate(); err != nil {
-		return nil, err
+		return nil, MarkInvalidInput(err)
 	}
-	canon := ts.Canonical()
+	var canon Taskset
+	var digests []TaskDigest
+	if len(ds) == len(ts.Tasks) {
+		canon, digests = ts.CanonicalWithGivenDigests(ds)
+	} else {
+		canon, digests = ts.CanonicalWithDigests()
+	}
 	p := ta.an.Platform()
 
 	rep := &AdmitReport{
 		Platform:    p,
-		Fingerprint: canon.Fingerprint().String(),
+		Fingerprint: taskset.FingerprintFromDigests(digests).String(),
 		Taskset: TasksetSummary{
-			Tasks:       len(canon.Tasks),
-			Utilization: canon.Utilization(),
+			Tasks: len(canon.Tasks),
 		},
 		Tasks: make([]AdmitTaskSummary, len(canon.Tasks)),
 	}
 	evals := make([]taskset.TaskEval, len(canon.Tasks))
+	// utils are computed once here and shared with the policies (and the
+	// total below) — each Utilization() call takes the graph property lock,
+	// and the policies would otherwise repeat it per decision. Summing in
+	// canonical order is exactly what canon.Utilization() does, so the
+	// total is bit-identical.
+	utils := make([]float64, len(canon.Tasks))
 	for i, t := range canon.Tasks {
-		e, err := newFacadeEval(ta.an, t.G)
+		h, err := src(ctx, t, digests[i])
 		if err != nil {
 			return nil, fmt.Errorf("hetrta: taskset task %d: %w", i, err)
 		}
-		evals[i] = e
-		offs := len(e.work.OffloadNodes())
-		if offs > 0 {
+		evals[i] = h
+		if h.offloads > 0 {
 			rep.Taskset.Offloading++
 		}
+		utils[i] = t.Utilization()
+		rep.Taskset.Utilization += utils[i]
 		rep.Tasks[i] = AdmitTaskSummary{
 			Task:         i,
-			Nodes:        e.work.NumNodes(),
-			Volume:       e.work.Volume(),
-			CriticalPath: e.work.CriticalPathLength(),
-			Offloads:     offs,
+			Nodes:        h.nodes,
+			Volume:       h.volume,
+			CriticalPath: h.criticalPath,
+			Offloads:     h.offloads,
 			Period:       t.Period,
 			Deadline:     t.Deadline,
 			Jitter:       t.Jitter,
-			Utilization:  t.Utilization(),
+			Utilization:  utils[i],
 		}
 	}
 
-	in := taskset.AdmitInput{Set: canon, Platform: p, Evals: evals}
+	in := taskset.AdmitInput{Set: canon, Platform: p, Evals: evals, Digests: digests, GlobalSteps: steps, Utils: utils}
 	for _, pol := range ta.policies {
 		if err := ctx.Err(); err != nil {
 			return nil, err
