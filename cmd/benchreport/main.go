@@ -10,6 +10,13 @@
 //	benchreport -out BENCH_3.json                     # run, write, compare vs BENCH_2.json
 //	benchreport -out report.json -baseline BENCH_2.json
 //	benchreport -input bench.txt -out report.json     # parse an existing `go test -bench` log
+//	benchreport -serve -input serve.json -out BENCH_SERVE_1.json  # gate a dagrtaload load run
+//
+// In -serve mode the input is a servereport/v1 document from
+// cmd/dagrtaload: the gate fails on structural problems (bad schema,
+// empty classes, transport errors, cacheable traffic with zero hits, a
+// baseline class disappearing) and only WARNS on latency ratios — serve
+// latency from shared CI hardware is too noisy to gate on.
 //
 // When -baseline is empty and -out matches BENCH_<n>.json, the baseline
 // defaults to the BENCH_<k>.json with the largest k < n in the same
@@ -86,9 +93,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		bench     = fs.String("bench", ".", "-bench regexp")
 		benchtime = fs.String("benchtime", "1x", "-benchtime value")
 		threshold = fs.Float64("threshold", 2.0, "fail when allocs/op exceeds threshold × baseline")
+		serve     = fs.Bool("serve", false, "gate a servereport/v1 JSON (from cmd/dagrtaload) given via -input; latency is warn-only")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
+	}
+	if *serve {
+		return runServe(*input, *baseline, *out, stdout, stderr)
 	}
 	if *out == "" {
 		fmt.Fprintln(stderr, "benchreport: -out is required")

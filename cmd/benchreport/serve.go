@@ -1,0 +1,201 @@
+package main
+
+// -serve mode: gate a servereport/v1 document produced by cmd/dagrtaload.
+// The gate is structural — schema, per-class coverage, zero transport
+// errors, cache-hit evidence for the classes that exist to exercise the
+// cache — because those properties are deterministic. Latency ratios
+// against the baseline are printed as warnings only: wall-clock numbers
+// from shared CI hardware must never fail a build.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+)
+
+// serveClass and serveDoc mirror cmd/dagrtaload's report types. Kept as a
+// structural copy (both are package main) — unknown fields are ignored,
+// missing ones are zero and fail the gate below.
+type serveClass struct {
+	Count   int `json:"count"`
+	Errors  int `json:"errors"`
+	Hit     int `json:"hit"`
+	Miss    int `json:"miss"`
+	Shared  int `json:"shared"`
+	Latency struct {
+		P50Ns int64 `json:"p50_ns"`
+		P99Ns int64 `json:"p99_ns"`
+	} `json:"latency"`
+}
+
+type serveDoc struct {
+	Schema        string                 `json:"schema"`
+	Requests      int                    `json:"requests"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	Classes       map[string]*serveClass `json:"classes"`
+	Totals        serveClass             `json:"totals"`
+}
+
+// serveFileRE is the BENCH_SERVE_<n>.json naming convention.
+var serveFileRE = regexp.MustCompile(`^BENCH_SERVE_(\d+)\.json$`)
+
+// runServe validates input, optionally warns against a baseline, and
+// copies the validated document to out when given.
+func runServe(input, baseline, out string, stdout, stderr io.Writer) int {
+	if input == "" {
+		fmt.Fprintln(stderr, "benchreport: -serve requires -input")
+		return 2
+	}
+	raw, err := os.ReadFile(input)
+	if err != nil {
+		fmt.Fprintln(stderr, "benchreport:", err)
+		return 1
+	}
+	var doc serveDoc
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		fmt.Fprintf(stderr, "benchreport: decoding %s: %v\n", input, err)
+		return 1
+	}
+	if errs := validateServe(&doc); len(errs) > 0 {
+		for _, e := range errs {
+			fmt.Fprintf(stderr, "benchreport: serve gate: %v\n", e)
+		}
+		return 1
+	}
+
+	if baseline == "" && out != "" {
+		baseline = previousServeReport(out)
+	}
+	if baseline != "" {
+		prevRaw, err := os.ReadFile(baseline)
+		if err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+		var prev serveDoc
+		if err := json.Unmarshal(prevRaw, &prev); err != nil {
+			fmt.Fprintf(stderr, "benchreport: decoding %s: %v\n", baseline, err)
+			return 1
+		}
+		// A class the baseline covered disappearing IS structural.
+		missing := false
+		for class := range prev.Classes {
+			if doc.Classes[class] == nil {
+				fmt.Fprintf(stderr, "benchreport: serve gate: baseline class %q missing from this run\n", class)
+				missing = true
+			}
+		}
+		if missing {
+			return 1
+		}
+		warnLatency(stdout, filepath.Base(baseline), &prev, &doc)
+	}
+
+	if out != "" {
+		if err := os.WriteFile(out, raw, 0o644); err != nil {
+			fmt.Fprintln(stderr, "benchreport:", err)
+			return 1
+		}
+	}
+	fmt.Fprintf(stdout, "serve report ok: %d requests, %.0f req/s, %d classes\n",
+		doc.Totals.Count, doc.ThroughputRPS, len(doc.Classes))
+	return 0
+}
+
+// validateServe returns every structural violation in the document.
+func validateServe(doc *serveDoc) []error {
+	var errs []error
+	fail := func(format string, args ...any) { errs = append(errs, fmt.Errorf(format, args...)) }
+
+	if doc.Schema != "servereport/v1" {
+		fail("schema %q, want servereport/v1", doc.Schema)
+	}
+	if doc.Totals.Count == 0 {
+		fail("empty run (totals.count = 0)")
+	}
+	if doc.Totals.Errors > 0 {
+		fail("%d failed requests", doc.Totals.Errors)
+	}
+	if len(doc.Classes) == 0 {
+		fail("no traffic classes recorded")
+	}
+	sum := 0
+	for class, cs := range doc.Classes {
+		if cs.Count == 0 {
+			fail("class %q recorded no requests", class)
+		}
+		if cs.Errors > 0 {
+			fail("class %q had %d errors", class, cs.Errors)
+		}
+		sum += cs.Count
+	}
+	if sum != doc.Totals.Count {
+		fail("class counts sum to %d but totals.count is %d", sum, doc.Totals.Count)
+	}
+	if doc.Requests != doc.Totals.Count {
+		fail("configured %d requests but recorded %d", doc.Requests, doc.Totals.Count)
+	}
+	// The classes that exist to exercise the cache must show hits: a run
+	// where repeat/iso traffic all missed means the cache (or the
+	// canonicalization) silently stopped working.
+	for _, class := range []string{"repeat", "iso"} {
+		if cs := doc.Classes[class]; cs != nil && cs.Hit == 0 {
+			fail("class %q produced no cache hits", class)
+		}
+	}
+	return errs
+}
+
+// warnLatency prints per-class p50/p99 ratios vs the baseline. Warn-only.
+func warnLatency(w io.Writer, baseName string, prev, cur *serveDoc) {
+	classes := make([]string, 0, len(cur.Classes))
+	for class := range cur.Classes {
+		if prev.Classes[class] != nil {
+			classes = append(classes, class)
+		}
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		p, c := prev.Classes[class], cur.Classes[class]
+		r50 := ratio(float64(c.Latency.P50Ns), float64(p.Latency.P50Ns))
+		r99 := ratio(float64(c.Latency.P99Ns), float64(p.Latency.P99Ns))
+		note := ""
+		if r50 > 3 || r99 > 3 {
+			note = "  (slower than baseline; informational only)"
+		}
+		fmt.Fprintf(w, "serve vs %s: %-8s %5.2fx p50 %5.2fx p99%s\n", baseName, class, r50, r99, note)
+	}
+}
+
+// previousServeReport finds the BENCH_SERVE_<k>.json with the largest
+// k < n next to out (expected to look like .../BENCH_SERVE_<n>.json).
+func previousServeReport(out string) string {
+	m := serveFileRE.FindStringSubmatch(filepath.Base(out))
+	if m == nil {
+		return ""
+	}
+	n, _ := strconv.Atoi(m[1])
+	entries, err := os.ReadDir(filepath.Dir(out))
+	if err != nil {
+		return ""
+	}
+	bestK := -1
+	best := ""
+	for _, e := range entries {
+		mm := serveFileRE.FindStringSubmatch(e.Name())
+		if mm == nil {
+			continue
+		}
+		k, _ := strconv.Atoi(mm[1])
+		if k < n && k > bestK {
+			bestK = k
+			best = filepath.Join(filepath.Dir(out), e.Name())
+		}
+	}
+	return best
+}

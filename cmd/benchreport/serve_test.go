@@ -1,0 +1,151 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// goodServeDoc builds a passing servereport/v1 document.
+func goodServeDoc() map[string]any {
+	class := func(count, errors, hit, miss int, p50 int64) map[string]any {
+		return map[string]any{
+			"count": count, "errors": errors, "hit": hit, "miss": miss, "shared": 0,
+			"latency": map[string]any{"p50_ns": p50, "p99_ns": p50 * 3},
+		}
+	}
+	return map[string]any{
+		"schema": "servereport/v1", "requests": 100, "throughput_rps": 500.0,
+		"classes": map[string]any{
+			"repeat": class(60, 0, 55, 5, 200_000),
+			"iso":    class(15, 0, 14, 1, 250_000),
+			"cold":   class(15, 0, 0, 15, 900_000),
+			"delta":  class(10, 0, 3, 7, 1_200_000),
+		},
+		"totals": class(100, 0, 72, 28, 400_000),
+	}
+}
+
+func writeServeDoc(t *testing.T, dir, name string, doc map[string]any) string {
+	t.Helper()
+	data, err := json.Marshal(doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// TestServeGatePasses: a healthy run validates, and -out receives a copy.
+func TestServeGatePasses(t *testing.T) {
+	dir := t.TempDir()
+	in := writeServeDoc(t, dir, "run.json", goodServeDoc())
+	out := filepath.Join(dir, "BENCH_SERVE_1.json")
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-serve", "-input", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("exit %d: %s", code, stderr.String())
+	}
+	if _, err := os.Stat(out); err != nil {
+		t.Fatalf("validated report not copied: %v", err)
+	}
+	if !strings.Contains(stdout.String(), "serve report ok") {
+		t.Fatalf("stdout = %q", stdout.String())
+	}
+}
+
+// TestServeGateStructuralFailures: each deterministic violation fails the
+// gate with a diagnostic naming it.
+func TestServeGateStructuralFailures(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(doc map[string]any)
+		want   string
+	}{
+		{"bad schema", func(d map[string]any) { d["schema"] = "benchreport/v1" }, "schema"},
+		{"transport errors", func(d map[string]any) {
+			d["totals"].(map[string]any)["errors"] = 2
+			d["classes"].(map[string]any)["cold"].(map[string]any)["errors"] = 2
+		}, "failed requests"},
+		{"no hits on repeat", func(d map[string]any) {
+			d["classes"].(map[string]any)["repeat"].(map[string]any)["hit"] = 0
+		}, "no cache hits"},
+		{"count mismatch", func(d map[string]any) { d["requests"] = 999 }, "configured 999"},
+		{"empty class", func(d map[string]any) {
+			d["classes"].(map[string]any)["delta"].(map[string]any)["count"] = 0
+		}, `"delta"`},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			doc := goodServeDoc()
+			tc.mutate(doc)
+			in := writeServeDoc(t, t.TempDir(), "run.json", doc)
+			var stdout, stderr bytes.Buffer
+			if code := run([]string{"-serve", "-input", in}, &stdout, &stderr); code != 1 {
+				t.Fatalf("exit %d, want 1: %s", code, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.want) {
+				t.Fatalf("stderr %q does not mention %q", stderr.String(), tc.want)
+			}
+		})
+	}
+}
+
+// TestServeGateLatencyWarnOnly: a 100× latency regression against the
+// baseline warns but exits 0 — wall-clock noise must not fail CI.
+func TestServeGateLatencyWarnOnly(t *testing.T) {
+	dir := t.TempDir()
+	fast := goodServeDoc()
+	writeServeDoc(t, dir, "BENCH_SERVE_1.json", fast)
+
+	slow := goodServeDoc()
+	for _, cs := range slow["classes"].(map[string]any) {
+		lat := cs.(map[string]any)["latency"].(map[string]any)
+		lat["p50_ns"] = int64(100) * lat["p50_ns"].(int64)
+		lat["p99_ns"] = int64(100) * lat["p99_ns"].(int64)
+	}
+	in := writeServeDoc(t, dir, "run.json", slow)
+	out := filepath.Join(dir, "BENCH_SERVE_2.json") // auto-baselines to _1
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-serve", "-input", in, "-out", out}, &stdout, &stderr); code != 0 {
+		t.Fatalf("latency regression failed the gate (exit %d): %s", code, stderr.String())
+	}
+	if !strings.Contains(stdout.String(), "informational only") {
+		t.Fatalf("no latency warning printed: %q", stdout.String())
+	}
+}
+
+// TestServeGateBaselineClassDisappearing: losing a traffic class the
+// baseline covered IS structural and fails.
+func TestServeGateBaselineClassDisappearing(t *testing.T) {
+	dir := t.TempDir()
+	writeServeDoc(t, dir, "BENCH_SERVE_1.json", goodServeDoc())
+
+	cur := goodServeDoc()
+	classes := cur["classes"].(map[string]any)
+	cur["requests"] = 90
+	cur["totals"].(map[string]any)["count"] = 90
+	delete(classes, "delta")
+	in := writeServeDoc(t, dir, "run.json", cur)
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-serve", "-input", in, "-out", filepath.Join(dir, "BENCH_SERVE_2.json")}, &stdout, &stderr)
+	if code != 1 {
+		t.Fatalf("exit %d, want 1", code)
+	}
+	if !strings.Contains(stderr.String(), "missing from this run") {
+		t.Fatalf("stderr = %q", stderr.String())
+	}
+}
+
+// TestServeGateRequiresInput: -serve without -input is a usage error.
+func TestServeGateRequiresInput(t *testing.T) {
+	var stdout, stderr bytes.Buffer
+	if code := run([]string{"-serve"}, &stdout, &stderr); code != 2 {
+		t.Fatalf("exit %d, want 2", code)
+	}
+}

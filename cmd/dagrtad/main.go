@@ -20,9 +20,13 @@
 //	                        set's full AdmitReport out — byte-identical to a
 //	                        whole-set /v1/admit of it; 404 with a reason when
 //	                        the base is cold (client falls back to full admit)
+//	POST /v1/warmup         bulk-load a store log stream (e.g. another
+//	                        replica's -store file) into the cache; 409 when
+//	                        the stream's generation does not match
 //	GET  /healthz           liveness probe (200 while the process runs)
 //	GET  /readyz            readiness probe (503 while draining or wedged)
 //	GET  /statsz            cache hit rate, shard occupancy, overload counters
+//	GET  /metrics           the same counters in Prometheus text format
 //
 // Admissions are cached under the taskset's canonical fingerprint — an
 // order-insensitive hash over the member graphs' canonical fingerprints and
@@ -30,13 +34,34 @@
 // are served the identical cached bytes (X-Taskset-Fingerprint carries the
 // hash).
 //
-// Responses carry an X-Cache header (hit / miss / shared) and, for single
-// analyses, X-Fingerprint with the graph's canonical content hash. Each
-// request is bounded by -request-timeout and aborts promptly — including
-// mid-search inside the exact oracle — when the client disconnects. SIGINT
-// and SIGTERM drain in-flight requests before exiting (-grace); /readyz
-// flips to 503 the moment draining begins, -drain-delay ahead of the
-// listener closing, so load balancers can route away first.
+// # Cache headers
+//
+// This is the single definition of the cache-status contract (the e2e
+// tests pin it): every 200 from /v1/analyze, /v1/admit, and
+// /v1/admit/delta carries exactly one X-Cache value —
+//
+//	hit     served from the report cache (memory or the -store tier)
+//	shared  joined another request's in-flight execution
+//	miss    this request ran the analyzer
+//
+// /v1/analyze additionally sets X-Fingerprint (the graph's canonical
+// content hash); /v1/admit and /v1/admit/delta set X-Taskset-Fingerprint.
+// Batch items report per-item state inline instead of headers.
+//
+// Each request is bounded by -request-timeout and aborts promptly —
+// including mid-search inside the exact oracle — when the client
+// disconnects. SIGINT and SIGTERM drain in-flight requests before exiting
+// (-grace); /readyz flips to 503 the moment draining begins, -drain-delay
+// ahead of the listener closing, so load balancers can route away first.
+//
+// With -store PATH, the report cache gains a disk-backed second tier: new
+// results append (write-behind) to a CRC-framed record log, a restart
+// warm-starts the cache by scanning it — previously served fingerprints
+// return byte-identical bodies with zero recomputation — and entries
+// evicted from memory revive from disk on the next request. The log is
+// generation-stamped with the service configuration signature, so changing
+// platform/bounds/policy flags invalidates it instead of serving stale
+// records.
 //
 // Operating under load: a cost-classed concurrency limiter with a bounded
 // wait queue (-max-concurrent, -max-queue) fronts every analysis; when the
@@ -76,6 +101,7 @@ import (
 	"repro/internal/resilience"
 	"repro/internal/resilience/faultinject"
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 func main() {
@@ -113,6 +139,7 @@ type serviceConfig struct {
 
 	cacheSize int
 	shards    int
+	storePath string
 
 	maxConcurrent    int
 	maxQueue         int
@@ -146,6 +173,7 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 		parallel   = fs.Int("parallel", 0, "analyzer worker-pool size for batch requests (0 = all CPUs)")
 		cacheSize  = fs.Int("cache", service.DefaultCacheEntries, "report-cache capacity in entries")
 		shards     = fs.Int("cache-shards", service.DefaultShards, "report-cache shard count (rounded up to a power of two)")
+		storePath  = fs.String("store", "", "disk-backed cache log path; enables warm starts and the second cache tier (empty = memory only)")
 		reqTimeout = fs.Duration("request-timeout", 30*time.Second, "per-request analysis timeout")
 		grace      = fs.Duration("grace", 10*time.Second, "graceful-shutdown drain timeout")
 		drainDelay = fs.Duration("drain-delay", 0, "pause between flipping /readyz to 503 and closing the listener, for load balancers to route away")
@@ -175,6 +203,7 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 
 		cacheSize: *cacheSize,
 		shards:    *shards,
+		storePath: *storePath,
 
 		maxConcurrent:    *maxConc,
 		maxQueue:         *maxQueue,
@@ -184,10 +213,15 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 
 		inj: inj,
 	}
-	svc, err := buildService(sc)
+	svc, st, err := buildService(sc)
 	if err != nil {
 		fmt.Fprintln(stderr, "dagrtad:", err)
 		return 2
+	}
+	if st != nil {
+		// Close flushes the write-behind queue, so results computed up to
+		// the moment of shutdown survive into the next warm start.
+		defer st.Close()
 	}
 	cfg := config{
 		addr:           *addr,
@@ -241,11 +275,14 @@ func runWith(ctx context.Context, args []string, stdout, stderr io.Writer, inj *
 }
 
 // buildService assembles the Analyzer from daemon flags and wraps it in the
-// serving layer with the overload-protection stack.
-func buildService(sc serviceConfig) (*service.Service, error) {
+// serving layer with the overload-protection stack. With a store path
+// configured it also opens (creating or invalidating as needed) the
+// disk-backed cache log and warm-starts the service from it; the returned
+// store is non-nil exactly then, and the caller owns closing it.
+func buildService(sc serviceConfig) (*service.Service, *store.Store, error) {
 	plat, err := hetrta.ParsePlatform(sc.platform)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
 	var bounds []hetrta.Bound
 	for _, name := range strings.Split(sc.bounds, ",") {
@@ -260,14 +297,14 @@ func buildService(sc serviceConfig) (*service.Service, error) {
 			bounds = append(bounds, hetrta.NaiveBound())
 		case "":
 		default:
-			return nil, fmt.Errorf("unknown bound %q", name)
+			return nil, nil, fmt.Errorf("unknown bound %q", name)
 		}
 	}
 	if len(bounds) == 0 {
-		return nil, fmt.Errorf("empty bound set %q", sc.bounds)
+		return nil, nil, fmt.Errorf("empty bound set %q", sc.bounds)
 	}
 	if !sc.exact && (sc.budget != 0 || sc.exactPoll != 0 || sc.exactParallel != 0 || sc.exactSlice != 0) {
-		return nil, fmt.Errorf("-budget/-exact-poll/-exact-parallel/-exact-slice require -exact")
+		return nil, nil, fmt.Errorf("-budget/-exact-poll/-exact-parallel/-exact-slice require -exact")
 	}
 	opts := []hetrta.Option{
 		hetrta.WithPlatform(plat),
@@ -294,9 +331,9 @@ func buildService(sc serviceConfig) (*service.Service, error) {
 	}
 	an, err := hetrta.NewAnalyzer(opts...)
 	if err != nil {
-		return nil, err
+		return nil, nil, err
 	}
-	return service.New(an, service.Options{
+	svc, err := service.New(an, service.Options{
 		CacheEntries: sc.cacheSize,
 		Shards:       sc.shards,
 		Resilience: &service.ResilienceOptions{
@@ -310,6 +347,21 @@ func buildService(sc serviceConfig) (*service.Service, error) {
 		},
 		FaultInjector: sc.inj,
 	})
+	if err != nil {
+		return nil, nil, err
+	}
+	if sc.storePath == "" {
+		return svc, nil, nil
+	}
+	st, err := store.Open(store.Options{Path: sc.storePath, Generation: svc.Generation()})
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := svc.AttachStore(st); err != nil {
+		st.Close()
+		return nil, nil, err
+	}
+	return svc, st, nil
 }
 
 // daemon is the HTTP layer's shared state: the service, the config, the
@@ -334,6 +386,8 @@ func (d *daemon) handler() http.Handler {
 	mux.HandleFunc("POST /v1/analyze/batch", d.handleBatch)
 	mux.HandleFunc("POST /v1/admit", d.handleAdmit)
 	mux.HandleFunc("POST /v1/admit/delta", d.handleAdmitDelta)
+	mux.HandleFunc("POST /v1/warmup", d.handleWarmup)
+	mux.HandleFunc("GET /metrics", d.handleMetrics)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		d.writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 	})
@@ -441,7 +495,7 @@ func (d *daemon) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", cacheState(res))
+	w.Header().Set("X-Cache", cacheStatus(res.Hit, res.Shared))
 	w.Header().Set("X-Fingerprint", res.Fingerprint.String())
 	if res.Report != nil && res.Report.Degraded {
 		w.Header().Set("X-Degraded", res.Report.DegradedReason)
@@ -506,7 +560,7 @@ func (d *daemon) handleAdmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", admitCacheState(res))
+	w.Header().Set("X-Cache", cacheStatus(res.Hit, res.Shared))
 	w.Header().Set("X-Taskset-Fingerprint", res.Fingerprint.String())
 	w.WriteHeader(http.StatusOK)
 	d.writeBody(w, res.Body)
@@ -601,21 +655,30 @@ func (d *daemon) handleAdmitDelta(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("X-Cache", admitCacheState(res))
+	w.Header().Set("X-Cache", cacheStatus(res.Hit, res.Shared))
 	w.Header().Set("X-Taskset-Fingerprint", res.Fingerprint.String())
 	w.WriteHeader(http.StatusOK)
 	d.writeBody(w, res.Body)
 }
 
-func admitCacheState(res *service.AdmitResult) string {
-	switch {
-	case res.Hit:
-		return "hit"
-	case res.Shared:
-		return "shared"
-	default:
-		return "miss"
+// handleWarmup bulk-loads a store log stream — typically another replica's
+// -store file — into the cache (and, when this daemon has a store, its own
+// log), so a fresh replica starts warm without replaying traffic. The
+// stream's generation header must match this daemon's configuration
+// signature; a mismatch is 409 (the operator pointed replicas with
+// different flags at each other), a malformed stream 400.
+func (d *daemon) handleWarmup(w http.ResponseWriter, r *http.Request) {
+	ws, err := d.svc.Warmup(http.MaxBytesReader(w, r.Body, d.cfg.maxBody))
+	if err != nil {
+		switch {
+		case errors.Is(err, store.ErrGenerationMismatch):
+			d.httpError(w, http.StatusConflict, err.Error())
+		default:
+			d.httpError(w, http.StatusBadRequest, err.Error())
+		}
+		return
 	}
+	d.writeJSON(w, http.StatusOK, ws)
 }
 
 // batchRequest / batchResponse are the wire shapes of /v1/analyze/batch.
@@ -693,11 +756,15 @@ func errorReport(svc *service.Service, err error) json.RawMessage {
 	return b
 }
 
-func cacheState(res *service.Result) string {
+// cacheStatus renders the X-Cache header value for all three serving
+// endpoints — the one implementation of the contract documented in the
+// package comment ("Cache headers"): hit beats shared beats miss, and
+// every 200 carries exactly one of them.
+func cacheStatus(hit, shared bool) string {
 	switch {
-	case res.Hit:
+	case hit:
 		return "hit"
-	case res.Shared:
+	case shared:
 		return "shared"
 	default:
 		return "miss"

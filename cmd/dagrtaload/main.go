@@ -1,0 +1,454 @@
+// Command dagrtaload is a seeded, deterministic load generator for the
+// dagrtad analysis daemon. It drives a realistic request mix against a
+// live daemon and emits a machine-readable latency/throughput report
+// (schema "servereport/v1") that cmd/benchreport gates in CI.
+//
+// The mix models the serving patterns the cache tiers exist for:
+//
+//	repeat  hot-set analyses drawn Zipf-skewed from a small working set
+//	        (cache hits after first touch)
+//	iso     isomorphic permutations of hot graphs — different wire bytes,
+//	        same canonical fingerprint (hits via canonicalization)
+//	cold    freshly generated graphs (misses, one execution each)
+//	delta   incremental admissions against resident bases admitted during
+//	        setup: churn adds a new task, every third delta repeats the
+//	        previous one (a hit)
+//
+// Every payload derives from -seed: the op sequence, the generated DAGs,
+// the permutations, and the delta churn are all replayable. Wall-clock
+// latencies of course are not; the gating in benchreport treats them as
+// warn-only for exactly that reason.
+//
+// Usage:
+//
+//	dagrtaload -base http://127.0.0.1:8080 [-seed 1] [-n 400] [-c 4]
+//	           [-hot 12] [-bases 3] [-out BENCH_SERVE_1.json]
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"sync"
+	"time"
+
+	hetrta "repro"
+	"repro/internal/taskgen"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// op is one pre-generated request: everything about it except the
+// latency is fixed before the timed phase starts.
+type op struct {
+	class string // repeat | iso | cold | delta
+	path  string // URL path
+	body  []byte
+}
+
+// LatencySummary is the percentile digest of one op class.
+type LatencySummary struct {
+	P50Ns  int64 `json:"p50_ns"`
+	P90Ns  int64 `json:"p90_ns"`
+	P99Ns  int64 `json:"p99_ns"`
+	MaxNs  int64 `json:"max_ns"`
+	MeanNs int64 `json:"mean_ns"`
+}
+
+// ClassStats aggregates one op class (or the whole run, for Totals).
+type ClassStats struct {
+	Count  int `json:"count"`
+	Errors int `json:"errors"`
+	// Cache tallies from the X-Cache response header.
+	Hit     int            `json:"hit"`
+	Miss    int            `json:"miss"`
+	Shared  int            `json:"shared"`
+	Latency LatencySummary `json:"latency"`
+}
+
+// ServeReport is the emitted JSON document, gated by benchreport -serve.
+type ServeReport struct {
+	Schema        string                 `json:"schema"`
+	Seed          int64                  `json:"seed"`
+	Requests      int                    `json:"requests"`
+	Concurrency   int                    `json:"concurrency"`
+	HotSet        int                    `json:"hot_set"`
+	Bases         int                    `json:"bases"`
+	ElapsedNs     int64                  `json:"elapsed_ns"`
+	ThroughputRPS float64                `json:"throughput_rps"`
+	Classes       map[string]*ClassStats `json:"classes"`
+	Totals        ClassStats             `json:"totals"`
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dagrtaload", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		base  = fs.String("base", "", "daemon base URL (required), e.g. http://127.0.0.1:8080")
+		seed  = fs.Int64("seed", 1, "master seed; the whole run replays from it")
+		n     = fs.Int("n", 400, "total timed requests")
+		conc  = fs.Int("c", 4, "concurrent workers")
+		hotN  = fs.Int("hot", 12, "hot-set size for repeat/iso traffic")
+		bases = fs.Int("bases", 3, "resident base tasksets admitted during setup for delta churn")
+		out   = fs.String("out", "", "write the servereport/v1 JSON here (empty: stdout summary only)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *base == "" {
+		fmt.Fprintln(stderr, "dagrtaload: -base is required")
+		return 2
+	}
+	if *n < 1 || *conc < 1 || *hotN < 1 || *bases < 1 {
+		fmt.Fprintln(stderr, "dagrtaload: -n, -c, -hot and -bases must be positive")
+		return 2
+	}
+
+	rep, err := drive(*base, *seed, *n, *conc, *hotN, *bases)
+	if err != nil {
+		fmt.Fprintln(stderr, "dagrtaload:", err)
+		return 1
+	}
+	if *out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintln(stderr, "dagrtaload:", err)
+			return 1
+		}
+		if err := os.WriteFile(*out, append(data, '\n'), 0o644); err != nil {
+			fmt.Fprintln(stderr, "dagrtaload:", err)
+			return 1
+		}
+	}
+	printSummary(stdout, rep)
+	if rep.Totals.Errors > 0 {
+		fmt.Fprintf(stderr, "dagrtaload: %d requests failed\n", rep.Totals.Errors)
+		return 1
+	}
+	return 0
+}
+
+// drive runs setup (base admissions) and the timed phase, and aggregates
+// the report. Split from run so tests can call it against a stub server.
+func drive(base string, seed int64, n, conc, hotN, bases int) (*ServeReport, error) {
+	plan, err := buildPlan(base, seed, n, hotN, bases)
+	if err != nil {
+		return nil, err
+	}
+
+	type outcome struct {
+		class  string
+		ns     int64
+		cache  string
+		failed bool
+	}
+	results := make([]outcome, len(plan))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < conc; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				o := plan[i]
+				t0 := time.Now()
+				resp, err := http.Post(base+o.path, "application/json", bytes.NewReader(o.body))
+				ns := time.Since(t0).Nanoseconds()
+				oc := outcome{class: o.class, ns: ns}
+				if err != nil {
+					oc.failed = true
+				} else {
+					io.Copy(io.Discard, resp.Body)
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						oc.failed = true
+					}
+					oc.cache = resp.Header.Get("X-Cache")
+				}
+				results[i] = oc
+			}
+		}()
+	}
+	for i := range plan {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	rep := &ServeReport{
+		Schema:      "servereport/v1",
+		Seed:        seed,
+		Requests:    n,
+		Concurrency: conc,
+		HotSet:      hotN,
+		Bases:       bases,
+		ElapsedNs:   elapsed.Nanoseconds(),
+		Classes:     make(map[string]*ClassStats),
+	}
+	if s := elapsed.Seconds(); s > 0 {
+		rep.ThroughputRPS = float64(n) / s
+	}
+	byClass := make(map[string][]int64)
+	var all []int64
+	for _, oc := range results {
+		cs := rep.Classes[oc.class]
+		if cs == nil {
+			cs = &ClassStats{}
+			rep.Classes[oc.class] = cs
+		}
+		cs.Count++
+		rep.Totals.Count++
+		if oc.failed {
+			cs.Errors++
+			rep.Totals.Errors++
+		}
+		switch oc.cache {
+		case "hit":
+			cs.Hit++
+			rep.Totals.Hit++
+		case "miss":
+			cs.Miss++
+			rep.Totals.Miss++
+		case "shared":
+			cs.Shared++
+			rep.Totals.Shared++
+		}
+		byClass[oc.class] = append(byClass[oc.class], oc.ns)
+		all = append(all, oc.ns)
+	}
+	for class, ns := range byClass {
+		rep.Classes[class].Latency = summarize(ns)
+	}
+	rep.Totals.Latency = summarize(all)
+	return rep, nil
+}
+
+// buildPlan performs setup (admitting the delta bases) and pre-generates
+// every timed request body from the seed. Payload generation is strictly
+// sequential so the plan is identical across runs with the same seed,
+// regardless of -c.
+func buildPlan(base string, seed int64, n, hotN, bases int) ([]op, error) {
+	gen := taskgen.MustNew(taskgen.Small(8, 24), seed)
+	r := rand.New(rand.NewSource(seed ^ 0x5eed))
+
+	// Hot set: canonical wire bytes per graph, kept parsed for permuting.
+	hot := make([][]byte, hotN)
+	for i := range hot {
+		g, _, _, err := gen.HetTask(0.15)
+		if err != nil {
+			return nil, fmt.Errorf("generating hot graph %d: %w", i, err)
+		}
+		b, err := json.Marshal((*hetrta.Graph)(g))
+		if err != nil {
+			return nil, err
+		}
+		hot[i] = b
+	}
+	zipf := rand.NewZipf(r, 1.3, 1, uint64(hotN-1))
+
+	// Setup: admit the resident bases and collect their fingerprints.
+	baseFPs := make([]string, bases)
+	for i := range baseFPs {
+		body, err := tasksetBody(gen, 2)
+		if err != nil {
+			return nil, err
+		}
+		fp, err := admitBase(base, body)
+		if err != nil {
+			return nil, fmt.Errorf("setup admit %d: %w", i, err)
+		}
+		baseFPs[i] = fp
+	}
+
+	// The timed plan. Weights: 55% repeat, 15% iso, 15% cold, 15% delta.
+	plan := make([]op, 0, n)
+	var lastDelta []byte
+	deltas := 0
+	for i := 0; i < n; i++ {
+		switch pick := r.Intn(100); {
+		case pick < 55:
+			plan = append(plan, op{class: "repeat", path: "/v1/analyze", body: hot[zipf.Uint64()]})
+		case pick < 70:
+			permuted, err := permuteGraphJSON(r, hot[zipf.Uint64()])
+			if err != nil {
+				return nil, err
+			}
+			plan = append(plan, op{class: "iso", path: "/v1/analyze", body: permuted})
+		case pick < 85:
+			g, _, _, err := gen.HetTask(0.15)
+			if err != nil {
+				return nil, err
+			}
+			b, err := json.Marshal((*hetrta.Graph)(g))
+			if err != nil {
+				return nil, err
+			}
+			plan = append(plan, op{class: "cold", path: "/v1/analyze", body: b})
+		default:
+			// Every third delta repeats the previous churn (a cache hit);
+			// the rest add a fresh task to a resident base.
+			if deltas%3 == 2 && lastDelta != nil {
+				plan = append(plan, op{class: "delta", path: "/v1/admit/delta", body: lastDelta})
+			} else {
+				body, err := deltaChurnBody(gen, baseFPs[deltas%len(baseFPs)])
+				if err != nil {
+					return nil, err
+				}
+				lastDelta = body
+				plan = append(plan, op{class: "delta", path: "/v1/admit/delta", body: body})
+			}
+			deltas++
+		}
+	}
+	return plan, nil
+}
+
+// wireTask renders one generated sporadic task: implicit-deadline-ish
+// parameters scaled from the graph volume so admission is non-trivial but
+// deterministic.
+func wireTask(gen *taskgen.Generator) (map[string]any, error) {
+	g, _, _, err := gen.HetTask(0.15)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := json.Marshal((*hetrta.Graph)(g))
+	if err != nil {
+		return nil, err
+	}
+	vol := g.Volume()
+	return map[string]any{
+		"graph":    json.RawMessage(raw),
+		"period":   vol * 4,
+		"deadline": vol * 3,
+	}, nil
+}
+
+// tasksetBody renders a /v1/admit request of k generated tasks.
+func tasksetBody(gen *taskgen.Generator, k int) ([]byte, error) {
+	tasks := make([]map[string]any, k)
+	for i := range tasks {
+		t, err := wireTask(gen)
+		if err != nil {
+			return nil, err
+		}
+		tasks[i] = t
+	}
+	return json.Marshal(map[string]any{"tasks": tasks})
+}
+
+// deltaChurnBody renders an /v1/admit/delta request adding one fresh
+// task against fp.
+func deltaChurnBody(gen *taskgen.Generator, fp string) ([]byte, error) {
+	t, err := wireTask(gen)
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(map[string]any{"base": fp, "add": []map[string]any{t}})
+}
+
+// admitBase POSTs a setup admission and returns the taskset fingerprint.
+func admitBase(base string, body []byte) (string, error) {
+	resp, err := http.Post(base+"/v1/admit", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return "", fmt.Errorf("admit: %d: %s", resp.StatusCode, data)
+	}
+	fp := resp.Header.Get("X-Taskset-Fingerprint")
+	if fp == "" {
+		return "", fmt.Errorf("admit response missing X-Taskset-Fingerprint")
+	}
+	return fp, nil
+}
+
+// wireGraph mirrors the dag JSON schema structurally. Nodes stay raw so
+// the permutation cannot drift from the real node schema.
+type wireGraph struct {
+	Nodes []json.RawMessage `json:"nodes"`
+	Edges [][2]int          `json:"edges"`
+}
+
+// permuteGraphJSON re-serializes a graph with its node order shuffled and
+// edge endpoints remapped: different bytes, the same graph up to
+// isomorphism — so the same canonical fingerprint server-side.
+func permuteGraphJSON(r *rand.Rand, data []byte) ([]byte, error) {
+	var wg wireGraph
+	if err := json.Unmarshal(data, &wg); err != nil {
+		return nil, fmt.Errorf("permute: %w", err)
+	}
+	n := len(wg.Nodes)
+	perm := r.Perm(n) // perm[old] = new position
+	nodes := make([]json.RawMessage, n)
+	for old, pos := range perm {
+		nodes[pos] = wg.Nodes[old]
+	}
+	edges := make([][2]int, len(wg.Edges))
+	for i, e := range wg.Edges {
+		edges[i] = [2]int{perm[e[0]], perm[e[1]]}
+	}
+	return json.Marshal(wireGraph{Nodes: nodes, Edges: edges})
+}
+
+// summarize digests a latency sample into percentiles. The input is
+// consumed (sorted in place).
+func summarize(ns []int64) LatencySummary {
+	if len(ns) == 0 {
+		return LatencySummary{}
+	}
+	sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	var sum int64
+	for _, v := range ns {
+		sum += v
+	}
+	return LatencySummary{
+		P50Ns:  percentile(ns, 50),
+		P90Ns:  percentile(ns, 90),
+		P99Ns:  percentile(ns, 99),
+		MaxNs:  ns[len(ns)-1],
+		MeanNs: sum / int64(len(ns)),
+	}
+}
+
+// percentile reads the p-th percentile from a sorted sample using the
+// nearest-rank method.
+func percentile(sorted []int64, p int) int64 {
+	rank := (p*len(sorted) + 99) / 100 // ceil(p/100 * n)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+func printSummary(w io.Writer, rep *ServeReport) {
+	fmt.Fprintf(w, "%d requests, %d workers, %.0f req/s, %d errors\n",
+		rep.Totals.Count, rep.Concurrency, rep.ThroughputRPS, rep.Totals.Errors)
+	classes := make([]string, 0, len(rep.Classes))
+	for c := range rep.Classes {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	fmt.Fprintf(w, "%-8s %7s %6s %6s %6s %6s %12s %12s %12s\n",
+		"class", "count", "err", "hit", "miss", "shared", "p50", "p90", "p99")
+	for _, c := range classes {
+		cs := rep.Classes[c]
+		fmt.Fprintf(w, "%-8s %7d %6d %6d %6d %6d %12s %12s %12s\n",
+			c, cs.Count, cs.Errors, cs.Hit, cs.Miss, cs.Shared,
+			time.Duration(cs.Latency.P50Ns), time.Duration(cs.Latency.P90Ns), time.Duration(cs.Latency.P99Ns))
+	}
+}

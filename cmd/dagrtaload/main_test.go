@@ -1,0 +1,270 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+
+	hetrta "repro"
+	"repro/internal/taskgen"
+)
+
+// stubDaemon mimics the dagrtad wire surface closely enough for the
+// harness: 200s with X-Cache headers (hit on repeated bodies, miss
+// otherwise) and a body-derived X-Taskset-Fingerprint on admissions. It
+// records request bodies in arrival order.
+type stubDaemon struct {
+	mu     sync.Mutex
+	seen   map[string]bool
+	bodies []string
+	paths  []string
+}
+
+func newStub() (*stubDaemon, *httptest.Server) {
+	s := &stubDaemon{seen: make(map[string]bool)}
+	mux := http.NewServeMux()
+	handle := func(w http.ResponseWriter, r *http.Request) {
+		body := new(bytes.Buffer)
+		body.ReadFrom(r.Body)
+		s.mu.Lock()
+		key := r.URL.Path + "|" + body.String()
+		cache := "miss"
+		if s.seen[key] {
+			cache = "hit"
+		}
+		s.seen[key] = true
+		s.bodies = append(s.bodies, body.String())
+		s.paths = append(s.paths, r.URL.Path)
+		s.mu.Unlock()
+		w.Header().Set("X-Cache", cache)
+		if strings.HasPrefix(r.URL.Path, "/v1/admit") {
+			w.Header().Set("X-Taskset-Fingerprint", fmt.Sprintf("%08x", len(body.String())*31+body.Len()))
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ok":true}`))
+	}
+	mux.HandleFunc("/v1/analyze", handle)
+	mux.HandleFunc("/v1/admit", handle)
+	mux.HandleFunc("/v1/admit/delta", handle)
+	return s, httptest.NewServer(mux)
+}
+
+// TestPlanDeterministic: the same seed yields byte-identical request
+// plans — the property the replayable-load claim rests on.
+func TestPlanDeterministic(t *testing.T) {
+	_, srv1 := newStub()
+	defer srv1.Close()
+	plan1, err := buildPlan(srv1.URL, 7, 120, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, srv2 := newStub()
+	defer srv2.Close()
+	plan2, err := buildPlan(srv2.URL, 7, 120, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plan1) != 120 || len(plan2) != 120 {
+		t.Fatalf("plan lengths %d, %d, want 120", len(plan1), len(plan2))
+	}
+	for i := range plan1 {
+		if plan1[i].class != plan2[i].class || plan1[i].path != plan2[i].path ||
+			!bytes.Equal(plan1[i].body, plan2[i].body) {
+			t.Fatalf("op %d differs between same-seed plans", i)
+		}
+	}
+	// A different seed must not replay the same plan.
+	_, srv3 := newStub()
+	defer srv3.Close()
+	plan3, err := buildPlan(srv3.URL, 8, 120, 8, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range plan1 {
+		if plan1[i].class != plan3[i].class || !bytes.Equal(plan1[i].body, plan3[i].body) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical plans")
+	}
+}
+
+// TestPlanMix: every class appears, and the weights are roughly honored
+// on a larger plan.
+func TestPlanMix(t *testing.T) {
+	_, srv := newStub()
+	defer srv.Close()
+	plan, err := buildPlan(srv.URL, 3, 1000, 12, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	for _, o := range plan {
+		counts[o.class]++
+	}
+	for class, want := range map[string]int{"repeat": 550, "iso": 150, "cold": 150, "delta": 150} {
+		got := counts[class]
+		if got < want/2 || got > want*2 {
+			t.Errorf("class %s: %d ops, want roughly %d", class, got, want)
+		}
+	}
+	// Delta churn must reuse a body every third delta (cache-hit traffic).
+	deltaBodies := make(map[string]int)
+	for _, o := range plan {
+		if o.class == "delta" {
+			deltaBodies[string(o.body)]++
+		}
+	}
+	repeated := 0
+	for _, n := range deltaBodies {
+		if n > 1 {
+			repeated++
+		}
+	}
+	if repeated == 0 {
+		t.Error("no delta body repeated; churn hit traffic missing")
+	}
+}
+
+// TestPermutePreservesFingerprint: the iso payload has different bytes
+// but the same canonical fingerprint as its source graph.
+func TestPermutePreservesFingerprint(t *testing.T) {
+	gen := taskgen.MustNew(taskgen.Small(10, 24), 42)
+	g, _, _, err := gen.HetTask(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := json.Marshal((*hetrta.Graph)(g))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rand.New(rand.NewSource(5))
+	permuted, err := permuteGraphJSON(r, orig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(orig, permuted) {
+		t.Fatal("permutation produced identical bytes")
+	}
+	var g1, g2 hetrta.Graph
+	if err := json.Unmarshal(orig, &g1); err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(permuted, &g2); err != nil {
+		t.Fatalf("permuted graph does not decode: %v\n%s", err, permuted)
+	}
+	if g1.Fingerprint() != g2.Fingerprint() {
+		t.Fatalf("fingerprint changed under permutation:\n%s\n%s", orig, permuted)
+	}
+}
+
+// TestPercentileMath pins the nearest-rank convention.
+func TestPercentileMath(t *testing.T) {
+	ns := []int64{10, 20, 30, 40, 50, 60, 70, 80, 90, 100}
+	sum := summarize(ns)
+	if sum.P50Ns != 50 || sum.P90Ns != 90 || sum.P99Ns != 100 || sum.MaxNs != 100 || sum.MeanNs != 55 {
+		t.Fatalf("summary = %+v", sum)
+	}
+	one := summarize([]int64{7})
+	if one.P50Ns != 7 || one.P99Ns != 7 {
+		t.Fatalf("single-sample summary = %+v", one)
+	}
+	if z := summarize(nil); z != (LatencySummary{}) {
+		t.Fatalf("empty summary = %+v", z)
+	}
+}
+
+// TestRunEndToEndStub: a full run against the stub produces a valid
+// report file with all requests accounted for and zero errors.
+func TestRunEndToEndStub(t *testing.T) {
+	stub, srv := newStub()
+	defer srv.Close()
+	out := filepath.Join(t.TempDir(), "serve.json")
+	var stdout, stderr bytes.Buffer
+	code := run([]string{"-base", srv.URL, "-seed", "3", "-n", "150", "-c", "4",
+		"-hot", "8", "-bases", "2", "-out", out}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("run exit %d: %s", code, stderr.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep ServeReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Schema != "servereport/v1" {
+		t.Fatalf("schema = %q", rep.Schema)
+	}
+	if rep.Totals.Count != 150 || rep.Totals.Errors != 0 {
+		t.Fatalf("totals = %+v", rep.Totals)
+	}
+	sumClasses := 0
+	for _, cs := range rep.Classes {
+		sumClasses += cs.Count
+	}
+	if sumClasses != 150 {
+		t.Fatalf("class counts sum to %d, want 150", sumClasses)
+	}
+	if rep.Classes["repeat"] == nil || rep.Classes["repeat"].Hit == 0 {
+		t.Fatal("repeat traffic produced no cache hits")
+	}
+	if rep.ThroughputRPS <= 0 || rep.Totals.Latency.P50Ns <= 0 {
+		t.Fatalf("degenerate perf numbers: %+v", rep.Totals)
+	}
+	// Setup admits (2 bases) land before the timed plan.
+	stub.mu.Lock()
+	defer stub.mu.Unlock()
+	if stub.paths[0] != "/v1/admit" || stub.paths[1] != "/v1/admit" {
+		t.Fatalf("setup admissions not first: %v", stub.paths[:2])
+	}
+	if len(stub.paths) != 152 {
+		t.Fatalf("server saw %d requests, want 152", len(stub.paths))
+	}
+}
+
+// TestRunFlagErrors: bad invocations are usage errors, not panics.
+func TestRunFlagErrors(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-n", "10"}, &out, &errb); code != 2 {
+		t.Fatalf("missing -base: exit %d", code)
+	}
+	if code := run([]string{"-base", "http://x", "-n", "0"}, &out, &errb); code != 2 {
+		t.Fatalf("zero -n: exit %d", code)
+	}
+}
+
+// TestRunCountsServerErrors: non-200 responses are counted and fail the
+// run.
+func TestRunCountsServerErrors(t *testing.T) {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/admit", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("X-Taskset-Fingerprint", "feedbeef")
+		w.Write([]byte(`{}`))
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	})
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+	var out, errb bytes.Buffer
+	code := run([]string{"-base", srv.URL, "-n", "20", "-c", "2", "-hot", "4", "-bases", "1"}, &out, &errb)
+	if code != 1 {
+		t.Fatalf("exit %d with failing server, want 1: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "failed") {
+		t.Fatalf("stderr = %q", errb.String())
+	}
+}

@@ -21,7 +21,11 @@ type entry struct {
 	// the platform-independent preparation plus memoized per-platform
 	// bounds, shared across every admission that contains the task. Eval
 	// entries have no body — they are never served over the wire.
-	eval *hetrta.TaskEvalHandle
+	// evalGraph retains the ORIGINAL task graph alongside it: the handle
+	// only keeps the reduced work graph, and the store tier needs the
+	// source graph for a loss-free round trip (see persist.go).
+	eval      *hetrta.TaskEvalHandle
+	evalGraph *hetrta.Graph
 	// base holds the canonical taskset behind an "admit|" entry, anchoring
 	// delta admission: AdmitDelta resolves its base fingerprint to this set
 	// and applies the delta to it. digests is parallel to base.Tasks, so the

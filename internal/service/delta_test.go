@@ -222,3 +222,130 @@ func TestAdmitDeltaCancelledLeaderRetry(t *testing.T) {
 		t.Fatalf("waiter after cancelled leader: %v", err)
 	}
 }
+
+// TestAdmitDeltaEvictedBase404: a base whose admit entry was LRU-evicted
+// (and the service has no store tier to revive it from) must surface
+// ErrUnknownBase — the client's signal to fall back to a full admit —
+// never an infrastructure error.
+func TestAdmitDeltaEvictedBase404(t *testing.T) {
+	svc := admitService(t, Options{CacheEntries: 1, Shards: 1})
+	ctx := context.Background()
+
+	base := hetrta.Taskset{Tasks: []hetrta.SporadicTask{
+		deltaChain(2, 8, 60, 50),
+		deltaChain(1, 4, 40, 40),
+	}}
+	rb, err := svc.Admit(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Churn the single-entry cache until the admit entry is gone.
+	if _, err := svc.Analyze(ctx, chainGraph(t, 17)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := svc.cache.get(svc.admitKeyOf(rb.Fingerprint)); ok {
+		t.Fatal("admit entry still resident; eviction setup is broken")
+	}
+	_, err = svc.AdmitDelta(ctx, rb.Fingerprint, hetrta.TasksetDelta{
+		Add: []hetrta.SporadicTask{deltaChain(3, 5, 80, 70)},
+	})
+	if !errors.Is(err, ErrUnknownBase) {
+		t.Fatalf("delta against evicted base: err = %v, want ErrUnknownBase", err)
+	}
+}
+
+// TestAdmitDeltaEvictionRace: the forced-eviction regression test (run
+// under -race in CI). Deltas race against cache churn that constantly
+// evicts the base admit entry and its eval| handles from a single-slot
+// cache; every AdmitDelta call must either return the byte-identical
+// correct report or ErrUnknownBase (the 404 path) — never any other
+// error and never different bytes (a partial-reuse report).
+func TestAdmitDeltaEvictionRace(t *testing.T) {
+	svc := admitService(t, Options{CacheEntries: 1, Shards: 1})
+	ctx := context.Background()
+
+	base := hetrta.Taskset{Tasks: []hetrta.SporadicTask{
+		deltaChain(2, 8, 60, 50),
+		deltaChain(1, 4, 40, 40),
+	}}
+	add := deltaChain(3, 5, 80, 70)
+	delta := hetrta.TasksetDelta{Add: []hetrta.SporadicTask{add}}
+
+	// Reference bytes from an isolated service: what every successful
+	// delta must serve.
+	ref := admitService(t, Options{})
+	full := hetrta.Taskset{Tasks: append(append([]hetrta.SporadicTask(nil), base.Tasks...), add)}
+	want, err := ref.Admit(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	rb, err := svc.Admit(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var churn sync.WaitGroup
+	churn.Add(1)
+	go func() {
+		defer churn.Done()
+		for w := int64(100); ; w++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			_, _ = svc.Analyze(ctx, chainGraph(t, w)) // evicts whatever is resident
+		}
+	}()
+
+	var (
+		workers sync.WaitGroup
+		mu      sync.Mutex
+		oks     int
+		misses  int
+	)
+	fail := func(format string, args ...any) {
+		mu.Lock()
+		defer mu.Unlock()
+		t.Errorf(format, args...)
+	}
+	for w := 0; w < 4; w++ {
+		workers.Add(1)
+		go func() {
+			defer workers.Done()
+			for i := 0; i < 25; i++ {
+				// Periodically re-anchor the base so both outcomes occur.
+				if i%5 == 0 {
+					_, _ = svc.Admit(ctx, base)
+				}
+				r, err := svc.AdmitDelta(ctx, rb.Fingerprint, delta)
+				switch {
+				case err == nil:
+					if !bytes.Equal(r.Body, want.Body) {
+						fail("delta served non-identical bytes:\n%s\n%s", r.Body, want.Body)
+						return
+					}
+					mu.Lock()
+					oks++
+					mu.Unlock()
+				case errors.Is(err, ErrUnknownBase):
+					mu.Lock()
+					misses++
+					mu.Unlock()
+				default:
+					fail("delta under eviction churn: unexpected error %v", err)
+					return
+				}
+			}
+		}()
+	}
+	workers.Wait()
+	close(stop)
+	churn.Wait()
+	if oks+misses == 0 {
+		t.Fatal("no delta calls completed")
+	}
+	t.Logf("delta outcomes under churn: %d identical, %d ErrUnknownBase", oks, misses)
+}

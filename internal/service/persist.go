@@ -1,0 +1,297 @@
+package service
+
+// Disk-backed second tier: the service-side wiring of internal/store.
+//
+// The store holds marshaled cache entries under the SAME replica-portable
+// keys the in-memory LRU uses ("<fp>|<sig>", "admit|…", "eval|…" — the
+// "deg|" namespace is deliberately never persisted: degraded results are
+// transient fallbacks, and serving one after a restart would hide a
+// recovered oracle). Writes are behind the request path: cacheAdd
+// enqueues an encoded record and returns; reads happen on an LRU miss
+// (lookup), at boot (AttachStore warm start), and on POST /v1/warmup
+// (Warmup, a peer replica's log streamed in).
+//
+// Record kinds and their values:
+//
+//	recReport — the analysis Report's canonical JSON (the cached body)
+//	recAdmit  — {body, per-task digests, base task list with graphs}:
+//	            everything needed to re-anchor delta admission
+//	recEval   — the ORIGINAL task graph JSON. A TaskEvalHandle retains
+//	            only the reduced work graph, so persisting that would
+//	            re-transform an already-transformed DAG on decode;
+//	            re-preparing from the source graph is the only loss-free
+//	            round trip.
+//
+// Everything decoded from the store is re-validated by construction:
+// bodies re-unmarshal into reports, digests re-parse, graphs re-prepare;
+// any failure skips the record (counted) instead of serving it.
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"strings"
+
+	hetrta "repro"
+	"repro/internal/store"
+)
+
+// Store record kinds (the store treats them as opaque).
+const (
+	recReport byte = 1
+	recAdmit  byte = 2
+	recEval   byte = 3
+)
+
+// persistedTask is the durable form of one hetrta.SporadicTask.
+type persistedTask struct {
+	Graph    *hetrta.Graph `json:"graph"`
+	Period   int64         `json:"period"`
+	Deadline int64         `json:"deadline"`
+	Jitter   int64         `json:"jitter,omitempty"`
+}
+
+// persistedAdmit is the durable form of an "admit|" entry: the served
+// body plus the delta-admission anchor (digests parallel to tasks).
+type persistedAdmit struct {
+	Body    json.RawMessage `json:"body"`
+	Digests []string        `json:"digests"`
+	Tasks   []persistedTask `json:"tasks"`
+}
+
+// Generation returns the configuration stamp a store log must carry to
+// be loadable by this service: the taskset-analyzer signature, which
+// embeds the full per-DAG analyzer signature plus the policy list — any
+// configuration change that could alter served bytes changes it.
+func (s *Service) Generation() string { return s.tsig }
+
+// AttachStore wires st as the disk-backed second tier and warm-starts
+// the LRU from its surviving records. It must be called before the
+// service starts serving (the store field is not synchronized against
+// concurrent requests); typically immediately after New. The store must
+// have been opened with Generation().
+func (s *Service) AttachStore(st *store.Store) error {
+	if st == nil {
+		return nil
+	}
+	if st.Generation() != s.Generation() {
+		return fmt.Errorf("service: store generation %q does not match service generation %q", st.Generation(), s.Generation())
+	}
+	s.store = st
+	return s.warmStart()
+}
+
+// warmStart loads every surviving store record into the LRU. Eval
+// records load first so that admit entries reconnect their digest→
+// handle anchors to already-resident handles during decode; within a
+// kind, log order is preserved so the most recently written keys end up
+// most recent in the LRU. Undecodable records are skipped and counted,
+// never fatal — the log is a cache, not a source of truth.
+func (s *Service) warmStart() error {
+	var recs []store.Record
+	if err := s.store.Each(func(rec store.Record) error {
+		recs = append(recs, rec)
+		return nil
+	}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		if rec.Kind == recEval {
+			s.warmLoad(rec)
+		}
+	}
+	for _, rec := range recs {
+		if rec.Kind != recEval {
+			s.warmLoad(rec)
+		}
+	}
+	return nil
+}
+
+// warmLoad decodes one record into the LRU (or counts a decode error).
+func (s *Service) warmLoad(rec store.Record) {
+	ent, err := s.decodeRecord(rec.Kind, rec.Value)
+	if err != nil {
+		s.storeDecodeErrors.Add(1)
+		return
+	}
+	s.cache.add(rec.Key, ent)
+	s.warmLoaded.Add(1)
+}
+
+// lookup is the two-tier cache read: the in-memory LRU first, then the
+// store. A store hit is decoded, promoted into the LRU (directly — the
+// store already holds the record, so promotion must not re-persist),
+// and counted as a warm hit. Callers treat a lookup hit exactly like a
+// cacheGet hit; a record that fails to decode is a miss, never an
+// error.
+func (s *Service) lookup(key string) (*entry, bool) {
+	if ent, ok := s.cacheGet(key); ok {
+		return ent, true
+	}
+	if s.store == nil {
+		return nil, false
+	}
+	kind, val, ok := s.store.Get(key)
+	if !ok {
+		return nil, false
+	}
+	ent, err := s.decodeRecord(kind, val)
+	if err != nil {
+		s.storeDecodeErrors.Add(1)
+		return nil, false
+	}
+	s.cache.add(key, ent)
+	s.warmHits.Add(1)
+	return ent, true
+}
+
+// persist enqueues ent's durable form on the write-behind queue. Called
+// under the entry's final cache key from cacheAdd; the "deg|" namespace
+// and entries with nothing durable to say are skipped. Encoding is
+// synchronous (the buffers handed to the store must be immutable) but
+// cheap relative to the analysis that produced the entry; the disk
+// write is not on the request path.
+func (s *Service) persist(key string, ent *entry) {
+	if s.store == nil || strings.HasPrefix(key, "deg|") {
+		return
+	}
+	switch {
+	case strings.HasPrefix(key, "admit|"):
+		if ent.admit == nil || ent.base == nil || len(ent.body) == 0 {
+			return
+		}
+		pa := persistedAdmit{
+			Body:    ent.body,
+			Digests: make([]string, len(ent.digests)),
+			Tasks:   make([]persistedTask, len(ent.base.Tasks)),
+		}
+		if len(ent.digests) != len(ent.base.Tasks) {
+			return // incoherent anchor; do not make it durable
+		}
+		for i, dg := range ent.digests {
+			pa.Digests[i] = dg.String()
+		}
+		for i, t := range ent.base.Tasks {
+			pa.Tasks[i] = persistedTask{Graph: t.G, Period: t.Period, Deadline: t.Deadline, Jitter: t.Jitter}
+		}
+		val, err := json.Marshal(pa)
+		if err != nil {
+			return
+		}
+		s.store.Append(recAdmit, key, val)
+	case strings.HasPrefix(key, "eval|"):
+		if ent.eval == nil || ent.evalGraph == nil {
+			return
+		}
+		val, err := json.Marshal(ent.evalGraph)
+		if err != nil {
+			return
+		}
+		s.store.Append(recEval, key, val)
+	default:
+		if ent.report == nil || len(ent.body) == 0 || ent.report.Degraded {
+			return
+		}
+		s.store.Append(recReport, key, ent.body)
+	}
+}
+
+// decodeRecord rebuilds a cache entry from its durable form, the
+// inverse of persist. Every field is re-validated on the way in.
+func (s *Service) decodeRecord(kind byte, value []byte) (*entry, error) {
+	switch kind {
+	case recReport:
+		rep := new(hetrta.Report)
+		if err := json.Unmarshal(value, rep); err != nil {
+			return nil, fmt.Errorf("service: decoding report record: %w", err)
+		}
+		return &entry{report: rep, body: value}, nil
+	case recAdmit:
+		var pa persistedAdmit
+		if err := json.Unmarshal(value, &pa); err != nil {
+			return nil, fmt.Errorf("service: decoding admit record: %w", err)
+		}
+		if len(pa.Digests) != len(pa.Tasks) {
+			return nil, errors.New("service: admit record digests/tasks length mismatch")
+		}
+		rep := new(hetrta.AdmitReport)
+		if err := json.Unmarshal(pa.Body, rep); err != nil {
+			return nil, fmt.Errorf("service: decoding admit record body: %w", err)
+		}
+		base := &hetrta.Taskset{Tasks: make([]hetrta.SporadicTask, len(pa.Tasks))}
+		ds := make([]hetrta.TaskDigest, len(pa.Digests))
+		evals := make(map[hetrta.TaskDigest]*hetrta.TaskEvalHandle, len(pa.Digests))
+		for i, pt := range pa.Tasks {
+			if pt.Graph == nil {
+				return nil, errors.New("service: admit record task without graph")
+			}
+			base.Tasks[i] = hetrta.SporadicTask{G: pt.Graph, Period: pt.Period, Deadline: pt.Deadline, Jitter: pt.Jitter}
+			dg, err := hetrta.ParseTaskDigest(pa.Digests[i])
+			if err != nil {
+				return nil, fmt.Errorf("service: decoding admit record digest: %w", err)
+			}
+			ds[i] = dg
+			// Reconnect the eval anchor to handles already resident (the
+			// warm start loads eval records first). Missing handles are
+			// fine: the delta path re-prepares through taskEval.
+			if evEnt, ok := s.cache.get(s.evalKeyOf(dg)); ok && evEnt.eval != nil {
+				evals[dg] = evEnt.eval
+			}
+		}
+		return &entry{admit: rep, body: pa.Body, base: base, digests: ds, evals: evals}, nil
+	case recEval:
+		g := new(hetrta.Graph)
+		if err := json.Unmarshal(value, g); err != nil {
+			return nil, fmt.Errorf("service: decoding eval record graph: %w", err)
+		}
+		h, err := s.ta.PrepareTaskEval(g)
+		if err != nil {
+			return nil, fmt.Errorf("service: re-preparing eval record: %w", err)
+		}
+		return &entry{eval: h, evalGraph: g}, nil
+	default:
+		return nil, fmt.Errorf("service: unknown store record kind %d", kind)
+	}
+}
+
+// WarmupSummary reports what a Warmup call consumed and loaded.
+type WarmupSummary struct {
+	store.ScanSummary
+	// Loaded counts records decoded into the cache; Skipped records
+	// that scanned cleanly but failed service-level decoding.
+	Loaded  int `json:"loaded"`
+	Skipped int `json:"skipped"`
+}
+
+// Warmup bulk-loads a store log streamed from r — typically another
+// replica's log file — into the cache, and (when a store is attached)
+// re-appends the raw records so the warmed state is also durable here.
+// The stream's generation header must match Generation(); on mismatch
+// nothing is loaded and the error satisfies
+// errors.Is(err, store.ErrGenerationMismatch). Safe to call while
+// serving.
+func (s *Service) Warmup(r io.Reader) (WarmupSummary, error) {
+	var ws WarmupSummary
+	sum, err := store.ScanStream(r, s.Generation(), func(rec store.Record) error {
+		if strings.HasPrefix(rec.Key, "deg|") {
+			ws.Skipped++
+			return nil
+		}
+		ent, derr := s.decodeRecord(rec.Kind, rec.Value)
+		if derr != nil {
+			s.storeDecodeErrors.Add(1)
+			ws.Skipped++
+			return nil
+		}
+		s.cache.add(rec.Key, ent)
+		if s.store != nil {
+			s.store.Append(rec.Kind, rec.Key, rec.Value)
+		}
+		ws.Loaded++
+		return nil
+	})
+	ws.ScanSummary = sum
+	return ws, err
+}

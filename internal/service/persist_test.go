@@ -1,0 +1,253 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+
+	hetrta "repro"
+	"repro/internal/store"
+)
+
+// storedService builds a service with a disk store attached at path
+// (created when absent), mimicking the daemon's boot sequence.
+func storedService(t *testing.T, path string, opts Options) *Service {
+	t.Helper()
+	svc := admitService(t, opts)
+	st, err := store.Open(store.Options{Path: path, Generation: svc.Generation()})
+	if err != nil {
+		t.Fatalf("store.Open: %v", err)
+	}
+	t.Cleanup(func() { st.Close() })
+	if err := svc.AttachStore(st); err != nil {
+		t.Fatalf("AttachStore: %v", err)
+	}
+	return svc
+}
+
+// TestStoreWarmStartByteIdentical: a restarted service answers previously
+// served analyses and admissions from the warm-started cache with
+// byte-identical bodies and ZERO analyzer executions.
+func TestStoreWarmStartByteIdentical(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	ctx := context.Background()
+
+	svc1 := storedService(t, path, Options{})
+	ra1, err := svc1.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rm1, err := svc1.Admit(ctx, admitTaskset(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.store.Flush()
+
+	// "Restart": a fresh service over the same log.
+	svc2 := storedService(t, path, Options{})
+	st := svc2.Stats()
+	if st.Store == nil || st.Store.WarmLoaded == 0 {
+		t.Fatalf("warm start loaded nothing: %+v", st.Store)
+	}
+	ra2, err := svc2.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ra2.Hit {
+		t.Fatal("warm-started analysis was not a cache hit")
+	}
+	if !bytes.Equal(ra1.Body, ra2.Body) {
+		t.Fatalf("warm-started analysis body differs:\n%s\n%s", ra1.Body, ra2.Body)
+	}
+	rm2, err := svc2.Admit(ctx, admitTaskset(true)) // permuted isomorph
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rm2.Hit {
+		t.Fatal("warm-started admission was not a cache hit")
+	}
+	if !bytes.Equal(rm1.Body, rm2.Body) {
+		t.Fatalf("warm-started admission body differs:\n%s\n%s", rm1.Body, rm2.Body)
+	}
+	if st := svc2.Stats(); st.Executions != 0 {
+		t.Fatalf("warm-started service executed %d analyses, want 0", st.Executions)
+	}
+}
+
+// TestStoreSecondTierRevivesEvicted: an entry evicted from the LRU is
+// promoted back from disk on the next request instead of recomputed.
+func TestStoreSecondTierRevivesEvicted(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	ctx := context.Background()
+	// One entry per shard: every insert in a shard evicts its previous
+	// occupant.
+	svc := storedService(t, path, Options{CacheEntries: 1, Shards: 1})
+
+	r1, err := svc.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc.store.Flush()
+	if _, err := svc.Analyze(ctx, chainGraph(t, 99)); err != nil { // evicts the first
+		t.Fatal(err)
+	}
+	if _, ok := svc.cache.get(svc.keyOf(r1.Fingerprint)); ok {
+		t.Fatal("first entry still resident; eviction setup is broken")
+	}
+	execsBefore := svc.Stats().Executions
+	r2, err := svc.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit {
+		t.Fatal("store-tier revival was not reported as a hit")
+	}
+	if !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatal("revived body differs from original")
+	}
+	st := svc.Stats()
+	if st.Executions != execsBefore {
+		t.Fatalf("revival recomputed (%d -> %d executions)", execsBefore, st.Executions)
+	}
+	if st.Store.WarmHits == 0 {
+		t.Fatal("store WarmHits not counted")
+	}
+}
+
+// TestStoreDeltaBaseRevival: the churn-serving acceptance criterion — a
+// base admitted before a restart anchors AdmitDelta afterwards (no 404),
+// and the delta result is byte-identical to a cold full admit.
+func TestStoreDeltaBaseRevival(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	ctx := context.Background()
+
+	base := hetrta.Taskset{Tasks: []hetrta.SporadicTask{
+		deltaChain(2, 8, 60, 50),
+		deltaChain(1, 4, 40, 40),
+	}}
+	add := deltaChain(3, 5, 80, 70)
+
+	svc1 := storedService(t, path, Options{})
+	rb, err := svc1.Admit(ctx, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.store.Flush()
+
+	svc2 := storedService(t, path, Options{})
+	rd, err := svc2.AdmitDelta(ctx, rb.Fingerprint, hetrta.TasksetDelta{Add: []hetrta.SporadicTask{add}})
+	if err != nil {
+		t.Fatalf("AdmitDelta after restart: %v", err)
+	}
+	// Reference: a fresh storeless service admitting the full resulting
+	// set must produce the same bytes.
+	ref := admitService(t, Options{})
+	full := hetrta.Taskset{Tasks: append(append([]hetrta.SporadicTask(nil), base.Tasks...), add)}
+	rf, err := ref.Admit(ctx, full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(rd.Body, rf.Body) {
+		t.Fatalf("post-restart delta body differs from full admit:\n%s\n%s", rd.Body, rf.Body)
+	}
+}
+
+// TestStoreGenerationMismatchRejected: AttachStore refuses a store opened
+// under a different generation — stale records must never warm-load.
+func TestStoreGenerationMismatchRejected(t *testing.T) {
+	svc := admitService(t, Options{})
+	st, err := store.Open(store.Options{
+		Path:       filepath.Join(t.TempDir(), "cache.log"),
+		Generation: "some-other-config",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer st.Close()
+	if err := svc.AttachStore(st); err == nil {
+		t.Fatal("AttachStore accepted a mismatched generation")
+	}
+}
+
+// TestWarmupStream: a peer replica's log streamed into Warmup loads its
+// entries (served as hits afterwards), and a mismatched generation is
+// rejected before loading anything.
+func TestWarmupStream(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	ctx := context.Background()
+
+	svc1 := storedService(t, path, Options{})
+	r1, err := svc1.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := svc1.Admit(ctx, admitTaskset(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc1.store.Flush()
+	logBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A storeless peer warms from the stream.
+	svc2 := admitService(t, Options{})
+	ws, err := svc2.Warmup(bytes.NewReader(logBytes))
+	if err != nil {
+		t.Fatalf("Warmup: %v", err)
+	}
+	if ws.Loaded == 0 || ws.Skipped != 0 || ws.Truncated {
+		t.Fatalf("warmup summary = %+v", ws)
+	}
+	r2, err := svc2.Analyze(ctx, chainGraph(t, 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r2.Hit || !bytes.Equal(r1.Body, r2.Body) {
+		t.Fatalf("warmed peer did not serve identical hit (hit=%v)", r2.Hit)
+	}
+	// Delta admission anchors on the warmed base too.
+	if _, err := svc2.AdmitDelta(ctx, rb.Fingerprint, hetrta.TasksetDelta{
+		Add: []hetrta.SporadicTask{deltaChain(3, 5, 80, 70)},
+	}); err != nil {
+		t.Fatalf("AdmitDelta on warmed base: %v", err)
+	}
+	if st := svc2.Stats(); st.Executions != 1 { // only the delta variant ran
+		t.Fatalf("warmed peer executions = %d, want 1", st.Executions)
+	}
+
+	// A peer under a different configuration must reject the stream.
+	an, err := hetrta.NewAnalyzer() // default platform differs from admitService's
+	if err != nil {
+		t.Fatal(err)
+	}
+	svc3, err := New(an, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc3.Warmup(bytes.NewReader(logBytes)); !errors.Is(err, store.ErrGenerationMismatch) {
+		t.Fatalf("mismatched warmup error = %v, want ErrGenerationMismatch", err)
+	}
+	if st := svc3.Stats(); st.Entries != 0 {
+		t.Fatal("mismatched warmup loaded entries")
+	}
+}
+
+// TestStoreSkipsDegradedEntries: the "deg|" namespace is never persisted —
+// a degraded fallback served before a restart must not outlive it.
+func TestStoreSkipsDegradedEntries(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cache.log")
+	svc := storedService(t, path, Options{})
+	// Simulate what a degraded insert would look like via cacheAdd with a
+	// deg|-keyed entry: persist must drop it.
+	rep := &hetrta.Report{Degraded: true}
+	svc.cacheAdd("deg|feedbeef|"+svc.sig, &entry{report: rep, body: []byte(`{"degraded":true}`)})
+	svc.store.Flush()
+	if st := svc.store.Stats(); st.Appends != 0 {
+		t.Fatalf("degraded entry persisted: %+v", st)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/dag"
 	"repro/internal/resilience"
 	"repro/internal/resilience/faultinject"
+	"repro/internal/store"
 )
 
 // Limiter cost classes: a batch of n led keys costs n units, and a taskset
@@ -125,6 +126,16 @@ type Service struct {
 	// steps memoizes Global-policy fixpoint iterations across admissions
 	// (see hetrta.GlobalStepCache); results are byte-identical either way.
 	steps *hetrta.GlobalStepCache
+
+	// store is the optional disk-backed second tier (see persist.go),
+	// set once by AttachStore before serving. warmLoaded counts entries
+	// decoded into the LRU at boot, warmHits store-tier promotions at
+	// serve time, storeDecodeErrors records that failed service-level
+	// decoding (skipped, never served).
+	store             *store.Store
+	warmLoaded        atomic.Uint64
+	warmHits          atomic.Uint64
+	storeDecodeErrors atomic.Uint64
 
 	// Overload-protection layer; every field is nil-safe, so call sites
 	// need no resilience-enabled checks. degBreaker/degHard are the
@@ -288,11 +299,14 @@ func (s *Service) cacheGet(key string) (*entry, bool) {
 // cacheAdd is cache.add behind the CacheAdd fault seam: an injected error
 // drops the insert — correctness never depends on residency, and report
 // marshaling is deterministic, so a recomputed entry is byte-identical.
+// Successful inserts also feed the write-behind store tier (persist is a
+// no-op without one).
 func (s *Service) cacheAdd(key string, ent *entry) {
 	if err := s.inj.Fire(faultinject.CacheAdd); err != nil {
 		return
 	}
 	s.cache.add(key, ent)
+	s.persist(key, ent)
 }
 
 // noteFullOutcome feeds the breaker and the hard-instance cache from a
@@ -341,7 +355,7 @@ func (s *Service) Analyze(ctx context.Context, g *hetrta.Graph) (*Result, error)
 func (s *Service) analyze(ctx context.Context, g *hetrta.Graph) (*Result, error) {
 	fp := g.Fingerprint()
 	if s.breaker != nil {
-		if ent, ok := s.cacheGet(s.keyOf(fp)); ok {
+		if ent, ok := s.lookup(s.keyOf(fp)); ok {
 			s.hits.Add(1)
 			return &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fp}, nil
 		}
@@ -425,7 +439,7 @@ func (s *Service) serve(ctx context.Context, key string, run func(ctx context.Co
 // serveWith is serve with explicit counter routing.
 func (s *Service) serveWith(ctx context.Context, key string, ctrs serveCounters, run func(ctx context.Context) (*entry, error)) (ent *entry, hit, shared bool, err error) {
 	for {
-		if ent, ok := s.cacheGet(key); ok {
+		if ent, ok := s.lookup(key); ok {
 			ctrs.hits.Add(1)
 			return ent, true, false, nil
 		}
@@ -588,8 +602,15 @@ func (s *Service) Admit(ctx context.Context, ts hetrta.Taskset) (*AdmitResult, e
 // digest not in the base) satisfy errors.Is(err, hetrta.ErrInvalidInput).
 func (s *Service) AdmitDelta(ctx context.Context, base hetrta.TasksetFingerprint, delta hetrta.TasksetDelta) (*AdmitResult, error) {
 	s.requests.Add(1)
-	ent, ok := s.cacheGet(s.admitKeyOf(base))
-	if !ok || ent.base == nil {
+	// lookup consults the store tier too: a base evicted from the LRU —
+	// or admitted before a restart — revives from its admit record
+	// instead of 404ing every delta until the cache re-warms. Only a
+	// base with a coherent anchor (task list and parallel digest slice)
+	// can be replayed; anything else is indistinguishable from a cold
+	// base and must surface ErrUnknownBase, never a partial-reuse
+	// report or a 500.
+	ent, ok := s.lookup(s.admitKeyOf(base))
+	if !ok || ent.base == nil || len(ent.digests) != len(ent.base.Tasks) {
 		return nil, fmt.Errorf("%w: fingerprint %s not resident (never admitted or evicted); fall back to full admit", ErrUnknownBase, base)
 	}
 	ts, ds, err := ent.base.ApplyDeltaDigests(ent.digests, delta)
@@ -722,13 +743,26 @@ func (s *Service) taskEval(ctx context.Context, t hetrta.SporadicTask, dg hetrta
 			if err != nil {
 				return nil, err
 			}
-			return &entry{eval: h}, nil
+			// evalGraph keeps the ORIGINAL graph for the store tier:
+			// the handle only retains the reduced work graph, which is
+			// not a loss-free round trip (see persist.go).
+			return &entry{eval: h, evalGraph: t.G}, nil
 		})
 	if err != nil {
 		return nil, err
 	}
 	if ent.eval == nil {
-		return nil, errors.New("service: eval cache entry without handle")
+		// An eval-keyed entry without a handle can only come from a
+		// foreign insert; preparation is pure and content-addressed, so
+		// repairing in place is always sound — the admission must never
+		// fail (500) or partially reuse over a malformed handle.
+		h, perr := s.ta.PrepareTaskEval(t.G)
+		if perr != nil {
+			s.evalFailures.Add(1)
+			return nil, perr
+		}
+		s.cache.add(s.evalKeyOf(dg), &entry{eval: h, evalGraph: t.G})
+		return h, nil
 	}
 	return ent.eval, nil
 }
@@ -786,7 +820,7 @@ func (s *Service) AnalyzeBatch(ctx context.Context, gs []*hetrta.Graph) ([]*Resu
 		}
 		fps[i] = g.Fingerprint()
 		keys[i] = s.keyOf(fps[i])
-		if ent, ok := s.cacheGet(keys[i]); ok {
+		if ent, ok := s.lookup(keys[i]); ok {
 			s.hits.Add(1)
 			res[i] = &Result{Report: ent.report, Body: ent.body, Hit: true, Fingerprint: fps[i]}
 			continue
@@ -1073,6 +1107,24 @@ type Stats struct {
 	Overload      *resilience.LimiterStats  `json:"overload,omitempty"`
 	Breaker       *resilience.BreakerStats  `json:"breaker,omitempty"`
 	HardInstances *resilience.NegCacheStats `json:"hardInstances,omitempty"`
+	// Store snapshots the disk-backed second tier; present only when a
+	// store is attached.
+	Store *StoreStats `json:"store,omitempty"`
+}
+
+// StoreStats extends the store's own counters with the service-side view
+// of the second tier. Same contract as every other Stats counter:
+// individually monotonic, not snapshotted atomically as a group.
+type StoreStats struct {
+	store.Stats
+	// WarmLoaded counts entries decoded into the LRU by the boot warm
+	// start; WarmHits store-tier promotions at serve time (an LRU miss
+	// answered from disk without recomputation); DecodeErrors records
+	// that scanned cleanly but failed service-level decoding (skipped,
+	// never served).
+	WarmLoaded   uint64 `json:"warmLoaded"`
+	WarmHits     uint64 `json:"warmHits"`
+	DecodeErrors uint64 `json:"decodeErrors,omitempty"`
 }
 
 // Stats returns a snapshot of the service counters.
@@ -1122,6 +1174,14 @@ func (s *Service) Stats() Stats {
 		st.Breaker = &bs
 		hs := s.hard.Stats()
 		st.HardInstances = &hs
+	}
+	if s.store != nil {
+		st.Store = &StoreStats{
+			Stats:        s.store.Stats(),
+			WarmLoaded:   s.warmLoaded.Load(),
+			WarmHits:     s.warmHits.Load(),
+			DecodeErrors: s.storeDecodeErrors.Load(),
+		}
 	}
 	return st
 }

@@ -2,6 +2,7 @@ package service
 
 import (
 	"context"
+	"path/filepath"
 	"sync"
 	"testing"
 
@@ -12,9 +13,12 @@ import (
 // cumulative counter is monotonic non-decreasing across successive
 // snapshots, even while the service is being hammered concurrently.
 // Cross-field consistency is explicitly NOT asserted — snapshots may be
-// torn between fields (see the Stats doc comment).
+// torn between fields (see the Stats doc comment). The store-tier
+// counters (StoreStats) carry the same per-field contract, so the
+// service under test has a store attached and its counters are folded
+// into the sweep.
 func TestStatsMonotonicity(t *testing.T) {
-	svc := admitService(t, Options{})
+	svc := storedService(t, filepath.Join(t.TempDir(), "cache.log"), Options{})
 	ctx := context.Background()
 
 	stop := make(chan struct{})
@@ -43,16 +47,22 @@ func TestStatsMonotonicity(t *testing.T) {
 
 	counters := func(st Stats) map[string]uint64 {
 		return map[string]uint64{
-			"Requests":     st.Requests,
-			"Hits":         st.Hits,
-			"Misses":       st.Misses,
-			"Failures":     st.Failures,
-			"Executions":   st.Executions,
-			"EvalHits":     st.EvalHits,
-			"EvalMisses":   st.EvalMisses,
-			"EvalFailures": st.EvalFailures,
-			"StepHits":     st.StepHits,
-			"StepMisses":   st.StepMisses,
+			"Requests":          st.Requests,
+			"Hits":              st.Hits,
+			"Misses":            st.Misses,
+			"Failures":          st.Failures,
+			"Executions":        st.Executions,
+			"EvalHits":          st.EvalHits,
+			"EvalMisses":        st.EvalMisses,
+			"EvalFailures":      st.EvalFailures,
+			"StepHits":          st.StepHits,
+			"StepMisses":        st.StepMisses,
+			"Store.Appends":     st.Store.Appends,
+			"Store.Dropped":     st.Store.Dropped,
+			"Store.WarmLoaded":  st.Store.WarmLoaded,
+			"Store.WarmHits":    st.Store.WarmHits,
+			"Store.DecodeErrs":  st.Store.DecodeErrors,
+			"Store.Truncations": st.Store.TailTruncations,
 		}
 	}
 

@@ -1,0 +1,83 @@
+#!/bin/sh
+# Serve smoke: build the daemon (-race) and the load harness, drive the
+# deterministic load mix against a live daemon twice — a cold run, then a
+# warm run after restarting the daemon on the same store log — assert the
+# warm start actually happened, and gate both runs via benchreport -serve
+# against the committed BENCH_SERVE_<n>.json baseline.
+#
+# Used by `make serve` and the CI serve job. Needs only go + POSIX sh.
+set -eu
+
+GO=${GO:-go}
+BIN=${BIN:-bin}
+ADDR=${ADDR:-127.0.0.1:18573}
+WORK=$(mktemp -d)
+trap 'kill "$DAEMON_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+DAEMON_PID=""
+
+mkdir -p "$BIN"
+$GO build -race -o "$BIN/dagrtad" ./cmd/dagrtad
+$GO build -o "$BIN/dagrtaload" ./cmd/dagrtaload
+$GO build -o "$BIN/benchreport" ./cmd/benchreport
+
+start_daemon() {
+    "$BIN/dagrtad" -addr "$ADDR" -platform 4+1 -bounds rhom,rhet,typed-rhom \
+        -store "$WORK/cache.log" >"$WORK/daemon.log" 2>&1 &
+    DAEMON_PID=$!
+    i=0
+    while ! grep -q "listening on" "$WORK/daemon.log" 2>/dev/null; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ] || ! kill -0 "$DAEMON_PID" 2>/dev/null; then
+            echo "serve_smoke: daemon never came up:" >&2
+            cat "$WORK/daemon.log" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+}
+
+stop_daemon() {
+    # SIGTERM drains gracefully; the deferred store Close flushes the log.
+    kill -TERM "$DAEMON_PID"
+    wait "$DAEMON_PID" || { echo "serve_smoke: daemon exited non-zero" >&2; exit 1; }
+    DAEMON_PID=""
+}
+
+# statz_field NAME prints the integer value of "NAME":N from /statsz.
+statsz_field() {
+    curl -fsS "http://$ADDR/statsz" | grep -o "\"$1\":[0-9]*" | head -1 | cut -d: -f2
+}
+
+echo "== cold run =="
+start_daemon
+"$BIN/dagrtaload" -base "http://$ADDR" -seed 1 -n 400 -c 4 -hot 12 -bases 3 \
+    -out "$WORK/serve_cold.json"
+stop_daemon
+
+echo "== warm run (restarted on the same store) =="
+start_daemon
+warm=$(statsz_field warmLoaded)
+if [ -z "$warm" ] || [ "$warm" -eq 0 ]; then
+    echo "serve_smoke: restart warm-loaded nothing (warmLoaded=$warm)" >&2
+    exit 1
+fi
+echo "warm start loaded $warm entries"
+"$BIN/dagrtaload" -base "http://$ADDR" -seed 1 -n 400 -c 4 -hot 12 -bases 3 \
+    -out "$WORK/serve_warm.json"
+# The identical replay against the warm cache must not re-run the analyzer.
+execs=$(statsz_field executions)
+if [ -z "$execs" ] || [ "$execs" -ne 0 ]; then
+    echo "serve_smoke: warm replay recomputed ($execs executions)" >&2
+    exit 1
+fi
+curl -fsS "http://$ADDR/metrics" | grep -q '^dagrtad_store_warm_loaded_total [1-9]' || {
+    echo "serve_smoke: /metrics missing warm-load evidence" >&2
+    exit 1
+}
+stop_daemon
+
+baseline=$(ls BENCH_SERVE_[0-9]*.json 2>/dev/null | sort -t_ -k3 -n | tail -1 || true)
+echo "== gating against ${baseline:-<no baseline>} =="
+"$BIN/benchreport" -serve -input "$WORK/serve_cold.json" ${baseline:+-baseline "$baseline"}
+"$BIN/benchreport" -serve -input "$WORK/serve_warm.json" ${baseline:+-baseline "$baseline"}
+echo "serve smoke ok"
